@@ -1,0 +1,79 @@
+"""Ablation — file-count ladder vs completion time and theta.
+
+Extends Figure 4's {1, 10, 144, 1440} ladder with intermediate points
+and reports, per file count, the end-to-end completion time at the fast
+rate plus the implied Eq.-7 theta coefficient, connecting the pipeline
+simulation to the closed-form model.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.storage.aggregation import AggregationPlan
+from repro.storage.io_overhead import estimate_theta
+from repro.storage.presets import eagle_lustre, voyager_gpfs
+from repro.streaming.comparison import (
+    compare_methods,
+    default_dtn,
+    default_streaming_network,
+)
+from repro.workloads.scan import aps_scan_fast
+
+from conftest import run_once
+
+FILE_COUNTS = (1, 4, 10, 36, 144, 480, 1440)
+
+
+def test_ablation_aggregation(benchmark, artifact):
+    scan = aps_scan_fast()
+    dtn = default_dtn()
+    src, dst = voyager_gpfs(), eagle_lustre()
+
+    def sweep():
+        comp = compare_methods(
+            scan,
+            file_counts=FILE_COUNTS,
+            source=src,
+            destination=dst,
+            dtn=dtn,
+            streaming_network=default_streaming_network(),
+        )
+        thetas = {
+            n: estimate_theta(
+                AggregationPlan(
+                    n_frames=scan.n_frames,
+                    frame_bytes=float(scan.frame_bytes),
+                    n_files=n,
+                ),
+                dtn,
+                src,
+                dst,
+            ).theta
+            for n in FILE_COUNTS
+        }
+        return comp, thetas
+
+    comp, thetas = run_once(benchmark, sweep)
+
+    stream_t = comp.streaming_completion_s
+    rows = [("streaming", f"{stream_t:.1f}", "-", "-")]
+    for n in FILE_COUNTS:
+        t = comp.outcome("file", n).completion_s
+        rows.append((f"{n} file(s)", f"{t:.1f}", f"{thetas[n]:.2f}",
+                     f"{t / stream_t:.2f}x"))
+    text = render_table(
+        ["method", "completion (s)", "theta (Eq.7)", "vs streaming"],
+        rows,
+        title="Ablation: aggregation ladder @ 0.033 s/frame (12.1 GB scan)",
+    )
+    artifact("ablation_aggregation", text)
+
+    # Theta grows monotonically with file count.
+    theta_values = [thetas[n] for n in FILE_COUNTS]
+    assert theta_values == sorted(theta_values)
+    # Completion is worst at the small-file end.
+    assert comp.worst_file_based().n_files == 1440
+    # Streaming beats every file-based point at this rate.
+    assert all(
+        comp.outcome("file", n).completion_s > stream_t for n in FILE_COUNTS
+    )

@@ -1,0 +1,50 @@
+"""Ablation — parallel TCP flows per client (P = 1..16).
+
+Table 2 uses P in {2, 4, 8}.  This ablation extends the range in both
+directions at a moderate and an overloaded working point.  Parallel
+flows ramp aggregate cwnd faster (helping short transfers) but multiply
+the number of contending flows under congestion.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.iperfsim.runner import run_experiment
+from repro.iperfsim.spec import ExperimentSpec
+
+from conftest import run_once
+
+P_VALUES = (1, 2, 4, 8, 16)
+
+
+def test_ablation_parallel_flows(benchmark, artifact):
+    def sweep():
+        rows = []
+        for p in P_VALUES:
+            solo = run_experiment(
+                ExperimentSpec(concurrency=1, parallel_flows=p, duration_s=3.0),
+                seed=0,
+            )
+            loaded = run_experiment(
+                ExperimentSpec(concurrency=6, parallel_flows=p, duration_s=5.0),
+                seed=0,
+            )
+            rows.append(
+                (p, solo.max_transfer_time_s, loaded.max_transfer_time_s)
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    text = render_table(
+        ["P", "max T solo (s)", "max T @ 96% (s)"],
+        [(p, f"{a:.3f}", f"{b:.2f}") for p, a, b in rows],
+        title="Ablation: parallel TCP flows per client (0.5 GB @ 25 Gbps)",
+    )
+    artifact("ablation_parallel_flows", text)
+
+    solo = {p: a for p, a, _ in rows}
+    # More parallel flows never hurt the solo ramp by much; P=8 at least
+    # matches P=1 (faster aggregate slow start).
+    assert solo[8] <= solo[1] * 1.1
+    # All solo transfers stay well within the 1 s budget.
+    assert all(a < 1.0 for _, a, _ in rows)

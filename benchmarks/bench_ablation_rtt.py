@@ -1,0 +1,56 @@
+"""Ablation — RTT sensitivity of worst-case transfer time.
+
+The testbed's 16 ms RTT is one point on the instrument-to-HPC spectrum
+(same-campus ~1 ms, cross-country ~60 ms, intercontinental ~150 ms).
+Worst-case FCT grows with RTT both through slow-start ramp time and
+through the queueing-delay coupling.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.iperfsim.runner import run_experiment
+from repro.iperfsim.spec import ExperimentSpec
+from repro.simnet.link import Link
+
+from conftest import run_once
+
+RTTS_MS = (1.0, 4.0, 16.0, 60.0, 150.0)
+
+
+def test_ablation_rtt(benchmark, artifact):
+    def sweep():
+        rows = []
+        for rtt_ms in RTTS_MS:
+            link = Link(
+                capacity_gbps=25.0, rtt_s=rtt_ms / 1e3, buffer_bdp=2.0
+            )
+            light = run_experiment(
+                ExperimentSpec(concurrency=1, parallel_flows=4, duration_s=5.0),
+                link=link,
+                seed=0,
+            )
+            heavy = run_experiment(
+                ExperimentSpec(concurrency=6, parallel_flows=4, duration_s=5.0),
+                link=link,
+                seed=0,
+            )
+            rows.append(
+                (rtt_ms, light.max_transfer_time_s, heavy.max_transfer_time_s)
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    text = render_table(
+        ["RTT (ms)", "max T @ 16% (s)", "max T @ 96% (s)"],
+        [(f"{r:.0f}", f"{a:.2f}", f"{b:.2f}") for r, a, b in rows],
+        title="Ablation: RTT sensitivity of worst-case FCT (0.5 GB @ 25 Gbps)",
+    )
+    artifact("ablation_rtt", text)
+
+    light = [a for _, a, _ in rows]
+    # Light-load FCT grows monotonically with RTT (ramp dominates).
+    assert all(b >= a * 0.9 for a, b in zip(light, light[1:]))
+    assert light[-1] > light[0]
+    # At any RTT, congestion makes things worse.
+    assert all(h > l for _, l, h in rows)

@@ -1,0 +1,68 @@
+"""Ablation — spawning strategy: batch vs scheduled vs jitter width.
+
+Figure 2 contrasts two extremes (instantaneous batches, fully reserved
+slots).  This ablation adds intermediate jitter widths in between and
+shows the negative result that motivates reservation: at 96 % offered
+load, spreading arrivals over the second does NOT recover the scheduled
+case's performance — the link is load-bound, not merely
+synchronisation-bound, so only admission control (reservation) keeps
+the worst case inside the 1-second budget.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.iperfsim.runner import run_experiment
+from repro.iperfsim.spec import ExperimentSpec, SpawnStrategy
+
+from conftest import run_once
+
+JITTERS_S = (0.0, 0.03, 0.2, 0.5, 0.9)
+CONCURRENCY = 6
+
+
+def test_ablation_spawning(benchmark, artifact):
+    def sweep():
+        rows = []
+        for jitter in JITTERS_S:
+            spec = ExperimentSpec(
+                concurrency=CONCURRENCY,
+                parallel_flows=4,
+                duration_s=5.0,
+                strategy=SpawnStrategy.BATCH,
+                spawn_jitter_s=jitter,
+            )
+            res = run_experiment(spec, seed=0)
+            rows.append((f"batch jitter={jitter:.2f}s", res.max_transfer_time_s))
+        sched = run_experiment(
+            ExperimentSpec(
+                concurrency=CONCURRENCY,
+                parallel_flows=4,
+                duration_s=5.0,
+                strategy=SpawnStrategy.SCHEDULED,
+            ),
+            seed=0,
+        )
+        rows.append(("scheduled (reserved)", sched.max_transfer_time_s))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    text = render_table(
+        ["strategy", "max T (s)"],
+        [(name, f"{t:.2f}") for name, t in rows],
+        title=(
+            "Ablation: spawning strategy @ 96 % offered load "
+            "(0.5 GB clients, P=4)"
+        ),
+    )
+    artifact("ablation_spawning", text)
+
+    by_name = dict(rows)
+    scheduled = by_name["scheduled (reserved)"]
+    batch_times = [t for name, t in rows if name.startswith("batch")]
+    # Arrival-time spreading alone cannot fix a 96 % offered load — every
+    # batch variant stays well above the reserved baseline.  Reservation
+    # (admission control) is the real lever, and it keeps the worst case
+    # inside the 1-second budget.
+    assert scheduled < 1.0
+    assert all(t > 2.0 * scheduled for t in batch_times)

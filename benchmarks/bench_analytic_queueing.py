@@ -1,0 +1,60 @@
+"""Ablation — analytic queueing curve vs simulated Figure 2(a).
+
+The closed-form M/G/1 + fluid-backlog model (``repro.core.queueing``)
+is the paper's "future work: queueing effects" extension.  This bench
+lays the analytic hockey stick next to the simulated batch curve to
+show how far first-order queueing theory gets (regime boundaries yes,
+loss/timeout tails no).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import render_series
+from repro.core.queueing import analytic_worst_fct_s
+from repro.iperfsim.runner import run_sweep
+from repro.iperfsim.spec import ExperimentSpec
+
+from conftest import run_once
+
+CONCURRENCIES = (1, 2, 3, 4, 5, 6, 7, 8)
+WINDOW_S = 10.0
+
+
+def test_analytic_vs_simulated(benchmark, artifact):
+    def measure():
+        specs = [
+            ExperimentSpec(concurrency=c, parallel_flows=4, duration_s=WINDOW_S)
+            for c in CONCURRENCIES
+        ]
+        sweep = run_sweep(specs, seeds=(0,))
+        util, sim_t = sweep.curve(4)
+        ana_t = np.array([
+            analytic_worst_fct_s(
+                u,
+                batch_bytes=c * 0.5e9,
+                capacity_gbps=25.0,
+                window_s=WINDOW_S,
+            )
+            for u, c in zip(util, CONCURRENCIES)
+        ])
+        return util, sim_t, ana_t
+
+    util, sim_t, ana_t = run_once(benchmark, measure)
+    text = render_series(
+        util,
+        {"simulated": sim_t, "analytic": ana_t},
+        x_label="offered load",
+        y_label="worst T (s)",
+        title="Analytic M/G/1+backlog model vs fluid simulation (P=4)",
+    )
+    artifact("analytic_queueing", text)
+
+    # Both curves grow and agree on the regime structure.
+    assert sim_t[-1] > sim_t[0] and ana_t[-1] > ana_t[0]
+    # Same order of magnitude at the working points the case study uses.
+    for u_target in (0.64, 1.28):
+        i = int(np.argmin(np.abs(util - u_target)))
+        ratio = ana_t[i] / sim_t[i]
+        assert 0.2 < ratio < 5.0

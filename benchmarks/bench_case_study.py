@@ -1,0 +1,77 @@
+"""Section 5 — the LCLS-II case study, end to end.
+
+Measures the SSS curve with the full congestion methodology, then
+evaluates both Table-3 workflows against the latency tiers.
+
+Fidelity targets (paper Section 5):
+- Coherent Scattering (2 GB/s, 64 % utilisation): worst-case streaming
+  time in the low-seconds (paper reads 1.2 s), within Tier 2, leaving
+  most of the 10 s budget for analysis,
+- Liquid Scattering (4 GB/s = 32 Gbps): rejected by the 25 Gbps link,
+- reduced to 3 GB/s (96 %): worst case in the several-seconds band
+  (paper reads 6 s), leaving only a small analysis budget.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.casestudy.lcls2 import run_case_study, tier_table
+from repro.measurement.congestion import measure_sss_curve
+
+from conftest import run_once
+
+
+def test_case_study(benchmark, artifact):
+    def full_study():
+        curve = measure_sss_curve(seeds=(0, 1))
+        return run_case_study(curve=curve)
+
+    report = run_once(benchmark, full_study)
+
+    rows = []
+    for f in report.findings:
+        wt = f.worst_case_transfer_s
+        budget = f.tier2_analysis_budget_s
+        rows.append(
+            (
+                f.workflow.name,
+                f"{f.workflow.throughput_gbps:.0f} Gbps",
+                "yes" if f.fits_link else "NO",
+                "-" if wt is None else f"{wt:.1f} s",
+                "-" if budget is None else f"{budget:.1f} s",
+                "yes" if f.tier2.feasible else "no",
+            )
+        )
+    text = "\n\n".join(
+        [
+            render_table(["tier", "deadline"], tier_table(), title="Latency tiers"),
+            render_table(
+                ["workflow", "rate", "fits link", "worst transfer",
+                 "tier-2 budget", "tier-2 ok"],
+                rows,
+                title="Case study (Section 5): tier feasibility",
+            ),
+        ]
+    )
+    artifact("case_study", text)
+
+    coherent = report.finding("coherent")
+    liquid = report.finding("Liquid Scattering")
+    reduced = report.finding("reduced")
+
+    # Coherent scattering: fits, Tier-2 feasible with a healthy budget.
+    assert coherent.fits_link
+    assert coherent.tier2.feasible
+    assert 0.5 < coherent.worst_case_transfer_s < 5.0
+    assert coherent.tier2_analysis_budget_s > 5.0
+    # Tier 1 is out of reach under worst-case congestion.
+    assert not coherent.tier1.feasible
+
+    # Liquid scattering exceeds the link outright.
+    assert not liquid.fits_link
+
+    # The reduced variant fits but eats most of the deadline.
+    assert reduced.fits_link
+    assert reduced.worst_case_transfer_s > coherent.worst_case_transfer_s
+    if reduced.tier2.feasible:
+        assert reduced.tier2_analysis_budget_s < coherent.tier2_analysis_budget_s

@@ -1,0 +1,70 @@
+"""Figure 2(a) — maximum transfer time vs load, simultaneous batches.
+
+Runs the full Table-2 batch sweep (24 experiments, 10 s each, two
+seeds) on the fluid TCP testbed and regenerates the three P-curves.
+
+Fidelity targets (paper Section 4.1 + case study):
+- theoretical transfer time 0.16 s; low-load max ~0.2-0.6 s (regime 1),
+- non-linear growth, with 2-3 s worst cases in the moderate regime,
+- above ~90 % utilisation worst cases exceed 5 s (regime 3) — more than
+  an order of magnitude over theoretical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import render_series
+from repro.core.sss import theoretical_transfer_time
+from repro.iperfsim.runner import run_sweep
+from repro.iperfsim.spec import SpawnStrategy, table2_sweep
+
+from conftest import run_once
+
+SEEDS = (0, 1)
+
+
+def test_fig2a_batch_congestion(benchmark, artifact):
+    sweep = run_once(
+        benchmark,
+        run_sweep,
+        table2_sweep(strategy=SpawnStrategy.BATCH),
+        seeds=SEEDS,
+    )
+
+    ps = sweep.parallel_flow_values()
+    x, _ = sweep.curve(ps[0])
+    ys = {f"P={p}": sweep.curve(p)[1] for p in ps}
+    text = render_series(
+        x,
+        ys,
+        x_label="offered load",
+        y_label="max T (s)",
+        title=(
+            "Figure 2(a): max transfer time vs load, simultaneous batches "
+            "(0.5 GB @ 25 Gbps, T_theoretical = 0.16 s)"
+        ),
+    )
+    artifact("fig2a_batch_congestion", text)
+
+    t_theo = float(theoretical_transfer_time(0.5, 25.0))
+    for p in ps:
+        util, max_t = sweep.curve(p)
+        # Regime 1: the lightest load is suitable for real-time use.
+        assert max_t[0] < 1.0
+        # Regime 3: above 90 % utilisation the worst case exceeds 5 s.
+        severe = max_t[util > 0.9]
+        assert severe.size > 0 and severe.max() > 5.0
+        # Order-of-magnitude degradation vs theoretical.
+        assert max_t.max() / t_theo > 10.0
+        # Non-linear growth: the average slope above 64 % utilisation is
+        # steeper than the average slope below it (the knee of Fig 2(a)).
+        knee = 0.64
+        lo = util <= knee
+        hi = util >= knee
+        slope_lo = (max_t[lo][-1] - max_t[lo][0]) / (util[lo][-1] - util[lo][0])
+        slope_hi = (max_t[hi][-1] - max_t[hi][0]) / (util[hi][-1] - util[hi][0])
+        assert slope_hi > slope_lo
+    # The moderate regime (2-3 s transfer times) is populated.
+    pooled = np.concatenate([sweep.curve(p)[1] for p in ps])
+    assert np.any((pooled >= 1.5) & (pooled <= 4.0))

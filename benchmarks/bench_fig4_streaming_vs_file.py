@@ -1,0 +1,70 @@
+"""Figure 4 — streaming vs file-based APS→ALCF transfer performance.
+
+Runs the full scenario: 1,440 frames of 2048x2048 uint16 (~12.1 GB) at
+0.033 s/frame and 0.33 s/frame, staged Voyager-GPFS → Eagle-Lustre as
+{1, 10, 144, 1440} files vs memory-to-memory streaming.
+
+Fidelity targets:
+- at the high rate streaming beats every file-based variant, the
+  1,440-small-file case is catastrophically worst (~30x streaming),
+- even partial aggregation (10/144 files) introduces noticeable delays,
+- at the low rate everything except the small-file case is
+  generation-bound and file-based is competitive.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_bars
+from repro.streaming.comparison import run_figure4
+
+from conftest import run_once
+
+
+def test_fig4_streaming_vs_file(benchmark, artifact):
+    results = run_once(benchmark, run_figure4)
+
+    blocks = []
+    for interval in sorted(results):
+        comp = results[interval]
+        labels, values = [], []
+        for o in comp.outcomes:
+            labels.append(
+                "streaming" if o.method == "streaming" else f"{o.n_files} file(s)"
+            )
+            values.append(o.completion_s)
+        blocks.append(
+            render_bars(
+                labels,
+                values,
+                title=(
+                    f"Figure 4 @ {interval} s/frame "
+                    f"(generation {comp.scan.generation_time_s:.1f} s, "
+                    f"scan {comp.scan.total_gb:.1f} GB)"
+                ),
+            )
+        )
+        blocks.append(
+            "streaming reduction vs 1440 files: "
+            f"{comp.reduction_vs_file_pct(1440):.1f} %"
+        )
+    artifact("fig4_streaming_vs_file", "\n\n".join(blocks))
+
+    fast = results[0.033]
+    slow = results[0.33]
+
+    # High rate: streaming wins against every file-based variant.
+    for o in fast.outcomes:
+        if o.method == "file":
+            assert fast.streaming_completion_s < o.completion_s
+    # Small-file catastrophe.
+    assert fast.worst_file_based().n_files == 1440
+    assert (
+        fast.outcome("file", 1440).completion_s
+        > 10 * fast.streaming_completion_s
+    )
+    # Partial aggregation still costs something noticeable.
+    assert fast.outcome("file", 144).completion_s > 2 * fast.streaming_completion_s
+
+    # Low rate: generation-bound; file-based competitive.
+    assert slow.best_file_based().completion_s < slow.streaming_completion_s * 1.05
+    assert slow.streaming_completion_s < slow.scan.generation_time_s * 1.01

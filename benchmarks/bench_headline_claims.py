@@ -1,0 +1,53 @@
+"""Headline claims (abstract).
+
+1. "streaming can achieve up to 97% lower end-to-end completion time
+   than file-based methods under high data rates"
+2. "worst-case congestion can increase transfer times by over an order
+   of magnitude"
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.core.sss import theoretical_transfer_time
+from repro.iperfsim.runner import run_sweep
+from repro.iperfsim.spec import ExperimentSpec
+from repro.streaming.comparison import run_figure4
+
+from conftest import run_once
+
+
+def test_headline_claims(benchmark, artifact):
+    def measure():
+        fig4 = run_figure4()
+        reduction = fig4[0.033].reduction_vs_file_pct(1440)
+
+        sweep = run_sweep(
+            [ExperimentSpec(concurrency=8, parallel_flows=4)], seeds=(0, 1)
+        )
+        worst = sweep.experiments[0].max_transfer_time_s
+        t_theo = float(theoretical_transfer_time(0.5, 25.0))
+        return reduction, worst / t_theo
+
+    reduction, congestion_factor = run_once(benchmark, measure)
+
+    text = render_table(
+        ["claim", "paper", "measured"],
+        [
+            (
+                "streaming vs file-based completion-time reduction",
+                "up to 97 %",
+                f"{reduction:.1f} %",
+            ),
+            (
+                "worst-case congestion vs theoretical transfer time",
+                "> 10x",
+                f"{congestion_factor:.1f}x",
+            ),
+        ],
+        title="Headline claims (abstract)",
+    )
+    artifact("headline_claims", text)
+
+    assert 90.0 < reduction < 99.5
+    assert congestion_factor > 10.0

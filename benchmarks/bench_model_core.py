@@ -1,0 +1,54 @@
+"""Micro-benchmarks of the closed-form model.
+
+Not a paper artifact — performance guardrails for the vectorised core:
+a million-point T_pct sweep must stay vectorised (no Python loop per
+grid cell), which these benchmarks would expose instantly if broken.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.crossover import decision_map
+from repro.core import model
+from repro.core.parameters import ModelParameters
+
+
+def test_tpct_scalar(benchmark):
+    result = benchmark(
+        model.t_pct, 2.0, 17e12, 10.0, 25.0, alpha=0.8, r=10.0, theta=3.0
+    )
+    assert result > 0
+
+
+def test_tpct_million_point_sweep(benchmark):
+    bw = np.geomspace(0.1, 1000.0, 1_000_000)
+
+    def sweep():
+        return model.t_pct(2.0, 17e12, 10.0, bw, alpha=0.8, r=10.0, theta=3.0)
+
+    out = benchmark(sweep)
+    assert out.shape == (1_000_000,)
+    assert np.all(np.diff(out) < 0)
+
+
+def test_decision_map_grid(benchmark):
+    params = ModelParameters(
+        s_unit_gb=2.0,
+        complexity_flop_per_gb=17e12,
+        r_local_tflops=10.0,
+        r_remote_tflops=100.0,
+        bandwidth_gbps=25.0,
+        alpha=0.8,
+        theta=3.0,
+    )
+    bw = np.geomspace(0.1, 1000.0, 256)
+    comp = np.geomspace(1e9, 1e15, 256)
+
+    def build():
+        return decision_map(
+            params, "bandwidth_gbps", bw, "complexity_flop_per_gb", comp
+        )
+
+    dm = benchmark(build)
+    assert dm.winners.shape == (256, 256)

@@ -1,0 +1,41 @@
+"""Micro-benchmarks of the fluid TCP simulator.
+
+Performance guardrails: a full 10-second, 32-client experiment must run
+in well under a second of wall time (the vectorised state update is the
+load-bearing design choice; a per-flow Python loop would blow this up
+by orders of magnitude).
+"""
+
+from __future__ import annotations
+
+from repro.simnet.link import fabric_link
+from repro.simnet.tcp import FluidTcpSimulator
+
+
+def _build_heavy_sim(seed=0):
+    sim = FluidTcpSimulator(fabric_link(), seed=seed)
+    cid = 0
+    for sec in range(10):
+        for _ in range(8):
+            sim.add_client(float(sec), 0.5e9, 4, client_id=cid)
+            cid += 1
+    return sim
+
+
+def test_overloaded_experiment(benchmark):
+    def run():
+        return _build_heavy_sim().run(max_time_s=120.0)
+
+    res = benchmark(run)
+    assert res.all_completed
+    assert len(res.flows) == 320
+
+
+def test_single_flow(benchmark):
+    def run():
+        sim = FluidTcpSimulator(fabric_link(), seed=0)
+        sim.add_flow(0.0, 0.5e9)
+        return sim.run()
+
+    res = benchmark(run)
+    assert res.all_completed

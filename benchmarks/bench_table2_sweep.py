@@ -1,0 +1,36 @@
+"""Table 2 — Experimental Configuration.
+
+Regenerates the configuration table and verifies the sweep it defines:
+24 experiments spanning concurrency 1-8 and P in {2,4,8}, 0.5 GB
+transfers, 10 s duration.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.iperfsim.spec import TABLE2_ROWS, table2_sweep
+
+from conftest import run_once
+
+
+def test_table2_configuration(benchmark, artifact):
+    def build():
+        specs = table2_sweep()
+        text = render_table(
+            ["Parameter", "Value/Range", "Description"],
+            TABLE2_ROWS,
+            title="Table 2: Experimental Configuration",
+        )
+        return specs, text
+
+    specs, text = run_once(benchmark, build)
+    artifact("table2_sweep", text)
+
+    assert len(specs) == 24
+    assert {s.concurrency for s in specs} == set(range(1, 9))
+    assert {s.parallel_flows for s in specs} == {2, 4, 8}
+    assert all(s.transfer_size_gb == 0.5 for s in specs)
+    assert all(s.duration_s == 10.0 for s in specs)
+    # Offered load spans 16 % to 128 % of the 25 Gbps link.
+    utils = sorted({s.offered_utilization() for s in specs})
+    assert utils[0] == 0.16 and utils[-1] == 1.28

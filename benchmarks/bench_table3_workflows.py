@@ -1,0 +1,44 @@
+"""Table 3 — compute-intensive workflows at LCLS-II.
+
+Regenerates the workflow table and verifies the derived model inputs
+(data-unit sizes, per-GB complexities, link feasibility) the case study
+relies on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.workloads.lcls import TABLE3_ROWS, table3_workflows
+
+from conftest import run_once
+
+
+def test_table3_workflows(benchmark, artifact):
+    def build():
+        workflows = table3_workflows()
+        text = render_table(
+            ["Description", "Throughput", "Offline Analysis"],
+            TABLE3_ROWS,
+            title=(
+                "Table 3: Compute-intensive workflows at LCLS-II (2023, "
+                "after 10x data reduction)"
+            ),
+        )
+        return workflows, text
+
+    workflows, text = run_once(benchmark, build)
+    artifact("table3_workflows", text)
+
+    coherent, liquid = workflows
+    assert coherent.throughput_gbytes_per_s == 2.0
+    assert coherent.offline_analysis_tflop == 34.0
+    assert liquid.throughput_gbytes_per_s == 4.0
+    assert liquid.offline_analysis_tflop == 20.0
+
+    # Derived quantities used by Section 5.
+    assert coherent.throughput_gbps == pytest.approx(16.0)  # 64 % of 25G
+    assert liquid.throughput_gbps == pytest.approx(32.0)    # > link
+    assert coherent.fits_link(25.0)
+    assert not liquid.fits_link(25.0)

@@ -1,0 +1,39 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one paper artifact (table or figure) as
+text.  Because pytest captures stdout, the rendered artifact is also
+written to ``benchmarks/out/<name>.txt`` so results survive the run;
+EXPERIMENTS.md records the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture
+def artifact():
+    """Write a named artifact rendering to benchmarks/out/ and echo it."""
+
+    def write(name: str, text: str) -> str:
+        OUT_DIR.mkdir(exist_ok=True)
+        path = OUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+        return text
+
+    return write
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a whole-experiment function exactly once.
+
+    Simulation benchmarks measure end-to-end experiment wall time; a
+    single round keeps the full suite fast while still recording a
+    meaningful number.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Survey the Section-2.2 science drivers through the decision model.
+
+For every facility preset (LHC/ATLAS, LCLS-II, APS tomography,
+FRIB/DELERIA): check whether the post-reduction stream fits a 25 Gbps
+and a 100 Gbps path, then map where local processing vs remote
+streaming wins as link bandwidth and analysis complexity vary — the
+facility-planning view of the model.
+
+Run:  python examples/facility_survey.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.crossover import crossover_bandwidth, decision_map
+from repro.analysis.report import render_table
+from repro.core.decision import Strategy
+from repro.core.parameters import ModelParameters
+from repro.workloads.facilities import all_facilities
+
+
+def main() -> None:
+    rows = []
+    for inst in all_facilities():
+        rows.append((
+            inst.name,
+            f"{inst.raw_rate_gbytes_per_s:,.0f} GB/s",
+            f"{inst.reduction_factor:g}x",
+            f"{inst.shipped_rate_gbps:,.1f} Gbps",
+            "yes" if inst.fits_link(25.0) else "NO",
+            "yes" if inst.fits_link(100.0) else "NO",
+        ))
+    print(render_table(
+        ["facility", "raw rate", "reduction", "shipped", "fits 25G", "fits 100G"],
+        rows,
+        title="Science drivers (Section 2.2) vs WAN capacity",
+    ))
+
+    # A mid-range beamline deciding whether to buy local compute or rely
+    # on a remote allocation ten times larger.
+    params = ModelParameters(
+        s_unit_gb=5.0,
+        complexity_flop_per_gb=5e12,
+        r_local_tflops=20.0,
+        r_remote_tflops=200.0,
+        bandwidth_gbps=25.0,
+        alpha=0.8,
+        theta=3.0,
+    )
+    bw_star = crossover_bandwidth(params)
+    print(
+        f"\nFor this beamline, remote (file-based, theta={params.theta:g}) "
+        f"starts winning above {bw_star:.1f} Gbps of WAN capacity."
+    )
+    bw_star_stream = crossover_bandwidth(params.replace(theta=1.0))
+    print(
+        f"Streaming (theta=1) lowers the crossover to "
+        f"{bw_star_stream:.1f} Gbps."
+    )
+
+    # Decision map: bandwidth x complexity.
+    bw = np.geomspace(1.0, 400.0, 12)
+    comp = np.geomspace(1e10, 1e14, 9)
+    dm = decision_map(
+        params, "bandwidth_gbps", bw, "complexity_flop_per_gb", comp,
+        streaming_alpha=0.9,
+    )
+    symbols = {0: "L", 1: "S", 2: "F"}
+    print("\nDecision map (rows: complexity FLOP/GB, cols: bandwidth Gbps)")
+    print("  L = local, S = remote streaming, F = remote file-based\n")
+    header = "             " + " ".join(f"{b:7.0f}" for b in bw)
+    print(header)
+    for iy in range(len(comp) - 1, -1, -1):
+        cells = " ".join(
+            f"{symbols[int(dm.winners[iy, ix])]:>7s}" for ix in range(len(bw))
+        )
+        print(f"{comp[iy]:10.1e}   {cells}")
+
+    share = dm.share(Strategy.REMOTE_STREAMING)
+    print(f"\nremote streaming wins {share:.0%} of this planning grid")
+
+
+if __name__ == "__main__":
+    main()

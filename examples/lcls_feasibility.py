@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""LCLS-II feasibility study: can remote HPC meet the latency tiers?
+
+Runs the paper's Section-5 case study end to end:
+
+1. measure worst-case transfer behaviour under controlled congestion
+   (the Figure-2(a) methodology, shortened for example purposes),
+2. evaluate the Table-3 workflows (Coherent Scattering, Liquid
+   Scattering) against the Tier-1/2/3 deadlines,
+3. report the verdicts, including the paper's mitigation of reducing
+   Liquid Scattering's rate to fit the link.
+
+Run:  python examples/lcls_feasibility.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.analysis.tiers import assess_all_tiers
+from repro.casestudy.lcls2 import run_case_study, tier_table
+from repro.core.decision import Tier
+from repro.measurement.congestion import measure_sss_curve
+from repro.workloads.lcls import coherent_scattering
+
+
+def main() -> None:
+    print("Measuring the utilisation -> worst-case-FCT curve "
+          "(batch congestion experiments)...")
+    curve = measure_sss_curve(duration_s=5.0, seeds=(0,))
+    print(render_table(
+        ["offered load", "T_worst", "SSS"],
+        [
+            (f"{m.utilization:.0%}", f"{m.t_worst_s:.2f} s", f"{m.sss:.1f}x")
+            for m in curve.measurements
+        ],
+        title="Measured SSS curve (0.5 GB units @ 25 Gbps)",
+    ))
+
+    print()
+    print(render_table(["tier", "deadline"], tier_table(), title="Latency tiers"))
+
+    report = run_case_study(curve=curve)
+    print()
+    rows = []
+    for f in report.findings:
+        wt = f.worst_case_transfer_s
+        budget = f.tier2_analysis_budget_s
+        rows.append((
+            f.workflow.name,
+            f"{f.workflow.throughput_gbps:.0f} Gbps",
+            "yes" if f.fits_link else "NO",
+            "-" if wt is None else f"{wt:.1f} s",
+            "-" if budget is None else f"{budget:.1f} s",
+            "yes" if f.tier2.feasible else "no",
+        ))
+    print(render_table(
+        ["workflow", "rate", "fits link", "worst transfer",
+         "tier-2 budget", "tier-2 ok"],
+        rows,
+        title="Case-study verdicts",
+    ))
+
+    # Zoom in on coherent scattering across every tier.
+    print("\nCoherent Scattering across all tiers:")
+    all_tiers = assess_all_tiers(coherent_scattering(), curve)
+    for tier in Tier:
+        a = all_tiers[tier]
+        if a.feasible:
+            print(
+                f"  Tier {tier.value} (<{a.deadline_s:.0f} s): feasible — "
+                f"needs >= {a.required_remote_tflops:.1f} TFLOPS remote"
+            )
+        else:
+            print(f"  Tier {tier.value} (<{a.deadline_s:.0f} s): NOT feasible "
+                  f"({a.note or 'transfer exhausts deadline'})")
+
+    coherent = report.finding("coherent")
+    print(
+        "\nRule of thumb from the paper: if local analysis finishes in "
+        f"under {coherent.worst_case_transfer_s:.1f} s (the worst-case "
+        "transfer alone), keep it local."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Quickstart: should my experiment process data locally or remotely?
+
+Builds the paper's completion-time model for a representative
+instrument-to-HPC scenario, prints every component of Eq. 10, the gain
+over the three core coefficients (alpha, r, theta), and the decision —
+first under ideal conditions, then under measured worst-case congestion
+(an SSS of 10x).
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import ModelParameters, Strategy, decide, evaluate, gain_from_params
+from repro.analysis.report import render_table
+from repro.core.gain import break_even_theta, kappa
+from repro.core.sensitivity import tornado
+
+
+def main() -> None:
+    # One second of a reduced LCLS-II-class stream: 2 GB needing 34 TFLOP
+    # of analysis, a 25 Gbps WAN, a modest local cluster vs a 10x-faster
+    # remote allocation.  File staging costs 3x the pure transfer.
+    params = ModelParameters(
+        s_unit_gb=2.0,
+        complexity_flop_per_gb=17e12,
+        r_local_tflops=10.0,
+        r_remote_tflops=100.0,
+        bandwidth_gbps=25.0,
+        alpha=0.8,
+        theta=3.0,
+    )
+
+    times = evaluate(params)
+    print(render_table(
+        ["quantity", "value"],
+        [
+            ("T_local (Eq. 3)", f"{times.t_local:.3f} s"),
+            ("T_transfer (Eq. 5)", f"{times.t_transfer:.3f} s"),
+            ("T_IO (Eq. 7)", f"{times.t_io:.3f} s"),
+            ("T_remote (Eq. 6)", f"{times.t_remote:.3f} s"),
+            ("T_pct (Eq. 10)", f"{times.t_pct:.3f} s"),
+            ("gain G = T_local/T_pct", f"{times.speedup:.2f}x"),
+        ],
+        title="Completion-time model",
+    ))
+
+    k = kappa(params.complexity_flop_per_gb, params.r_local_tflops,
+              params.bandwidth_gbps)
+    print(f"\nkappa (communication/computation ratio) = {k:.4f}")
+    print(f"gain over (alpha, r, theta)             = {gain_from_params(params):.2f}x")
+    print(
+        "break-even theta (worst file overhead remote can absorb) = "
+        f"{break_even_theta(params.alpha, params.r, k):.1f}"
+    )
+
+    print("\n--- decision, ideal conditions ---")
+    d = decide(params, streaming_alpha=0.9)
+    for strategy, ev in d.evaluations.items():
+        marker = " <== chosen" if strategy is d.chosen else ""
+        print(f"{strategy.value:18s} {ev.expected_s:8.3f} s{marker}")
+
+    print("\n--- decision, measured congestion (SSS = 10) ---")
+    d_worst = decide(params, streaming_alpha=0.9, sss=10.0)
+    for strategy, ev in d_worst.evaluations.items():
+        marker = " <== chosen" if strategy is d_worst.chosen else ""
+        print(f"{strategy.value:18s} {ev.worst_case_s:8.3f} s{marker}")
+    if d_worst.chosen is Strategy.LOCAL and d.chosen is not Strategy.LOCAL:
+        print("\nCongestion flips the decision to LOCAL — the paper's "
+              "core warning about tail latency.")
+
+    print("\n--- which parameter matters most? (tornado) ---")
+    rows = tornado(params, {
+        "alpha": (0.3, 1.0),
+        "theta": (1.0, 10.0),
+        "r_remote_tflops": (20.0, 400.0),
+        "bandwidth_gbps": (10.0, 100.0),
+    })
+    print(render_table(
+        ["parameter", "low", "high", "T_pct swing (s)"],
+        [(r.name, f"{r.low_value:g}", f"{r.high_value:g}", f"{r.swing_s:.3f}")
+         for r in rows],
+    ))
+
+
+if __name__ == "__main__":
+    main()

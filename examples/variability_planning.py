@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Planning under uncertainty: T_pct with variable network/compute.
+
+The paper's future-work list names "variability in network and compute
+performance"; this example exercises the two extensions that implement
+it:
+
+1. the analytic queueing curve (M/G/1 + fluid backlog) — a worst-case
+   estimate available *before* any measurement campaign,
+2. Monte-Carlo propagation of parameter distributions through T_pct,
+   reporting the probability of meeting each latency tier.
+
+Run:  python examples/variability_planning.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.core.decision import TIER_DEADLINES_S, Tier
+from repro.core.parameters import ModelParameters
+from repro.core.queueing import AnalyticCurve
+from repro.measurement.variability import TruncatedNormal, Uniform, monte_carlo_tpct
+
+
+def main() -> None:
+    # --- 1. pre-measurement planning with the analytic curve ----------
+    print("Analytic worst-case curve (no measurements needed yet):")
+    curve = AnalyticCurve(batch_bytes=2e9, capacity_gbps=25.0)
+    rows = [
+        (f"{u:.0%}", f"{curve.t_worst_at(u):.2f} s", f"{curve.sss_at(u):.1f}x")
+        for u in (0.16, 0.48, 0.64, 0.80, 0.96, 1.28)
+    ]
+    print(render_table(
+        ["offered load", "analytic T_worst (2 GB unit)", "analytic SSS"],
+        rows,
+    ))
+
+    # --- 2. Monte-Carlo T_pct under realistic variability --------------
+    params = ModelParameters(
+        s_unit_gb=2.0,
+        complexity_flop_per_gb=17e12,
+        r_local_tflops=10.0,
+        r_remote_tflops=100.0,
+        bandwidth_gbps=25.0,
+        alpha=0.8,
+        theta=1.0,  # streaming path
+    )
+    result = monte_carlo_tpct(
+        params,
+        # Transfer efficiency drifts with background traffic.
+        alpha_dist=TruncatedNormal(mean=0.8, sd=0.15, low=0.2, high=1.0),
+        # Remote allocation contention: sometimes you get fewer nodes.
+        r_dist=Uniform(4.0, 12.0),
+        n=200_000,
+        seed=42,
+    )
+    s = result.summary
+    print("\nMonte-Carlo T_pct under variability (200k draws):")
+    print(render_table(
+        ["statistic", "value"],
+        [
+            ("p50", f"{s.p50:.2f} s"),
+            ("p90", f"{s.p90:.2f} s"),
+            ("p99", f"{s.p99:.2f} s"),
+            ("max", f"{s.maximum:.2f} s"),
+            ("p99/p50", f"{s.p99_over_p50:.2f}x"),
+        ],
+    ))
+
+    print("\nProbability of meeting each tier deadline:")
+    for tier in Tier:
+        deadline = TIER_DEADLINES_S[tier]
+        res = monte_carlo_tpct(
+            params,
+            alpha_dist=TruncatedNormal(mean=0.8, sd=0.15, low=0.2, high=1.0),
+            r_dist=Uniform(4.0, 12.0),
+            deadline_s=deadline,
+            n=200_000,
+            seed=42,
+        )
+        print(
+            f"  Tier {tier.value} (< {deadline:.0f} s): "
+            f"{res.p_meet_deadline:.1%}"
+        )
+    print(
+        "\nA deterministic model would answer yes/no per tier; the "
+        "distributional answer is what a facility can actually plan with."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+"""repro — reproduction of "To Stream or Not to Stream: Towards A
+Quantitative Model for Remote HPC Processing Decisions" (SC Workshops
+'25, Castro et al.).
+
+Public surface, by layer:
+
+- :mod:`repro.core` — the completion-time model (Eqs. 3–10), the gain
+  function over (alpha, r, theta), the Streaming Speed Score (Eq. 11)
+  and the local-vs-remote decision engine with latency tiers,
+- :mod:`repro.simnet` — discrete-event engine + fluid TCP bottleneck
+  simulator (the FABRIC-testbed substitute),
+- :mod:`repro.iperfsim` — the controlled-congestion measurement harness
+  (Table 2, Figures 2–3),
+- :mod:`repro.storage` — parallel-file-system and DTN staging models
+  (Voyager GPFS / Eagle Lustre),
+- :mod:`repro.streaming` — streaming vs file-based pipelines (Figure 4),
+- :mod:`repro.workloads` — instrument/facility presets and the Table-3
+  workflows,
+- :mod:`repro.measurement` — tail statistics, ECDF, SSS curves,
+  scorecards,
+- :mod:`repro.analysis` — regimes, crossover maps, tier feasibility,
+  text reports,
+- :mod:`repro.casestudy` — the Section-5 LCLS-II case study.
+
+Quickstart::
+
+    from repro import ModelParameters, decide, evaluate
+
+    params = ModelParameters(
+        s_unit_gb=2.0,                    # one second of stream data
+        complexity_flop_per_gb=17e12,     # 34 TF per 2 GB unit
+        r_local_tflops=10.0,
+        r_remote_tflops=100.0,
+        bandwidth_gbps=25.0,
+        alpha=0.8,
+        theta=3.0,                        # file staging costs 3x transfer
+    )
+    print(evaluate(params))               # all completion-time components
+    print(decide(params, streaming_alpha=0.9).chosen)
+"""
+
+from .errors import (
+    CapacityError,
+    DecisionError,
+    MeasurementError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+    UnitError,
+    ValidationError,
+)
+from .core import (
+    CompletionTimes,
+    CongestionRegime,
+    Decision,
+    ModelParameters,
+    RegimeThresholds,
+    SSSMeasurement,
+    Strategy,
+    TIER_DEADLINES_S,
+    Tier,
+    classify_regime,
+    decide,
+    evaluate,
+    gain,
+    gain_from_params,
+    kappa,
+    speedup,
+    sss_from_samples,
+    streaming_speed_score,
+    t_local,
+    t_pct,
+    t_pct_queued,
+    t_remote,
+    t_transfer,
+    theoretical_transfer_time,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "CapacityError",
+    "DecisionError",
+    "MeasurementError",
+    "ReproError",
+    "ScheduleError",
+    "SimulationError",
+    "UnitError",
+    "ValidationError",
+    # core re-exports
+    "CompletionTimes",
+    "CongestionRegime",
+    "Decision",
+    "ModelParameters",
+    "RegimeThresholds",
+    "SSSMeasurement",
+    "Strategy",
+    "TIER_DEADLINES_S",
+    "Tier",
+    "classify_regime",
+    "decide",
+    "evaluate",
+    "gain",
+    "gain_from_params",
+    "kappa",
+    "speedup",
+    "sss_from_samples",
+    "streaming_speed_score",
+    "t_local",
+    "t_pct",
+    "t_pct_queued",
+    "t_remote",
+    "t_transfer",
+    "theoretical_transfer_time",
+]

@@ -1,0 +1,35 @@
+"""Analysis layer: regime boundaries, crossover maps, tier feasibility
+and text rendering for the benchmark harness."""
+
+from .regimes import RegimeBreakdown, regime_breakdown, utilization_budget
+from .crossover import (
+    DecisionMap,
+    crossover_bandwidth,
+    crossover_complexity,
+    decision_map,
+)
+from .tiers import (
+    TierAssessment,
+    assess_all_tiers,
+    assess_workflow,
+    reduced_rate_workflow,
+)
+from .report import render_bars, render_cdf, render_series, render_table
+
+__all__ = [
+    "RegimeBreakdown",
+    "regime_breakdown",
+    "utilization_budget",
+    "DecisionMap",
+    "crossover_bandwidth",
+    "crossover_complexity",
+    "decision_map",
+    "TierAssessment",
+    "assess_all_tiers",
+    "assess_workflow",
+    "reduced_rate_workflow",
+    "render_bars",
+    "render_cdf",
+    "render_series",
+    "render_table",
+]

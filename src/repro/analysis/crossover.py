@@ -1,0 +1,218 @@
+"""Crossover analysis: where does the winning strategy flip?
+
+The model's practical output is a *map* of parameter space showing
+where local processing, remote streaming, or remote file-based staging
+wins.  This module computes:
+
+- :func:`crossover_bandwidth` — the link speed above which remote
+  processing beats local (closed form),
+- :func:`crossover_complexity` — the compute intensity above which
+  shipping the data pays off,
+- :func:`decision_map` — a 2-D grid of winning strategies over any two
+  swept parameters (vectorised evaluation, no Python-loop per cell).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..core import model
+from ..core.decision import Strategy
+from ..core.parameters import ModelParameters
+from ..errors import ValidationError
+from ..units import BITS_PER_BYTE
+
+__all__ = [
+    "crossover_bandwidth",
+    "crossover_complexity",
+    "DecisionMap",
+    "decision_map",
+]
+
+
+def crossover_bandwidth(params: ModelParameters) -> float:
+    """Bandwidth (Gbps) at which remote processing ties local.
+
+    From ``T_pct = T_local``:
+
+    .. math::
+
+        Bw^* = \\frac{\\theta / \\alpha}
+                     {\\frac{C}{R_{local}} (1 - 1/r)}
+
+    (independent of :math:`S_{unit}`, which cancels).  Returns ``inf``
+    when :math:`r \\le 1` (remote can never win) and ``0`` when the
+    workload has no compute (pure data movement never favours remote).
+    """
+    if params.r <= 1.0:
+        return float("inf")
+    c_over_rl = params.complexity_flop_per_gb / (params.r_local_tflops * 1e12)
+    margin = c_over_rl * (1.0 - 1.0 / params.r)  # s per GB freed by remote
+    if margin <= 0:
+        return 0.0 if params.complexity_flop_per_gb == 0 else float("inf")
+    bw_gbytes = params.theta / (params.alpha * margin)
+    return bw_gbytes * BITS_PER_BYTE
+
+
+def crossover_complexity(params: ModelParameters) -> float:
+    """Complexity (FLOP/GB) above which remote processing wins.
+
+    Inverting the same tie condition for :math:`C`:
+
+    .. math::
+
+        C^* = \\frac{\\theta R_{local} \\cdot 8 / (\\alpha Bw)}
+                    {1 - 1/r}
+
+    Returns ``inf`` when :math:`r \\le 1`.
+    """
+    if params.r <= 1.0:
+        return float("inf")
+    transfer_s_per_gb = params.theta / (
+        params.alpha * params.bandwidth_gbps / BITS_PER_BYTE
+    )
+    return (
+        transfer_s_per_gb
+        * params.r_local_tflops
+        * 1e12
+        / (1.0 - 1.0 / params.r)
+    )
+
+
+@dataclass
+class DecisionMap:
+    """Winning strategy over a 2-D parameter grid."""
+
+    x_name: str
+    y_name: str
+    x_values: np.ndarray
+    y_values: np.ndarray
+    #: integer grid, shape (len(y), len(x)): 0 local, 1 streaming, 2 file
+    winners: np.ndarray
+
+    STRATEGIES: Tuple[Strategy, ...] = (
+        Strategy.LOCAL,
+        Strategy.REMOTE_STREAMING,
+        Strategy.REMOTE_FILE,
+    )
+
+    def winner_at(self, ix: int, iy: int) -> Strategy:
+        """Strategy winning at grid cell (ix, iy)."""
+        return self.STRATEGIES[int(self.winners[iy, ix])]
+
+    def share(self, strategy: Strategy) -> float:
+        """Fraction of the grid won by ``strategy``."""
+        idx = self.STRATEGIES.index(strategy)
+        return float(np.mean(self.winners == idx))
+
+    def boundary_x(self, iy: int) -> float | None:
+        """Along row ``iy``, the first x value where the winner differs
+        from the winner at x[0] — a crossover locator for monotone maps.
+        ``None`` if the row is uniform."""
+        row = self.winners[iy]
+        changes = np.nonzero(row != row[0])[0]
+        if changes.size == 0:
+            return None
+        return float(self.x_values[changes[0]])
+
+
+_SWEEPABLE_2D = (
+    "s_unit_gb",
+    "complexity_flop_per_gb",
+    "bandwidth_gbps",
+    "alpha",
+    "theta",
+    "r_remote_tflops",
+)
+
+
+def _apply_axis(kw: dict, params: ModelParameters, name: str, grid: np.ndarray) -> None:
+    """Replace one named model parameter in ``kw`` with a grid."""
+    if name == "r_remote_tflops":
+        kw["r"] = grid / params.r_local_tflops
+    elif name in kw:
+        kw[name] = grid
+    else:
+        raise ValidationError(
+            f"unknown decision-map parameter {name!r}; expected one of "
+            f"{_SWEEPABLE_2D}"
+        )
+
+
+def decision_map(
+    params: ModelParameters,
+    x_name: str,
+    x_values: np.ndarray,
+    y_name: str,
+    y_values: np.ndarray,
+    streaming_alpha: float | None = None,
+) -> DecisionMap:
+    """Winning strategy over the (x, y) grid.
+
+    Strategies compared with the same semantics as
+    :func:`repro.core.decision.decide`: LOCAL, REMOTE_STREAMING
+    (``theta=1``, ``streaming_alpha``), REMOTE_FILE (``params.theta``,
+    ``params.alpha``).  When an axis sweeps ``alpha`` or ``theta``, the
+    swept values apply to *both* remote strategies (the sweep then asks
+    "how good must the coefficient get?").  The whole grid is evaluated
+    with one broadcast call per strategy.
+    """
+    if x_name == y_name:
+        raise ValidationError("x_name and y_name must differ")
+    x = np.asarray(x_values, dtype=float)
+    y = np.asarray(y_values, dtype=float)
+    if x.ndim != 1 or y.ndim != 1 or x.size == 0 or y.size == 0:
+        raise ValidationError("x_values and y_values must be non-empty 1-D arrays")
+    xx, yy = np.meshgrid(x, y)
+
+    s_alpha = params.alpha if streaming_alpha is None else streaming_alpha
+    base = dict(
+        s_unit_gb=params.s_unit_gb,
+        complexity_flop_per_gb=params.complexity_flop_per_gb,
+        r_local_tflops=params.r_local_tflops,
+        bandwidth_gbps=params.bandwidth_gbps,
+        alpha=params.alpha,
+        r=params.r,
+        theta=params.theta,
+    )
+
+    def tpct_grid(strategy_theta: float, strategy_alpha: float) -> np.ndarray:
+        kw = dict(base)
+        if x_name != "alpha" and y_name != "alpha":
+            kw["alpha"] = strategy_alpha
+        if x_name != "theta" and y_name != "theta":
+            kw["theta"] = strategy_theta
+        _apply_axis(kw, params, x_name, xx)
+        _apply_axis(kw, params, y_name, yy)
+        return np.broadcast_to(
+            np.asarray(model.t_pct(**kw), dtype=float), xx.shape
+        )
+
+    s_grid = xx if x_name == "s_unit_gb" else (yy if y_name == "s_unit_gb" else params.s_unit_gb)
+    c_grid = (
+        xx
+        if x_name == "complexity_flop_per_gb"
+        else (yy if y_name == "complexity_flop_per_gb" else params.complexity_flop_per_gb)
+    )
+    t_local_grid = np.broadcast_to(
+        np.asarray(
+            model.t_local(s_grid, c_grid, params.r_local_tflops), dtype=float
+        ),
+        xx.shape,
+    )
+
+    t_stream = tpct_grid(strategy_theta=1.0, strategy_alpha=s_alpha)
+    t_file = tpct_grid(strategy_theta=params.theta, strategy_alpha=params.alpha)
+
+    stacked = np.stack([t_local_grid, t_stream, t_file])
+    winners = np.argmin(stacked, axis=0)
+    return DecisionMap(
+        x_name=x_name,
+        y_name=y_name,
+        x_values=x,
+        y_values=y,
+        winners=winners,
+    )

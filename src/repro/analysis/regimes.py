@@ -1,0 +1,107 @@
+"""Operational-regime analysis over a measured SSS curve.
+
+Section 4.1 reads Figure 2(a) as three regimes (low / moderate /
+severe).  Given a measured curve this module finds where the regime
+boundaries fall on the *utilisation* axis — the quantity a facility can
+actually plan against ("keep offered load below X%").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.sss import CongestionRegime, RegimeThresholds, classify_regime
+from ..errors import MeasurementError
+from ..measurement.congestion import SssCurve
+
+__all__ = ["RegimeBreakdown", "regime_breakdown", "utilization_budget"]
+
+
+@dataclass(frozen=True)
+class RegimeBreakdown:
+    """Regime classification of every measured point plus boundary
+    estimates on the utilisation axis."""
+
+    utilizations: np.ndarray
+    t_worst_values: np.ndarray
+    regimes: List[CongestionRegime]
+    low_to_moderate_utilization: Optional[float]
+    moderate_to_severe_utilization: Optional[float]
+
+    def points_in(self, regime: CongestionRegime) -> np.ndarray:
+        """Utilisations of the points falling in ``regime``."""
+        mask = np.array([r is regime for r in self.regimes])
+        return self.utilizations[mask]
+
+
+def _boundary_crossing(
+    utils: np.ndarray, t_worst: np.ndarray, threshold_s: float
+) -> Optional[float]:
+    """First utilisation at which the (interpolated) worst case crosses
+    ``threshold_s``; ``None`` if it never does."""
+    above = t_worst >= threshold_s
+    if not above.any():
+        return None
+    first = int(np.argmax(above))
+    if first == 0:
+        return float(utils[0])
+    # Linear interpolation between the straddling points.
+    u0, u1 = utils[first - 1], utils[first]
+    t0, t1 = t_worst[first - 1], t_worst[first]
+    if t1 == t0:
+        return float(u1)
+    frac = (threshold_s - t0) / (t1 - t0)
+    return float(u0 + frac * (u1 - u0))
+
+
+def regime_breakdown(
+    curve: SssCurve, thresholds: Optional[RegimeThresholds] = None
+) -> RegimeBreakdown:
+    """Classify every measured point and locate the regime boundaries."""
+    if not curve.measurements:
+        raise MeasurementError("cannot analyse an empty SSS curve")
+    th = thresholds or RegimeThresholds()
+    utils = curve.utilizations
+    t_worst = curve.t_worst_values
+    regimes = [classify_regime(float(t), th) for t in t_worst]
+    return RegimeBreakdown(
+        utilizations=utils,
+        t_worst_values=t_worst,
+        regimes=regimes,
+        low_to_moderate_utilization=_boundary_crossing(
+            utils, t_worst, th.real_time_limit_s
+        ),
+        moderate_to_severe_utilization=_boundary_crossing(
+            utils, t_worst, th.severe_limit_s
+        ),
+    )
+
+
+def utilization_budget(
+    curve: SssCurve, deadline_s: float, volume_gb: Optional[float] = None
+) -> Optional[float]:
+    """Highest utilisation at which the worst-case transfer of
+    ``volume_gb`` (default: the curve's unit size) still meets
+    ``deadline_s``.
+
+    This inverts the feasibility question: instead of "is streaming
+    feasible at our load?", "how much competing load can the link carry
+    before streaming stops being feasible?".  Returns ``None`` when even
+    an idle link misses the deadline.
+    """
+    if deadline_s <= 0:
+        raise MeasurementError(f"deadline_s must be > 0, got {deadline_s!r}")
+    volume = volume_gb if volume_gb is not None else curve.size_gb
+    utils = curve.utilizations
+    scaled = curve.t_worst_values * (volume / curve.size_gb)
+    feasible = scaled < deadline_s
+    if not feasible.any():
+        return None
+    if feasible.all():
+        return float(utils[-1])
+    # Find the last feasible point before the first infeasible crossing.
+    crossing = _boundary_crossing(utils, scaled, deadline_s)
+    return crossing

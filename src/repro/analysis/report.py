@@ -1,0 +1,110 @@
+"""Plain-text table and series rendering used by the benchmarks.
+
+The benchmark harness regenerates each paper table/figure as text: a
+fixed-width table for tabular artifacts and an inline bar/series view
+for figures.  No plotting dependencies — output goes to stdout and into
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = ["render_table", "render_series", "render_bars", "render_cdf"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a fixed-width ASCII table."""
+    rows = [[str(c) for c in row] for row in rows]
+    if any(len(r) != len(headers) for r in rows):
+        raise ValidationError("all rows must have as many cells as headers")
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for row in rows:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def render_series(
+    x: Sequence[float],
+    ys: dict[str, Sequence[float]],
+    x_label: str,
+    y_label: str,
+    title: str = "",
+    fmt: str = "{:.2f}",
+) -> str:
+    """Render one or more y-series against a shared x axis as a table —
+    the text equivalent of a line plot (Figure 2 style)."""
+    x_arr = list(x)
+    for name, y in ys.items():
+        if len(y) != len(x_arr):
+            raise ValidationError(
+                f"series {name!r} has {len(y)} points but x has {len(x_arr)}"
+            )
+    headers = [x_label] + [f"{name} {y_label}" for name in ys]
+    rows = []
+    for i, xv in enumerate(x_arr):
+        rows.append(
+            [fmt.format(xv)] + [fmt.format(list(y)[i]) for y in ys.values()]
+        )
+    return render_table(headers, rows, title=title)
+
+
+def render_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    unit: str = "s",
+    width: int = 40,
+) -> str:
+    """Render a horizontal bar chart (Figure 4 style).
+
+    Bars are scaled to the maximum value; each row shows the label,
+    the numeric value and a proportional bar.
+    """
+    if len(labels) != len(values):
+        raise ValidationError("labels and values must have equal length")
+    if not labels:
+        raise ValidationError("render_bars needs at least one bar")
+    vmax = max(values)
+    if vmax <= 0:
+        raise ValidationError("bar values must include a positive maximum")
+    label_w = max(len(str(lab)) for lab in labels)
+    out = [title] if title else []
+    for lab, val in zip(labels, values):
+        bar = "#" * max(1, int(round(width * val / vmax)))
+        out.append(f"{str(lab).ljust(label_w)}  {val:10.2f} {unit}  {bar}")
+    return "\n".join(out)
+
+
+def render_cdf(
+    samples: Sequence[float],
+    probabilities: Sequence[float] = (0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.0),
+    title: str = "",
+    unit: str = "s",
+) -> str:
+    """Render an empirical CDF as a quantile table (Figure 3 style)."""
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ValidationError("render_cdf needs samples")
+    rows = []
+    for p in probabilities:
+        q = float(np.percentile(arr, p * 100.0))
+        rows.append([f"P{p * 100:.0f}", f"{q:.3f} {unit}"])
+    return render_table(["percentile", "transfer time"], rows, title=title)

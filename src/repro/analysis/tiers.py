@@ -1,0 +1,175 @@
+"""Tier-feasibility evaluation (paper Section 5).
+
+Couples a :class:`~repro.workloads.lcls.Workflow` with a measured SSS
+curve and a compute budget, answering the case-study questions:
+
+- does the sustained stream rate even fit the link?
+- what is the worst-case time to move one data unit at the offered
+  utilisation?
+- which tier deadlines remain achievable, and how much time is left
+  for remote analysis within each?
+- how much remote compute would the analysis need to fit the residual
+  budget?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.decision import TIER_DEADLINES_S, Tier
+from ..errors import CapacityError, ValidationError
+from ..measurement.congestion import SssCurve
+from ..units import ensure_positive
+from ..workloads.lcls import Workflow
+
+__all__ = ["TierAssessment", "assess_workflow", "assess_all_tiers"]
+
+
+@dataclass(frozen=True)
+class TierAssessment:
+    """Feasibility of one workflow against one tier."""
+
+    workflow_name: str
+    tier: Tier
+    deadline_s: float
+    fits_link: bool
+    worst_case_transfer_s: Optional[float]
+    analysis_budget_s: Optional[float]
+    required_remote_tflops: Optional[float]
+    feasible: bool
+    note: str = ""
+
+    @property
+    def transfer_fraction(self) -> Optional[float]:
+        """Share of the deadline eaten by the worst-case transfer."""
+        if self.worst_case_transfer_s is None:
+            return None
+        return self.worst_case_transfer_s / self.deadline_s
+
+
+def assess_workflow(
+    workflow: Workflow,
+    curve: SssCurve,
+    tier: Tier,
+    *,
+    utilization: Optional[float] = None,
+    available_remote_tflops: Optional[float] = None,
+) -> TierAssessment:
+    """Evaluate one workflow against one tier using measured data.
+
+    ``utilization`` defaults to the utilisation the workflow itself
+    induces on the measured link (sustained rate / capacity) — the
+    paper's implicit assumption that the stream is the dominant flow.
+    """
+    deadline = TIER_DEADLINES_S[tier]
+    link_gbps = curve.bandwidth_gbps
+
+    if not workflow.fits_link(link_gbps):
+        return TierAssessment(
+            workflow_name=workflow.name,
+            tier=tier,
+            deadline_s=deadline,
+            fits_link=False,
+            worst_case_transfer_s=None,
+            analysis_budget_s=None,
+            required_remote_tflops=None,
+            feasible=False,
+            note=(
+                f"sustained rate {workflow.throughput_gbps:.0f} Gbps exceeds "
+                f"the {link_gbps:.0f} Gbps link"
+            ),
+        )
+
+    util = (
+        utilization
+        if utilization is not None
+        else workflow.throughput_gbps / link_gbps
+    )
+    if util < 0:
+        raise ValidationError(f"utilization must be >= 0, got {util!r}")
+
+    # The workflow's one-second data unit is the concurrent batch that
+    # creates ``util`` on the link, so its worst-case delivery time is
+    # the Figure-2(a) curve value itself (see SssCurve.worst_case_for_unit).
+    worst_transfer = curve.worst_case_for_unit(util)
+    budget = deadline - worst_transfer
+    if budget <= 0:
+        return TierAssessment(
+            workflow_name=workflow.name,
+            tier=tier,
+            deadline_s=deadline,
+            fits_link=True,
+            worst_case_transfer_s=worst_transfer,
+            analysis_budget_s=None,
+            required_remote_tflops=None,
+            feasible=False,
+            note=(
+                f"worst-case transfer {worst_transfer:.1f} s exhausts the "
+                f"{deadline:.0f} s deadline"
+            ),
+        )
+
+    required = workflow.offline_analysis_tflop / budget
+    feasible = (
+        available_remote_tflops is None or required <= available_remote_tflops
+    )
+    note = ""
+    if not feasible:
+        note = (
+            f"needs {required:.0f} TFLOPS remote but only "
+            f"{available_remote_tflops:.0f} available"
+        )
+    return TierAssessment(
+        workflow_name=workflow.name,
+        tier=tier,
+        deadline_s=deadline,
+        fits_link=True,
+        worst_case_transfer_s=worst_transfer,
+        analysis_budget_s=budget,
+        required_remote_tflops=required,
+        feasible=feasible,
+        note=note,
+    )
+
+
+def assess_all_tiers(
+    workflow: Workflow,
+    curve: SssCurve,
+    *,
+    utilization: Optional[float] = None,
+    available_remote_tflops: Optional[float] = None,
+) -> Dict[Tier, TierAssessment]:
+    """Evaluate one workflow against every tier."""
+    return {
+        tier: assess_workflow(
+            workflow,
+            curve,
+            tier,
+            utilization=utilization,
+            available_remote_tflops=available_remote_tflops,
+        )
+        for tier in Tier
+    }
+
+
+def reduced_rate_workflow(workflow: Workflow, new_rate_gbytes_per_s: float) -> Workflow:
+    """The case study's mitigation for Liquid Scattering: further reduce
+    the stream rate (keeping the analysis demand) so it fits the link.
+
+    Raises :class:`CapacityError` if the new rate is not actually lower.
+    """
+    ensure_positive(new_rate_gbytes_per_s, "new_rate_gbytes_per_s")
+    if new_rate_gbytes_per_s >= workflow.throughput_gbytes_per_s:
+        raise CapacityError(
+            f"reduced rate {new_rate_gbytes_per_s} GB/s is not below the "
+            f"original {workflow.throughput_gbytes_per_s} GB/s"
+        )
+    return Workflow(
+        name=f"{workflow.name} (reduced to {new_rate_gbytes_per_s:g} GB/s)",
+        throughput_gbytes_per_s=new_rate_gbytes_per_s,
+        offline_analysis_tflop=workflow.offline_analysis_tflop,
+    )
+
+
+__all__.append("reduced_rate_workflow")

@@ -1,0 +1,15 @@
+"""The LCLS-II case study (paper Section 5)."""
+
+from .lcls2 import (
+    CaseStudyFinding,
+    CaseStudyReport,
+    run_case_study,
+    tier_table,
+)
+
+__all__ = [
+    "CaseStudyFinding",
+    "CaseStudyReport",
+    "run_case_study",
+    "tier_table",
+]

@@ -1,0 +1,133 @@
+"""The Section-5 case study, end to end.
+
+Applies the measured SSS curve to the LCLS-II Table-3 workflows:
+
+1. **Coherent Scattering** (2 GB/s, 34 TF): at 64 % utilisation the
+   worst-case streaming time of one second of data is ~1.2 s — within
+   Tier 2 with ~8.8 s left for analysis; if the local facility can
+   analyse in under that transfer time, local wins.
+2. **Liquid Scattering** (4 GB/s = 32 Gbps, 20 TF): exceeds the 25 Gbps
+   link outright — real-time capability is limited by local processing.
+3. **Liquid Scattering reduced to 3 GB/s** (24 Gbps, 96 % utilisation):
+   worst case ~6 s, leaving only ~4 s of Tier-2 budget for analysis.
+
+:func:`run_case_study` executes the full analysis against a measured
+(or supplied) SSS curve and returns structured findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..analysis.tiers import TierAssessment, assess_workflow, reduced_rate_workflow
+from ..core.decision import TIER_DEADLINES_S, Tier
+from ..errors import MeasurementError
+from ..measurement.congestion import SssCurve, measure_sss_curve
+from ..workloads.lcls import Workflow, coherent_scattering, liquid_scattering
+
+__all__ = ["CaseStudyFinding", "CaseStudyReport", "run_case_study"]
+
+
+@dataclass(frozen=True)
+class CaseStudyFinding:
+    """One workflow's verdict."""
+
+    workflow: Workflow
+    utilization: float
+    tier2: TierAssessment
+    tier1: TierAssessment
+    local_preferred_if_local_faster_than_s: Optional[float]
+
+    @property
+    def fits_link(self) -> bool:
+        """Whether the sustained rate fits the link at all."""
+        return self.tier2.fits_link
+
+    @property
+    def worst_case_transfer_s(self) -> Optional[float]:
+        """Worst-case time to move one data unit."""
+        return self.tier2.worst_case_transfer_s
+
+    @property
+    def tier2_analysis_budget_s(self) -> Optional[float]:
+        """Time left for analysis within the 10 s Tier-2 deadline."""
+        return self.tier2.analysis_budget_s
+
+
+@dataclass
+class CaseStudyReport:
+    """All case-study findings plus the curve that produced them."""
+
+    curve: SssCurve
+    findings: List[CaseStudyFinding] = field(default_factory=list)
+
+    def finding(self, name_fragment: str) -> CaseStudyFinding:
+        """Look up a finding by (partial) workflow name."""
+        for f in self.findings:
+            if name_fragment.lower() in f.workflow.name.lower():
+                return f
+        raise MeasurementError(f"no finding matching {name_fragment!r}")
+
+
+def _assess(
+    workflow: Workflow, curve: SssCurve, utilization: float
+) -> CaseStudyFinding:
+    tier2 = assess_workflow(workflow, curve, Tier.TIER2, utilization=utilization)
+    tier1 = assess_workflow(workflow, curve, Tier.TIER1, utilization=utilization)
+    # The paper's local-vs-remote rule for this scenario: if local
+    # processing finishes before the worst-case transfer alone, remote
+    # can never win (remote still has to compute after transferring).
+    local_threshold = tier2.worst_case_transfer_s
+    return CaseStudyFinding(
+        workflow=workflow,
+        utilization=utilization,
+        tier2=tier2,
+        tier1=tier1,
+        local_preferred_if_local_faster_than_s=local_threshold,
+    )
+
+
+def run_case_study(
+    curve: Optional[SssCurve] = None,
+    reduced_liquid_rate_gbytes_per_s: float = 3.0,
+) -> CaseStudyReport:
+    """Run the full Section-5 analysis.
+
+    When no curve is supplied, the measurement methodology runs first
+    (batch congestion sweep on the FABRIC-like testbed).
+    """
+    curve = curve or measure_sss_curve()
+    report = CaseStudyReport(curve=curve)
+
+    # 1. Coherent scattering at its induced utilisation (2 GB/s on
+    #    25 Gbps = 64 %).
+    coherent = coherent_scattering()
+    report.findings.append(
+        _assess(coherent, curve, coherent.throughput_gbps / curve.bandwidth_gbps)
+    )
+
+    # 2. Liquid scattering as specified: 32 Gbps does not fit.
+    liquid = liquid_scattering()
+    report.findings.append(
+        _assess(liquid, curve, 1.0)  # utilisation moot; link check dominates
+    )
+
+    # 3. Liquid scattering reduced to fit: 3 GB/s = 24 Gbps = 96 %.
+    reduced = reduced_rate_workflow(liquid, reduced_liquid_rate_gbytes_per_s)
+    report.findings.append(
+        _assess(reduced, curve, reduced.throughput_gbps / curve.bandwidth_gbps)
+    )
+    return report
+
+
+def tier_table() -> list[tuple[str, str]]:
+    """The tier definitions of Section 5, printable."""
+    return [
+        ("Tier 1 (real-time analysis)", f"< {TIER_DEADLINES_S[Tier.TIER1]:.0f} s T_pct"),
+        ("Tier 2 (near real-time analysis)", f"< {TIER_DEADLINES_S[Tier.TIER2]:.0f} s T_pct"),
+        ("Tier 3 (quasi real-time analysis)", f"< {TIER_DEADLINES_S[Tier.TIER3]:.0f} s T_pct"),
+    ]
+
+
+__all__.append("tier_table")

@@ -1,0 +1,259 @@
+"""Command-line interface: ``repro <subcommand>`` or ``python -m repro``.
+
+Subcommands regenerate the paper's artifacts as text:
+
+- ``model``     — evaluate T_local/T_pct for given parameters
+- ``sss``       — run the congestion measurement, print the SSS curve
+- ``fig2a``     — max transfer time vs load, batch spawning
+- ``fig2b``     — max transfer time vs load, scheduled spawning
+- ``fig3``      — CDF of pooled transfer times
+- ``fig4``      — streaming vs file-based comparison
+- ``table1``    — testbed configuration
+- ``table2``    — experiment configuration
+- ``table3``    — LCLS-II workflows
+- ``casestudy`` — the Section-5 analysis
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .analysis.report import render_bars, render_cdf, render_series, render_table
+from .casestudy.lcls2 import run_case_study, tier_table
+from .core.model import evaluate
+from .core.parameters import ModelParameters
+from .iperfsim.runner import run_sweep
+from .iperfsim.spec import (
+    ExperimentSpec,
+    SpawnStrategy,
+    TABLE2_ROWS,
+    table2_sweep,
+)
+from .measurement.congestion import measure_sss_curve
+from .simnet.topology import TESTBED_TABLE1
+from .streaming.comparison import run_figure4
+from .workloads.lcls import TABLE3_ROWS
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'To Stream or Not to Stream' (SC Workshops '25)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_model = sub.add_parser("model", help="evaluate the T_pct model")
+    p_model.add_argument("--size-gb", type=float, required=True)
+    p_model.add_argument("--complexity", type=float, required=True,
+                         help="FLOP per GB")
+    p_model.add_argument("--local-tflops", type=float, required=True)
+    p_model.add_argument("--remote-tflops", type=float, required=True)
+    p_model.add_argument("--bandwidth-gbps", type=float, required=True)
+    p_model.add_argument("--alpha", type=float, default=1.0)
+    p_model.add_argument("--theta", type=float, default=1.0)
+
+    p_sss = sub.add_parser("sss", help="measure the SSS curve")
+    p_sss.add_argument("--parallel", type=int, default=4)
+    p_sss.add_argument("--duration", type=float, default=10.0)
+    p_sss.add_argument("--seeds", type=int, nargs="+", default=[0, 1])
+
+    for name in ("fig2a", "fig2b"):
+        p = sub.add_parser(name, help=f"regenerate Figure 2({name[-1]})")
+        p.add_argument("--duration", type=float, default=10.0)
+        p.add_argument("--seeds", type=int, nargs="+", default=[0, 1])
+
+    p3 = sub.add_parser("fig3", help="regenerate Figure 3 (CDF)")
+    p3.add_argument("--duration", type=float, default=10.0)
+    p3.add_argument("--seeds", type=int, nargs="+", default=[0, 1])
+
+    p4 = sub.add_parser("fig4", help="regenerate Figure 4 (streaming vs files)")
+    p4.add_argument("--bandwidth-gbps", type=float, default=25.0)
+
+    sub.add_parser("table1", help="print the testbed configuration")
+    sub.add_parser("table2", help="print the experiment configuration")
+    sub.add_parser("table3", help="print the LCLS-II workflows")
+
+    pc = sub.add_parser("casestudy", help="run the Section-5 case study")
+    pc.add_argument("--seeds", type=int, nargs="+", default=[0, 1])
+    return parser
+
+
+def _cmd_model(args: argparse.Namespace) -> str:
+    params = ModelParameters(
+        s_unit_gb=args.size_gb,
+        complexity_flop_per_gb=args.complexity,
+        r_local_tflops=args.local_tflops,
+        r_remote_tflops=args.remote_tflops,
+        bandwidth_gbps=args.bandwidth_gbps,
+        alpha=args.alpha,
+        theta=args.theta,
+    )
+    times = evaluate(params)
+    rows = [
+        ("T_local", f"{times.t_local:.3f} s"),
+        ("T_transfer", f"{times.t_transfer:.3f} s"),
+        ("T_IO", f"{times.t_io:.3f} s"),
+        ("T_remote", f"{times.t_remote:.3f} s"),
+        ("T_pct", f"{times.t_pct:.3f} s"),
+        ("gain (T_local/T_pct)", f"{times.speedup:.2f}x"),
+        ("winner", "remote" if times.remote_is_faster else "local"),
+    ]
+    return render_table(["quantity", "value"], rows, title="T_pct model")
+
+
+def _cmd_sss(args: argparse.Namespace) -> str:
+    curve = measure_sss_curve(
+        parallel_flows=args.parallel,
+        duration_s=args.duration,
+        seeds=tuple(args.seeds),
+    )
+    rows = [
+        (f"{m.utilization:.0%}", f"{m.t_worst_s:.2f} s", f"{m.sss:.1f}x", str(m.regime))
+        for m in curve.measurements
+    ]
+    return render_table(
+        ["offered load", "T_worst", "SSS", "regime"],
+        rows,
+        title="Streaming Speed Score curve (0.5 GB @ 25 Gbps, T_theoretical = 0.16 s)",
+    )
+
+
+def _run_fig2(strategy: SpawnStrategy, duration: float, seeds: List[int]) -> str:
+    sweep = run_sweep(
+        table2_sweep(strategy=strategy, duration_s=duration), seeds=tuple(seeds)
+    )
+    ps = sweep.parallel_flow_values()
+    x, _ = sweep.curve(ps[0])
+    ys = {f"P={p}": sweep.curve(p)[1] for p in ps}
+    title = (
+        "Figure 2(a): max transfer time vs load, simultaneous batches"
+        if strategy is SpawnStrategy.BATCH
+        else "Figure 2(b): max transfer time vs load, scheduled transfers"
+    )
+    return render_series(
+        x, ys, x_label="offered load", y_label="max T (s)", title=title
+    )
+
+
+def _cmd_fig3(args: argparse.Namespace) -> str:
+    sweep = run_sweep(
+        table2_sweep(strategy=SpawnStrategy.BATCH, duration_s=args.duration),
+        seeds=tuple(args.seeds),
+    )
+    samples = sweep.all_transfer_times()
+    return render_cdf(
+        samples,
+        title=(
+            "Figure 3: CDF of total transfer time "
+            f"({samples.size} transfers pooled across the sweep)"
+        ),
+    )
+
+
+def _cmd_fig4(args: argparse.Namespace) -> str:
+    results = run_figure4(bandwidth_gbps=args.bandwidth_gbps)
+    blocks = []
+    for interval, comp in sorted(results.items()):
+        labels, values = [], []
+        for o in comp.outcomes:
+            labels.append(
+                "streaming" if o.method == "streaming" else f"{o.n_files} file(s)"
+            )
+            values.append(o.completion_s)
+        blocks.append(
+            render_bars(
+                labels,
+                values,
+                title=(
+                    f"Figure 4 @ {interval} s/frame "
+                    f"(generation {comp.scan.generation_time_s:.1f} s)"
+                ),
+            )
+        )
+        blocks.append(
+            f"streaming reduction vs 1440 files: "
+            f"{comp.reduction_vs_file_pct(1440):.1f} %"
+        )
+    return "\n\n".join(blocks)
+
+
+def _cmd_casestudy(args: argparse.Namespace) -> str:
+    curve = measure_sss_curve(seeds=tuple(args.seeds))
+    report = run_case_study(curve=curve)
+    blocks = [render_table(["tier", "deadline"], tier_table(), title="Latency tiers")]
+    rows = []
+    for f in report.findings:
+        wt = f.worst_case_transfer_s
+        budget = f.tier2_analysis_budget_s
+        rows.append(
+            (
+                f.workflow.name,
+                f"{f.workflow.throughput_gbps:.0f} Gbps",
+                "yes" if f.fits_link else "NO",
+                "-" if wt is None else f"{wt:.1f} s",
+                "-" if budget is None else f"{budget:.1f} s",
+                "yes" if f.tier2.feasible else "no",
+            )
+        )
+    blocks.append(
+        render_table(
+            ["workflow", "rate", "fits link", "worst transfer", "tier-2 budget", "tier-2 ok"],
+            rows,
+            title="Case study (Section 5)",
+        )
+    )
+    return "\n\n".join(blocks)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "model":
+        out = _cmd_model(args)
+    elif args.command == "sss":
+        out = _cmd_sss(args)
+    elif args.command == "fig2a":
+        out = _run_fig2(SpawnStrategy.BATCH, args.duration, args.seeds)
+    elif args.command == "fig2b":
+        out = _run_fig2(SpawnStrategy.SCHEDULED, args.duration, args.seeds)
+    elif args.command == "fig3":
+        out = _cmd_fig3(args)
+    elif args.command == "fig4":
+        out = _cmd_fig4(args)
+    elif args.command == "table1":
+        out = render_table(
+            ["Component", "Specification"],
+            TESTBED_TABLE1,
+            title="Table 1: Experimental Testbed Configuration",
+        )
+    elif args.command == "table2":
+        out = render_table(
+            ["Parameter", "Value/Range", "Description"],
+            TABLE2_ROWS,
+            title="Table 2: Experimental Configuration",
+        )
+    elif args.command == "table3":
+        out = render_table(
+            ["Description", "Throughput", "Offline Analysis"],
+            TABLE3_ROWS,
+            title="Table 3: Compute-intensive workflows at LCLS-II (2023)",
+        )
+    elif args.command == "casestudy":
+        out = _cmd_casestudy(args)
+    else:  # pragma: no cover - argparse enforces choices
+        parser.error(f"unknown command {args.command!r}")
+        return 2
+    print(out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,137 @@
+"""Core quantitative model (paper Sections 3–5).
+
+Public surface:
+
+- :mod:`repro.core.parameters` — validated :class:`ModelParameters`,
+- :mod:`repro.core.model` — Eqs. 3–10 completion times,
+- :mod:`repro.core.gain` — the (alpha, r, theta) gain function and
+  break-even surfaces,
+- :mod:`repro.core.delays` — Kurose–Ross decomposition (Eqs. 1–2),
+- :mod:`repro.core.sss` — the Streaming Speed Score (Eq. 11),
+- :mod:`repro.core.decision` — local-vs-remote decision engine + tiers,
+- :mod:`repro.core.sensitivity` — sweeps, elasticities, tornado rows.
+"""
+
+from .parameters import ModelParameters, aps_to_alcf_defaults, lcls_to_hpc_defaults
+from .model import (
+    CompletionTimes,
+    evaluate,
+    remote_is_faster,
+    speedup,
+    t_io,
+    t_local,
+    t_pct,
+    t_pct_queued,
+    t_remote,
+    t_transfer,
+)
+from .gain import (
+    asymptotic_gain,
+    break_even_alpha,
+    break_even_kappa,
+    break_even_r,
+    break_even_theta,
+    gain,
+    gain_from_params,
+    kappa,
+)
+from .delays import (
+    DelayComponents,
+    continuum_delay,
+    continuum_error,
+    propagation_delay,
+    total_delay,
+    transmission_delay,
+)
+from .sss import (
+    CongestionRegime,
+    RegimeThresholds,
+    SSSMeasurement,
+    classify_regime,
+    sss_from_samples,
+    streaming_speed_score,
+    theoretical_transfer_time,
+    worst_of,
+)
+from .decision import (
+    Decision,
+    Strategy,
+    StrategyEvaluation,
+    TIER_DEADLINES_S,
+    Tier,
+    decide,
+    feasible_tiers,
+    highest_feasible_tier,
+    require_any_tier,
+)
+from .sensitivity import SWEEPABLE, TornadoRow, elasticity, sweep, tornado
+from .queueing import (
+    AnalyticCurve,
+    analytic_worst_fct_s,
+    mg1_wait_s,
+    overload_backlog_s,
+)
+
+__all__ = [
+    # parameters
+    "ModelParameters",
+    "aps_to_alcf_defaults",
+    "lcls_to_hpc_defaults",
+    # model
+    "CompletionTimes",
+    "evaluate",
+    "remote_is_faster",
+    "speedup",
+    "t_io",
+    "t_local",
+    "t_pct",
+    "t_pct_queued",
+    "t_remote",
+    "t_transfer",
+    # gain
+    "asymptotic_gain",
+    "break_even_alpha",
+    "break_even_kappa",
+    "break_even_r",
+    "break_even_theta",
+    "gain",
+    "gain_from_params",
+    "kappa",
+    # delays
+    "DelayComponents",
+    "continuum_delay",
+    "continuum_error",
+    "propagation_delay",
+    "total_delay",
+    "transmission_delay",
+    # sss
+    "CongestionRegime",
+    "RegimeThresholds",
+    "SSSMeasurement",
+    "classify_regime",
+    "sss_from_samples",
+    "streaming_speed_score",
+    "theoretical_transfer_time",
+    "worst_of",
+    # decision
+    "Decision",
+    "Strategy",
+    "StrategyEvaluation",
+    "TIER_DEADLINES_S",
+    "Tier",
+    "decide",
+    "feasible_tiers",
+    "highest_feasible_tier",
+    "require_any_tier",
+    # sensitivity
+    "SWEEPABLE",
+    "TornadoRow",
+    "elasticity",
+    "sweep",
+    "tornado",
+    # queueing
+    "AnalyticCurve",
+    "analytic_worst_fct_s",
+    "mg1_wait_s",
+    "overload_backlog_s",
+]

@@ -1,0 +1,248 @@
+"""Decision engine: local vs remote-streaming vs remote-file-based.
+
+This is the operational payoff of the paper — given a parameter set and
+(optionally) a congestion measurement, pick the processing strategy with
+the smallest completion time and check it against the latency tiers of
+Section 5:
+
+- Tier 1 (real-time analysis):        T_pct < 1 s
+- Tier 2 (near real-time analysis):   T_pct < 10 s
+- Tier 3 (quasi real-time analysis):  T_pct < 1 min
+
+Strategies compared:
+
+``LOCAL``
+    Process at the instrument facility: ``T = T_local`` (Eq. 3).
+``REMOTE_STREAMING``
+    Memory-to-memory streaming to remote HPC: ``T_pct`` with
+    ``theta = 1`` (no file I/O) and the streaming ``alpha``.
+``REMOTE_FILE``
+    File-based staging via DTNs: ``T_pct`` with the measured
+    ``theta >= 1``.
+
+When a worst-case congestion measurement (SSS) is provided, the remote
+options are additionally evaluated at their *worst case* using
+:func:`repro.core.model.t_pct_queued`, and tier feasibility is judged on
+the worst case — the paper's central argument.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..errors import DecisionError, ValidationError
+from ..units import SECONDS_PER_MINUTE, ensure_positive
+from . import model
+from .parameters import ModelParameters
+
+__all__ = [
+    "Strategy",
+    "Tier",
+    "TIER_DEADLINES_S",
+    "StrategyEvaluation",
+    "Decision",
+    "decide",
+    "feasible_tiers",
+    "highest_feasible_tier",
+]
+
+
+class Strategy(enum.Enum):
+    """Candidate processing strategies."""
+
+    LOCAL = "local"
+    REMOTE_STREAMING = "remote-streaming"
+    REMOTE_FILE = "remote-file"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Tier(enum.Enum):
+    """Latency tiers of Section 5."""
+
+    TIER1 = 1
+    TIER2 = 2
+    TIER3 = 3
+
+
+#: Tier deadlines in seconds (Section 5).
+TIER_DEADLINES_S: Dict[Tier, float] = {
+    Tier.TIER1: 1.0,
+    Tier.TIER2: 10.0,
+    Tier.TIER3: SECONDS_PER_MINUTE,
+}
+
+
+@dataclass(frozen=True)
+class StrategyEvaluation:
+    """Completion times for one strategy.
+
+    ``expected_s`` uses the efficiency-based model (Eq. 10);
+    ``worst_case_s`` additionally applies the measured SSS multiplier to
+    the transfer term (equal to ``expected_s`` for ``LOCAL`` or when no
+    SSS was provided).
+    """
+
+    strategy: Strategy
+    expected_s: float
+    worst_case_s: float
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.expected_s, "expected_s")
+        ensure_positive(self.worst_case_s, "worst_case_s")
+        if self.worst_case_s < self.expected_s * (1.0 - 1e-9):
+            raise ValidationError(
+                "worst case cannot beat the expected case: "
+                f"{self.worst_case_s!r} < {self.expected_s!r}"
+            )
+
+    def meets(self, tier: Tier, worst_case: bool = True) -> bool:
+        """Whether this strategy meets ``tier``'s deadline."""
+        t = self.worst_case_s if worst_case else self.expected_s
+        return t < TIER_DEADLINES_S[tier]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of a local-vs-remote decision."""
+
+    chosen: Strategy
+    evaluations: Dict[Strategy, StrategyEvaluation] = field(default_factory=dict)
+    worst_case: bool = True
+
+    @property
+    def chosen_time_s(self) -> float:
+        """Completion time of the chosen strategy under the decision
+        criterion (worst case when available)."""
+        ev = self.evaluations[self.chosen]
+        return ev.worst_case_s if self.worst_case else ev.expected_s
+
+    def time_of(self, strategy: Strategy) -> float:
+        """Completion time of any evaluated strategy under the criterion."""
+        ev = self.evaluations[strategy]
+        return ev.worst_case_s if self.worst_case else ev.expected_s
+
+    @property
+    def reduction_vs_local_pct(self) -> float:
+        """Completion-time reduction of the chosen strategy vs LOCAL, in
+        percent (0 when LOCAL itself is chosen)."""
+        local_t = self.time_of(Strategy.LOCAL)
+        return 100.0 * (1.0 - self.chosen_time_s / local_t)
+
+
+def _evaluate_strategies(
+    params: ModelParameters,
+    *,
+    streaming_alpha: Optional[float],
+    sss: Optional[float],
+) -> Dict[Strategy, StrategyEvaluation]:
+    t_loc = model.t_local(
+        params.s_unit_gb, params.complexity_flop_per_gb, params.r_local_tflops
+    )
+    evals: Dict[Strategy, StrategyEvaluation] = {
+        Strategy.LOCAL: StrategyEvaluation(Strategy.LOCAL, t_loc, t_loc)
+    }
+
+    s_alpha = params.alpha if streaming_alpha is None else streaming_alpha
+    common = dict(
+        s_unit_gb=params.s_unit_gb,
+        complexity_flop_per_gb=params.complexity_flop_per_gb,
+        r_local_tflops=params.r_local_tflops,
+        bandwidth_gbps=params.bandwidth_gbps,
+        r=params.r,
+    )
+
+    stream_expected = model.t_pct(alpha=s_alpha, theta=1.0, **common)
+    file_expected = model.t_pct(alpha=params.alpha, theta=params.theta, **common)
+
+    if sss is None:
+        stream_worst = stream_expected
+        file_worst = file_expected
+    else:
+        if sss < 1.0:
+            raise ValidationError(f"SSS must be >= 1, got {sss!r}")
+        stream_worst = model.t_pct_queued(sss=sss, theta=1.0, **common)
+        file_worst = model.t_pct_queued(sss=sss, theta=params.theta, **common)
+        # A measured worst case can never beat the alpha-degraded
+        # expectation; keep the envelope consistent when SSS < 1/alpha.
+        stream_worst = max(stream_worst, stream_expected)
+        file_worst = max(file_worst, file_expected)
+
+    evals[Strategy.REMOTE_STREAMING] = StrategyEvaluation(
+        Strategy.REMOTE_STREAMING, stream_expected, stream_worst
+    )
+    evals[Strategy.REMOTE_FILE] = StrategyEvaluation(
+        Strategy.REMOTE_FILE, file_expected, file_worst
+    )
+    return evals
+
+
+def decide(
+    params: ModelParameters,
+    *,
+    streaming_alpha: Optional[float] = None,
+    sss: Optional[float] = None,
+    use_worst_case: bool = True,
+) -> Decision:
+    """Pick the fastest strategy for ``params``.
+
+    Parameters
+    ----------
+    params:
+        The model parameters; ``params.alpha``/``params.theta`` describe
+        the *file-based* path.
+    streaming_alpha:
+        Transfer efficiency of the streaming path (defaults to
+        ``params.alpha``).  Streaming frameworks typically sustain a
+        higher fraction of raw bandwidth than file-based tools (the
+        paper cites 14x faster transfers for streaming frameworks).
+    sss:
+        Measured Streaming Speed Score; when given, remote strategies
+        are judged on their SSS-inflated worst case.
+    use_worst_case:
+        Judge on worst-case times (the paper's recommendation) or on
+        expected times.
+    """
+    evals = _evaluate_strategies(params, streaming_alpha=streaming_alpha, sss=sss)
+    criterion = (
+        (lambda e: e.worst_case_s) if use_worst_case else (lambda e: e.expected_s)
+    )
+    chosen = min(evals.values(), key=criterion).strategy
+    return Decision(chosen=chosen, evaluations=evals, worst_case=use_worst_case)
+
+
+def feasible_tiers(
+    evaluation: StrategyEvaluation, *, worst_case: bool = True
+) -> list[Tier]:
+    """All tiers whose deadline the evaluation meets."""
+    return [t for t in Tier if evaluation.meets(t, worst_case=worst_case)]
+
+
+def highest_feasible_tier(
+    evaluation: StrategyEvaluation, *, worst_case: bool = True
+) -> Optional[Tier]:
+    """The most demanding tier met (Tier 1 being the most demanding), or
+    ``None`` if even Tier 3 is missed."""
+    tiers = feasible_tiers(evaluation, worst_case=worst_case)
+    if not tiers:
+        return None
+    return min(tiers, key=lambda t: t.value)
+
+
+def require_any_tier(evaluation: StrategyEvaluation) -> Tier:
+    """Like :func:`highest_feasible_tier` but raising when no tier fits,
+    for pipelines that must hard-fail on infeasible configurations."""
+    tier = highest_feasible_tier(evaluation)
+    if tier is None:
+        raise DecisionError(
+            f"strategy {evaluation.strategy} misses every tier "
+            f"(worst case {evaluation.worst_case_s:.2f} s >= "
+            f"{TIER_DEADLINES_S[Tier.TIER3]:.0f} s)"
+        )
+    return tier
+
+
+__all__.append("require_any_tier")

@@ -1,0 +1,134 @@
+"""Packet-delay decomposition (paper Eqs. 1–2).
+
+Section 3 recalls the Kurose–Ross nodal-delay decomposition
+
+.. math::
+
+    d_{total} = d_{proc} + d_{queue} + d_{trans} + d_{prop}    \\quad (1)
+
+and the "computing continuum" simplification of Bittencourt et al. that,
+as capacity grows, keeps only propagation delay:
+
+.. math::
+
+    d_{continuum} \\approx d_{prop}                            \\quad (2)
+
+The paper argues Eq. 2 is exactly the optimistic trap that breaks
+time-sensitive streaming (it implies zero queuing and zero loss).  We
+implement both so benchmarks can show how far the continuum
+approximation diverges from simulated worst-case behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from ..units import ensure_non_negative, ensure_positive
+
+__all__ = [
+    "DelayComponents",
+    "total_delay",
+    "continuum_delay",
+    "transmission_delay",
+    "propagation_delay",
+    "continuum_error",
+]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class DelayComponents:
+    """One nodal delay sample, all components in seconds."""
+
+    processing: float
+    queueing: float
+    transmission: float
+    propagation: float
+
+    def __post_init__(self) -> None:
+        ensure_non_negative(self.processing, "processing")
+        ensure_non_negative(self.queueing, "queueing")
+        ensure_non_negative(self.transmission, "transmission")
+        ensure_non_negative(self.propagation, "propagation")
+
+    @property
+    def total(self) -> float:
+        """Eq. 1: sum of the four components."""
+        return self.processing + self.queueing + self.transmission + self.propagation
+
+    @property
+    def continuum(self) -> float:
+        """Eq. 2: propagation-only approximation."""
+        return self.propagation
+
+    @property
+    def continuum_error(self) -> float:
+        """Absolute error of the continuum approximation (seconds)."""
+        return self.total - self.propagation
+
+
+def total_delay(
+    processing: ArrayLike,
+    queueing: ArrayLike,
+    transmission: ArrayLike,
+    propagation: ArrayLike,
+) -> ArrayLike:
+    """Eq. 1 as a vectorised function."""
+    ensure_non_negative(processing, "processing")
+    ensure_non_negative(queueing, "queueing")
+    ensure_non_negative(transmission, "transmission")
+    ensure_non_negative(propagation, "propagation")
+    out = (
+        np.asarray(processing, dtype=float)
+        + np.asarray(queueing, dtype=float)
+        + np.asarray(transmission, dtype=float)
+        + np.asarray(propagation, dtype=float)
+    )
+    return float(out) if out.ndim == 0 else out
+
+
+def continuum_delay(propagation: ArrayLike) -> ArrayLike:
+    """Eq. 2: the optimistic propagation-only delay."""
+    ensure_non_negative(propagation, "propagation")
+    out = np.asarray(propagation, dtype=float)
+    return float(out) if out.ndim == 0 else out
+
+
+def transmission_delay(packet_bytes: ArrayLike, bandwidth_bytes_per_s: ArrayLike) -> ArrayLike:
+    """Store-and-forward transmission delay ``L / R`` for one packet."""
+    ensure_non_negative(packet_bytes, "packet_bytes")
+    ensure_positive(bandwidth_bytes_per_s, "bandwidth_bytes_per_s")
+    out = np.asarray(packet_bytes, dtype=float) / np.asarray(
+        bandwidth_bytes_per_s, dtype=float
+    )
+    return float(out) if out.ndim == 0 else out
+
+
+def propagation_delay(distance_km: ArrayLike, speed_km_per_s: float = 2.0e5) -> ArrayLike:
+    """Propagation delay for a fibre path (default ~2/3 c in glass)."""
+    ensure_non_negative(distance_km, "distance_km")
+    ensure_positive(speed_km_per_s, "speed_km_per_s")
+    out = np.asarray(distance_km, dtype=float) / speed_km_per_s
+    return float(out) if out.ndim == 0 else out
+
+
+def continuum_error(
+    processing: ArrayLike,
+    queueing: ArrayLike,
+    transmission: ArrayLike,
+    propagation: ArrayLike,
+) -> ArrayLike:
+    """How much delay Eq. 2 throws away: ``d_total - d_prop``.
+
+    Under congestion the queueing term dominates and this error grows
+    unboundedly — the quantitative version of the paper's critique.
+    """
+    tot = np.asarray(
+        total_delay(processing, queueing, transmission, propagation), dtype=float
+    )
+    out = tot - np.asarray(propagation, dtype=float)
+    return float(out) if out.ndim == 0 else out

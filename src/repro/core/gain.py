@@ -1,0 +1,204 @@
+"""The gain function over the three core coefficients (paper Section 6).
+
+The conclusion frames the model as *"a gain function based on three core
+parameters: alpha (transfer efficiency), r (remote-to-local processing
+ratio), and theta (I/O overhead)"*.  Dividing Eq. 3 by Eq. 10 and
+cancelling :math:`S_{unit}` gives the dimensionless form
+
+.. math::
+
+    G(\\alpha, r, \\theta)
+      = \\frac{T_{local}}{T_{pct}}
+      = \\frac{1}{\\dfrac{\\theta}{\\alpha}\\,\\kappa + \\dfrac{1}{r}},
+    \\qquad
+    \\kappa = \\frac{R_{local}}{C \\cdot Bw}
+
+where :math:`\\kappa` is the *communication-to-computation ratio*: the
+time to push one GB through the raw link relative to the time to process
+it locally.  Remote processing wins (:math:`G > 1`) iff
+
+.. math::
+
+    \\frac{\\theta}{\\alpha}\\,\\kappa < 1 - \\frac{1}{r},
+
+which requires :math:`r > 1` — a remote resource no faster than local
+can never win, because transfer time is strictly positive.
+
+This module provides the gain function, its break-even surfaces in each
+coefficient, and asymptotic limits, all vectorised.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..units import BITS_PER_BYTE, ensure_fraction, ensure_positive
+from .parameters import ModelParameters
+
+__all__ = [
+    "kappa",
+    "gain",
+    "gain_from_params",
+    "break_even_theta",
+    "break_even_alpha",
+    "break_even_r",
+    "break_even_kappa",
+    "asymptotic_gain",
+]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def kappa(
+    complexity_flop_per_gb: ArrayLike,
+    r_local_tflops: ArrayLike,
+    bandwidth_gbps: ArrayLike,
+) -> ArrayLike:
+    """Communication-to-computation ratio
+    :math:`\\kappa = R_{local} / (C \\cdot Bw)` (dimensionless).
+
+    Small :math:`\\kappa` (heavy compute per byte, fat pipe) favours
+    remote processing; large :math:`\\kappa` favours local.
+    """
+    ensure_positive(complexity_flop_per_gb, "complexity_flop_per_gb")
+    ensure_positive(r_local_tflops, "r_local_tflops")
+    ensure_positive(bandwidth_gbps, "bandwidth_gbps")
+    c = np.asarray(complexity_flop_per_gb, dtype=float)
+    rl = np.asarray(r_local_tflops, dtype=float) * 1e12
+    bw = np.asarray(bandwidth_gbps, dtype=float) / BITS_PER_BYTE  # GB/s
+    out = rl / (c * bw)
+    return float(out) if out.ndim == 0 else out
+
+
+def gain(
+    alpha: ArrayLike,
+    r: ArrayLike,
+    theta: ArrayLike,
+    kappa_value: ArrayLike,
+) -> ArrayLike:
+    """Dimensionless gain :math:`G = 1 / (\\theta\\kappa/\\alpha + 1/r)`."""
+    ensure_fraction(alpha, "alpha")
+    ensure_positive(r, "r")
+    ensure_positive(kappa_value, "kappa_value")
+    th = np.asarray(theta, dtype=float)
+    if not np.all(th >= 1.0):
+        raise ValidationError(f"theta must be >= 1, got {theta!r}")
+    a = np.asarray(alpha, dtype=float)
+    rr = np.asarray(r, dtype=float)
+    k = np.asarray(kappa_value, dtype=float)
+    out = 1.0 / (th * k / a + 1.0 / rr)
+    return float(out) if out.ndim == 0 else out
+
+
+def gain_from_params(params: ModelParameters) -> float:
+    """Gain for a full parameter set; identical to
+    :func:`repro.core.model.speedup` by construction."""
+    k = kappa(
+        params.complexity_flop_per_gb, params.r_local_tflops, params.bandwidth_gbps
+    )
+    return float(gain(params.alpha, params.r, params.theta, k))
+
+
+def break_even_theta(
+    alpha: ArrayLike, r: ArrayLike, kappa_value: ArrayLike
+) -> ArrayLike:
+    """Largest :math:`\\theta` at which remote still ties local:
+    :math:`\\theta^* = \\alpha (1 - 1/r) / \\kappa`.
+
+    Values below 1 mean remote loses even with zero file overhead
+    (including whenever :math:`r \\le 1`); the returned value may then be
+    ``<= 1`` or negative, signalling infeasibility.
+    """
+    ensure_fraction(alpha, "alpha")
+    ensure_positive(r, "r")
+    ensure_positive(kappa_value, "kappa_value")
+    a = np.asarray(alpha, dtype=float)
+    rr = np.asarray(r, dtype=float)
+    k = np.asarray(kappa_value, dtype=float)
+    out = a * (1.0 - 1.0 / rr) / k
+    return float(out) if out.ndim == 0 else out
+
+
+def break_even_alpha(
+    theta: ArrayLike, r: ArrayLike, kappa_value: ArrayLike
+) -> ArrayLike:
+    """Smallest transfer efficiency at which remote ties local:
+    :math:`\\alpha^* = \\theta\\kappa / (1 - 1/r)`.
+
+    May exceed 1, signalling that no achievable efficiency makes remote
+    competitive.  Raises for :math:`r \\le 1` where the expression has no
+    feasible root.
+    """
+    rr = np.asarray(r, dtype=float)
+    if not np.all(rr > 1.0):
+        raise ValidationError(
+            "break_even_alpha requires r > 1: a remote resource no faster "
+            f"than local can never win; got r={r!r}"
+        )
+    th = np.asarray(theta, dtype=float)
+    if not np.all(th >= 1.0):
+        raise ValidationError(f"theta must be >= 1, got {theta!r}")
+    ensure_positive(kappa_value, "kappa_value")
+    k = np.asarray(kappa_value, dtype=float)
+    out = th * k / (1.0 - 1.0 / rr)
+    return float(out) if out.ndim == 0 else out
+
+
+def break_even_r(
+    alpha: ArrayLike, theta: ArrayLike, kappa_value: ArrayLike
+) -> ArrayLike:
+    """Smallest remote-speed ratio at which remote ties local:
+    :math:`r^* = 1 / (1 - \\theta\\kappa/\\alpha)`.
+
+    Returns ``inf`` where :math:`\\theta\\kappa/\\alpha \\ge 1` (the
+    transfer alone already exceeds local compute time, so no amount of
+    remote horsepower helps).
+    """
+    ensure_fraction(alpha, "alpha")
+    ensure_positive(kappa_value, "kappa_value")
+    th = np.asarray(theta, dtype=float)
+    if not np.all(th >= 1.0):
+        raise ValidationError(f"theta must be >= 1, got {theta!r}")
+    a = np.asarray(alpha, dtype=float)
+    k = np.asarray(kappa_value, dtype=float)
+    margin = 1.0 - th * k / a
+    with np.errstate(divide="ignore"):
+        out = np.where(margin > 0, 1.0 / np.where(margin > 0, margin, 1.0), np.inf)
+    return float(out) if out.ndim == 0 else out
+
+
+def break_even_kappa(alpha: ArrayLike, r: ArrayLike, theta: ArrayLike) -> ArrayLike:
+    """Largest :math:`\\kappa` at which remote ties local:
+    :math:`\\kappa^* = \\alpha (1 - 1/r) / \\theta` (``<= 0`` iff r <= 1)."""
+    ensure_fraction(alpha, "alpha")
+    ensure_positive(r, "r")
+    th = np.asarray(theta, dtype=float)
+    if not np.all(th >= 1.0):
+        raise ValidationError(f"theta must be >= 1, got {theta!r}")
+    a = np.asarray(alpha, dtype=float)
+    rr = np.asarray(r, dtype=float)
+    out = a * (1.0 - 1.0 / rr) / th
+    return float(out) if out.ndim == 0 else out
+
+
+def asymptotic_gain(
+    alpha: ArrayLike, theta: ArrayLike, kappa_value: ArrayLike
+) -> ArrayLike:
+    """Gain limit for infinitely fast remote compute
+    (:math:`r \\to \\infty`): :math:`G_\\infty = \\alpha/(\\theta\\kappa)`.
+
+    This is the hard ceiling the network imposes on remote processing —
+    no amount of remote compute can push the gain past it.
+    """
+    ensure_fraction(alpha, "alpha")
+    ensure_positive(kappa_value, "kappa_value")
+    th = np.asarray(theta, dtype=float)
+    if not np.all(th >= 1.0):
+        raise ValidationError(f"theta must be >= 1, got {theta!r}")
+    a = np.asarray(alpha, dtype=float)
+    k = np.asarray(kappa_value, dtype=float)
+    out = a / (th * k)
+    return float(out) if out.ndim == 0 else out

@@ -1,0 +1,287 @@
+"""The completion-time model (paper Section 3.2, Eqs. 3–10).
+
+All functions come in two flavours:
+
+- *scalar/array* functions (``t_local``, ``t_transfer``, ...) that take
+  explicit keyword arguments and broadcast over numpy arrays, for
+  parameter sweeps, and
+- thin wrappers on :class:`~repro.core.parameters.ModelParameters`
+  (``evaluate``), returning a :class:`CompletionTimes` record.
+
+Units follow Section 3.1: sizes in GB (decimal), bandwidth in Gbps,
+compute rates in TFLOPS, complexity in FLOP/GB, all times in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from ..units import (
+    BITS_PER_BYTE,
+    ensure_fraction,
+    ensure_non_negative,
+    ensure_positive,
+)
+from ..errors import ValidationError
+from .parameters import ModelParameters
+
+__all__ = [
+    "t_local",
+    "t_transfer",
+    "t_remote",
+    "t_io",
+    "t_pct",
+    "t_pct_queued",
+    "speedup",
+    "remote_is_faster",
+    "CompletionTimes",
+    "evaluate",
+]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def t_local(
+    s_unit_gb: ArrayLike,
+    complexity_flop_per_gb: ArrayLike,
+    r_local_tflops: ArrayLike,
+) -> ArrayLike:
+    """Local completion time, Eq. 3: :math:`T_{local} = C S_{unit} / R_{local}`.
+
+    ``complexity_flop_per_gb`` is in FLOP/GB and ``r_local_tflops`` in
+    TFLOPS, so the ratio carries a ``1e12`` conversion.
+    """
+    ensure_positive(s_unit_gb, "s_unit_gb")
+    ensure_non_negative(complexity_flop_per_gb, "complexity_flop_per_gb")
+    ensure_positive(r_local_tflops, "r_local_tflops")
+    s = np.asarray(s_unit_gb, dtype=float)
+    c = np.asarray(complexity_flop_per_gb, dtype=float)
+    rl = np.asarray(r_local_tflops, dtype=float)
+    out = c * s / (rl * 1e12)
+    return float(out) if out.ndim == 0 else out
+
+
+def t_transfer(
+    s_unit_gb: ArrayLike,
+    bandwidth_gbps: ArrayLike,
+    alpha: ArrayLike = 1.0,
+) -> ArrayLike:
+    """Transfer time, Eq. 5: :math:`T_{transfer} = S_{unit} / (\\alpha Bw)`.
+
+    Bandwidth is given in Gbps and converted to GB/s internally.
+    """
+    ensure_positive(s_unit_gb, "s_unit_gb")
+    ensure_positive(bandwidth_gbps, "bandwidth_gbps")
+    ensure_fraction(alpha, "alpha")
+    s = np.asarray(s_unit_gb, dtype=float)
+    bw_gbytes = np.asarray(bandwidth_gbps, dtype=float) / BITS_PER_BYTE
+    a = np.asarray(alpha, dtype=float)
+    out = s / (a * bw_gbytes)
+    return float(out) if out.ndim == 0 else out
+
+
+def t_remote(
+    s_unit_gb: ArrayLike,
+    complexity_flop_per_gb: ArrayLike,
+    r_local_tflops: ArrayLike,
+    r: ArrayLike,
+) -> ArrayLike:
+    """Remote compute time, Eq. 6: :math:`T_{remote} = C S_{unit} / (r R_{local})`."""
+    ensure_positive(r, "r")
+    rl = np.asarray(r_local_tflops, dtype=float) * np.asarray(r, dtype=float)
+    return t_local(s_unit_gb, complexity_flop_per_gb, rl)
+
+
+def t_io(
+    s_unit_gb: ArrayLike,
+    bandwidth_gbps: ArrayLike,
+    alpha: ArrayLike = 1.0,
+    theta: ArrayLike = 1.0,
+) -> ArrayLike:
+    """File I/O overhead implied by Eq. 7/8:
+    :math:`T_{IO} = (\\theta - 1) T_{transfer}`."""
+    th = np.asarray(theta, dtype=float)
+    if not np.all(th >= 1.0):
+        raise ValidationError(f"theta must be >= 1, got {theta!r}")
+    base = np.asarray(t_transfer(s_unit_gb, bandwidth_gbps, alpha), dtype=float)
+    out = (th - 1.0) * base
+    return float(out) if out.ndim == 0 else out
+
+
+def t_pct(
+    s_unit_gb: ArrayLike,
+    complexity_flop_per_gb: ArrayLike,
+    r_local_tflops: ArrayLike,
+    bandwidth_gbps: ArrayLike,
+    alpha: ArrayLike = 1.0,
+    r: ArrayLike = 1.0,
+    theta: ArrayLike = 1.0,
+) -> ArrayLike:
+    """Total remote processing completion time, Eq. 10:
+
+    .. math::
+
+        T_{pct} = \\frac{\\theta S_{unit}}{\\alpha Bw}
+                + \\frac{C S_{unit}}{r R_{local}}
+
+    Broadcasts over numpy arrays in any argument.
+    """
+    th = np.asarray(theta, dtype=float)
+    if not np.all(th >= 1.0):
+        raise ValidationError(f"theta must be >= 1, got {theta!r}")
+    trans = np.asarray(t_transfer(s_unit_gb, bandwidth_gbps, alpha), dtype=float)
+    rem = np.asarray(
+        t_remote(s_unit_gb, complexity_flop_per_gb, r_local_tflops, r), dtype=float
+    )
+    out = th * trans + rem
+    return float(out) if out.ndim == 0 else out
+
+
+def t_pct_queued(
+    s_unit_gb: ArrayLike,
+    complexity_flop_per_gb: ArrayLike,
+    r_local_tflops: ArrayLike,
+    bandwidth_gbps: ArrayLike,
+    sss: ArrayLike,
+    r: ArrayLike = 1.0,
+    theta: ArrayLike = 1.0,
+) -> ArrayLike:
+    """Worst-case completion time under congestion (future-work extension,
+    Section 6): replace the ideal transfer term by the SSS-inflated
+    worst case.
+
+    The Streaming Speed Score (Eq. 11) is ``T_worst / T_theoretical``
+    with ``T_theoretical = S / Bw``, i.e. the congestion multiplier over
+    *raw-bandwidth* transmission.  The worst-case total is then
+
+    .. math::
+
+        T_{pct}^{worst} = \\theta \\cdot SSS \\cdot \\frac{S_{unit}}{Bw}
+                        + \\frac{C S_{unit}}{r R_{local}}
+    """
+    sss_arr = np.asarray(sss, dtype=float)
+    if not np.all(sss_arr >= 1.0):
+        raise ValidationError(f"SSS must be >= 1 (worst case >= ideal), got {sss!r}")
+    th = np.asarray(theta, dtype=float)
+    if not np.all(th >= 1.0):
+        raise ValidationError(f"theta must be >= 1, got {theta!r}")
+    ideal = np.asarray(t_transfer(s_unit_gb, bandwidth_gbps, 1.0), dtype=float)
+    rem = np.asarray(
+        t_remote(s_unit_gb, complexity_flop_per_gb, r_local_tflops, r), dtype=float
+    )
+    out = th * sss_arr * ideal + rem
+    return float(out) if out.ndim == 0 else out
+
+
+def speedup(
+    s_unit_gb: ArrayLike,
+    complexity_flop_per_gb: ArrayLike,
+    r_local_tflops: ArrayLike,
+    bandwidth_gbps: ArrayLike,
+    alpha: ArrayLike = 1.0,
+    r: ArrayLike = 1.0,
+    theta: ArrayLike = 1.0,
+) -> ArrayLike:
+    """Gain of remote over local processing, :math:`G = T_{local}/T_{pct}`.
+
+    ``G > 1`` means remote processing completes sooner.
+    """
+    loc = np.asarray(
+        t_local(s_unit_gb, complexity_flop_per_gb, r_local_tflops), dtype=float
+    )
+    pct = np.asarray(
+        t_pct(
+            s_unit_gb,
+            complexity_flop_per_gb,
+            r_local_tflops,
+            bandwidth_gbps,
+            alpha=alpha,
+            r=r,
+            theta=theta,
+        ),
+        dtype=float,
+    )
+    out = loc / pct
+    return float(out) if out.ndim == 0 else out
+
+
+def remote_is_faster(
+    s_unit_gb: ArrayLike,
+    complexity_flop_per_gb: ArrayLike,
+    r_local_tflops: ArrayLike,
+    bandwidth_gbps: ArrayLike,
+    alpha: ArrayLike = 1.0,
+    r: ArrayLike = 1.0,
+    theta: ArrayLike = 1.0,
+) -> Union[bool, np.ndarray]:
+    """``True`` where :math:`T_{pct} < T_{local}` (strict)."""
+    g = np.asarray(
+        speedup(
+            s_unit_gb,
+            complexity_flop_per_gb,
+            r_local_tflops,
+            bandwidth_gbps,
+            alpha=alpha,
+            r=r,
+            theta=theta,
+        )
+    )
+    out = g > 1.0
+    return bool(out) if out.ndim == 0 else out
+
+
+@dataclass(frozen=True)
+class CompletionTimes:
+    """All components of one model evaluation, in seconds."""
+
+    t_local: float
+    t_transfer: float
+    t_io: float
+    t_remote: float
+    t_pct: float
+
+    @property
+    def speedup(self) -> float:
+        """:math:`T_{local}/T_{pct}`; ``> 1`` favours remote processing."""
+        return self.t_local / self.t_pct
+
+    @property
+    def remote_is_faster(self) -> bool:
+        """Whether remote processing strictly beats local processing."""
+        return self.t_pct < self.t_local
+
+    @property
+    def reduction_pct(self) -> float:
+        """Completion-time reduction of remote vs local, in percent
+        (positive when remote wins; the paper's headline "97 %" form)."""
+        return 100.0 * (1.0 - self.t_pct / self.t_local) if self.t_local > 0 else 0.0
+
+
+def evaluate(params: ModelParameters) -> CompletionTimes:
+    """Evaluate every model component for one parameter set."""
+    trans = t_transfer(params.s_unit_gb, params.bandwidth_gbps, params.alpha)
+    return CompletionTimes(
+        t_local=t_local(
+            params.s_unit_gb, params.complexity_flop_per_gb, params.r_local_tflops
+        ),
+        t_transfer=trans,
+        t_io=(params.theta - 1.0) * trans,
+        t_remote=t_remote(
+            params.s_unit_gb,
+            params.complexity_flop_per_gb,
+            params.r_local_tflops,
+            params.r,
+        ),
+        t_pct=t_pct(
+            params.s_unit_gb,
+            params.complexity_flop_per_gb,
+            params.r_local_tflops,
+            params.bandwidth_gbps,
+            alpha=params.alpha,
+            r=params.r,
+            theta=params.theta,
+        ),
+    )

@@ -1,0 +1,187 @@
+"""Model parameters (paper Section 3.1).
+
+:class:`ModelParameters` carries the seven parameters of the paper's
+completion-time model, validated at construction:
+
+========================  =============================================
+``s_unit_gb``             Data unit size :math:`S_{unit}` (GB)
+``complexity_flop_per_gb``Computation complexity :math:`C` (FLOP/GB)
+``r_local_tflops``        Local processing rate :math:`R_{local}` (TFLOPS)
+``r_remote_tflops``       Remote processing rate :math:`R_{remote}` (TFLOPS)
+``bandwidth_gbps``        Link bandwidth :math:`Bw` (Gbps)
+``alpha``                 Transfer efficiency :math:`\\alpha = R_{transfer}/Bw`
+``theta``                 I/O-overhead coefficient :math:`\\theta`
+========================  =============================================
+
+Derived quantities (``r``, ``r_transfer_gbytes_per_s``...) are exposed as
+properties.  The class is frozen — build variants with :meth:`replace`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from ..errors import ValidationError
+from ..units import (
+    ensure_fraction,
+    ensure_non_negative,
+    ensure_positive,
+    gbps_to_gbytes_per_s,
+)
+
+__all__ = ["ModelParameters", "aps_to_alcf_defaults", "lcls_to_hpc_defaults"]
+
+
+@dataclass(frozen=True)
+class ModelParameters:
+    """Validated parameter set for the :math:`T_{pct}` model.
+
+    Parameters
+    ----------
+    s_unit_gb:
+        Data unit size in decimal gigabytes.  This is the quantum of data
+        a decision is made about — a frame batch, a scan, a detector
+        readout window.
+    complexity_flop_per_gb:
+        FLOP required per GB of input (:math:`C`).  ``0`` models a pure
+        data-movement decision.
+    r_local_tflops:
+        Compute rate available at the instrument facility.
+    r_remote_tflops:
+        Compute rate available at the remote HPC facility.
+    bandwidth_gbps:
+        Raw WAN link bandwidth between the facilities, in gigabits/s.
+    alpha:
+        Transfer-efficiency coefficient in ``(0, 1]``: the fraction of
+        raw bandwidth the transfer tool actually achieves.
+    theta:
+        I/O-overhead coefficient ``>= 1``: total staging time (transfer
+        plus file I/O) expressed as a multiple of pure transfer time
+        (Eq. 7).  ``theta == 1`` models memory-to-memory streaming with
+        no file-system involvement.
+    """
+
+    s_unit_gb: float
+    complexity_flop_per_gb: float
+    r_local_tflops: float
+    r_remote_tflops: float
+    bandwidth_gbps: float
+    alpha: float = 1.0
+    theta: float = 1.0
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.s_unit_gb, "s_unit_gb")
+        ensure_non_negative(self.complexity_flop_per_gb, "complexity_flop_per_gb")
+        ensure_positive(self.r_local_tflops, "r_local_tflops")
+        ensure_positive(self.r_remote_tflops, "r_remote_tflops")
+        ensure_positive(self.bandwidth_gbps, "bandwidth_gbps")
+        ensure_fraction(self.alpha, "alpha")
+        if not self.theta >= 1.0:
+            raise ValidationError(
+                f"theta must be >= 1 (Eq. 7 defines it as total staging time "
+                f"over pure transfer time), got {self.theta!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived coefficients (Section 3.1)
+    # ------------------------------------------------------------------
+    @property
+    def r(self) -> float:
+        """Remote-processing coefficient :math:`r = R_{remote}/R_{local}`."""
+        return self.r_remote_tflops / self.r_local_tflops
+
+    @property
+    def bandwidth_gbytes_per_s(self) -> float:
+        """Raw link bandwidth in gigabytes/s."""
+        return float(gbps_to_gbytes_per_s(self.bandwidth_gbps))
+
+    @property
+    def r_transfer_gbytes_per_s(self) -> float:
+        """Effective transfer rate :math:`R_{transfer} = \\alpha Bw` (GB/s)."""
+        return self.alpha * self.bandwidth_gbytes_per_s
+
+    @property
+    def complexity_tflop_per_gb(self) -> float:
+        """Computation complexity in TFLOP per GB (convenience)."""
+        return self.complexity_flop_per_gb / 1e12
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def replace(self, **changes: Any) -> "ModelParameters":
+        """Return a copy with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    def with_streaming(self) -> "ModelParameters":
+        """Return a copy configured for memory-to-memory streaming
+        (``theta = 1``: no file-staging overhead)."""
+        return self.replace(theta=1.0)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the raw parameter values as a plain dict."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_rates(
+        cls,
+        *,
+        s_unit_gb: float,
+        compute_tflop: float,
+        r_local_tflops: float,
+        r_remote_tflops: float,
+        bandwidth_gbps: float,
+        alpha: float = 1.0,
+        theta: float = 1.0,
+    ) -> "ModelParameters":
+        """Build parameters from *total* compute demand instead of a
+        per-GB complexity.
+
+        ``compute_tflop`` is the total TFLOP needed to process one data
+        unit; the per-GB complexity is derived as
+        ``compute_tflop * 1e12 / s_unit_gb``.
+        """
+        ensure_positive(s_unit_gb, "s_unit_gb")
+        ensure_non_negative(compute_tflop, "compute_tflop")
+        return cls(
+            s_unit_gb=s_unit_gb,
+            complexity_flop_per_gb=compute_tflop * 1e12 / s_unit_gb,
+            r_local_tflops=r_local_tflops,
+            r_remote_tflops=r_remote_tflops,
+            bandwidth_gbps=bandwidth_gbps,
+            alpha=alpha,
+            theta=theta,
+        )
+
+
+def aps_to_alcf_defaults() -> ModelParameters:
+    """Representative APS → ALCF parameters (Section 4.2 scenario).
+
+    A 12.6 GB tomography scan moved over a 25 Gbps path (Table 1/2) to a
+    1,200-core ALCF allocation an order of magnitude faster than beamline
+    workstations, with file staging costing ~3x pure transfer time.
+    """
+    return ModelParameters(
+        s_unit_gb=12.6,
+        complexity_flop_per_gb=2.0e12,
+        r_local_tflops=5.0,
+        r_remote_tflops=50.0,
+        bandwidth_gbps=25.0,
+        alpha=0.9,
+        theta=3.0,
+    )
+
+
+def lcls_to_hpc_defaults() -> ModelParameters:
+    """Representative LCLS-II → remote-HPC parameters (Table 3, coherent
+    scattering): 2 GB/s post-reduction stream, 34 TF offline analysis."""
+    return ModelParameters(
+        s_unit_gb=2.0,
+        complexity_flop_per_gb=17.0e12,
+        r_local_tflops=10.0,
+        r_remote_tflops=100.0,
+        bandwidth_gbps=25.0,
+        alpha=0.8,
+        theta=1.0,
+    )

@@ -1,0 +1,167 @@
+"""Analytic queueing extension (paper Section 6 future work).
+
+The measured Figure-2(a) curve can be *approximated* analytically by
+treating the per-second client batches as arrivals to a single-server
+queue (the bottleneck link):
+
+- **stable regime** (offered utilisation ``rho < 1``): the
+  Pollaczek–Khinchine mean-wait formula for an M/G/1 queue gives the
+  expected queueing delay; the worst observed transfer adds the batch's
+  own drain time,
+- **overloaded regime** (``rho >= 1``): the queue is a fluid ramp —
+  backlog grows at ``(rho - 1) * capacity`` for the duration of the
+  spawning window, and the last transfer waits for the accumulated
+  backlog to drain.
+
+This is intentionally a first-order model: it reproduces the hockey
+stick of Figure 2(a) from closed form and provides a sanity anchor for
+the simulator (see ``bench_analytic_queueing``); it does not capture
+loss/retransmission dynamics (that is what the simulators are for).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..units import BITS_PER_BYTE, ensure_non_negative, ensure_positive
+
+__all__ = ["mg1_wait_s", "overload_backlog_s", "analytic_worst_fct_s", "AnalyticCurve"]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def mg1_wait_s(
+    rho: ArrayLike, service_s: ArrayLike, service_cv2: float = 1.0
+) -> ArrayLike:
+    """Pollaczek–Khinchine mean waiting time.
+
+    .. math::
+
+        W = \\frac{\\rho}{1 - \\rho} \\cdot
+            \\frac{(1 + c_v^2)}{2} \\cdot S
+
+    ``service_cv2`` is the squared coefficient of variation of the
+    service time (1 = exponential, 0 = deterministic).  Values of
+    ``rho >= 1`` return ``inf`` — use :func:`overload_backlog_s` there.
+    """
+    ensure_non_negative(rho, "rho")
+    ensure_positive(service_s, "service_s")
+    if service_cv2 < 0:
+        raise ValidationError(f"service_cv2 must be >= 0, got {service_cv2!r}")
+    r = np.asarray(rho, dtype=float)
+    s = np.asarray(service_s, dtype=float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        w = np.where(
+            r < 1.0,
+            r / np.maximum(1.0 - r, 1e-300) * (1.0 + service_cv2) / 2.0 * s,
+            np.inf,
+        )
+    return float(w) if w.ndim == 0 else w
+
+
+def overload_backlog_s(
+    rho: ArrayLike, window_s: ArrayLike
+) -> ArrayLike:
+    """Drain time of the backlog accumulated over an overloaded window.
+
+    With offered utilisation ``rho >= 1`` sustained for ``window_s``
+    seconds, the unserved backlog is ``(rho - 1) * C * window_s`` bytes;
+    draining it at capacity takes ``(rho - 1) * window_s`` seconds —
+    independent of the capacity itself.  Returns 0 where ``rho <= 1``.
+    """
+    ensure_non_negative(rho, "rho")
+    ensure_positive(window_s, "window_s")
+    r = np.asarray(rho, dtype=float)
+    w = np.asarray(window_s, dtype=float)
+    out = np.maximum(r - 1.0, 0.0) * w
+    return float(out) if out.ndim == 0 else out
+
+
+def analytic_worst_fct_s(
+    utilization: ArrayLike,
+    batch_bytes: float,
+    capacity_gbps: float,
+    window_s: float = 10.0,
+    base_rtt_s: float = 0.016,
+    service_cv2: float = 1.0,
+    tcp_efficiency: float = 0.85,
+) -> ArrayLike:
+    """First-order worst-case FCT vs offered utilisation.
+
+    Combines, per utilisation point:
+
+    - the batch's own drain time at (TCP-derated) capacity,
+    - the stable-regime P-K wait (clamped at one window — waits beyond
+      the spawning window express themselves as backlog instead),
+    - the overload backlog drain for ``rho_eff >= 1``,
+    - one base RTT of protocol latency.
+
+    ``tcp_efficiency`` derates capacity for loss/recovery idle time;
+    0.85 matches the fluid simulator's effective goodput under
+    congestion (droptail synchronisation).
+    """
+    ensure_positive(batch_bytes, "batch_bytes")
+    ensure_positive(capacity_gbps, "capacity_gbps")
+    ensure_positive(window_s, "window_s")
+    ensure_non_negative(base_rtt_s, "base_rtt_s")
+    if not 0.0 < tcp_efficiency <= 1.0:
+        raise ValidationError(
+            f"tcp_efficiency must be in (0, 1], got {tcp_efficiency!r}"
+        )
+    cap_bytes = capacity_gbps * 1e9 / BITS_PER_BYTE * tcp_efficiency
+    rho_eff = np.asarray(utilization, dtype=float) / tcp_efficiency
+    drain = batch_bytes / cap_bytes
+    wait = mg1_wait_s(np.minimum(rho_eff, 0.999), drain, service_cv2)
+    wait = np.minimum(wait, window_s)  # waits saturate at the window
+    backlog = overload_backlog_s(rho_eff, window_s)
+    out = drain + wait + backlog + base_rtt_s
+    return float(out) if out.ndim == 0 else out
+
+
+@dataclass(frozen=True)
+class AnalyticCurve:
+    """A closed-form stand-in for a measured SSS curve.
+
+    Provides the same ``t_worst_at`` interface as
+    :class:`repro.measurement.congestion.SssCurve`, so the decision and
+    tier machinery can run before any measurement exists (planning
+    mode), to be replaced by real measurements later.
+    """
+
+    batch_bytes: float
+    capacity_gbps: float
+    window_s: float = 10.0
+    base_rtt_s: float = 0.016
+    service_cv2: float = 1.0
+    tcp_efficiency: float = 0.85
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.batch_bytes, "batch_bytes")
+        ensure_positive(self.capacity_gbps, "capacity_gbps")
+
+    def t_worst_at(self, utilization: float) -> float:
+        """Analytic worst-case FCT at an offered utilisation."""
+        return float(
+            analytic_worst_fct_s(
+                utilization,
+                self.batch_bytes,
+                self.capacity_gbps,
+                self.window_s,
+                self.base_rtt_s,
+                self.service_cv2,
+                self.tcp_efficiency,
+            )
+        )
+
+    def worst_case_for_unit(self, utilization: float) -> float:
+        """Mirror of :meth:`SssCurve.worst_case_for_unit`."""
+        return self.t_worst_at(utilization)
+
+    def sss_at(self, utilization: float) -> float:
+        """Analytic Streaming Speed Score at an offered utilisation."""
+        t_theo = self.batch_bytes / (self.capacity_gbps * 1e9 / BITS_PER_BYTE)
+        return self.t_worst_at(utilization) / t_theo

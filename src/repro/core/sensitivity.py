@@ -1,0 +1,175 @@
+"""Sensitivity analysis over the model parameters.
+
+The paper's conclusion frames the decision as a gain function of
+``(alpha, r, theta)``; this module quantifies how sensitive ``T_pct``
+and the gain are to each parameter:
+
+- :func:`sweep` evaluates ``T_pct`` along a 1-D grid of any parameter
+  (vectorised, no Python loop over grid points),
+- :func:`elasticity` returns the local log-log slope
+  ``d ln T_pct / d ln p`` — e.g. ``-1`` for ``bandwidth`` when the
+  transfer term dominates, ``0`` when compute dominates,
+- :func:`tornado` produces a classic tornado-diagram table: the swing of
+  ``T_pct`` when each parameter independently moves across its range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+from . import model
+from .parameters import ModelParameters
+
+__all__ = [
+    "SWEEPABLE",
+    "sweep",
+    "elasticity",
+    "TornadoRow",
+    "tornado",
+]
+
+#: Parameters that can be swept / perturbed.
+SWEEPABLE: Tuple[str, ...] = (
+    "s_unit_gb",
+    "complexity_flop_per_gb",
+    "r_local_tflops",
+    "r_remote_tflops",
+    "bandwidth_gbps",
+    "alpha",
+    "theta",
+)
+
+
+def _kwargs_for(params: ModelParameters) -> Dict[str, float]:
+    return dict(
+        s_unit_gb=params.s_unit_gb,
+        complexity_flop_per_gb=params.complexity_flop_per_gb,
+        r_local_tflops=params.r_local_tflops,
+        bandwidth_gbps=params.bandwidth_gbps,
+        alpha=params.alpha,
+        r=params.r,
+        theta=params.theta,
+    )
+
+
+def _tpct_with(params: ModelParameters, name: str, values: np.ndarray) -> np.ndarray:
+    """Vectorised T_pct with one named parameter replaced by ``values``.
+
+    ``r_remote_tflops`` and ``r_local_tflops`` require recomputing the
+    ratio ``r``; the rest substitute directly.
+    """
+    kw = _kwargs_for(params)
+    if name == "r_remote_tflops":
+        kw["r"] = values / params.r_local_tflops
+    elif name == "r_local_tflops":
+        kw["r_local_tflops"] = values
+        kw["r"] = params.r_remote_tflops / values
+    elif name in kw:
+        kw[name] = values
+    else:
+        raise ValidationError(
+            f"unknown sweep parameter {name!r}; expected one of {SWEEPABLE}"
+        )
+    return np.asarray(model.t_pct(**kw), dtype=float)
+
+
+def sweep(
+    params: ModelParameters, name: str, values: Sequence[float] | np.ndarray
+) -> np.ndarray:
+    """``T_pct`` evaluated along a grid of one parameter.
+
+    Returns an array of the same length as ``values``.
+    """
+    if name not in SWEEPABLE:
+        raise ValidationError(
+            f"unknown sweep parameter {name!r}; expected one of {SWEEPABLE}"
+        )
+    vals = np.asarray(values, dtype=float)
+    if vals.size == 0:
+        raise ValidationError("sweep values must be non-empty")
+    return _tpct_with(params, name, vals)
+
+
+def elasticity(
+    params: ModelParameters, name: str, rel_step: float = 1e-4
+) -> float:
+    """Local elasticity ``d ln T_pct / d ln p`` at the operating point.
+
+    Computed with a central difference in log space.  For the closed-form
+    model the exact values are:
+
+    - ``s_unit_gb``: exactly ``+1`` (both terms scale linearly),
+    - ``bandwidth_gbps``/``alpha``: ``-w_t`` where ``w_t`` is the
+      transfer term's share of ``T_pct``,
+    - ``theta``: ``+w_t``,
+    - ``r_remote_tflops``: ``-(1 - w_t)``.
+    """
+    if name not in SWEEPABLE:
+        raise ValidationError(
+            f"unknown sweep parameter {name!r}; expected one of {SWEEPABLE}"
+        )
+    if not 0 < rel_step < 0.1:
+        raise ValidationError(f"rel_step must be in (0, 0.1), got {rel_step!r}")
+    p0 = getattr(params, name)
+    lo, hi = p0 * (1.0 - rel_step), p0 * (1.0 + rel_step)
+    # alpha is capped at 1; lean on the interior side if at the cap.
+    if name == "alpha" and hi > 1.0:
+        hi = 1.0
+    t = _tpct_with(params, name, np.array([lo, hi]))
+    return float((np.log(t[1]) - np.log(t[0])) / (np.log(hi) - np.log(lo)))
+
+
+@dataclass(frozen=True)
+class TornadoRow:
+    """Swing of T_pct when one parameter spans ``[low, high]``."""
+
+    name: str
+    low_value: float
+    high_value: float
+    t_pct_at_low: float
+    t_pct_at_high: float
+
+    @property
+    def swing_s(self) -> float:
+        """Absolute swing of T_pct across the range (seconds)."""
+        return abs(self.t_pct_at_high - self.t_pct_at_low)
+
+
+def tornado(
+    params: ModelParameters,
+    ranges: Dict[str, Tuple[float, float]],
+) -> list[TornadoRow]:
+    """One-at-a-time tornado analysis.
+
+    ``ranges`` maps parameter names to ``(low, high)`` bounds; each
+    parameter is swung independently while the others stay at the
+    operating point.  Rows are returned sorted by descending swing so the
+    dominant parameter comes first.
+    """
+    rows: list[TornadoRow] = []
+    for name, (lo, hi) in ranges.items():
+        if name not in SWEEPABLE:
+            raise ValidationError(
+                f"unknown tornado parameter {name!r}; expected one of {SWEEPABLE}"
+            )
+        if not lo < hi:
+            raise ValidationError(
+                f"tornado range for {name!r} must satisfy low < high, "
+                f"got ({lo!r}, {hi!r})"
+            )
+        t = _tpct_with(params, name, np.array([lo, hi], dtype=float))
+        rows.append(
+            TornadoRow(
+                name=name,
+                low_value=float(lo),
+                high_value=float(hi),
+                t_pct_at_low=float(t[0]),
+                t_pct_at_high=float(t[1]),
+            )
+        )
+    rows.sort(key=lambda row: row.swing_s, reverse=True)
+    return rows

@@ -1,0 +1,198 @@
+"""The Streaming Speed Score (paper Section 4.1, Eq. 11).
+
+.. math::
+
+    SSS = T_{worst} / T_{theoretical}
+
+where :math:`T_{worst}` is the maximum observed flow completion time
+under congestion and :math:`T_{theoretical} = S / Bw` is the pure
+transmission delay of the same data volume on the raw link.  ``SSS = 1``
+is the unattainable ideal; larger scores mean fatter tails.  The paper's
+Figure 2(a) shows scores beyond 30x (5 s observed vs 0.16 s theoretical
+for 0.5 GB at 25 Gbps) in the severe-congestion regime.
+
+This module also classifies measurements into the paper's three
+operational regimes (Section 4.1):
+
+1. *low congestion* — suitable for real-time applications,
+2. *moderate congestion* — 2–3 s transfer times,
+3. *severe congestion* — unsuitable for time-sensitive analysis.
+
+Regime boundaries are expressed on the transfer time in seconds (the
+form the paper uses for its 0.5 GB/25 Gbps experiments) and can be
+overridden per deployment.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+from ..errors import MeasurementError, ValidationError
+from ..units import BITS_PER_BYTE, ensure_positive
+
+__all__ = [
+    "theoretical_transfer_time",
+    "streaming_speed_score",
+    "sss_from_samples",
+    "CongestionRegime",
+    "RegimeThresholds",
+    "classify_regime",
+    "SSSMeasurement",
+]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def theoretical_transfer_time(
+    size_gb: ArrayLike, bandwidth_gbps: ArrayLike
+) -> ArrayLike:
+    """:math:`T_{theoretical} = S / Bw` — transmission delay only.
+
+    For the paper's canonical numbers (0.5 GB at 25 Gbps) this is
+    0.16 s.
+    """
+    ensure_positive(size_gb, "size_gb")
+    ensure_positive(bandwidth_gbps, "bandwidth_gbps")
+    s = np.asarray(size_gb, dtype=float)
+    bw_gbytes = np.asarray(bandwidth_gbps, dtype=float) / BITS_PER_BYTE
+    out = s / bw_gbytes
+    return float(out) if out.ndim == 0 else out
+
+
+def streaming_speed_score(
+    t_worst_s: ArrayLike, t_theoretical_s: ArrayLike
+) -> ArrayLike:
+    """Eq. 11: :math:`SSS = T_{worst}/T_{theoretical}`.
+
+    Raises :class:`ValidationError` if any worst case is below the
+    theoretical minimum, which would indicate an inconsistent
+    measurement (you cannot beat the transmission delay of the raw
+    link).
+    """
+    ensure_positive(t_theoretical_s, "t_theoretical_s")
+    tw = np.asarray(t_worst_s, dtype=float)
+    tt = np.asarray(t_theoretical_s, dtype=float)
+    if not np.all(tw >= tt * (1.0 - 1e-12)):
+        raise ValidationError(
+            "T_worst below T_theoretical: observed transfers cannot be "
+            f"faster than raw-link transmission (got {t_worst_s!r} vs "
+            f"{t_theoretical_s!r})"
+        )
+    out = tw / tt
+    return float(out) if out.ndim == 0 else out
+
+
+def sss_from_samples(
+    transfer_times_s: Sequence[float] | np.ndarray,
+    size_gb: float,
+    bandwidth_gbps: float,
+) -> float:
+    """Compute the SSS directly from a set of measured completion times.
+
+    Implements the measurement rule of Section 4: *"recording the
+    maximum completion time across all transfers as T_worst"*.
+    """
+    samples = np.asarray(transfer_times_s, dtype=float)
+    if samples.size == 0:
+        raise MeasurementError("cannot compute SSS from an empty sample set")
+    if not np.all(np.isfinite(samples)):
+        raise MeasurementError("transfer-time samples contain non-finite values")
+    t_worst = float(np.max(samples))
+    t_theo = float(theoretical_transfer_time(size_gb, bandwidth_gbps))
+    return float(streaming_speed_score(t_worst, t_theo))
+
+
+class CongestionRegime(enum.Enum):
+    """The three operational regimes of Section 4.1."""
+
+    LOW = "low"
+    MODERATE = "moderate"
+    SEVERE = "severe"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class RegimeThresholds:
+    """Regime boundaries on worst-case transfer time (seconds).
+
+    Defaults follow the paper's reading of Figure 2(a) for 0.5 GB
+    transfers: below ``real_time_limit_s`` is regime 1 (suitable for
+    real-time), between the two limits is regime 2 (2–3 s moderate
+    congestion), above ``severe_limit_s`` is regime 3.
+    """
+
+    real_time_limit_s: float = 1.0
+    severe_limit_s: float = 3.0
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.real_time_limit_s, "real_time_limit_s")
+        if not self.severe_limit_s > self.real_time_limit_s:
+            raise ValidationError(
+                "severe_limit_s must exceed real_time_limit_s, got "
+                f"{self.severe_limit_s!r} <= {self.real_time_limit_s!r}"
+            )
+
+
+def classify_regime(
+    t_worst_s: float, thresholds: RegimeThresholds | None = None
+) -> CongestionRegime:
+    """Map a worst-case transfer time to its operational regime."""
+    ensure_positive(t_worst_s, "t_worst_s")
+    th = thresholds or RegimeThresholds()
+    if t_worst_s < th.real_time_limit_s:
+        return CongestionRegime.LOW
+    if t_worst_s < th.severe_limit_s:
+        return CongestionRegime.MODERATE
+    return CongestionRegime.SEVERE
+
+
+@dataclass(frozen=True)
+class SSSMeasurement:
+    """A complete SSS measurement: inputs, score and regime."""
+
+    size_gb: float
+    bandwidth_gbps: float
+    t_worst_s: float
+    utilization: float
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.size_gb, "size_gb")
+        ensure_positive(self.bandwidth_gbps, "bandwidth_gbps")
+        ensure_positive(self.t_worst_s, "t_worst_s")
+        if not 0.0 <= self.utilization:
+            raise ValidationError(
+                f"utilization must be non-negative, got {self.utilization!r}"
+            )
+
+    @property
+    def t_theoretical_s(self) -> float:
+        """Raw-link transmission delay for this size."""
+        return float(theoretical_transfer_time(self.size_gb, self.bandwidth_gbps))
+
+    @property
+    def sss(self) -> float:
+        """The Streaming Speed Score for this measurement."""
+        return float(streaming_speed_score(self.t_worst_s, self.t_theoretical_s))
+
+    @property
+    def regime(self) -> CongestionRegime:
+        """Operational regime under default thresholds."""
+        return classify_regime(self.t_worst_s)
+
+
+def worst_of(measurements: Iterable[SSSMeasurement]) -> SSSMeasurement:
+    """Return the measurement with the largest SSS (the design point the
+    paper says should drive feasibility decisions)."""
+    ms = list(measurements)
+    if not ms:
+        raise MeasurementError("worst_of() needs at least one measurement")
+    return max(ms, key=lambda m: m.sss)
+
+
+__all__.append("worst_of")

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError` so that callers can catch library failures with a
+single ``except`` clause while letting programming errors (``TypeError``,
+``AttributeError`` ...) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "UnitError",
+    "SimulationError",
+    "ScheduleError",
+    "CapacityError",
+    "MeasurementError",
+    "DecisionError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """A parameter or configuration value failed validation.
+
+    Subclasses :class:`ValueError` so that call sites performing generic
+    input validation keep working.
+    """
+
+
+class UnitError(ValidationError):
+    """A quantity was supplied in an unsupported or inconsistent unit."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event or fluid simulation reached an invalid state."""
+
+
+class ScheduleError(SimulationError):
+    """An event was scheduled in the past or the event queue is corrupt."""
+
+
+class CapacityError(ValidationError):
+    """A demand exceeds a hard capacity (e.g. a 4 GB/s stream on a 25 Gbps link)."""
+
+
+class MeasurementError(ReproError, RuntimeError):
+    """A measurement could not be computed (e.g. empty sample set)."""
+
+
+class DecisionError(ReproError, RuntimeError):
+    """The decision engine could not produce a recommendation."""

@@ -1,0 +1,44 @@
+"""iperf3-style controlled-congestion experiment harness (Section 4).
+
+Reproduces the measurement methodology: an orchestrator spawning
+clients (batch or scheduled) against a shared bottleneck, recording
+per-client completion times, worst cases and utilisation.
+"""
+
+from .spec import (
+    ExperimentSpec,
+    SpawnStrategy,
+    TABLE2_CONCURRENCY,
+    TABLE2_PARALLEL_FLOWS,
+    TABLE2_ROWS,
+    iter_sweep_grid,
+    table2_sweep,
+)
+from .orchestrator import (
+    BatchSpawner,
+    ClientPlan,
+    ScheduledSpawner,
+    Spawner,
+    make_spawner,
+)
+from .results import ExperimentResult, SweepResult
+from .runner import run_experiment, run_sweep
+
+__all__ = [
+    "ExperimentSpec",
+    "SpawnStrategy",
+    "TABLE2_CONCURRENCY",
+    "TABLE2_PARALLEL_FLOWS",
+    "TABLE2_ROWS",
+    "iter_sweep_grid",
+    "table2_sweep",
+    "BatchSpawner",
+    "ClientPlan",
+    "ScheduledSpawner",
+    "Spawner",
+    "make_spawner",
+    "ExperimentResult",
+    "SweepResult",
+    "run_experiment",
+    "run_sweep",
+]

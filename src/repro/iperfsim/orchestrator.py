@@ -1,0 +1,160 @@
+"""Client-spawning strategies (paper Section 4).
+
+The experimental orchestrator of the paper spawns iperf3 clients at a
+given concurrency (clients per second) under two strategies:
+
+- **simultaneous batch** — every second, all of that second's clients
+  start at once, creating an instantaneous congestion spike
+  (Figure 2(a)),
+- **scheduled** — every transfer gets its own reserved time slot with
+  bandwidth reserved for it (Figure 2(b)); we model the reservation as
+  admission control: a transfer does not start before its slot *and*
+  not before the previous reservation has drained, so reserved
+  transfers never contend.
+
+Spawners translate an :class:`~repro.iperfsim.spec.ExperimentSpec` into
+a list of :class:`ClientPlan` start times; the runner then registers the
+corresponding flows with the TCP simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Protocol
+
+import numpy as np
+
+from ..errors import ValidationError
+from .spec import ExperimentSpec, SpawnStrategy
+
+__all__ = ["ClientPlan", "Spawner", "BatchSpawner", "ScheduledSpawner", "make_spawner"]
+
+
+@dataclass(frozen=True)
+class ClientPlan:
+    """One planned client: id, start time, and flow layout."""
+
+    client_id: int
+    start_s: float
+    total_bytes: float
+    parallel_flows: int
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ValidationError(f"start_s must be >= 0, got {self.start_s!r}")
+        if self.total_bytes <= 0:
+            raise ValidationError(
+                f"total_bytes must be > 0, got {self.total_bytes!r}"
+            )
+        if self.parallel_flows < 1:
+            raise ValidationError(
+                f"parallel_flows must be >= 1, got {self.parallel_flows!r}"
+            )
+
+
+class Spawner(Protocol):
+    """Strategy interface: turn a spec into client start times."""
+
+    def plan(self, spec: ExperimentSpec) -> List[ClientPlan]:
+        """Produce the client schedule for ``spec``."""
+        ...  # pragma: no cover - protocol
+
+
+class BatchSpawner:
+    """Simultaneous batch spawning: ``concurrency`` clients at the top of
+    every second, plus a small start-up jitter.
+
+    The jitter (``spec.spawn_jitter_s``, default 30 ms) models process
+    launch spread; it is drawn from a dedicated RNG so plans are
+    reproducible for a given seed.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+
+    def plan(self, spec: ExperimentSpec) -> List[ClientPlan]:
+        rng = np.random.default_rng(self._seed)
+        plans: List[ClientPlan] = []
+        client_id = 0
+        for second in range(int(spec.duration_s)):
+            offsets = (
+                rng.uniform(0.0, spec.spawn_jitter_s, size=spec.concurrency)
+                if spec.spawn_jitter_s > 0
+                else np.zeros(spec.concurrency)
+            )
+            for k in range(spec.concurrency):
+                plans.append(
+                    ClientPlan(
+                        client_id=client_id,
+                        start_s=second + float(offsets[k]),
+                        total_bytes=spec.transfer_size_bytes,
+                        parallel_flows=spec.parallel_flows,
+                    )
+                )
+                client_id += 1
+        return plans
+
+
+class ScheduledSpawner:
+    """Slot-reserved spawning (Figure 2(b)).
+
+    Each transfer gets slot ``k/concurrency`` within its second.  The
+    reservation guarantee is modelled with admission control: a client
+    may not start before the previous client's reservation window has
+    elapsed, where the window is the transfer's line-rate drain time
+    scaled by ``reservation_headroom`` (ramp-up allowance).  Under this
+    policy at most ~one transfer occupies the link at a time, which is
+    what "network bandwidth is reserved" means operationally.
+    """
+
+    def __init__(
+        self,
+        link_capacity_gbps: float = 25.0,
+        reservation_headroom: float = 2.0,
+    ) -> None:
+        if link_capacity_gbps <= 0:
+            raise ValidationError(
+                f"link_capacity_gbps must be > 0, got {link_capacity_gbps!r}"
+            )
+        if reservation_headroom < 1.0:
+            raise ValidationError(
+                "reservation_headroom must be >= 1 (a reservation cannot be "
+                f"shorter than the line-rate drain time), got {reservation_headroom!r}"
+            )
+        self.link_capacity_gbps = float(link_capacity_gbps)
+        self.reservation_headroom = float(reservation_headroom)
+
+    def reservation_window_s(self, spec: ExperimentSpec) -> float:
+        """Reserved window per transfer (drain time x headroom)."""
+        drain = spec.transfer_size_gb * 8.0 / self.link_capacity_gbps
+        return drain * self.reservation_headroom
+
+    def plan(self, spec: ExperimentSpec) -> List[ClientPlan]:
+        window = self.reservation_window_s(spec)
+        plans: List[ClientPlan] = []
+        client_id = 0
+        next_free = 0.0
+        for second in range(int(spec.duration_s)):
+            for k in range(spec.concurrency):
+                slot = second + k / spec.concurrency
+                start = max(slot, next_free)
+                next_free = start + window
+                plans.append(
+                    ClientPlan(
+                        client_id=client_id,
+                        start_s=start,
+                        total_bytes=spec.transfer_size_bytes,
+                        parallel_flows=spec.parallel_flows,
+                    )
+                )
+                client_id += 1
+        return plans
+
+
+def make_spawner(spec: ExperimentSpec, seed: int = 0) -> Spawner:
+    """Build the spawner matching ``spec.strategy``."""
+    if spec.strategy is SpawnStrategy.BATCH:
+        return BatchSpawner(seed=seed)
+    if spec.strategy is SpawnStrategy.SCHEDULED:
+        return ScheduledSpawner()
+    raise ValidationError(f"unknown spawn strategy {spec.strategy!r}")

@@ -1,0 +1,92 @@
+"""Result containers for the congestion experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import MeasurementError
+from ..simnet.records import SimulationResult
+from .spec import ExperimentSpec
+
+__all__ = ["ExperimentResult", "SweepResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's outcome: per-client completion times plus the
+    utilisation actually achieved on the link."""
+
+    spec: ExperimentSpec
+    client_times_s: Dict[int, float]
+    achieved_utilization: float
+    offered_utilization: float
+    sim: Optional[SimulationResult] = None
+
+    @property
+    def transfer_times(self) -> np.ndarray:
+        """Completion times of all finished clients (seconds), sorted by
+        client id for determinism."""
+        return np.array(
+            [self.client_times_s[cid] for cid in sorted(self.client_times_s)]
+        )
+
+    @property
+    def max_transfer_time_s(self) -> float:
+        """The experiment's ``T_worst`` (paper Section 4): the maximum
+        per-client completion time."""
+        if not self.client_times_s:
+            raise MeasurementError(
+                f"experiment {self.spec.label()} finished no clients"
+            )
+        return float(max(self.client_times_s.values()))
+
+    @property
+    def completed_clients(self) -> int:
+        """Number of clients whose transfers finished."""
+        return len(self.client_times_s)
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile of per-client completion times."""
+        if not self.client_times_s:
+            raise MeasurementError(
+                f"experiment {self.spec.label()} finished no clients"
+            )
+        return float(np.percentile(self.transfer_times, q))
+
+
+@dataclass
+class SweepResult:
+    """A full parameter sweep (e.g. Table 2): results per experiment."""
+
+    experiments: List[ExperimentResult] = field(default_factory=list)
+
+    def by_parallel_flows(self, p: int) -> List[ExperimentResult]:
+        """Experiments with ``parallel_flows == p``, ordered by
+        concurrency (one Figure-2 curve)."""
+        return sorted(
+            (e for e in self.experiments if e.spec.parallel_flows == p),
+            key=lambda e: e.spec.concurrency,
+        )
+
+    def parallel_flow_values(self) -> List[int]:
+        """Distinct P values present, ascending."""
+        return sorted({e.spec.parallel_flows for e in self.experiments})
+
+    def all_transfer_times(self) -> np.ndarray:
+        """Every per-client completion time across all experiments pooled
+        (the population behind Figure 3's CDF)."""
+        if not self.experiments:
+            return np.array([])
+        parts = [e.transfer_times for e in self.experiments]
+        return np.concatenate(parts) if parts else np.array([])
+
+    def curve(self, p: int) -> tuple[np.ndarray, np.ndarray]:
+        """(offered utilisation, max transfer time) arrays for one P —
+        exactly a Figure-2 series."""
+        exps = self.by_parallel_flows(p)
+        x = np.array([e.offered_utilization for e in exps])
+        y = np.array([e.max_transfer_time_s for e in exps])
+        return x, y

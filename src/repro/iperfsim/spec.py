@@ -1,0 +1,153 @@
+"""Experiment specifications (paper Table 2).
+
+An :class:`ExperimentSpec` describes one controlled-congestion run: how
+many clients per second, how many parallel TCP flows each, how much data
+per client, for how long, under which spawning strategy.  The full
+Table-2 sweep (concurrency 1–8 x P in {2,4,8} = 24 experiments) is
+produced by :func:`table2_sweep`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from ..errors import ValidationError
+from ..units import GB, ensure_positive
+from ..simnet.link import Link, fabric_link
+
+__all__ = [
+    "SpawnStrategy",
+    "ExperimentSpec",
+    "table2_sweep",
+    "TABLE2_CONCURRENCY",
+    "TABLE2_PARALLEL_FLOWS",
+    "TABLE2_ROWS",
+]
+
+
+class SpawnStrategy(enum.Enum):
+    """Client-spawning strategies of Section 4.
+
+    ``BATCH`` launches all of a second's clients simultaneously,
+    creating an instantaneous congestion spike; ``SCHEDULED`` assigns
+    each transfer its own reserved time slot (Figure 2(b)'s
+    "scheduled to a specific time slot, and network bandwidth is
+    reserved").
+    """
+
+    BATCH = "batch"
+    SCHEDULED = "scheduled"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One controlled-congestion experiment.
+
+    Parameters mirror Table 2; defaults are the paper's fixed values.
+
+    ``spawn_jitter_s`` models client process start-up spread: even
+    "simultaneous" iperf3 launches begin tens of milliseconds apart.
+    It applies to BATCH spawning only.
+    """
+
+    concurrency: int
+    parallel_flows: int
+    transfer_size_gb: float = 0.5
+    duration_s: float = 10.0
+    strategy: SpawnStrategy = SpawnStrategy.BATCH
+    spawn_jitter_s: float = 0.03
+
+    def __post_init__(self) -> None:
+        if self.concurrency < 1:
+            raise ValidationError(
+                f"concurrency must be >= 1, got {self.concurrency!r}"
+            )
+        if self.parallel_flows < 1:
+            raise ValidationError(
+                f"parallel_flows must be >= 1, got {self.parallel_flows!r}"
+            )
+        ensure_positive(self.transfer_size_gb, "transfer_size_gb")
+        ensure_positive(self.duration_s, "duration_s")
+        if self.spawn_jitter_s < 0:
+            raise ValidationError(
+                f"spawn_jitter_s must be >= 0, got {self.spawn_jitter_s!r}"
+            )
+
+    @property
+    def transfer_size_bytes(self) -> float:
+        """Per-client transfer volume in bytes."""
+        return self.transfer_size_gb * GB
+
+    @property
+    def total_clients(self) -> int:
+        """Clients spawned over the whole experiment."""
+        return self.concurrency * int(self.duration_s)
+
+    @property
+    def total_bytes(self) -> float:
+        """Total offered volume over the experiment."""
+        return self.total_clients * self.transfer_size_bytes
+
+    def offered_load_gbps(self) -> float:
+        """Offered load in Gbps: ``concurrency * size / 1 s``."""
+        return self.concurrency * self.transfer_size_gb * 8.0
+
+    def offered_utilization(self, link: Link | None = None) -> float:
+        """Offered load over link capacity (may exceed 1)."""
+        link = link or fabric_link()
+        return self.offered_load_gbps() / link.capacity_gbps
+
+    def label(self) -> str:
+        """Compact identifier, e.g. ``batch-c4-p8``."""
+        return f"{self.strategy.value}-c{self.concurrency}-p{self.parallel_flows}"
+
+
+#: Table 2 parameter ranges.
+TABLE2_CONCURRENCY: Tuple[int, ...] = tuple(range(1, 9))
+TABLE2_PARALLEL_FLOWS: Tuple[int, ...] = (2, 4, 8)
+
+#: Table 2 as (parameter, value/range, description) rows for reporting.
+TABLE2_ROWS: Tuple[Tuple[str, str, str], ...] = (
+    ("Duration", "10 s", "Experiment duration"),
+    ("Concurrency", "1-8", "Simultaneous clients"),
+    ("Parallel flows", "2, 4, 8", "TCP flows per client"),
+    ("Transfer size", "0.5 GB", "Data volume per client"),
+    ("Total experiments", "24", "Full parameter sweep"),
+    ("Network interface", "25 Gbps", "Mellanox ConnectX-5"),
+    ("Round Trip Time", "16 ms", "Ping results"),
+)
+
+
+def table2_sweep(
+    strategy: SpawnStrategy = SpawnStrategy.BATCH,
+    duration_s: float = 10.0,
+) -> List[ExperimentSpec]:
+    """The paper's full 24-experiment sweep (Table 2)."""
+    return [
+        ExperimentSpec(
+            concurrency=c,
+            parallel_flows=p,
+            duration_s=duration_s,
+            strategy=strategy,
+        )
+        for p in TABLE2_PARALLEL_FLOWS
+        for c in TABLE2_CONCURRENCY
+    ]
+
+
+def iter_sweep_grid(
+    concurrencies: Tuple[int, ...] = TABLE2_CONCURRENCY,
+    parallel_flows: Tuple[int, ...] = TABLE2_PARALLEL_FLOWS,
+) -> Iterator[Tuple[int, int]]:
+    """Iterate the (concurrency, parallel_flows) grid in sweep order."""
+    for p in parallel_flows:
+        for c in concurrencies:
+            yield c, p
+
+
+__all__.append("iter_sweep_grid")

@@ -1,0 +1,38 @@
+"""Measurement layer: tail statistics, ECDF (Figure 3), transfer logs,
+the SSS measurement methodology and scorecard views."""
+
+from .stats import TailSummary, percentile, summarize, tail_ratio, worst_case
+from .cdf import EmpiricalCdf
+from .collector import TransferLog, TransferRecord
+from .congestion import SssCurve, curve_from_sweep, measure_sss_curve
+from .scorecard import Scorecard, ScorecardView
+from .variability import (
+    Fixed,
+    ParameterDistribution,
+    TruncatedNormal,
+    Uniform,
+    VariabilityResult,
+    monte_carlo_tpct,
+)
+
+__all__ = [
+    "TailSummary",
+    "percentile",
+    "summarize",
+    "tail_ratio",
+    "worst_case",
+    "EmpiricalCdf",
+    "TransferLog",
+    "TransferRecord",
+    "SssCurve",
+    "curve_from_sweep",
+    "measure_sss_curve",
+    "Scorecard",
+    "ScorecardView",
+    "Fixed",
+    "ParameterDistribution",
+    "TruncatedNormal",
+    "Uniform",
+    "VariabilityResult",
+    "monte_carlo_tpct",
+]

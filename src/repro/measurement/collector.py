@@ -1,0 +1,111 @@
+"""Transfer logs: the application-level metric store.
+
+The paper's orchestrator collects "detailed transfer time logs per
+client"; :class:`TransferLog` is that store — append-only records of
+(client, start, end, bytes) with derived views (durations, throughput,
+tail summaries) and merging across experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List
+
+import numpy as np
+
+from ..errors import MeasurementError, ValidationError
+from .stats import TailSummary, summarize
+
+__all__ = ["TransferRecord", "TransferLog"]
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One completed transfer."""
+
+    client_id: int
+    start_s: float
+    end_s: float
+    nbytes: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ValidationError(f"start_s must be >= 0, got {self.start_s!r}")
+        if self.end_s < self.start_s:
+            raise ValidationError(
+                f"end_s {self.end_s!r} precedes start_s {self.start_s!r}"
+            )
+        if self.nbytes <= 0:
+            raise ValidationError(f"nbytes must be > 0, got {self.nbytes!r}")
+
+    @property
+    def duration_s(self) -> float:
+        """Transfer completion time."""
+        return self.end_s - self.start_s
+
+    @property
+    def throughput_bytes_per_s(self) -> float:
+        """Achieved application-level throughput."""
+        d = self.duration_s
+        return self.nbytes / d if d > 0 else float("inf")
+
+
+class TransferLog:
+    """Append-only collection of transfer records."""
+
+    def __init__(self, records: Iterable[TransferRecord] = ()) -> None:
+        self._records: List[TransferRecord] = list(records)
+
+    def add(self, record: TransferRecord) -> None:
+        """Append one record."""
+        self._records.append(record)
+
+    def extend(self, records: Iterable[TransferRecord]) -> None:
+        """Append many records."""
+        self._records.extend(records)
+
+    def merge(self, other: "TransferLog") -> "TransferLog":
+        """A new log containing both logs' records."""
+        return TransferLog([*self._records, *other._records])
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TransferRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> List[TransferRecord]:
+        """The records (shared list view — do not mutate)."""
+        return self._records
+
+    def durations_s(self) -> np.ndarray:
+        """All transfer durations."""
+        if not self._records:
+            raise MeasurementError("transfer log is empty")
+        return np.array([r.duration_s for r in self._records])
+
+    def total_bytes(self) -> float:
+        """Sum of all transferred volumes."""
+        return float(sum(r.nbytes for r in self._records))
+
+    def worst_case_s(self) -> float:
+        """Maximum transfer duration — ``T_worst``."""
+        return float(self.durations_s().max())
+
+    def summary(self) -> TailSummary:
+        """Tail digest of all durations."""
+        return summarize(self.durations_s())
+
+    def filter_label(self, label: str) -> "TransferLog":
+        """Sub-log with matching label."""
+        return TransferLog(r for r in self._records if r.label == label)
+
+    def window(self, t0_s: float, t1_s: float) -> "TransferLog":
+        """Sub-log of transfers that *started* within ``[t0, t1)``."""
+        if t1_s <= t0_s:
+            raise ValidationError(f"window requires t1 > t0, got [{t0_s}, {t1_s})")
+        return TransferLog(
+            r for r in self._records if t0_s <= r.start_s < t1_s
+        )

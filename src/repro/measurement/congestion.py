@@ -1,0 +1,160 @@
+"""SSS measurement methodology (paper Section 4.1).
+
+Turns controlled-congestion experiments into a *utilisation → SSS*
+curve usable by the decision model:
+
+1. run the batch sweep at increasing offered loads,
+2. record each experiment's worst per-client completion time,
+3. convert to Streaming Speed Scores against the theoretical time,
+4. interpolate the curve at any target utilisation — the
+   "extrapolate the measurements from Figure 2(a)" step of the case
+   study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.sss import SSSMeasurement, theoretical_transfer_time
+from ..errors import MeasurementError, ValidationError
+from ..iperfsim.results import SweepResult
+from ..iperfsim.runner import run_sweep
+from ..iperfsim.spec import ExperimentSpec, SpawnStrategy
+from ..simnet.link import Link, fabric_link
+
+__all__ = ["SssCurve", "measure_sss_curve", "curve_from_sweep"]
+
+
+@dataclass
+class SssCurve:
+    """A monotone-interpolatable utilisation → worst-case curve."""
+
+    size_gb: float
+    bandwidth_gbps: float
+    measurements: List[SSSMeasurement] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.measurements.sort(key=lambda m: m.utilization)
+
+    @property
+    def utilizations(self) -> np.ndarray:
+        """Measured offered utilisations, ascending."""
+        return np.array([m.utilization for m in self.measurements])
+
+    @property
+    def t_worst_values(self) -> np.ndarray:
+        """Worst-case transfer times at each utilisation."""
+        return np.array([m.t_worst_s for m in self.measurements])
+
+    @property
+    def sss_values(self) -> np.ndarray:
+        """SSS at each utilisation."""
+        return np.array([m.sss for m in self.measurements])
+
+    def t_worst_at(self, utilization: float) -> float:
+        """Interpolated worst-case transfer time at a target utilisation.
+
+        Linear interpolation between measured points; clamped at the
+        curve's ends (extrapolating beyond the measured range returns
+        the boundary value rather than inventing data).
+        """
+        if utilization < 0:
+            raise ValidationError(
+                f"utilization must be >= 0, got {utilization!r}"
+            )
+        if not self.measurements:
+            raise MeasurementError("SSS curve has no measurements")
+        return float(
+            np.interp(utilization, self.utilizations, self.t_worst_values)
+        )
+
+    def sss_at(self, utilization: float) -> float:
+        """Interpolated SSS at a target utilisation."""
+        t_worst = self.t_worst_at(utilization)
+        t_theo = float(
+            theoretical_transfer_time(self.size_gb, self.bandwidth_gbps)
+        )
+        return t_worst / t_theo
+
+    def worst_case_for_volume(self, volume_gb: float, utilization: float) -> float:
+        """Worst-case transfer time for an arbitrary volume at a target
+        utilisation, scaling the measured worst case rate-wise
+        (volume / effective worst-case rate)."""
+        if volume_gb <= 0:
+            raise ValidationError(f"volume_gb must be > 0, got {volume_gb!r}")
+        t_worst_unit = self.t_worst_at(utilization)
+        return t_worst_unit * (volume_gb / self.size_gb)
+
+    def worst_case_for_unit(self, utilization: float) -> float:
+        """Worst-case delivery time of one *second's worth* of stream
+        data at ``utilization`` — the case-study reading of Figure 2(a).
+
+        The measured max-FCT at utilisation ``u`` is the completion time
+        of the per-second concurrent batch that *creates* ``u``: all
+        clients share the bottleneck fairly and finish near the slowest
+        one, so the batch (one data unit of a ``u * capacity`` stream)
+        is fully delivered at the curve value itself — no volume
+        rescaling.
+        """
+        return self.t_worst_at(utilization)
+
+
+def curve_from_sweep(sweep: SweepResult, link: Optional[Link] = None) -> SssCurve:
+    """Build an SSS curve from an executed sweep's results."""
+    link = link or fabric_link()
+    if not sweep.experiments:
+        raise MeasurementError("sweep contains no experiments")
+    sizes = {e.spec.transfer_size_gb for e in sweep.experiments}
+    if len(sizes) != 1:
+        raise ValidationError(
+            f"SSS curve needs a single transfer size, got {sorted(sizes)}"
+        )
+    size_gb = sizes.pop()
+    measurements = [
+        SSSMeasurement(
+            size_gb=size_gb,
+            bandwidth_gbps=link.capacity_gbps,
+            t_worst_s=e.max_transfer_time_s,
+            utilization=e.offered_utilization,
+        )
+        for e in sweep.experiments
+    ]
+    return SssCurve(
+        size_gb=size_gb,
+        bandwidth_gbps=link.capacity_gbps,
+        measurements=measurements,
+    )
+
+
+def measure_sss_curve(
+    concurrencies: Sequence[int] = tuple(range(1, 9)),
+    parallel_flows: int = 4,
+    transfer_size_gb: float = 0.5,
+    duration_s: float = 10.0,
+    link: Optional[Link] = None,
+    seeds: Sequence[int] = (0, 1),
+) -> SssCurve:
+    """Execute the measurement methodology end to end.
+
+    Runs batch-spawned congestion experiments across ``concurrencies``
+    and returns the utilisation → SSS curve.  This is the programmatic
+    equivalent of producing Figure 2(a) and reading values off it.
+    """
+    if not concurrencies:
+        raise ValidationError("need at least one concurrency level")
+    link = link or fabric_link()
+    specs = [
+        ExperimentSpec(
+            concurrency=c,
+            parallel_flows=parallel_flows,
+            transfer_size_gb=transfer_size_gb,
+            duration_s=duration_s,
+            strategy=SpawnStrategy.BATCH,
+        )
+        for c in concurrencies
+    ]
+    sweep = run_sweep(specs, link=link, seeds=seeds)
+    return curve_from_sweep(sweep, link=link)

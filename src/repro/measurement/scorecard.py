@@ -1,0 +1,99 @@
+"""ESnet-style Data Transfer Scorecard views (paper Section 2.1).
+
+The scorecard idea: the same transfer reads differently per stakeholder
+— researchers think in TB/day, network administrators in Gbps and link
+utilisation, and (the paper's addition) real-time applications in
+worst-case completion time and SSS.  :class:`Scorecard` renders all
+three perspectives from one measured transfer log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.sss import (
+    CongestionRegime,
+    classify_regime,
+    streaming_speed_score,
+    theoretical_transfer_time,
+)
+from ..errors import ValidationError
+from ..units import (
+    GB,
+    SECONDS_PER_DAY,
+    TB,
+    ensure_positive,
+    gbps_to_tb_per_day,
+)
+from .collector import TransferLog
+
+__all__ = ["Scorecard", "ScorecardView"]
+
+
+@dataclass(frozen=True)
+class ScorecardView:
+    """One transfer campaign seen from all three perspectives."""
+
+    # Researcher view
+    volume_tb_per_day: float
+    total_volume_gb: float
+    # Administrator view
+    mean_bitrate_gbps: float
+    utilization_pct: float
+    # Real-time view (the paper's addition)
+    worst_case_s: float
+    sss: float
+    regime: CongestionRegime
+
+    def rows(self) -> list[tuple[str, str, str]]:
+        """(stakeholder, metric, value) rows for text rendering."""
+        return [
+            ("researcher", "volume", f"{self.volume_tb_per_day:.2f} TB/day"),
+            ("researcher", "total moved", f"{self.total_volume_gb:.2f} GB"),
+            ("administrator", "mean bitrate", f"{self.mean_bitrate_gbps:.2f} Gbps"),
+            ("administrator", "link utilisation", f"{self.utilization_pct:.1f} %"),
+            ("real-time", "worst-case FCT", f"{self.worst_case_s:.2f} s"),
+            ("real-time", "SSS", f"{self.sss:.1f}x"),
+            ("real-time", "regime", str(self.regime)),
+        ]
+
+
+class Scorecard:
+    """Build scorecard views for a link of known capacity."""
+
+    def __init__(self, capacity_gbps: float) -> None:
+        ensure_positive(capacity_gbps, "capacity_gbps")
+        self.capacity_gbps = float(capacity_gbps)
+
+    def view(self, log: TransferLog, window_s: float) -> ScorecardView:
+        """Score a transfer campaign observed over ``window_s`` seconds.
+
+        The per-transfer size must be uniform for the SSS column to be
+        meaningful; mixed sizes raise.
+        """
+        ensure_positive(window_s, "window_s")
+        if len(log) == 0:
+            raise ValidationError("cannot score an empty transfer log")
+        sizes = {r.nbytes for r in log}
+        if len(sizes) != 1:
+            raise ValidationError(
+                "scorecard SSS needs uniform transfer sizes; "
+                f"got {len(sizes)} distinct sizes"
+            )
+        size_bytes = sizes.pop()
+        total_bytes = log.total_bytes()
+        mean_rate_bytes_per_s = total_bytes / window_s
+        mean_gbps = mean_rate_bytes_per_s * 8.0 / 1e9
+        worst = log.worst_case_s()
+        t_theo = float(
+            theoretical_transfer_time(size_bytes / GB, self.capacity_gbps)
+        )
+        return ScorecardView(
+            volume_tb_per_day=float(gbps_to_tb_per_day(mean_gbps)),
+            total_volume_gb=total_bytes / GB,
+            mean_bitrate_gbps=mean_gbps,
+            utilization_pct=100.0 * mean_gbps / self.capacity_gbps,
+            worst_case_s=worst,
+            sss=float(streaming_speed_score(worst, t_theo)),
+            regime=classify_regime(worst),
+        )

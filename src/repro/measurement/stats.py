@@ -1,0 +1,92 @@
+"""Tail-aware summary statistics (vectorised).
+
+The paper's critique of average-biased measurement (Section 2.1) calls
+for explicit tail metrics: worst case, high percentiles, and the ratio
+of tail to median.  All functions take any array-like of samples and
+raise :class:`MeasurementError` on empty or non-finite input rather
+than propagating numpy warnings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+import numpy as np
+
+from ..errors import MeasurementError
+
+__all__ = ["TailSummary", "summarize", "percentile", "tail_ratio", "worst_case"]
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+def _validated(samples: ArrayLike) -> np.ndarray:
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise MeasurementError("no samples")
+    if not np.all(np.isfinite(arr)):
+        raise MeasurementError("samples contain non-finite values")
+    return arr
+
+
+def percentile(samples: ArrayLike, q: float) -> float:
+    """q-th percentile (linear interpolation)."""
+    if not 0.0 <= q <= 100.0:
+        raise MeasurementError(f"percentile q must be in [0, 100], got {q!r}")
+    return float(np.percentile(_validated(samples), q))
+
+
+def worst_case(samples: ArrayLike) -> float:
+    """The maximum — the paper's ``T_worst``."""
+    return float(np.max(_validated(samples)))
+
+
+def tail_ratio(samples: ArrayLike, q: float = 99.0) -> float:
+    """``P_q / P50``: how much fatter the tail is than the median.
+
+    A value near 1 means a tight distribution; the long-tailed FCT
+    distributions of Figure 3 produce ratios well above 1.
+    """
+    arr = _validated(samples)
+    p50 = float(np.percentile(arr, 50.0))
+    if p50 <= 0:
+        raise MeasurementError("median must be positive for a tail ratio")
+    return float(np.percentile(arr, q)) / p50
+
+
+@dataclass(frozen=True)
+class TailSummary:
+    """Mean/percentile/worst-case digest of one sample set."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    maximum: float
+
+    @property
+    def p99_over_p50(self) -> float:
+        """Tail ratio at P99."""
+        return self.p99 / self.p50 if self.p50 > 0 else float("inf")
+
+    @property
+    def max_over_mean(self) -> float:
+        """How far the worst case sits above the average — the bias an
+        average-focused methodology hides."""
+        return self.maximum / self.mean if self.mean > 0 else float("inf")
+
+
+def summarize(samples: ArrayLike) -> TailSummary:
+    """Compute the full tail digest in one pass."""
+    arr = _validated(samples)
+    p50, p90, p99 = np.percentile(arr, [50.0, 90.0, 99.0])
+    return TailSummary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        p50=float(p50),
+        p90=float(p90),
+        p99=float(p99),
+        maximum=float(arr.max()),
+    )

@@ -1,0 +1,181 @@
+"""Performance-variability Monte Carlo (paper Section 6 future work).
+
+Network and compute performance are not constants: the transfer
+efficiency ``alpha`` drifts with background traffic, the remote speedup
+``r`` with allocation contention, ``theta`` with metadata-server load.
+This module propagates parameter distributions through the closed-form
+``T_pct`` with a vectorised Monte Carlo and reports tail-aware results:
+percentiles of ``T_pct`` and the *probability of meeting a deadline* —
+the quantity a facility actually cares about.
+
+Distributions are supplied as :class:`ParameterDistribution` objects;
+three practical families are provided (fixed, uniform, and a truncated
+normal).  All sampling is vectorised through one seeded Generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core import model
+from ..core.parameters import ModelParameters
+from ..errors import ValidationError
+from ..units import ensure_positive
+from .stats import TailSummary, summarize
+
+__all__ = [
+    "ParameterDistribution",
+    "Fixed",
+    "Uniform",
+    "TruncatedNormal",
+    "VariabilityResult",
+    "monte_carlo_tpct",
+]
+
+
+class ParameterDistribution:
+    """Base class: a sampler with optional bounds enforcement."""
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` values."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Fixed(ParameterDistribution):
+    """A degenerate (constant) distribution."""
+
+    value: float
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.full(n, self.value)
+
+
+@dataclass(frozen=True)
+class Uniform(ParameterDistribution):
+    """Uniform on ``[low, high]``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not self.low < self.high:
+            raise ValidationError(
+                f"Uniform requires low < high, got [{self.low}, {self.high}]"
+            )
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=n)
+
+
+@dataclass(frozen=True)
+class TruncatedNormal(ParameterDistribution):
+    """Normal(mean, sd) clipped to ``[low, high]``.
+
+    Clipping (rather than rejection) keeps sampling O(n) and is adequate
+    for the mild truncations used here.
+    """
+
+    mean: float
+    sd: float
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.sd, "sd")
+        if not self.low < self.high:
+            raise ValidationError(
+                f"TruncatedNormal requires low < high, got "
+                f"[{self.low}, {self.high}]"
+            )
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.clip(rng.normal(self.mean, self.sd, size=n), self.low, self.high)
+
+
+@dataclass
+class VariabilityResult:
+    """Monte-Carlo output for one parameter set."""
+
+    samples_s: np.ndarray
+    summary: TailSummary
+    deadline_s: Optional[float]
+    p_meet_deadline: Optional[float]
+
+    @property
+    def p50(self) -> float:
+        """Median completion time."""
+        return self.summary.p50
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile completion time."""
+        return self.summary.p99
+
+
+def monte_carlo_tpct(
+    params: ModelParameters,
+    *,
+    alpha_dist: Optional[ParameterDistribution] = None,
+    r_dist: Optional[ParameterDistribution] = None,
+    theta_dist: Optional[ParameterDistribution] = None,
+    deadline_s: Optional[float] = None,
+    n: int = 100_000,
+    seed: int = 0,
+) -> VariabilityResult:
+    """Propagate parameter variability through ``T_pct``.
+
+    Any distribution left ``None`` stays fixed at the value in
+    ``params``.  Sampled values are validated against the model's
+    domains (``alpha`` in (0,1], ``r`` > 0, ``theta`` >= 1) — a
+    distribution straying outside raises rather than silently producing
+    unphysical times.
+    """
+    if n < 1:
+        raise ValidationError(f"n must be >= 1, got {n!r}")
+    rng = np.random.default_rng(seed)
+    alpha = (
+        alpha_dist.sample(rng, n)
+        if alpha_dist is not None
+        else np.full(n, params.alpha)
+    )
+    r = (
+        r_dist.sample(rng, n) if r_dist is not None else np.full(n, params.r)
+    )
+    theta = (
+        theta_dist.sample(rng, n)
+        if theta_dist is not None
+        else np.full(n, params.theta)
+    )
+    if not (np.all(alpha > 0) and np.all(alpha <= 1.0)):
+        raise ValidationError("alpha distribution strays outside (0, 1]")
+    if not np.all(r > 0):
+        raise ValidationError("r distribution strays outside (0, inf)")
+    if not np.all(theta >= 1.0):
+        raise ValidationError("theta distribution strays below 1")
+
+    times = np.asarray(
+        model.t_pct(
+            params.s_unit_gb,
+            params.complexity_flop_per_gb,
+            params.r_local_tflops,
+            params.bandwidth_gbps,
+            alpha=alpha,
+            r=r,
+            theta=theta,
+        ),
+        dtype=float,
+    )
+    p_meet = None
+    if deadline_s is not None:
+        ensure_positive(deadline_s, "deadline_s")
+        p_meet = float(np.mean(times < deadline_s))
+    return VariabilityResult(
+        samples_s=times,
+        summary=summarize(times),
+        deadline_s=deadline_s,
+        p_meet_deadline=p_meet,
+    )

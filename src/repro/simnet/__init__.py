@@ -1,0 +1,48 @@
+"""Network-simulation substrate.
+
+Two complementary simulators:
+
+- :mod:`repro.simnet.engine` — a deterministic discrete-event engine
+  (processes, events, resources) used by the streaming and file-based
+  pipelines,
+- :mod:`repro.simnet.tcp` — a vectorised fluid-model TCP simulator over
+  a shared droptail bottleneck, used by the iperf3-style congestion
+  experiments (Figures 2–3).
+
+Plus the descriptive layer: :class:`Link`, :class:`Topology` and the
+FABRIC testbed preset of Table 1.
+"""
+
+from .engine import AllOf, AnyOf, Environment, Event, Interrupt, Process, Resource
+from .link import Link, fabric_link
+from .records import FlowRecord, LinkSample, SimulationResult
+from .tcp import FluidTcpSimulator, TcpConfig
+from .packet import PacketTcpConfig, PacketTcpSimulator
+from .topology import TESTBED_TABLE1, Host, Path, Topology, fabric_testbed
+from .counters import CounterSnapshot, InterfaceCounters
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "Link",
+    "fabric_link",
+    "FlowRecord",
+    "LinkSample",
+    "SimulationResult",
+    "FluidTcpSimulator",
+    "TcpConfig",
+    "PacketTcpConfig",
+    "PacketTcpSimulator",
+    "TESTBED_TABLE1",
+    "Host",
+    "Path",
+    "Topology",
+    "fabric_testbed",
+    "CounterSnapshot",
+    "InterfaceCounters",
+]

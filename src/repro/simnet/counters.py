@@ -1,0 +1,101 @@
+"""Interface counters, mirroring the network-level metrics the paper
+collects ("interface byte/packet counters", Section 4).
+
+Counters are derived from the per-interval :class:`LinkSample` stream of
+a simulation run, producing the same views a network administrator would
+read off a switch: cumulative bytes/packets, instantaneous bitrate and
+utilisation percentage (the administrator-facing units of the Data
+Transfer Scorecard discussion in Section 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import MeasurementError, ValidationError
+from ..units import GIGA, ensure_positive
+from .records import LinkSample
+
+__all__ = ["InterfaceCounters", "CounterSnapshot"]
+
+
+@dataclass(frozen=True)
+class CounterSnapshot:
+    """Cumulative counters at one sampling instant."""
+
+    time_s: float
+    rx_bytes: float
+    rx_packets: float
+    bitrate_gbps: float
+    utilization: float
+
+
+class InterfaceCounters:
+    """Turn link samples into cumulative interface counters.
+
+    Parameters
+    ----------
+    capacity_gbps:
+        Line rate used for utilisation percentages.
+    mtu_bytes:
+        Used to estimate packet counts from byte counts (full-sized
+        segments dominate bulk transfers).
+    """
+
+    def __init__(self, capacity_gbps: float, mtu_bytes: int = 9000) -> None:
+        ensure_positive(capacity_gbps, "capacity_gbps")
+        if mtu_bytes <= 0:
+            raise ValidationError(f"mtu_bytes must be > 0, got {mtu_bytes!r}")
+        self.capacity_gbps = float(capacity_gbps)
+        self.mtu_bytes = int(mtu_bytes)
+
+    def snapshots(self, samples: Sequence[LinkSample]) -> List[CounterSnapshot]:
+        """Cumulative snapshots, one per sample interval."""
+        out: List[CounterSnapshot] = []
+        total_bytes = 0.0
+        cap_bytes_per_s = self.capacity_gbps * GIGA / 8.0
+        for s in samples:
+            total_bytes += s.bytes_sent
+            rate_bytes_per_s = (
+                s.bytes_sent / s.interval_s if s.interval_s > 0 else 0.0
+            )
+            out.append(
+                CounterSnapshot(
+                    time_s=s.time_s + s.interval_s,
+                    rx_bytes=total_bytes,
+                    rx_packets=total_bytes / self.mtu_bytes,
+                    bitrate_gbps=rate_bytes_per_s * 8.0 / GIGA,
+                    utilization=rate_bytes_per_s / cap_bytes_per_s,
+                )
+            )
+        return out
+
+    def peak_utilization(self, samples: Sequence[LinkSample]) -> float:
+        """Largest per-interval utilisation (0..1)."""
+        snaps = self.snapshots(samples)
+        if not snaps:
+            raise MeasurementError("no samples to compute peak utilisation from")
+        return float(max(s.utilization for s in snaps))
+
+    def mean_utilization(self, samples: Sequence[LinkSample]) -> float:
+        """Byte-weighted mean utilisation across all intervals (0..1)."""
+        if not samples:
+            raise MeasurementError("no samples to compute mean utilisation from")
+        total_bytes = float(sum(s.bytes_sent for s in samples))
+        total_time = float(sum(s.interval_s for s in samples))
+        if total_time <= 0:
+            return 0.0
+        cap_bytes_per_s = self.capacity_gbps * GIGA / 8.0
+        return total_bytes / (cap_bytes_per_s * total_time)
+
+    def utilization_series(
+        self, samples: Sequence[LinkSample]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(times, utilization)`` arrays for plotting/reporting."""
+        snaps = self.snapshots(samples)
+        times = np.array([s.time_s for s in snaps])
+        utils = np.array([s.utilization for s in snaps])
+        return times, utils

@@ -1,0 +1,323 @@
+"""A small discrete-event simulation engine.
+
+The streaming and file-based pipelines (and the storage substrate) are
+expressed as cooperating *processes* — Python generators that yield
+either a delay in seconds or an :class:`Event` to wait on — scheduled by
+an :class:`Environment`.  The design mirrors the core of SimPy, kept
+minimal and fully deterministic:
+
+- events fire in ``(time, insertion order)`` order, so two events at the
+  same timestamp resolve in FIFO order,
+- scheduling into the past raises :class:`ScheduleError`,
+- processes are themselves events, so a process can wait for another
+  process to finish,
+- :class:`Resource` provides a FIFO counted resource (used e.g. to limit
+  concurrent DTN transfer slots).
+
+Example
+-------
+>>> env = Environment()
+>>> log = []
+>>> def worker(env, name, delay):
+...     yield delay
+...     log.append((env.now, name))
+>>> _ = env.process(worker(env, "a", 2.0))
+>>> _ = env.process(worker(env, "b", 1.0))
+>>> env.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from ..errors import ScheduleError, SimulationError
+
+__all__ = ["Environment", "Event", "Process", "AllOf", "AnyOf", "Resource", "Interrupt"]
+
+
+class Interrupt(SimulationError):
+    """Thrown into a process that is interrupted by another process."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(f"process interrupted (cause={cause!r})")
+        self.cause = cause
+
+
+class Event:
+    """A one-shot event; callbacks fire when it succeeds."""
+
+    __slots__ = ("env", "_callbacks", "_triggered", "_processed", "value")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self._callbacks: List[Callable[["Event"], None]] = []
+        self._triggered = False
+        self._processed = False
+        self.value: Any = None
+
+    @property
+    def triggered(self) -> bool:
+        """Whether :meth:`succeed` has been called."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """Whether the callbacks have run."""
+        return self._processed
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event now; callbacks run at the current sim time."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self.value = value
+        self.env._schedule_event(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Register ``fn`` to run when the event fires (immediately if it
+        already has)."""
+        if self._processed:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def _run_callbacks(self) -> None:
+        self._processed = True
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+
+class Process(Event):
+    """A running generator; succeeds (with its return value) on exit."""
+
+    __slots__ = ("_generator", "_waiting_on", "_interrupt")
+
+    def __init__(
+        self, env: "Environment", generator: Generator[Any, Any, Any]
+    ) -> None:
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self._interrupt: Optional[Interrupt] = None
+        env._schedule(0.0, self._resume, None)
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            return
+        self._interrupt = Interrupt(cause)
+        self.env._schedule(0.0, self._resume, None)
+
+    def _resume(self, event: Optional[Event]) -> None:
+        if self._triggered:
+            return
+        if event is not None and event is not self._waiting_on:
+            return  # stale wake-up from a superseded wait
+        self._waiting_on = None
+        try:
+            if self._interrupt is not None:
+                exc, self._interrupt = self._interrupt, None
+                target = self._generator.throw(exc)
+            else:
+                target = self._generator.send(event.value if event else None)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        if isinstance(target, Event):
+            self._waiting_on = target
+            target.add_callback(self._resume)
+        elif isinstance(target, (int, float)):
+            if target < 0:
+                raise ScheduleError(f"cannot wait a negative delay ({target!r})")
+            timeout = Event(self.env)
+            self._waiting_on = timeout
+            timeout.add_callback(self._resume)
+            self.env._schedule(float(target), timeout._trigger_timeout, None)
+        else:
+            raise SimulationError(
+                f"process yielded {target!r}; expected a delay (seconds) or an Event"
+            )
+
+
+def _timeout_trigger(event: Event, _arg: Any) -> None:  # pragma: no cover
+    event.succeed()
+
+
+# Bind a tiny helper onto Event for timeout scheduling.
+def _trigger_timeout(self: Event, _arg: Any) -> None:
+    if not self._triggered:
+        self.succeed()
+
+
+Event._trigger_timeout = _trigger_timeout  # type: ignore[attr-defined]
+
+
+class AllOf(Event):
+    """Succeeds when every child event has succeeded.
+
+    ``value`` is the list of child values in the original order.
+    """
+
+    __slots__ = ("_pending", "_children")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._children = list(events)
+        self._pending = len(self._children)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        for child in self._children:
+            child.add_callback(self._child_done)
+
+    def _child_done(self, _event: Event) -> None:
+        self._pending -= 1
+        if self._pending == 0 and not self._triggered:
+            self.succeed([c.value for c in self._children])
+
+
+class AnyOf(Event):
+    """Succeeds when the first child event succeeds (value = that child's)."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        children = list(events)
+        if not children:
+            raise SimulationError("AnyOf needs at least one event")
+        for child in children:
+            child.add_callback(self._child_done)
+
+    def _child_done(self, event: Event) -> None:
+        if not self._triggered:
+            self.succeed(event.value)
+
+
+class Resource:
+    """A counted FIFO resource (like a semaphore with a wait queue).
+
+    ``request()`` returns an event that succeeds when a slot is granted;
+    ``release()`` frees a slot and wakes the next waiter.
+    """
+
+    def __init__(self, env: "Environment", capacity: int) -> None:
+        if capacity < 1:
+            raise SimulationError(f"Resource capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: List[Event] = []
+
+    @property
+    def in_use(self) -> int:
+        """Number of slots currently granted."""
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Acquire a slot; the returned event fires once granted."""
+        event = Event(self.env)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Free one slot; FIFO-grants it to the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without a matching request()")
+        if self._waiters:
+            waiter = self._waiters.pop(0)
+            waiter.succeed()
+        else:
+            self._in_use -= 1
+
+
+class Environment:
+    """Event loop: a heap of ``(time, seq, callback, arg)`` entries."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, Callable[[Any], None], Any]] = []
+        self._seq = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self._now
+
+    def _schedule(
+        self, delay: float, callback: Callable[[Any], None], arg: Any
+    ) -> None:
+        if delay < 0:
+            raise ScheduleError(f"cannot schedule into the past (delay={delay!r})")
+        heapq.heappush(self._queue, (self._now + delay, next(self._seq), callback, arg))
+
+    def _schedule_event(self, event: Event) -> None:
+        self._schedule(0.0, lambda _arg, e=event: e._run_callbacks(), None)
+
+    def timeout(self, delay: float) -> Event:
+        """An event that fires ``delay`` seconds from now."""
+        if delay < 0:
+            raise ScheduleError(f"cannot time out into the past (delay={delay!r})")
+        event = Event(self)
+        self._schedule(delay, event._trigger_timeout, None)  # type: ignore[attr-defined]
+        return event
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def process(self, generator: Generator[Any, Any, Any]) -> Process:
+        """Launch ``generator`` as a process starting at the current time."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Join on every event in ``events``."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Race the events in ``events``."""
+        return AnyOf(self, events)
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
+        """Drain the event queue.
+
+        Stops when the queue is empty or simulated time would pass
+        ``until``.  ``max_events`` guards against runaway loops.
+        Returns the final simulation time.
+        """
+        processed = 0
+        while self._queue:
+            time, _seq, callback, arg = self._queue[0]
+            if until is not None and time > until:
+                self._now = float(until)
+                return self._now
+            heapq.heappop(self._queue)
+            if time < self._now - 1e-12:
+                raise ScheduleError(
+                    f"event queue corrupt: popped time {time} < now {self._now}"
+                )
+            self._now = time
+            callback(arg)
+            processed += 1
+            if processed > max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; likely a runaway process"
+                )
+        if until is not None and until > self._now:
+            self._now = float(until)
+        return self._now

@@ -1,0 +1,99 @@
+"""Bottleneck-link description for the fluid TCP simulator.
+
+The paper's testbed (Table 1) is a single 25 Gbps path between FABRIC
+nodes with a 16 ms RTT and 9000-byte MTU; the experiments are all
+single-bottleneck.  :class:`Link` captures exactly that: capacity,
+propagation RTT, and a droptail FIFO buffer.
+
+Buffer sizing defaults to the classic bandwidth-delay product rule
+(one BDP of buffering), which for 25 Gbps x 16 ms is 50 MB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ValidationError
+from ..units import GIGA, ensure_positive
+
+__all__ = ["Link", "fabric_link"]
+
+
+@dataclass(frozen=True)
+class Link:
+    """A single bottleneck link.
+
+    Parameters
+    ----------
+    capacity_gbps:
+        Raw line rate in gigabits/s.
+    rtt_s:
+        Base round-trip time (propagation only), seconds.
+    buffer_bdp:
+        Droptail buffer depth as a multiple of the bandwidth-delay
+        product.  ``1.0`` is the classic rule-of-thumb; deep-buffered
+        DTN paths might use 2–4, shallow switch buffers 0.1–0.5.
+    mtu_bytes:
+        Interface MTU.  The testbed uses jumbo frames (9000).
+    header_bytes:
+        Per-packet protocol overhead (Ethernet + IP + TCP), subtracted
+        from the MTU to get the MSS.
+    """
+
+    capacity_gbps: float
+    rtt_s: float
+    buffer_bdp: float = 1.0
+    mtu_bytes: int = 9000
+    header_bytes: int = 52
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.capacity_gbps, "capacity_gbps")
+        ensure_positive(self.rtt_s, "rtt_s")
+        ensure_positive(self.buffer_bdp, "buffer_bdp")
+        if self.mtu_bytes <= self.header_bytes:
+            raise ValidationError(
+                f"mtu_bytes ({self.mtu_bytes}) must exceed header_bytes "
+                f"({self.header_bytes})"
+            )
+
+    @property
+    def capacity_bytes_per_s(self) -> float:
+        """Line rate in bytes/s."""
+        return self.capacity_gbps * GIGA / 8.0
+
+    @property
+    def mss_bytes(self) -> int:
+        """Maximum segment size (MTU minus headers)."""
+        return self.mtu_bytes - self.header_bytes
+
+    @property
+    def bdp_bytes(self) -> float:
+        """Bandwidth-delay product in bytes."""
+        return self.capacity_bytes_per_s * self.rtt_s
+
+    @property
+    def buffer_bytes(self) -> float:
+        """Droptail buffer depth in bytes."""
+        return self.buffer_bdp * self.bdp_bytes
+
+    @property
+    def bdp_segments(self) -> float:
+        """BDP expressed in MSS-sized segments."""
+        return self.bdp_bytes / self.mss_bytes
+
+    def transmission_delay_s(self, nbytes: float) -> float:
+        """Time to clock ``nbytes`` onto the wire at line rate."""
+        if nbytes < 0:
+            raise ValidationError(f"nbytes must be >= 0, got {nbytes!r}")
+        return nbytes / self.capacity_bytes_per_s
+
+
+def fabric_link(buffer_bdp: float = 2.0) -> Link:
+    """The paper's FABRIC testbed path (Tables 1–2): 25 Gbps, 16 ms RTT,
+    9000-byte MTU.
+
+    The default two-BDP buffer models the deep-buffered NICs/switches of
+    a DTN path and is the calibration that best reproduces Figure 2(a)'s
+    regime boundaries (see DESIGN.md section 5).
+    """
+    return Link(capacity_gbps=25.0, rtt_s=0.016, buffer_bdp=buffer_bdp)

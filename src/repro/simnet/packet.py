@@ -1,0 +1,376 @@
+"""Packet-level TCP simulation (validation substrate).
+
+The fluid model in :mod:`repro.simnet.tcp` is the workhorse for the
+paper-scale experiments; this module provides an independent,
+per-segment event-driven simulator used to *cross-validate* it:
+
+- every segment is an event through a droptail FIFO bottleneck,
+- receivers ACK cumulatively; senders run SACK-style loss recovery
+  (three duplicate ACKs → window halving and retransmission of every
+  hole in the window, with a one-RTT per-segment retransmit cooldown;
+  retransmit timeout → slow-start restart with exponential backoff),
+- slow start / congestion avoidance growth per ACK.
+
+Packet-level simulation costs O(segments), so it is only practical for
+scaled-down scenarios (e.g. megabyte transfers on ~100 Mbps links); the
+cross-validation tests and the ``bench_fluid_vs_packet`` benchmark
+compare both simulators on the same small scenarios.
+
+The implementation favours clarity over micro-optimisation — it is the
+*reference* behaviour, not the fast path.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SimulationError, ValidationError
+from .link import Link
+from .records import FlowRecord, SimulationResult
+
+__all__ = ["PacketTcpConfig", "PacketTcpSimulator"]
+
+
+@dataclass(frozen=True)
+class PacketTcpConfig:
+    """Endpoint behaviour for the packet-level simulator."""
+
+    initial_cwnd_segments: int = 10
+    initial_ssthresh_segments: int = 1_000_000
+    dupack_threshold: int = 3
+    rto_min_s: float = 0.2
+    rto_max_s: float = 8.0
+    #: Receiver window in segments (caps cwnd).
+    rwnd_segments: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.initial_cwnd_segments < 1:
+            raise ValidationError("initial_cwnd_segments must be >= 1")
+        if self.dupack_threshold < 1:
+            raise ValidationError("dupack_threshold must be >= 1")
+        if not 0 < self.rto_min_s <= self.rto_max_s:
+            raise ValidationError("need 0 < rto_min_s <= rto_max_s")
+        if self.rwnd_segments < 1:
+            raise ValidationError("rwnd_segments must be >= 1")
+
+
+class _Flow:
+    """Per-flow sender/receiver state."""
+
+    __slots__ = (
+        "flow_id", "client_id", "start_s", "total_segments", "segment_bytes",
+        "last_segment_bytes", "cwnd", "ssthresh", "snd_nxt", "snd_una",
+        "recv_next", "recv_buffer", "dupacks", "in_recovery", "recovery_end",
+        "rto_deadline", "rto_backoff", "done_at", "loss_events",
+        "timeout_events", "inflight", "retx_last", "halve_cooldown",
+    )
+
+    def __init__(self, flow_id: int, client_id: int, start_s: float,
+                 size_bytes: float, mss: int, cfg: PacketTcpConfig) -> None:
+        self.flow_id = flow_id
+        self.client_id = client_id
+        self.start_s = start_s
+        self.total_segments = max(1, -(-int(size_bytes) // mss))
+        self.segment_bytes = mss
+        last = int(size_bytes) - (self.total_segments - 1) * mss
+        self.last_segment_bytes = last if last > 0 else mss
+        self.cwnd: float = float(cfg.initial_cwnd_segments)
+        self.ssthresh: float = float(cfg.initial_ssthresh_segments)
+        self.snd_nxt = 0            # next new segment index to send
+        self.snd_una = 0            # oldest unacknowledged segment
+        self.recv_next = 0          # receiver's next expected segment
+        self.recv_buffer: set = set()
+        self.dupacks = 0
+        self.in_recovery = False
+        self.recovery_end = -1
+        self.rto_deadline = float("inf")
+        self.rto_backoff = 0
+        self.done_at = float("nan")
+        self.loss_events = 0
+        self.timeout_events = 0
+        self.inflight = 0
+        self.retx_last: Dict[int, float] = {}
+        self.halve_cooldown = -1.0
+
+    def seg_bytes(self, seq: int) -> int:
+        """Payload of segment ``seq``."""
+        if seq == self.total_segments - 1:
+            return self.last_segment_bytes
+        return self.segment_bytes
+
+    @property
+    def complete(self) -> bool:
+        """All segments cumulatively acknowledged."""
+        return self.snd_una >= self.total_segments
+
+
+# Event kinds, ordered for deterministic ties.
+_EV_FLOW_START = 0
+_EV_DEQUEUE = 1
+_EV_DELIVER = 2
+_EV_ACK = 3
+_EV_RTO = 4
+
+
+class PacketTcpSimulator:
+    """Per-segment simulation of TCP flows over one droptail bottleneck.
+
+    The bottleneck serialises segments at line rate into a FIFO queue of
+    ``link.buffer_bytes``; propagation adds ``rtt/2`` each way.  ACKs are
+    assumed never lost (standard simplification).
+    """
+
+    def __init__(self, link: Link, config: Optional[PacketTcpConfig] = None) -> None:
+        self.link = link
+        self.config = config or PacketTcpConfig()
+        self._flows: List[_Flow] = []
+
+    def add_flow(self, start_s: float, size_bytes: float, client_id: int = 0) -> int:
+        """Register one flow; returns its id."""
+        if start_s < 0:
+            raise ValidationError(f"start_s must be >= 0, got {start_s!r}")
+        if size_bytes <= 0:
+            raise ValidationError(f"size_bytes must be > 0, got {size_bytes!r}")
+        flow = _Flow(
+            len(self._flows), client_id, float(start_s), float(size_bytes),
+            self.link.mss_bytes, self.config,
+        )
+        self._flows.append(flow)
+        return flow.flow_id
+
+    # ------------------------------------------------------------------
+    def run(self, max_time_s: float = 600.0, max_events: int = 20_000_000) -> SimulationResult:
+        """Run until every flow completes (or limits hit)."""
+        cfg = self.config
+        link = self.link
+        cap = link.capacity_bytes_per_s
+        one_way = link.rtt_s / 2.0
+
+        events: List[Tuple[float, int, int, int, int]] = []
+        seq_counter = itertools.count()
+
+        def push(t: float, kind: int, flow_id: int, seg: int) -> None:
+            heapq.heappush(events, (t, kind, next(seq_counter), flow_id, seg))
+
+        # Bottleneck state.
+        queue_bytes = 0.0
+        busy_until = 0.0
+        total_bytes_sent = 0.0
+
+        for f in self._flows:
+            push(f.start_s, _EV_FLOW_START, f.flow_id, 0)
+
+        def srtt_rto(f: _Flow) -> float:
+            base = max(cfg.rto_min_s, 2.0 * link.rtt_s)
+            return min(base * (2.0 ** f.rto_backoff), cfg.rto_max_s)
+
+        def arm_rto(f: _Flow, now: float) -> None:
+            f.rto_deadline = now + srtt_rto(f)
+            push(f.rto_deadline, _EV_RTO, f.flow_id, 0)
+
+        def enqueue_segment(
+            f: _Flow, seq: int, now: float, retransmit: bool = False
+        ) -> None:
+            """Offer one segment to the bottleneck queue (droptail).
+
+            Retransmissions get a small admission reserve: real senders
+            pace them on the ACK clock, so modelling them as droptail
+            victims would manufacture spurious RTOs.
+            """
+            nonlocal queue_bytes, busy_until, total_bytes_sent
+            nbytes = f.seg_bytes(seq)
+            limit = link.buffer_bytes + (4 * link.mss_bytes if retransmit else 0)
+            if queue_bytes + nbytes > limit:
+                return  # dropped; recovery via dupacks or RTO
+            queue_bytes += nbytes
+            start = max(now, busy_until)
+            finish = start + nbytes / cap
+            busy_until = finish
+            total_bytes_sent += nbytes
+            push(finish, _EV_DEQUEUE, f.flow_id, seq)
+
+        def try_send(f: _Flow, now: float) -> None:
+            """Send as much new data as the window allows.
+
+            SACK pipe accounting: segments the receiver already holds
+            above the cumulative-ACK hole no longer occupy the pipe, so
+            the sender keeps transmitting new data during recovery
+            instead of stalling until the hole fills.
+            """
+            window = min(f.cwnd, float(cfg.rwnd_segments))
+            pipe = (f.snd_nxt - f.snd_una) - len(f.recv_buffer)
+            while f.snd_nxt < f.total_segments and pipe < window:
+                enqueue_segment(f, f.snd_nxt, now)
+                f.snd_nxt += 1
+                pipe += 1
+            if f.snd_una < f.total_segments and f.rto_deadline == float("inf"):
+                arm_rto(f, now)
+
+        def retransmit_missing(f: _Flow, now: float) -> None:
+            """SACK-style recovery: retransmit the holes *presumed lost*.
+
+            A segment is presumed lost (RFC 6675 rule) only when at least
+            ``dupack_threshold`` segments above it have been SACKed —
+            merely in-flight segments are left alone.  At most one
+            retransmission per segment per RTT, bounded by the window.
+            """
+            if not f.recv_buffer:
+                # No SACK information above the hole yet; retransmit just
+                # the front hole (classic fast retransmit).
+                if now - f.retx_last.get(f.snd_una, -1e18) >= link.rtt_s:
+                    f.retx_last[f.snd_una] = now
+                    enqueue_segment(f, f.snd_una, now, retransmit=True)
+                return
+            sacked = sorted(f.recv_buffer)
+            import bisect
+
+            window = int(min(f.cwnd, float(cfg.rwnd_segments)))
+            budget = max(1, window)
+            # Only holes below the highest SACKed segment can satisfy
+            # the rule; iterate those.
+            for s in range(f.snd_una, sacked[-1]):
+                if budget == 0:
+                    break
+                if s < f.recv_next or s in f.recv_buffer:
+                    continue  # already delivered
+                sacked_above = len(sacked) - bisect.bisect_right(sacked, s)
+                if sacked_above < cfg.dupack_threshold:
+                    continue  # probably still in flight
+                if now - f.retx_last.get(s, -1e18) < link.rtt_s:
+                    continue
+                f.retx_last[s] = now
+                enqueue_segment(f, s, now, retransmit=True)
+                budget -= 1
+
+        processed = 0
+        while events:
+            now, kind, _seq, flow_id, seg = heapq.heappop(events)
+            if now > max_time_s:
+                break
+            processed += 1
+            if processed > max_events:
+                raise SimulationError(
+                    f"packet simulation exceeded {max_events} events"
+                )
+            f = self._flows[flow_id]
+
+            if kind == _EV_FLOW_START:
+                try_send(f, now)
+
+            elif kind == _EV_DEQUEUE:
+                # Segment leaves the queue and propagates to the receiver.
+                queue_bytes -= f.seg_bytes(seg)
+                push(now + one_way, _EV_DELIVER, flow_id, seg)
+
+            elif kind == _EV_DELIVER:
+                # Receiver: cumulative ACK generation.
+                if seg == f.recv_next:
+                    f.recv_next += 1
+                    while f.recv_next in f.recv_buffer:
+                        f.recv_buffer.discard(f.recv_next)
+                        f.recv_next += 1
+                elif seg > f.recv_next:
+                    f.recv_buffer.add(seg)
+                # else: duplicate of already-received data; still ACK.
+                push(now + one_way, _EV_ACK, flow_id, f.recv_next)
+
+            elif kind == _EV_ACK:
+                ack = seg  # cumulative: next expected segment
+                if f.complete:
+                    continue
+                if ack > f.snd_una:
+                    # New data acknowledged.
+                    newly = ack - f.snd_una
+                    f.snd_una = ack
+                    f.dupacks = 0
+                    f.rto_backoff = 0
+                    f.rto_deadline = float("inf")
+                    if f.in_recovery and f.snd_una >= f.recovery_end:
+                        f.in_recovery = False
+                        f.retx_last.clear()
+                    elif f.in_recovery:
+                        # Partial ACK: more holes remain in the window —
+                        # retransmit whatever the receiver still misses.
+                        retransmit_missing(f, now)
+                    # Window growth per newly-acked segment.
+                    for _ in range(newly):
+                        if f.cwnd < f.ssthresh:
+                            f.cwnd += 1.0            # slow start
+                        else:
+                            f.cwnd += 1.0 / f.cwnd   # congestion avoidance
+                    if f.complete:
+                        f.done_at = now
+                        continue
+                    arm_rto(f, now)
+                    try_send(f, now)
+                elif ack == f.snd_una and f.snd_nxt > f.snd_una:
+                    f.dupacks += 1
+                    if (
+                        f.dupacks == cfg.dupack_threshold
+                        and not f.in_recovery
+                        and now >= f.halve_cooldown
+                    ):
+                        # Fast retransmit + SACK-style recovery; at most
+                        # one multiplicative decrease per RTT.
+                        f.ssthresh = max(f.cwnd / 2.0, 2.0)
+                        f.cwnd = f.ssthresh
+                        f.in_recovery = True
+                        f.recovery_end = f.snd_nxt
+                        f.halve_cooldown = now + link.rtt_s
+                        f.loss_events += 1
+                        retransmit_missing(f, now)
+                        arm_rto(f, now)
+                    elif f.in_recovery and f.dupacks % cfg.dupack_threshold == 0:
+                        # Keep refilling holes as dupacks clock in.
+                        retransmit_missing(f, now)
+                    # Each dupack SACKs one segment: the pipe shrank, so
+                    # new data may fit.
+                    try_send(f, now)
+
+            elif kind == _EV_RTO:
+                if f.complete or now < f.rto_deadline - 1e-12:
+                    continue  # stale timer
+                # Retransmission timeout: collapse to one segment.
+                f.timeout_events += 1
+                f.loss_events += 1
+                f.rto_backoff += 1
+                f.ssthresh = max(f.cwnd / 2.0, 2.0)
+                f.cwnd = 1.0
+                f.dupacks = 0
+                f.in_recovery = False
+                f.retx_last.clear()
+                f.retx_last[f.snd_una] = now
+                enqueue_segment(f, f.snd_una, now, retransmit=True)
+                arm_rto(f, now)
+
+        flows = [
+            FlowRecord(
+                flow_id=f.flow_id,
+                client_id=f.client_id,
+                start_s=f.start_s,
+                end_s=f.done_at,
+                size_bytes=float(
+                    (f.total_segments - 1) * f.segment_bytes
+                    + f.last_segment_bytes
+                ),
+                bytes_sent=float(
+                    min(f.snd_una, f.total_segments - 1) * f.segment_bytes
+                    + (f.last_segment_bytes if f.complete else 0)
+                ),
+                loss_events=f.loss_events,
+                timeout_events=f.timeout_events,
+            )
+            for f in self._flows
+        ]
+        return SimulationResult(
+            flows=flows,
+            link_samples=[],
+            capacity_bytes_per_s=cap,
+            end_time_s=min(
+                max((x for x in (fl.end_s for fl in flows) if x == x), default=0.0),
+                max_time_s,
+            ),
+        )

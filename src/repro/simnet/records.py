@@ -1,0 +1,127 @@
+"""Result records produced by the network simulators."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import ValidationError
+
+__all__ = ["FlowRecord", "LinkSample", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """Lifecycle of one TCP flow.
+
+    ``end_s`` is ``nan`` for flows that had not completed when the
+    simulation stopped; use :attr:`completed` before reading durations.
+    """
+
+    flow_id: int
+    client_id: int
+    start_s: float
+    end_s: float
+    size_bytes: float
+    bytes_sent: float
+    loss_events: int
+    timeout_events: int
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ValidationError(f"start_s must be >= 0, got {self.start_s!r}")
+        if self.size_bytes <= 0:
+            raise ValidationError(f"size_bytes must be > 0, got {self.size_bytes!r}")
+        if not math.isnan(self.end_s) and self.end_s < self.start_s:
+            raise ValidationError(
+                f"end_s {self.end_s!r} precedes start_s {self.start_s!r}"
+            )
+
+    @property
+    def completed(self) -> bool:
+        """Whether the flow moved all its bytes before the sim ended."""
+        return not math.isnan(self.end_s)
+
+    @property
+    def duration_s(self) -> float:
+        """Flow completion time (``nan`` when incomplete)."""
+        return self.end_s - self.start_s if self.completed else math.nan
+
+
+@dataclass(frozen=True)
+class LinkSample:
+    """Utilisation sample of the bottleneck link over one interval."""
+
+    time_s: float
+    interval_s: float
+    bytes_sent: float
+    queue_bytes: float
+    active_flows: int
+
+    @property
+    def throughput_bytes_per_s(self) -> float:
+        """Achieved throughput in the interval."""
+        return self.bytes_sent / self.interval_s if self.interval_s > 0 else 0.0
+
+
+@dataclass
+class SimulationResult:
+    """Full output of a TCP simulation run."""
+
+    flows: List[FlowRecord] = field(default_factory=list)
+    link_samples: List[LinkSample] = field(default_factory=list)
+    capacity_bytes_per_s: float = 0.0
+    end_time_s: float = 0.0
+
+    @property
+    def completed_flows(self) -> List[FlowRecord]:
+        """Flows that finished before the simulation ended."""
+        return [f for f in self.flows if f.completed]
+
+    @property
+    def incomplete_flows(self) -> List[FlowRecord]:
+        """Flows still running when the simulation ended."""
+        return [f for f in self.flows if not f.completed]
+
+    @property
+    def all_completed(self) -> bool:
+        """Whether every flow finished."""
+        return all(f.completed for f in self.flows)
+
+    def flow_durations_s(self) -> List[float]:
+        """Durations of completed flows, in flow-id order."""
+        return [f.duration_s for f in self.flows if f.completed]
+
+    def client_completion_times_s(self) -> dict[int, float]:
+        """Per-client completion time: a client (an iperf3 invocation with
+        P parallel flows) completes when its *last* flow completes.
+
+        Clients with any incomplete flow are omitted.
+        """
+        by_client: dict[int, list[FlowRecord]] = {}
+        for f in self.flows:
+            by_client.setdefault(f.client_id, []).append(f)
+        out: dict[int, float] = {}
+        for client_id, flows in by_client.items():
+            if all(f.completed for f in flows):
+                start = min(f.start_s for f in flows)
+                end = max(f.end_s for f in flows)
+                out[client_id] = end - start
+        return out
+
+    def max_client_completion_s(self) -> Optional[float]:
+        """Worst per-client completion time (``None`` if nothing finished) —
+        the paper's ``T_worst``."""
+        times = self.client_completion_times_s()
+        return max(times.values()) if times else None
+
+    def mean_utilization(self) -> float:
+        """Mean link utilisation over the sampled intervals (0..1)."""
+        if not self.link_samples or self.capacity_bytes_per_s <= 0:
+            return 0.0
+        total_bytes = sum(s.bytes_sent for s in self.link_samples)
+        total_time = sum(s.interval_s for s in self.link_samples)
+        if total_time <= 0:
+            return 0.0
+        return total_bytes / (self.capacity_bytes_per_s * total_time)

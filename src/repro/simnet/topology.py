@@ -1,0 +1,125 @@
+"""Hosts, interfaces and testbed presets.
+
+The simulators themselves only need a :class:`~repro.simnet.link.Link`;
+this module adds the descriptive layer used for reporting (Table 1) and
+for constructing the instrument-to-HPC paths of the case studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ValidationError
+from ..units import ensure_positive
+from .link import Link
+
+__all__ = ["Host", "Path", "Topology", "fabric_testbed", "TESTBED_TABLE1"]
+
+
+@dataclass(frozen=True)
+class Host:
+    """A simulation endpoint with its (descriptive) node configuration."""
+
+    name: str
+    cpu: str = "generic"
+    vcpus: int = 1
+    memory_gb: float = 1.0
+    nic_gbps: float = 10.0
+    os: str = "linux"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("host name must be non-empty")
+        if self.vcpus < 1:
+            raise ValidationError(f"vcpus must be >= 1, got {self.vcpus!r}")
+        ensure_positive(self.memory_gb, "memory_gb")
+        ensure_positive(self.nic_gbps, "nic_gbps")
+
+
+@dataclass(frozen=True)
+class Path:
+    """A (src, dst, link) triple; the link is the path's bottleneck."""
+
+    src: str
+    dst: str
+    link: Link
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValidationError(f"path endpoints must differ, got {self.src!r}")
+
+
+@dataclass
+class Topology:
+    """A small set of named hosts and the paths between them."""
+
+    hosts: Dict[str, Host] = field(default_factory=dict)
+    paths: List[Path] = field(default_factory=list)
+
+    def add_host(self, host: Host) -> None:
+        """Register a host (name must be unique)."""
+        if host.name in self.hosts:
+            raise ValidationError(f"duplicate host {host.name!r}")
+        self.hosts[host.name] = host
+
+    def connect(self, src: str, dst: str, link: Link) -> Path:
+        """Create a bidirectional path between two registered hosts.
+
+        The NIC rates of both endpoints must be able to drive the link —
+        an undersized NIC would silently become the real bottleneck.
+        """
+        for name in (src, dst):
+            if name not in self.hosts:
+                raise ValidationError(f"unknown host {name!r}")
+        for name in (src, dst):
+            if self.hosts[name].nic_gbps < link.capacity_gbps:
+                raise ValidationError(
+                    f"host {name!r} NIC ({self.hosts[name].nic_gbps} Gbps) "
+                    f"cannot drive a {link.capacity_gbps} Gbps link"
+                )
+        path = Path(src=src, dst=dst, link=link)
+        self.paths.append(path)
+        return path
+
+    def path_between(self, src: str, dst: str) -> Optional[Path]:
+        """The first path connecting ``src`` and ``dst`` (either direction)."""
+        for path in self.paths:
+            if {path.src, path.dst} == {src, dst}:
+                return path
+        return None
+
+
+#: Table 1 of the paper, as (component, specification) rows.
+TESTBED_TABLE1: Tuple[Tuple[str, str], ...] = (
+    ("CPU", "AMD EPYC 7532 (16 vCPUs)"),
+    ("Memory", "32 GB RAM"),
+    ("Network Interface", "Mellanox ConnectX-5 (25 Gbps)"),
+    ("MTU", "9000 bytes (jumbo frames)"),
+    ("OS", "Ubuntu 22.04.5 LTS"),
+    ("Kernel", "Linux 5.15.0-143"),
+    ("Virtualization", "KVM"),
+)
+
+
+def fabric_testbed(buffer_bdp: float = 2.0) -> Topology:
+    """The paper's FABRIC testbed (Table 1): two EPYC nodes joined by a
+    25 Gbps / 16 ms path with jumbo frames."""
+    topo = Topology()
+    for name in ("sender", "receiver"):
+        topo.add_host(
+            Host(
+                name=name,
+                cpu="AMD EPYC 7532",
+                vcpus=16,
+                memory_gb=32.0,
+                nic_gbps=25.0,
+                os="Ubuntu 22.04.5 LTS (KVM)",
+            )
+        )
+    topo.connect(
+        "sender",
+        "receiver",
+        Link(capacity_gbps=25.0, rtt_s=0.016, buffer_bdp=buffer_bdp, mtu_bytes=9000),
+    )
+    return topo

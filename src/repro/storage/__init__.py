@@ -1,0 +1,22 @@
+"""Storage substrate: parallel file systems, DTN staging, aggregation
+and theta estimation (feeding Figure 4 and the Eq.-7 coefficient)."""
+
+from .filesystem import ParallelFileSystem
+from .presets import eagle_lustre, local_nvme, voyager_gpfs
+from .dtn import DtnModel, StagedTransferCost
+from .aggregation import AggregatedFile, AggregationPlan, figure4_file_counts
+from .io_overhead import ThetaEstimate, estimate_theta
+
+__all__ = [
+    "ParallelFileSystem",
+    "eagle_lustre",
+    "local_nvme",
+    "voyager_gpfs",
+    "DtnModel",
+    "StagedTransferCost",
+    "AggregatedFile",
+    "AggregationPlan",
+    "figure4_file_counts",
+    "ThetaEstimate",
+    "estimate_theta",
+]

@@ -1,0 +1,115 @@
+"""Frame-to-file aggregation strategies (Figure 4's x-axis).
+
+A scan of ``n_frames`` frames can be staged as 1 aggregate file, a few
+partial aggregates, or one file per frame.  :class:`AggregationPlan`
+computes, for each output file, how many frames it holds, its size, and
+— given the frame generation timeline — when the file *closes* (its
+last frame has been generated and written), which is when the DTN may
+start moving it.
+
+The paper's Figure 4 uses file counts {1, 10, 144, 1440} for a
+1,440-frame scan; :func:`figure4_file_counts` returns exactly those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = ["AggregatedFile", "AggregationPlan", "figure4_file_counts"]
+
+
+@dataclass(frozen=True)
+class AggregatedFile:
+    """One output file of an aggregation plan."""
+
+    index: int
+    n_frames: int
+    nbytes: float
+    first_frame: int
+    last_frame: int
+
+    def __post_init__(self) -> None:
+        if self.n_frames < 1:
+            raise ValidationError(f"n_frames must be >= 1, got {self.n_frames!r}")
+        if self.nbytes <= 0:
+            raise ValidationError(f"nbytes must be > 0, got {self.nbytes!r}")
+        if self.last_frame < self.first_frame:
+            raise ValidationError(
+                f"last_frame {self.last_frame} < first_frame {self.first_frame}"
+            )
+
+
+@dataclass(frozen=True)
+class AggregationPlan:
+    """Split ``n_frames`` frames of ``frame_bytes`` each into ``n_files``
+    files, as evenly as possible (remainder frames go to the earliest
+    files, matching writers that fill files round-robin)."""
+
+    n_frames: int
+    frame_bytes: float
+    n_files: int
+
+    def __post_init__(self) -> None:
+        if self.n_frames < 1:
+            raise ValidationError(f"n_frames must be >= 1, got {self.n_frames!r}")
+        if self.frame_bytes <= 0:
+            raise ValidationError(
+                f"frame_bytes must be > 0, got {self.frame_bytes!r}"
+            )
+        if not 1 <= self.n_files <= self.n_frames:
+            raise ValidationError(
+                f"n_files must be in [1, n_frames={self.n_frames}], "
+                f"got {self.n_files!r}"
+            )
+
+    @property
+    def total_bytes(self) -> float:
+        """Total scan volume."""
+        return self.n_frames * self.frame_bytes
+
+    def files(self) -> List[AggregatedFile]:
+        """The output files in write order."""
+        base = self.n_frames // self.n_files
+        extra = self.n_frames % self.n_files
+        out: List[AggregatedFile] = []
+        first = 0
+        for i in range(self.n_files):
+            count = base + (1 if i < extra else 0)
+            out.append(
+                AggregatedFile(
+                    index=i,
+                    n_frames=count,
+                    nbytes=count * self.frame_bytes,
+                    first_frame=first,
+                    last_frame=first + count - 1,
+                )
+            )
+            first += count
+        return out
+
+    def close_times_s(self, frame_times_s: np.ndarray) -> np.ndarray:
+        """When each file's content is fully generated.
+
+        ``frame_times_s[i]`` is the generation-completion time of frame
+        ``i``; the file closes at its last frame's time (write latency is
+        added by the pipeline, not here).
+        """
+        times = np.asarray(frame_times_s, dtype=float)
+        if times.shape[0] != self.n_frames:
+            raise ValidationError(
+                f"expected {self.n_frames} frame times, got {times.shape[0]}"
+            )
+        if np.any(np.diff(times) < 0):
+            raise ValidationError("frame times must be non-decreasing")
+        return np.array([times[f.last_frame] for f in self.files()])
+
+
+def figure4_file_counts() -> Tuple[int, ...]:
+    """The file-count ladder of Figure 4: fully aggregated, two partial
+    aggregations, and one-file-per-frame."""
+    return (1, 10, 144, 1440)

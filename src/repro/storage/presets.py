@@ -1,0 +1,49 @@
+"""File-system presets for the facilities named in the paper.
+
+Per-stream numbers, not aggregate fabric numbers: a single DTN process
+moving one file sees a couple of GB/s on both GPFS and Lustre, while the
+metadata path costs milliseconds per namespace operation.  These values
+are calibration constants for the Figure-4 reproduction; the shape of
+the result (streaming ≪ aggregated files ≪ many small files at high
+rates) is robust to factor-of-2 changes in any of them.
+"""
+
+from __future__ import annotations
+
+from .filesystem import ParallelFileSystem
+
+__all__ = ["voyager_gpfs", "eagle_lustre", "local_nvme"]
+
+
+def voyager_gpfs() -> ParallelFileSystem:
+    """APS *Voyager* GPFS (the source side of Figure 4)."""
+    return ParallelFileSystem(
+        name="Voyager (GPFS)",
+        fs_type="GPFS",
+        metadata_latency_s=0.005,
+        write_bandwidth_gbytes_per_s=2.0,
+        read_bandwidth_gbytes_per_s=2.5,
+    )
+
+
+def eagle_lustre() -> ParallelFileSystem:
+    """ALCF *Eagle* Lustre (the destination side of Figure 4)."""
+    return ParallelFileSystem(
+        name="Eagle (Lustre)",
+        fs_type="Lustre",
+        metadata_latency_s=0.008,
+        write_bandwidth_gbytes_per_s=2.0,
+        read_bandwidth_gbytes_per_s=3.0,
+    )
+
+
+def local_nvme() -> ParallelFileSystem:
+    """A beamline workstation NVMe scratch volume (local-processing
+    baseline in the examples)."""
+    return ParallelFileSystem(
+        name="local NVMe",
+        fs_type="NVMe",
+        metadata_latency_s=0.0002,
+        write_bandwidth_gbytes_per_s=3.0,
+        read_bandwidth_gbytes_per_s=5.0,
+    )

@@ -1,0 +1,40 @@
+"""Streaming and file-based data-movement pipelines (Figures 1 and 4)."""
+
+from .transfer_models import (
+    EffectiveRateTransfer,
+    IdealTransfer,
+    SssInflatedTransfer,
+    TransferModel,
+)
+from .pipeline import (
+    StreamingPipeline,
+    StreamingResult,
+    analytic_streaming_completion_s,
+)
+from .filebased import FileBasedPipeline, FileBasedResult
+from .comparison import (
+    ComparisonResult,
+    ScenarioOutcome,
+    compare_methods,
+    default_dtn,
+    default_streaming_network,
+    run_figure4,
+)
+
+__all__ = [
+    "EffectiveRateTransfer",
+    "IdealTransfer",
+    "SssInflatedTransfer",
+    "TransferModel",
+    "StreamingPipeline",
+    "StreamingResult",
+    "analytic_streaming_completion_s",
+    "FileBasedPipeline",
+    "FileBasedResult",
+    "ComparisonResult",
+    "ScenarioOutcome",
+    "compare_methods",
+    "default_dtn",
+    "default_streaming_network",
+    "run_figure4",
+]

@@ -1,0 +1,183 @@
+"""The Figure-4 comparison: streaming vs file-based staging.
+
+Runs the streaming pipeline and every file-count variant of the
+file-based pipeline for one scan, collecting end-to-end completion
+times (data remotely available).  :func:`run_figure4` executes the
+paper's full scenario: the APS 1,440-frame scan at 0.033 s/frame and
+0.33 s/frame against the Voyager-GPFS → Eagle-Lustre path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ValidationError
+from ..storage.aggregation import AggregationPlan, figure4_file_counts
+from ..storage.dtn import DtnModel
+from ..storage.filesystem import ParallelFileSystem
+from ..storage.presets import eagle_lustre, voyager_gpfs
+from ..workloads.scan import FIGURE4_FRAME_INTERVALS, ScanSpec, aps_scan_fast
+from .filebased import FileBasedPipeline, FileBasedResult
+from .pipeline import StreamingPipeline, StreamingResult
+from .transfer_models import EffectiveRateTransfer
+
+__all__ = [
+    "ScenarioOutcome",
+    "ComparisonResult",
+    "compare_methods",
+    "run_figure4",
+    "default_dtn",
+    "default_streaming_network",
+]
+
+
+def default_dtn(bandwidth_gbps: float = 25.0) -> DtnModel:
+    """The file-based WAN path: a file-transfer tool sustaining half the
+    raw link with a 1 s per-file setup cost (Globus/GridFTP-class)."""
+    return DtnModel(
+        wan_bandwidth_gbps=bandwidth_gbps,
+        alpha=0.5,
+        per_file_setup_s=1.0,
+        checksum_gbytes_per_s=None,
+        concurrency=1,
+    )
+
+
+def default_streaming_network(
+    bandwidth_gbps: float = 25.0, rtt_s: float = 0.016
+) -> EffectiveRateTransfer:
+    """The streaming WAN path: a memory-to-memory framework sustaining
+    80 % of the raw link."""
+    return EffectiveRateTransfer(
+        bandwidth_gbps=bandwidth_gbps, alpha=0.8, rtt_s=rtt_s
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """One bar of Figure 4."""
+
+    method: str
+    n_files: Optional[int]
+    completion_s: float
+    generation_end_s: float
+
+    @property
+    def transfer_overhead_s(self) -> float:
+        """Time beyond pure generation."""
+        return self.completion_s - self.generation_end_s
+
+
+@dataclass
+class ComparisonResult:
+    """All methods for one scan rate."""
+
+    scan: ScanSpec
+    outcomes: List[ScenarioOutcome] = field(default_factory=list)
+    streaming_detail: Optional[StreamingResult] = None
+    file_details: Dict[int, FileBasedResult] = field(default_factory=dict)
+
+    def outcome(self, method: str, n_files: Optional[int] = None) -> ScenarioOutcome:
+        """Look up one outcome by method (and file count for file-based)."""
+        for o in self.outcomes:
+            if o.method == method and o.n_files == n_files:
+                return o
+        raise ValidationError(f"no outcome for method={method!r} n_files={n_files!r}")
+
+    @property
+    def streaming_completion_s(self) -> float:
+        """The streaming bar."""
+        return self.outcome("streaming").completion_s
+
+    def reduction_vs_file_pct(self, n_files: int) -> float:
+        """Streaming's completion-time reduction against one file-based
+        variant, in percent — the paper's headline form."""
+        file_t = self.outcome("file", n_files).completion_s
+        return 100.0 * (1.0 - self.streaming_completion_s / file_t)
+
+    def best_file_based(self) -> ScenarioOutcome:
+        """The fastest file-based variant."""
+        file_outcomes = [o for o in self.outcomes if o.method == "file"]
+        if not file_outcomes:
+            raise ValidationError("no file-based outcomes recorded")
+        return min(file_outcomes, key=lambda o: o.completion_s)
+
+    def worst_file_based(self) -> ScenarioOutcome:
+        """The slowest file-based variant (the small-file case)."""
+        file_outcomes = [o for o in self.outcomes if o.method == "file"]
+        if not file_outcomes:
+            raise ValidationError("no file-based outcomes recorded")
+        return max(file_outcomes, key=lambda o: o.completion_s)
+
+
+def compare_methods(
+    scan: ScanSpec,
+    file_counts: Sequence[int] = figure4_file_counts(),
+    source: Optional[ParallelFileSystem] = None,
+    destination: Optional[ParallelFileSystem] = None,
+    dtn: Optional[DtnModel] = None,
+    streaming_network: Optional[EffectiveRateTransfer] = None,
+    keep_details: bool = False,
+) -> ComparisonResult:
+    """Run streaming plus every file-based variant for one scan."""
+    if not file_counts:
+        raise ValidationError("file_counts must be non-empty")
+    source = source or voyager_gpfs()
+    destination = destination or eagle_lustre()
+    dtn = dtn or default_dtn()
+    streaming_network = streaming_network or default_streaming_network()
+
+    result = ComparisonResult(scan=scan)
+
+    stream = StreamingPipeline(scan, streaming_network).run()
+    result.outcomes.append(
+        ScenarioOutcome(
+            method="streaming",
+            n_files=None,
+            completion_s=stream.completion_s,
+            generation_end_s=stream.generation_end_s,
+        )
+    )
+    if keep_details:
+        result.streaming_detail = stream
+
+    for n_files in file_counts:
+        plan = AggregationPlan(
+            n_frames=scan.n_frames,
+            frame_bytes=float(scan.frame_bytes),
+            n_files=n_files,
+        )
+        run = FileBasedPipeline(scan, plan, source, destination, dtn).run()
+        result.outcomes.append(
+            ScenarioOutcome(
+                method="file",
+                n_files=n_files,
+                completion_s=run.completion_s,
+                generation_end_s=run.generation_end_s,
+            )
+        )
+        if keep_details:
+            result.file_details[n_files] = run
+    return result
+
+
+def run_figure4(
+    bandwidth_gbps: float = 25.0,
+    file_counts: Sequence[int] = figure4_file_counts(),
+) -> Dict[float, ComparisonResult]:
+    """The full Figure-4 scenario: both frame rates, all methods.
+
+    Returns a mapping ``frame_interval_s -> ComparisonResult``.
+    """
+    base = aps_scan_fast()
+    out: Dict[float, ComparisonResult] = {}
+    for interval in FIGURE4_FRAME_INTERVALS:
+        scan = base.with_interval(interval)
+        out[interval] = compare_methods(
+            scan,
+            file_counts=file_counts,
+            dtn=default_dtn(bandwidth_gbps),
+            streaming_network=default_streaming_network(bandwidth_gbps),
+        )
+    return out

@@ -1,0 +1,200 @@
+"""Memory-to-memory streaming pipeline (Figure 1(b) / Figure 4).
+
+The streaming workflow overlaps transmission with generation: each
+frame is pushed to the remote memory as soon as the detector finishes
+it, with no file system in the path.  Discrete-event model:
+
+- a *producer* process emits frames at the scan's cadence (or along an
+  arbitrary trace) into a bounded in-memory send buffer,
+- a *sender* process drains the buffer FIFO, occupying the network for
+  ``transfer_time_s(frame_bytes)`` per frame,
+- when the buffer is full the producer blocks (back-pressure) — with a
+  loss-intolerant workload (Section 2.1) dropping is not an option, so
+  a slow network stalls the instrument, exactly the failure mode the
+  feasibility analysis must expose.
+
+The run records per-frame generation/delivery times; the headline
+metric is :attr:`StreamingResult.completion_s` — when the last frame is
+remotely available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError, ValidationError
+from ..simnet.engine import Environment
+from ..units import ensure_positive
+from ..workloads.scan import ScanSpec
+from .transfer_models import TransferModel
+
+__all__ = ["StreamingResult", "StreamingPipeline"]
+
+
+@dataclass
+class StreamingResult:
+    """Timing record of one streaming run."""
+
+    frame_generated_s: np.ndarray
+    frame_delivered_s: np.ndarray
+    producer_stall_s: float
+    completion_s: float
+    generation_end_s: float
+
+    @property
+    def n_frames(self) -> int:
+        """Number of frames streamed."""
+        return int(self.frame_generated_s.shape[0])
+
+    @property
+    def overlap_efficiency(self) -> float:
+        """How much of the transfer hid behind generation: 1 means the
+        stream finished with the scan, larger values mean the network
+        trailed behind (completion / generation end)."""
+        return self.completion_s / self.generation_end_s
+
+    def frame_latencies_s(self) -> np.ndarray:
+        """Per-frame delivery latency (delivered - generated)."""
+        return self.frame_delivered_s - self.frame_generated_s
+
+
+class StreamingPipeline:
+    """Simulate streaming one scan over a transfer model.
+
+    Parameters
+    ----------
+    scan:
+        The acquisition to stream.
+    network:
+        Transfer model for one frame's push.
+    buffer_frames:
+        Send-buffer capacity in frames; the producer stalls when full.
+        ``None`` means unbounded (no back-pressure).
+    frame_times_s:
+        Optional explicit generation trace overriding the scan cadence.
+    """
+
+    def __init__(
+        self,
+        scan: ScanSpec,
+        network: TransferModel,
+        buffer_frames: Optional[int] = None,
+        frame_times_s: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.scan = scan
+        self.network = network
+        if buffer_frames is not None and buffer_frames < 1:
+            raise ValidationError(
+                f"buffer_frames must be >= 1 or None, got {buffer_frames!r}"
+            )
+        self.buffer_frames = buffer_frames
+        if frame_times_s is not None:
+            times = np.asarray(frame_times_s, dtype=float)
+            if times.shape[0] != scan.n_frames:
+                raise ValidationError(
+                    f"frame_times_s must have {scan.n_frames} entries, "
+                    f"got {times.shape[0]}"
+                )
+            if np.any(np.diff(times) < 0) or np.any(times < 0):
+                raise ValidationError("frame_times_s must be non-decreasing and >= 0")
+            self._trace = times
+        else:
+            self._trace = scan.frame_times_s()
+
+    def run(self) -> StreamingResult:
+        """Execute the discrete-event simulation."""
+        env = Environment()
+        n = self.scan.n_frames
+        frame_bytes = float(self.scan.frame_bytes)
+        generated = np.full(n, np.nan)
+        delivered = np.full(n, np.nan)
+        queue: List[int] = []
+        stall_total = 0.0
+        sender_idle = env.event()
+
+        state = {"sender_idle_event": sender_idle, "producer_blocked": None}
+
+        def producer(env: Environment):
+            nonlocal stall_total
+            for i in range(n):
+                wait = self._trace[i] - env.now
+                if wait > 0:
+                    yield wait
+                # Back-pressure: block while the buffer is full.
+                while (
+                    self.buffer_frames is not None
+                    and len(queue) >= self.buffer_frames
+                ):
+                    blocked = env.event()
+                    state["producer_blocked"] = blocked
+                    t0 = env.now
+                    yield blocked
+                    stall_total += env.now - t0
+                generated[i] = env.now
+                queue.append(i)
+                # Wake the sender if it is parked.
+                idle = state["sender_idle_event"]
+                if idle is not None and not idle.triggered:
+                    idle.succeed()
+
+        def sender(env: Environment):
+            sent = 0
+            while sent < n:
+                if not queue:
+                    idle = env.event()
+                    state["sender_idle_event"] = idle
+                    yield idle
+                    continue
+                i = queue.pop(0)
+                # Buffer slot freed: unblock the producer if waiting.
+                blocked = state["producer_blocked"]
+                if blocked is not None and not blocked.triggered:
+                    state["producer_blocked"] = None
+                    blocked.succeed()
+                yield self.network.transfer_time_s(frame_bytes)
+                delivered[i] = env.now
+                sent += 1
+
+        env.process(producer(env))
+        env.process(sender(env))
+        env.run()
+
+        if np.any(np.isnan(delivered)):
+            raise SimulationError("streaming run ended with undelivered frames")
+        return StreamingResult(
+            frame_generated_s=generated,
+            frame_delivered_s=delivered,
+            producer_stall_s=stall_total,
+            completion_s=float(delivered.max()),
+            generation_end_s=float(generated.max()),
+        )
+
+
+def analytic_streaming_completion_s(
+    scan: ScanSpec, network: TransferModel
+) -> float:
+    """Closed-form check for the unbuffered-bottleneck case.
+
+    With deterministic cadence, completion is
+    ``max(generation end, total transfer busy time) + last-frame
+    delivery`` — the DES result must match this to float precision for
+    deterministic traces (used in tests).
+    """
+    ensure_positive(scan.n_frames, "n_frames")
+    per_frame = network.transfer_time_s(float(scan.frame_bytes))
+    interval = scan.frame_interval_s
+    # Recurrence: sender finishes frame i at
+    # f(i) = max(gen_i, f(i-1)) + per_frame; with deterministic spacing
+    # the max telescopes to the classic single-server-queue form.
+    gen = scan.frame_times_s()
+    finish = 0.0
+    for g in gen:
+        finish = max(g, finish) + per_frame
+    del interval
+    return float(finish)
+
+
+__all__.append("analytic_streaming_completion_s")

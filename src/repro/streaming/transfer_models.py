@@ -1,0 +1,125 @@
+"""Network transfer models for the pipelines.
+
+The pipelines need a per-chunk transfer time.  Three fidelity levels:
+
+- :class:`IdealTransfer` — raw link rate (the paper's
+  ``T_theoretical``); useful as the lower bound,
+- :class:`EffectiveRateTransfer` — ``alpha``-derated rate plus a
+  half-RTT delivery latency; the model the closed-form Eq. 5 assumes,
+- :class:`SssInflatedTransfer` — effective rate further multiplied by a
+  measured Streaming Speed Score, yielding the worst-case timing the
+  paper argues should drive design.
+
+All models satisfy the :class:`TransferModel` protocol:
+``transfer_time_s(nbytes)`` returns the wall time to deliver ``nbytes``
+once the sender starts sending.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from ..errors import ValidationError
+from ..units import GIGA, ensure_fraction, ensure_non_negative, ensure_positive
+
+__all__ = [
+    "TransferModel",
+    "IdealTransfer",
+    "EffectiveRateTransfer",
+    "SssInflatedTransfer",
+]
+
+
+class TransferModel(Protocol):
+    """Per-chunk transfer timing."""
+
+    def transfer_time_s(self, nbytes: float) -> float:
+        """Wall time to deliver ``nbytes`` end to end."""
+        ...  # pragma: no cover - protocol
+
+    @property
+    def rate_bytes_per_s(self) -> float:
+        """Sustained delivery rate."""
+        ...  # pragma: no cover - protocol
+
+
+def _check_nbytes(nbytes: float) -> None:
+    if nbytes < 0:
+        raise ValidationError(f"nbytes must be >= 0, got {nbytes!r}")
+
+
+@dataclass(frozen=True)
+class IdealTransfer:
+    """Raw-link transmission: ``nbytes / Bw`` plus half-RTT delivery."""
+
+    bandwidth_gbps: float
+    rtt_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.bandwidth_gbps, "bandwidth_gbps")
+        ensure_non_negative(self.rtt_s, "rtt_s")
+
+    @property
+    def rate_bytes_per_s(self) -> float:
+        """Line rate in bytes/s."""
+        return self.bandwidth_gbps * GIGA / 8.0
+
+    def transfer_time_s(self, nbytes: float) -> float:
+        """Transmission plus propagation delay."""
+        _check_nbytes(nbytes)
+        return nbytes / self.rate_bytes_per_s + self.rtt_s / 2.0
+
+
+@dataclass(frozen=True)
+class EffectiveRateTransfer:
+    """Eq.-5 semantics: ``nbytes / (alpha * Bw)`` plus half-RTT."""
+
+    bandwidth_gbps: float
+    alpha: float = 1.0
+    rtt_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.bandwidth_gbps, "bandwidth_gbps")
+        ensure_fraction(self.alpha, "alpha")
+        ensure_non_negative(self.rtt_s, "rtt_s")
+
+    @property
+    def rate_bytes_per_s(self) -> float:
+        """Effective rate in bytes/s."""
+        return self.alpha * self.bandwidth_gbps * GIGA / 8.0
+
+    def transfer_time_s(self, nbytes: float) -> float:
+        """Effective-rate transmission plus propagation delay."""
+        _check_nbytes(nbytes)
+        return nbytes / self.rate_bytes_per_s + self.rtt_s / 2.0
+
+
+@dataclass(frozen=True)
+class SssInflatedTransfer:
+    """Worst-case timing: raw-link time scaled by a measured SSS.
+
+    Per Eq. 11, ``SSS = T_worst / T_theoretical`` with the theoretical
+    time computed at *raw* bandwidth, so the inflated model multiplies
+    the ideal transmission term (not the alpha-derated one).
+    """
+
+    bandwidth_gbps: float
+    sss: float
+    rtt_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.bandwidth_gbps, "bandwidth_gbps")
+        if self.sss < 1.0:
+            raise ValidationError(f"sss must be >= 1, got {self.sss!r}")
+        ensure_non_negative(self.rtt_s, "rtt_s")
+
+    @property
+    def rate_bytes_per_s(self) -> float:
+        """Worst-case sustained rate in bytes/s."""
+        return self.bandwidth_gbps * GIGA / 8.0 / self.sss
+
+    def transfer_time_s(self, nbytes: float) -> float:
+        """SSS-inflated transmission plus propagation delay."""
+        _check_nbytes(nbytes)
+        return nbytes / self.rate_bytes_per_s + self.rtt_s / 2.0

@@ -1,0 +1,195 @@
+"""Unit constants and conversion helpers.
+
+The paper (Section 3.1) expresses quantities in *decimal* units:
+
+- data sizes in gigabytes, ``1 GB = 1e9 bytes`` (the 12.6 GB scan of
+  Figure 4 is ``1440 * 2048 * 2048 * 2`` bytes ``= 12.08 GiB = 12.6 GB``),
+- link bandwidth in Gbps (``25 Gbps = 3.125 GB/s``),
+- processing rates in TFLOPS (``1e12`` FLOP/s),
+- computational complexity in FLOP/GB.
+
+This module centralises those conventions so no other module hard-codes
+a conversion factor.  All helpers are pure functions that accept floats
+or numpy arrays and validate sign where a negative value can never be
+meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from .errors import UnitError
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "PB",
+    "KIB",
+    "MIB",
+    "GIB",
+    "BITS_PER_BYTE",
+    "KILO",
+    "MEGA",
+    "GIGA",
+    "TERA",
+    "PETA",
+    "SECONDS_PER_MINUTE",
+    "SECONDS_PER_HOUR",
+    "SECONDS_PER_DAY",
+    "gb_to_bytes",
+    "bytes_to_gb",
+    "mb_to_bytes",
+    "bytes_to_mb",
+    "gbps_to_gbytes_per_s",
+    "gbytes_per_s_to_gbps",
+    "gbps_to_bytes_per_s",
+    "bytes_per_s_to_gbps",
+    "tflops_to_flops",
+    "flops_to_tflops",
+    "tb_per_day_to_gbps",
+    "gbps_to_tb_per_day",
+    "seconds_to_ms",
+    "ms_to_seconds",
+    "ensure_positive",
+    "ensure_non_negative",
+    "ensure_fraction",
+]
+
+ArrayLike = Union[float, int, np.ndarray]
+
+#: Decimal byte multiples (SI), as used throughout the paper.
+KB: float = 1e3
+MB: float = 1e6
+GB: float = 1e9
+TB: float = 1e12
+PB: float = 1e15
+
+#: Binary byte multiples, used only when describing file-system blocks.
+KIB: float = 1024.0
+MIB: float = 1024.0**2
+GIB: float = 1024.0**3
+
+BITS_PER_BYTE: float = 8.0
+
+KILO: float = 1e3
+MEGA: float = 1e6
+GIGA: float = 1e9
+TERA: float = 1e12
+PETA: float = 1e15
+
+SECONDS_PER_MINUTE: float = 60.0
+SECONDS_PER_HOUR: float = 3600.0
+SECONDS_PER_DAY: float = 86400.0
+
+
+def ensure_positive(value: ArrayLike, name: str) -> ArrayLike:
+    """Return ``value`` unchanged if strictly positive, else raise.
+
+    Works element-wise on numpy arrays.
+    """
+    arr = np.asarray(value, dtype=float)
+    if not np.all(np.isfinite(arr)):
+        raise UnitError(f"{name} must be finite, got {value!r}")
+    if not np.all(arr > 0):
+        raise UnitError(f"{name} must be strictly positive, got {value!r}")
+    return value
+
+
+def ensure_non_negative(value: ArrayLike, name: str) -> ArrayLike:
+    """Return ``value`` unchanged if ``>= 0`` everywhere, else raise."""
+    arr = np.asarray(value, dtype=float)
+    if not np.all(np.isfinite(arr)):
+        raise UnitError(f"{name} must be finite, got {value!r}")
+    if not np.all(arr >= 0):
+        raise UnitError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def ensure_fraction(value: ArrayLike, name: str) -> ArrayLike:
+    """Return ``value`` unchanged if in ``(0, 1]`` everywhere, else raise.
+
+    Used for efficiency coefficients such as the transfer-efficiency
+    ``alpha`` of Section 3.1, which by construction cannot exceed 1
+    (an effective rate cannot exceed the raw link bandwidth).
+    """
+    arr = np.asarray(value, dtype=float)
+    if not np.all(np.isfinite(arr)):
+        raise UnitError(f"{name} must be finite, got {value!r}")
+    if not (np.all(arr > 0) and np.all(arr <= 1.0)):
+        raise UnitError(f"{name} must lie in (0, 1], got {value!r}")
+    return value
+
+
+def gb_to_bytes(gigabytes: ArrayLike) -> ArrayLike:
+    """Convert decimal gigabytes to bytes."""
+    return np.multiply(gigabytes, GB)
+
+
+def bytes_to_gb(nbytes: ArrayLike) -> ArrayLike:
+    """Convert bytes to decimal gigabytes."""
+    return np.divide(nbytes, GB)
+
+
+def mb_to_bytes(megabytes: ArrayLike) -> ArrayLike:
+    """Convert decimal megabytes to bytes."""
+    return np.multiply(megabytes, MB)
+
+
+def bytes_to_mb(nbytes: ArrayLike) -> ArrayLike:
+    """Convert bytes to decimal megabytes."""
+    return np.divide(nbytes, MB)
+
+
+def gbps_to_gbytes_per_s(gbps: ArrayLike) -> ArrayLike:
+    """Convert gigabits/s to gigabytes/s (``25 Gbps -> 3.125 GB/s``)."""
+    return np.divide(gbps, BITS_PER_BYTE)
+
+
+def gbytes_per_s_to_gbps(gbytes_per_s: ArrayLike) -> ArrayLike:
+    """Convert gigabytes/s to gigabits/s (``3.125 GB/s -> 25 Gbps``)."""
+    return np.multiply(gbytes_per_s, BITS_PER_BYTE)
+
+
+def gbps_to_bytes_per_s(gbps: ArrayLike) -> ArrayLike:
+    """Convert gigabits/s to bytes/s."""
+    return np.multiply(gbps, GIGA / BITS_PER_BYTE)
+
+
+def bytes_per_s_to_gbps(bytes_per_s: ArrayLike) -> ArrayLike:
+    """Convert bytes/s to gigabits/s."""
+    return np.multiply(bytes_per_s, BITS_PER_BYTE / GIGA)
+
+
+def tflops_to_flops(tflops: ArrayLike) -> ArrayLike:
+    """Convert TFLOPS to FLOP/s."""
+    return np.multiply(tflops, TERA)
+
+
+def flops_to_tflops(flops: ArrayLike) -> ArrayLike:
+    """Convert FLOP/s to TFLOPS."""
+    return np.divide(flops, TERA)
+
+
+def tb_per_day_to_gbps(tb_per_day: ArrayLike) -> ArrayLike:
+    """Convert terabytes/day (the researcher-facing Data Transfer
+    Scorecard unit, Section 2.1) to gigabits/s."""
+    return np.multiply(tb_per_day, TB * BITS_PER_BYTE / (GIGA * SECONDS_PER_DAY))
+
+
+def gbps_to_tb_per_day(gbps: ArrayLike) -> ArrayLike:
+    """Convert gigabits/s to terabytes/day."""
+    return np.multiply(gbps, GIGA * SECONDS_PER_DAY / (TB * BITS_PER_BYTE))
+
+
+def seconds_to_ms(seconds: ArrayLike) -> ArrayLike:
+    """Convert seconds to milliseconds."""
+    return np.multiply(seconds, 1e3)
+
+
+def ms_to_seconds(ms: ArrayLike) -> ArrayLike:
+    """Convert milliseconds to seconds."""
+    return np.divide(ms, 1e3)

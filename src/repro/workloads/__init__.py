@@ -1,0 +1,48 @@
+"""Workload descriptions: instruments, facility presets (Section 2.2),
+the LCLS-II Table-3 workflows, the Figure-4 APS scan and synthetic
+frame-arrival traces."""
+
+from .instrument import FrameSpec, Instrument
+from .facilities import (
+    all_facilities,
+    aps_tomography,
+    frib_deleria,
+    lcls2_imaging,
+    lhc_atlas,
+)
+from .lcls import (
+    TABLE3_ROWS,
+    Workflow,
+    coherent_scattering,
+    liquid_scattering,
+    table3_workflows,
+)
+from .scan import (
+    FIGURE4_FRAME_INTERVALS,
+    ScanSpec,
+    aps_scan_fast,
+    aps_scan_slow,
+)
+from .traces import bursty_trace, deterministic_trace, jittered_trace
+
+__all__ = [
+    "FrameSpec",
+    "Instrument",
+    "all_facilities",
+    "aps_tomography",
+    "frib_deleria",
+    "lcls2_imaging",
+    "lhc_atlas",
+    "TABLE3_ROWS",
+    "Workflow",
+    "coherent_scattering",
+    "liquid_scattering",
+    "table3_workflows",
+    "FIGURE4_FRAME_INTERVALS",
+    "ScanSpec",
+    "aps_scan_fast",
+    "aps_scan_slow",
+    "bursty_trace",
+    "deterministic_trace",
+    "jittered_trace",
+]

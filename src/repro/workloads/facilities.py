@@ -1,0 +1,88 @@
+"""Facility presets (paper Section 2.2, "Science Drivers").
+
+Each function returns an :class:`~repro.workloads.instrument.Instrument`
+encoding the data-rate characteristics the paper quotes:
+
+- **LHC**: 40 MHz collisions, ~1 MB raw events, 40 TB/s raw, reduced to
+  ~1 GB/s for storage by the trigger chain (factor ~40,000),
+- **LCLS-II**: up to 1 MHz imaging detectors, 200 GB/s (2023) scaling to
+  1 TB/s (2029), DRP reduction ~10x,
+- **APS tomography**: 10s of GB/s from beamline detectors, streamed to
+  ALCF (up to 1,200 cores, 204 projections/s reconstruction),
+- **FRIB / DELERIA**: gamma-ray waveforms streamed at 40 Gbps, reduced
+  97.5 % to a 240 MB/s event stream across >100 analysis processes.
+"""
+
+from __future__ import annotations
+
+from .instrument import FrameSpec, Instrument
+
+__all__ = [
+    "lhc_atlas",
+    "lcls2_imaging",
+    "aps_tomography",
+    "frib_deleria",
+    "all_facilities",
+]
+
+
+def lhc_atlas() -> Instrument:
+    """ATLAS at the LHC: 40 MHz of ~1 MB raw events, trigger-reduced to
+    ~1 GB/s permanent storage (Section 2.2.1)."""
+    return Instrument(
+        name="LHC/ATLAS",
+        frame=FrameSpec(width_px=1000, height_px=500, bytes_per_px=2),  # ~1 MB event
+        frame_interval_s=1.0 / 40e6,
+        reduction_factor=40_000.0,
+    )
+
+
+def lcls2_imaging(year: int = 2023) -> Instrument:
+    """LCLS-II ultra-high-rate imaging (Section 2.2.2).
+
+    2023: ~200 GB/s raw at up to 1 MHz; 2029: >1 TB/s.  The DRP reduces
+    volume by roughly an order of magnitude before data leaves the
+    facility.
+    """
+    if year >= 2029:
+        # 1 TB/s raw: 1 MB frames at 1 MHz.
+        frame = FrameSpec(width_px=1000, height_px=500, bytes_per_px=2)
+        interval = 1.0 / 1e6
+    else:
+        # 200 GB/s raw: 1 MB frames at 200 kHz.
+        frame = FrameSpec(width_px=1000, height_px=500, bytes_per_px=2)
+        interval = 1.0 / 2e5
+    return Instrument(
+        name=f"LCLS-II imaging ({year})",
+        frame=frame,
+        frame_interval_s=interval,
+        reduction_factor=10.0,
+    )
+
+
+def aps_tomography(frame_interval_s: float = 0.033) -> Instrument:
+    """APS real-time tomography (Sections 2.2.3, 4.2): 2048x2048
+    16-bit projections; the default interval is Figure 4's fast rate."""
+    return Instrument(
+        name="APS tomography",
+        frame=FrameSpec(width_px=2048, height_px=2048, bytes_per_px=2),
+        frame_interval_s=frame_interval_s,
+        reduction_factor=1.0,
+    )
+
+
+def frib_deleria() -> Instrument:
+    """FRIB gamma-ray streaming via DELERIA (Section 2.2.4): 40 Gbps
+    detector stream, 97.5 % reduction to a 240 MB/s event stream."""
+    # 40 Gbps = 5 GB/s raw; model as 5 MB waveform blocks at 1 kHz.
+    return Instrument(
+        name="FRIB/DELERIA",
+        frame=FrameSpec(width_px=1600, height_px=1563, bytes_per_px=2),  # ~5 MB
+        frame_interval_s=0.001,
+        reduction_factor=40.0,  # 97.5% reduction
+    )
+
+
+def all_facilities() -> list[Instrument]:
+    """Every preset, for sweep-style reporting."""
+    return [lhc_atlas(), lcls2_imaging(), aps_tomography(), frib_deleria()]

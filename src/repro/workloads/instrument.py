@@ -1,0 +1,112 @@
+"""Instrument and detector descriptions.
+
+An :class:`Instrument` is a frame source: frame geometry, acquisition
+rate and an optional on-detector data-reduction factor (the paper's
+science drivers all reduce data before shipping it — LCLS-II's DRP by
+~10x, DELERIA by 97.5 %).  The derived *post-reduction* data rate is the
+load offered to the network/processing decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ValidationError
+from ..units import GB, ensure_positive
+
+__all__ = ["FrameSpec", "Instrument"]
+
+
+@dataclass(frozen=True)
+class FrameSpec:
+    """Geometry of one detector frame."""
+
+    width_px: int
+    height_px: int
+    bytes_per_px: int = 2
+
+    def __post_init__(self) -> None:
+        if self.width_px < 1 or self.height_px < 1:
+            raise ValidationError(
+                f"frame dimensions must be >= 1, got "
+                f"{self.width_px}x{self.height_px}"
+            )
+        if self.bytes_per_px < 1:
+            raise ValidationError(
+                f"bytes_per_px must be >= 1, got {self.bytes_per_px!r}"
+            )
+
+    @property
+    def nbytes(self) -> int:
+        """Frame payload in bytes."""
+        return self.width_px * self.height_px * self.bytes_per_px
+
+    @property
+    def size_gb(self) -> float:
+        """Frame payload in decimal GB."""
+        return self.nbytes / GB
+
+
+@dataclass(frozen=True)
+class Instrument:
+    """A frame-producing instrument.
+
+    Parameters
+    ----------
+    name:
+        Facility / beamline label.
+    frame:
+        Frame geometry.
+    frame_interval_s:
+        Seconds between consecutive frames (1 / acquisition rate).
+    reduction_factor:
+        On-detector/DRP volume reduction applied before data leaves the
+        instrument (``10`` means a tenth of the raw volume is shipped).
+        ``1`` ships raw frames.
+    """
+
+    name: str
+    frame: FrameSpec
+    frame_interval_s: float
+    reduction_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("instrument name must be non-empty")
+        ensure_positive(self.frame_interval_s, "frame_interval_s")
+        if self.reduction_factor < 1.0:
+            raise ValidationError(
+                f"reduction_factor must be >= 1, got {self.reduction_factor!r}"
+            )
+
+    @property
+    def frame_rate_hz(self) -> float:
+        """Frames per second."""
+        return 1.0 / self.frame_interval_s
+
+    @property
+    def raw_rate_gbytes_per_s(self) -> float:
+        """Raw detector output rate (GB/s)."""
+        return self.frame.size_gb * self.frame_rate_hz
+
+    @property
+    def shipped_rate_gbytes_per_s(self) -> float:
+        """Post-reduction rate offered to the network (GB/s)."""
+        return self.raw_rate_gbytes_per_s / self.reduction_factor
+
+    @property
+    def shipped_rate_gbps(self) -> float:
+        """Post-reduction rate in gigabits/s."""
+        return self.shipped_rate_gbytes_per_s * 8.0
+
+    @property
+    def shipped_frame_bytes(self) -> float:
+        """Post-reduction per-frame payload in bytes."""
+        return self.frame.nbytes / self.reduction_factor
+
+    def fits_link(self, bandwidth_gbps: float, alpha: float = 1.0) -> bool:
+        """Whether the shipped rate fits an ``alpha``-derated link — the
+        hard feasibility gate the case study applies to Liquid
+        Scattering (4 GB/s on a 25 Gbps link fails)."""
+        ensure_positive(bandwidth_gbps, "bandwidth_gbps")
+        return self.shipped_rate_gbps <= alpha * bandwidth_gbps

@@ -1,0 +1,131 @@
+"""LCLS-II compute-intensive workflows (paper Table 3).
+
+Table 3 lists, for 2023 after 10x data reduction:
+
+===========================  ==========  ================
+Workflow                     Throughput  Offline analysis
+===========================  ==========  ================
+Coherent Scattering           2 GB/s      34 TF
+(XPCS, XSVS)
+Liquid Scattering             4 GB/s      20 TF
+===========================  ==========  ================
+
+A :class:`Workflow` couples a sustained stream rate with the compute
+demand of analysing one second of data; the case study (Section 5)
+evaluates each against the latency tiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core.parameters import ModelParameters
+from ..errors import ValidationError
+from ..units import ensure_positive
+
+__all__ = ["Workflow", "coherent_scattering", "liquid_scattering", "table3_workflows", "TABLE3_ROWS"]
+
+
+@dataclass(frozen=True)
+class Workflow:
+    """One streaming-analysis workflow (a Table-3 row).
+
+    ``throughput_gbytes_per_s`` is the post-reduction stream rate the
+    workflow must sustain; ``offline_analysis_tflop`` is the compute
+    required to analyse one second's worth of data (the paper quotes
+    these as TF figures against 1-second data units).
+    """
+
+    name: str
+    throughput_gbytes_per_s: float
+    offline_analysis_tflop: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("workflow name must be non-empty")
+        ensure_positive(self.throughput_gbytes_per_s, "throughput_gbytes_per_s")
+        ensure_positive(self.offline_analysis_tflop, "offline_analysis_tflop")
+
+    @property
+    def throughput_gbps(self) -> float:
+        """Stream rate in gigabits/s."""
+        return self.throughput_gbytes_per_s * 8.0
+
+    @property
+    def data_unit_gb(self) -> float:
+        """One second of stream data — the natural decision unit."""
+        return self.throughput_gbytes_per_s
+
+    @property
+    def complexity_flop_per_gb(self) -> float:
+        """Analysis complexity per GB of input."""
+        return self.offline_analysis_tflop * 1e12 / self.data_unit_gb
+
+    def fits_link(self, bandwidth_gbps: float, alpha: float = 1.0) -> bool:
+        """Whether the sustained rate fits an ``alpha``-derated link."""
+        return self.throughput_gbps <= alpha * bandwidth_gbps
+
+    def required_remote_tflops(self, deadline_s: float, transfer_time_s: float) -> float:
+        """Remote compute needed to analyse one data unit within
+        ``deadline_s`` after spending ``transfer_time_s`` on the wire.
+
+        Raises when the transfer alone already exceeds the deadline.
+        """
+        ensure_positive(deadline_s, "deadline_s")
+        if transfer_time_s >= deadline_s:
+            raise ValidationError(
+                f"transfer time {transfer_time_s:.2f} s exhausts the "
+                f"{deadline_s:.2f} s deadline"
+            )
+        return self.offline_analysis_tflop / (deadline_s - transfer_time_s)
+
+    def to_model_parameters(
+        self,
+        *,
+        r_local_tflops: float,
+        r_remote_tflops: float,
+        bandwidth_gbps: float,
+        alpha: float = 1.0,
+        theta: float = 1.0,
+    ) -> ModelParameters:
+        """Instantiate the core model for this workflow's data unit."""
+        return ModelParameters(
+            s_unit_gb=self.data_unit_gb,
+            complexity_flop_per_gb=self.complexity_flop_per_gb,
+            r_local_tflops=r_local_tflops,
+            r_remote_tflops=r_remote_tflops,
+            bandwidth_gbps=bandwidth_gbps,
+            alpha=alpha,
+            theta=theta,
+        )
+
+
+def coherent_scattering() -> Workflow:
+    """Coherent Scattering (XPCS, XSVS): 2 GB/s, 34 TF."""
+    return Workflow(
+        name="Coherent Scattering (XPCS, XSVS)",
+        throughput_gbytes_per_s=2.0,
+        offline_analysis_tflop=34.0,
+    )
+
+
+def liquid_scattering() -> Workflow:
+    """Liquid Scattering: 4 GB/s, 20 TF."""
+    return Workflow(
+        name="Liquid Scattering",
+        throughput_gbytes_per_s=4.0,
+        offline_analysis_tflop=20.0,
+    )
+
+
+def table3_workflows() -> List[Workflow]:
+    """Both Table-3 workflows in paper order."""
+    return [coherent_scattering(), liquid_scattering()]
+
+
+#: Table 3 as printable rows (description, throughput, offline analysis).
+TABLE3_ROWS: Tuple[Tuple[str, str, str], ...] = (
+    ("Coherent Scattering (XPCS, XSVS)", "2 GB/s", "34 TF"),
+    ("Liquid Scattering", "4 GB/s", "20 TF"),
+)

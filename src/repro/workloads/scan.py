@@ -1,0 +1,93 @@
+"""The APS scan of Figure 4.
+
+"The scenario simulates transferring a single scan from an APS
+experimental facility: 1,440 frames of 2048x2048 pixels, totaling
+approximately 12.6 GB when stored as 2-byte unsigned integers", at two
+generation rates: 0.033 s/frame (fast) and 0.33 s/frame (slow).
+
+The exact volume is ``1440 * 2048 * 2048 * 2 = 12.08 GB`` (decimal);
+the paper rounds this to "approximately 12.6 GB".  We keep the exact
+frame geometry and let the volume follow from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..units import GB, ensure_positive
+from .instrument import FrameSpec
+
+__all__ = ["ScanSpec", "aps_scan_fast", "aps_scan_slow", "FIGURE4_FRAME_INTERVALS"]
+
+#: Figure 4's two generation rates, seconds per frame.
+FIGURE4_FRAME_INTERVALS: tuple[float, float] = (0.033, 0.33)
+
+
+@dataclass(frozen=True)
+class ScanSpec:
+    """One acquisition scan: frame geometry, count and cadence."""
+
+    frame: FrameSpec
+    n_frames: int
+    frame_interval_s: float
+
+    def __post_init__(self) -> None:
+        if self.n_frames < 1:
+            raise ValidationError(f"n_frames must be >= 1, got {self.n_frames!r}")
+        ensure_positive(self.frame_interval_s, "frame_interval_s")
+
+    @property
+    def frame_bytes(self) -> int:
+        """Payload of one frame."""
+        return self.frame.nbytes
+
+    @property
+    def total_bytes(self) -> float:
+        """Total scan volume in bytes."""
+        return float(self.n_frames) * self.frame.nbytes
+
+    @property
+    def total_gb(self) -> float:
+        """Total scan volume in decimal GB."""
+        return self.total_bytes / GB
+
+    @property
+    def generation_time_s(self) -> float:
+        """Wall time to acquire the whole scan (last frame lands at this
+        instant; the first frame lands one interval in)."""
+        return self.n_frames * self.frame_interval_s
+
+    @property
+    def generation_rate_gbytes_per_s(self) -> float:
+        """Average data-production rate during acquisition (GB/s)."""
+        return self.total_gb / self.generation_time_s
+
+    def frame_times_s(self) -> np.ndarray:
+        """Generation-completion time of each frame: frame ``i`` is fully
+        acquired at ``(i + 1) * frame_interval_s``."""
+        return (np.arange(self.n_frames, dtype=float) + 1.0) * self.frame_interval_s
+
+    def with_interval(self, frame_interval_s: float) -> "ScanSpec":
+        """Same scan at a different cadence."""
+        return ScanSpec(
+            frame=self.frame,
+            n_frames=self.n_frames,
+            frame_interval_s=frame_interval_s,
+        )
+
+
+def _aps_frame() -> FrameSpec:
+    return FrameSpec(width_px=2048, height_px=2048, bytes_per_px=2)
+
+
+def aps_scan_fast() -> ScanSpec:
+    """Figure 4's high-rate scan: 1,440 frames at 0.033 s/frame."""
+    return ScanSpec(frame=_aps_frame(), n_frames=1440, frame_interval_s=0.033)
+
+
+def aps_scan_slow() -> ScanSpec:
+    """Figure 4's low-rate scan: 1,440 frames at 0.33 s/frame."""
+    return ScanSpec(frame=_aps_frame(), n_frames=1440, frame_interval_s=0.33)

@@ -1,0 +1,81 @@
+"""Synthetic frame-arrival traces.
+
+Real detectors do not tick perfectly: shutter resets, readout stalls
+and burst modes jitter the cadence.  Trace generators produce frame
+completion timestamps for the pipelines:
+
+- :func:`deterministic_trace` — perfect cadence (the Figure-4 default),
+- :func:`jittered_trace` — truncated-Gaussian jitter on each interval,
+- :func:`bursty_trace` — frames arrive in back-to-back bursts separated
+  by idle gaps (LHC-trigger-like duty cycles).
+
+All return monotonically non-decreasing numpy arrays of length
+``n_frames`` and are seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..units import ensure_positive
+
+__all__ = ["deterministic_trace", "jittered_trace", "bursty_trace"]
+
+
+def deterministic_trace(n_frames: int, frame_interval_s: float) -> np.ndarray:
+    """Frame ``i`` completes at ``(i + 1) * frame_interval_s``."""
+    if n_frames < 1:
+        raise ValidationError(f"n_frames must be >= 1, got {n_frames!r}")
+    ensure_positive(frame_interval_s, "frame_interval_s")
+    return (np.arange(n_frames, dtype=float) + 1.0) * frame_interval_s
+
+
+def jittered_trace(
+    n_frames: int,
+    frame_interval_s: float,
+    jitter_frac: float = 0.1,
+    seed: int = 0,
+) -> np.ndarray:
+    """Per-interval Gaussian jitter with sigma ``jitter_frac * interval``,
+    truncated at +/- 3 sigma and floored at 10 % of the interval so time
+    never goes backwards."""
+    if n_frames < 1:
+        raise ValidationError(f"n_frames must be >= 1, got {n_frames!r}")
+    ensure_positive(frame_interval_s, "frame_interval_s")
+    if not 0.0 <= jitter_frac < 1.0:
+        raise ValidationError(
+            f"jitter_frac must be in [0, 1), got {jitter_frac!r}"
+        )
+    rng = np.random.default_rng(seed)
+    sigma = jitter_frac * frame_interval_s
+    noise = np.clip(rng.normal(0.0, sigma, size=n_frames), -3 * sigma, 3 * sigma)
+    intervals = np.maximum(frame_interval_s + noise, 0.1 * frame_interval_s)
+    return np.cumsum(intervals)
+
+
+def bursty_trace(
+    n_frames: int,
+    burst_size: int,
+    intra_burst_interval_s: float,
+    inter_burst_gap_s: float,
+) -> np.ndarray:
+    """Frames arrive in bursts of ``burst_size`` spaced
+    ``intra_burst_interval_s`` apart, with ``inter_burst_gap_s`` of idle
+    time between bursts."""
+    if n_frames < 1:
+        raise ValidationError(f"n_frames must be >= 1, got {n_frames!r}")
+    if burst_size < 1:
+        raise ValidationError(f"burst_size must be >= 1, got {burst_size!r}")
+    ensure_positive(intra_burst_interval_s, "intra_burst_interval_s")
+    if inter_burst_gap_s < 0:
+        raise ValidationError(
+            f"inter_burst_gap_s must be >= 0, got {inter_burst_gap_s!r}"
+        )
+    idx = np.arange(n_frames, dtype=float)
+    burst_no = np.floor(idx / burst_size)
+    within = idx % burst_size
+    return (
+        burst_no * (burst_size * intra_burst_interval_s + inter_burst_gap_s)
+        + (within + 1.0) * intra_burst_interval_s
+    )

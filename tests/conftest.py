@@ -1,0 +1,84 @@
+"""Shared fixtures: small, fast simulation configurations.
+
+Simulation-backed tests use a scaled-down link (fewer steps per second)
+and short experiment durations so the whole suite stays fast while
+exercising the same code paths as the full benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import ModelParameters
+from repro.simnet.link import Link, fabric_link
+from repro.storage.dtn import DtnModel
+from repro.storage.presets import eagle_lustre, voyager_gpfs
+from repro.workloads.instrument import FrameSpec
+from repro.workloads.scan import ScanSpec
+
+
+@pytest.fixture
+def params() -> ModelParameters:
+    """A representative parameter set where remote processing wins."""
+    return ModelParameters(
+        s_unit_gb=2.0,
+        complexity_flop_per_gb=17e12,
+        r_local_tflops=10.0,
+        r_remote_tflops=100.0,
+        bandwidth_gbps=25.0,
+        alpha=0.8,
+        theta=3.0,
+    )
+
+
+@pytest.fixture
+def local_wins_params() -> ModelParameters:
+    """A parameter set where local processing wins (slow thin pipe)."""
+    return ModelParameters(
+        s_unit_gb=10.0,
+        complexity_flop_per_gb=1e11,
+        r_local_tflops=10.0,
+        r_remote_tflops=20.0,
+        bandwidth_gbps=1.0,
+        alpha=0.5,
+        theta=5.0,
+    )
+
+
+@pytest.fixture
+def testbed_link() -> Link:
+    """The paper's 25 Gbps / 16 ms FABRIC path."""
+    return fabric_link()
+
+
+@pytest.fixture
+def small_scan() -> ScanSpec:
+    """A 24-frame scan for fast pipeline tests."""
+    return ScanSpec(
+        frame=FrameSpec(width_px=2048, height_px=2048, bytes_per_px=2),
+        n_frames=24,
+        frame_interval_s=0.033,
+    )
+
+
+@pytest.fixture
+def source_fs():
+    """Voyager-GPFS preset."""
+    return voyager_gpfs()
+
+
+@pytest.fixture
+def dest_fs():
+    """Eagle-Lustre preset."""
+    return eagle_lustre()
+
+
+@pytest.fixture
+def dtn() -> DtnModel:
+    """A 25 Gbps DTN pair with 0.1 s per-file setup (fast for tests)."""
+    return DtnModel(
+        wan_bandwidth_gbps=25.0,
+        alpha=0.5,
+        per_file_setup_s=0.1,
+        concurrency=1,
+    )

@@ -1,0 +1,160 @@
+"""Crossover points and decision maps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.crossover import (
+    crossover_bandwidth,
+    crossover_complexity,
+    decision_map,
+)
+from repro.core import model
+from repro.core.decision import Strategy
+from repro.core.parameters import ModelParameters
+from repro.errors import ValidationError
+
+
+def params(**overrides):
+    base = dict(
+        s_unit_gb=2.0,
+        complexity_flop_per_gb=17e12,
+        r_local_tflops=10.0,
+        r_remote_tflops=100.0,
+        bandwidth_gbps=25.0,
+        alpha=0.8,
+        theta=2.0,
+    )
+    base.update(overrides)
+    return ModelParameters(**base)
+
+
+class TestCrossoverBandwidth:
+    def test_tie_at_crossover(self):
+        p = params()
+        bw_star = crossover_bandwidth(p)
+        t_loc = model.t_local(p.s_unit_gb, p.complexity_flop_per_gb, p.r_local_tflops)
+        t_rem = model.t_pct(
+            p.s_unit_gb, p.complexity_flop_per_gb, p.r_local_tflops, bw_star,
+            alpha=p.alpha, r=p.r, theta=p.theta,
+        )
+        assert t_rem == pytest.approx(t_loc, rel=1e-9)
+
+    def test_remote_wins_above(self):
+        p = params()
+        bw_star = crossover_bandwidth(p)
+        assert model.remote_is_faster(
+            p.s_unit_gb, p.complexity_flop_per_gb, p.r_local_tflops,
+            bw_star * 2, alpha=p.alpha, r=p.r, theta=p.theta,
+        )
+
+    def test_infinite_when_r_leq_one(self):
+        p = params(r_remote_tflops=10.0)  # r == 1
+        assert crossover_bandwidth(p) == float("inf")
+
+    def test_zero_when_no_compute(self):
+        p = params(complexity_flop_per_gb=0.0)
+        # Pure data movement: remote never pays off at any bandwidth.
+        assert crossover_bandwidth(p) in (0.0, float("inf"))
+
+
+class TestCrossoverComplexity:
+    def test_tie_at_crossover(self):
+        p = params()
+        c_star = crossover_complexity(p)
+        t_loc = model.t_local(p.s_unit_gb, c_star, p.r_local_tflops)
+        t_rem = model.t_pct(
+            p.s_unit_gb, c_star, p.r_local_tflops, p.bandwidth_gbps,
+            alpha=p.alpha, r=p.r, theta=p.theta,
+        )
+        assert t_rem == pytest.approx(t_loc, rel=1e-9)
+
+    def test_remote_wins_above(self):
+        p = params()
+        c_star = crossover_complexity(p)
+        assert model.remote_is_faster(
+            p.s_unit_gb, c_star * 3, p.r_local_tflops, p.bandwidth_gbps,
+            alpha=p.alpha, r=p.r, theta=p.theta,
+        )
+
+    def test_infinite_when_r_leq_one(self):
+        assert crossover_complexity(params(r_remote_tflops=5.0)) == float("inf")
+
+
+class TestDecisionMap:
+    def test_map_matches_pointwise_decide(self):
+        from repro.core.decision import decide
+
+        p = params()
+        bw = np.array([1.0, 10.0, 100.0])
+        comp = np.array([1e10, 1e12, 1e14])
+        dm = decision_map(p, "bandwidth_gbps", bw, "complexity_flop_per_gb", comp)
+        for iy, c in enumerate(comp):
+            for ix, b in enumerate(bw):
+                expected = decide(
+                    p.replace(bandwidth_gbps=float(b),
+                              complexity_flop_per_gb=float(c))
+                ).chosen
+                assert dm.winner_at(ix, iy) is expected
+
+    def test_local_wins_thin_pipe_corner(self):
+        p = params()
+        dm = decision_map(
+            p,
+            "bandwidth_gbps", np.array([0.01, 1000.0]),
+            "complexity_flop_per_gb", np.array([1e9, 1e14]),
+        )
+        # Thin pipe + light compute -> local; fat pipe + heavy -> remote.
+        assert dm.winner_at(0, 0) is Strategy.LOCAL
+        assert dm.winner_at(1, 1) is Strategy.REMOTE_STREAMING
+
+    def test_share_sums_to_one(self):
+        p = params()
+        dm = decision_map(
+            p,
+            "bandwidth_gbps", np.linspace(1, 100, 8),
+            "theta", np.linspace(1, 20, 8),
+        )
+        total = sum(dm.share(s) for s in dm.STRATEGIES)
+        assert total == pytest.approx(1.0)
+
+    def test_boundary_x_locates_crossover(self):
+        p = params()
+        bw = np.linspace(0.5, 200, 64)
+        dm = decision_map(
+            p, "bandwidth_gbps", bw, "theta", np.array([2.0])
+        )
+        edge = dm.boundary_x(0)
+        assert edge is not None
+        # Sweeping theta applies it to both remote strategies, so the
+        # local/remote boundary is the theta=2 crossover bandwidth.
+        bw_star = crossover_bandwidth(p.replace(theta=2.0))
+        assert abs(edge - bw_star) < (bw[1] - bw[0]) * 2
+
+    def test_file_never_beats_streaming_with_equal_alpha(self):
+        p = params()
+        dm = decision_map(
+            p,
+            "bandwidth_gbps", np.linspace(1, 100, 6),
+            "complexity_flop_per_gb", np.geomspace(1e9, 1e14, 6),
+        )
+        assert dm.share(Strategy.REMOTE_FILE) == 0.0
+
+    def test_same_axis_rejected(self):
+        with pytest.raises(ValidationError):
+            decision_map(
+                params(), "theta", np.array([1.0]), "theta", np.array([2.0])
+            )
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValidationError):
+            decision_map(
+                params(), "bogus", np.array([1.0]), "theta", np.array([2.0])
+            )
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValidationError):
+            decision_map(
+                params(), "alpha", np.array([]), "theta", np.array([2.0])
+            )

@@ -1,0 +1,92 @@
+"""Regime boundaries and utilisation budgets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sss import CongestionRegime, RegimeThresholds, SSSMeasurement
+from repro.errors import MeasurementError
+from repro.measurement.congestion import SssCurve
+from repro.analysis.regimes import (
+    regime_breakdown,
+    utilization_budget,
+)
+
+
+def curve(points=((0.16, 0.3), (0.48, 0.9), (0.64, 1.5), (0.80, 2.5),
+                  (0.96, 6.0), (1.28, 12.0))):
+    return SssCurve(
+        size_gb=0.5,
+        bandwidth_gbps=25.0,
+        measurements=[SSSMeasurement(0.5, 25.0, t, u) for u, t in points],
+    )
+
+
+class TestBreakdown:
+    def test_classification(self):
+        b = regime_breakdown(curve())
+        assert b.regimes[0] is CongestionRegime.LOW
+        assert b.regimes[3] is CongestionRegime.MODERATE
+        assert b.regimes[-1] is CongestionRegime.SEVERE
+
+    def test_boundaries_bracket_thresholds(self):
+        b = regime_breakdown(curve())
+        # 1 s crossing between 48 % and 64 %.
+        assert 0.48 < b.low_to_moderate_utilization < 0.64
+        # 3 s crossing between 80 % and 96 %.
+        assert 0.80 < b.moderate_to_severe_utilization < 0.96
+
+    def test_boundary_interpolation_exact(self):
+        b = regime_breakdown(curve())
+        u = b.low_to_moderate_utilization
+        # The interpolated worst case at the boundary is the threshold.
+        assert curve().t_worst_at(u) == pytest.approx(1.0, rel=1e-9)
+
+    def test_no_severe_points(self):
+        b = regime_breakdown(curve(points=((0.2, 0.3), (0.5, 0.6))))
+        assert b.moderate_to_severe_utilization is None
+        assert all(r is CongestionRegime.LOW for r in b.regimes)
+
+    def test_points_in(self):
+        b = regime_breakdown(curve())
+        low = b.points_in(CongestionRegime.LOW)
+        assert np.all(low <= 0.5)
+
+    def test_custom_thresholds(self):
+        th = RegimeThresholds(real_time_limit_s=0.5, severe_limit_s=10.0)
+        b = regime_breakdown(curve(), thresholds=th)
+        assert b.regimes[-1] is CongestionRegime.SEVERE
+        assert b.regimes[-2] is CongestionRegime.MODERATE
+
+    def test_empty_curve(self):
+        with pytest.raises(MeasurementError):
+            regime_breakdown(SssCurve(size_gb=0.5, bandwidth_gbps=25.0))
+
+
+class TestBudget:
+    def test_budget_for_one_second_deadline(self):
+        u = utilization_budget(curve(), deadline_s=1.0)
+        assert 0.48 < u < 0.64
+
+    def test_larger_deadline_allows_more_load(self):
+        u1 = utilization_budget(curve(), deadline_s=1.0)
+        u10 = utilization_budget(curve(), deadline_s=10.0)
+        assert u10 > u1
+
+    def test_volume_scaling_tightens_budget(self):
+        # A 2 GB unit takes 4x the 0.5 GB worst case.
+        u_small = utilization_budget(curve(), deadline_s=1.0, volume_gb=0.5)
+        u_big = utilization_budget(curve(), deadline_s=1.0, volume_gb=2.0)
+        assert u_big is None or u_big < u_small
+
+    def test_impossible_deadline(self):
+        assert utilization_budget(curve(), deadline_s=0.1) is None
+
+    def test_everything_feasible(self):
+        u = utilization_budget(curve(), deadline_s=100.0)
+        assert u == pytest.approx(1.28)
+
+    def test_bad_deadline(self):
+        with pytest.raises(MeasurementError):
+            utilization_budget(curve(), deadline_s=0.0)

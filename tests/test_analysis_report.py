@@ -1,0 +1,88 @@
+"""Text rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import (
+    render_bars,
+    render_cdf,
+    render_series,
+    render_table,
+)
+from repro.errors import ValidationError
+
+
+class TestTable:
+    def test_basic_layout(self):
+        out = render_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+        assert len(lines) == 5
+
+    def test_column_alignment(self):
+        out = render_table(["x"], [["short"], ["a-much-longer-cell"]])
+        lines = out.splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all rows padded to equal width
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValidationError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_non_string_cells_coerced(self):
+        out = render_table(["n"], [[42], [3.5]])
+        assert "42" in out and "3.5" in out
+
+
+class TestSeries:
+    def test_multi_series(self):
+        out = render_series(
+            [0.16, 0.32],
+            {"P=2": [0.3, 0.5], "P=4": [0.4, 0.6]},
+            x_label="load",
+            y_label="max T",
+        )
+        assert "P=2 max T" in out
+        assert "0.16" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            render_series([1.0], {"a": [1.0, 2.0]}, "x", "y")
+
+
+class TestBars:
+    def test_scaling(self):
+        out = render_bars(["a", "b"], [1.0, 10.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 1
+        assert lines[1].count("#") == 10
+
+    def test_minimum_one_hash(self):
+        out = render_bars(["tiny", "big"], [0.001, 100.0], width=10)
+        assert "#" in out.splitlines()[0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            render_bars([], [])
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            render_bars(["a"], [1.0, 2.0])
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValidationError):
+            render_bars(["a"], [0.0])
+
+
+class TestCdf:
+    def test_percentile_rows(self):
+        out = render_cdf([1.0] * 90 + [10.0] * 10)
+        assert "P50" in out and "P99" in out
+        assert "10.000" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            render_cdf([])

@@ -1,0 +1,101 @@
+"""Tier feasibility assessment (Section 5 mechanics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tiers import (
+    assess_all_tiers,
+    assess_workflow,
+    reduced_rate_workflow,
+)
+from repro.core.decision import Tier
+from repro.core.sss import SSSMeasurement
+from repro.errors import CapacityError
+from repro.measurement.congestion import SssCurve
+from repro.workloads.lcls import coherent_scattering, liquid_scattering
+
+
+def paper_like_curve():
+    """A curve matching the paper's readings: 1.2 s @ 64 %, 6 s @ 96 %."""
+    points = [(0.16, 0.3), (0.64, 1.2), (0.96, 6.0), (1.28, 12.0)]
+    return SssCurve(
+        size_gb=0.5,
+        bandwidth_gbps=25.0,
+        measurements=[SSSMeasurement(0.5, 25.0, t, u) for u, t in points],
+    )
+
+
+class TestCoherentScattering:
+    def test_tier2_feasible_with_paper_numbers(self):
+        a = assess_workflow(coherent_scattering(), paper_like_curve(), Tier.TIER2)
+        assert a.fits_link
+        assert a.feasible
+        assert a.worst_case_transfer_s == pytest.approx(1.2)
+        # "leaving 8.8 seconds for the analysis"
+        assert a.analysis_budget_s == pytest.approx(8.8)
+
+    def test_required_remote_compute(self):
+        a = assess_workflow(coherent_scattering(), paper_like_curve(), Tier.TIER2)
+        assert a.required_remote_tflops == pytest.approx(34.0 / 8.8)
+
+    def test_tier1_infeasible(self):
+        # 1.2 s transfer alone exceeds the 1 s Tier-1 deadline.
+        a = assess_workflow(coherent_scattering(), paper_like_curve(), Tier.TIER1)
+        assert not a.feasible
+        assert a.analysis_budget_s is None
+
+    def test_compute_availability_gate(self):
+        a = assess_workflow(
+            coherent_scattering(), paper_like_curve(), Tier.TIER2,
+            available_remote_tflops=1.0,
+        )
+        assert not a.feasible
+        assert "TFLOPS" in a.note
+
+    def test_transfer_fraction(self):
+        a = assess_workflow(coherent_scattering(), paper_like_curve(), Tier.TIER2)
+        assert a.transfer_fraction == pytest.approx(0.12)
+
+
+class TestLiquidScattering:
+    def test_exceeds_link(self):
+        a = assess_workflow(liquid_scattering(), paper_like_curve(), Tier.TIER2)
+        assert not a.fits_link
+        assert not a.feasible
+        assert "exceeds" in a.note
+
+    def test_reduced_rate_fits(self):
+        reduced = reduced_rate_workflow(liquid_scattering(), 3.0)
+        a = assess_workflow(
+            reduced, paper_like_curve(), Tier.TIER2, utilization=0.96
+        )
+        assert a.fits_link
+        # "worst-case ... 6 seconds ... leaving only 4 seconds"
+        assert a.worst_case_transfer_s == pytest.approx(6.0)
+        assert a.analysis_budget_s == pytest.approx(4.0)
+
+    def test_reduction_must_reduce(self):
+        with pytest.raises(CapacityError):
+            reduced_rate_workflow(liquid_scattering(), 4.0)
+        with pytest.raises(CapacityError):
+            reduced_rate_workflow(liquid_scattering(), 5.0)
+
+    def test_reduction_keeps_compute_demand(self):
+        reduced = reduced_rate_workflow(liquid_scattering(), 3.0)
+        assert reduced.offline_analysis_tflop == 20.0
+        assert reduced.throughput_gbytes_per_s == 3.0
+
+
+class TestAllTiers:
+    def test_covers_every_tier(self):
+        results = assess_all_tiers(coherent_scattering(), paper_like_curve())
+        assert set(results) == set(Tier)
+
+    def test_feasibility_is_monotone_in_deadline(self):
+        results = assess_all_tiers(coherent_scattering(), paper_like_curve())
+        # If a tighter tier is feasible, every looser one must be too.
+        if results[Tier.TIER1].feasible:
+            assert results[Tier.TIER2].feasible
+        if results[Tier.TIER2].feasible:
+            assert results[Tier.TIER3].feasible

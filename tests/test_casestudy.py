@@ -1,0 +1,95 @@
+"""The Section-5 case study against a paper-shaped curve."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.casestudy.lcls2 import run_case_study, tier_table
+from repro.core.sss import SSSMeasurement
+from repro.errors import MeasurementError
+from repro.measurement.congestion import SssCurve
+
+
+def paper_like_curve():
+    points = [(0.16, 0.3), (0.64, 1.2), (0.96, 6.0), (1.28, 12.0)]
+    return SssCurve(
+        size_gb=0.5,
+        bandwidth_gbps=25.0,
+        measurements=[SSSMeasurement(0.5, 25.0, t, u) for u, t in points],
+    )
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_case_study(curve=paper_like_curve())
+
+
+class TestCoherentFinding(object):
+    def test_present_and_fits(self, report):
+        f = report.finding("coherent")
+        assert f.fits_link
+        assert f.utilization == pytest.approx(0.64)
+
+    def test_worst_case_matches_paper(self, report):
+        # "we estimate the worst-case data streaming time to be 1.2 seconds"
+        f = report.finding("coherent")
+        assert f.worst_case_transfer_s == pytest.approx(1.2)
+
+    def test_tier2_budget_matches_paper(self, report):
+        # "well within the time constraints for Tier 2, while still
+        #  leaving 8.8 seconds for the analysis"
+        f = report.finding("coherent")
+        assert f.tier2.feasible
+        assert f.tier2_analysis_budget_s == pytest.approx(8.8)
+
+    def test_tier1_not_feasible(self, report):
+        f = report.finding("coherent")
+        assert not f.tier1.feasible
+
+    def test_local_preference_threshold(self, report):
+        # "If the instrument facility has the capacity to perform the
+        #  analysis locally within less than 1.2 seconds, then local
+        #  processing is favored."
+        f = report.finding("coherent")
+        assert f.local_preferred_if_local_faster_than_s == pytest.approx(1.2)
+
+
+class TestLiquidFinding:
+    def test_unreduced_does_not_fit(self, report):
+        f = report.finding("Liquid Scattering")
+        assert not f.fits_link
+        assert f.worst_case_transfer_s is None
+
+    def test_reduced_finding(self, report):
+        # "we assume that we could further reduce transfer rates to
+        #  3 GB/s (24 Gbps). Based on a 96% utilization we estimate the
+        #  worst-case data streaming time to be 6 seconds ... leaving
+        #  only 4 seconds for the remote analysis."
+        f = report.finding("reduced")
+        assert f.fits_link
+        assert f.utilization == pytest.approx(0.96)
+        assert f.worst_case_transfer_s == pytest.approx(6.0)
+        assert f.tier2_analysis_budget_s == pytest.approx(4.0)
+
+
+class TestReportStructure:
+    def test_three_findings(self, report):
+        assert len(report.findings) == 3
+
+    def test_missing_lookup_raises(self, report):
+        with pytest.raises(MeasurementError):
+            report.finding("nonexistent workflow")
+
+    def test_tier_table(self):
+        rows = tier_table()
+        assert len(rows) == 3
+        assert "1 s" in rows[0][1]
+        assert "10 s" in rows[1][1]
+        assert "60 s" in rows[2][1]
+
+    def test_custom_reduction_rate(self):
+        rep = run_case_study(
+            curve=paper_like_curve(), reduced_liquid_rate_gbytes_per_s=2.5
+        )
+        f = rep.finding("reduced")
+        assert f.workflow.throughput_gbytes_per_s == 2.5

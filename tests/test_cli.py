@@ -1,0 +1,101 @@
+"""CLI subcommands (fast variants)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_exits_zero(self):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+
+class TestStaticTables:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Mellanox ConnectX-5" in out
+        assert "9000 bytes" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Concurrency" in out
+        assert "24" in out
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Coherent Scattering" in out
+        assert "34 TF" in out
+
+
+class TestModel:
+    def test_model_output(self, capsys):
+        code = main([
+            "model",
+            "--size-gb", "2", "--complexity", "17e12",
+            "--local-tflops", "10", "--remote-tflops", "100",
+            "--bandwidth-gbps", "25", "--alpha", "0.8", "--theta", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "T_pct" in out
+        assert "remote" in out  # remote wins for these numbers
+
+    def test_model_local_winner(self, capsys):
+        main([
+            "model",
+            "--size-gb", "10", "--complexity", "1e10",
+            "--local-tflops", "10", "--remote-tflops", "20",
+            "--bandwidth-gbps", "1",
+        ])
+        out = capsys.readouterr().out
+        assert "local" in out
+
+
+class TestSimulationCommands:
+    """Short-duration variants keep these fast."""
+
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "streaming" in out
+        assert "1440 file(s)" in out
+        assert "reduction" in out
+
+    def test_sss_short(self, capsys):
+        assert main(["sss", "--duration", "2", "--seeds", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "SSS" in out
+        assert "regime" in out
+
+    def test_fig3_short(self, capsys):
+        assert main(["fig3", "--duration", "2", "--seeds", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "P99" in out
+
+    def test_fig2a_short(self, capsys):
+        assert main(["fig2a", "--duration", "2", "--seeds", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2(a)" in out
+        assert "P=8" in out
+
+    def test_fig2b_short(self, capsys):
+        assert main(["fig2b", "--duration", "2", "--seeds", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2(b)" in out
+
+    def test_casestudy_short(self, capsys):
+        assert main(["casestudy", "--seeds", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "Liquid Scattering" in out
+        assert "Latency tiers" in out

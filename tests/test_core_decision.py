@@ -1,0 +1,140 @@
+"""Decision engine and latency tiers (Section 5 semantics)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import decision, model
+from repro.core.decision import Strategy, Tier
+from repro.core.parameters import ModelParameters
+from repro.errors import DecisionError, ValidationError
+
+
+class TestTiers:
+    def test_deadlines_match_paper(self):
+        assert decision.TIER_DEADLINES_S[Tier.TIER1] == 1.0
+        assert decision.TIER_DEADLINES_S[Tier.TIER2] == 10.0
+        assert decision.TIER_DEADLINES_S[Tier.TIER3] == 60.0
+
+    def test_feasible_tiers_nested(self):
+        ev = decision.StrategyEvaluation(Strategy.LOCAL, 0.5, 0.5)
+        assert decision.feasible_tiers(ev) == [Tier.TIER1, Tier.TIER2, Tier.TIER3]
+
+    def test_highest_feasible(self):
+        ev = decision.StrategyEvaluation(Strategy.LOCAL, 5.0, 5.0)
+        assert decision.highest_feasible_tier(ev) is Tier.TIER2
+
+    def test_none_when_all_missed(self):
+        ev = decision.StrategyEvaluation(Strategy.LOCAL, 100.0, 100.0)
+        assert decision.highest_feasible_tier(ev) is None
+
+    def test_require_any_tier_raises(self):
+        ev = decision.StrategyEvaluation(Strategy.LOCAL, 100.0, 100.0)
+        with pytest.raises(DecisionError):
+            decision.require_any_tier(ev)
+
+    def test_worst_case_vs_expected_criterion(self):
+        ev = decision.StrategyEvaluation(Strategy.REMOTE_STREAMING, 0.5, 5.0)
+        assert ev.meets(Tier.TIER1, worst_case=False)
+        assert not ev.meets(Tier.TIER1, worst_case=True)
+
+
+class TestEvaluationValidation:
+    def test_worst_cannot_beat_expected(self):
+        with pytest.raises(ValidationError):
+            decision.StrategyEvaluation(Strategy.LOCAL, 2.0, 1.0)
+
+
+class TestDecide:
+    def test_remote_streaming_wins(self, params):
+        d = decision.decide(params, streaming_alpha=0.9)
+        assert d.chosen is Strategy.REMOTE_STREAMING
+
+    def test_local_wins(self, local_wins_params):
+        d = decision.decide(local_wins_params)
+        assert d.chosen is Strategy.LOCAL
+        assert d.reduction_vs_local_pct == pytest.approx(0.0)
+
+    def test_chosen_minimises_time(self, params):
+        d = decision.decide(params, streaming_alpha=0.9, sss=3.0)
+        times = {s: d.time_of(s) for s in Strategy}
+        assert d.chosen_time_s == pytest.approx(min(times.values()))
+
+    def test_streaming_beats_file_with_same_alpha(self, params):
+        # theta > 1 means file staging strictly adds time.
+        d = decision.decide(params)
+        evs = d.evaluations
+        assert (
+            evs[Strategy.REMOTE_STREAMING].expected_s
+            < evs[Strategy.REMOTE_FILE].expected_s
+        )
+
+    def test_sss_degrades_remote_options_only(self, params):
+        base = decision.decide(params)
+        congested = decision.decide(params, sss=20.0)
+        assert (
+            congested.evaluations[Strategy.LOCAL].worst_case_s
+            == base.evaluations[Strategy.LOCAL].worst_case_s
+        )
+        assert (
+            congested.evaluations[Strategy.REMOTE_STREAMING].worst_case_s
+            > base.evaluations[Strategy.REMOTE_STREAMING].worst_case_s
+        )
+
+    def test_severe_congestion_flips_to_local(self):
+        # Remote is marginally better in expectation; a severe SSS flips it.
+        p = ModelParameters(
+            s_unit_gb=2.0,
+            complexity_flop_per_gb=1e12,
+            r_local_tflops=1.0,
+            r_remote_tflops=10.0,
+            bandwidth_gbps=25.0,
+            alpha=0.9,
+            theta=1.0,
+        )
+        assert decision.decide(p).chosen is not Strategy.LOCAL
+        assert decision.decide(p, sss=30.0).chosen is Strategy.LOCAL
+
+    def test_expected_criterion_ignores_sss(self, params):
+        d = decision.decide(params, sss=50.0, use_worst_case=False)
+        dd = decision.decide(params, use_worst_case=False)
+        assert d.chosen is dd.chosen
+
+    def test_invalid_sss(self, params):
+        with pytest.raises(ValidationError):
+            decision.decide(params, sss=0.5)
+
+    def test_reduction_vs_local_positive_when_remote_chosen(self, params):
+        d = decision.decide(params, streaming_alpha=0.9)
+        assert d.reduction_vs_local_pct > 0
+
+
+@given(
+    s=st.floats(min_value=0.01, max_value=100.0),
+    c=st.floats(min_value=1e9, max_value=1e14),
+    rl=st.floats(min_value=0.1, max_value=100.0),
+    ratio=st.floats(min_value=1.1, max_value=1000.0),
+    bw=st.floats(min_value=0.1, max_value=1000.0),
+    alpha=st.floats(min_value=0.05, max_value=1.0),
+    theta=st.floats(min_value=1.0, max_value=50.0),
+)
+@settings(max_examples=100)
+def test_decision_coherence_property(s, c, rl, ratio, bw, alpha, theta):
+    """The chosen strategy's time equals the model-computed minimum."""
+    p = ModelParameters(
+        s_unit_gb=s,
+        complexity_flop_per_gb=c,
+        r_local_tflops=rl,
+        r_remote_tflops=rl * ratio,
+        bandwidth_gbps=bw,
+        alpha=alpha,
+        theta=theta,
+    )
+    d = decision.decide(p)
+    t_loc = model.t_local(s, c, rl)
+    t_stream = model.t_pct(s, c, rl, bw, alpha=alpha, r=ratio, theta=1.0)
+    t_file = model.t_pct(s, c, rl, bw, alpha=alpha, r=ratio, theta=theta)
+    best = min(t_loc, t_stream, t_file)
+    assert d.chosen_time_s == pytest.approx(best, rel=1e-9)

@@ -1,0 +1,59 @@
+"""Kurose-Ross delay decomposition (Eqs. 1-2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import delays
+from repro.errors import UnitError
+
+
+class TestDelayComponents:
+    def test_total_is_sum(self):
+        d = delays.DelayComponents(0.001, 0.02, 0.0001, 0.008)
+        assert d.total == pytest.approx(0.0291)
+
+    def test_continuum_is_propagation(self):
+        d = delays.DelayComponents(0.001, 0.02, 0.0001, 0.008)
+        assert d.continuum == 0.008
+
+    def test_continuum_error(self):
+        d = delays.DelayComponents(0.001, 0.02, 0.0001, 0.008)
+        assert d.continuum_error == pytest.approx(0.0211)
+
+    def test_rejects_negative(self):
+        with pytest.raises(UnitError):
+            delays.DelayComponents(-0.001, 0.0, 0.0, 0.0)
+
+
+class TestFunctions:
+    def test_total_delay_vectorised(self):
+        out = delays.total_delay(
+            np.zeros(3), np.array([0.0, 0.1, 1.0]), 0.0001, 0.008
+        )
+        np.testing.assert_allclose(out, [0.0081, 0.1081, 1.0081])
+
+    def test_continuum_underestimates_under_congestion(self):
+        # The paper's point: queueing dominates under congestion, and the
+        # continuum approximation throws exactly that term away.
+        queueing = np.array([0.0, 0.1, 5.0])
+        err = delays.continuum_error(0.0, queueing, 0.0, 0.008)
+        np.testing.assert_allclose(err, queueing)
+
+    def test_transmission_delay(self):
+        # 9000 B at 25 Gbps = 2.88 microseconds.
+        t = delays.transmission_delay(9000, 25e9 / 8)
+        assert t == pytest.approx(2.88e-6)
+
+    def test_propagation_chicago_to_slac(self):
+        # ~3,200 km of fibre: about 16 ms one way at 2e5 km/s.
+        assert delays.propagation_delay(3200.0) == pytest.approx(0.016)
+
+    def test_zero_distance_is_zero(self):
+        assert delays.propagation_delay(0.0) == 0.0
+
+    def test_continuum_equals_total_only_with_empty_network(self):
+        assert delays.continuum_delay(0.008) == pytest.approx(
+            delays.total_delay(0.0, 0.0, 0.0, 0.008)
+        )

@@ -1,0 +1,114 @@
+"""Gain function and break-even surfaces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import importlib
+
+gain = importlib.import_module("repro.core.gain")
+
+from repro.core.parameters import ModelParameters
+from repro.errors import ValidationError
+
+
+class TestKappa:
+    def test_definition(self):
+        # R_local=1 TFLOPS, C=1e12 FLOP/GB, Bw=8 Gbps=1 GB/s -> kappa=1.
+        assert gain.kappa(1e12, 1.0, 8.0) == pytest.approx(1.0)
+
+    def test_fat_pipe_shrinks_kappa(self):
+        assert gain.kappa(1e12, 1.0, 80.0) == pytest.approx(0.1)
+
+    def test_rejects_zero_complexity(self):
+        with pytest.raises(ValidationError):
+            gain.kappa(0.0, 1.0, 8.0)
+
+
+class TestGain:
+    def test_closed_form(self):
+        # G = 1 / (theta*kappa/alpha + 1/r)
+        g = gain.gain(alpha=0.5, r=4.0, theta=2.0, kappa_value=0.1)
+        assert g == pytest.approx(1.0 / (2.0 * 0.1 / 0.5 + 0.25))
+
+    def test_gain_from_params_matches_speedup(self):
+        from repro.core.model import speedup
+
+        p = ModelParameters(
+            s_unit_gb=3.0,
+            complexity_flop_per_gb=5e12,
+            r_local_tflops=2.0,
+            r_remote_tflops=20.0,
+            bandwidth_gbps=40.0,
+            alpha=0.7,
+            theta=2.5,
+        )
+        assert gain.gain_from_params(p) == pytest.approx(
+            speedup(
+                p.s_unit_gb,
+                p.complexity_flop_per_gb,
+                p.r_local_tflops,
+                p.bandwidth_gbps,
+                alpha=p.alpha,
+                r=p.r,
+                theta=p.theta,
+            )
+        )
+
+    def test_vectorised_over_r(self):
+        out = gain.gain(0.5, np.array([1.0, 10.0]), 1.0, 0.1)
+        assert out.shape == (2,)
+        assert out[1] > out[0]
+
+
+class TestBreakEven:
+    def test_theta_star_infeasible_when_r_leq_one(self):
+        assert gain.break_even_theta(0.9, 1.0, 0.1) == pytest.approx(0.0)
+        assert gain.break_even_theta(0.9, 0.5, 0.1) < 0
+
+    def test_alpha_star_exact(self):
+        k, r, th = 0.05, 4.0, 2.0
+        a_star = gain.break_even_alpha(th, r, k)
+        if a_star <= 1.0:
+            assert gain.gain(a_star, r, th, k) == pytest.approx(1.0)
+
+    def test_alpha_star_rejects_r_leq_one(self):
+        with pytest.raises(ValidationError):
+            gain.break_even_alpha(1.0, 1.0, 0.1)
+
+    def test_r_star_exact(self):
+        a, th, k = 0.8, 1.5, 0.1
+        r_star = gain.break_even_r(a, th, k)
+        assert np.isfinite(r_star)
+        assert gain.gain(a, float(r_star), th, k) == pytest.approx(1.0)
+
+    def test_r_star_infinite_when_transfer_dominates(self):
+        # theta*kappa/alpha >= 1: transfer alone exceeds local compute.
+        assert gain.break_even_r(0.5, 2.0, 1.0) == np.inf
+
+    def test_kappa_star_round_trip(self):
+        a, r, th = 0.9, 8.0, 2.0
+        k_star = gain.break_even_kappa(a, r, th)
+        assert gain.gain(a, r, th, float(k_star)) == pytest.approx(1.0)
+
+    def test_break_even_consistency_theta_vs_kappa(self):
+        # theta*(kappa) and kappa*(theta) invert each other.
+        a, r = 0.7, 3.0
+        k = 0.08
+        th_star = gain.break_even_theta(a, r, k)
+        if th_star >= 1.0:
+            assert gain.break_even_kappa(a, r, th_star) == pytest.approx(k)
+
+
+class TestAsymptote:
+    def test_gain_ceiling(self):
+        a, th, k = 0.8, 2.0, 0.1
+        ceiling = gain.asymptotic_gain(a, th, k)
+        assert gain.gain(a, 1e9, th, k) == pytest.approx(ceiling, rel=1e-6)
+
+    def test_ceiling_below_one_means_network_bound(self):
+        # alpha/(theta*kappa) < 1: no remote horsepower can help.
+        a, th, k = 0.5, 2.0, 1.0
+        assert gain.asymptotic_gain(a, th, k) < 1.0
+        assert gain.break_even_r(a, th, k) == np.inf

@@ -1,0 +1,154 @@
+"""Closed-form model identities (Eqs. 3-10)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import model
+from repro.errors import ValidationError
+
+
+class TestTLocal:
+    def test_eq3_basic(self):
+        # 1e12 FLOP/GB * 2 GB / 1 TFLOPS = 2 s
+        assert model.t_local(2.0, 1e12, 1.0) == pytest.approx(2.0)
+
+    def test_zero_complexity_is_instant(self):
+        assert model.t_local(5.0, 0.0, 1.0) == 0.0
+
+    def test_scales_linearly_with_size(self):
+        assert model.t_local(4.0, 1e12, 1.0) == pytest.approx(
+            2 * model.t_local(2.0, 1e12, 1.0)
+        )
+
+    def test_vectorised(self):
+        out = model.t_local(np.array([1.0, 2.0]), 1e12, 1.0)
+        np.testing.assert_allclose(out, [1.0, 2.0])
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ValidationError):
+            model.t_local(1.0, 1e12, 0.0)
+
+
+class TestTTransfer:
+    def test_paper_canonical_value(self):
+        # 0.5 GB at 25 Gbps, alpha=1: the paper's 0.16 s.
+        assert model.t_transfer(0.5, 25.0) == pytest.approx(0.16)
+
+    def test_alpha_derates(self):
+        assert model.t_transfer(0.5, 25.0, alpha=0.5) == pytest.approx(0.32)
+
+    def test_rejects_alpha_above_one(self):
+        with pytest.raises(ValidationError):
+            model.t_transfer(1.0, 25.0, alpha=1.2)
+
+
+class TestTRemote:
+    def test_eq6(self):
+        # r=10 cuts the local time tenfold.
+        assert model.t_remote(2.0, 1e12, 1.0, r=10.0) == pytest.approx(0.2)
+
+    def test_r_below_one_slows_down(self):
+        assert model.t_remote(2.0, 1e12, 1.0, r=0.5) == pytest.approx(4.0)
+
+
+class TestTIO:
+    def test_theta_one_means_zero_io(self):
+        assert model.t_io(1.0, 25.0, theta=1.0) == 0.0
+
+    def test_eq7_consistency(self):
+        # theta * T_transfer == T_IO + T_transfer
+        s, bw, a, th = 2.0, 25.0, 0.8, 3.0
+        t_tr = model.t_transfer(s, bw, a)
+        t_io = model.t_io(s, bw, a, th)
+        assert th * t_tr == pytest.approx(t_io + t_tr)
+
+    def test_rejects_theta_below_one(self):
+        with pytest.raises(ValidationError):
+            model.t_io(1.0, 25.0, theta=0.5)
+
+
+class TestTPct:
+    def test_eq10_decomposition(self):
+        s, c, rl, bw = 2.0, 17e12, 10.0, 25.0
+        a, r, th = 0.8, 10.0, 3.0
+        expected = th * s / (a * bw / 8.0) + c * s / (r * rl * 1e12)
+        assert model.t_pct(s, c, rl, bw, alpha=a, r=r, theta=th) == pytest.approx(
+            expected
+        )
+
+    def test_streaming_theta_one_is_transfer_plus_remote(self):
+        s, c, rl, bw, a, r = 1.0, 1e12, 1.0, 8.0, 1.0, 2.0
+        assert model.t_pct(s, c, rl, bw, alpha=a, r=r, theta=1.0) == pytest.approx(
+            model.t_transfer(s, bw, a) + model.t_remote(s, c, rl, r)
+        )
+
+    def test_broadcasts_over_grid(self):
+        theta = np.array([1.0, 2.0, 4.0])
+        out = model.t_pct(1.0, 1e12, 1.0, 8.0, theta=theta)
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) > 0)
+
+    def test_monotone_decreasing_in_bandwidth(self):
+        bw = np.array([1.0, 10.0, 100.0])
+        out = model.t_pct(1.0, 1e12, 1.0, bw)
+        assert np.all(np.diff(out) < 0)
+
+
+class TestTPctQueued:
+    def test_sss_one_equals_ideal(self):
+        base = model.t_pct(1.0, 1e12, 1.0, 8.0, alpha=1.0, r=2.0, theta=2.0)
+        queued = model.t_pct_queued(1.0, 1e12, 1.0, 8.0, sss=1.0, r=2.0, theta=2.0)
+        assert queued == pytest.approx(base)
+
+    def test_sss_inflates_transfer_term_only(self):
+        s, c, rl, bw, r, th = 1.0, 1e12, 1.0, 8.0, 2.0, 1.0
+        q1 = model.t_pct_queued(s, c, rl, bw, sss=1.0, r=r, theta=th)
+        q10 = model.t_pct_queued(s, c, rl, bw, sss=10.0, r=r, theta=th)
+        t_remote = model.t_remote(s, c, rl, r)
+        assert q10 - t_remote == pytest.approx(10.0 * (q1 - t_remote))
+
+    def test_rejects_sss_below_one(self):
+        with pytest.raises(ValidationError):
+            model.t_pct_queued(1.0, 1e12, 1.0, 8.0, sss=0.9)
+
+
+class TestSpeedupAndDecision:
+    def test_speedup_above_one_when_remote_wins(self):
+        # Huge remote, fat pipe, no overhead.
+        g = model.speedup(1.0, 1e13, 1.0, 100.0, r=100.0)
+        assert g > 1.0
+        assert model.remote_is_faster(1.0, 1e13, 1.0, 100.0, r=100.0)
+
+    def test_speedup_below_one_when_local_wins(self):
+        g = model.speedup(10.0, 1e10, 10.0, 1.0, alpha=0.5, r=1.5, theta=5.0)
+        assert g < 1.0
+
+    def test_r_at_most_one_never_wins(self):
+        # With r <= 1 remote compute is no faster and transfer adds time.
+        g = model.speedup(1.0, 1e12, 1.0, 100.0, r=1.0)
+        assert g < 1.0
+
+
+class TestEvaluate:
+    def test_components_sum(self, params):
+        times = model.evaluate(params)
+        assert times.t_pct == pytest.approx(
+            params.theta * times.t_transfer + times.t_remote
+        )
+        assert times.t_io == pytest.approx((params.theta - 1) * times.t_transfer)
+
+    def test_speedup_matches_ratio(self, params):
+        times = model.evaluate(params)
+        assert times.speedup == pytest.approx(times.t_local / times.t_pct)
+
+    def test_reduction_pct(self, params):
+        times = model.evaluate(params)
+        expected = 100.0 * (1 - times.t_pct / times.t_local)
+        assert times.reduction_pct == pytest.approx(expected)
+
+    def test_local_wins_fixture(self, local_wins_params):
+        times = model.evaluate(local_wins_params)
+        assert not times.remote_is_faster
+        assert times.reduction_pct < 0

@@ -1,0 +1,107 @@
+"""Property-based tests of the closed-form model (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import importlib
+
+gain_mod = importlib.import_module("repro.core.gain")
+
+from repro.core import model
+
+sizes = st.floats(min_value=1e-3, max_value=1e4)
+complexities = st.floats(min_value=1e6, max_value=1e15)
+rates = st.floats(min_value=1e-2, max_value=1e4)
+bandwidths = st.floats(min_value=1e-2, max_value=1e4)
+alphas = st.floats(min_value=1e-3, max_value=1.0)
+rs = st.floats(min_value=1e-2, max_value=1e4)
+thetas = st.floats(min_value=1.0, max_value=1e3)
+
+
+@given(sizes, complexities, rates, bandwidths, alphas, rs, thetas)
+def test_tpct_positive(s, c, rl, bw, a, r, th):
+    assert model.t_pct(s, c, rl, bw, alpha=a, r=r, theta=th) > 0
+
+
+@given(sizes, complexities, rates, bandwidths, alphas, rs, thetas)
+def test_tpct_linear_in_size(s, c, rl, bw, a, r, th):
+    t1 = model.t_pct(s, c, rl, bw, alpha=a, r=r, theta=th)
+    t2 = model.t_pct(2 * s, c, rl, bw, alpha=a, r=r, theta=th)
+    assert t2 == pytest.approx(2 * t1, rel=1e-9)
+
+
+@given(sizes, complexities, rates, bandwidths, alphas, rs, thetas)
+def test_tpct_bounded_below_by_transfer(s, c, rl, bw, a, r, th):
+    # The compute term is non-negative, so T_pct >= theta * T_transfer.
+    assert model.t_pct(s, c, rl, bw, alpha=a, r=r, theta=th) >= (
+        th * model.t_transfer(s, bw, a) * (1 - 1e-12)
+    )
+
+
+@given(sizes, complexities, rates, bandwidths, alphas, rs)
+def test_tpct_monotone_in_theta(s, c, rl, bw, a, r):
+    th = np.array([1.0, 2.0, 5.0, 50.0])
+    out = model.t_pct(s, c, rl, bw, alpha=a, r=r, theta=th)
+    assert np.all(np.diff(out) > 0)
+
+
+@given(sizes, complexities, rates, bandwidths, rs, thetas)
+def test_tpct_monotone_decreasing_in_alpha(s, c, rl, bw, r, th):
+    a = np.array([0.1, 0.5, 0.9, 1.0])
+    out = model.t_pct(s, c, rl, bw, alpha=a, r=r, theta=th)
+    assert np.all(np.diff(out) < 0)
+
+
+@given(sizes, complexities, rates, bandwidths, alphas, thetas)
+def test_tpct_monotone_decreasing_in_r(s, c, rl, bw, a, th):
+    r = np.array([0.5, 1.0, 2.0, 10.0, 1000.0])
+    out = model.t_pct(s, c, rl, bw, alpha=a, r=r, theta=th)
+    assert np.all(np.diff(out) <= 0)
+
+
+@given(sizes, complexities, rates, bandwidths, alphas, rs, thetas)
+def test_speedup_consistent_with_components(s, c, rl, bw, a, r, th):
+    g = model.speedup(s, c, rl, bw, alpha=a, r=r, theta=th)
+    assert g == pytest.approx(
+        model.t_local(s, c, rl)
+        / model.t_pct(s, c, rl, bw, alpha=a, r=r, theta=th),
+        rel=1e-9,
+    )
+
+
+@given(sizes, complexities, rates, bandwidths, alphas, thetas)
+def test_remote_never_wins_with_r_leq_one(s, c, rl, bw, a, th):
+    # Transfer time is strictly positive, so equal-speed remote loses.
+    assert not model.remote_is_faster(s, c, rl, bw, alpha=a, r=1.0, theta=th)
+
+
+@given(sizes, complexities, rates, bandwidths, alphas, rs, thetas)
+def test_gain_function_matches_speedup(s, c, rl, bw, a, r, th):
+    k = gain_mod.kappa(c, rl, bw)
+    g1 = gain_mod.gain(a, r, th, k)
+    g2 = model.speedup(s, c, rl, bw, alpha=a, r=r, theta=th)
+    assert g1 == pytest.approx(g2, rel=1e-9)
+
+
+@given(complexities, rates, bandwidths, alphas, thetas)
+@settings(max_examples=50)
+def test_gain_increases_with_r_to_asymptote(c, rl, bw, a, th):
+    k = gain_mod.kappa(c, rl, bw)
+    gains = [gain_mod.gain(a, r, th, k) for r in (1.0, 2.0, 10.0, 1e6)]
+    assert all(g2 >= g1 * (1 - 1e-12) for g1, g2 in zip(gains, gains[1:]))
+    assert gains[-1] <= gain_mod.asymptotic_gain(a, th, k) * (1 + 1e-9)
+
+
+@given(complexities, rates, bandwidths, alphas, thetas)
+@settings(max_examples=50)
+def test_break_even_theta_is_exact(c, rl, bw, a, th):
+    # At theta = theta*, gain == 1 (when the break-even is feasible).
+    k = gain_mod.kappa(c, rl, bw)
+    r = 5.0
+    theta_star = gain_mod.break_even_theta(a, r, k)
+    if theta_star >= 1.0:
+        assert gain_mod.gain(a, r, theta_star, k) == pytest.approx(1.0, rel=1e-9)

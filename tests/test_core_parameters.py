@@ -1,0 +1,130 @@
+"""ModelParameters validation and derived coefficients."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import (
+    ModelParameters,
+    aps_to_alcf_defaults,
+    lcls_to_hpc_defaults,
+)
+from repro.errors import ValidationError
+
+
+def make(**overrides):
+    base = dict(
+        s_unit_gb=1.0,
+        complexity_flop_per_gb=1e12,
+        r_local_tflops=10.0,
+        r_remote_tflops=100.0,
+        bandwidth_gbps=25.0,
+        alpha=0.8,
+        theta=2.0,
+    )
+    base.update(overrides)
+    return ModelParameters(**base)
+
+
+class TestValidation:
+    def test_valid_construction(self):
+        p = make()
+        assert p.s_unit_gb == 1.0
+
+    @pytest.mark.parametrize("field,value", [
+        ("s_unit_gb", 0.0),
+        ("s_unit_gb", -1.0),
+        ("r_local_tflops", 0.0),
+        ("r_remote_tflops", -5.0),
+        ("bandwidth_gbps", 0.0),
+        ("alpha", 0.0),
+        ("alpha", 1.5),
+        ("theta", 0.99),
+        ("complexity_flop_per_gb", -1.0),
+    ])
+    def test_rejects_invalid(self, field, value):
+        with pytest.raises(ValidationError):
+            make(**{field: value})
+
+    def test_zero_complexity_allowed(self):
+        # Pure data-movement decision: C = 0 is meaningful.
+        p = make(complexity_flop_per_gb=0.0)
+        assert p.complexity_flop_per_gb == 0.0
+
+    def test_theta_exactly_one_allowed(self):
+        assert make(theta=1.0).theta == 1.0
+
+    def test_alpha_exactly_one_allowed(self):
+        assert make(alpha=1.0).alpha == 1.0
+
+    def test_frozen(self):
+        p = make()
+        with pytest.raises(AttributeError):
+            p.alpha = 0.5
+
+
+class TestDerived:
+    def test_r_ratio(self):
+        assert make().r == pytest.approx(10.0)
+
+    def test_bandwidth_gbytes(self):
+        assert make(bandwidth_gbps=25.0).bandwidth_gbytes_per_s == pytest.approx(3.125)
+
+    def test_effective_transfer_rate(self):
+        p = make(bandwidth_gbps=25.0, alpha=0.8)
+        assert p.r_transfer_gbytes_per_s == pytest.approx(2.5)
+
+    def test_complexity_tflop_per_gb(self):
+        assert make(complexity_flop_per_gb=17e12).complexity_tflop_per_gb == pytest.approx(17.0)
+
+
+class TestHelpers:
+    def test_replace_revalidates(self):
+        p = make()
+        with pytest.raises(ValidationError):
+            p.replace(alpha=2.0)
+
+    def test_replace_returns_new(self):
+        p = make()
+        q = p.replace(theta=4.0)
+        assert q.theta == 4.0 and p.theta == 2.0
+
+    def test_with_streaming_resets_theta(self):
+        assert make(theta=5.0).with_streaming().theta == 1.0
+
+    def test_as_dict_round_trips(self):
+        p = make()
+        assert ModelParameters(**p.as_dict()) == p
+
+    def test_from_rates_derives_complexity(self):
+        p = ModelParameters.from_rates(
+            s_unit_gb=2.0,
+            compute_tflop=34.0,
+            r_local_tflops=10.0,
+            r_remote_tflops=100.0,
+            bandwidth_gbps=25.0,
+        )
+        assert p.complexity_flop_per_gb == pytest.approx(17e12)
+
+    def test_from_rates_rejects_bad_size(self):
+        with pytest.raises(ValidationError):
+            ModelParameters.from_rates(
+                s_unit_gb=0.0,
+                compute_tflop=1.0,
+                r_local_tflops=1.0,
+                r_remote_tflops=2.0,
+                bandwidth_gbps=10.0,
+            )
+
+
+class TestPresets:
+    def test_aps_preset_valid(self):
+        p = aps_to_alcf_defaults()
+        assert p.bandwidth_gbps == 25.0
+        assert p.r > 1.0
+
+    def test_lcls_preset_matches_table3(self):
+        p = lcls_to_hpc_defaults()
+        assert p.s_unit_gb == 2.0
+        # 34 TF per 2 GB unit.
+        assert p.complexity_flop_per_gb * p.s_unit_gb == pytest.approx(34e12)

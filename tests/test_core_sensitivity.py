@@ -1,0 +1,114 @@
+"""Sensitivity analysis: sweeps, elasticities, tornado rows."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import model, sensitivity
+from repro.errors import ValidationError
+
+
+class TestSweep:
+    def test_matches_pointwise_evaluation(self, params):
+        values = np.array([5.0, 25.0, 100.0])
+        out = sensitivity.sweep(params, "bandwidth_gbps", values)
+        for v, t in zip(values, out):
+            expected = model.t_pct(
+                params.s_unit_gb,
+                params.complexity_flop_per_gb,
+                params.r_local_tflops,
+                v,
+                alpha=params.alpha,
+                r=params.r,
+                theta=params.theta,
+            )
+            assert t == pytest.approx(expected)
+
+    def test_r_remote_sweep_recomputes_ratio(self, params):
+        values = np.array([params.r_local_tflops, 10 * params.r_local_tflops])
+        out = sensitivity.sweep(params, "r_remote_tflops", values)
+        assert out[1] < out[0]
+
+    def test_r_local_sweep_leaves_tpct_invariant(self, params):
+        # T_pct depends on r * R_local = R_remote only, so sweeping
+        # R_local with R_remote fixed must not change T_pct at all
+        # (it changes T_local, i.e. the gain, not the remote time).
+        values = np.array([params.r_local_tflops, params.r_local_tflops * 4])
+        out = sensitivity.sweep(params, "r_local_tflops", values)
+        assert out[1] == pytest.approx(out[0])
+
+    def test_unknown_parameter(self, params):
+        with pytest.raises(ValidationError):
+            sensitivity.sweep(params, "nonsense", [1.0])
+
+    def test_empty_values(self, params):
+        with pytest.raises(ValidationError):
+            sensitivity.sweep(params, "alpha", [])
+
+
+class TestElasticity:
+    def test_size_elasticity_is_one(self, params):
+        assert sensitivity.elasticity(params, "s_unit_gb") == pytest.approx(
+            1.0, abs=1e-6
+        )
+
+    def test_bandwidth_elasticity_is_negative_transfer_share(self, params):
+        times = model.evaluate(params)
+        w_t = params.theta * times.t_transfer / times.t_pct
+        assert sensitivity.elasticity(params, "bandwidth_gbps") == pytest.approx(
+            -w_t, abs=1e-4
+        )
+
+    def test_theta_elasticity_is_transfer_share(self, params):
+        times = model.evaluate(params)
+        w_t = params.theta * times.t_transfer / times.t_pct
+        assert sensitivity.elasticity(params, "theta") == pytest.approx(
+            w_t, abs=1e-4
+        )
+
+    def test_remote_rate_elasticity_is_negative_compute_share(self, params):
+        times = model.evaluate(params)
+        w_c = times.t_remote / times.t_pct
+        assert sensitivity.elasticity(params, "r_remote_tflops") == pytest.approx(
+            -w_c, abs=1e-4
+        )
+
+    def test_alpha_at_cap_uses_interior_step(self, params):
+        p = params.replace(alpha=1.0)
+        e = sensitivity.elasticity(p, "alpha")
+        assert e < 0
+
+    def test_invalid_step(self, params):
+        with pytest.raises(ValidationError):
+            sensitivity.elasticity(params, "alpha", rel_step=0.5)
+
+
+class TestTornado:
+    def test_rows_sorted_by_swing(self, params):
+        rows = sensitivity.tornado(
+            params,
+            {
+                "alpha": (0.2, 1.0),
+                "theta": (1.0, 10.0),
+                "r_remote_tflops": (20.0, 500.0),
+            },
+        )
+        swings = [r.swing_s for r in rows]
+        assert swings == sorted(swings, reverse=True)
+
+    def test_swing_values(self, params):
+        rows = sensitivity.tornado(params, {"theta": (1.0, 5.0)})
+        row = rows[0]
+        assert row.t_pct_at_high > row.t_pct_at_low
+        assert row.swing_s == pytest.approx(
+            row.t_pct_at_high - row.t_pct_at_low
+        )
+
+    def test_invalid_range(self, params):
+        with pytest.raises(ValidationError):
+            sensitivity.tornado(params, {"alpha": (0.9, 0.2)})
+
+    def test_unknown_name(self, params):
+        with pytest.raises(ValidationError):
+            sensitivity.tornado(params, {"bogus": (1.0, 2.0)})

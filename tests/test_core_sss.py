@@ -1,0 +1,108 @@
+"""Streaming Speed Score (Eq. 11) and regime classification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import sss
+from repro.errors import MeasurementError, ValidationError
+
+
+class TestTheoretical:
+    def test_paper_value(self):
+        # 0.5 GB at 25 Gbps -> 0.16 s.
+        assert sss.theoretical_transfer_time(0.5, 25.0) == pytest.approx(0.16)
+
+    def test_2gb_at_25gbps(self):
+        # The case study's coherent-scattering unit: 0.64 s.
+        assert sss.theoretical_transfer_time(2.0, 25.0) == pytest.approx(0.64)
+
+
+class TestScore:
+    def test_paper_severe_example(self):
+        # "observed maximum transfer times exceed five seconds" -> SSS > 31.
+        assert sss.streaming_speed_score(5.0, 0.16) > 31.0
+
+    def test_ideal_is_one(self):
+        assert sss.streaming_speed_score(0.16, 0.16) == pytest.approx(1.0)
+
+    def test_rejects_faster_than_light(self):
+        with pytest.raises(ValidationError):
+            sss.streaming_speed_score(0.1, 0.16)
+
+    def test_vectorised(self):
+        out = sss.streaming_speed_score(np.array([0.16, 0.32, 1.6]), 0.16)
+        np.testing.assert_allclose(out, [1.0, 2.0, 10.0])
+
+
+class TestFromSamples:
+    def test_uses_maximum(self):
+        score = sss.sss_from_samples([0.2, 0.3, 0.8], 0.5, 25.0)
+        assert score == pytest.approx(0.8 / 0.16)
+
+    def test_empty_raises(self):
+        with pytest.raises(MeasurementError):
+            sss.sss_from_samples([], 0.5, 25.0)
+
+    def test_nan_raises(self):
+        with pytest.raises(MeasurementError):
+            sss.sss_from_samples([0.2, float("nan")], 0.5, 25.0)
+
+    @given(
+        st.lists(st.floats(min_value=0.16, max_value=100.0), min_size=1, max_size=50)
+    )
+    def test_score_at_least_one_property(self, samples):
+        assert sss.sss_from_samples(samples, 0.5, 25.0) >= 1.0 - 1e-12
+
+    @given(
+        st.lists(st.floats(min_value=0.2, max_value=100.0), min_size=2, max_size=50)
+    )
+    def test_adding_samples_never_decreases_score(self, samples):
+        partial = sss.sss_from_samples(samples[:-1], 0.5, 25.0)
+        full = sss.sss_from_samples(samples, 0.5, 25.0)
+        assert full >= partial - 1e-12
+
+
+class TestRegimes:
+    def test_default_boundaries(self):
+        assert sss.classify_regime(0.3) is sss.CongestionRegime.LOW
+        assert sss.classify_regime(2.5) is sss.CongestionRegime.MODERATE
+        assert sss.classify_regime(5.5) is sss.CongestionRegime.SEVERE
+
+    def test_boundary_values(self):
+        th = sss.RegimeThresholds(real_time_limit_s=1.0, severe_limit_s=3.0)
+        assert sss.classify_regime(0.999, th) is sss.CongestionRegime.LOW
+        assert sss.classify_regime(1.0, th) is sss.CongestionRegime.MODERATE
+        assert sss.classify_regime(3.0, th) is sss.CongestionRegime.SEVERE
+
+    def test_custom_thresholds(self):
+        th = sss.RegimeThresholds(real_time_limit_s=0.5, severe_limit_s=10.0)
+        assert sss.classify_regime(5.0, th) is sss.CongestionRegime.MODERATE
+
+    def test_invalid_threshold_ordering(self):
+        with pytest.raises(ValidationError):
+            sss.RegimeThresholds(real_time_limit_s=3.0, severe_limit_s=1.0)
+
+
+class TestMeasurementRecord:
+    def test_properties(self):
+        m = sss.SSSMeasurement(
+            size_gb=0.5, bandwidth_gbps=25.0, t_worst_s=1.6, utilization=0.64
+        )
+        assert m.t_theoretical_s == pytest.approx(0.16)
+        assert m.sss == pytest.approx(10.0)
+        assert m.regime is sss.CongestionRegime.MODERATE
+
+    def test_worst_of_picks_largest_sss(self):
+        ms = [
+            sss.SSSMeasurement(0.5, 25.0, t, u)
+            for t, u in [(0.2, 0.16), (5.6, 0.96), (2.0, 0.64)]
+        ]
+        assert sss.worst_of(ms).t_worst_s == pytest.approx(5.6)
+
+    def test_worst_of_empty_raises(self):
+        with pytest.raises(MeasurementError):
+            sss.worst_of([])

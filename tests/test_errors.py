@@ -1,0 +1,42 @@
+"""Exception hierarchy contracts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in errors.__all__:
+            exc = getattr(errors, name)
+            assert issubclass(exc, errors.ReproError)
+
+    def test_validation_is_value_error(self):
+        assert issubclass(errors.ValidationError, ValueError)
+
+    def test_unit_error_is_validation_error(self):
+        assert issubclass(errors.UnitError, errors.ValidationError)
+
+    def test_capacity_error_is_validation_error(self):
+        assert issubclass(errors.CapacityError, errors.ValidationError)
+
+    def test_simulation_is_runtime_error(self):
+        assert issubclass(errors.SimulationError, RuntimeError)
+
+    def test_schedule_error_is_simulation_error(self):
+        assert issubclass(errors.ScheduleError, errors.SimulationError)
+
+    def test_single_except_catches_everything(self):
+        for exc in (
+            errors.ValidationError,
+            errors.UnitError,
+            errors.SimulationError,
+            errors.ScheduleError,
+            errors.CapacityError,
+            errors.MeasurementError,
+            errors.DecisionError,
+        ):
+            with pytest.raises(errors.ReproError):
+                raise exc("boom")

@@ -1,0 +1,49 @@
+"""Every shipped example must run end to end and produce its key output.
+
+These are the deliverable's user-facing entry points; breaking one is a
+release blocker, so they run as part of the suite (each in a fresh
+interpreter, like a user would).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+#: (script, substring that must appear in stdout)
+CASES = [
+    ("quickstart.py", "T_pct"),
+    ("aps_tomography_streaming.py", "streaming saves"),
+    ("lcls_feasibility.py", "Case-study verdicts"),
+    ("congestion_measurement.py", "Data Transfer Scorecard"),
+    ("facility_survey.py", "Decision map"),
+    ("variability_planning.py", "Probability of meeting each tier"),
+]
+
+
+@pytest.mark.parametrize("script,marker", CASES)
+def test_example_runs(script, marker):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert marker in proc.stdout, (
+        f"{script} did not print {marker!r}; got:\n{proc.stdout[-1000:]}"
+    )
+
+
+def test_examples_directory_complete():
+    """Every example on disk is covered by this test."""
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    covered = {script for script, _ in CASES}
+    assert on_disk == covered

@@ -1,0 +1,131 @@
+"""Failure injection: degraded substrates must degrade gracefully,
+not crash or silently produce optimistic numbers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simnet.link import Link
+from repro.simnet.tcp import FluidTcpSimulator, TcpConfig
+from repro.storage.dtn import DtnModel
+from repro.storage.filesystem import ParallelFileSystem
+from repro.storage.aggregation import AggregationPlan
+from repro.streaming.filebased import FileBasedPipeline
+from repro.streaming.pipeline import StreamingPipeline
+from repro.streaming.transfer_models import EffectiveRateTransfer
+from repro.workloads.instrument import FrameSpec
+from repro.workloads.scan import ScanSpec
+
+
+def scan(n_frames=12, interval=0.05):
+    return ScanSpec(
+        frame=FrameSpec(1024, 1024, 2), n_frames=n_frames, frame_interval_s=interval
+    )
+
+
+class TestDegradedNetwork:
+    def test_starved_link_still_completes(self):
+        """A 100 Mbps link takes ~minutes but must finish and account
+        for every byte."""
+        link = Link(capacity_gbps=0.1, rtt_s=0.05)
+        sim = FluidTcpSimulator(link, seed=0)
+        sim.add_flow(0.0, 50e6)
+        res = sim.run(max_time_s=120.0)
+        assert res.all_completed
+        assert res.flows[0].duration_s > 4.0  # 50 MB at 12.5 MB/s
+
+    def test_extreme_rtt(self):
+        """A 500 ms RTT path (intercontinental, satellite) works; slow
+        start dominates the small-transfer FCT."""
+        link = Link(capacity_gbps=1.0, rtt_s=0.5)
+        sim = FluidTcpSimulator(link, seed=0)
+        sim.add_flow(0.0, 10e6)
+        res = sim.run(max_time_s=120.0)
+        assert res.all_completed
+        assert res.flows[0].duration_s > 1.0
+
+    def test_pathological_buffer_still_conserves_bytes(self):
+        link = Link(capacity_gbps=25.0, rtt_s=0.016, buffer_bdp=0.01)
+        sim = FluidTcpSimulator(link, seed=1)
+        for c in range(4):
+            sim.add_client(0.0, 0.1e9, 4, client_id=c)
+        res = sim.run(max_time_s=120.0)
+        flow_bytes = sum(f.bytes_sent for f in res.flows)
+        link_bytes = sum(s.bytes_sent for s in res.link_samples)
+        assert flow_bytes == pytest.approx(link_bytes, rel=1e-6)
+
+    def test_aggressive_loss_config_finishes(self):
+        cfg = TcpConfig(loss_aggressiveness=50.0, timeout_on_loss_scale=1.0)
+        link = Link(capacity_gbps=25.0, rtt_s=0.016, buffer_bdp=0.2)
+        sim = FluidTcpSimulator(link, config=cfg, seed=2)
+        for c in range(4):
+            sim.add_client(0.0, 0.2e9, 4, client_id=c)
+        res = sim.run(max_time_s=290.0)
+        assert res.all_completed
+
+
+class TestDegradedStorage:
+    def _fs(self, meta):
+        return ParallelFileSystem(
+            name="stalling-fs",
+            fs_type="GPFS",
+            metadata_latency_s=meta,
+            write_bandwidth_gbytes_per_s=2.0,
+            read_bandwidth_gbytes_per_s=2.0,
+        )
+
+    def test_metadata_stall_dominates_small_files(self, dest_fs, dtn):
+        """A 1-second metadata stall (overloaded MDS) makes per-frame
+        files catastrophically slow — visible, not hidden."""
+        s = scan()
+        plan = AggregationPlan(
+            n_frames=s.n_frames, frame_bytes=float(s.frame_bytes),
+            n_files=s.n_frames,
+        )
+        healthy = FileBasedPipeline(
+            s, plan, self._fs(0.001), dest_fs, dtn
+        ).run()
+        stalled = FileBasedPipeline(
+            s, plan, self._fs(1.0), dest_fs, dtn
+        ).run()
+        assert stalled.completion_s > healthy.completion_s + s.n_frames * 0.9
+
+    def test_slow_destination_backpressures_pipeline(self, source_fs, dtn):
+        s = scan()
+        plan = AggregationPlan(
+            n_frames=s.n_frames, frame_bytes=float(s.frame_bytes), n_files=4
+        )
+        slow_dest = ParallelFileSystem(
+            name="slow", fs_type="Lustre", metadata_latency_s=0.005,
+            write_bandwidth_gbytes_per_s=0.05, read_bandwidth_gbytes_per_s=1.0,
+        )
+        fast_dest = ParallelFileSystem(
+            name="fast", fs_type="Lustre", metadata_latency_s=0.005,
+            write_bandwidth_gbytes_per_s=5.0, read_bandwidth_gbytes_per_s=1.0,
+        )
+        t_slow = FileBasedPipeline(s, plan, source_fs, slow_dest, dtn).run()
+        t_fast = FileBasedPipeline(s, plan, source_fs, fast_dest, dtn).run()
+        assert t_slow.completion_s > t_fast.completion_s
+
+
+class TestStarvedStreaming:
+    def test_backpressure_stalls_instrument_but_loses_nothing(self):
+        """Loss-intolerant streaming on a starved link: the producer
+        stalls (experiment slows down) but every frame is delivered."""
+        s = scan()
+        starved = EffectiveRateTransfer(bandwidth_gbps=0.05, alpha=1.0)
+        res = StreamingPipeline(s, starved, buffer_frames=2).run()
+        assert res.producer_stall_s > 0
+        assert res.n_frames == s.n_frames
+        assert np.all(np.isfinite(res.frame_delivered_s))
+
+    def test_stall_time_accounts_for_rate_mismatch(self):
+        s = scan()
+        starved = EffectiveRateTransfer(bandwidth_gbps=0.05, alpha=1.0)
+        res = StreamingPipeline(s, starved, buffer_frames=2).run()
+        # Completion is governed by the network, not the cadence.
+        per_frame = starved.transfer_time_s(float(s.frame_bytes))
+        assert res.completion_s == pytest.approx(
+            s.n_frames * per_frame + s.frame_interval_s, rel=0.1
+        )

@@ -1,0 +1,54 @@
+"""Integration: measured-curve case study (scaled down).
+
+Unlike ``test_casestudy.py`` (which uses a hand-made paper-shaped
+curve), this runs the actual measurement methodology end to end on
+short experiments and checks that the qualitative conclusions survive.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.casestudy.lcls2 import run_case_study
+from repro.measurement.congestion import measure_sss_curve
+
+
+@pytest.fixture(scope="module")
+def measured_report():
+    curve = measure_sss_curve(
+        concurrencies=(1, 4, 6, 8), duration_s=5.0, seeds=(0,)
+    )
+    return run_case_study(curve=curve)
+
+
+class TestMeasuredConclusions:
+    def test_coherent_fits_and_meets_tier2(self, measured_report):
+        f = measured_report.finding("coherent")
+        assert f.fits_link
+        assert f.tier2.feasible
+        # Worst case somewhere in the paper's ballpark (1-4 s band).
+        assert 0.3 < f.worst_case_transfer_s < 5.0
+
+    def test_coherent_leaves_analysis_budget(self, measured_report):
+        f = measured_report.finding("coherent")
+        assert f.tier2_analysis_budget_s > 5.0
+
+    def test_liquid_rejected_by_link(self, measured_report):
+        f = measured_report.finding("Liquid Scattering")
+        assert not f.fits_link
+
+    def test_reduced_liquid_tighter_than_coherent(self, measured_report):
+        coherent = measured_report.finding("coherent")
+        reduced = measured_report.finding("reduced")
+        assert reduced.worst_case_transfer_s > coherent.worst_case_transfer_s
+        if reduced.tier2.feasible:
+            assert (
+                reduced.tier2_analysis_budget_s
+                < coherent.tier2_analysis_budget_s
+            )
+
+    def test_worst_case_monotone_in_utilization(self, measured_report):
+        curve = measured_report.curve
+        t_mid = curve.t_worst_at(0.64)
+        t_hi = curve.t_worst_at(1.2)
+        assert t_hi > t_mid

@@ -1,0 +1,85 @@
+"""Integration: scaled-down Figure 2 reproduction.
+
+Short-duration versions of the paper's congestion experiments that
+assert the qualitative claims (the full-scale versions live in
+``benchmarks/``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sss import theoretical_transfer_time
+from repro.iperfsim.runner import run_sweep
+from repro.iperfsim.spec import ExperimentSpec, SpawnStrategy
+
+DURATION = 5.0
+
+
+@pytest.fixture(scope="module")
+def batch_sweep():
+    specs = [
+        ExperimentSpec(concurrency=c, parallel_flows=4, duration_s=DURATION)
+        for c in (1, 4, 6, 8)
+    ]
+    return run_sweep(specs, seeds=(0,))
+
+
+@pytest.fixture(scope="module")
+def scheduled_sweep():
+    specs = [
+        ExperimentSpec(
+            concurrency=c, parallel_flows=4, duration_s=DURATION,
+            strategy=SpawnStrategy.SCHEDULED,
+        )
+        for c in (1, 4, 6, 8)
+    ]
+    return run_sweep(specs, seeds=(0,))
+
+
+class TestFigure2a:
+    def test_low_load_suitable_for_real_time(self, batch_sweep):
+        _, y = batch_sweep.curve(4)
+        assert y[0] < 1.0  # regime 1
+
+    def test_nonlinear_growth(self, batch_sweep):
+        x, y = batch_sweep.curve(4)
+        # Growth from 16 % to 128 % utilisation is super-linear: the
+        # last step's slope exceeds the first step's slope.
+        slope_lo = (y[1] - y[0]) / (x[1] - x[0])
+        slope_hi = (y[-1] - y[-2]) / (x[-1] - x[-2])
+        assert y[-1] > y[0] * 5
+        assert slope_hi > slope_lo
+
+    def test_severe_regime_exceeds_5s(self, batch_sweep):
+        _, y = batch_sweep.curve(4)
+        assert y[-1] > 5.0  # "exceed five seconds at high utilization"
+
+    def test_order_of_magnitude_above_theoretical(self, batch_sweep):
+        # "worst-case congestion can increase transfer times by over an
+        #  order of magnitude"
+        _, y = batch_sweep.curve(4)
+        t_theo = float(theoretical_transfer_time(0.5, 25.0))
+        assert y[-1] / t_theo > 10.0
+
+
+class TestFigure2b:
+    def test_scheduled_flat_and_fast(self, scheduled_sweep):
+        _, y = scheduled_sweep.curve(4)
+        # "the measured transfer time is 0.2s - within the error margin
+        #  of the 0.16s theoretical value - and the maximum transfer time
+        #  remains comfortably within the 1-second time budget"
+        assert max(y) < 1.0
+        assert max(y) / min(y) < 1.5  # flat across load
+
+    def test_scheduled_near_theoretical(self, scheduled_sweep):
+        _, y = scheduled_sweep.curve(4)
+        t_theo = float(theoretical_transfer_time(0.5, 25.0))
+        assert max(y) < 3 * t_theo
+
+
+class TestBatchVsScheduled:
+    def test_scheduled_dominates_at_high_load(self, batch_sweep, scheduled_sweep):
+        _, yb = batch_sweep.curve(4)
+        _, ys = scheduled_sweep.curve(4)
+        assert ys[-1] < yb[-1] / 5

@@ -1,0 +1,81 @@
+"""Integration: full-scale Figure 4 (cheap to run — DES is fast)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.streaming.comparison import run_figure4
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return run_figure4()
+
+
+class TestHighRate:
+    def test_streaming_wins_everywhere(self, fig4):
+        comp = fig4[0.033]
+        stream = comp.streaming_completion_s
+        for o in comp.outcomes:
+            if o.method == "file":
+                assert stream < o.completion_s
+
+    def test_headline_97_percent(self, fig4):
+        # "up to 97% lower end-to-end completion time than file-based
+        #  methods under high data rates"
+        reduction = fig4[0.033].reduction_vs_file_pct(1440)
+        assert 90.0 < reduction < 99.5
+
+    def test_small_file_penalty_severe(self, fig4):
+        comp = fig4[0.033]
+        worst = comp.worst_file_based()
+        assert worst.n_files == 1440
+        assert worst.completion_s > 10 * comp.streaming_completion_s
+
+    def test_partial_aggregation_noticeable(self, fig4):
+        # "Even partial aggregation (e.g., 10 or 144 files) introduced
+        #  noticeable delays."
+        comp = fig4[0.033]
+        stream = comp.streaming_completion_s
+        assert comp.outcome("file", 10).completion_s > stream
+        assert comp.outcome("file", 144).completion_s > 2 * stream
+
+    def test_streaming_overlaps_generation(self, fig4):
+        comp = fig4[0.033]
+        o = comp.outcome("streaming")
+        # Completion within 1 % of pure generation time.
+        assert o.completion_s < o.generation_end_s * 1.01
+
+
+class TestLowRate:
+    def test_file_based_competitive(self, fig4):
+        # "file-based methods remain competitive at lower data rates or
+        #  with large aggregated files"
+        comp = fig4[0.33]
+        stream = comp.streaming_completion_s
+        best_file = comp.best_file_based()
+        assert best_file.completion_s < stream * 1.05
+
+    def test_small_files_still_bad(self, fig4):
+        comp = fig4[0.33]
+        assert comp.outcome("file", 1440).completion_s > (
+            2 * comp.streaming_completion_s
+        )
+
+    def test_everything_generation_bound_except_small_files(self, fig4):
+        comp = fig4[0.33]
+        gen = comp.scan.generation_time_s
+        for o in comp.outcomes:
+            if o.method == "streaming" or (o.n_files or 0) <= 10:
+                assert o.completion_s < gen * 1.05
+
+
+class TestCrossRate:
+    def test_relative_gap_shrinks_at_low_rate(self, fig4):
+        # Streaming's relative advantage vs the 1-file case is larger at
+        # the high rate than at the low rate.
+        hi = fig4[0.033]
+        lo = fig4[0.33]
+        gap_hi = hi.outcome("file", 1).completion_s / hi.streaming_completion_s
+        gap_lo = lo.outcome("file", 1).completion_s / lo.streaming_completion_s
+        assert gap_hi > gap_lo

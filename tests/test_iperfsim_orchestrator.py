@@ -1,0 +1,112 @@
+"""Spawning strategies: batch spikes vs reserved slots."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.iperfsim.orchestrator import (
+    BatchSpawner,
+    ClientPlan,
+    ScheduledSpawner,
+    make_spawner,
+)
+from repro.iperfsim.spec import ExperimentSpec, SpawnStrategy
+
+
+def spec(**kw):
+    base = dict(concurrency=4, parallel_flows=2, duration_s=3.0)
+    base.update(kw)
+    return ExperimentSpec(**base)
+
+
+class TestClientPlan:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ClientPlan(client_id=0, start_s=-1.0, total_bytes=1.0, parallel_flows=1)
+        with pytest.raises(ValidationError):
+            ClientPlan(client_id=0, start_s=0.0, total_bytes=0.0, parallel_flows=1)
+        with pytest.raises(ValidationError):
+            ClientPlan(client_id=0, start_s=0.0, total_bytes=1.0, parallel_flows=0)
+
+
+class TestBatchSpawner:
+    def test_client_count(self):
+        plans = BatchSpawner(seed=0).plan(spec())
+        assert len(plans) == 12  # 4 clients x 3 seconds
+
+    def test_batch_grouping_within_jitter(self):
+        s = spec(spawn_jitter_s=0.03)
+        plans = BatchSpawner(seed=0).plan(s)
+        for second in range(3):
+            batch = [p for p in plans if second <= p.start_s < second + 0.031]
+            assert len(batch) == 4
+
+    def test_zero_jitter_is_exact(self):
+        plans = BatchSpawner(seed=0).plan(spec(spawn_jitter_s=0.0))
+        starts = sorted({p.start_s for p in plans})
+        assert starts == [0.0, 1.0, 2.0]
+
+    def test_reproducible_per_seed(self):
+        a = BatchSpawner(seed=5).plan(spec())
+        b = BatchSpawner(seed=5).plan(spec())
+        assert [p.start_s for p in a] == [p.start_s for p in b]
+
+    def test_different_seeds_differ(self):
+        a = BatchSpawner(seed=1).plan(spec())
+        b = BatchSpawner(seed=2).plan(spec())
+        assert [p.start_s for p in a] != [p.start_s for p in b]
+
+    def test_unique_client_ids(self):
+        plans = BatchSpawner(seed=0).plan(spec())
+        assert len({p.client_id for p in plans}) == len(plans)
+
+
+class TestScheduledSpawner:
+    def test_slots_within_second(self):
+        plans = ScheduledSpawner().plan(spec(concurrency=2))
+        starts = [p.start_s for p in plans]
+        # Reservation window for 0.5 GB at 25 Gbps x2 headroom = 0.32 s,
+        # slots at 0.0/0.5/1.0/1.5/... all fit without pushback.
+        assert starts == pytest.approx([0.0, 0.5, 1.0, 1.5, 2.0, 2.5])
+
+    def test_admission_control_pushes_back(self):
+        # 8 clients/s with a 0.32 s window cannot fit in 1 s: starts
+        # serialise at the window spacing.
+        plans = ScheduledSpawner().plan(spec(concurrency=8, duration_s=2.0))
+        starts = np.array([p.start_s for p in plans])
+        gaps = np.diff(starts)
+        window = ScheduledSpawner().reservation_window_s(spec(concurrency=8))
+        assert np.all(gaps >= window - 1e-12)
+
+    def test_no_overlap_guarantee(self):
+        sp = ScheduledSpawner()
+        s = spec(concurrency=8, duration_s=2.0)
+        plans = sp.plan(s)
+        window = sp.reservation_window_s(s)
+        for a, b in zip(plans, plans[1:]):
+            assert b.start_s >= a.start_s + window - 1e-12
+
+    def test_headroom_validation(self):
+        with pytest.raises(ValidationError):
+            ScheduledSpawner(reservation_headroom=0.5)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValidationError):
+            ScheduledSpawner(link_capacity_gbps=0.0)
+
+
+class TestFactory:
+    def test_batch(self):
+        assert isinstance(make_spawner(spec()), BatchSpawner)
+
+    def test_scheduled(self):
+        s = spec()
+        s = ExperimentSpec(
+            concurrency=s.concurrency,
+            parallel_flows=s.parallel_flows,
+            duration_s=s.duration_s,
+            strategy=SpawnStrategy.SCHEDULED,
+        )
+        assert isinstance(make_spawner(s), ScheduledSpawner)

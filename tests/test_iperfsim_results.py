@@ -1,0 +1,68 @@
+"""Result containers: curves and pooling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.iperfsim.results import ExperimentResult, SweepResult
+from repro.iperfsim.spec import ExperimentSpec
+
+
+def result(concurrency=1, p=2, times=None):
+    times = times if times is not None else {0: 0.3, 1: 0.5}
+    spec = ExperimentSpec(concurrency=concurrency, parallel_flows=p)
+    return ExperimentResult(
+        spec=spec,
+        client_times_s=times,
+        achieved_utilization=0.5,
+        offered_utilization=spec.offered_utilization(),
+    )
+
+
+class TestExperimentResult:
+    def test_max(self):
+        assert result().max_transfer_time_s == pytest.approx(0.5)
+
+    def test_transfer_times_sorted_by_client(self):
+        r = result(times={3: 0.9, 1: 0.2})
+        np.testing.assert_allclose(r.transfer_times, [0.2, 0.9])
+
+    def test_empty_raises(self):
+        with pytest.raises(MeasurementError):
+            result(times={}).max_transfer_time_s
+
+    def test_percentile(self):
+        r = result(times={i: float(i) for i in range(1, 101)})
+        assert r.percentile(50) == pytest.approx(50.5)
+
+
+class TestSweepResult:
+    def _sweep(self):
+        sw = SweepResult()
+        for p in (2, 4):
+            for c in (2, 1):
+                sw.experiments.append(
+                    result(concurrency=c, p=p, times={0: 0.1 * c * p})
+                )
+        return sw
+
+    def test_by_parallel_flows_sorted(self):
+        sw = self._sweep()
+        exps = sw.by_parallel_flows(2)
+        assert [e.spec.concurrency for e in exps] == [1, 2]
+
+    def test_parallel_flow_values(self):
+        assert self._sweep().parallel_flow_values() == [2, 4]
+
+    def test_curve_axes(self):
+        x, y = self._sweep().curve(4)
+        assert x.shape == y.shape == (2,)
+        assert list(x) == sorted(x)
+
+    def test_all_transfer_times_concatenates(self):
+        assert self._sweep().all_transfer_times().size == 4
+
+    def test_empty_sweep(self):
+        assert SweepResult().all_transfer_times().size == 0

@@ -1,0 +1,93 @@
+"""Experiment runner: end-to-end on short experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.iperfsim.runner import run_experiment, run_sweep
+from repro.iperfsim.spec import ExperimentSpec, SpawnStrategy
+
+
+def short_spec(**kw):
+    base = dict(concurrency=2, parallel_flows=2, duration_s=3.0)
+    base.update(kw)
+    return ExperimentSpec(**base)
+
+
+class TestRunExperiment:
+    def test_all_clients_finish_at_light_load(self):
+        res = run_experiment(short_spec(), seed=0)
+        assert res.completed_clients == 6
+
+    def test_offered_utilization_recorded(self):
+        res = run_experiment(short_spec(), seed=0)
+        assert res.offered_utilization == pytest.approx(2 * 0.5 * 8 / 25)
+
+    def test_achieved_at_most_one(self):
+        res = run_experiment(short_spec(concurrency=8), seed=0)
+        assert res.achieved_utilization <= 1.0 + 1e-9
+
+    def test_keep_sim_attaches_result(self):
+        res = run_experiment(short_spec(), seed=0, keep_sim=True)
+        assert res.sim is not None
+        assert res.sim.all_completed
+
+    def test_sim_dropped_by_default(self):
+        assert run_experiment(short_spec(), seed=0).sim is None
+
+    def test_max_transfer_and_percentiles(self):
+        res = run_experiment(short_spec(), seed=0)
+        assert res.max_transfer_time_s >= res.percentile(50)
+        assert res.percentile(100) == pytest.approx(res.max_transfer_time_s)
+
+    def test_scheduled_faster_than_batch_under_load(self):
+        batch = run_experiment(short_spec(concurrency=6), seed=1)
+        sched = run_experiment(
+            short_spec(concurrency=6, strategy=SpawnStrategy.SCHEDULED), seed=1
+        )
+        assert sched.max_transfer_time_s < batch.max_transfer_time_s
+
+    def test_deterministic(self):
+        a = run_experiment(short_spec(), seed=3)
+        b = run_experiment(short_spec(), seed=3)
+        assert a.client_times_s == b.client_times_s
+
+
+class TestRunSweep:
+    def test_sweep_shape(self):
+        specs = [short_spec(concurrency=c) for c in (1, 2, 4)]
+        sweep = run_sweep(specs, seeds=(0,))
+        assert len(sweep.experiments) == 3
+        x, y = sweep.curve(2)
+        assert list(x) == sorted(x)
+        assert len(y) == 3
+
+    def test_multi_seed_pooling(self):
+        specs = [short_spec()]
+        one = run_sweep(specs, seeds=(0,))
+        two = run_sweep(specs, seeds=(0, 1))
+        assert two.experiments[0].completed_clients == (
+            2 * one.experiments[0].completed_clients
+        )
+
+    def test_pooled_max_covers_both_seeds(self):
+        specs = [short_spec(concurrency=4)]
+        s0 = run_sweep(specs, seeds=(0,)).experiments[0].max_transfer_time_s
+        s1 = run_sweep(specs, seeds=(1,)).experiments[0].max_transfer_time_s
+        pooled = run_sweep(specs, seeds=(0, 1)).experiments[0].max_transfer_time_s
+        assert pooled == pytest.approx(max(s0, s1))
+
+    def test_empty_specs_rejected(self):
+        with pytest.raises(ValidationError):
+            run_sweep([], seeds=(0,))
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValidationError):
+            run_sweep([short_spec()], seeds=())
+
+    def test_all_transfer_times_pools_everything(self):
+        specs = [short_spec(concurrency=c) for c in (1, 2)]
+        sweep = run_sweep(specs, seeds=(0,))
+        pooled = sweep.all_transfer_times()
+        assert pooled.size == sum(e.completed_clients for e in sweep.experiments)

@@ -1,0 +1,86 @@
+"""Experiment specs and the Table-2 sweep."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.iperfsim.spec import (
+    ExperimentSpec,
+    SpawnStrategy,
+    TABLE2_CONCURRENCY,
+    TABLE2_PARALLEL_FLOWS,
+    TABLE2_ROWS,
+    iter_sweep_grid,
+    table2_sweep,
+)
+from repro.simnet.link import fabric_link
+
+
+class TestSpec:
+    def test_defaults_match_table2(self):
+        spec = ExperimentSpec(concurrency=4, parallel_flows=2)
+        assert spec.transfer_size_gb == 0.5
+        assert spec.duration_s == 10.0
+        assert spec.strategy is SpawnStrategy.BATCH
+
+    def test_offered_load(self):
+        # 4 clients/s x 0.5 GB = 2 GB/s = 16 Gbps.
+        spec = ExperimentSpec(concurrency=4, parallel_flows=2)
+        assert spec.offered_load_gbps() == pytest.approx(16.0)
+
+    def test_offered_utilization(self):
+        spec = ExperimentSpec(concurrency=4, parallel_flows=2)
+        assert spec.offered_utilization(fabric_link()) == pytest.approx(0.64)
+
+    def test_can_exceed_one(self):
+        spec = ExperimentSpec(concurrency=8, parallel_flows=2)
+        assert spec.offered_utilization() == pytest.approx(1.28)
+
+    def test_totals(self):
+        spec = ExperimentSpec(concurrency=8, parallel_flows=2)
+        assert spec.total_clients == 80
+        assert spec.total_bytes == pytest.approx(80 * 0.5e9)
+
+    def test_label(self):
+        spec = ExperimentSpec(concurrency=3, parallel_flows=8)
+        assert spec.label() == "batch-c3-p8"
+
+    @pytest.mark.parametrize("field,value", [
+        ("concurrency", 0),
+        ("parallel_flows", 0),
+        ("transfer_size_gb", 0.0),
+        ("duration_s", -1.0),
+        ("spawn_jitter_s", -0.1),
+    ])
+    def test_validation(self, field, value):
+        kwargs = dict(concurrency=1, parallel_flows=2)
+        kwargs[field] = value
+        with pytest.raises(ValidationError):
+            ExperimentSpec(**kwargs)
+
+
+class TestSweep:
+    def test_24_experiments(self):
+        # Table 2: "Total experiments | 24 | Full parameter sweep".
+        assert len(table2_sweep()) == 24
+
+    def test_grid_coverage(self):
+        specs = table2_sweep()
+        combos = {(s.concurrency, s.parallel_flows) for s in specs}
+        assert combos == {
+            (c, p) for c in TABLE2_CONCURRENCY for p in TABLE2_PARALLEL_FLOWS
+        }
+
+    def test_iter_grid_matches(self):
+        assert len(list(iter_sweep_grid())) == 24
+
+    def test_strategy_propagates(self):
+        specs = table2_sweep(strategy=SpawnStrategy.SCHEDULED)
+        assert all(s.strategy is SpawnStrategy.SCHEDULED for s in specs)
+
+    def test_table2_rows_content(self):
+        names = [r[0] for r in TABLE2_ROWS]
+        assert "Concurrency" in names
+        assert "Transfer size" in names
+        assert ("Total experiments", "24", "Full parameter sweep") in TABLE2_ROWS

@@ -1,0 +1,98 @@
+"""Empirical CDF (Figure 3 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MeasurementError
+from repro.measurement.cdf import EmpiricalCdf
+
+
+class TestBasics:
+    def test_step_values(self):
+        cdf = EmpiricalCdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf(0.5) == 0.0
+        assert cdf(1.0) == 0.25
+        assert cdf(2.5) == 0.5
+        assert cdf(4.0) == 1.0
+        assert cdf(100.0) == 1.0
+
+    def test_vectorised_call(self):
+        cdf = EmpiricalCdf([1.0, 2.0])
+        np.testing.assert_allclose(cdf(np.array([0.0, 1.5, 3.0])), [0.0, 0.5, 1.0])
+
+    def test_support(self):
+        assert EmpiricalCdf([3.0, 1.0, 2.0]).support == (1.0, 3.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(MeasurementError):
+            EmpiricalCdf([])
+
+    def test_non_finite_raises(self):
+        with pytest.raises(MeasurementError):
+            EmpiricalCdf([1.0, float("inf")])
+
+
+class TestQuantiles:
+    def test_quantile_inverse(self):
+        samples = np.linspace(0, 10, 101)
+        cdf = EmpiricalCdf(samples)
+        assert cdf.quantile(0.5) == pytest.approx(5.0)
+        assert cdf.quantile(1.0) == pytest.approx(10.0)
+
+    def test_quantile_bounds(self):
+        with pytest.raises(MeasurementError):
+            EmpiricalCdf([1.0]).quantile(1.5)
+
+    def test_tabulate(self):
+        rows = EmpiricalCdf(np.arange(1, 101, dtype=float)).tabulate((0.5, 1.0))
+        assert rows[0][0] == 0.5
+        assert rows[1][1] == pytest.approx(100.0)
+
+
+class TestSteps:
+    def test_steps_are_valid_distribution(self):
+        x, y = EmpiricalCdf([3.0, 1.0, 2.0]).steps()
+        assert np.all(np.diff(x) >= 0)
+        assert np.all(np.diff(y) > 0)
+        assert y[-1] == pytest.approx(1.0)
+
+
+class TestKnee:
+    def test_light_tail_scores_low(self):
+        cdf = EmpiricalCdf(np.linspace(1.0, 2.0, 1000))
+        # Uniform: (P99-P90)/(P90-P50) = 0.09/0.40 = 0.225.
+        assert cdf.knee_severity() < 0.5
+
+    def test_heavy_tail_scores_high(self):
+        # Congested-FCT-like: tight bulk, exploding top decile.
+        bulk = np.full(900, 1.0)
+        tail = np.linspace(1.0, 30.0, 100)
+        cdf = EmpiricalCdf(np.concatenate([bulk, tail]))
+        assert cdf.knee_severity() > 1.0
+
+    def test_degenerate_mid_range(self):
+        cdf = EmpiricalCdf(np.concatenate([np.full(99, 1.0), [50.0]]))
+        assert cdf.knee_severity() == np.inf
+
+    def test_constant_samples(self):
+        assert EmpiricalCdf(np.full(10, 2.0)).knee_severity() == 0.0
+
+
+class TestProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1))
+    def test_monotone_property(self, samples):
+        cdf = EmpiricalCdf(samples)
+        xs = np.sort(np.asarray(samples))
+        ys = cdf(xs)
+        assert np.all(np.diff(ys) >= -1e-12)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1))
+    def test_range_zero_one(self, samples):
+        cdf = EmpiricalCdf(samples)
+        lo, hi = cdf.support
+        assert cdf(lo - 1.0) == 0.0
+        assert cdf(hi) == 1.0

@@ -1,0 +1,82 @@
+"""Transfer logs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError, ValidationError
+from repro.measurement.collector import TransferLog, TransferRecord
+
+
+def rec(cid=0, start=0.0, end=1.0, nbytes=5e8, label=""):
+    return TransferRecord(
+        client_id=cid, start_s=start, end_s=end, nbytes=nbytes, label=label
+    )
+
+
+class TestRecord:
+    def test_duration_and_throughput(self):
+        r = rec(start=1.0, end=3.0, nbytes=2e9)
+        assert r.duration_s == pytest.approx(2.0)
+        assert r.throughput_bytes_per_s == pytest.approx(1e9)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            rec(start=-1.0)
+        with pytest.raises(ValidationError):
+            rec(start=2.0, end=1.0)
+        with pytest.raises(ValidationError):
+            rec(nbytes=0.0)
+
+    def test_instant_transfer_has_infinite_throughput(self):
+        assert rec(start=1.0, end=1.0).throughput_bytes_per_s == float("inf")
+
+
+class TestLog:
+    def test_add_extend_len(self):
+        log = TransferLog()
+        log.add(rec())
+        log.extend([rec(cid=1), rec(cid=2)])
+        assert len(log) == 3
+
+    def test_durations_array(self):
+        log = TransferLog([rec(end=0.5), rec(end=2.0)])
+        np.testing.assert_allclose(log.durations_s(), [0.5, 2.0])
+
+    def test_worst_case(self):
+        log = TransferLog([rec(end=0.5), rec(end=2.0)])
+        assert log.worst_case_s() == pytest.approx(2.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(MeasurementError):
+            TransferLog().durations_s()
+
+    def test_total_bytes(self):
+        log = TransferLog([rec(nbytes=1e9), rec(nbytes=2e9)])
+        assert log.total_bytes() == pytest.approx(3e9)
+
+    def test_merge_is_non_destructive(self):
+        a = TransferLog([rec(cid=0)])
+        b = TransferLog([rec(cid=1)])
+        merged = a.merge(b)
+        assert len(merged) == 2 and len(a) == 1 and len(b) == 1
+
+    def test_filter_label(self):
+        log = TransferLog([rec(label="x"), rec(label="y"), rec(label="x")])
+        assert len(log.filter_label("x")) == 2
+
+    def test_window_selects_by_start(self):
+        log = TransferLog([rec(start=0.0, end=1.0), rec(start=5.0, end=6.0)])
+        assert len(log.window(0.0, 2.0)) == 1
+        assert len(log.window(0.0, 10.0)) == 2
+
+    def test_window_validation(self):
+        with pytest.raises(ValidationError):
+            TransferLog().window(2.0, 1.0)
+
+    def test_summary_integrates_stats(self):
+        log = TransferLog([rec(end=e) for e in (0.2, 0.2, 0.2, 5.0)])
+        s = log.summary()
+        assert s.maximum == pytest.approx(5.0)
+        assert s.count == 4

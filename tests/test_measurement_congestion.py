@@ -1,0 +1,126 @@
+"""SSS curves and the measurement methodology."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sss import SSSMeasurement
+from repro.errors import MeasurementError, ValidationError
+from repro.iperfsim.runner import run_sweep
+from repro.iperfsim.spec import ExperimentSpec
+from repro.measurement.congestion import (
+    SssCurve,
+    curve_from_sweep,
+    measure_sss_curve,
+)
+
+
+def make_curve():
+    points = [
+        (0.16, 0.3),
+        (0.64, 1.5),
+        (0.96, 6.0),
+        (1.28, 12.0),
+    ]
+    return SssCurve(
+        size_gb=0.5,
+        bandwidth_gbps=25.0,
+        measurements=[
+            SSSMeasurement(0.5, 25.0, t, u) for u, t in points
+        ],
+    )
+
+
+class TestCurveInterpolation:
+    def test_measured_points_exact(self):
+        curve = make_curve()
+        assert curve.t_worst_at(0.64) == pytest.approx(1.5)
+
+    def test_interpolates_between(self):
+        curve = make_curve()
+        mid = curve.t_worst_at(0.80)
+        assert 1.5 < mid < 6.0
+
+    def test_clamps_at_ends(self):
+        curve = make_curve()
+        assert curve.t_worst_at(0.0) == pytest.approx(0.3)
+        assert curve.t_worst_at(5.0) == pytest.approx(12.0)
+
+    def test_sss_at(self):
+        curve = make_curve()
+        # t_theoretical = 0.16 s.
+        assert curve.sss_at(0.96) == pytest.approx(6.0 / 0.16)
+
+    def test_sorted_by_utilization(self):
+        curve = make_curve()
+        assert list(curve.utilizations) == sorted(curve.utilizations)
+
+    def test_negative_utilization_rejected(self):
+        with pytest.raises(ValidationError):
+            make_curve().t_worst_at(-0.1)
+
+    def test_empty_curve_raises(self):
+        empty = SssCurve(size_gb=0.5, bandwidth_gbps=25.0)
+        with pytest.raises(MeasurementError):
+            empty.t_worst_at(0.5)
+
+
+class TestVolumeScaling:
+    def test_worst_case_for_volume_scales_linearly(self):
+        curve = make_curve()
+        t1 = curve.worst_case_for_volume(0.5, 0.64)
+        t4 = curve.worst_case_for_volume(2.0, 0.64)
+        assert t4 == pytest.approx(4 * t1)
+
+    def test_worst_case_for_unit_reads_curve_directly(self):
+        curve = make_curve()
+        assert curve.worst_case_for_unit(0.96) == pytest.approx(6.0)
+
+    def test_zero_volume_rejected(self):
+        with pytest.raises(ValidationError):
+            make_curve().worst_case_for_volume(0.0, 0.5)
+
+
+class TestFromSweep:
+    def _sweep(self):
+        specs = [
+            ExperimentSpec(concurrency=c, parallel_flows=2, duration_s=3.0)
+            for c in (1, 4)
+        ]
+        return run_sweep(specs, seeds=(0,))
+
+    def test_curve_built_from_results(self):
+        sweep = self._sweep()
+        curve = curve_from_sweep(sweep)
+        assert len(curve.measurements) == 2
+        assert curve.size_gb == 0.5
+
+    def test_monotone_t_worst(self):
+        curve = curve_from_sweep(self._sweep())
+        assert curve.t_worst_values[1] > curve.t_worst_values[0]
+
+    def test_mixed_sizes_rejected(self):
+        specs = [
+            ExperimentSpec(concurrency=1, parallel_flows=2,
+                           transfer_size_gb=0.5, duration_s=2.0),
+            ExperimentSpec(concurrency=1, parallel_flows=2,
+                           transfer_size_gb=1.0, duration_s=2.0),
+        ]
+        sweep = run_sweep(specs, seeds=(0,))
+        with pytest.raises(ValidationError):
+            curve_from_sweep(sweep)
+
+
+class TestMeasureEndToEnd:
+    def test_small_measurement_run(self):
+        curve = measure_sss_curve(
+            concurrencies=(1, 6), duration_s=3.0, seeds=(0,)
+        )
+        assert curve.sss_at(curve.utilizations[0]) >= 1.0
+        # Congestion must raise the worst case.
+        assert curve.t_worst_values[1] > curve.t_worst_values[0]
+
+    def test_rejects_empty_concurrency(self):
+        with pytest.raises(ValidationError):
+            measure_sss_curve(concurrencies=())

@@ -1,0 +1,68 @@
+"""Data Transfer Scorecard views."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sss import CongestionRegime
+from repro.errors import ValidationError
+from repro.measurement.collector import TransferLog, TransferRecord
+from repro.measurement.scorecard import Scorecard
+
+
+def log_of(durations, nbytes=0.5e9):
+    return TransferLog(
+        TransferRecord(client_id=i, start_s=0.0, end_s=d, nbytes=nbytes)
+        for i, d in enumerate(durations)
+    )
+
+
+class TestView:
+    def test_three_perspectives(self):
+        # 10 transfers of 0.5 GB in a 10 s window = 4 Gbps mean.
+        view = Scorecard(25.0).view(log_of([0.3] * 10), window_s=10.0)
+        assert view.mean_bitrate_gbps == pytest.approx(4.0)
+        assert view.utilization_pct == pytest.approx(16.0)
+        assert view.total_volume_gb == pytest.approx(5.0)
+        assert view.volume_tb_per_day == pytest.approx(43.2)
+
+    def test_realtime_view_uses_worst_case(self):
+        view = Scorecard(25.0).view(log_of([0.2, 0.2, 4.8]), window_s=10.0)
+        assert view.worst_case_s == pytest.approx(4.8)
+        assert view.sss == pytest.approx(30.0)
+        assert view.regime is CongestionRegime.SEVERE
+
+    def test_average_view_hides_what_realtime_view_shows(self):
+        # Same administrator numbers, drastically different tail story.
+        steady = Scorecard(25.0).view(log_of([0.5] * 8), window_s=10.0)
+        spiky = Scorecard(25.0).view(log_of([0.2] * 7 + [6.0]), window_s=10.0)
+        assert steady.mean_bitrate_gbps == pytest.approx(spiky.mean_bitrate_gbps)
+        assert spiky.sss > 10 * steady.sss
+
+    def test_rows_render(self):
+        view = Scorecard(25.0).view(log_of([0.3]), window_s=1.0)
+        rows = view.rows()
+        stakeholders = {r[0] for r in rows}
+        assert stakeholders == {"researcher", "administrator", "real-time"}
+
+
+class TestValidation:
+    def test_empty_log_rejected(self):
+        with pytest.raises(ValidationError):
+            Scorecard(25.0).view(TransferLog(), window_s=1.0)
+
+    def test_mixed_sizes_rejected(self):
+        log = TransferLog([
+            TransferRecord(0, 0.0, 1.0, 1e9),
+            TransferRecord(1, 0.0, 1.0, 2e9),
+        ])
+        with pytest.raises(ValidationError):
+            Scorecard(25.0).view(log, window_s=1.0)
+
+    def test_bad_window(self):
+        with pytest.raises(ValidationError):
+            Scorecard(25.0).view(log_of([0.3]), window_s=0.0)
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValidationError):
+            Scorecard(0.0)

@@ -1,0 +1,93 @@
+"""Tail statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MeasurementError
+from repro.measurement.stats import (
+    percentile,
+    summarize,
+    tail_ratio,
+    worst_case,
+)
+
+
+class TestBasics:
+    def test_worst_case(self):
+        assert worst_case([0.1, 5.0, 0.2]) == 5.0
+
+    def test_percentile(self):
+        samples = list(range(1, 101))
+        assert percentile(samples, 50) == pytest.approx(50.5)
+        assert percentile(samples, 100) == 100
+
+    def test_percentile_bounds(self):
+        with pytest.raises(MeasurementError):
+            percentile([1.0], 101)
+
+    def test_empty_raises(self):
+        with pytest.raises(MeasurementError):
+            worst_case([])
+
+    def test_nan_raises(self):
+        with pytest.raises(MeasurementError):
+            summarize([1.0, float("nan")])
+
+
+class TestTailRatio:
+    def test_uniform_is_tight(self):
+        samples = np.linspace(1.0, 2.0, 1000)
+        assert tail_ratio(samples, 99) < 2.0
+
+    def test_long_tail_is_large(self):
+        # 99 fast transfers and one 50x outlier: P99/P50 blows up.
+        samples = [0.2] * 99 + [10.0]
+        assert tail_ratio(samples, 99.5) > 10.0
+
+    def test_zero_median_raises(self):
+        with pytest.raises(MeasurementError):
+            tail_ratio([0.0, 0.0, 1.0])
+
+
+class TestSummary:
+    def test_fields(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert s.count == 5
+        assert s.maximum == 100.0
+        assert s.mean == pytest.approx(22.0)
+        assert s.p50 == pytest.approx(3.0)
+
+    def test_max_over_mean_flags_bias(self):
+        # The average hides the outlier; the ratio exposes it.
+        s = summarize([0.2] * 99 + [10.0])
+        assert s.max_over_mean > 30.0
+
+    def test_p99_over_p50(self):
+        s = summarize([1.0] * 90 + [10.0] * 10)
+        assert s.p99_over_p50 == pytest.approx(10.0)
+
+
+class TestProperties:
+    @given(st.lists(st.floats(min_value=0.01, max_value=1e4), min_size=1))
+    def test_ordering_invariants(self, samples):
+        s = summarize(samples)
+        assert s.p50 <= s.p90 + 1e-12
+        assert s.p90 <= s.p99 + 1e-12
+        assert s.p99 <= s.maximum + 1e-12
+        # One-ULP slack: the mean of identical floats can round a hair
+        # outside [min, max] under pairwise summation.
+        tol = 1e-9 * max(abs(s.maximum), 1.0)
+        assert min(samples) - tol <= s.mean <= s.maximum + tol
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=1e4), min_size=2),
+        st.floats(min_value=0.01, max_value=1e4),
+    )
+    def test_adding_large_sample_never_lowers_max(self, samples, extra):
+        m1 = worst_case(samples)
+        m2 = worst_case(samples + [extra])
+        assert m2 >= m1

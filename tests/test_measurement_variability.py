@@ -1,0 +1,118 @@
+"""Performance-variability Monte Carlo."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import t_pct
+from repro.errors import ValidationError
+from repro.measurement.variability import (
+    Fixed,
+    TruncatedNormal,
+    Uniform,
+    monte_carlo_tpct,
+)
+
+
+class TestDistributions:
+    def test_fixed(self):
+        rng = np.random.default_rng(0)
+        np.testing.assert_allclose(Fixed(0.8).sample(rng, 5), 0.8)
+
+    def test_uniform_bounds(self):
+        rng = np.random.default_rng(0)
+        s = Uniform(0.3, 0.9).sample(rng, 10_000)
+        assert s.min() >= 0.3 and s.max() <= 0.9
+        assert abs(s.mean() - 0.6) < 0.02
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValidationError):
+            Uniform(0.9, 0.3)
+
+    def test_truncated_normal_clipped(self):
+        rng = np.random.default_rng(0)
+        s = TruncatedNormal(mean=0.8, sd=0.5, low=0.1, high=1.0).sample(rng, 10_000)
+        assert s.min() >= 0.1 and s.max() <= 1.0
+
+    def test_truncated_normal_validation(self):
+        with pytest.raises(ValidationError):
+            TruncatedNormal(mean=0.5, sd=0.0, low=0.1, high=1.0)
+        with pytest.raises(ValidationError):
+            TruncatedNormal(mean=0.5, sd=0.1, low=1.0, high=0.1)
+
+
+class TestMonteCarlo:
+    def test_degenerate_matches_closed_form(self, params):
+        res = monte_carlo_tpct(params, n=100, seed=1)
+        expected = t_pct(
+            params.s_unit_gb,
+            params.complexity_flop_per_gb,
+            params.r_local_tflops,
+            params.bandwidth_gbps,
+            alpha=params.alpha,
+            r=params.r,
+            theta=params.theta,
+        )
+        np.testing.assert_allclose(res.samples_s, expected)
+        assert res.summary.maximum == pytest.approx(expected)
+
+    def test_variability_widens_distribution(self, params):
+        res = monte_carlo_tpct(
+            params,
+            alpha_dist=Uniform(0.3, 1.0),
+            theta_dist=Uniform(1.0, 6.0),
+            n=20_000,
+            seed=2,
+        )
+        assert res.summary.maximum > res.summary.p50 > res.summary.p50 * 0
+
+    def test_deadline_probability(self, params):
+        # Deadline at the median: ~50 % success under a symmetric-ish mix.
+        base = monte_carlo_tpct(
+            params, alpha_dist=Uniform(0.5, 1.0), n=20_000, seed=3
+        )
+        res = monte_carlo_tpct(
+            params,
+            alpha_dist=Uniform(0.5, 1.0),
+            deadline_s=base.summary.p50,
+            n=20_000,
+            seed=3,
+        )
+        assert res.p_meet_deadline == pytest.approx(0.5, abs=0.05)
+
+    def test_impossible_deadline(self, params):
+        res = monte_carlo_tpct(params, deadline_s=1e-9, n=100, seed=0)
+        assert res.p_meet_deadline == 0.0
+
+    def test_generous_deadline(self, params):
+        res = monte_carlo_tpct(params, deadline_s=1e9, n=100, seed=0)
+        assert res.p_meet_deadline == 1.0
+
+    def test_worse_alpha_raises_p99(self, params):
+        good = monte_carlo_tpct(
+            params, alpha_dist=Uniform(0.8, 1.0), n=20_000, seed=4
+        )
+        bad = monte_carlo_tpct(
+            params, alpha_dist=Uniform(0.1, 0.3), n=20_000, seed=4
+        )
+        assert bad.p99 > good.p99
+
+    def test_reproducible(self, params):
+        a = monte_carlo_tpct(params, alpha_dist=Uniform(0.3, 1.0), n=1000, seed=7)
+        b = monte_carlo_tpct(params, alpha_dist=Uniform(0.3, 1.0), n=1000, seed=7)
+        np.testing.assert_array_equal(a.samples_s, b.samples_s)
+
+    def test_domain_enforcement(self, params):
+        with pytest.raises(ValidationError):
+            monte_carlo_tpct(
+                params, alpha_dist=Uniform(0.5, 2.0), n=100, seed=0
+            )
+        with pytest.raises(ValidationError):
+            monte_carlo_tpct(
+                params, theta_dist=Uniform(0.1, 0.9), n=100, seed=0
+            )
+
+    def test_n_validation(self, params):
+        with pytest.raises(ValidationError):
+            monte_carlo_tpct(params, n=0)

@@ -1,0 +1,121 @@
+"""Public-API surface checks: everything advertised is importable and
+every ``__all__`` name exists."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.simnet",
+    "repro.iperfsim",
+    "repro.storage",
+    "repro.streaming",
+    "repro.workloads",
+    "repro.measurement",
+    "repro.analysis",
+    "repro.casestudy",
+]
+
+MODULES = [
+    "repro.units",
+    "repro.errors",
+    "repro.cli",
+    "repro.core.parameters",
+    "repro.core.model",
+    "repro.core.gain",
+    "repro.core.delays",
+    "repro.core.sss",
+    "repro.core.decision",
+    "repro.core.sensitivity",
+    "repro.core.queueing",
+    "repro.simnet.engine",
+    "repro.simnet.link",
+    "repro.simnet.tcp",
+    "repro.simnet.packet",
+    "repro.simnet.topology",
+    "repro.simnet.records",
+    "repro.simnet.counters",
+    "repro.iperfsim.spec",
+    "repro.iperfsim.orchestrator",
+    "repro.iperfsim.runner",
+    "repro.iperfsim.results",
+    "repro.storage.filesystem",
+    "repro.storage.presets",
+    "repro.storage.dtn",
+    "repro.storage.aggregation",
+    "repro.storage.io_overhead",
+    "repro.streaming.transfer_models",
+    "repro.streaming.pipeline",
+    "repro.streaming.filebased",
+    "repro.streaming.comparison",
+    "repro.workloads.instrument",
+    "repro.workloads.facilities",
+    "repro.workloads.lcls",
+    "repro.workloads.scan",
+    "repro.workloads.traces",
+    "repro.measurement.stats",
+    "repro.measurement.cdf",
+    "repro.measurement.collector",
+    "repro.measurement.congestion",
+    "repro.measurement.scorecard",
+    "repro.measurement.variability",
+    "repro.analysis.regimes",
+    "repro.analysis.crossover",
+    "repro.analysis.tiers",
+    "repro.analysis.report",
+    "repro.casestudy.lcls2",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES + MODULES)
+def test_importable(name):
+    importlib.import_module(name)
+
+
+@pytest.mark.parametrize("name", PACKAGES + MODULES)
+def test_all_names_resolve(name):
+    mod = importlib.import_module(name)
+    for symbol in getattr(mod, "__all__", []):
+        assert hasattr(mod, symbol), f"{name}.__all__ lists missing {symbol!r}"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_quickstart_from_docstring():
+    """The package docstring's quickstart must actually run."""
+    from repro import ModelParameters, Strategy, decide, evaluate
+
+    params = ModelParameters(
+        s_unit_gb=2.0,
+        complexity_flop_per_gb=17e12,
+        r_local_tflops=10.0,
+        r_remote_tflops=100.0,
+        bandwidth_gbps=25.0,
+        alpha=0.8,
+        theta=3.0,
+    )
+    times = evaluate(params)
+    assert times.t_pct > 0
+    assert decide(params, streaming_alpha=0.9).chosen in set(Strategy)
+
+
+def test_all_public_functions_have_docstrings():
+    """Every public callable in every module carries a docstring."""
+    import inspect
+
+    missing = []
+    for name in MODULES:
+        mod = importlib.import_module(name)
+        for symbol in getattr(mod, "__all__", []):
+            obj = getattr(mod, symbol)
+            if callable(obj) and not inspect.getdoc(obj):
+                missing.append(f"{name}.{symbol}")
+    assert not missing, f"public callables without docstrings: {missing}"

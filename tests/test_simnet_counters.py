@@ -1,0 +1,79 @@
+"""Interface counters derived from link samples."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError, ValidationError
+from repro.simnet.counters import InterfaceCounters
+from repro.simnet.link import fabric_link
+from repro.simnet.records import LinkSample
+from repro.simnet.tcp import FluidTcpSimulator
+
+
+def samples():
+    return [
+        LinkSample(0.0, 0.1, 3.125e8, 0.0, 2),   # line rate for 0.1 s
+        LinkSample(0.1, 0.1, 1.5625e8, 1e6, 2),  # half rate
+        LinkSample(0.2, 0.1, 0.0, 0.0, 0),       # idle
+    ]
+
+
+class TestSnapshots:
+    def test_cumulative_bytes(self):
+        snaps = InterfaceCounters(25.0).snapshots(samples())
+        assert snaps[-1].rx_bytes == pytest.approx(3.125e8 + 1.5625e8)
+
+    def test_bitrate_and_utilization(self):
+        snaps = InterfaceCounters(25.0).snapshots(samples())
+        assert snaps[0].bitrate_gbps == pytest.approx(25.0)
+        assert snaps[0].utilization == pytest.approx(1.0)
+        assert snaps[1].utilization == pytest.approx(0.5)
+        assert snaps[2].utilization == 0.0
+
+    def test_packet_estimate_uses_mtu(self):
+        snaps = InterfaceCounters(25.0, mtu_bytes=9000).snapshots(samples())
+        assert snaps[0].rx_packets == pytest.approx(3.125e8 / 9000)
+
+
+class TestAggregates:
+    def test_peak(self):
+        assert InterfaceCounters(25.0).peak_utilization(samples()) == pytest.approx(1.0)
+
+    def test_mean_weighted_by_time(self):
+        mean = InterfaceCounters(25.0).mean_utilization(samples())
+        assert mean == pytest.approx((1.0 + 0.5 + 0.0) / 3)
+
+    def test_empty_raises(self):
+        with pytest.raises(MeasurementError):
+            InterfaceCounters(25.0).peak_utilization([])
+        with pytest.raises(MeasurementError):
+            InterfaceCounters(25.0).mean_utilization([])
+
+    def test_series_shapes(self):
+        t, u = InterfaceCounters(25.0).utilization_series(samples())
+        assert t.shape == u.shape == (3,)
+        assert np.all(np.diff(t) > 0)
+
+
+class TestValidation:
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValidationError):
+            InterfaceCounters(0.0)
+
+    def test_bad_mtu_rejected(self):
+        with pytest.raises(ValidationError):
+            InterfaceCounters(25.0, mtu_bytes=0)
+
+
+class TestIntegrationWithSim:
+    def test_counters_match_simulation(self):
+        link = fabric_link()
+        sim = FluidTcpSimulator(link, seed=0)
+        sim.add_flow(0.0, 0.5e9)
+        res = sim.run()
+        counters = InterfaceCounters(link.capacity_gbps, link.mtu_bytes)
+        snaps = counters.snapshots(res.link_samples)
+        assert snaps[-1].rx_bytes == pytest.approx(0.5e9, rel=1e-6)
+        assert counters.peak_utilization(res.link_samples) <= 1.0 + 1e-9

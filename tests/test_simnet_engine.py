@@ -1,0 +1,218 @@
+"""Discrete-event engine semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ScheduleError, SimulationError
+from repro.simnet.engine import AllOf, AnyOf, Environment, Event, Interrupt
+
+
+class TestEnvironmentBasics:
+    def test_clock_starts_at_zero(self):
+        assert Environment().now == 0.0
+
+    def test_run_empty_returns_now(self):
+        env = Environment()
+        assert env.run() == 0.0
+
+    def test_run_until_advances_clock_without_events(self):
+        env = Environment()
+        env.run(until=5.0)
+        assert env.now == 5.0
+
+    def test_timeout_fires_at_right_time(self):
+        env = Environment()
+        seen = []
+        env.timeout(2.5).add_callback(lambda e: seen.append(env.now))
+        env.run()
+        assert seen == [2.5]
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ScheduleError):
+            Environment().timeout(-1.0)
+
+
+class TestProcesses:
+    def test_delays_accumulate(self):
+        env = Environment()
+        log = []
+
+        def proc(env):
+            yield 1.0
+            log.append(env.now)
+            yield 2.0
+            log.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert log == [1.0, 3.0]
+
+    def test_fifo_order_at_same_time(self):
+        env = Environment()
+        log = []
+
+        def proc(env, name):
+            yield 1.0
+            log.append(name)
+
+        env.process(proc(env, "first"))
+        env.process(proc(env, "second"))
+        env.run()
+        assert log == ["first", "second"]
+
+    def test_process_return_value(self):
+        env = Environment()
+        results = []
+
+        def child(env):
+            yield 1.0
+            return 42
+
+        def parent(env):
+            value = yield env.process(child(env))
+            results.append(value)
+
+        env.process(parent(env))
+        env.run()
+        assert results == [42]
+
+    def test_waiting_on_event_value(self):
+        env = Environment()
+        gate = env.event()
+        got = []
+
+        def waiter(env):
+            value = yield gate
+            got.append((env.now, value))
+
+        def opener(env):
+            yield 3.0
+            gate.succeed("open")
+
+        env.process(waiter(env))
+        env.process(opener(env))
+        env.run()
+        assert got == [(3.0, "open")]
+
+    def test_yielding_garbage_raises(self):
+        env = Environment()
+
+        def bad(env):
+            yield "not an event"
+
+        env.process(bad(env))
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_negative_delay_raises(self):
+        env = Environment()
+
+        def bad(env):
+            yield -1.0
+
+        env.process(bad(env))
+        with pytest.raises(ScheduleError):
+            env.run()
+
+    def test_run_until_stops_mid_simulation(self):
+        env = Environment()
+        log = []
+
+        def proc(env):
+            yield 1.0
+            log.append("a")
+            yield 10.0
+            log.append("b")
+
+        env.process(proc(env))
+        env.run(until=5.0)
+        assert log == ["a"]
+        assert env.now == 5.0
+        env.run()  # resume to completion
+        assert log == ["a", "b"]
+
+    def test_interrupt(self):
+        env = Environment()
+        log = []
+
+        def victim(env):
+            try:
+                yield 100.0
+            except Interrupt as exc:
+                log.append((env.now, exc.cause))
+
+        def attacker(env, proc):
+            yield 2.0
+            proc.interrupt("stop")
+
+        p = env.process(victim(env))
+        env.process(attacker(env, p))
+        env.run()
+        assert log == [(2.0, "stop")]
+
+    def test_max_events_guard(self):
+        env = Environment()
+
+        def spinner(env):
+            while True:
+                yield 0.0
+
+        env.process(spinner(env))
+        with pytest.raises(SimulationError):
+            env.run(max_events=100)
+
+
+class TestEvents:
+    def test_double_succeed_raises(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_callback_after_processed_fires_immediately(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed("v")
+        env.run()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        assert seen == ["v"]
+
+
+class TestCombinators:
+    def test_all_of_waits_for_every_child(self):
+        env = Environment()
+        got = []
+
+        def waiter(env):
+            values = yield AllOf(env, [env.timeout(1.0), env.timeout(3.0)])
+            got.append((env.now, len(values)))
+
+        env.process(waiter(env))
+        env.run()
+        assert got == [(3.0, 2)]
+
+    def test_all_of_empty_succeeds_immediately(self):
+        env = Environment()
+        ev = AllOf(env, [])
+        env.run()
+        assert ev.triggered and ev.value == []
+
+    def test_any_of_takes_first(self):
+        env = Environment()
+        got = []
+
+        def waiter(env):
+            yield AnyOf(env, [env.timeout(5.0), env.timeout(1.0)])
+            got.append(env.now)
+
+        env.process(waiter(env))
+        env.run(until=10.0)
+        assert got == [1.0]
+
+    def test_any_of_empty_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            AnyOf(env, [])

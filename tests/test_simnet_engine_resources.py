@@ -1,0 +1,79 @@
+"""Resource (counted FIFO) semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simnet.engine import Environment, Resource
+
+
+class TestResource:
+    def test_grants_up_to_capacity_immediately(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        a, b = res.request(), res.request()
+        assert a.triggered and b.triggered
+        assert res.in_use == 2
+
+    def test_third_request_queues(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        res.request(), res.request()
+        c = res.request()
+        assert not c.triggered
+        assert res.queued == 1
+
+    def test_release_wakes_fifo(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        res.request()
+        first_waiter = res.request()
+        second_waiter = res.request()
+        res.release()
+        assert first_waiter.triggered and not second_waiter.triggered
+
+    def test_release_without_request_raises(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            Resource(Environment(), capacity=0)
+
+    def test_pipeline_serialisation(self):
+        """With capacity 1, three 2-second jobs take 6 seconds."""
+        env = Environment()
+        res = Resource(env, capacity=1)
+        done = []
+
+        def job(env, name):
+            grant = res.request()
+            yield grant
+            yield 2.0
+            done.append((name, env.now))
+            res.release()
+
+        for name in "abc":
+            env.process(job(env, name))
+        env.run()
+        assert done == [("a", 2.0), ("b", 4.0), ("c", 6.0)]
+
+    def test_pipeline_concurrency_two(self):
+        """With capacity 2, three 2-second jobs take 4 seconds."""
+        env = Environment()
+        res = Resource(env, capacity=2)
+        done = []
+
+        def job(env, name):
+            yield res.request()
+            yield 2.0
+            done.append((name, env.now))
+            res.release()
+
+        for name in "abc":
+            env.process(job(env, name))
+        env.run()
+        assert [t for _, t in done] == [2.0, 2.0, 4.0]

@@ -1,0 +1,63 @@
+"""Link arithmetic and the FABRIC preset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.simnet.link import Link, fabric_link
+
+
+class TestLink:
+    def test_capacity_bytes(self):
+        link = Link(capacity_gbps=25.0, rtt_s=0.016)
+        assert link.capacity_bytes_per_s == pytest.approx(3.125e9)
+
+    def test_mss_from_jumbo_mtu(self):
+        link = Link(capacity_gbps=25.0, rtt_s=0.016, mtu_bytes=9000, header_bytes=52)
+        assert link.mss_bytes == 8948
+
+    def test_bdp(self):
+        # 25 Gbps x 16 ms = 50 MB.
+        link = Link(capacity_gbps=25.0, rtt_s=0.016)
+        assert link.bdp_bytes == pytest.approx(50e6)
+
+    def test_buffer_scales_with_bdp(self):
+        link = Link(capacity_gbps=25.0, rtt_s=0.016, buffer_bdp=2.0)
+        assert link.buffer_bytes == pytest.approx(100e6)
+
+    def test_bdp_segments(self):
+        link = Link(capacity_gbps=25.0, rtt_s=0.016)
+        assert link.bdp_segments == pytest.approx(50e6 / link.mss_bytes)
+
+    def test_transmission_delay(self):
+        link = Link(capacity_gbps=25.0, rtt_s=0.016)
+        # 0.5 GB at 25 Gbps = 0.16 s — the paper's theoretical value.
+        assert link.transmission_delay_s(0.5e9) == pytest.approx(0.16)
+
+    def test_transmission_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            Link(capacity_gbps=1.0, rtt_s=0.01).transmission_delay_s(-1)
+
+    @pytest.mark.parametrize("field,value", [
+        ("capacity_gbps", 0.0),
+        ("rtt_s", -0.01),
+        ("buffer_bdp", 0.0),
+    ])
+    def test_rejects_invalid(self, field, value):
+        kwargs = dict(capacity_gbps=25.0, rtt_s=0.016)
+        kwargs[field] = value
+        with pytest.raises(ValidationError):
+            Link(**kwargs)
+
+    def test_mtu_must_exceed_headers(self):
+        with pytest.raises(ValidationError):
+            Link(capacity_gbps=1.0, rtt_s=0.01, mtu_bytes=52, header_bytes=52)
+
+
+class TestFabricPreset:
+    def test_matches_table1(self):
+        link = fabric_link()
+        assert link.capacity_gbps == 25.0
+        assert link.rtt_s == 0.016
+        assert link.mtu_bytes == 9000

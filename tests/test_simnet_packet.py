@@ -1,0 +1,192 @@
+"""Packet-level TCP simulator: behaviour and fluid cross-validation.
+
+Scenarios are deliberately small (megabytes over ~100 Mbps) — the
+packet simulator costs O(segments) and exists to validate the fluid
+model, not to run the paper-scale experiments.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.simnet.link import Link
+from repro.simnet.packet import PacketTcpConfig, PacketTcpSimulator
+from repro.simnet.tcp import FluidTcpSimulator
+
+
+def small_link(buffer_bdp=2.0):
+    return Link(
+        capacity_gbps=0.1, rtt_s=0.02, buffer_bdp=buffer_bdp,
+        mtu_bytes=1500, header_bytes=52,
+    )
+
+
+class TestConfig:
+    @pytest.mark.parametrize("field,value", [
+        ("initial_cwnd_segments", 0),
+        ("dupack_threshold", 0),
+        ("rto_min_s", 0.0),
+        ("rwnd_segments", 0),
+    ])
+    def test_validation(self, field, value):
+        with pytest.raises(ValidationError):
+            PacketTcpConfig(**{field: value})
+
+    def test_rto_ordering(self):
+        with pytest.raises(ValidationError):
+            PacketTcpConfig(rto_min_s=1.0, rto_max_s=0.5)
+
+
+class TestBasics:
+    def test_flow_validation(self):
+        sim = PacketTcpSimulator(small_link())
+        with pytest.raises(ValidationError):
+            sim.add_flow(-1.0, 1e6)
+        with pytest.raises(ValidationError):
+            sim.add_flow(0.0, 0.0)
+
+    def test_single_segment_flow(self):
+        sim = PacketTcpSimulator(small_link())
+        sim.add_flow(0.0, 500.0)  # sub-MSS payload
+        res = sim.run()
+        (f,) = res.flows
+        assert f.completed
+        # One segment: serialisation + RTT.
+        assert f.duration_s == pytest.approx(
+            500.0 / small_link().capacity_bytes_per_s + small_link().rtt_s,
+            rel=0.01,
+        )
+
+    def test_small_flow_no_loss(self):
+        sim = PacketTcpSimulator(small_link())
+        sim.add_flow(0.0, 0.1e6)
+        res = sim.run()
+        (f,) = res.flows
+        assert f.completed
+        assert f.loss_events == 0
+        assert f.timeout_events == 0
+
+    def test_fct_at_least_ideal(self):
+        link = small_link()
+        sim = PacketTcpSimulator(link)
+        sim.add_flow(0.0, 2e6)
+        res = sim.run()
+        assert res.flows[0].duration_s >= 2e6 / link.capacity_bytes_per_s
+
+    def test_delayed_start(self):
+        sim = PacketTcpSimulator(small_link())
+        sim.add_flow(1.5, 0.1e6)
+        res = sim.run()
+        assert res.flows[0].end_s > 1.5
+
+    def test_deterministic(self):
+        def run():
+            sim = PacketTcpSimulator(small_link())
+            sim.add_flow(0.0, 2e6, 0)
+            sim.add_flow(0.1, 2e6, 1)
+            return [f.end_s for f in sim.run().flows]
+
+        assert run() == run()
+
+    def test_max_time_cuts_off(self):
+        sim = PacketTcpSimulator(small_link())
+        sim.add_flow(0.0, 100e6)  # 100 MB at 12.5 MB/s needs ~8 s
+        res = sim.run(max_time_s=1.0)
+        assert not res.all_completed
+
+
+class TestCongestion:
+    def test_bulk_flow_experiences_loss(self):
+        """A flow much larger than the BDP must overshoot and recover."""
+        sim = PacketTcpSimulator(small_link())
+        sim.add_flow(0.0, 10e6)
+        res = sim.run()
+        (f,) = res.flows
+        assert f.completed
+        assert f.loss_events >= 1
+
+    def test_two_flows_share(self):
+        """Both flows complete; the *fast* one pays little for sharing.
+
+        Droptail + synchronised windows can lock one flow out for a
+        while (a real TCP pathology), so only the best flow's time is
+        bounded tightly; the victim just has to finish.
+        """
+        sim = PacketTcpSimulator(small_link())
+        sim.add_flow(0.0, 2e6, 0)
+        sim.add_flow(0.0, 2e6, 1)
+        res = sim.run()
+        assert res.all_completed
+        solo = PacketTcpSimulator(small_link())
+        solo.add_flow(0.0, 2e6)
+        solo_t = solo.run().flows[0].duration_s
+        assert min(f.duration_s for f in res.flows) < 3 * solo_t
+
+    def test_shallow_buffer_hurts(self):
+        def fct(buffer_bdp):
+            sim = PacketTcpSimulator(small_link(buffer_bdp))
+            sim.add_flow(0.0, 10e6)
+            return sim.run().flows[0].duration_s
+
+        assert fct(0.1) > fct(2.0)
+
+
+class TestCrossValidation:
+    """Fluid vs packet on identical scenarios.
+
+    The two simulators share no code beyond the Link description; their
+    agreement on completion times is the calibration evidence for using
+    the (much faster) fluid model at paper scale.
+    """
+
+    @pytest.mark.parametrize("size_bytes,rel_tol", [
+        (0.5e6, 0.6),
+        (10e6, 0.6),
+        (50e6, 0.25),
+    ])
+    def test_single_flow_agreement(self, size_bytes, rel_tol):
+        link = small_link()
+        packet = PacketTcpSimulator(link)
+        packet.add_flow(0.0, size_bytes)
+        t_packet = packet.run().flows[0].duration_s
+
+        fluid = FluidTcpSimulator(link, seed=0)
+        fluid.add_flow(0.0, size_bytes)
+        t_fluid = fluid.run().flows[0].duration_s
+
+        assert t_packet == pytest.approx(t_fluid, rel=rel_tol)
+
+    def test_bulk_throughput_agreement(self):
+        """For a long transfer both models converge to ~line rate."""
+        link = small_link()
+        size = 50e6
+        ideal = size / link.capacity_bytes_per_s
+
+        packet = PacketTcpSimulator(link)
+        packet.add_flow(0.0, size)
+        t_packet = packet.run().flows[0].duration_s
+
+        fluid = FluidTcpSimulator(link, seed=0)
+        fluid.add_flow(0.0, size)
+        t_fluid = fluid.run().flows[0].duration_s
+
+        assert t_packet < 1.3 * ideal
+        assert t_fluid < 1.3 * ideal
+
+    def test_both_rank_buffer_depths_identically(self):
+        def packet_fct(bdp):
+            sim = PacketTcpSimulator(small_link(bdp))
+            sim.add_flow(0.0, 10e6)
+            return sim.run().flows[0].duration_s
+
+        def fluid_fct(bdp):
+            sim = FluidTcpSimulator(small_link(bdp), seed=0)
+            sim.add_flow(0.0, 10e6)
+            return sim.run().flows[0].duration_s
+
+        assert (packet_fct(0.1) > packet_fct(2.0)) == (
+            fluid_fct(0.1) > fluid_fct(2.0)
+        )

@@ -1,0 +1,98 @@
+"""Flow records and simulation-result views."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.simnet.records import FlowRecord, LinkSample, SimulationResult
+
+
+def flow(fid=0, cid=0, start=0.0, end=1.0, size=1e6, sent=1e6, losses=0, timeouts=0):
+    return FlowRecord(
+        flow_id=fid,
+        client_id=cid,
+        start_s=start,
+        end_s=end,
+        size_bytes=size,
+        bytes_sent=sent,
+        loss_events=losses,
+        timeout_events=timeouts,
+    )
+
+
+class TestFlowRecord:
+    def test_duration(self):
+        assert flow(start=1.0, end=3.5).duration_s == pytest.approx(2.5)
+
+    def test_incomplete_flow(self):
+        f = flow(end=math.nan)
+        assert not f.completed
+        assert math.isnan(f.duration_s)
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValidationError):
+            flow(start=2.0, end=1.0)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValidationError):
+            flow(size=0.0)
+
+
+class TestLinkSample:
+    def test_throughput(self):
+        s = LinkSample(time_s=0.0, interval_s=0.1, bytes_sent=1e8,
+                       queue_bytes=0.0, active_flows=4)
+        assert s.throughput_bytes_per_s == pytest.approx(1e9)
+
+
+class TestSimulationResult:
+    def test_client_completion_uses_last_flow(self):
+        # A client with two parallel flows completes at the later one.
+        res = SimulationResult(flows=[
+            flow(fid=0, cid=7, start=1.0, end=2.0),
+            flow(fid=1, cid=7, start=1.0, end=4.0),
+        ])
+        times = res.client_completion_times_s()
+        assert times == {7: pytest.approx(3.0)}
+
+    def test_client_with_incomplete_flow_omitted(self):
+        res = SimulationResult(flows=[
+            flow(fid=0, cid=1, end=2.0),
+            flow(fid=1, cid=1, end=math.nan),
+            flow(fid=2, cid=2, end=5.0),
+        ])
+        assert set(res.client_completion_times_s()) == {2}
+
+    def test_max_client_completion(self):
+        res = SimulationResult(flows=[
+            flow(fid=0, cid=0, start=0.0, end=1.0),
+            flow(fid=1, cid=1, start=0.0, end=9.0),
+        ])
+        assert res.max_client_completion_s() == pytest.approx(9.0)
+
+    def test_max_client_none_when_nothing_finished(self):
+        res = SimulationResult(flows=[flow(end=math.nan)])
+        assert res.max_client_completion_s() is None
+
+    def test_completed_partition(self):
+        res = SimulationResult(flows=[flow(end=1.0), flow(end=math.nan)])
+        assert len(res.completed_flows) == 1
+        assert len(res.incomplete_flows) == 1
+        assert not res.all_completed
+
+    def test_mean_utilization(self):
+        res = SimulationResult(
+            flows=[],
+            link_samples=[
+                LinkSample(0.0, 1.0, 5e8, 0.0, 1),
+                LinkSample(1.0, 1.0, 10e8, 0.0, 1),
+            ],
+            capacity_bytes_per_s=1e9,
+        )
+        assert res.mean_utilization() == pytest.approx(0.75)
+
+    def test_mean_utilization_empty(self):
+        assert SimulationResult().mean_utilization() == 0.0

@@ -1,0 +1,172 @@
+"""Fluid TCP simulator: behavioural and invariant tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.simnet.link import Link, fabric_link
+from repro.simnet.tcp import FluidTcpSimulator, TcpConfig
+
+
+class TestConstruction:
+    def test_dt_must_not_exceed_rtt(self, testbed_link):
+        with pytest.raises(ValidationError):
+            FluidTcpSimulator(testbed_link, dt_s=testbed_link.rtt_s * 2)
+
+    def test_default_dt_is_quarter_rtt(self, testbed_link):
+        sim = FluidTcpSimulator(testbed_link)
+        assert sim.dt_s == pytest.approx(testbed_link.rtt_s / 4)
+
+    def test_add_flow_validation(self, testbed_link):
+        sim = FluidTcpSimulator(testbed_link)
+        with pytest.raises(ValidationError):
+            sim.add_flow(-1.0, 1e6)
+        with pytest.raises(ValidationError):
+            sim.add_flow(0.0, 0.0)
+
+    def test_add_client_splits_evenly(self, testbed_link):
+        sim = FluidTcpSimulator(testbed_link)
+        ids = sim.add_client(0.0, 1e9, parallel_flows=4, client_id=3)
+        assert len(ids) == 4
+        assert sim.flow_count == 4
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            TcpConfig(rto_min_s=1.0, rto_max_s=0.5)
+        with pytest.raises(ValidationError):
+            TcpConfig(initial_cwnd_segments=0)
+
+
+class TestEmptyAndSingleFlow:
+    def test_no_flows(self, testbed_link):
+        res = FluidTcpSimulator(testbed_link).run()
+        assert res.flows == []
+        assert res.end_time_s == 0.0
+
+    def test_single_small_flow_completes(self, testbed_link):
+        sim = FluidTcpSimulator(testbed_link, seed=0)
+        sim.add_flow(0.0, 10e6)  # 10 MB
+        res = sim.run()
+        assert res.all_completed
+        (f,) = res.flows
+        # 10 MB needs some slow-start RTTs but well under a second.
+        assert 0.02 < f.duration_s < 1.0
+
+    def test_single_bulk_flow_near_line_rate(self, testbed_link):
+        sim = FluidTcpSimulator(testbed_link, seed=0)
+        sim.add_flow(0.0, 0.5e9)
+        res = sim.run()
+        (f,) = res.flows
+        # Theoretical floor 0.16 s; TCP ramp-up puts it in [0.16, 0.6].
+        assert 0.16 <= f.duration_s < 0.6
+
+    def test_delayed_start_respected(self, testbed_link):
+        sim = FluidTcpSimulator(testbed_link, seed=0)
+        sim.add_flow(2.0, 10e6)
+        res = sim.run()
+        (f,) = res.flows
+        assert f.end_s > 2.0
+        assert f.start_s == pytest.approx(2.0)
+
+    def test_bytes_accounted(self, testbed_link):
+        sim = FluidTcpSimulator(testbed_link, seed=0)
+        sim.add_flow(0.0, 0.5e9)
+        res = sim.run()
+        assert res.flows[0].bytes_sent == pytest.approx(0.5e9, rel=1e-6)
+
+
+class TestConservationAndInvariants:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_link_bytes_match_flow_bytes(self, testbed_link, seed):
+        sim = FluidTcpSimulator(testbed_link, seed=seed)
+        for c in range(3):
+            sim.add_client(float(c) * 0.5, 0.2e9, 4, client_id=c)
+        res = sim.run()
+        flow_bytes = sum(f.bytes_sent for f in res.flows)
+        link_bytes = sum(s.bytes_sent for s in res.link_samples)
+        assert flow_bytes == pytest.approx(link_bytes, rel=1e-6)
+
+    def test_throughput_never_exceeds_capacity(self, testbed_link):
+        sim = FluidTcpSimulator(testbed_link, seed=1)
+        for c in range(8):
+            sim.add_client(0.0, 0.5e9, 4, client_id=c)
+        res = sim.run()
+        cap = testbed_link.capacity_bytes_per_s
+        for s in res.link_samples:
+            assert s.throughput_bytes_per_s <= cap * (1 + 1e-9)
+
+    def test_queue_bounded_by_buffer(self, testbed_link):
+        sim = FluidTcpSimulator(testbed_link, seed=1)
+        for c in range(8):
+            sim.add_client(0.0, 0.5e9, 8, client_id=c)
+        res = sim.run()
+        for s in res.link_samples:
+            assert s.queue_bytes <= testbed_link.buffer_bytes * (1 + 1e-9)
+
+    def test_deterministic_for_seed(self, testbed_link):
+        def run(seed):
+            sim = FluidTcpSimulator(testbed_link, seed=seed)
+            for c in range(4):
+                sim.add_client(float(c), 0.5e9, 4, client_id=c)
+            return [f.end_s for f in sim.run().flows]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_fct_at_least_transmission_delay(self, testbed_link):
+        sim = FluidTcpSimulator(testbed_link, seed=0)
+        sim.add_flow(0.0, 0.5e9)
+        res = sim.run()
+        assert res.flows[0].duration_s >= testbed_link.transmission_delay_s(0.5e9)
+
+
+class TestCongestionBehaviour:
+    def test_overload_stretches_fct(self, testbed_link):
+        """Offered load > capacity must produce much larger worst FCT."""
+        def max_fct(clients_per_s):
+            sim = FluidTcpSimulator(testbed_link, seed=1)
+            cid = 0
+            for sec in range(5):
+                for _ in range(clients_per_s):
+                    sim.add_client(float(sec), 0.5e9, 4, client_id=cid)
+                    cid += 1
+            return sim.run(max_time_s=120).max_client_completion_s()
+
+        light, heavy = max_fct(1), max_fct(8)
+        assert heavy > 4 * light
+
+    def test_loss_events_under_contention(self, testbed_link):
+        sim = FluidTcpSimulator(testbed_link, seed=1)
+        for c in range(8):
+            sim.add_client(0.0, 0.5e9, 4, client_id=c)
+        res = sim.run()
+        assert sum(f.loss_events for f in res.flows) > 0
+
+    def test_tiny_buffer_forces_timeouts(self):
+        """A shallow buffer plus many flows drives windows below the
+        fast-retransmit floor, triggering RTO stalls."""
+        link = Link(capacity_gbps=25.0, rtt_s=0.016, buffer_bdp=0.05)
+        sim = FluidTcpSimulator(link, seed=3)
+        for c in range(8):
+            sim.add_client(0.0, 0.25e9, 8, client_id=c)
+        res = sim.run(max_time_s=120)
+        assert sum(f.timeout_events for f in res.flows) > 0
+
+    def test_max_time_leaves_flows_incomplete(self, testbed_link):
+        sim = FluidTcpSimulator(testbed_link, seed=0)
+        sim.add_flow(0.0, 100e9)  # 100 GB cannot finish in 1 s
+        res = sim.run(max_time_s=1.0)
+        assert not res.all_completed
+        assert res.flows[0].bytes_sent < 100e9
+
+    def test_fair_share_between_equal_flows(self, testbed_link):
+        """Two identical simultaneous flows finish within ~25 % of each
+        other (loss randomness allows some spread)."""
+        sim = FluidTcpSimulator(testbed_link, seed=2)
+        sim.add_flow(0.0, 0.5e9, client_id=0)
+        sim.add_flow(0.0, 0.5e9, client_id=1)
+        res = sim.run()
+        d0, d1 = (f.duration_s for f in res.flows)
+        assert abs(d0 - d1) / max(d0, d1) < 0.25

@@ -1,0 +1,89 @@
+"""Topology layer and Table-1 preset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.simnet.link import Link
+from repro.simnet.topology import (
+    TESTBED_TABLE1,
+    Host,
+    Path,
+    Topology,
+    fabric_testbed,
+)
+
+
+def _link(gbps=25.0):
+    return Link(capacity_gbps=gbps, rtt_s=0.016)
+
+
+class TestHost:
+    def test_valid(self):
+        h = Host(name="dtn1", vcpus=16, memory_gb=32.0, nic_gbps=25.0)
+        assert h.nic_gbps == 25.0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            Host(name="")
+
+    def test_zero_vcpus_rejected(self):
+        with pytest.raises(ValidationError):
+            Host(name="x", vcpus=0)
+
+
+class TestPath:
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValidationError):
+            Path(src="a", dst="a", link=_link())
+
+
+class TestTopology:
+    def _two_hosts(self, nic=25.0):
+        topo = Topology()
+        topo.add_host(Host(name="a", nic_gbps=nic))
+        topo.add_host(Host(name="b", nic_gbps=nic))
+        return topo
+
+    def test_connect_and_lookup(self):
+        topo = self._two_hosts()
+        topo.connect("a", "b", _link())
+        assert topo.path_between("b", "a") is not None
+
+    def test_duplicate_host_rejected(self):
+        topo = self._two_hosts()
+        with pytest.raises(ValidationError):
+            topo.add_host(Host(name="a", nic_gbps=25.0))
+
+    def test_unknown_host_rejected(self):
+        topo = self._two_hosts()
+        with pytest.raises(ValidationError):
+            topo.connect("a", "zzz", _link())
+
+    def test_undersized_nic_rejected(self):
+        topo = self._two_hosts(nic=10.0)
+        with pytest.raises(ValidationError):
+            topo.connect("a", "b", _link(25.0))
+
+    def test_missing_path_is_none(self):
+        topo = self._two_hosts()
+        assert topo.path_between("a", "b") is None
+
+
+class TestFabricPreset:
+    def test_structure(self):
+        topo = fabric_testbed()
+        assert set(topo.hosts) == {"sender", "receiver"}
+        path = topo.path_between("sender", "receiver")
+        assert path is not None
+        assert path.link.capacity_gbps == 25.0
+        assert path.link.rtt_s == 0.016
+
+    def test_table1_rows(self):
+        components = [c for c, _ in TESTBED_TABLE1]
+        assert "CPU" in components
+        assert "MTU" in components
+        specs = dict(TESTBED_TABLE1)
+        assert "25 Gbps" in specs["Network Interface"]
+        assert "9000" in specs["MTU"]

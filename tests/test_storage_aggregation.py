@@ -1,0 +1,109 @@
+"""Frame-to-file aggregation plans."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.storage.aggregation import (
+    AggregationPlan,
+    figure4_file_counts,
+)
+
+
+def plan(n_frames=1440, frame_bytes=8.388608e6, n_files=10):
+    return AggregationPlan(
+        n_frames=n_frames, frame_bytes=frame_bytes, n_files=n_files
+    )
+
+
+class TestPlan:
+    def test_even_split(self):
+        files = plan(n_frames=100, n_files=10).files()
+        assert all(f.n_frames == 10 for f in files)
+
+    def test_remainder_goes_to_early_files(self):
+        files = plan(n_frames=10, n_files=3).files()
+        assert [f.n_frames for f in files] == [4, 3, 3]
+
+    def test_frames_partition_exactly(self):
+        files = plan(n_frames=1440, n_files=144).files()
+        assert sum(f.n_frames for f in files) == 1440
+        # Frame ranges are contiguous and non-overlapping.
+        edges = [(f.first_frame, f.last_frame) for f in files]
+        for (a0, a1), (b0, b1) in zip(edges, edges[1:]):
+            assert b0 == a1 + 1
+
+    def test_total_bytes(self):
+        p = plan()
+        assert p.total_bytes == pytest.approx(1440 * 8.388608e6)
+        assert sum(f.nbytes for f in p.files()) == pytest.approx(p.total_bytes)
+
+    def test_figure4_scan_is_12_gb(self):
+        p = plan(frame_bytes=2048 * 2048 * 2)
+        assert p.total_bytes / 1e9 == pytest.approx(12.0796, rel=1e-3)
+
+    @pytest.mark.parametrize("bad", [0, -1, 1441])
+    def test_file_count_bounds(self, bad):
+        with pytest.raises(ValidationError):
+            plan(n_files=bad)
+
+    def test_one_file_per_frame(self):
+        files = plan(n_files=1440).files()
+        assert len(files) == 1440
+        assert all(f.n_frames == 1 for f in files)
+
+
+class TestCloseTimes:
+    def test_single_file_closes_at_last_frame(self):
+        p = plan(n_frames=4, n_files=1)
+        times = np.array([1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_allclose(p.close_times_s(times), [4.0])
+
+    def test_per_frame_files_close_at_each_frame(self):
+        p = plan(n_frames=4, n_files=4)
+        times = np.array([1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_allclose(p.close_times_s(times), times)
+
+    def test_close_times_monotone(self):
+        p = plan(n_frames=100, n_files=7)
+        times = np.linspace(0.1, 10.0, 100)
+        closes = p.close_times_s(times)
+        assert np.all(np.diff(closes) > 0)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValidationError):
+            plan(n_frames=4, n_files=2).close_times_s(np.array([1.0]))
+
+    def test_decreasing_times_rejected(self):
+        with pytest.raises(ValidationError):
+            plan(n_frames=3, n_files=1).close_times_s(np.array([3.0, 2.0, 1.0]))
+
+
+class TestFigure4Ladder:
+    def test_counts(self):
+        assert figure4_file_counts() == (1, 10, 144, 1440)
+
+    def test_all_divide_1440_scan(self):
+        for n in figure4_file_counts():
+            files = plan(n_files=n).files()
+            assert len(files) == n
+
+
+class TestProperties:
+    @given(
+        n_frames=st.integers(min_value=1, max_value=5000),
+        data=st.data(),
+    )
+    def test_partition_property(self, n_frames, data):
+        n_files = data.draw(st.integers(min_value=1, max_value=n_frames))
+        p = plan(n_frames=n_frames, n_files=n_files)
+        files = p.files()
+        assert sum(f.n_frames for f in files) == n_frames
+        assert len(files) == n_files
+        # Sizes differ by at most one frame.
+        counts = {f.n_frames for f in files}
+        assert max(counts) - min(counts) <= 1

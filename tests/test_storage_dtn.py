@@ -1,0 +1,85 @@
+"""DTN staging model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.storage.dtn import DtnModel
+from repro.storage.presets import eagle_lustre, voyager_gpfs
+
+
+def dtn(**kw):
+    base = dict(wan_bandwidth_gbps=25.0, alpha=0.5, per_file_setup_s=1.0)
+    base.update(kw)
+    return DtnModel(**base)
+
+
+class TestRates:
+    def test_wan_rate(self):
+        # 25 Gbps x 0.5 = 12.5 Gbps = 1.5625 GB/s.
+        assert dtn().wan_rate_bytes_per_s == pytest.approx(1.5625e9)
+
+
+class TestFileCost:
+    def test_breakdown(self, source_fs, dest_fs):
+        cost = dtn().file_cost(1.5625e9, source_fs, dest_fs)
+        assert cost.setup_s == 1.0
+        assert cost.wan_s == pytest.approx(1.0)
+        assert cost.read_s > 0 and cost.write_s > 0
+
+    def test_pipelined_takes_slowest_stage(self, source_fs, dest_fs):
+        cost = dtn().file_cost(10e9, source_fs, dest_fs)
+        assert cost.pipelined_bytes_s == pytest.approx(
+            max(cost.read_s, cost.wan_s, cost.write_s)
+        )
+
+    def test_total_is_setup_plus_pipeline_plus_checksum(self, source_fs, dest_fs):
+        d = dtn(checksum_gbytes_per_s=1.0)
+        cost = d.file_cost(2e9, source_fs, dest_fs)
+        assert cost.checksum_s == pytest.approx(2.0)
+        assert cost.total_s == pytest.approx(
+            cost.setup_s + cost.pipelined_bytes_s + cost.checksum_s
+        )
+
+    def test_no_checksum_by_default(self, source_fs, dest_fs):
+        assert dtn().file_cost(1e9, source_fs, dest_fs).checksum_s == 0.0
+
+    def test_small_file_dominated_by_setup(self, source_fs, dest_fs):
+        cost = dtn().file_cost(8.4e6, source_fs, dest_fs)  # one APS frame
+        assert cost.setup_s / cost.total_s > 0.9
+
+    def test_rejects_zero_bytes(self, source_fs, dest_fs):
+        with pytest.raises(ValidationError):
+            dtn().file_cost(0.0, source_fs, dest_fs)
+
+
+class TestBatch:
+    def test_serial_batch(self, source_fs, dest_fs):
+        d = dtn()
+        per = d.file_cost(1e9, source_fs, dest_fs).total_s
+        assert d.batch_time_s(1e9, 10, source_fs, dest_fs) == pytest.approx(10 * per)
+
+    def test_concurrency_divides_waves(self, source_fs, dest_fs):
+        d = dtn(concurrency=4)
+        per = d.file_cost(1e9, source_fs, dest_fs).total_s
+        # 10 files over 4 slots = 3 waves.
+        assert d.batch_time_s(1e9, 10, source_fs, dest_fs) == pytest.approx(3 * per)
+
+    def test_bad_nfiles(self, source_fs, dest_fs):
+        with pytest.raises(ValidationError):
+            dtn().batch_time_s(1e9, 0, source_fs, dest_fs)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("wan_bandwidth_gbps", 0.0),
+        ("alpha", 0.0),
+        ("alpha", 1.5),
+        ("per_file_setup_s", -1.0),
+        ("concurrency", 0),
+        ("checksum_gbytes_per_s", 0.0),
+    ])
+    def test_rejects(self, field, value):
+        with pytest.raises(ValidationError):
+            dtn(**{field: value})

@@ -1,0 +1,112 @@
+"""Parallel-file-system time-cost model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.storage.filesystem import ParallelFileSystem
+from repro.storage.presets import eagle_lustre, local_nvme, voyager_gpfs
+
+
+def fs(meta=0.005, write_bw=2.0, read_bw=2.5):
+    return ParallelFileSystem(
+        name="test-fs",
+        fs_type="GPFS",
+        metadata_latency_s=meta,
+        write_bandwidth_gbytes_per_s=write_bw,
+        read_bandwidth_gbytes_per_s=read_bw,
+    )
+
+
+class TestCosts:
+    def test_write_time_single_file(self):
+        # 2 GB at 2 GB/s + 3 metadata ops x 5 ms.
+        t = fs().write_time_s(2e9, nfiles=1)
+        assert t == pytest.approx(1.0 + 0.015)
+
+    def test_read_time_single_file(self):
+        t = fs().read_time_s(2.5e9, nfiles=1)
+        assert t == pytest.approx(1.0 + 0.010)
+
+    def test_small_files_dominated_by_metadata(self):
+        # 1440 x 1 KB files: metadata >> bytes.
+        t = fs().write_time_s(1440 * 1e3, nfiles=1440)
+        assert t > 1440 * fs().file_write_overhead_s() * 0.99
+        assert t < 1440 * fs().file_write_overhead_s() + 0.01
+
+    def test_effective_bandwidth_degrades_with_file_count(self):
+        one = fs().effective_write_bandwidth_gbytes_per_s(12e9, 1)
+        many = fs().effective_write_bandwidth_gbytes_per_s(12e9, 1440)
+        assert many < one
+
+    def test_zero_metadata_fs(self):
+        f = ParallelFileSystem(
+            name="ram",
+            fs_type="tmpfs",
+            metadata_latency_s=0.0,
+            write_bandwidth_gbytes_per_s=10.0,
+            read_bandwidth_gbytes_per_s=10.0,
+        )
+        assert f.write_time_s(1e9, 100) == pytest.approx(0.1)
+
+    def test_zero_bytes_costs_only_metadata(self):
+        assert fs().write_time_s(0.0, 5) == pytest.approx(
+            5 * fs().file_write_overhead_s()
+        )
+
+
+class TestValidation:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValidationError):
+            ParallelFileSystem(
+                name="",
+                fs_type="GPFS",
+                metadata_latency_s=0.0,
+                write_bandwidth_gbytes_per_s=1.0,
+                read_bandwidth_gbytes_per_s=1.0,
+            )
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ValidationError):
+            fs(write_bw=0.0)
+
+    def test_rejects_bad_payload(self):
+        with pytest.raises(ValidationError):
+            fs().write_time_s(-1.0, 1)
+        with pytest.raises(ValidationError):
+            fs().write_time_s(1.0, 0)
+
+
+class TestProperties:
+    @given(
+        nbytes=st.floats(min_value=1.0, max_value=1e12),
+        nfiles=st.integers(min_value=1, max_value=10_000),
+    )
+    def test_write_time_monotone_in_file_count(self, nbytes, nfiles):
+        t1 = fs().write_time_s(nbytes, nfiles)
+        t2 = fs().write_time_s(nbytes, nfiles + 1)
+        assert t2 >= t1
+
+    @given(nbytes=st.floats(min_value=1.0, max_value=1e12))
+    def test_read_write_floor_is_bandwidth(self, nbytes):
+        f = fs()
+        assert f.write_time_s(nbytes, 1) >= nbytes / (2.0e9)
+        assert f.read_time_s(nbytes, 1) >= nbytes / (2.5e9)
+
+
+class TestPresets:
+    def test_all_presets_valid(self):
+        for preset in (voyager_gpfs(), eagle_lustre(), local_nvme()):
+            assert preset.write_time_s(1e9) > 0
+
+    def test_nvme_metadata_cheaper_than_parallel_fs(self):
+        assert (
+            local_nvme().metadata_latency_s < voyager_gpfs().metadata_latency_s
+        )
+
+    def test_preset_identities(self):
+        assert voyager_gpfs().fs_type == "GPFS"
+        assert eagle_lustre().fs_type == "Lustre"

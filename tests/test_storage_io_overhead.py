@@ -1,0 +1,91 @@
+"""Theta estimation (Eq. 7) from the storage substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.aggregation import AggregationPlan
+from repro.storage.dtn import DtnModel
+from repro.storage.io_overhead import estimate_theta
+from repro.storage.presets import eagle_lustre, voyager_gpfs
+
+
+def plan(n_files):
+    return AggregationPlan(
+        n_frames=1440, frame_bytes=2048 * 2048 * 2, n_files=n_files
+    )
+
+
+def dtn(**kw):
+    base = dict(wan_bandwidth_gbps=25.0, alpha=0.5, per_file_setup_s=1.0)
+    base.update(kw)
+    return DtnModel(**base)
+
+
+class TestThetaEstimate:
+    def test_theta_at_least_one(self, source_fs, dest_fs):
+        est = estimate_theta(plan(1), dtn(), source_fs, dest_fs)
+        assert est.theta >= 1.0
+
+    def test_theta_grows_with_file_count(self, source_fs, dest_fs):
+        thetas = [
+            estimate_theta(plan(n), dtn(), source_fs, dest_fs).theta
+            for n in (1, 10, 144, 1440)
+        ]
+        assert thetas == sorted(thetas)
+        assert thetas[-1] > 10 * thetas[0]
+
+    def test_small_file_theta_dominated_by_setup(self, source_fs, dest_fs):
+        est = estimate_theta(plan(1440), dtn(), source_fs, dest_fs)
+        assert est.setup_total_s == pytest.approx(1440.0)
+        assert est.setup_total_s / est.staged_total_s > 0.9
+
+    def test_io_overhead_consistent(self, source_fs, dest_fs):
+        est = estimate_theta(plan(10), dtn(), source_fs, dest_fs)
+        assert est.io_overhead_s == pytest.approx(
+            est.staged_total_s - est.pure_transfer_s
+        )
+        # Eq. 7 round-trip: theta * T_transfer == T_IO + T_transfer.
+        assert est.theta * est.pure_transfer_s == pytest.approx(
+            est.io_overhead_s + est.pure_transfer_s
+        )
+
+    def test_concurrency_reduces_staged_total(self, source_fs, dest_fs):
+        serial = estimate_theta(plan(144), dtn(), source_fs, dest_fs)
+        parallel = estimate_theta(
+            plan(144), dtn(concurrency=8), source_fs, dest_fs
+        )
+        assert parallel.staged_total_s < serial.staged_total_s
+        assert parallel.staged_total_s >= parallel.pure_transfer_s
+
+    def test_staged_total_floored_at_pure_transfer(self, source_fs, dest_fs):
+        # Extreme concurrency cannot beat the WAN.
+        est = estimate_theta(
+            plan(144), dtn(concurrency=256, per_file_setup_s=0.0),
+            source_fs, dest_fs,
+        )
+        assert est.staged_total_s >= est.pure_transfer_s * (1 - 1e-12)
+
+    def test_checksum_adds_time(self, source_fs, dest_fs):
+        without = estimate_theta(plan(10), dtn(), source_fs, dest_fs)
+        with_ck = estimate_theta(
+            plan(10), dtn(checksum_gbytes_per_s=1.0), source_fs, dest_fs
+        )
+        assert with_ck.theta > without.theta
+        assert with_ck.checksum_total_s > 0
+
+    def test_feeds_core_model(self, source_fs, dest_fs):
+        """The estimated theta plugs into the closed-form T_pct."""
+        from repro.core.model import t_pct
+
+        est = estimate_theta(plan(10), dtn(), source_fs, dest_fs)
+        t = t_pct(
+            s_unit_gb=12.08,
+            complexity_flop_per_gb=1e12,
+            r_local_tflops=10.0,
+            bandwidth_gbps=25.0,
+            alpha=0.5,
+            r=10.0,
+            theta=est.theta,
+        )
+        assert t > 0

@@ -1,0 +1,104 @@
+"""Streaming vs file-based comparison (Figure 4 logic, scaled down)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.storage.dtn import DtnModel
+from repro.streaming.comparison import (
+    compare_methods,
+    default_dtn,
+    default_streaming_network,
+)
+from repro.streaming.transfer_models import EffectiveRateTransfer
+from repro.workloads.instrument import FrameSpec
+from repro.workloads.scan import ScanSpec
+
+
+def scan(n_frames=48, interval=0.033):
+    return ScanSpec(
+        frame=FrameSpec(2048, 2048, 2), n_frames=n_frames, frame_interval_s=interval
+    )
+
+
+@pytest.fixture
+def comparison(source_fs, dest_fs):
+    return compare_methods(
+        scan(),
+        file_counts=(1, 4, 48),
+        source=source_fs,
+        destination=dest_fs,
+        dtn=DtnModel(wan_bandwidth_gbps=25.0, alpha=0.5, per_file_setup_s=0.5),
+        streaming_network=default_streaming_network(),
+        keep_details=True,
+    )
+
+
+class TestOutcomes:
+    def test_all_methods_present(self, comparison):
+        methods = {(o.method, o.n_files) for o in comparison.outcomes}
+        assert ("streaming", None) in methods
+        assert ("file", 1) in methods and ("file", 48) in methods
+
+    def test_streaming_fastest_at_high_rate(self, comparison):
+        stream_t = comparison.streaming_completion_s
+        for o in comparison.outcomes:
+            if o.method == "file":
+                assert stream_t < o.completion_s
+
+    def test_small_files_worst(self, comparison):
+        assert comparison.worst_file_based().n_files == 48
+
+    def test_reduction_percentage_positive(self, comparison):
+        assert comparison.reduction_vs_file_pct(48) > 50.0
+
+    def test_best_file_based(self, comparison):
+        best = comparison.best_file_based()
+        assert best.completion_s == min(
+            o.completion_s for o in comparison.outcomes if o.method == "file"
+        )
+
+    def test_details_kept(self, comparison):
+        assert comparison.streaming_detail is not None
+        assert set(comparison.file_details) == {1, 4, 48}
+
+    def test_outcome_lookup_missing(self, comparison):
+        with pytest.raises(ValidationError):
+            comparison.outcome("file", 999)
+
+    def test_transfer_overhead(self, comparison):
+        for o in comparison.outcomes:
+            assert o.transfer_overhead_s == pytest.approx(
+                o.completion_s - o.generation_end_s
+            )
+
+
+class TestLowRate:
+    def test_generation_bound_at_low_rate(self, source_fs, dest_fs):
+        comp = compare_methods(
+            scan(interval=1.0),
+            file_counts=(1, 4),
+            source=source_fs,
+            destination=dest_fs,
+            dtn=DtnModel(wan_bandwidth_gbps=25.0, alpha=0.5, per_file_setup_s=0.5),
+            streaming_network=default_streaming_network(),
+        )
+        gen = comp.scan.generation_time_s
+        # File-based is competitive: within 10 % of generation time.
+        assert comp.outcome("file", 1).completion_s < gen * 1.10
+        assert comp.streaming_completion_s < gen * 1.02
+
+
+class TestDefaults:
+    def test_default_dtn_is_half_link(self):
+        assert default_dtn(25.0).alpha == 0.5
+
+    def test_default_streaming_is_faster_than_file_tool(self):
+        s = default_streaming_network(25.0)
+        d = default_dtn(25.0)
+        assert s.rate_bytes_per_s > d.wan_rate_bytes_per_s
+
+    def test_empty_file_counts_rejected(self):
+        with pytest.raises(ValidationError):
+            compare_methods(scan(), file_counts=())

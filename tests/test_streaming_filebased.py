@@ -1,0 +1,125 @@
+"""File-based staging pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.storage.aggregation import AggregationPlan
+from repro.storage.dtn import DtnModel
+from repro.streaming.filebased import FileBasedPipeline
+from repro.workloads.instrument import FrameSpec
+from repro.workloads.scan import ScanSpec
+
+
+def scan(n_frames=24, interval=0.05):
+    return ScanSpec(
+        frame=FrameSpec(2048, 2048, 2), n_frames=n_frames, frame_interval_s=interval
+    )
+
+
+def plan_for(s, n_files):
+    return AggregationPlan(
+        n_frames=s.n_frames, frame_bytes=float(s.frame_bytes), n_files=n_files
+    )
+
+
+def run(s, n_files, source, dest, dtn):
+    return FileBasedPipeline(s, plan_for(s, n_files), source, dest, dtn).run()
+
+
+class TestBasics:
+    def test_all_files_delivered(self, source_fs, dest_fs, dtn):
+        res = run(scan(), 4, source_fs, dest_fs, dtn)
+        assert res.n_files == 4
+        assert np.all(np.isfinite(res.file_delivered_s))
+
+    def test_ordering_invariants(self, source_fs, dest_fs, dtn):
+        res = run(scan(), 4, source_fs, dest_fs, dtn)
+        assert np.all(res.file_transfer_start_s >= res.file_closed_s)
+        assert np.all(res.file_delivered_s > res.file_transfer_start_s)
+
+    def test_completion_after_generation(self, source_fs, dest_fs, dtn):
+        res = run(scan(), 4, source_fs, dest_fs, dtn)
+        assert res.completion_s > res.generation_end_s
+
+    def test_single_file_waits_for_whole_scan(self, source_fs, dest_fs, dtn):
+        s = scan()
+        res = run(s, 1, source_fs, dest_fs, dtn)
+        # Aggregation wait: the only file closes after the last frame.
+        assert res.file_closed_s[0] >= s.generation_time_s
+
+    def test_aggregation_wait_shrinks_with_more_files(
+        self, source_fs, dest_fs, dtn
+    ):
+        waits = [
+            run(scan(), n, source_fs, dest_fs, dtn).aggregation_wait_s
+            for n in (1, 4, 24)
+        ]
+        assert waits[0] > waits[1] > waits[2]
+
+
+class TestSmallFilePenalty:
+    def test_per_frame_files_slowest(self, source_fs, dest_fs, dtn):
+        s = scan()
+        few = run(s, 2, source_fs, dest_fs, dtn).completion_s
+        many = run(s, 24, source_fs, dest_fs, dtn).completion_s
+        assert many > few
+
+    def test_dtn_queue_builds_when_service_slower_than_arrivals(
+        self, source_fs, dest_fs
+    ):
+        # 0.5 s per-file setup vs 0.05 s frame interval: queueing delay
+        # accumulates linearly in file index.
+        slow_dtn = DtnModel(
+            wan_bandwidth_gbps=25.0, alpha=0.5, per_file_setup_s=0.5
+        )
+        s = scan()
+        res = run(s, 24, source_fs, dest_fs, slow_dtn)
+        staging = res.file_staging_times_s()
+        assert staging[-1] > staging[0] * 3
+
+
+class TestConcurrency:
+    def test_more_slots_faster(self, source_fs, dest_fs):
+        s = scan()
+        serial = DtnModel(wan_bandwidth_gbps=25.0, alpha=0.5, per_file_setup_s=0.5)
+        parallel = DtnModel(
+            wan_bandwidth_gbps=25.0, alpha=0.5, per_file_setup_s=0.5, concurrency=4
+        )
+        t_serial = run(s, 24, source_fs, dest_fs, serial).completion_s
+        t_parallel = run(s, 24, source_fs, dest_fs, parallel).completion_s
+        assert t_parallel < t_serial
+
+
+class TestValidation:
+    def test_plan_frame_count_mismatch(self, source_fs, dest_fs, dtn):
+        s = scan(n_frames=24)
+        bad_plan = AggregationPlan(
+            n_frames=23, frame_bytes=float(s.frame_bytes), n_files=1
+        )
+        with pytest.raises(ValidationError):
+            FileBasedPipeline(s, bad_plan, source_fs, dest_fs, dtn)
+
+    def test_plan_frame_size_mismatch(self, source_fs, dest_fs, dtn):
+        s = scan()
+        bad_plan = AggregationPlan(n_frames=24, frame_bytes=1e6, n_files=1)
+        with pytest.raises(ValidationError):
+            FileBasedPipeline(s, bad_plan, source_fs, dest_fs, dtn)
+
+    def test_trace_override(self, source_fs, dest_fs, dtn):
+        s = scan(n_frames=4)
+        trace = [1.0, 2.0, 3.0, 100.0]
+        res = FileBasedPipeline(
+            s, plan_for(s, 2), source_fs, dest_fs, dtn, frame_times_s=trace
+        ).run()
+        assert res.generation_end_s == pytest.approx(100.0)
+
+    def test_bad_trace_rejected(self, source_fs, dest_fs, dtn):
+        s = scan(n_frames=3)
+        with pytest.raises(ValidationError):
+            FileBasedPipeline(
+                s, plan_for(s, 1), source_fs, dest_fs, dtn,
+                frame_times_s=[3.0, 2.0, 1.0],
+            )

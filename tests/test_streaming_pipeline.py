@@ -1,0 +1,124 @@
+"""Streaming pipeline: DES behaviour and analytic cross-check."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.streaming.pipeline import (
+    StreamingPipeline,
+    analytic_streaming_completion_s,
+)
+from repro.streaming.transfer_models import EffectiveRateTransfer
+from repro.workloads.instrument import FrameSpec
+from repro.workloads.scan import ScanSpec
+
+
+def scan(n_frames=24, interval=0.033):
+    return ScanSpec(
+        frame=FrameSpec(2048, 2048, 2), n_frames=n_frames, frame_interval_s=interval
+    )
+
+
+def fast_net():
+    return EffectiveRateTransfer(bandwidth_gbps=25.0, alpha=0.8, rtt_s=0.016)
+
+
+def slow_net():
+    # 1 Gbps: slower than the generation rate of the fast scan.
+    return EffectiveRateTransfer(bandwidth_gbps=1.0, alpha=0.8, rtt_s=0.016)
+
+
+class TestFastNetwork:
+    def test_completion_tracks_generation(self):
+        s = scan()
+        res = StreamingPipeline(s, fast_net()).run()
+        # Network keeps up: completion is generation end + one frame push.
+        last_frame_push = fast_net().transfer_time_s(s.frame_bytes)
+        assert res.completion_s == pytest.approx(
+            s.generation_time_s + last_frame_push, rel=1e-6
+        )
+
+    def test_no_stall_with_fast_network(self):
+        res = StreamingPipeline(scan(), fast_net(), buffer_frames=4).run()
+        assert res.producer_stall_s == 0.0
+
+    def test_all_frames_delivered_in_order_times(self):
+        res = StreamingPipeline(scan(), fast_net()).run()
+        assert np.all(np.diff(res.frame_delivered_s) > 0)
+        assert np.all(res.frame_delivered_s > res.frame_generated_s)
+
+    def test_overlap_efficiency_near_one(self):
+        res = StreamingPipeline(scan(), fast_net()).run()
+        assert res.overlap_efficiency == pytest.approx(1.0, rel=0.05)
+
+
+class TestSlowNetwork:
+    def test_completion_bound_by_network(self):
+        s = scan()
+        res = StreamingPipeline(s, slow_net()).run()
+        per_frame = slow_net().transfer_time_s(s.frame_bytes)
+        assert res.completion_s == pytest.approx(
+            s.n_frames * per_frame + s.frame_interval_s, rel=0.05
+        )
+        assert res.overlap_efficiency > 1.5
+
+    def test_bounded_buffer_causes_stall(self):
+        res = StreamingPipeline(scan(), slow_net(), buffer_frames=2).run()
+        assert res.producer_stall_s > 0.0
+
+    def test_unbounded_buffer_never_stalls(self):
+        res = StreamingPipeline(scan(), slow_net()).run()
+        assert res.producer_stall_s == 0.0
+
+    def test_backpressure_preserves_delivery(self):
+        bounded = StreamingPipeline(scan(), slow_net(), buffer_frames=2).run()
+        unbounded = StreamingPipeline(scan(), slow_net()).run()
+        # Same total work, same completion (sender is the bottleneck).
+        assert bounded.completion_s == pytest.approx(
+            unbounded.completion_s, rel=1e-6
+        )
+
+
+class TestAnalyticCrossCheck:
+    @pytest.mark.parametrize("interval", [0.01, 0.033, 0.33])
+    @pytest.mark.parametrize("net", [fast_net, slow_net])
+    def test_des_matches_recurrence(self, interval, net):
+        s = scan(n_frames=30, interval=interval)
+        res = StreamingPipeline(s, net()).run()
+        assert res.completion_s == pytest.approx(
+            analytic_streaming_completion_s(s, net()), rel=1e-9
+        )
+
+
+class TestCustomTrace:
+    def test_trace_overrides_cadence(self):
+        s = scan(n_frames=3)
+        trace = [0.0, 0.0, 10.0]
+        res = StreamingPipeline(s, fast_net(), frame_times_s=trace).run()
+        assert res.generation_end_s == pytest.approx(10.0)
+
+    def test_trace_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            StreamingPipeline(scan(n_frames=3), fast_net(), frame_times_s=[0.0])
+
+    def test_decreasing_trace_rejected(self):
+        with pytest.raises(ValidationError):
+            StreamingPipeline(
+                scan(n_frames=3), fast_net(), frame_times_s=[2.0, 1.0, 3.0]
+            )
+
+    def test_buffer_validation(self):
+        with pytest.raises(ValidationError):
+            StreamingPipeline(scan(), fast_net(), buffer_frames=0)
+
+
+class TestLatencies:
+    def test_frame_latencies_positive(self):
+        res = StreamingPipeline(scan(), fast_net()).run()
+        lats = res.frame_latencies_s()
+        assert np.all(lats > 0)
+        # With a keeping-up network every frame's latency is ~one push.
+        per_frame = fast_net().transfer_time_s(scan().frame_bytes)
+        np.testing.assert_allclose(lats, per_frame, rtol=1e-6)

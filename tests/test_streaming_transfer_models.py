@@ -1,0 +1,79 @@
+"""Per-chunk transfer timing models."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.streaming.transfer_models import (
+    EffectiveRateTransfer,
+    IdealTransfer,
+    SssInflatedTransfer,
+)
+
+
+class TestIdeal:
+    def test_paper_value(self):
+        m = IdealTransfer(bandwidth_gbps=25.0)
+        assert m.transfer_time_s(0.5e9) == pytest.approx(0.16)
+
+    def test_rtt_adds_half(self):
+        m = IdealTransfer(bandwidth_gbps=25.0, rtt_s=0.016)
+        assert m.transfer_time_s(0.0) == pytest.approx(0.008)
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ValidationError):
+            IdealTransfer(bandwidth_gbps=25.0).transfer_time_s(-1)
+
+
+class TestEffective:
+    def test_alpha_derates(self):
+        m = EffectiveRateTransfer(bandwidth_gbps=25.0, alpha=0.5)
+        assert m.transfer_time_s(0.5e9) == pytest.approx(0.32)
+
+    def test_alpha_one_matches_ideal(self):
+        ideal = IdealTransfer(bandwidth_gbps=25.0, rtt_s=0.016)
+        eff = EffectiveRateTransfer(bandwidth_gbps=25.0, alpha=1.0, rtt_s=0.016)
+        assert eff.transfer_time_s(1e9) == pytest.approx(ideal.transfer_time_s(1e9))
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValidationError):
+            EffectiveRateTransfer(bandwidth_gbps=25.0, alpha=1.2)
+
+
+class TestSssInflated:
+    def test_inflates_ideal_not_effective(self):
+        m = SssInflatedTransfer(bandwidth_gbps=25.0, sss=10.0)
+        assert m.transfer_time_s(0.5e9) == pytest.approx(1.6)
+
+    def test_sss_one_is_ideal(self):
+        m = SssInflatedTransfer(bandwidth_gbps=25.0, sss=1.0)
+        assert m.transfer_time_s(0.5e9) == pytest.approx(0.16)
+
+    def test_rejects_sub_unity_sss(self):
+        with pytest.raises(ValidationError):
+            SssInflatedTransfer(bandwidth_gbps=25.0, sss=0.5)
+
+
+class TestOrdering:
+    @given(nbytes=st.floats(min_value=1.0, max_value=1e12))
+    def test_ideal_fastest_inflated_slowest(self, nbytes):
+        ideal = IdealTransfer(25.0, rtt_s=0.016)
+        eff = EffectiveRateTransfer(25.0, alpha=0.8, rtt_s=0.016)
+        worst = SssInflatedTransfer(25.0, sss=5.0, rtt_s=0.016)
+        t_i = ideal.transfer_time_s(nbytes)
+        t_e = eff.transfer_time_s(nbytes)
+        t_w = worst.transfer_time_s(nbytes)
+        assert t_i <= t_e <= t_w
+
+    @given(
+        nbytes=st.floats(min_value=1.0, max_value=1e12),
+        factor=st.floats(min_value=1.1, max_value=100.0),
+    )
+    def test_linear_in_bytes(self, nbytes, factor):
+        m = EffectiveRateTransfer(25.0, alpha=0.7)
+        assert m.transfer_time_s(nbytes * factor) == pytest.approx(
+            m.transfer_time_s(nbytes) * factor, rel=1e-9
+        )

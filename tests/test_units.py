@@ -1,0 +1,137 @@
+"""Unit constants and conversion helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+from repro.errors import UnitError
+
+
+class TestConstants:
+    def test_decimal_byte_multiples(self):
+        assert units.GB == 1e9
+        assert units.TB == 1e12
+        assert units.PB == 1e15
+
+    def test_binary_multiples_differ_from_decimal(self):
+        assert units.GIB > units.GB
+        assert units.GIB == 1024**3
+
+    def test_day_length(self):
+        assert units.SECONDS_PER_DAY == 24 * 3600
+
+
+class TestBandwidthConversions:
+    def test_25_gbps_is_3_125_gbytes(self):
+        assert units.gbps_to_gbytes_per_s(25.0) == pytest.approx(3.125)
+
+    def test_round_trip_gbps(self):
+        assert units.gbytes_per_s_to_gbps(
+            units.gbps_to_gbytes_per_s(25.0)
+        ) == pytest.approx(25.0)
+
+    def test_bytes_per_s(self):
+        assert units.gbps_to_bytes_per_s(8.0) == pytest.approx(1e9)
+        assert units.bytes_per_s_to_gbps(1e9) == pytest.approx(8.0)
+
+    def test_vectorised(self):
+        arr = np.array([8.0, 16.0, 25.0])
+        out = units.gbps_to_gbytes_per_s(arr)
+        np.testing.assert_allclose(out, [1.0, 2.0, 3.125])
+
+
+class TestSizeConversions:
+    def test_gb_round_trip(self):
+        assert units.bytes_to_gb(units.gb_to_bytes(12.6)) == pytest.approx(12.6)
+
+    def test_mb_round_trip(self):
+        assert units.bytes_to_mb(units.mb_to_bytes(0.5)) == pytest.approx(0.5)
+
+    def test_scan_volume_matches_paper(self):
+        # 1440 frames of 2048x2048 uint16 ~ 12.1 GB (paper: "approximately 12.6 GB")
+        nbytes = 1440 * 2048 * 2048 * 2
+        assert units.bytes_to_gb(nbytes) == pytest.approx(12.0795, rel=1e-3)
+
+
+class TestScorecardUnits:
+    def test_petabyte_per_day_reference(self):
+        # "Transferring a Petabyte in a Day" needs ~92.6 Gbps sustained.
+        gbps = units.tb_per_day_to_gbps(1000.0)
+        assert gbps == pytest.approx(92.59, rel=1e-3)
+
+    def test_tb_per_day_round_trip(self):
+        assert units.gbps_to_tb_per_day(
+            units.tb_per_day_to_gbps(123.0)
+        ) == pytest.approx(123.0)
+
+
+class TestFlopsConversions:
+    def test_tflops(self):
+        assert units.tflops_to_flops(34.0) == pytest.approx(3.4e13)
+        assert units.flops_to_tflops(2e13) == pytest.approx(20.0)
+
+
+class TestTimeConversions:
+    def test_ms_round_trip(self):
+        assert units.ms_to_seconds(units.seconds_to_ms(0.016)) == pytest.approx(0.016)
+
+
+class TestValidators:
+    def test_ensure_positive_rejects_zero(self):
+        with pytest.raises(UnitError):
+            units.ensure_positive(0.0, "x")
+
+    def test_ensure_positive_rejects_negative_array_element(self):
+        with pytest.raises(UnitError):
+            units.ensure_positive(np.array([1.0, -2.0]), "x")
+
+    def test_ensure_positive_rejects_nan(self):
+        with pytest.raises(UnitError):
+            units.ensure_positive(float("nan"), "x")
+
+    def test_ensure_positive_rejects_inf(self):
+        with pytest.raises(UnitError):
+            units.ensure_positive(float("inf"), "x")
+
+    def test_ensure_non_negative_accepts_zero(self):
+        units.ensure_non_negative(0.0, "x")
+
+    def test_ensure_non_negative_rejects_negative(self):
+        with pytest.raises(UnitError):
+            units.ensure_non_negative(-1e-9, "x")
+
+    def test_ensure_fraction_bounds(self):
+        units.ensure_fraction(1.0, "x")
+        units.ensure_fraction(1e-9, "x")
+        with pytest.raises(UnitError):
+            units.ensure_fraction(0.0, "x")
+        with pytest.raises(UnitError):
+            units.ensure_fraction(1.0 + 1e-9, "x")
+
+    def test_error_message_names_parameter(self):
+        with pytest.raises(UnitError, match="alpha"):
+            units.ensure_fraction(2.0, "alpha")
+
+
+class TestConversionProperties:
+    @given(st.floats(min_value=1e-6, max_value=1e6))
+    def test_gbps_round_trip_property(self, gbps):
+        assert units.gbytes_per_s_to_gbps(
+            units.gbps_to_gbytes_per_s(gbps)
+        ) == pytest.approx(gbps, rel=1e-12)
+
+    @given(st.floats(min_value=1e-6, max_value=1e9))
+    def test_gb_bytes_round_trip_property(self, gb):
+        assert units.bytes_to_gb(units.gb_to_bytes(gb)) == pytest.approx(
+            gb, rel=1e-12
+        )
+
+    @given(st.floats(min_value=1e-3, max_value=1e5))
+    def test_tb_day_gbps_order(self, tbday):
+        # 1 TB/day is well under 1 Gbps; scaling is linear.
+        gbps = units.tb_per_day_to_gbps(tbday)
+        assert gbps == pytest.approx(tbday * units.tb_per_day_to_gbps(1.0), rel=1e-9)

@@ -1,0 +1,60 @@
+"""Instrument/frame descriptions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.workloads.instrument import FrameSpec, Instrument
+
+
+class TestFrameSpec:
+    def test_aps_frame_size(self):
+        f = FrameSpec(2048, 2048, 2)
+        assert f.nbytes == 8_388_608
+        assert f.size_gb == pytest.approx(8.388608e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            FrameSpec(0, 100)
+        with pytest.raises(ValidationError):
+            FrameSpec(100, 100, bytes_per_px=0)
+
+
+class TestInstrument:
+    def _instrument(self, interval=0.001, reduction=10.0):
+        return Instrument(
+            name="test",
+            frame=FrameSpec(1000, 500, 2),  # 1 MB
+            frame_interval_s=interval,
+            reduction_factor=reduction,
+        )
+
+    def test_rates(self):
+        inst = self._instrument()
+        assert inst.frame_rate_hz == pytest.approx(1000.0)
+        assert inst.raw_rate_gbytes_per_s == pytest.approx(1.0)
+        assert inst.shipped_rate_gbytes_per_s == pytest.approx(0.1)
+        assert inst.shipped_rate_gbps == pytest.approx(0.8)
+
+    def test_no_reduction(self):
+        inst = self._instrument(reduction=1.0)
+        assert inst.shipped_rate_gbytes_per_s == inst.raw_rate_gbytes_per_s
+
+    def test_shipped_frame_bytes(self):
+        inst = self._instrument()
+        assert inst.shipped_frame_bytes == pytest.approx(1e5)
+
+    def test_fits_link(self):
+        inst = self._instrument()  # ships 0.8 Gbps
+        assert inst.fits_link(1.0)
+        assert not inst.fits_link(1.0, alpha=0.5)
+        assert not inst.fits_link(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            self._instrument(interval=0.0)
+        with pytest.raises(ValidationError):
+            self._instrument(reduction=0.5)
+        with pytest.raises(ValidationError):
+            Instrument(name="", frame=FrameSpec(10, 10), frame_interval_s=1.0)

@@ -1,0 +1,84 @@
+"""Table-3 workflows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.workloads.lcls import (
+    TABLE3_ROWS,
+    Workflow,
+    coherent_scattering,
+    liquid_scattering,
+    table3_workflows,
+)
+
+
+class TestTable3Values:
+    def test_coherent_scattering(self):
+        w = coherent_scattering()
+        assert w.throughput_gbytes_per_s == 2.0
+        assert w.offline_analysis_tflop == 34.0
+        assert w.throughput_gbps == pytest.approx(16.0)
+
+    def test_liquid_scattering(self):
+        w = liquid_scattering()
+        assert w.throughput_gbytes_per_s == 4.0
+        assert w.offline_analysis_tflop == 20.0
+        assert w.throughput_gbps == pytest.approx(32.0)
+
+    def test_table_rows_in_paper_order(self):
+        assert TABLE3_ROWS[0][1] == "2 GB/s"
+        assert TABLE3_ROWS[1][2] == "20 TF"
+        assert len(table3_workflows()) == 2
+
+
+class TestLinkFeasibility:
+    def test_coherent_fits_25gbps(self):
+        assert coherent_scattering().fits_link(25.0)
+
+    def test_liquid_exceeds_25gbps(self):
+        # "Obviously 4 GB/s (32 Gbps) would be unfeasible because it is
+        # higher than our link capacity of 25 Gbps."
+        assert not liquid_scattering().fits_link(25.0)
+
+    def test_alpha_tightens_the_gate(self):
+        assert not coherent_scattering().fits_link(25.0, alpha=0.5)
+
+
+class TestDerived:
+    def test_data_unit_is_one_second(self):
+        assert coherent_scattering().data_unit_gb == 2.0
+
+    def test_complexity_per_gb(self):
+        assert coherent_scattering().complexity_flop_per_gb == pytest.approx(17e12)
+        assert liquid_scattering().complexity_flop_per_gb == pytest.approx(5e12)
+
+    def test_required_remote_tflops(self):
+        # Paper: 8.8 s left for analysis -> 34/8.8 ~ 3.9 TFLOPS needed.
+        w = coherent_scattering()
+        assert w.required_remote_tflops(10.0, 1.2) == pytest.approx(34.0 / 8.8)
+
+    def test_transfer_exhausting_deadline_raises(self):
+        with pytest.raises(ValidationError):
+            coherent_scattering().required_remote_tflops(10.0, 10.0)
+
+    def test_to_model_parameters(self):
+        p = coherent_scattering().to_model_parameters(
+            r_local_tflops=10.0,
+            r_remote_tflops=100.0,
+            bandwidth_gbps=25.0,
+            alpha=0.8,
+        )
+        assert p.s_unit_gb == 2.0
+        assert p.complexity_flop_per_gb * p.s_unit_gb == pytest.approx(34e12)
+
+
+class TestValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValidationError):
+            Workflow(name="", throughput_gbytes_per_s=1.0, offline_analysis_tflop=1.0)
+        with pytest.raises(ValidationError):
+            Workflow(name="x", throughput_gbytes_per_s=0.0, offline_analysis_tflop=1.0)
+        with pytest.raises(ValidationError):
+            Workflow(name="x", throughput_gbytes_per_s=1.0, offline_analysis_tflop=0.0)

@@ -1,0 +1,64 @@
+"""The Figure-4 APS scan."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.workloads.instrument import FrameSpec
+from repro.workloads.scan import (
+    FIGURE4_FRAME_INTERVALS,
+    ScanSpec,
+    aps_scan_fast,
+    aps_scan_slow,
+)
+
+
+class TestPaperNumbers:
+    def test_volume_approximately_12_6_gb(self):
+        # 1440 x 2048 x 2048 x 2 B = 12.08 GB (paper rounds to 12.6).
+        scan = aps_scan_fast()
+        assert scan.total_gb == pytest.approx(12.0796, rel=1e-3)
+        assert scan.n_frames == 1440
+
+    def test_both_rates(self):
+        assert aps_scan_fast().frame_interval_s == 0.033
+        assert aps_scan_slow().frame_interval_s == 0.33
+        assert FIGURE4_FRAME_INTERVALS == (0.033, 0.33)
+
+    def test_generation_times(self):
+        assert aps_scan_fast().generation_time_s == pytest.approx(47.52)
+        assert aps_scan_slow().generation_time_s == pytest.approx(475.2)
+
+    def test_generation_rate(self):
+        # ~254 MB/s at the fast cadence — well under 25 Gbps.
+        assert aps_scan_fast().generation_rate_gbytes_per_s == pytest.approx(
+            0.2542, rel=1e-3
+        )
+
+
+class TestFrameTimes:
+    def test_first_and_last(self):
+        scan = aps_scan_fast()
+        times = scan.frame_times_s()
+        assert times[0] == pytest.approx(0.033)
+        assert times[-1] == pytest.approx(scan.generation_time_s)
+
+    def test_uniform_spacing(self):
+        times = aps_scan_fast().frame_times_s()
+        np.testing.assert_allclose(np.diff(times), 0.033)
+
+
+class TestHelpers:
+    def test_with_interval(self):
+        slow = aps_scan_fast().with_interval(0.33)
+        assert slow.frame_interval_s == 0.33
+        assert slow.n_frames == 1440
+
+    def test_validation(self):
+        frame = FrameSpec(16, 16, 2)
+        with pytest.raises(ValidationError):
+            ScanSpec(frame=frame, n_frames=0, frame_interval_s=0.1)
+        with pytest.raises(ValidationError):
+            ScanSpec(frame=frame, n_frames=1, frame_interval_s=0.0)

@@ -1,0 +1,91 @@
+"""Synthetic frame-arrival traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.workloads.traces import bursty_trace, deterministic_trace, jittered_trace
+
+
+class TestDeterministic:
+    def test_uniform(self):
+        t = deterministic_trace(5, 0.1)
+        np.testing.assert_allclose(t, [0.1, 0.2, 0.3, 0.4, 0.5])
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            deterministic_trace(0, 0.1)
+        with pytest.raises(ValidationError):
+            deterministic_trace(5, 0.0)
+
+
+class TestJittered:
+    def test_monotone(self):
+        t = jittered_trace(500, 0.033, jitter_frac=0.3, seed=1)
+        assert np.all(np.diff(t) > 0)
+
+    def test_mean_interval_close_to_nominal(self):
+        t = jittered_trace(5000, 0.033, jitter_frac=0.1, seed=0)
+        assert np.mean(np.diff(t)) == pytest.approx(0.033, rel=0.05)
+
+    def test_reproducible(self):
+        np.testing.assert_array_equal(
+            jittered_trace(100, 0.033, seed=7), jittered_trace(100, 0.033, seed=7)
+        )
+
+    def test_zero_jitter_is_deterministic(self):
+        np.testing.assert_allclose(
+            jittered_trace(10, 0.1, jitter_frac=0.0, seed=0),
+            deterministic_trace(10, 0.1),
+        )
+
+    def test_jitter_frac_bounds(self):
+        with pytest.raises(ValidationError):
+            jittered_trace(10, 0.1, jitter_frac=1.0)
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_always_monotone_property(self, seed):
+        t = jittered_trace(50, 0.01, jitter_frac=0.5, seed=seed)
+        assert np.all(np.diff(t) > 0)
+
+
+class TestBursty:
+    def test_burst_structure(self):
+        # Bursts of 3 at 0.1 s spacing, 1 s gap.
+        t = bursty_trace(6, burst_size=3, intra_burst_interval_s=0.1,
+                         inter_burst_gap_s=1.0)
+        np.testing.assert_allclose(t[:3], [0.1, 0.2, 0.3])
+        np.testing.assert_allclose(t[3:], [1.4, 1.5, 1.6])
+
+    def test_monotone(self):
+        t = bursty_trace(100, 7, 0.01, 0.5)
+        assert np.all(np.diff(t) > 0)
+
+    def test_zero_gap_degenerates_to_uniform(self):
+        t = bursty_trace(10, 5, 0.1, 0.0)
+        np.testing.assert_allclose(np.diff(t), 0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            bursty_trace(0, 1, 0.1, 0.1)
+        with pytest.raises(ValidationError):
+            bursty_trace(10, 0, 0.1, 0.1)
+        with pytest.raises(ValidationError):
+            bursty_trace(10, 1, 0.1, -0.1)
+
+
+class TestPipelineIntegration:
+    def test_jittered_trace_drives_streaming(self, small_scan):
+        from repro.streaming.pipeline import StreamingPipeline
+        from repro.streaming.transfer_models import EffectiveRateTransfer
+
+        trace = jittered_trace(
+            small_scan.n_frames, small_scan.frame_interval_s, seed=3
+        )
+        net = EffectiveRateTransfer(bandwidth_gbps=25.0, alpha=0.8, rtt_s=0.016)
+        res = StreamingPipeline(small_scan, net, frame_times_s=trace).run()
+        assert res.completion_s > trace[-1]

@@ -2,6 +2,9 @@
 
 Runs the full Table-2 batch sweep (24 experiments, 10 s each, two
 seeds) on the fluid TCP testbed and regenerates the three P-curves.
+The 24 seeded experiments are independent, so the sweep fans out over
+the ``repro.sweep`` process executor (``workers=4``) — results are
+bit-identical to the serial run.
 
 Fidelity targets (paper Section 4.1 + case study):
 - theoretical transfer time 0.16 s; low-load max ~0.2-0.6 s (regime 1),
@@ -30,6 +33,7 @@ def test_fig2a_batch_congestion(benchmark, artifact):
         run_sweep,
         table2_sweep(strategy=SpawnStrategy.BATCH),
         seeds=SEEDS,
+        workers=4,
     )
 
     ps = sweep.parallel_flow_values()

@@ -2,13 +2,16 @@
 
 Regenerates the configuration table and verifies the sweep it defines:
 24 experiments spanning concurrency 1-8 and P in {2,4,8}, 0.5 GB
-transfers, 10 s duration.
+transfers, 10 s duration.  The grid itself is declared through the
+``repro.sweep`` engine (:func:`repro.iperfsim.spec.table2_spec`) — the
+same substrate the CLI's ``repro sweep`` command runs on — rather than
+a bespoke nested loop.
 """
 
 from __future__ import annotations
 
 from repro.analysis.report import render_table
-from repro.iperfsim.spec import TABLE2_ROWS, table2_sweep
+from repro.iperfsim.spec import TABLE2_ROWS, table2_spec, table2_sweep
 
 from conftest import run_once
 
@@ -34,3 +37,11 @@ def test_table2_configuration(benchmark, artifact):
     # Offered load spans 16 % to 128 % of the 25 Gbps link.
     utils = sorted({s.offered_utilization() for s in specs})
     assert utils[0] == 0.16 and utils[-1] == 1.28
+
+    # The declarative grid drives the sweep: same 24 points, same order.
+    grid = table2_spec()
+    assert grid.n_points == 24
+    assert grid.axis_names == ("parallel_flows", "concurrency")
+    assert [(s.concurrency, s.parallel_flows) for s in specs] == [
+        (pt["concurrency"], pt["parallel_flows"]) for pt in grid.points()
+    ]

@@ -7,6 +7,10 @@ and a 100 Gbps path, then map where local processing vs remote
 streaming wins as link bandwidth and analysis complexity vary — the
 facility-planning view of the model.
 
+The whole survey runs on the ``repro.sweep`` engine: the facility
+presets form a zipped axis block, the WAN capacities a grid axis, and
+one vectorized pass evaluates every (facility, bandwidth) scenario.
+
 Run:  python examples/facility_survey.py
 """
 
@@ -14,26 +18,51 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.crossover import crossover_bandwidth, decision_map
+from repro.analysis.crossover import (
+    crossover_bandwidth,
+    crossover_from_sweep,
+    decision_map,
+)
 from repro.analysis.report import render_table
 from repro.core.decision import Strategy
 from repro.core.parameters import ModelParameters
+from repro.sweep import Axis, SweepSpec, facility_axes, run_model_sweep
 from repro.workloads.facilities import all_facilities
 
 
 def main() -> None:
+    insts = {i.name: i for i in all_facilities()}
+
+    # One vectorized sweep over every (facility, WAN capacity) scenario.
+    spec = facility_axes().product(SweepSpec.grid(bandwidth_gbps=(25.0, 100.0)))
+    survey = run_model_sweep(
+        spec,
+        base=ModelParameters(
+            s_unit_gb=1.0,  # overridden by the facility axis
+            complexity_flop_per_gb=5e12,
+            r_local_tflops=20.0,
+            r_remote_tflops=200.0,
+            bandwidth_gbps=25.0,
+            alpha=0.8,
+            theta=1.0,  # streaming
+        ),
+    )
+
     rows = []
-    for inst in all_facilities():
+    for name in survey.unique("facility"):
+        inst = insts[name]
         rows.append((
-            inst.name,
+            name,
             f"{inst.raw_rate_gbytes_per_s:,.0f} GB/s",
             f"{inst.reduction_factor:g}x",
             f"{inst.shipped_rate_gbps:,.1f} Gbps",
             "yes" if inst.fits_link(25.0) else "NO",
             "yes" if inst.fits_link(100.0) else "NO",
+            f"{float(survey.filter(facility=name, bandwidth_gbps=100.0).column('t_pct')[0]):.3f} s",
         ))
     print(render_table(
-        ["facility", "raw rate", "reduction", "shipped", "fits 25G", "fits 100G"],
+        ["facility", "raw rate", "reduction", "shipped", "fits 25G",
+         "fits 100G", "T_pct @100G"],
         rows,
         title="Science drivers (Section 2.2) vs WAN capacity",
     ))
@@ -58,6 +87,18 @@ def main() -> None:
     print(
         f"Streaming (theta=1) lowers the crossover to "
         f"{bw_star_stream:.1f} Gbps."
+    )
+
+    # The same crossover, located empirically on a sweep grid — the
+    # method that generalises to quantities with no closed form.
+    grid = run_model_sweep(
+        SweepSpec.grid(Axis.geomspace("bandwidth_gbps", 1.0, 400.0, 200)),
+        base=params,
+    )
+    [empirical] = crossover_from_sweep(grid, x="bandwidth_gbps")
+    print(
+        f"Grid-based crossover from a 200-point sweep: "
+        f"{empirical['bandwidth_gbps']:.1f} Gbps."
     )
 
     # Decision map: bandwidth x complexity.

@@ -20,7 +20,11 @@ Public surface, by layer:
   scorecards,
 - :mod:`repro.analysis` — regimes, crossover maps, tier feasibility,
   text reports,
-- :mod:`repro.casestudy` — the Section-5 LCLS-II case study.
+- :mod:`repro.casestudy` — the Section-5 LCLS-II case study,
+- :mod:`repro.sweep` — the parallel scenario-sweep engine: declarative
+  axis grids, a vectorized model fast path, and a chunked
+  multiprocessing executor with content-hash caching (CLI:
+  ``repro sweep``).
 
 Quickstart::
 

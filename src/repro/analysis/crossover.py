@@ -28,6 +28,7 @@ from ..units import BITS_PER_BYTE
 __all__ = [
     "crossover_bandwidth",
     "crossover_complexity",
+    "crossover_from_sweep",
     "DecisionMap",
     "decision_map",
 ]
@@ -80,6 +81,32 @@ def crossover_complexity(params: ModelParameters) -> float:
         * 1e12
         / (1.0 - 1.0 / params.r)
     )
+
+
+def crossover_from_sweep(
+    table,
+    x: str = "bandwidth_gbps",
+    metric: str = "speedup",
+    threshold: float = 1.0,
+    group_by: Tuple[str, ...] = (),
+):
+    """Grid-based crossover extraction from a sweep table.
+
+    ``table`` is a :class:`repro.sweep.SweepResult` or its JSON export
+    (the string produced by ``SweepResult.to_json``).  For each
+    combination of the ``group_by`` columns the first crossing of
+    ``metric`` over ``threshold`` along ``x`` is located by linear
+    interpolation — the empirical counterpart of the closed-form
+    :func:`crossover_bandwidth`, usable for quantities with no closed
+    form (e.g. queued or simulated completion times).  Returns a list
+    of dicts carrying the group values plus the interpolated ``x``
+    (``None`` where the metric never crosses in the swept range).
+    """
+    from ..sweep.result import SweepResult
+
+    if isinstance(table, str):
+        table = SweepResult.from_json(table)
+    return table.crossover(x, metric=metric, threshold=threshold, group_by=group_by)
 
 
 @dataclass

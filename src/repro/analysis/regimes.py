@@ -17,7 +17,13 @@ from ..core.sss import CongestionRegime, RegimeThresholds, classify_regime
 from ..errors import MeasurementError
 from ..measurement.congestion import SssCurve
 
-__all__ = ["RegimeBreakdown", "regime_breakdown", "utilization_budget"]
+__all__ = [
+    "RegimeBreakdown",
+    "regime_breakdown",
+    "regime_breakdown_from_table",
+    "regime_breakdown_from_sweep",
+    "utilization_budget",
+]
 
 
 @dataclass(frozen=True)
@@ -57,15 +63,26 @@ def _boundary_crossing(
     return float(u0 + frac * (u1 - u0))
 
 
-def regime_breakdown(
-    curve: SssCurve, thresholds: Optional[RegimeThresholds] = None
+def regime_breakdown_from_table(
+    utilizations: np.ndarray,
+    t_worst_values: np.ndarray,
+    thresholds: Optional[RegimeThresholds] = None,
 ) -> RegimeBreakdown:
-    """Classify every measured point and locate the regime boundaries."""
-    if not curve.measurements:
-        raise MeasurementError("cannot analyse an empty SSS curve")
+    """Classify plain (utilisation, worst-case time) columns.
+
+    The array-level core of :func:`regime_breakdown`, consumable
+    directly from sweep tables (see
+    :func:`regime_breakdown_from_sweep`) or any other tabular source.
+    Points must be sorted by utilisation.
+    """
+    utils = np.asarray(utilizations, dtype=float)
+    t_worst = np.asarray(t_worst_values, dtype=float)
+    if utils.size == 0 or utils.shape != t_worst.shape:
+        raise MeasurementError(
+            "regime breakdown needs matching non-empty utilisation and "
+            f"worst-case columns, got shapes {utils.shape} and {t_worst.shape}"
+        )
     th = thresholds or RegimeThresholds()
-    utils = curve.utilizations
-    t_worst = curve.t_worst_values
     regimes = [classify_regime(float(t), th) for t in t_worst]
     return RegimeBreakdown(
         utilizations=utils,
@@ -77,6 +94,41 @@ def regime_breakdown(
         moderate_to_severe_utilization=_boundary_crossing(
             utils, t_worst, th.severe_limit_s
         ),
+    )
+
+
+def regime_breakdown_from_sweep(
+    table,
+    x: str = "offered_utilization",
+    metric: str = "t_worst_s",
+    thresholds: Optional[RegimeThresholds] = None,
+) -> RegimeBreakdown:
+    """Regime analysis straight off a sweep table.
+
+    ``table`` is a :class:`repro.sweep.SweepResult` or its JSON export;
+    rows are sorted by the ``x`` column before classification, so
+    congestion sweeps can feed this without reshaping.
+    """
+    from ..sweep.result import SweepResult
+
+    if isinstance(table, str):
+        table = SweepResult.from_json(table)
+    utils = np.asarray(table.column(x), dtype=float)
+    t_worst = np.asarray(table.column(metric), dtype=float)
+    order = np.argsort(utils, kind="stable")
+    return regime_breakdown_from_table(
+        utils[order], t_worst[order], thresholds=thresholds
+    )
+
+
+def regime_breakdown(
+    curve: SssCurve, thresholds: Optional[RegimeThresholds] = None
+) -> RegimeBreakdown:
+    """Classify every measured point and locate the regime boundaries."""
+    if not curve.measurements:
+        raise MeasurementError("cannot analyse an empty SSS curve")
+    return regime_breakdown_from_table(
+        curve.utilizations, curve.t_worst_values, thresholds=thresholds
     )
 
 

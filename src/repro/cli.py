@@ -3,6 +3,7 @@
 Subcommands regenerate the paper's artifacts as text:
 
 - ``model``     — evaluate T_local/T_pct for given parameters
+- ``sweep``     — evaluate the model over a declarative scenario grid
 - ``sss``       — run the congestion measurement, print the SSS curve
 - ``fig2a``     — max transfer time vs load, batch spawning
 - ``fig2b``     — max transfer time vs load, scheduled spawning
@@ -20,11 +21,27 @@ import argparse
 import sys
 from typing import List, Optional
 
+from functools import partial
+
 from . import __version__
 from .analysis.report import render_bars, render_cdf, render_series, render_table
 from .casestudy.lcls2 import run_case_study, tier_table
 from .core.model import evaluate
-from .core.parameters import ModelParameters
+from .core.parameters import (
+    ModelParameters,
+    aps_to_alcf_defaults,
+    lcls_to_hpc_defaults,
+)
+from .errors import ValidationError
+from .sweep import (
+    Axis,
+    SweepSpec,
+    evaluate_point,
+    facility_axes,
+    run_model_sweep,
+    run_sweep as run_generic_sweep,
+)
+from .sweep.engine import MODEL_METRICS
 from .iperfsim.runner import run_sweep
 from .iperfsim.spec import (
     ExperimentSpec,
@@ -58,6 +75,58 @@ def build_parser() -> argparse.ArgumentParser:
     p_model.add_argument("--bandwidth-gbps", type=float, required=True)
     p_model.add_argument("--alpha", type=float, default=1.0)
     p_model.add_argument("--theta", type=float, default=1.0)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="evaluate the model over a scenario grid"
+    )
+    p_sweep.add_argument(
+        "--axis", action="append", default=[], metavar="NAME=SPEC",
+        help="grid axis: NAME=v1,v2,... or NAME=start:stop:num[:log]; "
+             "repeat for a cartesian product",
+    )
+    p_sweep.add_argument(
+        "--zip", action="append", default=[], dest="zip_axes", metavar="NAME=SPEC",
+        help="lock-step axis (same syntax); all --zip axes form one "
+             "block and must share a length",
+    )
+    p_sweep.add_argument(
+        "--facilities", action="store_true",
+        help="prepend the Section-2.2 facility presets as a zipped "
+             "(facility, s_unit_gb) block",
+    )
+    p_sweep.add_argument(
+        "--preset", choices=("aps", "lcls"), default="aps",
+        help="base parameters for axes not swept (default: aps)",
+    )
+    p_sweep.add_argument(
+        "--set", action="append", default=[], dest="overrides", metavar="NAME=VALUE",
+        help="override one base parameter, e.g. --set theta=1",
+    )
+    p_sweep.add_argument(
+        "--metrics", default=",".join(MODEL_METRICS),
+        help=f"comma-separated metric columns (default: all of {','.join(MODEL_METRICS)})",
+    )
+    p_sweep.add_argument(
+        "--mode", choices=("vectorized", "process"), default="vectorized",
+        help="vectorized: one numpy pass (fast path); process: per-point "
+             "evaluation on the chunked multiprocessing executor",
+    )
+    p_sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for --mode process (default: 1)",
+    )
+    p_sweep.add_argument(
+        "--format", choices=("table", "json", "csv"), default="table",
+        dest="out_format", help="output format (default: table)",
+    )
+    p_sweep.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="also write the table to PATH",
+    )
+    p_sweep.add_argument(
+        "--crossover-x", default=None, metavar="AXIS",
+        help="append speedup=1 crossover points along AXIS",
+    )
 
     p_sss = sub.add_parser("sss", help="measure the SSS curve")
     p_sss.add_argument("--parallel", type=int, default=4)
@@ -106,6 +175,109 @@ def _cmd_model(args: argparse.Namespace) -> str:
         ("winner", "remote" if times.remote_is_faster else "local"),
     ]
     return render_table(["quantity", "value"], rows, title="T_pct model")
+
+
+def _sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
+    """Compose the CLI's --facilities / --zip / --axis blocks."""
+    spec: Optional[SweepSpec] = None
+    if args.facilities:
+        spec = facility_axes()
+    if args.zip_axes:
+        zipped = SweepSpec.zipped(*[Axis.parse(a) for a in args.zip_axes])
+        spec = zipped if spec is None else spec.product(zipped)
+    for text in args.axis:
+        block = SweepSpec.grid(Axis.parse(text))
+        spec = block if spec is None else spec.product(block)
+    if spec is None:
+        raise ValidationError(
+            "sweep needs at least one of --axis, --zip or --facilities"
+        )
+    return spec
+
+
+def _sweep_base_params(args: argparse.Namespace) -> ModelParameters:
+    base = aps_to_alcf_defaults() if args.preset == "aps" else lcls_to_hpc_defaults()
+    overrides = {}
+    for text in args.overrides:
+        if "=" not in text:
+            raise ValidationError(f"--set expects NAME=VALUE, got {text!r}")
+        name, _, value = text.partition("=")
+        try:
+            overrides[name.strip()] = float(value)
+        except ValueError as exc:
+            raise ValidationError(f"--set {text!r}: {exc}") from exc
+    if overrides:
+        try:
+            base = base.replace(**overrides)
+        except TypeError as exc:
+            raise ValidationError(f"unknown base parameter in --set: {exc}") from exc
+    return base
+
+
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    spec = _sweep_spec_from_args(args)
+    base = _sweep_base_params(args)
+    metrics = tuple(m.strip() for m in args.metrics.split(",") if m.strip())
+    unknown = [m for m in metrics if m not in MODEL_METRICS]
+    if unknown:
+        raise ValidationError(
+            f"unknown sweep metrics {unknown}; expected a subset of {MODEL_METRICS}"
+        )
+    # The crossover summary is defined on the speedup metric; make sure
+    # the table carries it even when --metrics narrows the output.
+    if args.crossover_x is not None and "speedup" not in metrics:
+        metrics = metrics + ("speedup",)
+    if args.mode == "vectorized":
+        table = run_model_sweep(spec, base=base, metrics=metrics)
+    else:
+        fn = partial(evaluate_point, base=base.as_dict())
+        table = run_generic_sweep(spec, fn, workers=args.workers)
+        drop = [m for m in table.metric_names if m not in metrics]
+        for name in drop:
+            del table.columns[name]
+
+    crossover_text = None
+    if args.crossover_x is not None:
+        group_by = tuple(
+            n for n in table.axis_names
+            if n != args.crossover_x and len(table.unique(n)) > 1
+        )
+        lines = [f"speedup=1 crossovers along {args.crossover_x}:"]
+        for entry in table.crossover(args.crossover_x, group_by=group_by):
+            key = ", ".join(f"{g}={entry[g]}" for g in group_by) or "(all points)"
+            value = entry[args.crossover_x]
+            lines.append(
+                f"  {key}: "
+                + ("never crosses in range" if value is None else f"{value:.4g}")
+            )
+        crossover_text = "\n".join(lines)
+
+    if args.out_format == "json":
+        out = table.to_json(path=args.output)
+    elif args.out_format == "csv":
+        out = table.to_csv(path=args.output)
+    else:
+        def fmt(v: object) -> str:
+            return f"{v:.6g}" if isinstance(v, float) else str(v)
+
+        names = list(table.columns)
+        out = render_table(
+            names,
+            [[fmt(row[n]) for n in names] for row in table.rows()],
+            title=f"Scenario sweep ({table.n_rows} points, base: {args.preset})",
+        )
+        if crossover_text is not None:
+            out += "\n\n" + crossover_text
+        if args.output is not None:
+            import pathlib
+
+            pathlib.Path(args.output).write_text(out + "\n")
+
+    if crossover_text is not None and args.out_format != "table":
+        # Keep machine-readable stdout parseable; the summary is
+        # side-channel information.
+        print(crossover_text, file=sys.stderr)
+    return out
 
 
 def _cmd_sss(args: argparse.Namespace) -> str:
@@ -218,6 +390,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "model":
         out = _cmd_model(args)
+    elif args.command == "sweep":
+        out = _cmd_sweep(args)
     elif args.command == "sss":
         out = _cmd_sss(args)
     elif args.command == "fig2a":

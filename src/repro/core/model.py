@@ -91,6 +91,9 @@ def t_remote(
 ) -> ArrayLike:
     """Remote compute time, Eq. 6: :math:`T_{remote} = C S_{unit} / (r R_{local})`."""
     ensure_positive(r, "r")
+    # Validate the rate itself (not just the r*R product) so the error
+    # names the value the caller actually passed.
+    ensure_positive(r_local_tflops, "r_local_tflops")
     rl = np.asarray(r_local_tflops, dtype=float) * np.asarray(r, dtype=float)
     return t_local(s_unit_gb, complexity_flop_per_gb, rl)
 

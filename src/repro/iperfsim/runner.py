@@ -11,11 +11,13 @@ Ties together spec -> spawner -> simulator -> results:
 
 from __future__ import annotations
 
+from functools import partial
 from typing import List, Optional, Sequence
 
 from ..errors import ValidationError
 from ..simnet.link import Link, fabric_link
 from ..simnet.tcp import FluidTcpSimulator, TcpConfig
+from ..sweep.engine import parallel_map
 from .orchestrator import make_spawner
 from .results import ExperimentResult, SweepResult
 from .spec import ExperimentSpec
@@ -70,42 +72,62 @@ def run_experiment(
     )
 
 
+def _pooled_experiment(
+    spec: ExperimentSpec,
+    link: Link,
+    config: Optional[TcpConfig],
+    seeds: Sequence[int],
+    max_time_s: float,
+) -> ExperimentResult:
+    """One spec run under every seed, client times pooled (executor unit)."""
+    pooled: dict[int, float] = {}
+    achieved_sum = 0.0
+    for rep, seed in enumerate(seeds):
+        res = run_experiment(
+            spec, link=link, config=config, seed=seed, max_time_s=max_time_s
+        )
+        offset = rep * 1_000_000  # keep client ids unique across reps
+        for cid, t in res.client_times_s.items():
+            pooled[offset + cid] = t
+        achieved_sum += res.achieved_utilization
+    return ExperimentResult(
+        spec=spec,
+        client_times_s=pooled,
+        achieved_utilization=achieved_sum / len(seeds),
+        offered_utilization=spec.offered_utilization(link),
+    )
+
+
 def run_sweep(
     specs: Sequence[ExperimentSpec],
     link: Optional[Link] = None,
     config: Optional[TcpConfig] = None,
     seeds: Sequence[int] = (0,),
     max_time_s: float = 300.0,
+    workers: int = 1,
 ) -> SweepResult:
     """Execute a sweep, repeating each spec once per seed.
 
     With several seeds, each experiment's client times are pooled across
     repetitions; the max (``T_worst``) therefore covers every observed
     transfer, mirroring how the paper aggregates repeated 10 s runs.
+
+    ``workers > 1`` distributes the (independent, seeded) experiments
+    across processes via :func:`repro.sweep.engine.parallel_map`;
+    results are bit-identical to the serial run and keep spec order.
     """
     if not specs:
         raise ValidationError("run_sweep needs at least one spec")
     if not seeds:
         raise ValidationError("run_sweep needs at least one seed")
     link = link or fabric_link()
+    fn = partial(
+        _pooled_experiment,
+        link=link,
+        config=config,
+        seeds=tuple(seeds),
+        max_time_s=max_time_s,
+    )
     out = SweepResult()
-    for spec in specs:
-        pooled: dict[int, float] = {}
-        achieved_sum = 0.0
-        for rep, seed in enumerate(seeds):
-            res = run_experiment(
-                spec, link=link, config=config, seed=seed, max_time_s=max_time_s
-            )
-            offset = rep * 1_000_000  # keep client ids unique across reps
-            for cid, t in res.client_times_s.items():
-                pooled[offset + cid] = t
-            achieved_sum += res.achieved_utilization
-        out.experiments.append(
-            ExperimentResult(
-                spec=spec,
-                client_times_s=pooled,
-                achieved_utilization=achieved_sum / len(seeds),
-                offered_utilization=spec.offered_utilization(link),
-            )
-        )
+    out.experiments.extend(parallel_map(fn, list(specs), workers=workers))
     return out

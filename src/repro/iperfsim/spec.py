@@ -16,10 +16,12 @@ from typing import Iterator, List, Tuple
 from ..errors import ValidationError
 from ..units import GB, ensure_positive
 from ..simnet.link import Link, fabric_link
+from ..sweep.spec import Axis, SweepSpec
 
 __all__ = [
     "SpawnStrategy",
     "ExperimentSpec",
+    "table2_spec",
     "table2_sweep",
     "TABLE2_CONCURRENCY",
     "TABLE2_PARALLEL_FLOWS",
@@ -123,6 +125,21 @@ TABLE2_ROWS: Tuple[Tuple[str, str, str], ...] = (
 )
 
 
+def table2_spec(
+    concurrencies: Tuple[int, ...] = TABLE2_CONCURRENCY,
+    parallel_flows: Tuple[int, ...] = TABLE2_PARALLEL_FLOWS,
+) -> SweepSpec:
+    """The Table-2 grid as a declarative sweep spec.
+
+    ``parallel_flows`` is the outer (slowest) axis, matching the
+    paper's per-P curve grouping of Figure 2.
+    """
+    return SweepSpec.grid(
+        Axis("parallel_flows", parallel_flows),
+        Axis("concurrency", concurrencies),
+    )
+
+
 def table2_sweep(
     strategy: SpawnStrategy = SpawnStrategy.BATCH,
     duration_s: float = 10.0,
@@ -130,13 +147,12 @@ def table2_sweep(
     """The paper's full 24-experiment sweep (Table 2)."""
     return [
         ExperimentSpec(
-            concurrency=c,
-            parallel_flows=p,
+            concurrency=point["concurrency"],
+            parallel_flows=point["parallel_flows"],
             duration_s=duration_s,
             strategy=strategy,
         )
-        for p in TABLE2_PARALLEL_FLOWS
-        for c in TABLE2_CONCURRENCY
+        for point in table2_spec().points()
     ]
 
 
@@ -145,9 +161,8 @@ def iter_sweep_grid(
     parallel_flows: Tuple[int, ...] = TABLE2_PARALLEL_FLOWS,
 ) -> Iterator[Tuple[int, int]]:
     """Iterate the (concurrency, parallel_flows) grid in sweep order."""
-    for p in parallel_flows:
-        for c in concurrencies:
-            yield c, p
+    for point in table2_spec(concurrencies, parallel_flows).points():
+        yield point["concurrency"], point["parallel_flows"]
 
 
 __all__.append("iter_sweep_grid")

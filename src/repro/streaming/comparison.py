@@ -162,22 +162,38 @@ def compare_methods(
     return result
 
 
+def _figure4_interval(
+    interval: float, bandwidth_gbps: float, file_counts: Sequence[int]
+) -> ComparisonResult:
+    """One Figure-4 frame rate, all methods (sweep-executor unit)."""
+    scan = aps_scan_fast().with_interval(interval)
+    return compare_methods(
+        scan,
+        file_counts=file_counts,
+        dtn=default_dtn(bandwidth_gbps),
+        streaming_network=default_streaming_network(bandwidth_gbps),
+    )
+
+
 def run_figure4(
     bandwidth_gbps: float = 25.0,
     file_counts: Sequence[int] = figure4_file_counts(),
+    workers: int = 1,
 ) -> Dict[float, ComparisonResult]:
     """The full Figure-4 scenario: both frame rates, all methods.
 
-    Returns a mapping ``frame_interval_s -> ComparisonResult``.
+    Returns a mapping ``frame_interval_s -> ComparisonResult``.  The
+    frame rates are independent scenarios, so ``workers > 1`` fans them
+    out across processes (deterministic, order-preserving).
     """
-    base = aps_scan_fast()
-    out: Dict[float, ComparisonResult] = {}
-    for interval in FIGURE4_FRAME_INTERVALS:
-        scan = base.with_interval(interval)
-        out[interval] = compare_methods(
-            scan,
-            file_counts=file_counts,
-            dtn=default_dtn(bandwidth_gbps),
-            streaming_network=default_streaming_network(bandwidth_gbps),
-        )
-    return out
+    from functools import partial
+
+    from ..sweep.engine import parallel_map
+
+    fn = partial(
+        _figure4_interval,
+        bandwidth_gbps=bandwidth_gbps,
+        file_counts=tuple(file_counts),
+    )
+    results = parallel_map(fn, list(FIGURE4_FRAME_INTERVALS), workers=workers)
+    return dict(zip(FIGURE4_FRAME_INTERVALS, results))

@@ -1,0 +1,62 @@
+"""Parallel scenario-sweep engine.
+
+The paper's decision model earns its keep when evaluated over *grids*
+of scenarios — facility bandwidths, RTTs, data sizes, compute rates —
+to map where streaming beats file-based staging beats local processing.
+This package makes scenario enumeration a first-class workload instead
+of an ad-hoc loop in every benchmark:
+
+- :mod:`repro.sweep.spec` — declarative :class:`SweepSpec`: named
+  :class:`Axis` values composed with grid (cartesian) and zip
+  combinators, plus facility presets from
+  :mod:`repro.workloads.facilities`,
+- :mod:`repro.sweep.engine` — a vectorized fast path that broadcasts
+  axes straight through the numpy-aware :mod:`repro.core.model`
+  functions, and a chunked ``multiprocessing`` executor
+  (:func:`parallel_map`) for non-vectorizable work (simnet pipelines,
+  queueing evaluations) with deterministic ordering and a content-hash
+  result cache,
+- :mod:`repro.sweep.result` — a :class:`SweepResult` column table with
+  filtering, crossover extraction and JSON/CSV export that
+  :mod:`repro.analysis.crossover` and :mod:`repro.analysis.regimes`
+  consume directly.
+
+Quickstart::
+
+    from repro.sweep import Axis, SweepSpec, run_model_sweep
+
+    spec = SweepSpec.grid(
+        Axis.geomspace("bandwidth_gbps", 1.0, 400.0, 50),
+        Axis.geomspace("complexity_flop_per_gb", 1e10, 1e14, 40),
+    )
+    table = run_model_sweep(spec)          # 2000 points, one numpy pass
+    wins = table.filter(remote_is_faster=True)
+    print(table.crossover("bandwidth_gbps"))
+"""
+
+from __future__ import annotations
+
+from .cache import ResultCache, content_hash
+from .engine import (
+    MODEL_AXES,
+    evaluate_point,
+    parallel_map,
+    run_model_sweep,
+    run_sweep,
+)
+from .result import SweepResult
+from .spec import Axis, SweepSpec, facility_axes
+
+__all__ = [
+    "Axis",
+    "SweepSpec",
+    "SweepResult",
+    "ResultCache",
+    "content_hash",
+    "MODEL_AXES",
+    "facility_axes",
+    "evaluate_point",
+    "parallel_map",
+    "run_model_sweep",
+    "run_sweep",
+]

@@ -1,0 +1,120 @@
+"""Content-hash result cache for sweep executors.
+
+Scenario evaluations are pure functions of their inputs, so repeated
+sweeps (a refined grid sharing points with a coarse one, a re-run with
+more seeds) can reuse earlier results.  :func:`content_hash` derives a
+stable key from the *content* of a scenario point plus the qualified
+name of the evaluation function; :class:`ResultCache` stores results
+in memory and, optionally, as one JSON file per key in a directory so
+caches survive the process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import pathlib
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["content_hash", "ResultCache"]
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-stable structure for hashing."""
+    if isinstance(obj, enum.Enum):
+        return [type(obj).__name__, obj.name]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return [
+            type(obj).__name__,
+            _canonical(dataclasses.asdict(obj)),
+        ]
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return [_canonical(v) for v in obj.tolist()]
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return repr(float(obj))
+    if isinstance(obj, float):
+        return repr(obj)  # repr round-trips exactly
+    if isinstance(obj, (str, int, bool)) or obj is None:
+        return obj
+    return repr(obj)
+
+
+def content_hash(fn: Optional[Callable], item: Any) -> str:
+    """Stable hex digest of one (function, scenario point) pair.
+
+    The function contributes its qualified name (``partial`` wrappers
+    contribute the wrapped function plus the bound arguments), the item
+    its canonicalised content.
+    """
+    fn_part: Any = None
+    if fn is not None:
+        func = fn
+        bound: Tuple[Any, ...] = ()
+        kw: Dict[str, Any] = {}
+        while hasattr(func, "func"):  # functools.partial chain
+            bound = tuple(getattr(func, "args", ())) + bound
+            kw = {**getattr(func, "keywords", {}), **kw}
+            func = func.func
+        fn_part = [
+            f"{getattr(func, '__module__', '?')}.{getattr(func, '__qualname__', repr(func))}",
+            _canonical(bound),
+            _canonical(kw),
+        ]
+    payload = json.dumps([fn_part, _canonical(item)], sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """In-memory result cache with optional JSON-per-key persistence.
+
+    Persisted values must be JSON-serialisable (the sweep engine stores
+    plain metric dicts); in-memory use has no such restriction.
+    """
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self._mem: Dict[str, Any] = {}
+        self._dir = pathlib.Path(directory) if directory else None
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    def _path(self, key: str) -> Optional[pathlib.Path]:
+        return self._dir / f"{key}.json" if self._dir else None
+
+    def get(self, key: str, default: Any = None) -> Optional[Any]:
+        """The cached result for ``key``, or ``default`` on a miss.
+
+        Pass a sentinel as ``default`` to distinguish a cached ``None``
+        from a miss (the executor does).
+        """
+        if key in self._mem:
+            self.hits += 1
+            return self._mem[key]
+        path = self._path(key)
+        if path is not None and path.exists():
+            value = json.loads(path.read_text())
+            self._mem[key] = value
+            self.hits += 1
+            return value
+        self.misses += 1
+        return default
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` (and on disk when persistent)."""
+        self._mem[key] = value
+        path = self._path(key)
+        if path is not None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(value, sort_keys=True))

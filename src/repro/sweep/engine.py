@@ -1,0 +1,387 @@
+"""Sweep execution: vectorized fast path + chunked process executor.
+
+Two execution strategies cover the repo's workloads:
+
+- :func:`run_model_sweep` — the closed-form completion-time model is
+  numpy-aware, so a whole grid is one broadcast call per metric.  This
+  is the fast path for anything expressible through
+  :mod:`repro.core.model` (millions of points per second).
+- :func:`parallel_map` / :func:`run_sweep` — simnet pipeline runs,
+  queueing evaluations and other per-point Python work are chunked
+  across a ``multiprocessing`` pool.  Results keep the spec's
+  enumeration order regardless of worker count, and a content-hash
+  :class:`~repro.sweep.cache.ResultCache` skips points evaluated
+  before.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import model
+from ..core.parameters import ModelParameters
+from ..errors import ValidationError
+from .cache import ResultCache, content_hash
+from .result import SweepResult
+from .spec import SweepSpec
+
+__all__ = [
+    "MODEL_AXES",
+    "MODEL_METRICS",
+    "evaluate_point",
+    "parallel_map",
+    "run_model_sweep",
+    "run_sweep",
+]
+
+
+def _positive(name: str, arr: np.ndarray) -> None:
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"sweep axis {name!r} must be finite")
+    if not np.all(arr > 0):
+        bad = float(arr[arr <= 0][0])
+        raise ValidationError(
+            f"sweep axis {name!r} must be strictly positive, got {bad!r}"
+        )
+
+
+def _non_negative(name: str, arr: np.ndarray) -> None:
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"sweep axis {name!r} must be finite")
+    if not np.all(arr >= 0):
+        bad = float(arr[arr < 0][0])
+        raise ValidationError(
+            f"sweep axis {name!r} must be non-negative, got {bad!r}"
+        )
+
+
+def _fraction(name: str, arr: np.ndarray) -> None:
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"sweep axis {name!r} must be finite")
+    if not (np.all(arr > 0) and np.all(arr <= 1.0)):
+        bad = float(arr[(arr <= 0) | (arr > 1.0)][0])
+        raise ValidationError(
+            f"sweep axis {name!r} must lie in (0, 1], got {bad!r}"
+        )
+
+
+def _at_least_one(name: str, arr: np.ndarray) -> None:
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"sweep axis {name!r} must be finite")
+    if not np.all(arr >= 1.0):
+        bad = float(arr[arr < 1.0][0])
+        raise ValidationError(f"sweep axis {name!r} must be >= 1, got {bad!r}")
+
+
+#: Model parameters sweepable through the vectorized path, with the
+#: validator each axis must satisfy (zero/negative bandwidth or TFLOPS
+#: is rejected here, naming the offending axis, before any numpy
+#: division can emit inf).
+MODEL_AXES: Dict[str, Callable[[str, np.ndarray], None]] = {
+    "s_unit_gb": _positive,
+    "complexity_flop_per_gb": _non_negative,
+    "r_local_tflops": _positive,
+    "r_remote_tflops": _positive,
+    "bandwidth_gbps": _positive,
+    "alpha": _fraction,
+    "r": _positive,
+    "theta": _at_least_one,
+}
+
+#: Metric columns the vectorized path can produce.
+MODEL_METRICS: Tuple[str, ...] = (
+    "t_local",
+    "t_transfer",
+    "t_io",
+    "t_remote",
+    "t_pct",
+    "speedup",
+    "remote_is_faster",
+)
+
+
+def _model_kwargs(
+    columns: Dict[str, np.ndarray],
+    base: Optional[ModelParameters],
+    n_points: int,
+) -> Dict[str, Any]:
+    """Merge swept columns with base-parameter scalars into the keyword
+    set of the :mod:`repro.core.model` functions."""
+    swept = {k: v for k, v in columns.items() if k in MODEL_AXES}
+    for name, col in swept.items():
+        arr = np.asarray(col, dtype=float)
+        MODEL_AXES[name](name, arr)
+        swept[name] = arr
+    if "r" in swept and "r_remote_tflops" in swept:
+        raise ValidationError(
+            "sweep axes 'r' and 'r_remote_tflops' are redundant; provide one"
+        )
+
+    def pick(name: str, default: Optional[float] = None) -> Any:
+        if name in swept:
+            return swept[name]
+        if base is not None:
+            return getattr(base, name)
+        if default is not None:
+            return default
+        raise ValidationError(
+            f"model parameter {name!r} is neither swept nor supplied via "
+            f"base parameters"
+        )
+
+    r_local = pick("r_local_tflops")
+    if "r" in swept:
+        r = swept["r"]
+    elif "r_remote_tflops" in swept:
+        r = swept["r_remote_tflops"] / r_local
+    elif base is not None:
+        # Keep the base's remote speed *absolute* (not its ratio), so a
+        # swept r_local_tflops doesn't silently rescale the remote
+        # machine too — same semantics as evaluate_point.
+        r = base.r_remote_tflops / r_local
+    else:
+        raise ValidationError(
+            "remote speed is neither swept ('r' or 'r_remote_tflops') nor "
+            "supplied via base parameters"
+        )
+    return dict(
+        s_unit_gb=pick("s_unit_gb"),
+        complexity_flop_per_gb=pick("complexity_flop_per_gb"),
+        r_local_tflops=r_local,
+        bandwidth_gbps=pick("bandwidth_gbps"),
+        alpha=pick("alpha", 1.0),
+        r=r,
+        theta=pick("theta", 1.0),
+    )
+
+
+def run_model_sweep(
+    spec: SweepSpec,
+    base: Optional[ModelParameters] = None,
+    metrics: Sequence[str] = MODEL_METRICS,
+) -> SweepResult:
+    """Evaluate the completion-time model over a whole spec in one
+    vectorized pass.
+
+    Every numeric axis named after a model parameter (see
+    :data:`MODEL_AXES`) is broadcast through the model; parameters not
+    swept come from ``base``.  Non-model axes (e.g. a ``facility``
+    label zipped with ``s_unit_gb``) are carried through to the result
+    table untouched.  Remote speed may be swept either as the ratio
+    ``r`` or as absolute ``r_remote_tflops``.
+    """
+    unknown = [m for m in metrics if m not in MODEL_METRICS]
+    if unknown:
+        raise ValidationError(
+            f"unknown sweep metrics {unknown}; expected a subset of {MODEL_METRICS}"
+        )
+    columns = spec.columns()
+    kw = _model_kwargs(columns, base, spec.n_points)
+    n = spec.n_points
+
+    def full(values: Any) -> np.ndarray:
+        return np.broadcast_to(np.asarray(values, dtype=float), (n,)).copy()
+
+    # Shared intermediates are computed once; speedup and the decision
+    # bit derive from them with the exact arithmetic of model.speedup
+    # (loc / pct) and model.remote_is_faster (g > 1).
+    out: Dict[str, np.ndarray] = dict(columns)
+    t_loc = t_trans = t_pct = None
+    if {"t_local", "speedup", "remote_is_faster"} & set(metrics):
+        t_loc = np.asarray(
+            model.t_local(
+                kw["s_unit_gb"], kw["complexity_flop_per_gb"], kw["r_local_tflops"]
+            ),
+            dtype=float,
+        )
+    if {"t_transfer", "t_io"} & set(metrics):
+        t_trans = np.asarray(
+            model.t_transfer(kw["s_unit_gb"], kw["bandwidth_gbps"], kw["alpha"]),
+            dtype=float,
+        )
+    if {"t_pct", "speedup", "remote_is_faster"} & set(metrics):
+        t_pct = np.asarray(model.t_pct(**kw), dtype=float)
+    for m in metrics:
+        if m == "t_local":
+            out[m] = full(t_loc)
+        elif m == "t_transfer":
+            out[m] = full(t_trans)
+        elif m == "t_io":
+            out[m] = full(np.asarray(kw["theta"], dtype=float) - 1.0) * full(t_trans)
+        elif m == "t_remote":
+            out[m] = full(
+                model.t_remote(
+                    kw["s_unit_gb"],
+                    kw["complexity_flop_per_gb"],
+                    kw["r_local_tflops"],
+                    kw["r"],
+                )
+            )
+        elif m == "t_pct":
+            out[m] = full(t_pct)
+        elif m == "speedup":
+            out[m] = full(t_loc / t_pct)
+        elif m == "remote_is_faster":
+            out[m] = np.broadcast_to(t_loc / t_pct > 1.0, (n,)).copy()
+    return SweepResult(columns=out, axis_names=spec.axis_names)
+
+
+def evaluate_point(
+    point: Dict[str, Any], base: Optional[Dict[str, float]] = None
+) -> Dict[str, float]:
+    """Evaluate the model for one scenario point (process-executor unit).
+
+    ``point`` maps axis names to values; model parameters absent from
+    both ``point`` and ``base`` take the
+    :class:`~repro.core.parameters.ModelParameters` defaults.  Used by
+    the ``repro sweep --mode process`` path and as the reference
+    implementation the vectorized path is tested against.
+    """
+    merged = {k: v for k, v in (base or {}).items() if k in MODEL_AXES}
+    point_model = {k: v for k, v in point.items() if k in MODEL_AXES}
+    # A swept remote speed (either form) overrides the base's.
+    if "r" in point_model:
+        merged.pop("r_remote_tflops", None)
+    if "r_remote_tflops" in point_model:
+        merged.pop("r", None)
+    merged.update(point_model)
+    r_remote = merged.pop("r_remote_tflops", None)
+    r = merged.pop("r", None)
+    if r_remote is None:
+        if r is None:
+            raise ValidationError(
+                "remote speed missing: provide 'r' or 'r_remote_tflops'"
+            )
+        if "r_local_tflops" not in merged:
+            raise ValidationError(
+                "sweeping 'r' requires 'r_local_tflops' in the point or base"
+            )
+        r_remote = r * merged["r_local_tflops"]
+    elif r is not None:
+        raise ValidationError(
+            "sweep axes 'r' and 'r_remote_tflops' are redundant; provide one"
+        )
+    params = ModelParameters(r_remote_tflops=float(r_remote), **merged)
+    times = model.evaluate(params)
+    return {
+        "t_local": times.t_local,
+        "t_transfer": times.t_transfer,
+        "t_io": times.t_io,
+        "t_remote": times.t_remote,
+        "t_pct": times.t_pct,
+        "speedup": times.speedup,
+        "remote_is_faster": times.remote_is_faster,
+    }
+
+
+#: Sentinel distinguishing a cache miss from a legitimately cached None.
+_CACHE_MISS = object()
+
+
+def _run_chunk(payload: Tuple[Callable[[Any], Any], List[Any]]) -> List[Any]:
+    """Worker-side evaluation of one chunk (module-level: picklable)."""
+    fn, items = payload
+    return [fn(item) for item in items]
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> List[Any]:
+    """Map ``fn`` over ``items``, optionally across processes.
+
+    Results always come back in input order, whatever the worker count
+    — sweeps are reproducible artifacts, not best-effort batches.  With
+    a ``cache``, points whose content hash is already known are not
+    re-evaluated.  ``fn`` must be picklable for ``workers > 1``
+    (a module-level function or a ``functools.partial`` of one).
+    """
+    if workers < 0:
+        raise ValidationError(f"workers must be >= 0, got {workers!r}")
+    items = list(items)
+    results: List[Any] = [None] * len(items)
+    if cache is not None:
+        keys = [content_hash(fn, item) for item in items]
+        pending = []
+        for i, key in enumerate(keys):
+            hit = cache.get(key, _CACHE_MISS)
+            if hit is not _CACHE_MISS:
+                results[i] = hit
+            else:
+                pending.append(i)
+    else:
+        keys = []
+        pending = list(range(len(items)))
+
+    if not pending:
+        return results
+
+    n_workers = min(max(workers, 1), len(pending))
+    if n_workers <= 1:
+        for i in pending:
+            results[i] = fn(items[i])
+    else:
+        if chunk_size is None:
+            chunk_size = max(1, math.ceil(len(pending) / (n_workers * 4)))
+        chunks = [
+            pending[lo : lo + chunk_size]
+            for lo in range(0, len(pending), chunk_size)
+        ]
+        with multiprocessing.Pool(processes=n_workers) as pool:
+            chunk_results = pool.map(
+                _run_chunk, [(fn, [items[i] for i in chunk]) for chunk in chunks]
+            )
+        for chunk, values in zip(chunks, chunk_results):
+            for i, value in zip(chunk, values):
+                results[i] = value
+
+    if cache is not None:
+        for i in pending:
+            cache.put(keys[i], results[i])
+    return results
+
+
+def run_sweep(
+    spec: SweepSpec,
+    fn: Callable[[Dict[str, Any]], Any],
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> SweepResult:
+    """Run an arbitrary per-point evaluation over a spec.
+
+    ``fn`` receives each scenario point as an ``{axis: value}`` dict
+    and returns either a dict of metric values (one result column per
+    key) or a scalar (stored as a ``value`` column).  Execution goes
+    through :func:`parallel_map`; ordering matches
+    :meth:`SweepSpec.points` exactly, for any ``workers``.
+    """
+    points = list(spec.points())
+    raw = parallel_map(
+        fn, points, workers=workers, chunk_size=chunk_size, cache=cache
+    )
+    columns: Dict[str, Any] = dict(spec.columns())
+    if raw and isinstance(raw[0], dict):
+        metric_names = list(raw[0].keys())
+        for res in raw:
+            if set(res.keys()) != set(metric_names):
+                raise ValidationError(
+                    "per-point results must share one metric set; got "
+                    f"{sorted(res.keys())} vs {sorted(metric_names)}"
+                )
+        for name in metric_names:
+            if name in columns:
+                raise ValidationError(
+                    f"metric {name!r} collides with a sweep axis name"
+                )
+            columns[name] = np.asarray([res[name] for res in raw])
+    else:
+        columns["value"] = np.asarray(raw)
+    return SweepResult(columns=columns, axis_names=spec.axis_names)

@@ -1,0 +1,244 @@
+"""Sweep result tables.
+
+A :class:`SweepResult` is a small column table: one column per sweep
+axis plus one per computed metric, all aligned with the spec's
+enumeration order.  It supports the three things downstream analysis
+actually does with sweep output — filter to a slice, extract crossover
+points along an axis, and export (JSON/CSV) — without dragging in a
+dataframe dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import pathlib
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = ["SweepResult"]
+
+
+def _as_column(values: Any) -> np.ndarray:
+    arr = np.asarray(values)
+    if arr.dtype.kind in "fiub":
+        return arr
+    out = np.empty(len(values), dtype=object)
+    out[:] = list(values)
+    return out
+
+
+class SweepResult:
+    """Column table of sweep output.
+
+    Parameters
+    ----------
+    columns:
+        Ordered mapping of column name to a 1-D sequence; all columns
+        must share one length.  Axis columns come first by convention.
+    axis_names:
+        Which columns are sweep axes (the rest are metrics).
+    """
+
+    def __init__(
+        self, columns: Dict[str, Sequence[Any]], axis_names: Sequence[str] = ()
+    ) -> None:
+        if not columns:
+            raise ValidationError("a SweepResult needs at least one column")
+        self.columns: Dict[str, np.ndarray] = {
+            name: _as_column(vals) for name, vals in columns.items()
+        }
+        lengths = {len(v) for v in self.columns.values()}
+        if len(lengths) != 1:
+            raise ValidationError(
+                f"all columns must share one length, got {sorted(lengths)}"
+            )
+        self.axis_names: Tuple[str, ...] = tuple(axis_names)
+        missing = [a for a in self.axis_names if a not in self.columns]
+        if missing:
+            raise ValidationError(f"axis columns missing from table: {missing}")
+
+    # ------------------------------------------------------------------
+    # Shape and access
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        """Number of scenario points in the table."""
+        return len(next(iter(self.columns.values())))
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    @property
+    def metric_names(self) -> Tuple[str, ...]:
+        """Every non-axis column."""
+        return tuple(n for n in self.columns if n not in self.axis_names)
+
+    def column(self, name: str) -> np.ndarray:
+        """One column by name."""
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise ValidationError(
+                f"unknown column {name!r}; have {list(self.columns)}"
+            ) from None
+
+    def row(self, i: int) -> Dict[str, Any]:
+        """One row as a ``{column: value}`` dict."""
+        return {name: col[i] for name, col in self.columns.items()}
+
+    def rows(self) -> Iterator[Dict[str, Any]]:
+        """Iterate rows in sweep order."""
+        for i in range(self.n_rows):
+            yield self.row(i)
+
+    def unique(self, name: str) -> List[Any]:
+        """Distinct values of one column, in first-appearance order."""
+        seen: Dict[Any, None] = {}
+        for v in self.column(name):
+            seen.setdefault(v, None)
+        return list(seen)
+
+    # ------------------------------------------------------------------
+    # Filtering
+    # ------------------------------------------------------------------
+    def _masked(self, mask: np.ndarray) -> "SweepResult":
+        return SweepResult(
+            {name: col[mask] for name, col in self.columns.items()},
+            axis_names=self.axis_names,
+        )
+
+    def filter(self, **conditions: Any) -> "SweepResult":
+        """Rows where every named column equals the given value."""
+        mask = np.ones(self.n_rows, dtype=bool)
+        for name, value in conditions.items():
+            mask &= self.column(name) == value
+        return self._masked(mask)
+
+    def where(self, predicate: Callable[[Dict[str, Any]], bool]) -> "SweepResult":
+        """Rows where ``predicate(row_dict)`` is true."""
+        mask = np.fromiter(
+            (bool(predicate(row)) for row in self.rows()),
+            dtype=bool,
+            count=self.n_rows,
+        )
+        return self._masked(mask)
+
+    def argmin(self, metric: str) -> Dict[str, Any]:
+        """The row minimising ``metric``."""
+        return self.row(int(np.argmin(np.asarray(self.column(metric), dtype=float))))
+
+    def argmax(self, metric: str) -> Dict[str, Any]:
+        """The row maximising ``metric``."""
+        return self.row(int(np.argmax(np.asarray(self.column(metric), dtype=float))))
+
+    # ------------------------------------------------------------------
+    # Crossover extraction
+    # ------------------------------------------------------------------
+    def crossover(
+        self,
+        x: str,
+        metric: str = "speedup",
+        threshold: float = 1.0,
+        group_by: Sequence[str] = (),
+    ) -> List[Dict[str, Any]]:
+        """Where does ``metric`` first cross ``threshold`` along ``x``?
+
+        For each distinct combination of the ``group_by`` columns, rows
+        are sorted by ``x`` and the first sign change of
+        ``metric - threshold`` is located; the returned dicts carry the
+        group values plus ``x`` set to the linearly interpolated
+        crossing (``None`` when the metric stays below ``threshold``
+        over the whole swept range).  When the metric is already above
+        ``threshold`` at the smallest ``x``, that smallest ``x`` is
+        reported — the true crossing lies at or below the grid edge
+        (same convention as the regime-boundary locator in
+        :mod:`repro.analysis.regimes`); widen the grid to resolve it.
+        This is the grid-based counterpart of the closed-form
+        :func:`repro.analysis.crossover.crossover_bandwidth`.
+        """
+        x_col = np.asarray(self.column(x), dtype=float)
+        m_col = np.asarray(self.column(metric), dtype=float)
+        for g in group_by:
+            self.column(g)  # validate names early
+
+        groups: Dict[Tuple[Any, ...], List[int]] = {}
+        for i in range(self.n_rows):
+            key = tuple(self.column(g)[i] for g in group_by)
+            groups.setdefault(key, []).append(i)
+
+        out: List[Dict[str, Any]] = []
+        for key, idx in groups.items():
+            order = sorted(idx, key=lambda i: x_col[i])
+            xs = x_col[order]
+            ms = m_col[order]
+            crossing: Optional[float] = None
+            above = ms >= threshold
+            if above[0]:
+                crossing = float(xs[0])
+            else:
+                flips = np.nonzero(above)[0]
+                if flips.size:
+                    j = int(flips[0])
+                    x0, x1 = xs[j - 1], xs[j]
+                    m0, m1 = ms[j - 1], ms[j]
+                    frac = 0.0 if m1 == m0 else (threshold - m0) / (m1 - m0)
+                    crossing = float(x0 + frac * (x1 - x0))
+            entry = dict(zip(group_by, key))
+            entry[x] = crossing
+            out.append(entry)
+        return out
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _jsonable(value: Any) -> Any:
+        if isinstance(value, (np.integer,)):
+            return int(value)
+        if isinstance(value, (np.floating,)):
+            return float(value)
+        if isinstance(value, (np.bool_,)):
+            return bool(value)
+        if isinstance(value, (int, float, bool, str)) or value is None:
+            return value
+        return str(value)
+
+    def to_json(self, path: Optional[str] = None) -> str:
+        """Serialise the table (column-oriented JSON); optionally write
+        it to ``path``."""
+        payload = {
+            "axis_names": list(self.axis_names),
+            "n_rows": self.n_rows,
+            "columns": {
+                name: [self._jsonable(v) for v in col]
+                for name, col in self.columns.items()
+            },
+        }
+        text = json.dumps(payload, indent=2, sort_keys=False)
+        if path is not None:
+            pathlib.Path(path).write_text(text + "\n")
+        return text
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepResult":
+        """Rebuild a table from :meth:`to_json` output."""
+        payload = json.loads(text)
+        return cls(payload["columns"], axis_names=payload.get("axis_names", ()))
+
+    def to_csv(self, path: Optional[str] = None) -> str:
+        """Serialise the table as CSV (header + one row per point)."""
+        buf = io.StringIO()
+        writer = csv.writer(buf, lineterminator="\n")
+        names = list(self.columns)
+        writer.writerow(names)
+        for row in self.rows():
+            writer.writerow([self._jsonable(row[name]) for name in names])
+        text = buf.getvalue()
+        if path is not None:
+            pathlib.Path(path).write_text(text)
+        return text

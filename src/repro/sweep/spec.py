@@ -1,0 +1,285 @@
+"""Declarative sweep specifications.
+
+An :class:`Axis` is a named, ordered list of values.  A
+:class:`SweepSpec` composes axes into a scenario grid:
+
+- *grid* composition (:meth:`SweepSpec.grid`, :meth:`SweepSpec.product`)
+  takes the cartesian product — every combination is a point,
+- *zip* composition (:meth:`SweepSpec.zipped`, :meth:`SweepSpec.zip_with`)
+  advances axes in lock-step — axis ``i`` of every zipped group
+  contributes to point ``i`` (facility presets are the canonical use:
+  the facility *name* and its *data rate* move together).
+
+Internally a spec is a tuple of *blocks*; each block is a group of
+zipped axes of equal length and the full sweep is the cartesian product
+over blocks, first block varying slowest.  Enumeration order is
+deterministic and independent of how the sweep is later executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..workloads.facilities import all_facilities
+from ..workloads.instrument import Instrument
+
+__all__ = ["Axis", "SweepSpec", "facility_axes"]
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One named sweep dimension: an ordered tuple of values.
+
+    Values are usually floats but any hashable/serialisable object is
+    allowed (facility names, spawn strategies); non-numeric axes are
+    carried through to the result table untouched.
+    """
+
+    name: str
+    values: Tuple[Any, ...]
+
+    def __init__(self, name: str, values: Sequence[Any]) -> None:
+        if not name or not isinstance(name, str):
+            raise ValidationError(f"axis name must be a non-empty string, got {name!r}")
+        vals = tuple(values)
+        if not vals:
+            raise ValidationError(f"axis {name!r} must have at least one value")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "values", vals)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether every value is a plain number (sweepable through the
+        vectorized model path)."""
+        return all(isinstance(v, (int, float, np.integer, np.floating)) for v in self.values)
+
+    def as_array(self) -> np.ndarray:
+        """The values as a float array (numeric axes only)."""
+        if not self.is_numeric:
+            raise ValidationError(f"axis {self.name!r} is not numeric")
+        return np.asarray(self.values, dtype=float)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def linspace(cls, name: str, start: float, stop: float, num: int) -> "Axis":
+        """Evenly spaced axis (endpoints included)."""
+        if num < 1:
+            raise ValidationError(f"axis {name!r} needs num >= 1, got {num}")
+        return cls(name, tuple(float(v) for v in np.linspace(start, stop, num)))
+
+    @classmethod
+    def geomspace(cls, name: str, start: float, stop: float, num: int) -> "Axis":
+        """Logarithmically spaced axis (endpoints included)."""
+        if num < 1:
+            raise ValidationError(f"axis {name!r} needs num >= 1, got {num}")
+        if start <= 0 or stop <= 0:
+            raise ValidationError(
+                f"axis {name!r}: geomspace endpoints must be positive, "
+                f"got {start!r}..{stop!r}"
+            )
+        return cls(name, tuple(float(v) for v in np.geomspace(start, stop, num)))
+
+    @classmethod
+    def parse(cls, text: str) -> "Axis":
+        """Parse the CLI axis syntax ``name=SPEC`` where ``SPEC`` is
+
+        - an explicit list ``v1,v2,v3``, or
+        - a range ``start:stop:num`` (linear) or ``start:stop:num:log``.
+
+        Examples: ``bandwidth_gbps=1,10,100``,
+        ``s_unit_gb=0.5:50:20:log``.
+        """
+        if "=" not in text:
+            raise ValidationError(
+                f"axis spec {text!r} must look like name=v1,v2,... or "
+                f"name=start:stop:num[:log]"
+            )
+        name, _, body = text.partition("=")
+        name = name.strip()
+        body = body.strip()
+        if not name or not body:
+            raise ValidationError(f"axis spec {text!r} has an empty name or value list")
+        if ":" in body:
+            parts = body.split(":")
+            if len(parts) not in (3, 4) or (len(parts) == 4 and parts[3] != "log"):
+                raise ValidationError(
+                    f"axis range {body!r} must be start:stop:num or start:stop:num:log"
+                )
+            try:
+                start, stop, num = float(parts[0]), float(parts[1]), int(parts[2])
+            except ValueError as exc:
+                raise ValidationError(f"axis range {body!r}: {exc}") from exc
+            if len(parts) == 4:
+                return cls.geomspace(name, start, stop, num)
+            return cls.linspace(name, start, stop, num)
+        try:
+            values = tuple(float(v) for v in body.split(","))
+        except ValueError as exc:
+            raise ValidationError(f"axis list {body!r}: {exc}") from exc
+        return cls(name, values)
+
+
+class SweepSpec:
+    """A composed scenario grid: cartesian product of zipped axis blocks."""
+
+    def __init__(self, blocks: Sequence[Sequence[Axis]]) -> None:
+        norm: List[Tuple[Axis, ...]] = []
+        for block in blocks:
+            group = tuple(block)
+            if not group:
+                raise ValidationError("sweep blocks must be non-empty")
+            lengths = {len(a) for a in group}
+            if len(lengths) != 1:
+                raise ValidationError(
+                    "zipped axes must have equal lengths, got "
+                    + ", ".join(f"{a.name}={len(a)}" for a in group)
+                )
+            norm.append(group)
+        self.blocks: Tuple[Tuple[Axis, ...], ...] = tuple(norm)
+        names = [a.name for block in self.blocks for a in block]
+        dupes = {n for n in names if names.count(n) > 1}
+        if dupes:
+            raise ValidationError(f"duplicate sweep axis names: {sorted(dupes)}")
+        if not self.blocks:
+            raise ValidationError("a sweep needs at least one axis")
+
+    # ------------------------------------------------------------------
+    # Combinators
+    # ------------------------------------------------------------------
+    @classmethod
+    def grid(cls, *axes: Axis, **named: Sequence[Any]) -> "SweepSpec":
+        """Cartesian product: every axis is its own block.
+
+        Axes can be passed positionally or as ``name=values`` keywords.
+        """
+        all_axes = list(axes) + [Axis(n, v) for n, v in named.items()]
+        return cls([[a] for a in all_axes])
+
+    @classmethod
+    def zipped(cls, *axes: Axis, **named: Sequence[Any]) -> "SweepSpec":
+        """Lock-step composition: all axes form one block of equal length."""
+        all_axes = list(axes) + [Axis(n, v) for n, v in named.items()]
+        return cls([all_axes])
+
+    def product(self, other: "SweepSpec") -> "SweepSpec":
+        """Cartesian product of two specs (this spec varies slowest)."""
+        return SweepSpec(list(self.blocks) + list(other.blocks))
+
+    def zip_with(self, other: "SweepSpec") -> "SweepSpec":
+        """Zip two single-block specs into one lock-step block."""
+        if len(self.blocks) != 1 or len(other.blocks) != 1:
+            raise ValidationError("zip_with requires single-block specs on both sides")
+        return SweepSpec([list(self.blocks[0]) + list(other.blocks[0])])
+
+    # ------------------------------------------------------------------
+    # Enumeration
+    # ------------------------------------------------------------------
+    @property
+    def axis_names(self) -> Tuple[str, ...]:
+        """Every axis name, block order then in-block order."""
+        return tuple(a.name for block in self.blocks for a in block)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Length of each block (zipped axes count once)."""
+        return tuple(len(block[0]) for block in self.blocks)
+
+    @property
+    def n_points(self) -> int:
+        """Total number of scenario points."""
+        return int(np.prod(self.shape, dtype=np.int64))
+
+    def __len__(self) -> int:
+        return self.n_points
+
+    def axis(self, name: str) -> Axis:
+        """Look up one axis by name."""
+        for block in self.blocks:
+            for a in block:
+                if a.name == name:
+                    return a
+        raise ValidationError(
+            f"unknown sweep axis {name!r}; have {list(self.axis_names)}"
+        )
+
+    def index_grid(self) -> List[np.ndarray]:
+        """Per-block index arrays, each of length :attr:`n_points`, in
+        enumeration order — the vectorized equivalent of
+        :meth:`points`."""
+        grids = np.meshgrid(
+            *[np.arange(n) for n in self.shape], indexing="ij"
+        )
+        return [g.ravel() for g in grids]
+
+    def columns(self) -> Dict[str, np.ndarray]:
+        """One flat value column per axis, aligned with :meth:`points`.
+
+        Numeric axes yield float arrays; non-numeric axes yield object
+        arrays.
+        """
+        idx = self.index_grid()
+        out: Dict[str, np.ndarray] = {}
+        for bi, block in enumerate(self.blocks):
+            for a in block:
+                if a.is_numeric:
+                    vals = np.asarray(a.values, dtype=float)
+                else:
+                    vals = np.empty(len(a.values), dtype=object)
+                    vals[:] = a.values
+                out[a.name] = vals[idx[bi]]
+        return out
+
+    def points(self) -> Iterator[Dict[str, Any]]:
+        """Iterate scenario points as ``{axis: value}`` dicts in
+        deterministic order (first block slowest)."""
+        idx = self.index_grid()
+        for i in range(self.n_points):
+            point: Dict[str, Any] = {}
+            for bi, block in enumerate(self.blocks):
+                j = int(idx[bi][i])
+                for a in block:
+                    point[a.name] = a.values[j]
+            yield point
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        desc = " x ".join(
+            "(" + ", ".join(f"{a.name}[{len(a)}]" for a in block) + ")"
+            for block in self.blocks
+        )
+        return f"SweepSpec({desc}, n_points={self.n_points})"
+
+
+def facility_axes(
+    instruments: Optional[Sequence[Instrument]] = None,
+    unit_seconds: float = 1.0,
+) -> SweepSpec:
+    """Facility presets as a zipped sweep block.
+
+    For each instrument (default: every
+    :func:`repro.workloads.facilities.all_facilities` preset) the block
+    carries the facility name and the size of ``unit_seconds`` worth of
+    its post-reduction stream as ``s_unit_gb`` — the data unit the
+    decision model reasons about (the paper's "one second of stream"
+    convention).
+    """
+    insts = list(instruments) if instruments is not None else all_facilities()
+    if not insts:
+        raise ValidationError("facility_axes needs at least one instrument")
+    if unit_seconds <= 0:
+        raise ValidationError(f"unit_seconds must be > 0, got {unit_seconds!r}")
+    return SweepSpec.zipped(
+        Axis("facility", tuple(i.name for i in insts)),
+        Axis(
+            "s_unit_gb",
+            tuple(i.shipped_rate_gbytes_per_s * unit_seconds for i in insts),
+        ),
+    )

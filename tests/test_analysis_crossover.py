@@ -158,3 +158,51 @@ class TestDecisionMap:
             decision_map(
                 params(), "alpha", np.array([]), "theta", np.array([2.0])
             )
+
+
+class TestCrossoverFromSweep:
+    """Grid-based crossover extraction consuming sweep tables."""
+
+    def _sweep_table(self, p):
+        from repro.sweep import Axis, SweepSpec, run_model_sweep
+
+        spec = SweepSpec.grid(Axis.geomspace("bandwidth_gbps", 1.0, 1000.0, 400))
+        return run_model_sweep(spec, base=p)
+
+    def test_matches_closed_form(self):
+        from repro.analysis.crossover import crossover_from_sweep
+
+        p = params()
+        [entry] = crossover_from_sweep(self._sweep_table(p), x="bandwidth_gbps")
+        assert entry["bandwidth_gbps"] == pytest.approx(
+            crossover_bandwidth(p), rel=1e-3
+        )
+
+    def test_accepts_json_export(self):
+        from repro.analysis.crossover import crossover_from_sweep
+
+        p = params()
+        text = self._sweep_table(p).to_json()
+        [entry] = crossover_from_sweep(text, x="bandwidth_gbps")
+        assert entry["bandwidth_gbps"] == pytest.approx(
+            crossover_bandwidth(p), rel=1e-3
+        )
+
+    def test_grouped_by_theta(self):
+        from repro.sweep import Axis, SweepSpec, run_model_sweep
+        from repro.analysis.crossover import crossover_from_sweep
+
+        p = params()
+        spec = SweepSpec.grid(
+            Axis("theta", (1.0, 2.0)),
+            Axis.geomspace("bandwidth_gbps", 1.0, 1000.0, 400),
+        )
+        entries = crossover_from_sweep(
+            run_model_sweep(spec, base=p),
+            x="bandwidth_gbps",
+            group_by=("theta",),
+        )
+        by_theta = {e["theta"]: e["bandwidth_gbps"] for e in entries}
+        # Streaming (theta=1) crosses at lower bandwidth than file-based.
+        assert by_theta[1.0] < by_theta[2.0]
+        assert by_theta[2.0] == pytest.approx(crossover_bandwidth(p), rel=1e-3)

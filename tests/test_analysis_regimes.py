@@ -90,3 +90,61 @@ class TestBudget:
     def test_bad_deadline(self):
         with pytest.raises(MeasurementError):
             utilization_budget(curve(), deadline_s=0.0)
+
+
+class TestBreakdownFromTables:
+    """The array/sweep-table entry points mirror the curve-based one."""
+
+    def test_table_matches_curve(self):
+        from repro.analysis.regimes import regime_breakdown_from_table
+
+        c = curve()
+        a = regime_breakdown(c)
+        b = regime_breakdown_from_table(c.utilizations, c.t_worst_values)
+        assert a.regimes == b.regimes
+        assert a.low_to_moderate_utilization == pytest.approx(
+            b.low_to_moderate_utilization
+        )
+        assert a.moderate_to_severe_utilization == pytest.approx(
+            b.moderate_to_severe_utilization
+        )
+
+    def test_mismatched_columns_rejected(self):
+        from repro.analysis.regimes import regime_breakdown_from_table
+
+        with pytest.raises(MeasurementError):
+            regime_breakdown_from_table(np.array([0.1, 0.2]), np.array([1.0]))
+
+    def test_empty_rejected(self):
+        from repro.analysis.regimes import regime_breakdown_from_table
+
+        with pytest.raises(MeasurementError):
+            regime_breakdown_from_table(np.array([]), np.array([]))
+
+    def test_from_sweep_result_sorts_by_x(self):
+        from repro.analysis.regimes import regime_breakdown_from_sweep
+        from repro.sweep import SweepResult
+
+        # Rows deliberately out of order; breakdown must sort by load.
+        table = SweepResult(
+            {
+                "offered_utilization": [0.96, 0.16, 0.64],
+                "t_worst_s": [6.0, 0.3, 1.5],
+            },
+            axis_names=("offered_utilization",),
+        )
+        b = regime_breakdown_from_sweep(table)
+        assert list(b.utilizations) == [0.16, 0.64, 0.96]
+        assert b.regimes[0] is CongestionRegime.LOW
+        assert b.regimes[-1] is CongestionRegime.SEVERE
+
+    def test_from_sweep_accepts_json(self):
+        from repro.analysis.regimes import regime_breakdown_from_sweep
+        from repro.sweep import SweepResult
+
+        table = SweepResult(
+            {"offered_utilization": [0.2, 0.9], "t_worst_s": [0.4, 4.0]},
+            axis_names=("offered_utilization",),
+        )
+        b = regime_breakdown_from_sweep(table.to_json())
+        assert len(b.regimes) == 2

@@ -1,0 +1,172 @@
+"""The ``repro sweep`` CLI command: parsing, formats, determinism."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+BASE_ARGS = ["sweep", "--axis", "bandwidth_gbps=5,25,100"]
+
+
+class TestSpecParsing:
+    def test_requires_some_axis(self, capsys):
+        with pytest.raises(Exception, match="--axis, --zip or --facilities"):
+            main(["sweep"])
+
+    def test_malformed_axis_rejected(self):
+        with pytest.raises(Exception, match="axis"):
+            main(["sweep", "--axis", "nonsense"])
+
+    def test_bad_set_override_rejected(self):
+        with pytest.raises(Exception, match="--set"):
+            main(BASE_ARGS + ["--set", "theta"])
+
+    def test_unknown_set_parameter_rejected(self):
+        with pytest.raises(Exception, match="unknown base parameter"):
+            main(BASE_ARGS + ["--set", "warp_factor=9"])
+
+    def test_zero_bandwidth_names_axis(self):
+        with pytest.raises(Exception, match="bandwidth_gbps"):
+            main(["sweep", "--axis", "bandwidth_gbps=0,25"])
+
+
+class TestOutputFormats:
+    def test_table_format(self, capsys):
+        assert main(BASE_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "Scenario sweep (3 points" in out
+        assert "bandwidth_gbps" in out and "t_pct" in out
+
+    def test_json_format(self, capsys):
+        assert main(BASE_ARGS + ["--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_rows"] == 3
+        assert payload["axis_names"] == ["bandwidth_gbps"]
+        assert len(payload["columns"]["speedup"]) == 3
+
+    def test_csv_format(self, capsys):
+        assert main(BASE_ARGS + ["--format", "csv"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("bandwidth_gbps,")
+        assert len(lines) == 4
+
+    def test_output_file(self, capsys, tmp_path):
+        path = tmp_path / "sweep.json"
+        assert main(BASE_ARGS + ["--format", "json", "--output", str(path)]) == 0
+        assert json.loads(path.read_text())["n_rows"] == 3
+
+    def test_metric_selection(self, capsys):
+        assert main(BASE_ARGS + ["--metrics", "t_pct,speedup", "--format", "csv"]) == 0
+        header = capsys.readouterr().out.splitlines()[0]
+        assert header == "bandwidth_gbps,t_pct,speedup"
+
+    def test_crossover_summary(self, capsys):
+        assert main(
+            ["sweep", "--axis", "bandwidth_gbps=1:400:50:log",
+             "--crossover-x", "bandwidth_gbps"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "speedup=1 crossovers along bandwidth_gbps" in out
+
+    def test_crossover_works_without_speedup_in_metrics(self, capsys):
+        """--crossover-x must not crash when --metrics omits speedup;
+        the speedup column is added for the summary."""
+        assert main(
+            ["sweep", "--axis", "bandwidth_gbps=1:400:50:log",
+             "--metrics", "t_pct", "--crossover-x", "bandwidth_gbps"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "speedup=1 crossovers along bandwidth_gbps" in out
+
+    def test_crossover_keeps_json_stdout_parseable(self, capsys):
+        """With --format json the crossover summary goes to stderr so
+        stdout stays machine-readable."""
+        assert main(
+            ["sweep", "--axis", "bandwidth_gbps=1:400:10:log",
+             "--format", "json", "--crossover-x", "bandwidth_gbps"]
+        ) == 0
+        captured = capsys.readouterr()
+        json.loads(captured.out)  # must parse cleanly
+        assert "crossovers along bandwidth_gbps" in captured.err
+
+    def test_unknown_metric_rejected_in_process_mode_too(self):
+        with pytest.raises(Exception, match="unknown sweep metrics"):
+            main(BASE_ARGS + ["--metrics", "nope", "--mode", "process"])
+
+    def test_output_file_includes_crossover_summary(self, capsys, tmp_path):
+        """The saved table must match stdout, crossover summary included."""
+        path = tmp_path / "sweep.txt"
+        assert main(
+            ["sweep", "--axis", "bandwidth_gbps=1:400:10:log",
+             "--crossover-x", "bandwidth_gbps", "--output", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        saved = path.read_text()
+        assert "speedup=1 crossovers along bandwidth_gbps" in saved
+        assert saved.strip() == out.strip()
+
+    def test_facilities_block(self, capsys):
+        assert main(
+            ["sweep", "--facilities", "--axis", "bandwidth_gbps=25,100",
+             "--format", "csv"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "APS tomography" in out and "FRIB/DELERIA" in out
+        assert len(out.strip().splitlines()) == 1 + 4 * 2
+
+    def test_zip_axes(self, capsys):
+        assert main(
+            ["sweep", "--zip", "s_unit_gb=1,2", "--zip", "bandwidth_gbps=25,100",
+             "--format", "csv"]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3  # zipped, not a 2x2 product
+
+
+class TestDeterminism:
+    """Identical output across modes and worker counts."""
+
+    def _run(self, extra):
+        from repro.cli import main as cli_main
+        import io
+        from contextlib import redirect_stdout
+
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            assert cli_main(BASE_ARGS + ["--format", "csv"] + extra) == 0
+        return buf.getvalue()
+
+    def test_process_mode_matches_vectorized(self):
+        vec = self._run(["--mode", "vectorized"])
+        proc = self._run(["--mode", "process"])
+        vec_rows = [line.split(",") for line in vec.strip().splitlines()]
+        proc_rows = [line.split(",") for line in proc.strip().splitlines()]
+        assert vec_rows[0] == proc_rows[0]
+        for a, b in zip(vec_rows[1:], proc_rows[1:]):
+            for x, y in zip(a, b):
+                if x in ("True", "False"):
+                    assert x == y
+                else:
+                    assert float(x) == pytest.approx(float(y), rel=1e-9)
+
+    def test_one_vs_many_workers_identical(self):
+        one = self._run(["--mode", "process", "--workers", "1"])
+        many = self._run(["--mode", "process", "--workers", "4"])
+        assert one == many
+
+
+class TestPresets:
+    def test_lcls_preset_changes_numbers(self, capsys):
+        assert main(BASE_ARGS + ["--format", "json"]) == 0
+        aps = json.loads(capsys.readouterr().out)
+        assert main(BASE_ARGS + ["--preset", "lcls", "--format", "json"]) == 0
+        lcls = json.loads(capsys.readouterr().out)
+        assert aps["columns"]["t_local"] != lcls["columns"]["t_local"]
+
+    def test_set_override_applies(self, capsys):
+        assert main(BASE_ARGS + ["--set", "theta=1", "--format", "json"]) == 0
+        streaming = json.loads(capsys.readouterr().out)
+        assert all(v == 0.0 for v in streaming["columns"]["t_io"])

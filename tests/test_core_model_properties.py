@@ -96,6 +96,66 @@ def test_gain_increases_with_r_to_asymptote(c, rl, bw, a, th):
     assert gains[-1] <= gain_mod.asymptotic_gain(a, th, k) * (1 + 1e-9)
 
 
+@given(sizes, complexities, rates, alphas, rs, thetas)
+def test_speedup_monotone_in_bandwidth(s, c, rl, a, r, th):
+    """More bandwidth never hurts remote processing.  (Non-strict: when
+    the compute term dwarfs the transfer term the float speedups can
+    tie; strictness is pinned by the deterministic test below.)"""
+    bw = np.array([0.1, 1.0, 10.0, 100.0, 1000.0])
+    out = model.speedup(s, c, rl, bw, alpha=a, r=r, theta=th)
+    assert np.all(np.diff(out) >= 0)
+
+
+def test_speedup_strictly_increasing_in_bandwidth_when_transfer_bound():
+    bw = np.array([1.0, 5.0, 25.0, 100.0, 400.0])
+    out = model.speedup(2.0, 17e12, 10.0, bw, alpha=0.8, r=10.0, theta=3.0)
+    assert np.all(np.diff(out) > 0)
+
+
+@given(sizes, complexities, rates, bandwidths, alphas, rs, thetas)
+def test_tpct_at_least_t_transfer(s, c, rl, bw, a, r, th):
+    """T_pct >= T_transfer: remote completion includes at least the
+    (theta >= 1) transfer itself."""
+    assert model.t_pct(s, c, rl, bw, alpha=a, r=r, theta=th) >= (
+        model.t_transfer(s, bw, a) * (1 - 1e-12)
+    )
+
+
+@given(
+    st.lists(bandwidths, min_size=1, max_size=8),
+    sizes, complexities, rates, alphas, rs, thetas,
+)
+@settings(max_examples=50)
+def test_scalar_vs_array_broadcasting_agree(bws, s, c, rl, a, r, th):
+    """One vectorized call over an axis equals the per-scalar loop,
+    elementwise — the guarantee the sweep fast path rests on."""
+    arr = np.asarray(bws, dtype=float)
+    for fn, args in [
+        (model.t_transfer, lambda b: (s, b, a)),
+        (model.t_pct, lambda b: (s, c, rl, b)),
+        (model.speedup, lambda b: (s, c, rl, b)),
+    ]:
+        kw = {} if fn is model.t_transfer else dict(alpha=a, r=r, theta=th)
+        vec = np.asarray(fn(*args(arr), **kw))
+        assert vec.shape == arr.shape
+        for i, b in enumerate(bws):
+            assert vec[i] == fn(*args(b), **kw)
+
+
+@given(sizes, sizes, bandwidths, bandwidths, complexities, rates, alphas, rs, thetas)
+@settings(max_examples=50)
+def test_2d_broadcasting_agrees_with_nested_loops(s1, s2, b1, b2, c, rl, a, r, th):
+    """Outer-product broadcasting (size column x bandwidth row) matches
+    the nested scalar loops cell by cell."""
+    s_col = np.array([[s1], [s2]])
+    bw_row = np.array([b1, b2])
+    grid = model.t_pct(s_col, c, rl, bw_row, alpha=a, r=r, theta=th)
+    assert grid.shape == (2, 2)
+    for i, s in enumerate((s1, s2)):
+        for j, bw in enumerate((b1, b2)):
+            assert grid[i, j] == model.t_pct(s, c, rl, bw, alpha=a, r=r, theta=th)
+
+
 @given(complexities, rates, bandwidths, alphas, thetas)
 @settings(max_examples=50)
 def test_break_even_theta_is_exact(c, rl, bw, a, th):

@@ -1,0 +1,92 @@
+"""Golden regression tests pinning headline artifact numbers.
+
+The sweep-engine substrate under ``bench_fig2a`` / ``bench_fig4`` /
+``bench_table2`` is refactor-prone (vectorization, process executors,
+caching); these tests pin the actual numbers the scaled-down paths
+produce so a refactor cannot silently shift paper results.  All inputs
+are seeded and deterministic, so tolerances are tight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.iperfsim.runner import run_sweep
+from repro.iperfsim.spec import SpawnStrategy, table2_sweep
+from repro.streaming.comparison import run_figure4
+
+RTOL = 1e-9
+
+#: Figure 2(a) scaled-down golden (duration 2 s, seed 0): max transfer
+#: time per offered load, one curve per parallel-flow count.
+FIG2A_UTILIZATIONS = [0.16, 0.32, 0.48, 0.64, 0.80, 0.96, 1.12, 1.28]
+FIG2A_MAX_T = {
+    2: [0.3129461248759209, 0.45689114938035674, 0.6556018928239931,
+        0.8646173326816697, 1.1218009267269862, 2.3036018928239934,
+        3.6658009267269875, 2.7926173326816706],
+    4: [0.2970217922206706, 0.44489114938035673, 0.8076018928239932,
+        1.2167749181069485, 2.1916018928239933, 2.668891149380358,
+        2.951601892823994, 3.0246173326816708],
+    8: [0.2811731269101698, 0.5288911493803568, 0.780891149380357,
+        1.1396018928239933, 1.8076018928239932, 2.3076018928239934,
+        2.715601892823994, 2.954115103170482],
+}
+
+#: Figure 4 golden: completion time (s) per (interval, method, n_files).
+FIG4_COMPLETIONS = {
+    (0.033, "streaming", None): 47.531355443200006,
+    (0.033, "file", 1): 56.270135436800004,
+    (0.033, "file", 10): 49.31228841728001,
+    (0.033, "file", 144): 153.84499206399983,
+    (0.033, "file", 1440): 1480.6519920639596,
+    (0.33, "streaming", None): 475.21135544320003,
+    (0.33, "file", 1): 483.95013543680005,
+    (0.33, "file", 10): 476.99228841728007,
+    (0.33, "file", 144): 476.285137344,
+    (0.33, "file", 1440): 1480.9489920639596,
+}
+
+#: Table 2 golden: the full sweep enumeration order.
+TABLE2_ORDER = [
+    (c, p) for p in (2, 4, 8) for c in range(1, 9)
+]
+
+
+@pytest.mark.slow
+def test_fig2a_scaled_curves_golden():
+    sweep = run_sweep(
+        table2_sweep(strategy=SpawnStrategy.BATCH, duration_s=2.0), seeds=(0,)
+    )
+    assert sorted(sweep.parallel_flow_values()) == sorted(FIG2A_MAX_T)
+    for p, golden in FIG2A_MAX_T.items():
+        util, max_t = sweep.curve(p)
+        np.testing.assert_allclose(util, FIG2A_UTILIZATIONS, rtol=RTOL)
+        np.testing.assert_allclose(max_t, golden, rtol=RTOL)
+
+
+def test_fig4_completions_golden():
+    results = run_figure4()
+    seen = {}
+    for interval, comp in results.items():
+        for o in comp.outcomes:
+            seen[(interval, o.method, o.n_files)] = o.completion_s
+    assert set(seen) == set(FIG4_COMPLETIONS)
+    for key, golden in FIG4_COMPLETIONS.items():
+        assert seen[key] == pytest.approx(golden, rel=RTOL), key
+
+
+def test_fig4_headline_reduction_golden():
+    """The paper's headline form: streaming's reduction vs 1,440 files."""
+    comp = run_figure4()[0.033]
+    assert comp.reduction_vs_file_pct(1440) == pytest.approx(
+        100.0 * (1.0 - 47.531355443200006 / 1480.6519920639596), rel=RTOL
+    )
+
+
+def test_table2_sweep_order_golden():
+    specs = table2_sweep()
+    assert [(s.concurrency, s.parallel_flows) for s in specs] == TABLE2_ORDER
+    assert [s.offered_utilization() for s in specs] == pytest.approx(
+        [c * 0.5 * 8.0 / 25.0 for c, _ in TABLE2_ORDER], rel=RTOL
+    )

@@ -12,6 +12,8 @@ import pytest
 from repro.casestudy.lcls2 import run_case_study
 from repro.measurement.congestion import measure_sss_curve
 
+pytestmark = pytest.mark.slow  # simnet-heavy; tier-1 fast path skips it
+
 
 @pytest.fixture(scope="module")
 def measured_report():

@@ -13,6 +13,8 @@ from repro.core.sss import theoretical_transfer_time
 from repro.iperfsim.runner import run_sweep
 from repro.iperfsim.spec import ExperimentSpec, SpawnStrategy
 
+pytestmark = pytest.mark.slow  # simnet-heavy; tier-1 fast path skips it
+
 DURATION = 5.0
 
 

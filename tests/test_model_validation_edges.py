@@ -1,0 +1,85 @@
+"""Regression tests: invalid rates reach the model as clean errors.
+
+Zero or negative bandwidth/TFLOPS handed to ``t_transfer``/``t_local``
+(directly or through ``speedup``/``t_pct``) must raise a
+:class:`ValidationError` naming the offending argument — never emit
+numpy inf/divide warnings or return silent infs.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import model
+from repro.errors import ValidationError
+
+
+@pytest.fixture(autouse=True)
+def warnings_are_errors():
+    """Any numpy RuntimeWarning escaping the model is a failure."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        yield
+
+
+class TestScalarInputs:
+    @pytest.mark.parametrize("bad", [0.0, -25.0])
+    def test_t_transfer_bad_bandwidth(self, bad):
+        with pytest.raises(ValidationError, match="bandwidth_gbps"):
+            model.t_transfer(1.0, bad)
+
+    @pytest.mark.parametrize("bad", [0.0, -10.0])
+    def test_t_local_bad_rate(self, bad):
+        with pytest.raises(ValidationError, match="r_local_tflops"):
+            model.t_local(1.0, 1e12, bad)
+
+    def test_t_remote_bad_local_rate_names_input_value(self):
+        """The error must name the value the caller passed, not the
+        r * R_local product (regression: -10 used to surface as -20)."""
+        with pytest.raises(ValidationError, match=r"r_local_tflops.*-10"):
+            model.t_remote(1.0, 1e12, -10.0, 2.0)
+
+    def test_t_remote_double_negative_rejected(self):
+        """Negative rate times negative ratio must not slip through as a
+        positive product."""
+        with pytest.raises(ValidationError):
+            model.t_remote(1.0, 1e12, -10.0, -2.0)
+
+    @pytest.mark.parametrize("bad", [0.0, -5.0])
+    def test_speedup_bad_bandwidth(self, bad):
+        with pytest.raises(ValidationError, match="bandwidth_gbps"):
+            model.speedup(1.0, 1e12, 10.0, bad)
+
+    def test_t_pct_zero_local_rate(self):
+        with pytest.raises(ValidationError, match="r_local_tflops"):
+            model.t_pct(1.0, 1e12, 0.0, 25.0)
+
+    def test_non_finite_bandwidth(self):
+        with pytest.raises(ValidationError, match="bandwidth_gbps"):
+            model.t_transfer(1.0, float("nan"))
+
+
+class TestArrayInputs:
+    def test_array_with_one_zero_bandwidth(self):
+        with pytest.raises(ValidationError, match="bandwidth_gbps"):
+            model.t_transfer(1.0, np.array([25.0, 0.0, 100.0]))
+
+    def test_array_with_negative_rate(self):
+        with pytest.raises(ValidationError, match="r_local_tflops"):
+            model.t_local(1.0, 1e12, np.array([10.0, -1.0]))
+
+    def test_valid_arrays_emit_no_warnings(self):
+        out = model.speedup(
+            np.array([1.0, 10.0]), 1e12, 10.0, np.array([5.0, 500.0]), r=10.0
+        )
+        assert np.all(np.isfinite(out))
+
+    def test_zero_complexity_is_legal_not_warning(self):
+        """C = 0 models pure data movement: T_local = 0, speedup = 0,
+        and no divide warning anywhere."""
+        assert model.t_local(1.0, 0.0, 10.0) == 0.0
+        assert model.speedup(1.0, 0.0, 10.0, 25.0, r=10.0) == 0.0
+        assert not model.remote_is_faster(1.0, 0.0, 10.0, 25.0, r=10.0)

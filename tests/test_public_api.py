@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.measurement",
     "repro.analysis",
     "repro.casestudy",
+    "repro.sweep",
 ]
 
 MODULES = [
@@ -68,6 +69,10 @@ MODULES = [
     "repro.analysis.tiers",
     "repro.analysis.report",
     "repro.casestudy.lcls2",
+    "repro.sweep.spec",
+    "repro.sweep.engine",
+    "repro.sweep.result",
+    "repro.sweep.cache",
 ]
 
 

@@ -1,0 +1,298 @@
+"""Sweep execution: vectorized fast path, process executor, caching."""
+
+from __future__ import annotations
+
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.core import model
+from repro.core.parameters import ModelParameters, aps_to_alcf_defaults
+from repro.errors import ValidationError
+from repro.sweep import (
+    Axis,
+    ResultCache,
+    SweepSpec,
+    content_hash,
+    evaluate_point,
+    facility_axes,
+    parallel_map,
+    run_model_sweep,
+    run_sweep,
+)
+
+BASE = aps_to_alcf_defaults()
+
+
+def _grid(n_bw: int = 6, n_s: int = 3) -> SweepSpec:
+    return SweepSpec.grid(
+        Axis.geomspace("bandwidth_gbps", 1.0, 400.0, n_bw),
+        Axis.geomspace("s_unit_gb", 0.5, 50.0, n_s),
+    )
+
+
+class TestVectorizedPath:
+    def test_matches_per_point_evaluation(self):
+        """The vectorized broadcast and the scalar evaluate() loop are
+        the same model; every metric must agree elementwise."""
+        spec = _grid()
+        table = run_model_sweep(spec, base=BASE)
+        reference = run_sweep(spec, partial(evaluate_point, base=BASE.as_dict()))
+        assert table.n_rows == reference.n_rows == spec.n_points
+        for m in ("t_local", "t_transfer", "t_io", "t_remote", "t_pct", "speedup"):
+            np.testing.assert_allclose(
+                np.asarray(table.column(m), dtype=float),
+                np.asarray(reference.column(m), dtype=float),
+                rtol=1e-12,
+                err_msg=m,
+            )
+        assert np.array_equal(
+            np.asarray(table.column("remote_is_faster"), dtype=bool),
+            np.asarray(reference.column("remote_is_faster"), dtype=bool),
+        )
+
+    def test_sweeping_r_remote_tflops(self):
+        spec = SweepSpec.grid(Axis("r_remote_tflops", (10.0, 50.0, 500.0)))
+        table = run_model_sweep(spec, base=BASE)
+        expected = [
+            model.t_pct(
+                BASE.s_unit_gb, BASE.complexity_flop_per_gb, BASE.r_local_tflops,
+                BASE.bandwidth_gbps, alpha=BASE.alpha,
+                r=rr / BASE.r_local_tflops, theta=BASE.theta,
+            )
+            for rr in (10.0, 50.0, 500.0)
+        ]
+        np.testing.assert_allclose(table.column("t_pct"), expected, rtol=1e-12)
+
+    def test_sweeping_r_local_keeps_remote_absolute(self):
+        """Sweeping the local rate must not silently rescale the remote
+        machine: the base's r_remote_tflops stays absolute, and both
+        execution modes agree (regression)."""
+        spec = SweepSpec.grid(Axis("r_local_tflops", (5.0, 50.0)))
+        table = run_model_sweep(spec, base=BASE)
+        reference = run_sweep(spec, partial(evaluate_point, base=BASE.as_dict()))
+        for m in ("t_remote", "t_pct", "speedup"):
+            np.testing.assert_allclose(
+                np.asarray(table.column(m), dtype=float),
+                np.asarray(reference.column(m), dtype=float),
+                rtol=1e-12,
+                err_msg=m,
+            )
+        # Same absolute remote machine -> identical T_remote either way.
+        assert float(table.column("t_remote")[0]) == pytest.approx(
+            float(table.column("t_remote")[1]), rel=1e-12
+        )
+
+    def test_sweeping_r_directly(self):
+        spec = SweepSpec.grid(Axis("r", (1.0, 10.0)))
+        table = run_model_sweep(spec, base=BASE)
+        assert table.column("speedup")[1] > table.column("speedup")[0]
+
+    def test_r_and_r_remote_together_rejected(self):
+        spec = SweepSpec.grid(Axis("r", (2.0,)), Axis("r_remote_tflops", (50.0,)))
+        with pytest.raises(ValidationError, match="redundant"):
+            run_model_sweep(spec, base=BASE)
+
+    def test_non_model_axes_carried_through(self):
+        spec = facility_axes().product(
+            SweepSpec.grid(Axis("bandwidth_gbps", (25.0, 100.0)))
+        )
+        table = run_model_sweep(spec, base=BASE)
+        assert "facility" in table.axis_names
+        assert len(table.unique("facility")) == 4
+
+    def test_metric_subset(self):
+        table = run_model_sweep(_grid(3, 2), base=BASE, metrics=("t_pct", "speedup"))
+        assert set(table.metric_names) == {"t_pct", "speedup"}
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValidationError, match="unknown sweep metrics"):
+            run_model_sweep(_grid(2, 2), base=BASE, metrics=("t_pct", "nope"))
+
+    def test_missing_parameter_without_base(self):
+        spec = SweepSpec.grid(Axis("bandwidth_gbps", (25.0,)))
+        with pytest.raises(ValidationError, match="neither swept nor supplied"):
+            run_model_sweep(spec)
+
+    def test_no_base_needed_when_fully_swept(self):
+        spec = SweepSpec.grid(
+            Axis("s_unit_gb", (2.0,)),
+            Axis("complexity_flop_per_gb", (17e12,)),
+            Axis("r_local_tflops", (10.0,)),
+            Axis("r_remote_tflops", (100.0,)),
+            Axis("bandwidth_gbps", (25.0,)),
+        )
+        table = run_model_sweep(spec)
+        params = ModelParameters(
+            s_unit_gb=2.0, complexity_flop_per_gb=17e12, r_local_tflops=10.0,
+            r_remote_tflops=100.0, bandwidth_gbps=25.0,
+        )
+        assert float(table.column("t_pct")[0]) == pytest.approx(
+            model.evaluate(params).t_pct, rel=1e-12
+        )
+
+
+class TestAxisValidation:
+    """Zero/negative bandwidth or TFLOPS must raise ValidationError
+    naming the offending axis — not emit numpy inf/div warnings."""
+
+    @pytest.mark.parametrize(
+        "axis,bad",
+        [
+            ("bandwidth_gbps", 0.0),
+            ("bandwidth_gbps", -25.0),
+            ("r_local_tflops", 0.0),
+            ("r_remote_tflops", -1.0),
+            ("s_unit_gb", 0.0),
+        ],
+    )
+    def test_zero_and_negative_rejected_with_axis_name(self, recwarn, axis, bad):
+        spec = SweepSpec.grid(Axis(axis, (1.0, bad, 10.0)))
+        with pytest.raises(ValidationError, match=axis):
+            run_model_sweep(spec, base=BASE)
+        assert not [w for w in recwarn if issubclass(w.category, RuntimeWarning)]
+
+    def test_negative_complexity_rejected(self):
+        spec = SweepSpec.grid(Axis("complexity_flop_per_gb", (-1.0,)))
+        with pytest.raises(ValidationError, match="complexity_flop_per_gb"):
+            run_model_sweep(spec, base=BASE)
+
+    def test_alpha_above_one_rejected(self):
+        spec = SweepSpec.grid(Axis("alpha", (0.5, 1.5)))
+        with pytest.raises(ValidationError, match="alpha"):
+            run_model_sweep(spec, base=BASE)
+
+    def test_theta_below_one_rejected(self):
+        spec = SweepSpec.grid(Axis("theta", (0.5,)))
+        with pytest.raises(ValidationError, match="theta"):
+            run_model_sweep(spec, base=BASE)
+
+    def test_non_finite_rejected(self):
+        spec = SweepSpec.grid(Axis("bandwidth_gbps", (25.0, float("inf"))))
+        with pytest.raises(ValidationError, match="bandwidth_gbps"):
+            run_model_sweep(spec, base=BASE)
+
+
+def _square(x: float) -> float:
+    return x * x
+
+
+def _fail_on_three(x: float) -> float:
+    if x == 3:
+        raise RuntimeError("boom")
+    return x
+
+
+class TestParallelMap:
+    def test_serial(self):
+        assert parallel_map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_deterministic_across_worker_counts(self):
+        items = list(range(23))
+        serial = parallel_map(_square, items, workers=1)
+        for workers in (2, 4):
+            assert parallel_map(_square, items, workers=workers) == serial
+
+    def test_chunking_preserves_order(self):
+        items = list(range(17))
+        assert parallel_map(_square, items, workers=3, chunk_size=2) == [
+            i * i for i in items
+        ]
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValidationError, match="workers"):
+            parallel_map(_square, [1], workers=-1)
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            parallel_map(_fail_on_three, [1, 2, 3, 4], workers=2, chunk_size=1)
+
+    def test_cache_skips_recomputation(self):
+        cache = ResultCache()
+        items = [1.0, 2.0, 3.0]
+        first = parallel_map(_square, items, cache=cache)
+        assert cache.misses == 3 and cache.hits == 0
+        second = parallel_map(_square, items + [4.0], cache=cache)
+        assert second == [1.0, 4.0, 9.0, 16.0]
+        assert cache.hits == 3 and cache.misses == 4
+
+    def test_cache_persists_to_disk(self, tmp_path):
+        cache = ResultCache(directory=str(tmp_path))
+        parallel_map(_square, [2.0], cache=cache)
+        fresh = ResultCache(directory=str(tmp_path))
+        assert parallel_map(_square, [2.0], cache=fresh) == [4.0]
+        assert fresh.hits == 1 and fresh.misses == 0
+
+    def test_cached_none_result_is_a_hit_not_a_miss(self):
+        cache = ResultCache()
+        counter = {"calls": 0}
+
+        def returns_none(x):
+            counter["calls"] += 1
+            return None
+
+        assert parallel_map(returns_none, [1.0], cache=cache) == [None]
+        assert parallel_map(returns_none, [1.0], cache=cache) == [None]
+        # The second run must come from the cache, not re-evaluation.
+        assert counter["calls"] == 1
+        assert cache.misses == 1
+
+    def test_content_hash_distinguishes_fn_and_item(self):
+        assert content_hash(_square, 2.0) != content_hash(_square, 3.0)
+        assert content_hash(_square, 2.0) != content_hash(_fail_on_three, 2.0)
+        # partial bindings are part of the key
+        assert content_hash(partial(_square), 2.0) != content_hash(
+            partial(_fail_on_three), 2.0
+        )
+
+    def test_content_hash_stable_for_dict_order(self):
+        assert content_hash(None, {"a": 1, "b": 2.0}) == content_hash(
+            None, {"b": 2.0, "a": 1}
+        )
+
+
+class TestRunSweep:
+    def test_dict_results_become_columns(self):
+        spec = SweepSpec.grid(Axis("bandwidth_gbps", (5.0, 25.0)))
+        table = run_sweep(spec, partial(evaluate_point, base=BASE.as_dict()))
+        assert "t_pct" in table.metric_names
+        assert table.n_rows == 2
+
+    def test_scalar_results_become_value_column(self):
+        spec = SweepSpec.grid(Axis("x", (1.0, 2.0, 3.0)))
+        table = run_sweep(spec, lambda pt: pt["x"] * 10)
+        np.testing.assert_allclose(table.column("value"), [10.0, 20.0, 30.0])
+
+    def test_metric_axis_collision_rejected(self):
+        spec = SweepSpec.grid(Axis("t_pct", (1.0,)))
+        with pytest.raises(ValidationError, match="collides"):
+            run_sweep(spec, lambda pt: {"t_pct": 1.0})
+
+    def test_workers_produce_identical_tables(self):
+        spec = _grid(4, 3)
+        fn = partial(evaluate_point, base=BASE.as_dict())
+        serial = run_sweep(spec, fn, workers=1)
+        parallel = run_sweep(spec, fn, workers=4)
+        for name in serial.columns:
+            np.testing.assert_array_equal(
+                serial.column(name), parallel.column(name), err_msg=name
+            )
+
+
+class TestEvaluatePoint:
+    def test_point_overrides_base(self):
+        out = evaluate_point({"bandwidth_gbps": 100.0}, base=BASE.as_dict())
+        assert out["t_transfer"] == pytest.approx(
+            model.t_transfer(BASE.s_unit_gb, 100.0, BASE.alpha), rel=1e-12
+        )
+
+    def test_r_axis_overrides_base_remote(self):
+        out = evaluate_point({"r": 100.0}, base=BASE.as_dict())
+        direct = evaluate_point({}, base=BASE.as_dict())
+        assert out["t_remote"] < direct["t_remote"]
+
+    def test_missing_remote_speed_rejected(self):
+        with pytest.raises(ValidationError, match="remote speed"):
+            evaluate_point({"s_unit_gb": 1.0, "complexity_flop_per_gb": 1e12,
+                            "r_local_tflops": 10.0, "bandwidth_gbps": 25.0})

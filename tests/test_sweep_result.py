@@ -1,0 +1,155 @@
+"""SweepResult tables: filtering, crossover extraction, export."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.sweep import SweepResult
+
+
+@pytest.fixture
+def table() -> SweepResult:
+    """A small two-axis table with a known speedup=1 crossing."""
+    return SweepResult(
+        {
+            "facility": ["A", "A", "A", "B", "B", "B"],
+            "bandwidth_gbps": [10.0, 20.0, 40.0, 10.0, 20.0, 40.0],
+            "speedup": [0.5, 1.0, 2.0, 0.25, 0.5, 0.75],
+            "t_pct": [4.0, 2.0, 1.0, 8.0, 4.0, 2.0],
+        },
+        axis_names=("facility", "bandwidth_gbps"),
+    )
+
+
+class TestBasics:
+    def test_shape(self, table):
+        assert table.n_rows == len(table) == 6
+        assert table.axis_names == ("facility", "bandwidth_gbps")
+        assert table.metric_names == ("speedup", "t_pct")
+
+    def test_column_and_row(self, table):
+        np.testing.assert_allclose(table.column("t_pct")[:3], [4.0, 2.0, 1.0])
+        assert table.row(0) == {
+            "facility": "A", "bandwidth_gbps": 10.0, "speedup": 0.5, "t_pct": 4.0,
+        }
+
+    def test_unknown_column(self, table):
+        with pytest.raises(ValidationError, match="unknown column"):
+            table.column("nope")
+
+    def test_unique(self, table):
+        assert table.unique("facility") == ["A", "B"]
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ValidationError, match="one length"):
+            SweepResult({"a": [1, 2], "b": [1]})
+
+    def test_missing_axis_column_rejected(self):
+        with pytest.raises(ValidationError, match="missing"):
+            SweepResult({"a": [1]}, axis_names=("b",))
+
+
+class TestFilter:
+    def test_filter_equality(self, table):
+        sub = table.filter(facility="B")
+        assert sub.n_rows == 3
+        assert set(sub.column("facility")) == {"B"}
+
+    def test_filter_multiple_conditions(self, table):
+        sub = table.filter(facility="A", bandwidth_gbps=40.0)
+        assert sub.n_rows == 1
+        assert float(sub.column("speedup")[0]) == 2.0
+
+    def test_where_predicate(self, table):
+        sub = table.where(lambda row: row["speedup"] >= 1.0)
+        assert sub.n_rows == 2
+
+    def test_argmin_argmax(self, table):
+        assert table.argmin("t_pct")["bandwidth_gbps"] == 40.0
+        assert table.argmax("t_pct")["facility"] == "B"
+
+
+class TestCrossover:
+    def test_grouped_crossover(self, table):
+        points = table.crossover(
+            "bandwidth_gbps", metric="speedup", threshold=1.0,
+            group_by=("facility",),
+        )
+        by_fac = {p["facility"]: p["bandwidth_gbps"] for p in points}
+        # Facility A crosses exactly at the 20 Gbps sample...
+        assert by_fac["A"] == pytest.approx(20.0)
+        # ...while B never reaches speedup 1 in range.
+        assert by_fac["B"] is None
+
+    def test_interpolated_crossover(self):
+        t = SweepResult({"x": [1.0, 3.0], "m": [0.0, 2.0]}, axis_names=("x",))
+        [p] = t.crossover("x", metric="m", threshold=1.0)
+        assert p["x"] == pytest.approx(2.0)
+
+    def test_first_point_already_above(self):
+        t = SweepResult({"x": [5.0, 6.0], "m": [3.0, 4.0]}, axis_names=("x",))
+        [p] = t.crossover("x", metric="m", threshold=1.0)
+        assert p["x"] == pytest.approx(5.0)
+
+    def test_unsorted_rows_are_sorted_along_x(self):
+        t = SweepResult({"x": [3.0, 1.0], "m": [2.0, 0.0]}, axis_names=("x",))
+        [p] = t.crossover("x", metric="m", threshold=1.0)
+        assert p["x"] == pytest.approx(2.0)
+
+    def test_bad_group_column(self, table):
+        with pytest.raises(ValidationError, match="unknown column"):
+            table.crossover("bandwidth_gbps", group_by=("nope",))
+
+
+class TestExport:
+    def test_json_roundtrip(self, table):
+        text = table.to_json()
+        back = SweepResult.from_json(text)
+        assert back.axis_names == table.axis_names
+        assert back.n_rows == table.n_rows
+        np.testing.assert_allclose(back.column("t_pct"), table.column("t_pct"))
+        assert list(back.column("facility")) == list(table.column("facility"))
+
+    def test_json_writes_file(self, table, tmp_path):
+        path = tmp_path / "sweep.json"
+        table.to_json(path=str(path))
+        payload = json.loads(path.read_text())
+        assert payload["n_rows"] == 6
+
+    def test_csv(self, table, tmp_path):
+        path = tmp_path / "sweep.csv"
+        text = table.to_csv(path=str(path))
+        lines = text.strip().splitlines()
+        assert lines[0] == "facility,bandwidth_gbps,speedup,t_pct"
+        assert len(lines) == 7
+        assert path.read_text() == text
+
+    def test_csv_quotes_values_containing_commas(self):
+        t = SweepResult(
+            {"facility": ["LCLS-II, imaging"], "x": [1.0]},
+            axis_names=("facility", "x"),
+        )
+        lines = t.to_csv().strip().splitlines()
+        assert lines[1] == '"LCLS-II, imaging",1.0'
+        import csv as _csv
+        import io as _io
+
+        [row] = list(_csv.reader(_io.StringIO(lines[1])))
+        assert row == ["LCLS-II, imaging", "1.0"]
+
+    def test_numpy_types_serialisable(self):
+        t = SweepResult(
+            {
+                "x": np.array([1.0, 2.0]),
+                "ok": np.array([True, False]),
+                "n": np.array([1, 2], dtype=np.int64),
+            },
+            axis_names=("x",),
+        )
+        payload = json.loads(t.to_json())
+        assert payload["columns"]["ok"] == [True, False]
+        assert payload["columns"]["n"] == [1, 2]

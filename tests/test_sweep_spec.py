@@ -1,0 +1,158 @@
+"""Declarative sweep specs: axes, combinators, enumeration order."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.sweep import Axis, SweepSpec, facility_axes
+from repro.workloads.facilities import all_facilities, aps_tomography
+
+
+class TestAxis:
+    def test_basic(self):
+        a = Axis("bandwidth_gbps", (1.0, 25.0, 100.0))
+        assert len(a) == 3
+        assert a.is_numeric
+        np.testing.assert_allclose(a.as_array(), [1.0, 25.0, 100.0])
+
+    def test_non_numeric(self):
+        a = Axis("facility", ("APS", "LCLS"))
+        assert not a.is_numeric
+        with pytest.raises(ValidationError, match="not numeric"):
+            a.as_array()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError, match="at least one value"):
+            Axis("x", ())
+
+    def test_unnamed_rejected(self):
+        with pytest.raises(ValidationError, match="non-empty string"):
+            Axis("", (1.0,))
+
+    def test_linspace(self):
+        a = Axis.linspace("x", 0.0, 1.0, 5)
+        np.testing.assert_allclose(a.as_array(), [0.0, 0.25, 0.5, 0.75, 1.0])
+
+    def test_geomspace(self):
+        a = Axis.geomspace("x", 1.0, 100.0, 3)
+        np.testing.assert_allclose(a.as_array(), [1.0, 10.0, 100.0])
+
+    def test_geomspace_needs_positive_endpoints(self):
+        with pytest.raises(ValidationError, match="positive"):
+            Axis.geomspace("x", 0.0, 1.0, 3)
+
+    def test_parse_list(self):
+        a = Axis.parse("bw=1,2.5,10")
+        assert a.name == "bw"
+        np.testing.assert_allclose(a.as_array(), [1.0, 2.5, 10.0])
+
+    def test_parse_linear_range(self):
+        a = Axis.parse("x=0:10:11")
+        np.testing.assert_allclose(a.as_array(), np.linspace(0, 10, 11))
+
+    def test_parse_log_range(self):
+        a = Axis.parse("x=1:1000:4:log")
+        np.testing.assert_allclose(a.as_array(), [1.0, 10.0, 100.0, 1000.0])
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["no_equals", "x=", "=1,2", "x=1:10", "x=1:10:3:cubic", "x=a,b", "x=1:b:3"],
+    )
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ValidationError):
+            Axis.parse(bad)
+
+
+class TestSweepSpec:
+    def test_grid_order_first_axis_slowest(self):
+        spec = SweepSpec.grid(Axis("a", (1, 2)), Axis("b", (10, 20, 30)))
+        pts = list(spec.points())
+        assert spec.n_points == len(pts) == 6
+        assert pts[0] == {"a": 1, "b": 10}
+        assert pts[1] == {"a": 1, "b": 20}
+        assert pts[3] == {"a": 2, "b": 10}
+
+    def test_grid_kwargs(self):
+        spec = SweepSpec.grid(a=(1, 2), b=(3,))
+        assert spec.axis_names == ("a", "b")
+        assert spec.n_points == 2
+
+    def test_zipped_lockstep(self):
+        spec = SweepSpec.zipped(Axis("name", ("x", "y")), Axis("size", (1.0, 2.0)))
+        pts = list(spec.points())
+        assert pts == [{"name": "x", "size": 1.0}, {"name": "y", "size": 2.0}]
+
+    def test_zipped_length_mismatch(self):
+        with pytest.raises(ValidationError, match="equal lengths"):
+            SweepSpec.zipped(Axis("a", (1, 2)), Axis("b", (1, 2, 3)))
+
+    def test_product(self):
+        left = SweepSpec.zipped(Axis("name", ("x", "y")), Axis("size", (1.0, 2.0)))
+        right = SweepSpec.grid(Axis("bw", (25.0, 100.0)))
+        spec = left.product(right)
+        pts = list(spec.points())
+        assert len(pts) == 4
+        assert pts[0] == {"name": "x", "size": 1.0, "bw": 25.0}
+        assert pts[1] == {"name": "x", "size": 1.0, "bw": 100.0}
+
+    def test_zip_with(self):
+        spec = SweepSpec.grid(Axis("a", (1, 2))).zip_with(
+            SweepSpec.grid(Axis("b", (3, 4)))
+        )
+        assert list(spec.points()) == [{"a": 1, "b": 3}, {"a": 2, "b": 4}]
+
+    def test_zip_with_rejects_multiblock(self):
+        multi = SweepSpec.grid(Axis("a", (1,)), Axis("b", (2,)))
+        with pytest.raises(ValidationError, match="single-block"):
+            multi.zip_with(SweepSpec.grid(Axis("c", (3,))))
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            SweepSpec.grid(Axis("a", (1,)), Axis("a", (2,)))
+
+    def test_columns_align_with_points(self):
+        spec = SweepSpec.zipped(Axis("f", ("x", "y")), Axis("s", (1.0, 2.0))).product(
+            SweepSpec.grid(Axis("bw", (25.0, 100.0)))
+        )
+        cols = spec.columns()
+        pts = list(spec.points())
+        for i, pt in enumerate(pts):
+            assert cols["f"][i] == pt["f"]
+            assert cols["s"][i] == pt["s"]
+            assert cols["bw"][i] == pt["bw"]
+
+    def test_axis_lookup(self):
+        spec = SweepSpec.grid(Axis("a", (1, 2)))
+        assert spec.axis("a").values == (1, 2)
+        with pytest.raises(ValidationError, match="unknown sweep axis"):
+            spec.axis("zzz")
+
+    def test_shape_and_len(self):
+        spec = SweepSpec.grid(Axis("a", (1, 2)), Axis("b", (1, 2, 3)))
+        assert spec.shape == (2, 3)
+        assert len(spec) == 6
+
+
+class TestFacilityAxes:
+    def test_default_presets(self):
+        spec = facility_axes()
+        pts = list(spec.points())
+        names = [p["facility"] for p in pts]
+        assert names == [i.name for i in all_facilities()]
+        # s_unit_gb is one second of post-reduction stream.
+        for pt, inst in zip(pts, all_facilities()):
+            assert pt["s_unit_gb"] == pytest.approx(inst.shipped_rate_gbytes_per_s)
+
+    def test_unit_seconds_scales(self):
+        inst = aps_tomography()
+        one = list(facility_axes([inst]).points())[0]
+        ten = list(facility_axes([inst], unit_seconds=10.0).points())[0]
+        assert ten["s_unit_gb"] == pytest.approx(10.0 * one["s_unit_gb"])
+
+    def test_validation(self):
+        with pytest.raises(ValidationError, match="at least one instrument"):
+            facility_axes([])
+        with pytest.raises(ValidationError, match="unit_seconds"):
+            facility_axes(unit_seconds=0.0)

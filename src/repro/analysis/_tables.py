@@ -1,0 +1,53 @@
+"""Shared sweep-table coercion for the analysis entry points.
+
+``crossover_from_sweep`` and ``regime_breakdown_from_sweep`` accept the
+full range of sweep outputs the engine can produce; this module turns
+any of them into an object with the column-table surface the analysis
+code scans:
+
+- an in-memory :class:`repro.sweep.SweepResult` (returned unchanged),
+- a lazy :class:`repro.sweep.ShardedSweepResult` (returned unchanged —
+  downstream access stays incremental, one shard/column at a time),
+- a path to a shard directory or its ``manifest.json`` (opened lazily),
+- the JSON text produced by ``SweepResult.to_json`` (parsed).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Any, Union
+
+__all__ = ["load_sweep_table"]
+
+
+def _looks_like_shard_source(source: Union[str, pathlib.Path]) -> bool:
+    """Whether ``source`` names an on-disk shard store (as opposed to
+    being JSON text).  Filesystem probing is wrapped defensively: JSON
+    payloads make invalid paths on some platforms."""
+    from ..sweep.shards import MANIFEST_NAME
+
+    try:
+        path = pathlib.Path(source)
+        if path.is_dir():
+            return (path / MANIFEST_NAME).exists()
+        return path.name == MANIFEST_NAME and path.exists()
+    except (OSError, ValueError):
+        return False
+
+
+def load_sweep_table(table: Any) -> Any:
+    """Coerce ``table`` to a sweep table (eager or lazy, see module
+    docstring).  Anything already exposing the column-table surface is
+    passed through untouched."""
+    from ..sweep.result import SweepResult
+    from ..sweep.shards import ShardedSweepResult
+
+    if isinstance(table, pathlib.Path):
+        if table.is_file() and table.name != "manifest.json":
+            return SweepResult.from_json(table.read_text())
+        return ShardedSweepResult(table)
+    if isinstance(table, str):
+        if _looks_like_shard_source(table):
+            return ShardedSweepResult(table)
+        return SweepResult.from_json(table)
+    return table

@@ -92,8 +92,10 @@ def crossover_from_sweep(
 ):
     """Grid-based crossover extraction from a sweep table.
 
-    ``table`` is a :class:`repro.sweep.SweepResult` or its JSON export
-    (the string produced by ``SweepResult.to_json``).  For each
+    ``table`` is a :class:`repro.sweep.SweepResult`, its JSON export
+    (the string produced by ``SweepResult.to_json``), a lazy
+    :class:`repro.sweep.ShardedSweepResult`, or a path to a shard
+    directory/manifest written by the out-of-core sweep path.  For each
     combination of the ``group_by`` columns the first crossing of
     ``metric`` over ``threshold`` along ``x`` is located by linear
     interpolation — the empirical counterpart of the closed-form
@@ -101,11 +103,15 @@ def crossover_from_sweep(
     form (e.g. queued or simulated completion times).  Returns a list
     of dicts carrying the group values plus the interpolated ``x``
     (``None`` where the metric never crosses in the swept range).
-    """
-    from ..sweep.result import SweepResult
 
-    if isinstance(table, str):
-        table = SweepResult.from_json(table)
+    Sharded input is scanned *incrementally*: the crossing bracket
+    advances shard-by-shard over just the ``x``/``metric``/``group_by``
+    columns, so the full table is never loaded (see
+    :meth:`repro.sweep.ShardedSweepResult.crossover`).
+    """
+    from ._tables import load_sweep_table
+
+    table = load_sweep_table(table)
     return table.crossover(x, metric=metric, threshold=threshold, group_by=group_by)
 
 

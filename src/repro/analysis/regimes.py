@@ -9,7 +9,7 @@ actually plan against ("keep offered load below X%").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -22,6 +22,7 @@ __all__ = [
     "regime_breakdown",
     "regime_breakdown_from_table",
     "regime_breakdown_from_sweep",
+    "regime_tally_from_sweep",
     "utilization_budget",
 ]
 
@@ -105,20 +106,67 @@ def regime_breakdown_from_sweep(
 ) -> RegimeBreakdown:
     """Regime analysis straight off a sweep table.
 
-    ``table`` is a :class:`repro.sweep.SweepResult` or its JSON export;
-    rows are sorted by the ``x`` column before classification, so
-    congestion sweeps can feed this without reshaping.
+    ``table`` is a :class:`repro.sweep.SweepResult`, its JSON export, a
+    lazy :class:`repro.sweep.ShardedSweepResult`, or a path to a shard
+    directory/manifest; rows are sorted by the ``x`` column before
+    classification, so congestion sweeps can feed this without
+    reshaping.  Sharded input is scanned shard-by-shard loading only
+    the two needed columns — never the full table.
     """
-    from ..sweep.result import SweepResult
+    from ._tables import load_sweep_table
 
-    if isinstance(table, str):
-        table = SweepResult.from_json(table)
-    utils = np.asarray(table.column(x), dtype=float)
-    t_worst = np.asarray(table.column(metric), dtype=float)
+    table = load_sweep_table(table)
+    if hasattr(table, "iter_blocks"):
+        parts_x, parts_m = [], []
+        for block in table.iter_blocks(columns=(x, metric)):
+            parts_x.append(np.asarray(block[x], dtype=float))
+            parts_m.append(np.asarray(block[metric], dtype=float))
+        utils = np.concatenate(parts_x)
+        t_worst = np.concatenate(parts_m)
+    else:
+        utils = np.asarray(table.column(x), dtype=float)
+        t_worst = np.asarray(table.column(metric), dtype=float)
     order = np.argsort(utils, kind="stable")
     return regime_breakdown_from_table(
         utils[order], t_worst[order], thresholds=thresholds
     )
+
+
+def regime_tally_from_sweep(
+    table,
+    metric: str = "t_worst_s",
+    thresholds: Optional[RegimeThresholds] = None,
+) -> Dict[CongestionRegime, int]:
+    """Point counts per regime, merged block-by-block.
+
+    Unlike :func:`regime_breakdown_from_sweep` (whose result carries
+    every point), the tally is O(1) memory per block: each shard's
+    ``metric`` column is bucketed against the thresholds vectorized and
+    the three counters merged — classification is per-point, so the
+    merge is exact for any sharding.  In-memory tables count as one
+    block.
+    """
+    from ._tables import load_sweep_table
+
+    table = load_sweep_table(table)
+    th = thresholds or RegimeThresholds()
+    counts = {regime: 0 for regime in CongestionRegime}
+    if hasattr(table, "iter_blocks"):
+        blocks = table.iter_blocks(columns=(metric,))
+    else:
+        blocks = iter([{metric: table.column(metric)}])
+    for block in blocks:
+        t_worst = np.asarray(block[metric], dtype=float)
+        if t_worst.size and not np.all(t_worst > 0):
+            raise MeasurementError(
+                f"regime metric {metric!r} must be strictly positive"
+            )
+        low = int(np.count_nonzero(t_worst < th.real_time_limit_s))
+        severe = int(np.count_nonzero(t_worst >= th.severe_limit_s))
+        counts[CongestionRegime.LOW] += low
+        counts[CongestionRegime.SEVERE] += severe
+        counts[CongestionRegime.MODERATE] += int(t_worst.size) - low - severe
+    return counts
 
 
 def regime_breakdown(

@@ -35,13 +35,15 @@ from .core.parameters import (
 from .errors import ValidationError
 from .sweep import (
     Axis,
+    ResultCache,
+    SweepResult,
     SweepSpec,
     evaluate_point,
     facility_axes,
     run_model_sweep,
     run_sweep as run_generic_sweep,
 )
-from .sweep.engine import MODEL_METRICS
+from .sweep.engine import DEFAULT_BLOCK_SIZE, MODEL_METRICS
 from .iperfsim.runner import run_sweep
 from .iperfsim.spec import (
     ExperimentSpec,
@@ -114,6 +116,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--workers", type=int, default=1,
         help="worker processes for --mode process (default: 1)",
+    )
+    p_sweep.add_argument(
+        "--backend", choices=("process", "hybrid"), default="process",
+        help="--mode process executor backend: multiprocessing pool, or "
+             "the asyncio + process-pool hybrid (default: process)",
+    )
+    p_sweep.add_argument(
+        "--out-dir", default=None, metavar="DIR",
+        help="stream the sweep out-of-core to columnar .npz shards in "
+             "DIR (flat memory; prints a summary instead of the table)",
+    )
+    p_sweep.add_argument(
+        "--shard-size", type=int, default=None, metavar="N",
+        help="rows per shard/evaluation block for --out-dir "
+             f"(default: {DEFAULT_BLOCK_SIZE})",
+    )
+    p_sweep.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent content-hash result cache for --mode process "
+             "(repeated sweeps skip already-evaluated points)",
+    )
+    p_sweep.add_argument(
+        "--cache-max-entries", type=int, default=None, metavar="N",
+        help="LRU bound on cache entries (evicts least recently used)",
+    )
+    p_sweep.add_argument(
+        "--cache-ttl", type=float, default=None, metavar="SECONDS",
+        help="drop cache entries older than SECONDS",
+    )
+    p_sweep.add_argument(
+        "--simnet-table2", action="store_true",
+        help="dispatch the Table-2 simnet congestion grid (fluid TCP "
+             "simulator) instead of the closed-form model; honours "
+             "--workers/--seeds/--duration",
+    )
+    p_sweep.add_argument(
+        "--seeds", type=int, nargs="+", default=[0],
+        help="seeds for --simnet-table2 (client times pooled across "
+             "repetitions; default: 0)",
+    )
+    p_sweep.add_argument(
+        "--duration", type=float, default=10.0,
+        help="experiment duration for --simnet-table2 (default: 10 s)",
     )
     p_sweep.add_argument(
         "--format", choices=("table", "json", "csv"), default="table",
@@ -214,27 +259,166 @@ def _sweep_base_params(args: argparse.Namespace) -> ModelParameters:
     return base
 
 
-def _cmd_sweep(args: argparse.Namespace) -> str:
-    spec = _sweep_spec_from_args(args)
-    base = _sweep_base_params(args)
-    metrics = tuple(m.strip() for m in args.metrics.split(",") if m.strip())
-    unknown = [m for m in metrics if m not in MODEL_METRICS]
-    if unknown:
-        raise ValidationError(
-            f"unknown sweep metrics {unknown}; expected a subset of {MODEL_METRICS}"
+def _evaluate_point_metrics(point, base=None, metrics=None):
+    """:func:`repro.sweep.evaluate_point` restricted to the requested
+    metric columns (module-level so it pickles for worker processes)."""
+    out = evaluate_point(point, base=base)
+    if metrics is None:
+        return out
+    return {m: out[m] for m in metrics}
+
+
+def _sweep_cache(args: argparse.Namespace) -> Optional[ResultCache]:
+    """The process-mode result cache, if any hygiene flag was given."""
+    if (
+        args.cache_dir is None
+        and args.cache_max_entries is None
+        and args.cache_ttl is None
+    ):
+        return None
+    return ResultCache(
+        directory=args.cache_dir,
+        max_entries=args.cache_max_entries,
+        ttl_s=args.cache_ttl,
+    )
+
+
+def _simnet_table2_table(args: argparse.Namespace) -> SweepResult:
+    """Run the Table-2 simnet congestion grid and tabulate it as a
+    sweep table (axes: concurrency, parallel_flows) consumable by the
+    regime/crossover analysis entry points."""
+    sweep = run_sweep(
+        table2_sweep(strategy=SpawnStrategy.BATCH, duration_s=args.duration),
+        seeds=tuple(args.seeds),
+        workers=args.workers,
+    )
+    exps = sweep.experiments
+    columns = {
+        "concurrency": [e.spec.concurrency for e in exps],
+        "parallel_flows": [e.spec.parallel_flows for e in exps],
+        "offered_utilization": [e.offered_utilization for e in exps],
+        "achieved_utilization": [e.achieved_utilization for e in exps],
+        "t_worst_s": [e.max_transfer_time_s for e in exps],
+        "completed_clients": [e.completed_clients for e in exps],
+    }
+    return SweepResult(columns, axis_names=("concurrency", "parallel_flows"))
+
+
+def _shard_summary(table, args: argparse.Namespace) -> str:
+    """Render the out-of-core result: shard layout, not a row dump."""
+    manifest = table.directory / "manifest.json"
+    if args.out_format == "json":
+        import json
+
+        return json.dumps(
+            {
+                "n_rows": table.n_rows,
+                "n_shards": table.n_shards,
+                "shard_size": table.reader.shard_size,
+                "directory": str(table.directory),
+                "manifest": str(manifest),
+                "columns": list(table.column_names),
+            },
+            indent=2,
         )
-    # The crossover summary is defined on the speedup metric; make sure
-    # the table carries it even when --metrics narrows the output.
-    if args.crossover_x is not None and "speedup" not in metrics:
-        metrics = metrics + ("speedup",)
-    if args.mode == "vectorized":
-        table = run_model_sweep(spec, base=base, metrics=metrics)
+    rows = [
+        ("points", str(table.n_rows)),
+        ("shards", str(table.n_shards)),
+        ("rows/shard", str(table.reader.shard_size)),
+        ("columns", ", ".join(table.column_names)),
+        ("directory", str(table.directory)),
+        ("manifest", str(manifest)),
+    ]
+    return render_table(
+        ["quantity", "value"], rows, title="Out-of-core sweep (sharded)"
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    if args.shard_size is not None and args.out_dir is None:
+        raise ValidationError("--shard-size only applies with --out-dir")
+    if args.out_dir is not None and args.out_format == "csv":
+        # Fail before the sweep runs, not after the shards are written.
+        raise ValidationError(
+            "--format csv is unavailable with --out-dir; the shard "
+            "directory is the artifact (open it with repro.sweep.open_shards)"
+        )
+    if args.simnet_table2:
+        if args.axis or args.zip_axes or args.facilities:
+            raise ValidationError(
+                "--simnet-table2 runs the fixed Table-2 grid; drop "
+                "--axis/--zip/--facilities"
+            )
+        if _sweep_cache(args) is not None:
+            raise ValidationError(
+                "--cache-dir/--cache-max-entries/--cache-ttl do not apply "
+                "to --simnet-table2 (simnet experiments are not cached)"
+            )
+        if args.backend != "process":
+            raise ValidationError(
+                "--backend applies to --mode process model sweeps, not "
+                "--simnet-table2"
+            )
+        if args.metrics != ",".join(MODEL_METRICS):
+            raise ValidationError(
+                "--metrics applies to model sweeps, not --simnet-table2 "
+                "(the simnet grid has a fixed column set)"
+            )
+        if args.crossover_x is not None:
+            raise ValidationError(
+                "--crossover-x summarises the speedup metric, which the "
+                "simnet grid does not produce; use "
+                "analysis.crossover.crossover_from_sweep with an explicit "
+                "metric (e.g. t_worst_s) on the exported table instead"
+            )
+        table = _simnet_table2_table(args)
+        if args.out_dir is not None:
+            table = table.to_shards(
+                args.out_dir, shard_size=args.shard_size or DEFAULT_BLOCK_SIZE
+            )
     else:
-        fn = partial(evaluate_point, base=base.as_dict())
-        table = run_generic_sweep(spec, fn, workers=args.workers)
-        drop = [m for m in table.metric_names if m not in metrics]
-        for name in drop:
-            del table.columns[name]
+        if args.seeds != [0] or args.duration != 10.0:
+            raise ValidationError(
+                "--seeds/--duration apply to --simnet-table2 only"
+            )
+        if args.mode == "vectorized" and args.backend != "process":
+            raise ValidationError(
+                "--backend selects the --mode process executor; the "
+                "vectorized fast path has no worker backend"
+            )
+        spec = _sweep_spec_from_args(args)
+        base = _sweep_base_params(args)
+        metrics = tuple(m.strip() for m in args.metrics.split(",") if m.strip())
+        unknown = [m for m in metrics if m not in MODEL_METRICS]
+        if unknown:
+            raise ValidationError(
+                f"unknown sweep metrics {unknown}; expected a subset of {MODEL_METRICS}"
+            )
+        # The crossover summary is defined on the speedup metric; make sure
+        # the table carries it even when --metrics narrows the output.
+        if args.crossover_x is not None and "speedup" not in metrics:
+            metrics = metrics + ("speedup",)
+        cache = _sweep_cache(args)
+        if args.mode == "vectorized":
+            if cache is not None:
+                raise ValidationError(
+                    "--cache-dir/--cache-max-entries/--cache-ttl apply to "
+                    "--mode process (the vectorized path recomputes whole "
+                    "grids faster than it could hash them)"
+                )
+            table = run_model_sweep(
+                spec, base=base, metrics=metrics,
+                out=args.out_dir, block_size=args.shard_size,
+            )
+        else:
+            fn = partial(
+                _evaluate_point_metrics, base=base.as_dict(), metrics=metrics
+            )
+            table = run_generic_sweep(
+                spec, fn, workers=args.workers, cache=cache,
+                backend=args.backend, out=args.out_dir,
+                block_size=args.shard_size,
+            )
 
     crossover_text = None
     if args.crossover_x is not None:
@@ -251,6 +435,19 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
                 + ("never crosses in range" if value is None else f"{value:.4g}")
             )
         crossover_text = "\n".join(lines)
+
+    if hasattr(table, "iter_blocks"):  # sharded out-of-core result
+        out = _shard_summary(table, args)
+        if crossover_text is not None:
+            if args.out_format == "table":
+                out += "\n\n" + crossover_text
+            else:
+                print(crossover_text, file=sys.stderr)
+        if args.output is not None:
+            import pathlib
+
+            pathlib.Path(args.output).write_text(out + "\n")
+        return out
 
     if args.out_format == "json":
         out = table.to_json(path=args.output)

@@ -9,17 +9,34 @@ of an ad-hoc loop in every benchmark:
 - :mod:`repro.sweep.spec` — declarative :class:`SweepSpec`: named
   :class:`Axis` values composed with grid (cartesian) and zip
   combinators, plus facility presets from
-  :mod:`repro.workloads.facilities`,
+  :mod:`repro.workloads.facilities`; ``columns_slice`` materialises any
+  contiguous block of the enumeration in O(block),
 - :mod:`repro.sweep.engine` — a vectorized fast path that broadcasts
   axes straight through the numpy-aware :mod:`repro.core.model`
-  functions, and a chunked ``multiprocessing`` executor
+  functions, a chunked ``multiprocessing`` executor
   (:func:`parallel_map`) for non-vectorizable work (simnet pipelines,
   queueing evaluations) with deterministic ordering and a content-hash
-  result cache,
+  result cache, and an ``asyncio`` + process-pool *hybrid* backend
+  (``parallel_map(..., backend="hybrid")``) that runs coroutine
+  evaluation functions concurrently on the event loop while plain
+  functions are chunked onto a ``ProcessPoolExecutor`` — same ordering
+  and caching contract, built for sweeps mixing I/O-bound and
+  CPU-bound points,
 - :mod:`repro.sweep.result` — a :class:`SweepResult` column table with
   filtering, crossover extraction and JSON/CSV export that
   :mod:`repro.analysis.crossover` and :mod:`repro.analysis.regimes`
-  consume directly.
+  consume directly,
+- :mod:`repro.sweep.shards` — out-of-core storage: a
+  :class:`ShardWriter`/:class:`ShardReader` pair streams column blocks
+  to per-shard ``.npz`` files plus a manifest, and
+  :class:`ShardedSweepResult` is the lazy view analysis scans without
+  ever materialising the table.  ``run_model_sweep(spec, out=dir)``
+  and ``run_sweep(spec, fn, out=dir)`` evaluate block-by-block and
+  hand blocks straight to the writer, so million-point grids complete
+  with peak memory bounded by the shard size,
+- :mod:`repro.sweep.cache` — the content-hash :class:`ResultCache`
+  with optional directory persistence, LRU entry bounds
+  (``max_entries``) and TTL expiry (``ttl_s``).
 
 Quickstart::
 
@@ -32,30 +49,56 @@ Quickstart::
     table = run_model_sweep(spec)          # 2000 points, one numpy pass
     wins = table.filter(remote_is_faster=True)
     print(table.crossover("bandwidth_gbps"))
+
+Out-of-core (1M+ points, flat memory)::
+
+    spec = SweepSpec.grid(
+        Axis.geomspace("bandwidth_gbps", 1.0, 400.0, 1000),
+        Axis.geomspace("complexity_flop_per_gb", 1e10, 1e14, 1000),
+    )
+    sharded = run_model_sweep(spec, out="out/sweep", block_size=100_000)
+    sharded.crossover("bandwidth_gbps")    # streaming per-block scan
+    sharded.column("speedup")              # one column, lazily concatenated
 """
 
 from __future__ import annotations
 
 from .cache import ResultCache, content_hash
 from .engine import (
+    DEFAULT_BLOCK_SIZE,
     MODEL_AXES,
+    adaptive_chunk_size,
     evaluate_point,
+    iter_model_sweep,
     parallel_map,
     run_model_sweep,
     run_sweep,
 )
 from .result import SweepResult
+from .shards import (
+    ShardedSweepResult,
+    ShardReader,
+    ShardWriter,
+    open_shards,
+)
 from .spec import Axis, SweepSpec, facility_axes
 
 __all__ = [
     "Axis",
     "SweepSpec",
     "SweepResult",
+    "ShardWriter",
+    "ShardReader",
+    "ShardedSweepResult",
+    "open_shards",
     "ResultCache",
     "content_hash",
+    "DEFAULT_BLOCK_SIZE",
     "MODEL_AXES",
+    "adaptive_chunk_size",
     "facility_axes",
     "evaluate_point",
+    "iter_model_sweep",
     "parallel_map",
     "run_model_sweep",
     "run_sweep",

@@ -15,10 +15,15 @@ import dataclasses
 import enum
 import hashlib
 import json
+import os
 import pathlib
+import time
+from collections import OrderedDict
 from typing import Any, Callable, Dict, Optional, Tuple
 
 import numpy as np
+
+from ..errors import ValidationError
 
 __all__ = ["content_hash", "ResultCache"]
 
@@ -79,19 +84,87 @@ class ResultCache:
 
     Persisted values must be JSON-serialisable (the sweep engine stores
     plain metric dicts); in-memory use has no such restriction.
+
+    Hygiene bounds (both optional, both enforced on the persistent
+    directory too, so long-running survey services don't grow a cache
+    without limit):
+
+    - ``max_entries`` — keep at most this many entries, evicting the
+      least-recently-*used* first (a :meth:`get` hit refreshes an
+      entry's recency; eviction removes the backing JSON file as well).
+      When a bounded cache opens an existing directory, files already
+      there are indexed by mtime and the bound applied immediately, so
+      the directory cannot outgrow the limit across process restarts.
+      For a pure-LRU cache (``max_entries`` without ``ttl_s``) a hit
+      also refreshes the backing file's mtime, so recency survives
+      restarts; with a TTL, mtime stays the *write* time (expiry is
+      age-based) and restart adoption orders by write time instead,
+    - ``ttl_s`` — entries older than this many seconds count as misses
+      and are dropped (persisted entries age by file mtime, so a cache
+      re-opened after the TTL is cold).
+
+    ``clock`` is injectable for deterministic expiry tests.
     """
 
-    def __init__(self, directory: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        max_entries: Optional[int] = None,
+        ttl_s: Optional[float] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValidationError(
+                f"max_entries must be >= 1, got {max_entries!r}"
+            )
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValidationError(f"ttl_s must be > 0, got {ttl_s!r}")
         self._mem: Dict[str, Any] = {}
+        #: LRU index over *all* known entries (in-memory and on-disk),
+        #: oldest-used first; values are last-use timestamps.
+        self._order: "OrderedDict[str, float]" = OrderedDict()
         self._dir = pathlib.Path(directory) if directory else None
+        self.max_entries = max_entries
+        self.ttl_s = ttl_s
+        self._clock = clock
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+        if (
+            self._dir is not None
+            and self._dir.is_dir()
+            and (max_entries is not None or ttl_s is not None)
+        ):
+            # A bounded cache adopts pre-existing files into the LRU
+            # index so the bound holds across process restarts.
+            for path in sorted(
+                self._dir.glob("*.json"), key=lambda p: p.stat().st_mtime
+            ):
+                self._order[path.stem] = path.stat().st_mtime
+            self._evict_over_bound()
 
     def __len__(self) -> int:
-        return len(self._mem)
+        return len(self._order)
 
     def _path(self, key: str) -> Optional[pathlib.Path]:
         return self._dir / f"{key}.json" if self._dir else None
+
+    def _expired(self, stamp: float) -> bool:
+        return self.ttl_s is not None and self._clock() - stamp > self.ttl_s
+
+    def _drop(self, key: str, counter: str) -> None:
+        self._mem.pop(key, None)
+        self._order.pop(key, None)
+        path = self._path(key)
+        if path is not None and path.exists():
+            path.unlink()
+        setattr(self, counter, getattr(self, counter) + 1)
+
+    def _evict_over_bound(self) -> None:
+        while self.max_entries is not None and len(self._order) > self.max_entries:
+            oldest = next(iter(self._order))
+            self._drop(oldest, "evictions")
 
     def get(self, key: str, default: Any = None) -> Optional[Any]:
         """The cached result for ``key``, or ``default`` on a miss.
@@ -99,22 +172,49 @@ class ResultCache:
         Pass a sentinel as ``default`` to distinguish a cached ``None``
         from a miss (the executor does).
         """
-        if key in self._mem:
-            self.hits += 1
-            return self._mem[key]
+        stamp = self._order.get(key)
         path = self._path(key)
-        if path is not None and path.exists():
+        if stamp is None and path is not None and path.exists():
+            stamp = path.stat().st_mtime  # lazily index an on-disk entry
+            self._order[key] = stamp
+        if stamp is None:
+            self.misses += 1
+            return default
+        if self._expired(stamp):
+            self._drop(key, "expirations")
+            self.misses += 1
+            return default
+        if key in self._mem:
+            value = self._mem[key]
+        else:
+            if path is None or not path.exists():
+                # Indexed entry whose backing file vanished externally.
+                self._order.pop(key, None)
+                self.misses += 1
+                return default
             value = json.loads(path.read_text())
             self._mem[key] = value
-            self.hits += 1
-            return value
-        self.misses += 1
-        return default
+        self.hits += 1
+        self._order.move_to_end(key)
+        if (
+            path is not None
+            and self.max_entries is not None
+            and self.ttl_s is None
+            and path.exists()
+        ):
+            # Pure-LRU persistent cache: carry recency across restarts
+            # via mtime (with a TTL, mtime must stay the write time).
+            os.utime(path)
+        return value
 
     def put(self, key: str, value: Any) -> None:
-        """Store ``value`` under ``key`` (and on disk when persistent)."""
+        """Store ``value`` under ``key`` (and on disk when persistent),
+        evicting least-recently-used entries beyond ``max_entries``."""
         self._mem[key] = value
+        self._order[key] = self._clock()
+        self._order.move_to_end(key)
         path = self._path(key)
         if path is not None:
             path.parent.mkdir(parents=True, exist_ok=True)
             path.write_text(json.dumps(value, sort_keys=True))
+        self._evict_over_bound()

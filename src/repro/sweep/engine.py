@@ -1,24 +1,39 @@
 """Sweep execution: vectorized fast path + chunked process executor.
 
-Two execution strategies cover the repo's workloads:
+Three execution strategies cover the repo's workloads:
 
 - :func:`run_model_sweep` — the closed-form completion-time model is
   numpy-aware, so a whole grid is one broadcast call per metric.  This
   is the fast path for anything expressible through
-  :mod:`repro.core.model` (millions of points per second).
+  :mod:`repro.core.model` (millions of points per second).  With
+  ``out=`` the same vectorized arithmetic runs *block-by-block*,
+  streaming each block straight into a
+  :class:`~repro.sweep.shards.ShardWriter` so million-point grids
+  complete with memory bounded by the block size
+  (:func:`iter_model_sweep` is the underlying generator).
 - :func:`parallel_map` / :func:`run_sweep` — simnet pipeline runs,
   queueing evaluations and other per-point Python work are chunked
   across a ``multiprocessing`` pool.  Results keep the spec's
   enumeration order regardless of worker count, and a content-hash
   :class:`~repro.sweep.cache.ResultCache` skips points evaluated
-  before.
+  before.  ``run_sweep`` also takes ``out=`` to stream per-point
+  results to shards.
+- ``backend="hybrid"`` — an ``asyncio`` + process-pool hybrid behind
+  the same :func:`parallel_map` contract: plain functions are chunked
+  onto a ``ProcessPoolExecutor`` driven from the event loop, while
+  *coroutine* functions (I/O-bound points: remote probes, file
+  staging) run concurrently on the loop itself under a
+  ``workers``-wide semaphore.  Ordering and results are identical to
+  the process backend.
 """
 
 from __future__ import annotations
 
+import asyncio
 import math
 import multiprocessing
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -30,13 +45,19 @@ from .result import SweepResult
 from .spec import SweepSpec
 
 __all__ = [
+    "DEFAULT_BLOCK_SIZE",
     "MODEL_AXES",
     "MODEL_METRICS",
+    "adaptive_chunk_size",
     "evaluate_point",
+    "iter_model_sweep",
     "parallel_map",
     "run_model_sweep",
     "run_sweep",
 ]
+
+#: Default rows per streamed block / shard (~a few MB of float64 columns).
+DEFAULT_BLOCK_SIZE = 65_536
 
 
 def _positive(name: str, arr: np.ndarray) -> None:
@@ -159,29 +180,16 @@ def _model_kwargs(
     )
 
 
-def run_model_sweep(
-    spec: SweepSpec,
-    base: Optional[ModelParameters] = None,
-    metrics: Sequence[str] = MODEL_METRICS,
-) -> SweepResult:
-    """Evaluate the completion-time model over a whole spec in one
-    vectorized pass.
-
-    Every numeric axis named after a model parameter (see
-    :data:`MODEL_AXES`) is broadcast through the model; parameters not
-    swept come from ``base``.  Non-model axes (e.g. a ``facility``
-    label zipped with ``s_unit_gb``) are carried through to the result
-    table untouched.  Remote speed may be swept either as the ratio
-    ``r`` or as absolute ``r_remote_tflops``.
-    """
-    unknown = [m for m in metrics if m not in MODEL_METRICS]
-    if unknown:
-        raise ValidationError(
-            f"unknown sweep metrics {unknown}; expected a subset of {MODEL_METRICS}"
-        )
-    columns = spec.columns()
-    kw = _model_kwargs(columns, base, spec.n_points)
-    n = spec.n_points
+def _model_block(
+    columns: Dict[str, np.ndarray],
+    base: Optional[ModelParameters],
+    metrics: Sequence[str],
+    n: int,
+) -> Dict[str, np.ndarray]:
+    """Vectorized model evaluation of one column block (the shared core
+    of :func:`run_model_sweep` and the streamed paths — identical
+    arithmetic whether the grid arrives whole or in blocks)."""
+    kw = _model_kwargs(columns, base, n)
 
     def full(values: Any) -> np.ndarray:
         return np.broadcast_to(np.asarray(values, dtype=float), (n,)).copy()
@@ -227,7 +235,89 @@ def run_model_sweep(
             out[m] = full(t_loc / t_pct)
         elif m == "remote_is_faster":
             out[m] = np.broadcast_to(t_loc / t_pct > 1.0, (n,)).copy()
-    return SweepResult(columns=out, axis_names=spec.axis_names)
+    return out
+
+
+def _check_metrics(metrics: Sequence[str]) -> None:
+    unknown = [m for m in metrics if m not in MODEL_METRICS]
+    if unknown:
+        raise ValidationError(
+            f"unknown sweep metrics {unknown}; expected a subset of {MODEL_METRICS}"
+        )
+
+
+def iter_model_sweep(
+    spec: SweepSpec,
+    base: Optional[ModelParameters] = None,
+    metrics: Sequence[str] = MODEL_METRICS,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> Iterator[SweepResult]:
+    """Evaluate the vectorized model sweep block-by-block.
+
+    Yields one :class:`SweepResult` of at most ``block_size`` rows per
+    iteration, in enumeration order; at no point does more than one
+    block of axis/metric columns exist in memory.  Each block carries
+    the same values the monolithic :func:`run_model_sweep` would have
+    produced for those rows.
+    """
+    if block_size < 1:
+        raise ValidationError(f"block_size must be >= 1, got {block_size!r}")
+    _check_metrics(metrics)
+    for start in range(0, spec.n_points, block_size):
+        stop = min(start + block_size, spec.n_points)
+        columns = spec.columns_slice(start, stop)
+        out = _model_block(columns, base, metrics, stop - start)
+        yield SweepResult(columns=out, axis_names=spec.axis_names)
+
+
+def run_model_sweep(
+    spec: SweepSpec,
+    base: Optional[ModelParameters] = None,
+    metrics: Sequence[str] = MODEL_METRICS,
+    out: Optional[Union[str, Any]] = None,
+    block_size: Optional[int] = None,
+) -> Any:
+    """Evaluate the completion-time model over a whole spec in one
+    vectorized pass.
+
+    Every numeric axis named after a model parameter (see
+    :data:`MODEL_AXES`) is broadcast through the model; parameters not
+    swept come from ``base``.  Non-model axes (e.g. a ``facility``
+    label zipped with ``s_unit_gb``) are carried through to the result
+    table untouched.  Remote speed may be swept either as the ratio
+    ``r`` or as absolute ``r_remote_tflops``.
+
+    With ``out`` (a shard directory path or an open
+    :class:`~repro.sweep.shards.ShardWriter`) the sweep streams
+    block-by-block to columnar shards instead of materialising one
+    table: each block of ``block_size`` rows (default: the writer's
+    shard size) is evaluated vectorized and handed straight to the
+    writer, so peak memory is O(block), not O(grid).  Returns the lazy
+    :class:`~repro.sweep.shards.ShardedSweepResult` view (the writer is
+    closed and its manifest written).
+    """
+    _check_metrics(metrics)
+    if out is None:
+        columns = spec.columns()
+        values = _model_block(columns, base, metrics, spec.n_points)
+        return SweepResult(columns=values, axis_names=spec.axis_names)
+
+    from .shards import ShardedSweepResult, ShardWriter
+
+    if isinstance(out, ShardWriter):
+        writer = out
+    else:
+        writer = ShardWriter(
+            out,
+            shard_size=block_size or DEFAULT_BLOCK_SIZE,
+            axis_names=spec.axis_names,
+        )
+    for block in iter_model_sweep(
+        spec, base=base, metrics=metrics, block_size=block_size or writer.shard_size
+    ):
+        writer.append(block.columns)
+    writer.close()
+    return ShardedSweepResult(writer.directory)
 
 
 def evaluate_point(
@@ -288,23 +378,127 @@ def _run_chunk(payload: Tuple[Callable[[Any], Any], List[Any]]) -> List[Any]:
     return [fn(item) for item in items]
 
 
+def adaptive_chunk_size(n_pending: int, n_workers: int) -> int:
+    """Chunk rows so the pool sees ~4 chunks per worker.
+
+    Small enough that a slow straggler chunk cannot idle the pool for
+    long, large enough that per-chunk pickling/IPC overhead is
+    amortised; the resulting chunking is a pure function of
+    ``(n_pending, n_workers)``, so it never affects result values or
+    ordering.
+    """
+    if n_workers < 1:
+        raise ValidationError(f"n_workers must be >= 1, got {n_workers!r}")
+    if n_pending < 0:
+        raise ValidationError(f"n_pending must be >= 0, got {n_pending!r}")
+    return max(1, math.ceil(n_pending / (n_workers * 4)))
+
+
+def _make_chunks(pending: List[int], chunk_size: int) -> List[List[int]]:
+    return [
+        pending[lo : lo + chunk_size] for lo in range(0, len(pending), chunk_size)
+    ]
+
+
+def _hybrid_map(
+    fn: Callable[[Any], Any],
+    items: List[Any],
+    pending: List[int],
+    results: List[Any],
+    n_workers: int,
+    chunk_size: Optional[int],
+    pool: Optional[ProcessPoolExecutor] = None,
+) -> None:
+    """The asyncio + process-pool hybrid backend.
+
+    Coroutine functions run concurrently on the event loop (I/O-bound
+    points: ``workers`` acts as the concurrency limit); plain functions
+    are chunked onto a ``ProcessPoolExecutor`` whose futures the loop
+    awaits (a caller-managed ``pool`` is reused rather than owned).
+    Either way ``results`` is filled in input order.
+    """
+    if asyncio.iscoroutinefunction(fn):
+
+        async def _gather_coroutines() -> List[Any]:
+            sem = asyncio.Semaphore(n_workers)
+
+            async def one(i: int) -> Any:
+                async with sem:
+                    return await fn(items[i])
+
+            return await asyncio.gather(*(one(i) for i in pending))
+
+        for i, value in zip(pending, asyncio.run(_gather_coroutines())):
+            results[i] = value
+        return
+
+    if n_workers <= 1:
+        for i in pending:
+            results[i] = fn(items[i])
+        return
+
+    if chunk_size is None:
+        chunk_size = adaptive_chunk_size(len(pending), n_workers)
+    chunks = _make_chunks(pending, chunk_size)
+
+    async def _gather_chunks() -> List[List[Any]]:
+        loop = asyncio.get_running_loop()
+        executor = pool if pool is not None else ProcessPoolExecutor(
+            max_workers=n_workers
+        )
+        try:
+            futures = [
+                loop.run_in_executor(
+                    executor, _run_chunk, (fn, [items[i] for i in chunk])
+                )
+                for chunk in chunks
+            ]
+            return await asyncio.gather(*futures)
+        finally:
+            if pool is None:
+                executor.shutdown()
+
+    for chunk, values in zip(chunks, asyncio.run(_gather_chunks())):
+        for i, value in zip(chunk, values):
+            results[i] = value
+
+
 def parallel_map(
     fn: Callable[[Any], Any],
     items: Sequence[Any],
     workers: int = 1,
     chunk_size: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    backend: str = "process",
+    _pool: Optional[Any] = None,
 ) -> List[Any]:
     """Map ``fn`` over ``items``, optionally across processes.
 
     Results always come back in input order, whatever the worker count
-    — sweeps are reproducible artifacts, not best-effort batches.  With
-    a ``cache``, points whose content hash is already known are not
-    re-evaluated.  ``fn`` must be picklable for ``workers > 1``
-    (a module-level function or a ``functools.partial`` of one).
+    or backend — sweeps are reproducible artifacts, not best-effort
+    batches.  With a ``cache``, points whose content hash is already
+    known are not re-evaluated.  ``fn`` must be picklable for
+    ``workers > 1`` (a module-level function or a ``functools.partial``
+    of one).
+
+    ``backend`` selects the executor: ``"process"`` (default) chunks
+    onto a ``multiprocessing.Pool``; ``"hybrid"`` drives a process pool
+    from an ``asyncio`` event loop and additionally accepts *coroutine*
+    functions, which then run concurrently on the loop itself —
+    ``workers`` caps the in-flight count.  When ``chunk_size`` is not
+    given, chunks are sized adaptively to ~4 per worker
+    (:func:`adaptive_chunk_size`).
     """
     if workers < 0:
         raise ValidationError(f"workers must be >= 0, got {workers!r}")
+    if backend not in ("process", "hybrid"):
+        raise ValidationError(
+            f"unknown parallel_map backend {backend!r}; expected 'process' or 'hybrid'"
+        )
+    if asyncio.iscoroutinefunction(fn) and backend != "hybrid":
+        raise ValidationError(
+            "coroutine evaluation functions need backend='hybrid'"
+        )
     items = list(items)
     results: List[Any] = [None] * len(items)
     if cache is not None:
@@ -324,20 +518,24 @@ def parallel_map(
         return results
 
     n_workers = min(max(workers, 1), len(pending))
-    if n_workers <= 1:
+    if backend == "hybrid":
+        _hybrid_map(fn, items, pending, results, n_workers, chunk_size, pool=_pool)
+    elif n_workers <= 1:
         for i in pending:
             results[i] = fn(items[i])
     else:
         if chunk_size is None:
-            chunk_size = max(1, math.ceil(len(pending) / (n_workers * 4)))
-        chunks = [
-            pending[lo : lo + chunk_size]
-            for lo in range(0, len(pending), chunk_size)
-        ]
-        with multiprocessing.Pool(processes=n_workers) as pool:
-            chunk_results = pool.map(
-                _run_chunk, [(fn, [items[i] for i in chunk]) for chunk in chunks]
-            )
+            chunk_size = adaptive_chunk_size(len(pending), n_workers)
+        chunks = _make_chunks(pending, chunk_size)
+        payloads = [(fn, [items[i] for i in chunk]) for chunk in chunks]
+        if _pool is not None:
+            # Caller-managed pool (the streamed run_sweep path reuses
+            # one pool across all blocks instead of respawning workers
+            # per block).
+            chunk_results = _pool.map(_run_chunk, payloads)
+        else:
+            with multiprocessing.Pool(processes=n_workers) as pool:
+                chunk_results = pool.map(_run_chunk, payloads)
         for chunk, values in zip(chunks, chunk_results):
             for i, value in zip(chunk, values):
                 results[i] = value
@@ -348,33 +546,20 @@ def parallel_map(
     return results
 
 
-def run_sweep(
-    spec: SweepSpec,
-    fn: Callable[[Dict[str, Any]], Any],
-    workers: int = 1,
-    chunk_size: Optional[int] = None,
-    cache: Optional[ResultCache] = None,
-) -> SweepResult:
-    """Run an arbitrary per-point evaluation over a spec.
-
-    ``fn`` receives each scenario point as an ``{axis: value}`` dict
-    and returns either a dict of metric values (one result column per
-    key) or a scalar (stored as a ``value`` column).  Execution goes
-    through :func:`parallel_map`; ordering matches
-    :meth:`SweepSpec.points` exactly, for any ``workers``.
-    """
-    points = list(spec.points())
-    raw = parallel_map(
-        fn, points, workers=workers, chunk_size=chunk_size, cache=cache
-    )
-    columns: Dict[str, Any] = dict(spec.columns())
+def _merge_metric_columns(
+    columns: Dict[str, Any], raw: List[Any]
+) -> Dict[str, Any]:
+    """Attach per-point results to axis ``columns`` as metric columns
+    (dict results become one column per key; scalars a ``value``
+    column)."""
     if raw and isinstance(raw[0], dict):
         metric_names = list(raw[0].keys())
         for res in raw:
-            if set(res.keys()) != set(metric_names):
+            if not isinstance(res, dict) or set(res.keys()) != set(metric_names):
+                got = sorted(res.keys()) if isinstance(res, dict) else type(res).__name__
                 raise ValidationError(
                     "per-point results must share one metric set; got "
-                    f"{sorted(res.keys())} vs {sorted(metric_names)}"
+                    f"{got} vs {sorted(metric_names)}"
                 )
         for name in metric_names:
             if name in columns:
@@ -384,4 +569,88 @@ def run_sweep(
             columns[name] = np.asarray([res[name] for res in raw])
     else:
         columns["value"] = np.asarray(raw)
-    return SweepResult(columns=columns, axis_names=spec.axis_names)
+    return columns
+
+
+def run_sweep(
+    spec: SweepSpec,
+    fn: Callable[[Dict[str, Any]], Any],
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    backend: str = "process",
+    out: Optional[Union[str, Any]] = None,
+    block_size: Optional[int] = None,
+) -> Any:
+    """Run an arbitrary per-point evaluation over a spec.
+
+    ``fn`` receives each scenario point as an ``{axis: value}`` dict
+    and returns either a dict of metric values (one result column per
+    key) or a scalar (stored as a ``value`` column).  Execution goes
+    through :func:`parallel_map` on the chosen ``backend``; ordering
+    matches :meth:`SweepSpec.points` exactly, for any ``workers``.
+
+    With ``out`` (a shard directory path or an open
+    :class:`~repro.sweep.shards.ShardWriter`) points are evaluated and
+    written block-by-block — only one ``block_size`` slice of points
+    and results is ever in memory — and the lazy
+    :class:`~repro.sweep.shards.ShardedSweepResult` view is returned.
+    """
+    if out is None:
+        points = list(spec.points())
+        raw = parallel_map(
+            fn, points, workers=workers, chunk_size=chunk_size,
+            cache=cache, backend=backend,
+        )
+        columns = _merge_metric_columns(dict(spec.columns()), raw)
+        return SweepResult(columns=columns, axis_names=spec.axis_names)
+
+    from .shards import ShardedSweepResult, ShardWriter
+
+    if isinstance(out, ShardWriter):
+        writer = out
+    else:
+        writer = ShardWriter(
+            out,
+            shard_size=block_size or DEFAULT_BLOCK_SIZE,
+            axis_names=spec.axis_names,
+        )
+    step = block_size or writer.shard_size
+    # One worker pool for the whole sweep (either backend) — respawning
+    # processes per block would idle the workers at every shard
+    # boundary.  Coroutine fns run on the event loop; no pool needed.
+    pool: Optional[Any] = None
+    try:
+        if (
+            workers > 1
+            and spec.n_points > 1
+            and not asyncio.iscoroutinefunction(fn)
+        ):
+            if backend == "process":
+                pool = multiprocessing.Pool(processes=workers)
+            elif backend == "hybrid":
+                pool = ProcessPoolExecutor(max_workers=workers)
+        for start in range(0, spec.n_points, step):
+            stop = min(start + step, spec.n_points)
+            axis_block = spec.columns_slice(start, stop)
+            # Points carry the axes' original values (not the writer's
+            # float-coerced columns) so fn inputs and cache keys are
+            # identical to the in-memory path.
+            raw = parallel_map(
+                fn,
+                spec.points_slice(start, stop),
+                workers=workers,
+                chunk_size=chunk_size,
+                cache=cache,
+                backend=backend,
+                _pool=pool,
+            )
+            writer.append(_merge_metric_columns(dict(axis_block), raw))
+    finally:
+        if isinstance(pool, ProcessPoolExecutor):
+            pool.shutdown()
+        elif pool is not None:
+            pool.close()
+            pool.join()
+    writer.close()
+    return ShardedSweepResult(writer.directory)

@@ -230,6 +230,45 @@ class SweepResult:
         payload = json.loads(text)
         return cls(payload["columns"], axis_names=payload.get("axis_names", ()))
 
+    def to_shards(
+        self, directory: str, shard_size: int = 100_000
+    ) -> "Any":
+        """Write the table as a sharded columnar store (``.npz`` shards
+        plus a manifest; see :mod:`repro.sweep.shards`) and return the
+        lazy :class:`~repro.sweep.shards.ShardedSweepResult` view.
+
+        The in-memory table is split into ``shard_size``-row blocks; the
+        columnar layout round-trips exactly through
+        :meth:`from_shards`.
+        """
+        from .shards import ShardedSweepResult, ShardWriter
+
+        if self.n_rows == 0:
+            raise ValidationError(
+                "cannot shard an empty table (0 rows); shards need at "
+                "least one point"
+            )
+        with ShardWriter(
+            directory, shard_size=shard_size, axis_names=self.axis_names
+        ) as writer:
+            for lo in range(0, self.n_rows, writer.shard_size):
+                writer.append(
+                    {
+                        name: col[lo : lo + writer.shard_size]
+                        for name, col in self.columns.items()
+                    }
+                )
+        return ShardedSweepResult(writer.directory)
+
+    @classmethod
+    def from_shards(cls, source: str) -> "SweepResult":
+        """Materialise a shard directory (or manifest path) written by
+        :meth:`to_shards` / :class:`~repro.sweep.shards.ShardWriter`
+        back into one in-memory table."""
+        from .shards import ShardedSweepResult
+
+        return ShardedSweepResult(source).to_result()
+
     def to_csv(self, path: Optional[str] = None) -> str:
         """Serialise the table as CSV (header + one row per point)."""
         buf = io.StringIO()

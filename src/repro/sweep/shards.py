@@ -1,0 +1,529 @@
+"""Sharded, columnar sweep results for out-of-core grids.
+
+A million-point decision surface does not fit comfortably in one
+in-memory :class:`~repro.sweep.result.SweepResult`, and row-by-row
+JSON/CSV serialisation is orders of magnitude too slow at that scale.
+This module stores sweep output as a directory of *shards* — plain
+``.npz`` files holding one numpy array per column for a contiguous
+block of points — plus a small ``manifest.json`` describing the layout:
+
+- :class:`ShardWriter` — accepts column blocks in enumeration order and
+  streams them to ``shard-NNNNN.npz`` files of a fixed row count, so
+  peak memory is bounded by the shard size, never the grid size,
+- :class:`ShardReader` — iterates shard blocks (optionally a column
+  subset; ``.npz`` members load lazily, so scanning two columns of a
+  wide table never touches the rest),
+- :class:`ShardedSweepResult` — a lazy, read-only view over a shard
+  directory with the :class:`SweepResult` accessors downstream analysis
+  needs (``column``, ``crossover``, ``iter_blocks``), concatenating
+  columns on demand and never materialising the full table unless asked
+  (:meth:`ShardedSweepResult.to_result`).
+
+Numeric and boolean columns are stored as native numpy arrays (no
+per-row Python objects anywhere on the write path); object columns
+(e.g. a zipped ``facility`` label) are stored as JSON-encoded string
+arrays and decoded on read, so ``from_shards(to_shards(r))`` round-trips
+exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import ValidationError
+from .result import SweepResult
+
+__all__ = [
+    "MANIFEST_NAME",
+    "ShardWriter",
+    "ShardReader",
+    "ShardedSweepResult",
+    "open_shards",
+]
+
+MANIFEST_NAME = "manifest.json"
+
+_MANIFEST_VERSION = 1
+
+#: numpy dtype kinds stored natively (everything else goes through JSON).
+_NATIVE_KINDS = "fiub"
+
+
+def _json_cell(value: Any) -> Any:
+    """One object-column cell reduced to a JSON-safe value (lossless)."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise ValidationError(
+        "shard columns must hold numbers, booleans, strings or None; "
+        f"got {type(value).__name__}: {value!r}"
+    )
+
+
+def _encode_column(name: str, arr: np.ndarray) -> Tuple[np.ndarray, str]:
+    """Encode one column for ``.npz`` storage, returning (array, kind)."""
+    if arr.dtype.kind in _NATIVE_KINDS:
+        return arr, "numeric"
+    encoded = np.array([json.dumps(_json_cell(v)) for v in arr], dtype=str)
+    return encoded, "json"
+
+
+def _decode_column(arr: np.ndarray, kind: str) -> np.ndarray:
+    """Invert :func:`_encode_column`."""
+    if kind == "numeric":
+        return arr
+    out = np.empty(len(arr), dtype=object)
+    out[:] = [json.loads(str(v)) for v in arr]
+    return out
+
+
+def _as_block_column(name: str, values: Any) -> np.ndarray:
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise ValidationError(
+            f"shard column {name!r} must be 1-D, got shape {arr.shape}"
+        )
+    if arr.dtype.kind in _NATIVE_KINDS:
+        return arr
+    out = np.empty(len(arr), dtype=object)
+    out[:] = list(values)
+    return out
+
+
+class ShardWriter:
+    """Stream column blocks into fixed-size ``.npz`` shards.
+
+    Blocks (``{column: 1-D array}``) arrive in enumeration order via
+    :meth:`append`; whenever ``shard_size`` rows have accumulated a
+    shard file is written and the buffer drained, so memory stays
+    O(shard_size) regardless of how many points flow through.  The
+    manifest is written on :meth:`close` (or context-manager exit).
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, pathlib.Path],
+        shard_size: int = 100_000,
+        axis_names: Sequence[str] = (),
+    ) -> None:
+        if shard_size < 1:
+            raise ValidationError(f"shard_size must be >= 1, got {shard_size!r}")
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.shard_size = int(shard_size)
+        self.axis_names: Tuple[str, ...] = tuple(axis_names)
+        self._names: Optional[List[str]] = None
+        self._kinds: Dict[str, str] = {}
+        self._buffer: List[Dict[str, np.ndarray]] = []
+        self._buffered = 0
+        self._shards: List[Dict[str, Any]] = []
+        self.n_rows = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def append(self, block: Dict[str, Any]) -> None:
+        """Buffer one column block, flushing full shards to disk."""
+        if self._closed:
+            raise ValidationError("ShardWriter is closed")
+        if not block:
+            raise ValidationError("shard blocks need at least one column")
+        cols = {name: _as_block_column(name, vals) for name, vals in block.items()}
+        lengths = {len(v) for v in cols.values()}
+        if len(lengths) != 1:
+            raise ValidationError(
+                f"shard block columns must share one length, got {sorted(lengths)}"
+            )
+        if self._names is None:
+            self._names = list(cols)
+            missing = [a for a in self.axis_names if a not in cols]
+            if missing:
+                raise ValidationError(
+                    f"axis columns missing from shard block: {missing}"
+                )
+        elif set(cols) != set(self._names):
+            raise ValidationError(
+                "shard blocks must share one column set; got "
+                f"{sorted(cols)} vs {sorted(self._names)}"
+            )
+        n = lengths.pop()
+        if n == 0:
+            return
+        self._buffer.append(cols)
+        self._buffered += n
+        self.n_rows += n
+        while self._buffered >= self.shard_size:
+            self._flush(self.shard_size)
+
+    def _flush(self, n: int) -> None:
+        """Write the first ``n`` buffered rows as one shard file."""
+        assert self._names is not None
+        merged: Dict[str, np.ndarray] = {}
+        if len(self._buffer) == 1:
+            whole = self._buffer[0]
+        else:
+            whole = {
+                name: np.concatenate([b[name] for b in self._buffer])
+                for name in self._names
+            }
+        for name in self._names:
+            merged[name] = whole[name][:n]
+        rest = {name: whole[name][n:] for name in self._names}
+        self._buffer = [rest] if len(next(iter(rest.values()))) else []
+        self._buffered -= n
+
+        payload: Dict[str, np.ndarray] = {}
+        for name in self._names:
+            encoded, kind = _encode_column(name, merged[name])
+            prior = self._kinds.setdefault(name, kind)
+            if prior != kind:
+                raise ValidationError(
+                    f"shard column {name!r} changed kind between blocks "
+                    f"({prior} -> {kind})"
+                )
+            payload[name] = encoded
+        fname = f"shard-{len(self._shards):05d}.npz"
+        np.savez(self.directory / fname, **payload)
+        self._shards.append({"file": fname, "n_rows": n})
+
+    def close(self) -> pathlib.Path:
+        """Flush the tail shard and write the manifest; returns its path."""
+        if self._closed:
+            return self.directory / MANIFEST_NAME
+        if self._names is None or self.n_rows == 0:
+            raise ValidationError("cannot close a ShardWriter with no rows")
+        if self._buffered:
+            self._flush(self._buffered)
+        manifest = {
+            "version": _MANIFEST_VERSION,
+            "axis_names": list(self.axis_names),
+            "n_rows": self.n_rows,
+            "shard_size": self.shard_size,
+            "columns": [
+                {"name": n, "kind": self._kinds[n]} for n in self._names
+            ],
+            "shards": self._shards,
+        }
+        path = self.directory / MANIFEST_NAME
+        path.write_text(json.dumps(manifest, indent=2) + "\n")
+        self._closed = True
+        return path
+
+    def __enter__(self) -> "ShardWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+
+
+def _resolve_manifest(source: Union[str, pathlib.Path]) -> pathlib.Path:
+    path = pathlib.Path(source)
+    if path.is_dir():
+        path = path / MANIFEST_NAME
+    if not path.exists():
+        raise ValidationError(f"no shard manifest at {path}")
+    return path
+
+
+class ShardReader:
+    """Read shard blocks back in enumeration order."""
+
+    def __init__(self, source: Union[str, pathlib.Path]) -> None:
+        self.manifest_path = _resolve_manifest(source)
+        self.directory = self.manifest_path.parent
+        manifest = json.loads(self.manifest_path.read_text())
+        if manifest.get("version") != _MANIFEST_VERSION:
+            raise ValidationError(
+                f"unsupported shard manifest version {manifest.get('version')!r}"
+            )
+        self.axis_names: Tuple[str, ...] = tuple(manifest["axis_names"])
+        self.n_rows: int = int(manifest["n_rows"])
+        self.shard_size: int = int(manifest["shard_size"])
+        self.column_kinds: Dict[str, str] = {
+            c["name"]: c["kind"] for c in manifest["columns"]
+        }
+        self.column_names: Tuple[str, ...] = tuple(self.column_kinds)
+        self.shards: List[Dict[str, Any]] = list(manifest["shards"])
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def _select(self, columns: Optional[Sequence[str]]) -> List[str]:
+        if columns is None:
+            return list(self.column_names)
+        unknown = [c for c in columns if c not in self.column_kinds]
+        if unknown:
+            raise ValidationError(
+                f"unknown shard columns {unknown}; have {list(self.column_names)}"
+            )
+        return list(columns)
+
+    def read_shard(
+        self, index: int, columns: Optional[Sequence[str]] = None
+    ) -> Dict[str, np.ndarray]:
+        """One shard as a ``{column: array}`` block (optionally a subset
+        of columns; untouched columns are never loaded)."""
+        if not 0 <= index < self.n_shards:
+            raise ValidationError(
+                f"shard index {index} out of range [0, {self.n_shards})"
+            )
+        names = self._select(columns)
+        path = self.directory / self.shards[index]["file"]
+        with np.load(path, allow_pickle=False) as data:
+            return {
+                name: _decode_column(data[name], self.column_kinds[name])
+                for name in names
+            }
+
+    def iter_blocks(
+        self, columns: Optional[Sequence[str]] = None
+    ) -> Iterator[Dict[str, np.ndarray]]:
+        """Iterate all shards in order as column blocks."""
+        for i in range(self.n_shards):
+            yield self.read_shard(i, columns=columns)
+
+
+class ShardedSweepResult:
+    """Lazy sweep-table view over a shard directory.
+
+    Offers the accessors downstream analysis uses on an in-memory
+    :class:`~repro.sweep.result.SweepResult` — ``column`` (concatenated
+    on demand, one column at a time), ``crossover`` (a streaming
+    per-block scan), ``iter_blocks`` — without ever holding the whole
+    table.  :meth:`to_result` materialises everything when you really
+    want the full table in memory.
+    """
+
+    def __init__(self, source: Union[str, pathlib.Path, ShardReader]) -> None:
+        self.reader = source if isinstance(source, ShardReader) else ShardReader(source)
+
+    # ------------------------------------------------------------------
+    # SweepResult-compatible surface
+    # ------------------------------------------------------------------
+    @property
+    def axis_names(self) -> Tuple[str, ...]:
+        return self.reader.axis_names
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        return self.reader.column_names
+
+    @property
+    def metric_names(self) -> Tuple[str, ...]:
+        return tuple(
+            n for n in self.reader.column_names if n not in self.reader.axis_names
+        )
+
+    @property
+    def n_rows(self) -> int:
+        return self.reader.n_rows
+
+    @property
+    def n_shards(self) -> int:
+        return self.reader.n_shards
+
+    @property
+    def directory(self) -> pathlib.Path:
+        return self.reader.directory
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def iter_blocks(
+        self, columns: Optional[Sequence[str]] = None
+    ) -> Iterator[Dict[str, np.ndarray]]:
+        """Shard-sized column blocks in enumeration order."""
+        return self.reader.iter_blocks(columns=columns)
+
+    def column(self, name: str) -> np.ndarray:
+        """One full column, concatenated across shards (loads only that
+        column — sibling columns stay on disk)."""
+        parts = [block[name] for block in self.iter_blocks(columns=(name,))]
+        return np.concatenate(parts) if len(parts) > 1 else parts[0]
+
+    def unique(self, name: str) -> List[Any]:
+        """Distinct values of one column in first-appearance order,
+        collected shard-by-shard (per-block dedup is vectorized, so the
+        Python-level work is O(distinct values), not O(rows))."""
+        seen: Dict[Any, None] = {}
+        for block in self.iter_blocks(columns=(name,)):
+            for v in _block_unique(block[name]):
+                seen.setdefault(v, None)
+        return list(seen)
+
+    def to_result(self) -> SweepResult:
+        """Materialise the whole table as an in-memory SweepResult."""
+        columns = {
+            name: self.column(name) for name in self.reader.column_names
+        }
+        return SweepResult(columns, axis_names=self.axis_names)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedSweepResult({self.n_rows} rows, {self.n_shards} shards, "
+            f"dir={str(self.directory)!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # Incremental crossover
+    # ------------------------------------------------------------------
+    def crossover(
+        self,
+        x: str,
+        metric: str = "speedup",
+        threshold: float = 1.0,
+        group_by: Sequence[str] = (),
+    ) -> List[Dict[str, Any]]:
+        """Streaming counterpart of :meth:`SweepResult.crossover`.
+
+        Shards are scanned block-by-block holding only the ``x``,
+        ``metric`` and ``group_by`` columns of one shard at a time; per
+        group the running bracket around ``threshold`` is advanced and
+        the first crossing linearly interpolated, exactly reproducing
+        the in-memory answer.  Requires each group's rows to arrive
+        sorted by ``x`` (true for every sweep executed in enumeration
+        order over ascending axes); when a group turns out unsorted the
+        scan transparently falls back to loading just the needed columns
+        and sorting — still never the whole table.
+        """
+        needed = (x, metric, *group_by)
+        # state per group: [crossing, prev_x, prev_m, has_prev]
+        states: Dict[Tuple[Any, ...], List[Any]] = {}
+        for block in self.iter_blocks(columns=needed):
+            xs = np.asarray(block[x], dtype=float)
+            ms = np.asarray(block[metric], dtype=float)
+            if group_by:
+                segments = _group_segments(block, group_by)
+            else:
+                segments = [((), np.arange(len(xs)))]
+            for key, idx in segments:
+                st = states.setdefault(key, [None, None, None, False])
+                seg_x = xs[idx]
+                seg_m = ms[idx]
+                # The streaming scan is only exact while each group's
+                # rows keep arriving in ascending x — checked for every
+                # segment, even after a crossing is located, because an
+                # out-of-order row anywhere invalidates "first crossing
+                # in sorted order".
+                prev_ok = (not st[3]) or seg_x[0] >= st[1]
+                if not (prev_ok and np.all(np.diff(seg_x) >= 0)):
+                    return self._crossover_sorted(x, metric, threshold, group_by)
+                if st[0] is not None:
+                    st[1] = seg_x[-1]
+                    continue  # crossing located; keep tracking order only
+                above = seg_m >= threshold
+                if not st[3] and above[0]:
+                    st[0] = float(seg_x[0])
+                    st[1] = seg_x[-1]
+                    st[3] = True
+                    continue
+                last_x = seg_x[-1]
+                last_m = seg_m[-1]
+                if st[3]:
+                    seg_x = np.concatenate(([st[1]], seg_x))
+                    seg_m = np.concatenate(([st[2]], seg_m))
+                    above = seg_m >= threshold
+                flips = np.nonzero(above)[0]
+                if flips.size:
+                    j = int(flips[0])
+                    x0, x1 = seg_x[j - 1], seg_x[j]
+                    m0, m1 = seg_m[j - 1], seg_m[j]
+                    frac = 0.0 if m1 == m0 else (threshold - m0) / (m1 - m0)
+                    st[0] = float(x0 + frac * (x1 - x0))
+                st[1] = last_x
+                st[2] = last_m
+                st[3] = True
+        out: List[Dict[str, Any]] = []
+        for key, st in states.items():
+            entry = dict(zip(group_by, key))
+            entry[x] = st[0]
+            out.append(entry)
+        return out
+
+    def _crossover_sorted(
+        self, x: str, metric: str, threshold: float, group_by: Sequence[str]
+    ) -> List[Dict[str, Any]]:
+        """Fallback for unsorted groups: load only the needed columns and
+        delegate to the in-memory locator (which sorts)."""
+        needed = dict.fromkeys((x, metric, *group_by))
+        small = SweepResult(
+            {name: self.column(name) for name in needed},
+            axis_names=tuple(n for n in needed if n in self.axis_names),
+        )
+        return small.crossover(x, metric=metric, threshold=threshold, group_by=group_by)
+
+
+def _block_unique(values: np.ndarray) -> List[Any]:
+    """Distinct values of one column block in first-appearance order,
+    vectorized where the dtype allows (object columns of mixed,
+    non-comparable types fall back to a dict pass)."""
+    arr = np.asarray(values)
+    if arr.dtype.kind == "O":
+        try:
+            sortable = arr.astype("U")
+        except (TypeError, ValueError):
+            seen: Dict[Any, None] = {}
+            for v in values:
+                seen.setdefault(v, None)
+            return list(seen)
+    else:
+        sortable = arr
+    _, first = np.unique(sortable, return_index=True)
+    return list(arr[np.sort(first)])
+
+
+def _factorize(values: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Integer codes for one group column (np.unique for sortable
+    dtypes, dict fallback for arbitrary objects)."""
+    arr = np.asarray(values)
+    if arr.dtype.kind == "O":
+        try:
+            arr = arr.astype("U")
+        except (TypeError, ValueError):
+            mapping: Dict[Any, int] = {}
+            codes = np.empty(len(values), dtype=np.int64)
+            for i, v in enumerate(values):
+                codes[i] = mapping.setdefault(v, len(mapping))
+            return codes, len(mapping)
+    uniq, inverse = np.unique(arr, return_inverse=True)
+    return inverse.astype(np.int64), len(uniq)
+
+
+def _group_segments(
+    block: Dict[str, np.ndarray], group_by: Sequence[str]
+) -> List[Tuple[Tuple[Any, ...], np.ndarray]]:
+    """Split one block's row indices by group key, preserving row order
+    inside each group and first-appearance order across groups.
+
+    Group keys are factorized per column and combined into one integer
+    code per row, so the per-row work stays in numpy; only the distinct
+    groups surface as Python objects.
+    """
+    cols = [block[g] for g in group_by]
+    combined, _ = _factorize(cols[0])
+    for col in cols[1:]:
+        codes, size = _factorize(col)
+        combined = combined * size + codes
+    order = np.argsort(combined, kind="stable")
+    sorted_codes = combined[order]
+    bounds = np.nonzero(np.diff(sorted_codes))[0] + 1
+    segments = np.split(order, bounds)
+    segments.sort(key=lambda idx: int(idx[0]))  # first-appearance order
+    return [
+        (tuple(col[idx[0]] for col in cols), idx) for idx in segments
+    ]
+
+
+def open_shards(source: Union[str, pathlib.Path]) -> ShardedSweepResult:
+    """Open a shard directory (or manifest path) as a lazy sweep table."""
+    return ShardedSweepResult(source)

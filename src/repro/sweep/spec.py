@@ -226,7 +226,25 @@ class SweepSpec:
         Numeric axes yield float arrays; non-numeric axes yield object
         arrays.
         """
-        idx = self.index_grid()
+        return self.columns_slice(0, self.n_points)
+
+    def columns_slice(self, start: int, stop: int) -> Dict[str, np.ndarray]:
+        """Axis columns for enumeration indices ``[start, stop)`` only.
+
+        The streamed counterpart of :meth:`columns`: the block's index
+        arrays are derived arithmetically from the flat enumeration
+        index (C-order unravel over the block shape), so materialising a
+        block of a million-point grid costs O(block), not O(grid) —
+        the foundation of the out-of-core sweep path in
+        :mod:`repro.sweep.engine`.
+        """
+        if not 0 <= start <= stop <= self.n_points:
+            raise ValidationError(
+                f"slice [{start}, {stop}) out of range for {self.n_points} points"
+            )
+        idx = np.unravel_index(
+            np.arange(start, stop, dtype=np.int64), self.shape
+        )
         out: Dict[str, np.ndarray] = {}
         for bi, block in enumerate(self.blocks):
             for a in block:
@@ -249,6 +267,32 @@ class SweepSpec:
                 for a in block:
                     point[a.name] = a.values[j]
             yield point
+
+    def points_slice(self, start: int, stop: int) -> List[Dict[str, Any]]:
+        """Scenario points for enumeration indices ``[start, stop)``.
+
+        Carries the axes' *original* values (same objects/types as
+        :meth:`points`, not the float-coerced columns of
+        :meth:`columns_slice`), so streamed per-point evaluation sees
+        bit-identical inputs — and produces identical result-cache keys
+        — whether a sweep runs whole or in blocks.
+        """
+        if not 0 <= start <= stop <= self.n_points:
+            raise ValidationError(
+                f"slice [{start}, {stop}) out of range for {self.n_points} points"
+            )
+        idx = np.unravel_index(
+            np.arange(start, stop, dtype=np.int64), self.shape
+        )
+        out: List[Dict[str, Any]] = []
+        for k in range(stop - start):
+            point: Dict[str, Any] = {}
+            for bi, block in enumerate(self.blocks):
+                j = int(idx[bi][k])
+                for a in block:
+                    point[a.name] = a.values[j]
+            out.append(point)
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         desc = " x ".join(

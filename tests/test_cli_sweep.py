@@ -158,6 +158,168 @@ class TestDeterminism:
         assert one == many
 
 
+class TestOutOfCore:
+    """--out-dir streams shards; summary output; incremental crossover."""
+
+    def test_out_dir_writes_shards_and_prints_summary(self, capsys, tmp_path):
+        out = tmp_path / "shards"
+        assert main(
+            ["sweep", "--axis", "bandwidth_gbps=1:400:100:log",
+             "--out-dir", str(out), "--shard-size", "32"]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "Out-of-core sweep (sharded)" in text
+        assert (out / "manifest.json").exists()
+        assert len(list(out.glob("shard-*.npz"))) == 4  # ceil(100/32)
+
+    def test_out_dir_matches_in_memory_table(self, capsys, tmp_path):
+        import numpy as np
+
+        from repro.sweep import open_shards
+
+        assert main(BASE_ARGS + ["--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        out = tmp_path / "shards"
+        assert main(BASE_ARGS + ["--out-dir", str(out)]) == 0
+        sharded = open_shards(out)
+        np.testing.assert_allclose(
+            sharded.column("speedup"), payload["columns"]["speedup"], rtol=1e-12
+        )
+
+    def test_out_dir_json_summary(self, capsys, tmp_path):
+        out = tmp_path / "shards"
+        assert main(
+            BASE_ARGS + ["--out-dir", str(out), "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_rows"] == 3
+        assert payload["manifest"].endswith("manifest.json")
+
+    def test_out_dir_crossover_scans_shards(self, capsys, tmp_path):
+        out = tmp_path / "shards"
+        assert main(
+            ["sweep", "--axis", "bandwidth_gbps=1:400:60:log",
+             "--out-dir", str(out), "--shard-size", "16",
+             "--crossover-x", "bandwidth_gbps"]
+        ) == 0
+        assert "speedup=1 crossovers along bandwidth_gbps" in capsys.readouterr().out
+
+    def test_out_dir_csv_rejected_before_sweeping(self, tmp_path):
+        out = tmp_path / "s"
+        with pytest.raises(Exception, match="csv"):
+            main(BASE_ARGS + ["--out-dir", str(out), "--format", "csv"])
+        # The guard fires before any work: no shards were written.
+        assert not out.exists()
+
+    def test_shard_size_without_out_dir_rejected(self):
+        with pytest.raises(Exception, match="--out-dir"):
+            main(BASE_ARGS + ["--shard-size", "16"])
+
+    def test_process_mode_out_dir(self, capsys, tmp_path):
+        from repro.sweep import open_shards
+
+        out = tmp_path / "shards"
+        assert main(
+            BASE_ARGS + ["--mode", "process", "--out-dir", str(out)]
+        ) == 0
+        assert open_shards(out).n_rows == 3
+
+    def test_process_mode_out_dir_honours_metrics(self, capsys, tmp_path):
+        """--metrics narrows the shard columns in process mode too
+        (regression: it used to be silently ignored with --out-dir)."""
+        from repro.sweep import open_shards
+
+        out = tmp_path / "shards"
+        assert main(
+            BASE_ARGS + ["--mode", "process", "--out-dir", str(out),
+                         "--metrics", "t_pct,speedup"]
+        ) == 0
+        assert open_shards(out).metric_names == ("t_pct", "speedup")
+
+
+class TestCacheFlags:
+    def test_cache_dir_populates_cache(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        args = BASE_ARGS + ["--mode", "process", "--cache-dir", str(cache_dir)]
+        assert main(args) == 0
+        assert len(list(cache_dir.glob("*.json"))) == 3
+        assert main(args) == 0  # second run hits the cache
+
+    def test_cache_max_entries_bounds_directory(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        assert main(
+            BASE_ARGS + ["--mode", "process", "--cache-dir", str(cache_dir),
+                         "--cache-max-entries", "2"]
+        ) == 0
+        assert len(list(cache_dir.glob("*.json"))) == 2
+
+    def test_cache_flags_rejected_in_vectorized_mode(self, tmp_path):
+        with pytest.raises(Exception, match="--mode process"):
+            main(BASE_ARGS + ["--cache-dir", str(tmp_path / "c")])
+
+    def test_hybrid_backend_matches_process(self, capsys):
+        assert main(BASE_ARGS + ["--mode", "process", "--format", "csv"]) == 0
+        process_out = capsys.readouterr().out
+        assert main(
+            BASE_ARGS + ["--mode", "process", "--backend", "hybrid",
+                         "--workers", "2", "--format", "csv"]
+        ) == 0
+        assert capsys.readouterr().out == process_out
+
+
+class TestSimnetTable2:
+    @pytest.mark.slow
+    def test_simnet_grid_from_cli(self, capsys):
+        assert main(
+            ["sweep", "--simnet-table2", "--duration", "2",
+             "--workers", "2", "--format", "csv"]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("concurrency,parallel_flows,")
+        assert len(lines) == 1 + 24  # Table-2: 8 concurrency x 3 P values
+
+    @pytest.mark.slow
+    def test_simnet_grid_shards(self, capsys, tmp_path):
+        from repro.sweep import open_shards
+
+        out = tmp_path / "shards"
+        assert main(
+            ["sweep", "--simnet-table2", "--duration", "1",
+             "--out-dir", str(out), "--shard-size", "10"]
+        ) == 0
+        assert open_shards(out).n_rows == 24
+
+    def test_simnet_with_axes_rejected(self):
+        with pytest.raises(Exception, match="simnet-table2"):
+            main(BASE_ARGS + ["--simnet-table2"])
+
+    def test_simnet_with_cache_flags_rejected(self, tmp_path):
+        with pytest.raises(Exception, match="do not apply"):
+            main(["sweep", "--simnet-table2", "--cache-dir", str(tmp_path / "c")])
+
+    def test_simnet_with_hybrid_backend_rejected(self):
+        with pytest.raises(Exception, match="--backend"):
+            main(["sweep", "--simnet-table2", "--backend", "hybrid"])
+
+    def test_simnet_with_metrics_rejected(self):
+        with pytest.raises(Exception, match="--metrics"):
+            main(["sweep", "--simnet-table2", "--metrics", "speedup"])
+
+    def test_simnet_with_crossover_rejected_before_simulating(self):
+        """The guard fires before the (slow) grid runs — the simnet
+        table has no speedup column for the crossover summary."""
+        with pytest.raises(Exception, match="crossover-x"):
+            main(["sweep", "--simnet-table2", "--crossover-x", "concurrency"])
+
+    def test_seeds_without_simnet_rejected(self):
+        with pytest.raises(Exception, match="--simnet-table2 only"):
+            main(BASE_ARGS + ["--seeds", "1", "2"])
+
+    def test_hybrid_backend_rejected_in_vectorized_mode(self):
+        with pytest.raises(Exception, match="--backend"):
+            main(BASE_ARGS + ["--backend", "hybrid"])
+
+
 class TestPresets:
     def test_lcls_preset_changes_numbers(self, capsys):
         assert main(BASE_ARGS + ["--format", "json"]) == 0

@@ -1,0 +1,158 @@
+"""ResultCache hygiene: LRU entry bounds and TTL expiry."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.sweep import ResultCache
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestLruEviction:
+    def test_evicts_least_recently_put(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.get("a", "miss") == "miss"
+        assert cache.get("b") == 2 and cache.get("c") == 3
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_get_refreshes_recency(self):
+        """A hit protects the entry: eviction order is by use, not
+        insertion."""
+        cache = ResultCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a; b is now LRU
+        cache.put("c", 3)
+        assert cache.get("b", "miss") == "miss"
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+    def test_eviction_order_across_many_puts(self):
+        cache = ResultCache(max_entries=3)
+        for i in range(10):
+            cache.put(f"k{i}", i)
+        assert [k for k in range(10) if cache.get(f"k{k}", None) is not None] == [
+            7, 8, 9
+        ]
+        assert cache.evictions == 7
+
+    def test_eviction_removes_persisted_file(self, tmp_path):
+        cache = ResultCache(directory=str(tmp_path), max_entries=1)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert not (tmp_path / "a.json").exists()
+        assert (tmp_path / "b.json").exists()
+
+    def test_hit_recency_survives_restart_for_pure_lru(self, tmp_path):
+        """A disk-backed hit refreshes the file mtime (pure-LRU caches
+        only), so a reopened cache evicts by last *use*, not last
+        write."""
+        first = ResultCache(directory=str(tmp_path), max_entries=2)
+        first.put("old_but_hot", 1)
+        first.put("newer_cold", 2)
+        old = (tmp_path / "old_but_hot.json").stat().st_mtime
+        os.utime(tmp_path / "old_but_hot.json", (old - 100, old - 100))
+        os.utime(tmp_path / "newer_cold.json", (old - 50, old - 50))
+        warm = ResultCache(directory=str(tmp_path), max_entries=2)
+        assert warm.get("old_but_hot") == 1  # refreshes mtime
+        reopened = ResultCache(directory=str(tmp_path), max_entries=2)
+        reopened.put("c", 3)  # over bound: evicts by adopted mtime order
+        assert reopened.get("old_but_hot") == 1
+        assert reopened.get("newer_cold", "miss") == "miss"
+
+    def test_bound_enforced_across_reopened_directories(self, tmp_path):
+        """A bounded cache adopting an existing directory applies the
+        bound to pre-existing files too — the directory cannot outgrow
+        max_entries across process restarts."""
+        first = ResultCache(directory=str(tmp_path), max_entries=2)
+        for i in range(3):
+            first.put(f"a{i}", i)
+        assert len(list(tmp_path.glob("*.json"))) == 2
+        second = ResultCache(directory=str(tmp_path), max_entries=2)
+        for i in range(3):
+            second.put(f"b{i}", i)
+        assert len(list(tmp_path.glob("*.json"))) == 2
+        assert sorted(p.stem for p in tmp_path.glob("*.json")) == ["b1", "b2"]
+
+    def test_reopened_bounded_cache_still_serves_survivors(self, tmp_path):
+        first = ResultCache(directory=str(tmp_path), max_entries=2)
+        first.put("a", 1)
+        first.put("b", 2)
+        second = ResultCache(directory=str(tmp_path), max_entries=2)
+        assert second.get("a") == 1 and second.get("b") == 2
+        assert len(second) == 2
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValidationError, match="max_entries"):
+            ResultCache(max_entries=0)
+        with pytest.raises(ValidationError, match="ttl_s"):
+            ResultCache(ttl_s=0)
+
+
+class TestTtlExpiry:
+    def test_expired_entry_is_a_miss(self):
+        clock = FakeClock()
+        cache = ResultCache(ttl_s=10.0, clock=clock)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        clock.advance(10.1)
+        assert cache.get("a", "miss") == "miss"
+        assert cache.expirations == 1
+        assert len(cache) == 0
+
+    def test_fresh_entry_survives(self):
+        clock = FakeClock()
+        cache = ResultCache(ttl_s=10.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(9.9)
+        assert cache.get("a") == 1
+
+    def test_expiry_removes_persisted_file(self, tmp_path):
+        clock = FakeClock()
+        cache = ResultCache(directory=str(tmp_path), ttl_s=5.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(6.0)
+        assert cache.get("a", "miss") == "miss"
+        assert not (tmp_path / "a.json").exists()
+
+    def test_persisted_entries_age_by_mtime(self, tmp_path):
+        """A cache re-opened after the TTL treats old files as cold."""
+        stale = ResultCache(directory=str(tmp_path))
+        stale.put("a", 1)
+        old = (tmp_path / "a.json").stat().st_mtime
+        os.utime(tmp_path / "a.json", (old - 100, old - 100))
+        fresh = ResultCache(directory=str(tmp_path), ttl_s=50.0)
+        assert fresh.get("a", "miss") == "miss"
+        assert fresh.expirations == 1
+
+    def test_persisted_fresh_entry_loads(self, tmp_path):
+        ResultCache(directory=str(tmp_path)).put("a", 1)
+        fresh = ResultCache(directory=str(tmp_path), ttl_s=3600.0)
+        assert fresh.get("a") == 1
+
+
+class TestUnboundedCompatibility:
+    """Default construction keeps the original semantics."""
+
+    def test_no_bounds_no_eviction(self):
+        cache = ResultCache()
+        for i in range(100):
+            cache.put(f"k{i}", i)
+        assert len(cache) == 100
+        assert cache.evictions == 0 and cache.expirations == 0

@@ -280,6 +280,90 @@ class TestRunSweep:
             )
 
 
+async def _async_square(x: float) -> float:
+    import asyncio
+
+    await asyncio.sleep(0)
+    return x * x
+
+
+class TestHybridBackend:
+    """asyncio + process-pool hybrid behind the parallel_map contract."""
+
+    def test_sync_fn_matches_process_backend(self):
+        items = list(range(29))
+        assert parallel_map(_square, items, workers=3, backend="hybrid") == [
+            i * i for i in items
+        ]
+
+    def test_coroutine_fn_runs_on_loop(self):
+        items = list(range(13))
+        assert parallel_map(_async_square, items, workers=4, backend="hybrid") == [
+            i * i for i in items
+        ]
+
+    def test_coroutine_fn_rejected_on_process_backend(self):
+        with pytest.raises(ValidationError, match="hybrid"):
+            parallel_map(_async_square, [1.0], backend="process")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValidationError, match="backend"):
+            parallel_map(_square, [1.0], backend="threads")
+
+    def test_hybrid_deterministic_across_worker_counts(self):
+        items = list(range(23))
+        serial = parallel_map(_square, items, workers=1)
+        for workers in (2, 5):
+            assert (
+                parallel_map(_square, items, workers=workers, backend="hybrid")
+                == serial
+            )
+
+    def test_hybrid_uses_cache(self):
+        cache = ResultCache()
+        items = [1.0, 2.0, 3.0]
+        parallel_map(_square, items, backend="hybrid", cache=cache)
+        assert cache.misses == 3
+        again = parallel_map(_async_square, items, backend="hybrid", cache=cache)
+        # different fn -> different content hashes -> fresh evaluations
+        assert again == [1.0, 4.0, 9.0]
+        assert cache.misses == 6
+
+    def test_run_sweep_on_hybrid_backend_matches(self):
+        spec = _grid(4, 3)
+        fn = partial(evaluate_point, base=BASE.as_dict())
+        serial = run_sweep(spec, fn, workers=1)
+        hybrid = run_sweep(spec, fn, workers=4, backend="hybrid")
+        for name in serial.columns:
+            np.testing.assert_array_equal(
+                serial.column(name), hybrid.column(name), err_msg=name
+            )
+
+
+class TestAdaptiveChunking:
+    def test_targets_four_chunks_per_worker(self):
+        from repro.sweep import adaptive_chunk_size
+
+        assert adaptive_chunk_size(1000, 4) == 63  # ceil(1000/16)
+        assert adaptive_chunk_size(7, 4) == 1
+        assert adaptive_chunk_size(0, 4) == 1
+
+    def test_bad_inputs_rejected(self):
+        from repro.sweep import adaptive_chunk_size
+
+        with pytest.raises(ValidationError, match="n_workers"):
+            adaptive_chunk_size(10, 0)
+        with pytest.raises(ValidationError, match="n_pending"):
+            adaptive_chunk_size(-1, 2)
+
+    @pytest.mark.parametrize("workers", (2, 3, 5, 8))
+    def test_adaptive_chunks_preserve_order_for_any_worker_count(self, workers):
+        items = list(range(41))
+        assert parallel_map(_square, items, workers=workers) == [
+            i * i for i in items
+        ]
+
+
 class TestEvaluatePoint:
     def test_point_overrides_base(self):
         out = evaluate_point({"bandwidth_gbps": 100.0}, base=BASE.as_dict())

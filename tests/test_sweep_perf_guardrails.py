@@ -1,0 +1,103 @@
+"""Fast perf guardrails for the out-of-core sweep pipeline.
+
+These run in the tier-1 suite (no pytest-benchmark dependency, small
+grids, generous thresholds) and pin the two properties the streamed
+path exists for:
+
+1. *flat memory* — peak incremental allocation while streaming is
+   bounded by the block size, not the grid size (``tracemalloc``),
+2. *vectorized blocks* — per-block broadcast evaluation beats the
+   per-point Python loop by a wide margin.
+
+``benchmarks/bench_sweep_shards.py`` measures the same claims at
+million-point scale with tighter thresholds.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from functools import partial
+
+import pytest
+
+from repro.core.parameters import aps_to_alcf_defaults
+from repro.sweep import (
+    Axis,
+    SweepSpec,
+    evaluate_point,
+    run_model_sweep,
+)
+
+BASE = aps_to_alcf_defaults()
+
+
+def _grid(n_bw: int, n_c: int) -> SweepSpec:
+    return SweepSpec.grid(
+        Axis.geomspace("bandwidth_gbps", 1.0, 400.0, n_bw),
+        Axis.geomspace("complexity_flop_per_gb", 1e10, 1e14, n_c),
+    )
+
+
+def _streamed_peak(spec: SweepSpec, out_dir, block_size: int) -> int:
+    tracemalloc.start()
+    try:
+        run_model_sweep(spec, base=BASE, out=out_dir, block_size=block_size)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
+@pytest.mark.bench
+def test_streamed_sweep_memory_is_flat_and_below_materialised(tmp_path):
+    """Streaming a 8x larger grid at the same block size must not cost
+    8x the memory (flatness), and must stay well under materialising
+    the large grid outright."""
+    small = _grid(100, 150)  # 15k points
+    large = _grid(400, 300)  # 120k points
+    block = 10_000
+
+    peak_small = _streamed_peak(small, tmp_path / "small", block)
+    peak_large = _streamed_peak(large, tmp_path / "large", block)
+
+    tracemalloc.start()
+    try:
+        table = run_model_sweep(large, base=BASE)
+        _, peak_materialised = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    assert table.n_rows == large.n_points
+
+    assert peak_large < 2.5 * peak_small, (
+        f"streamed peak should be ~flat in grid size: 15k-point peak "
+        f"{peak_small / 1e6:.1f} MB vs 120k-point peak {peak_large / 1e6:.1f} MB"
+    )
+    assert peak_large < peak_materialised / 2, (
+        f"streamed peak {peak_large / 1e6:.1f} MB should be well below the "
+        f"materialised peak {peak_materialised / 1e6:.1f} MB"
+    )
+
+
+@pytest.mark.bench
+def test_vectorized_block_evaluation_beats_per_point_loop(tmp_path):
+    """Per-block broadcast evaluation must be far faster per point than
+    the per-point Python loop it replaces (conservative 25x floor here;
+    the benchmark pins >=100x at scale)."""
+    spec = _grid(300, 200)  # 60k points
+    t0 = time.perf_counter()
+    run_model_sweep(spec, base=BASE, out=tmp_path / "shards", block_size=10_000)
+    per_point_vectorized = (time.perf_counter() - t0) / spec.n_points
+
+    loop_points = list(_grid(20, 20).points())  # 400-point sample
+    fn = partial(evaluate_point, base=BASE.as_dict())
+    t0 = time.perf_counter()
+    for pt in loop_points:
+        fn(pt)
+    per_point_loop = (time.perf_counter() - t0) / len(loop_points)
+
+    speedup = per_point_loop / per_point_vectorized
+    assert speedup >= 25, (
+        f"vectorized block evaluation should be >=25x the per-point loop, "
+        f"got {speedup:.0f}x"
+    )

@@ -1,0 +1,500 @@
+"""Out-of-core sweep storage: shard round-trips, streaming execution,
+and incremental analysis equal to the in-memory answers."""
+
+from __future__ import annotations
+
+import json
+from functools import partial
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.crossover import crossover_bandwidth, crossover_from_sweep
+from repro.analysis.regimes import (
+    regime_breakdown_from_sweep,
+    regime_tally_from_sweep,
+)
+from repro.core.parameters import aps_to_alcf_defaults
+from repro.errors import ValidationError
+from repro.sweep import (
+    Axis,
+    ShardReader,
+    ShardWriter,
+    ShardedSweepResult,
+    SweepResult,
+    SweepSpec,
+    evaluate_point,
+    facility_axes,
+    iter_model_sweep,
+    open_shards,
+    run_model_sweep,
+    run_sweep,
+)
+
+BASE = aps_to_alcf_defaults()
+
+
+def _assert_tables_equal(a, b):
+    assert list(a.columns) == list(b.columns)
+    assert a.axis_names == b.axis_names
+    for name in a.columns:
+        np.testing.assert_array_equal(a.column(name), b.column(name), err_msg=name)
+
+
+class TestShardWriterReader:
+    def test_blocks_split_into_fixed_shards(self, tmp_path):
+        with ShardWriter(tmp_path, shard_size=10, axis_names=("x",)) as w:
+            for lo in range(0, 35, 7):
+                w.append({"x": np.arange(lo, lo + 7, dtype=float)})
+        reader = ShardReader(tmp_path)
+        assert reader.n_rows == 35
+        assert [s["n_rows"] for s in reader.shards] == [10, 10, 10, 5]
+        got = np.concatenate([b["x"] for b in reader.iter_blocks()])
+        np.testing.assert_array_equal(got, np.arange(35, dtype=float))
+
+    def test_manifest_contents(self, tmp_path):
+        with ShardWriter(tmp_path, shard_size=4, axis_names=("x",)) as w:
+            w.append({"x": [1.0, 2.0], "label": ["a", "b"]})
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["n_rows"] == 2
+        assert manifest["axis_names"] == ["x"]
+        kinds = {c["name"]: c["kind"] for c in manifest["columns"]}
+        assert kinds == {"x": "numeric", "label": "json"}
+
+    def test_column_subset_reads_only_requested(self, tmp_path):
+        with ShardWriter(tmp_path, shard_size=8) as w:
+            w.append({"x": [1.0, 2.0], "y": [3.0, 4.0]})
+        block = ShardReader(tmp_path).read_shard(0, columns=("y",))
+        assert list(block) == ["y"]
+
+    def test_mismatched_columns_rejected(self, tmp_path):
+        w = ShardWriter(tmp_path, shard_size=4)
+        w.append({"x": [1.0]})
+        with pytest.raises(ValidationError, match="column set"):
+            w.append({"y": [1.0]})
+
+    def test_mismatched_lengths_rejected(self, tmp_path):
+        w = ShardWriter(tmp_path, shard_size=4)
+        with pytest.raises(ValidationError, match="one length"):
+            w.append({"x": [1.0, 2.0], "y": [1.0]})
+
+    def test_close_without_rows_rejected(self, tmp_path):
+        with pytest.raises(ValidationError, match="no rows"):
+            ShardWriter(tmp_path, shard_size=4).close()
+
+    def test_append_after_close_rejected(self, tmp_path):
+        w = ShardWriter(tmp_path, shard_size=4)
+        w.append({"x": [1.0]})
+        w.close()
+        with pytest.raises(ValidationError, match="closed"):
+            w.append({"x": [2.0]})
+
+    def test_bad_shard_size_rejected(self, tmp_path):
+        with pytest.raises(ValidationError, match="shard_size"):
+            ShardWriter(tmp_path, shard_size=0)
+
+    def test_unserialisable_object_column_rejected(self, tmp_path):
+        w = ShardWriter(tmp_path, shard_size=1)
+        with pytest.raises(ValidationError, match="shard columns"):
+            w.append({"x": np.array([object()], dtype=object)})
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(ValidationError, match="manifest"):
+            ShardReader(tmp_path)
+
+    def test_unknown_column_rejected(self, tmp_path):
+        with ShardWriter(tmp_path, shard_size=4) as w:
+            w.append({"x": [1.0]})
+        with pytest.raises(ValidationError, match="unknown shard columns"):
+            ShardReader(tmp_path).read_shard(0, columns=("nope",))
+
+
+class TestRoundTrip:
+    def test_facility_sweep_round_trips_exactly(self, tmp_path):
+        spec = facility_axes().product(
+            SweepSpec.grid(Axis.geomspace("bandwidth_gbps", 1.0, 400.0, 9))
+        )
+        table = run_model_sweep(spec, base=BASE)
+        table.to_shards(tmp_path, shard_size=7)
+        _assert_tables_equal(table, SweepResult.from_shards(tmp_path))
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        shard_size=st.integers(min_value=1, max_value=17),
+        values=st.lists(
+            st.floats(
+                min_value=-1e12, max_value=1e12,
+                allow_nan=False, allow_infinity=False,
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    def test_random_tables_bit_identical(self, tmp_path, n, shard_size, values):
+        """from_shards(to_shards(r)) == r bit-for-bit for arbitrary
+        float columns, bool flags and string labels."""
+        rng = np.random.default_rng(n * 1000 + shard_size)
+        table = SweepResult(
+            {
+                "x": np.asarray(
+                    [values[i % len(values)] for i in range(n)], dtype=float
+                ),
+                "noise": rng.standard_normal(n),
+                "flag": rng.standard_normal(n) > 0,
+                "label": np.array([f"g{i % 3}" for i in range(n)], dtype=object),
+            },
+            axis_names=("x", "label"),
+        )
+        out = tmp_path / f"rt-{n}-{shard_size}"
+        table.to_shards(out, shard_size=shard_size)
+        back = SweepResult.from_shards(out)
+        for name in table.columns:
+            a, b = table.column(name), back.column(name)
+            assert a.dtype.kind == b.dtype.kind, name
+            np.testing.assert_array_equal(a, b, err_msg=name)
+
+
+class TestShardedView:
+    def _sharded(self, tmp_path, n_bw=30, shard_size=7):
+        spec = facility_axes().product(
+            SweepSpec.grid(Axis.geomspace("bandwidth_gbps", 1.0, 400.0, n_bw))
+        )
+        table = run_model_sweep(spec, base=BASE)
+        sharded = run_model_sweep(spec, base=BASE, out=tmp_path, block_size=shard_size)
+        return table, sharded
+
+    def test_lazy_columns_match(self, tmp_path):
+        table, sharded = self._sharded(tmp_path)
+        assert sharded.n_rows == table.n_rows
+        assert sharded.axis_names == table.axis_names
+        assert sharded.metric_names == table.metric_names
+        for name in table.columns:
+            np.testing.assert_array_equal(
+                sharded.column(name), table.column(name), err_msg=name
+            )
+
+    def test_unique_matches(self, tmp_path):
+        table, sharded = self._sharded(tmp_path)
+        assert sharded.unique("facility") == table.unique("facility")
+
+    def test_to_result_materialises(self, tmp_path):
+        table, sharded = self._sharded(tmp_path)
+        _assert_tables_equal(table, sharded.to_result())
+
+    def test_open_shards_helper(self, tmp_path):
+        _, sharded = self._sharded(tmp_path)
+        assert open_shards(tmp_path).n_rows == sharded.n_rows
+
+    def test_streaming_crossover_matches_in_memory(self, tmp_path):
+        table, sharded = self._sharded(tmp_path)
+        assert sharded.crossover("bandwidth_gbps") == table.crossover(
+            "bandwidth_gbps"
+        )
+
+    def test_streaming_crossover_grouped(self, tmp_path):
+        table, sharded = self._sharded(tmp_path)
+        assert sharded.crossover(
+            "bandwidth_gbps", group_by=("facility",)
+        ) == table.crossover("bandwidth_gbps", group_by=("facility",))
+
+    def test_crossover_descending_axis_falls_back(self, tmp_path):
+        """Unsorted-within-group x still produces the in-memory answer
+        (via the sorted fallback that loads only the needed columns)."""
+        spec = SweepSpec.grid(
+            Axis("bandwidth_gbps", tuple(np.geomspace(400.0, 1.0, 40)))
+        )
+        table = run_model_sweep(spec, base=BASE)
+        sharded = run_model_sweep(spec, base=BASE, out=tmp_path, block_size=6)
+        assert sharded.crossover("bandwidth_gbps") == table.crossover(
+            "bandwidth_gbps"
+        )
+
+    def test_crossover_unsorted_after_crossing_still_matches(self, tmp_path):
+        """Out-of-order x arriving *after* a crossing was located must
+        still fall back to the sorted answer (regression: the order
+        check used to be skipped once a group resolved)."""
+        with ShardWriter(tmp_path, shard_size=2, axis_names=("x",)) as w:
+            w.append({"x": [10.0, 20.0], "speedup": [0.5, 2.0]})
+            w.append({"x": [1.0, 2.0], "speedup": [0.5, 5.0]})
+        sharded = ShardedSweepResult(tmp_path)
+        expected = sharded.to_result().crossover("x")
+        assert sharded.crossover("x") == expected
+
+    def test_empty_table_to_shards_rejected(self, tmp_path):
+        spec = SweepSpec.grid(Axis("bandwidth_gbps", (5.0, 25.0)))
+        table = run_model_sweep(spec, base=BASE)
+        empty = table.filter(bandwidth_gbps=99.0)
+        with pytest.raises(ValidationError, match="empty table"):
+            empty.to_shards(tmp_path)
+
+    def test_crossover_never_crossing_is_none(self, tmp_path):
+        spec = SweepSpec.grid(Axis("bandwidth_gbps", (0.01, 0.02, 0.03)))
+        table = run_model_sweep(spec, base=BASE)
+        sharded = run_model_sweep(spec, base=BASE, out=tmp_path, block_size=2)
+        [mem] = table.crossover("bandwidth_gbps")
+        [inc] = sharded.crossover("bandwidth_gbps")
+        assert mem["bandwidth_gbps"] is None
+        assert inc == mem
+
+
+class TestStreamingEngine:
+    def test_iter_model_sweep_blocks_concatenate_to_whole(self):
+        spec = SweepSpec.grid(
+            Axis.geomspace("bandwidth_gbps", 1.0, 400.0, 11),
+            Axis.geomspace("s_unit_gb", 0.5, 50.0, 5),
+        )
+        whole = run_model_sweep(spec, base=BASE)
+        blocks = list(iter_model_sweep(spec, base=BASE, block_size=8))
+        assert sum(b.n_rows for b in blocks) == spec.n_points
+        assert all(b.n_rows <= 8 for b in blocks)
+        for name in whole.columns:
+            np.testing.assert_array_equal(
+                np.concatenate([b.column(name) for b in blocks]),
+                whole.column(name),
+                err_msg=name,
+            )
+
+    def test_columns_slice_matches_full_columns(self):
+        spec = facility_axes().product(
+            SweepSpec.grid(Axis("bandwidth_gbps", (5.0, 25.0, 100.0)))
+        )
+        full = spec.columns()
+        for start, stop in ((0, 4), (3, 9), (9, 12), (0, 12)):
+            part = spec.columns_slice(start, stop)
+            for name in full:
+                np.testing.assert_array_equal(
+                    part[name], full[name][start:stop], err_msg=name
+                )
+
+    def test_columns_slice_bad_range_rejected(self):
+        spec = SweepSpec.grid(Axis("x", (1.0, 2.0)))
+        with pytest.raises(ValidationError, match="out of range"):
+            spec.columns_slice(0, 5)
+
+    def test_bad_block_size_rejected(self):
+        spec = SweepSpec.grid(Axis("bandwidth_gbps", (5.0,)))
+        with pytest.raises(ValidationError, match="block_size"):
+            list(iter_model_sweep(spec, base=BASE, block_size=0))
+
+    def test_streamed_model_sweep_equals_materialised(self, tmp_path):
+        spec = SweepSpec.grid(
+            Axis.geomspace("bandwidth_gbps", 1.0, 400.0, 13),
+            Axis.geomspace("complexity_flop_per_gb", 1e10, 1e14, 7),
+        )
+        table = run_model_sweep(spec, base=BASE)
+        sharded = run_model_sweep(spec, base=BASE, out=tmp_path, block_size=10)
+        assert isinstance(sharded, ShardedSweepResult)
+        _assert_tables_equal(table, sharded.to_result())
+
+    def test_streamed_run_sweep_equals_materialised(self, tmp_path):
+        spec = SweepSpec.grid(Axis.geomspace("bandwidth_gbps", 1.0, 400.0, 9))
+        fn = partial(evaluate_point, base=BASE.as_dict())
+        table = run_sweep(spec, fn)
+        sharded = run_sweep(spec, fn, out=tmp_path, block_size=4)
+        _assert_tables_equal(table, sharded.to_result())
+
+    def test_streamed_run_sweep_with_workers_reuses_one_pool(self, tmp_path):
+        """Multi-worker streamed run_sweep (one hoisted pool across all
+        blocks) matches the serial streamed results exactly."""
+        spec = SweepSpec.grid(Axis.geomspace("bandwidth_gbps", 1.0, 400.0, 12))
+        fn = partial(evaluate_point, base=BASE.as_dict())
+        serial = run_sweep(spec, fn, out=tmp_path / "serial", block_size=5)
+        parallel = run_sweep(
+            spec, fn, workers=3, out=tmp_path / "parallel", block_size=5
+        )
+        _assert_tables_equal(serial.to_result(), parallel.to_result())
+
+    def test_streamed_run_sweep_hybrid_backend_matches(self, tmp_path):
+        """The hybrid backend also reuses one hoisted executor across
+        blocks and produces identical streamed results."""
+        spec = SweepSpec.grid(Axis.geomspace("bandwidth_gbps", 1.0, 400.0, 10))
+        fn = partial(evaluate_point, base=BASE.as_dict())
+        serial = run_sweep(spec, fn, out=tmp_path / "serial", block_size=4)
+        hybrid = run_sweep(
+            spec, fn, workers=3, backend="hybrid",
+            out=tmp_path / "hybrid", block_size=4,
+        )
+        _assert_tables_equal(serial.to_result(), hybrid.to_result())
+
+    def test_streamed_points_carry_original_axis_values(self, tmp_path):
+        """Streamed run_sweep hands fn the axes' original values (an
+        int stays an int), matching the in-memory path and keeping
+        result-cache keys identical across both paths (regression:
+        columns_slice floats used to leak into the points)."""
+        from repro.sweep import ResultCache, content_hash
+
+        spec = SweepSpec.grid(Axis("concurrency", (1, 2, 4)))
+        mem = run_sweep(spec, _range_len)
+        cache = ResultCache()
+        run_sweep(spec, _range_len, cache=cache)
+        assert cache.misses == 3
+        streamed = run_sweep(
+            spec, _range_len, cache=cache, out=tmp_path, block_size=2
+        )
+        assert cache.hits == 3 and cache.misses == 3  # all served from cache
+        np.testing.assert_array_equal(
+            streamed.column("value"), mem.column("value")
+        )
+        assert content_hash(_range_len, {"concurrency": 1}) == content_hash(
+            _range_len, spec.points_slice(0, 1)[0]
+        )
+
+    def test_streamed_run_sweep_scalar_results(self, tmp_path):
+        spec = SweepSpec.grid(Axis("x", (1.0, 2.0, 3.0)))
+        sharded = run_sweep(spec, _times_ten, out=tmp_path, block_size=2)
+        np.testing.assert_allclose(sharded.column("value"), [10.0, 20.0, 30.0])
+
+    def test_streamed_sweep_into_existing_writer(self, tmp_path):
+        spec = SweepSpec.grid(Axis("bandwidth_gbps", (5.0, 25.0, 100.0)))
+        writer = ShardWriter(tmp_path, shard_size=2, axis_names=spec.axis_names)
+        sharded = run_model_sweep(spec, base=BASE, out=writer)
+        assert sharded.n_rows == 3
+        assert sharded.n_shards == 2
+
+
+def _times_ten(pt):
+    return pt["x"] * 10
+
+
+def _range_len(pt):
+    # Requires a true int: range(np.float64) raises TypeError.
+    return len(range(pt["concurrency"]))
+
+
+class TestIncrementalAnalysis:
+    """crossover_from_sweep / regime_breakdown_from_sweep accept shard
+    sources and agree with the in-memory answers."""
+
+    def _bw_grid(self, tmp_path):
+        # The Figure-4 operating point: APS preset, bandwidth swept
+        # through the paper's 1-400 Gbps WAN range.
+        spec = facility_axes().product(
+            SweepSpec.grid(Axis.geomspace("bandwidth_gbps", 1.0, 400.0, 60))
+        )
+        table = run_model_sweep(spec, base=BASE)
+        sharded = run_model_sweep(spec, base=BASE, out=tmp_path, block_size=16)
+        return table, sharded
+
+    def test_crossover_from_sweep_accepts_sharded_view(self, tmp_path):
+        table, sharded = self._bw_grid(tmp_path)
+        assert crossover_from_sweep(
+            sharded, x="bandwidth_gbps", group_by=("facility",)
+        ) == crossover_from_sweep(table, x="bandwidth_gbps", group_by=("facility",))
+
+    def test_crossover_from_sweep_accepts_directory_path(self, tmp_path):
+        table, _ = self._bw_grid(tmp_path)
+        from_path = crossover_from_sweep(str(tmp_path), x="bandwidth_gbps")
+        assert from_path == crossover_from_sweep(table, x="bandwidth_gbps")
+
+    def test_crossover_from_sweep_accepts_manifest_path(self, tmp_path):
+        table, _ = self._bw_grid(tmp_path)
+        from_manifest = crossover_from_sweep(
+            str(tmp_path / "manifest.json"), x="bandwidth_gbps"
+        )
+        assert from_manifest == crossover_from_sweep(table, x="bandwidth_gbps")
+
+    def test_crossover_json_text_still_accepted(self, tmp_path):
+        table, _ = self._bw_grid(tmp_path)
+        assert crossover_from_sweep(
+            table.to_json(), x="bandwidth_gbps"
+        ) == crossover_from_sweep(table, x="bandwidth_gbps")
+
+    def test_sharded_crossover_brackets_closed_form(self, tmp_path):
+        """The incremental grid crossover lands within one grid step of
+        the closed-form crossover bandwidth (same convention as the
+        in-memory path)."""
+        spec = SweepSpec.grid(Axis.geomspace("bandwidth_gbps", 1.0, 400.0, 200))
+        sharded = run_model_sweep(spec, base=BASE, out=tmp_path, block_size=32)
+        [entry] = sharded.crossover("bandwidth_gbps")
+        exact = crossover_bandwidth(BASE)
+        xs = np.geomspace(1.0, 400.0, 200)
+        step = xs[np.searchsorted(xs, exact)] - xs[np.searchsorted(xs, exact) - 1]
+        assert abs(entry["bandwidth_gbps"] - exact) <= step
+
+    def test_regime_breakdown_from_shards_matches_in_memory(self, tmp_path):
+        rng = np.random.default_rng(7)
+        n = 200
+        table = SweepResult(
+            {
+                "offered_utilization": np.linspace(0.1, 1.4, n),
+                "t_worst_s": np.abs(rng.standard_normal(n)) * 3.0 + 0.05,
+            },
+            axis_names=("offered_utilization",),
+        )
+        table.to_shards(tmp_path, shard_size=23)
+        mem = regime_breakdown_from_sweep(table)
+        inc = regime_breakdown_from_sweep(str(tmp_path))
+        np.testing.assert_array_equal(mem.utilizations, inc.utilizations)
+        np.testing.assert_array_equal(mem.t_worst_values, inc.t_worst_values)
+        assert mem.regimes == inc.regimes
+        assert mem.low_to_moderate_utilization == inc.low_to_moderate_utilization
+        assert mem.moderate_to_severe_utilization == inc.moderate_to_severe_utilization
+
+    @pytest.mark.slow
+    def test_golden_table2_grid_incremental_equals_in_memory(self, tmp_path):
+        """On the golden-pinned Table-2 simnet grid (duration 2 s,
+        seed 0 — the same run test_golden_regressions pins), the
+        shard-scanning regime and crossover analysis reproduce the
+        in-memory answers exactly."""
+        from repro.iperfsim.runner import run_sweep as run_iperf_sweep
+        from repro.iperfsim.spec import SpawnStrategy, table2_sweep
+
+        sweep = run_iperf_sweep(
+            table2_sweep(strategy=SpawnStrategy.BATCH, duration_s=2.0), seeds=(0,)
+        )
+        exps = sweep.experiments
+        table = SweepResult(
+            {
+                "concurrency": [e.spec.concurrency for e in exps],
+                "parallel_flows": [e.spec.parallel_flows for e in exps],
+                "offered_utilization": [e.offered_utilization for e in exps],
+                "t_worst_s": [e.max_transfer_time_s for e in exps],
+            },
+            axis_names=("concurrency", "parallel_flows"),
+        )
+        table.to_shards(tmp_path, shard_size=5)
+
+        mem_b = regime_breakdown_from_sweep(table)
+        inc_b = regime_breakdown_from_sweep(str(tmp_path))
+        np.testing.assert_array_equal(mem_b.utilizations, inc_b.utilizations)
+        np.testing.assert_array_equal(mem_b.t_worst_values, inc_b.t_worst_values)
+        assert mem_b.regimes == inc_b.regimes
+        assert mem_b.low_to_moderate_utilization == inc_b.low_to_moderate_utilization
+
+        kwargs = dict(
+            x="offered_utilization",
+            metric="t_worst_s",
+            threshold=1.0,
+            group_by=("parallel_flows",),
+        )
+        assert crossover_from_sweep(str(tmp_path), **kwargs) == crossover_from_sweep(
+            table, **kwargs
+        )
+
+        tally = regime_tally_from_sweep(str(tmp_path), metric="t_worst_s")
+        assert sum(tally.values()) == len(exps)
+        for regime, count in tally.items():
+            assert count == sum(1 for r in mem_b.regimes if r is regime)
+
+    def test_regime_tally_matches_breakdown(self, tmp_path):
+        rng = np.random.default_rng(11)
+        table = SweepResult(
+            {
+                "offered_utilization": np.linspace(0.1, 1.3, 120),
+                "t_worst_s": np.abs(rng.standard_normal(120)) * 2.5 + 0.05,
+            },
+            axis_names=("offered_utilization",),
+        )
+        table.to_shards(tmp_path, shard_size=17)
+        breakdown = regime_breakdown_from_sweep(table)
+        tally = regime_tally_from_sweep(str(tmp_path))
+        for regime, count in tally.items():
+            assert count == sum(1 for r in breakdown.regimes if r is regime)
+        assert sum(tally.values()) == 120

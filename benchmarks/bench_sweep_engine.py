@@ -89,3 +89,38 @@ def test_process_executor_beats_serial_table2(artifact):
         f"Table-2 sweep (24 experiments): serial {t_serial:.2f}s, "
         f"4 workers {t_parallel:.2f}s ({t_serial / t_parallel:.1f}x)",
     )
+
+
+def test_kernel_decision_surface_10k(artifact):
+    """The kernel's full decision surface (classic metrics + decision/
+    tier/gain/kappa) over the 10k grid: one validated block, every
+    column through shared intermediates.  Must stay in the same league
+    as the classic 7-metric pass — the decision columns ride on
+    intermediates the block already computed."""
+    from repro.sweep.engine import MODEL_METRICS
+
+    spec = _grid_10k()
+    base = aps_to_alcf_defaults()
+    full = MODEL_METRICS + ("decision", "tier", "gain", "kappa")
+
+    run_model_sweep(spec, base=base)  # warm-up
+    t0 = time.perf_counter()
+    classic = run_model_sweep(spec, base=base)
+    t_classic = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    table = run_model_sweep(spec, base=base, metrics=full)
+    t_full = time.perf_counter() - t0
+
+    assert set(table.metric_names) == set(full)
+    assert t_full < 3 * max(t_classic, 1e-3), (
+        f"decision surface ({t_full:.3f}s) should ride on the classic "
+        f"pass's intermediates ({t_classic:.3f}s)"
+    )
+    artifact(
+        "sweep_engine_decision_surface",
+        f"10,000-point grid: classic 7 metrics {t_classic * 1e3:.1f} ms "
+        f"({spec.n_points / t_classic / 1e6:.1f} M pts/s), "
+        f"+decision/tier/gain/kappa {t_full * 1e3:.1f} ms "
+        f"({spec.n_points / t_full / 1e6:.1f} M pts/s)",
+    )

@@ -132,3 +132,44 @@ def test_block_vectorization_beats_per_point_loop_100x(tmp_path, artifact):
         f"per-point loop {per_point_loop * 1e6:.1f} us/pt vs streamed "
         f"vectorized blocks {per_point_vec * 1e6:.2f} us/pt: {speedup:.0f}x",
     )
+
+
+def test_compressed_shards_cost_and_size(tmp_path, artifact):
+    """Measure what --compress costs: points/sec for raw vs compressed
+    writes of the same 200k-point grid, and the bytes saved on disk."""
+    spec = SweepSpec.grid(
+        Axis.geomspace("bandwidth_gbps", 1.0, 400.0, 500),
+        Axis.geomspace("complexity_flop_per_gb", 1e10, 1e14, 400),
+    )  # 200k points
+
+    t0 = time.perf_counter()
+    run_model_sweep(spec, base=BASE, out=tmp_path / "raw", block_size=BLOCK)
+    t_raw = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    run_model_sweep(
+        spec, base=BASE, out=tmp_path / "packed", block_size=BLOCK, compress=True
+    )
+    t_packed = time.perf_counter() - t0
+
+    size = lambda d: sum(f.stat().st_size for f in d.glob("shard-*.npz"))
+    raw_bytes, packed_bytes = size(tmp_path / "raw"), size(tmp_path / "packed")
+    assert packed_bytes < raw_bytes
+
+    # Compressed values must be identical, only the storage differs.
+    first_raw = next(iter(open_shards(tmp_path / "raw").iter_blocks(("speedup",))))
+    first_packed = next(
+        iter(open_shards(tmp_path / "packed").iter_blocks(("speedup",)))
+    )
+    np.testing.assert_array_equal(first_raw["speedup"], first_packed["speedup"])
+
+    artifact(
+        "sweep_shards_compressed",
+        "200,000-point grid, raw vs np.savez_compressed shards:\n"
+        f"  raw:        {t_raw:.2f}s ({spec.n_points / t_raw:,.0f} points/s), "
+        f"{raw_bytes / 1e6:.1f} MB\n"
+        f"  compressed: {t_packed:.2f}s ({spec.n_points / t_packed:,.0f} points/s), "
+        f"{packed_bytes / 1e6:.1f} MB\n"
+        f"  size ratio {raw_bytes / packed_bytes:.2f}x smaller at "
+        f"{t_packed / t_raw:.2f}x the wall time",
+    )

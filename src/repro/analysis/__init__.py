@@ -1,12 +1,21 @@
 """Analysis layer: regime boundaries, crossover maps, tier feasibility
 and text rendering for the benchmark harness."""
 
-from .regimes import RegimeBreakdown, regime_breakdown, utilization_budget
+from .regimes import (
+    RegimeBreakdown,
+    regime_breakdown,
+    regime_breakdown_from_sweep,
+    regime_tally_from_sweep,
+    utilization_budget,
+)
 from .crossover import (
     DecisionMap,
     crossover_bandwidth,
     crossover_complexity,
+    crossover_from_sweep,
     decision_map,
+    decision_tally_from_sweep,
+    tier_tally_from_sweep,
 )
 from .tiers import (
     TierAssessment,
@@ -19,11 +28,16 @@ from .report import render_bars, render_cdf, render_series, render_table
 __all__ = [
     "RegimeBreakdown",
     "regime_breakdown",
+    "regime_breakdown_from_sweep",
+    "regime_tally_from_sweep",
     "utilization_budget",
     "DecisionMap",
     "crossover_bandwidth",
     "crossover_complexity",
+    "crossover_from_sweep",
     "decision_map",
+    "decision_tally_from_sweep",
+    "tier_tally_from_sweep",
     "TierAssessment",
     "assess_all_tiers",
     "assess_workflow",

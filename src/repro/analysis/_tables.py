@@ -15,9 +15,10 @@ code scans:
 from __future__ import annotations
 
 import pathlib
-from typing import Any, Union
+from functools import partial
+from typing import Any, Callable, List, Sequence, Union
 
-__all__ = ["load_sweep_table"]
+__all__ = ["load_sweep_table", "map_table_blocks"]
 
 
 def _looks_like_shard_source(source: Union[str, pathlib.Path]) -> bool:
@@ -51,3 +52,50 @@ def load_sweep_table(table: Any) -> Any:
             return ShardedSweepResult(table)
         return SweepResult.from_json(table)
     return table
+
+
+def _apply_to_shard(
+    index: int,
+    manifest: str,
+    columns: Sequence[str],
+    block_fn: Callable[[dict], Any],
+) -> Any:
+    """Worker-side unit of :func:`map_table_blocks`: open the store,
+    read one shard's needed columns, apply ``block_fn`` (module-level so
+    it pickles for process pools)."""
+    from ..sweep.shards import ShardReader
+
+    return block_fn(ShardReader(manifest).read_shard(index, columns=list(columns)))
+
+
+def map_table_blocks(
+    table: Any,
+    columns: Sequence[str],
+    block_fn: Callable[[dict], Any],
+    workers: int = 1,
+) -> List[Any]:
+    """Apply ``block_fn`` to every column block of a sweep table.
+
+    For sharded tables the shards are scanned one at a time, loading
+    only the ``columns`` each call needs; with ``workers > 1`` the
+    independent shards are distributed across a process pool (shard
+    order is preserved in the returned list, so any associative merge
+    of the per-block results is exact).  ``block_fn`` must be picklable
+    for ``workers > 1`` — a module-level function or a
+    ``functools.partial`` of one.  In-memory tables are a single block
+    and ignore ``workers``.
+    """
+    table = load_sweep_table(table)
+    if hasattr(table, "iter_blocks"):  # sharded store
+        if workers > 1 and table.n_shards > 1:
+            from ..sweep.engine import parallel_map
+
+            fn = partial(
+                _apply_to_shard,
+                manifest=str(table.reader.manifest_path),
+                columns=tuple(columns),
+                block_fn=block_fn,
+            )
+            return parallel_map(fn, list(range(table.n_shards)), workers=workers)
+        return [block_fn(block) for block in table.iter_blocks(columns=columns)]
+    return [block_fn({name: table.column(name) for name in columns})]

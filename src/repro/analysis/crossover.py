@@ -15,12 +15,13 @@ wins.  This module computes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from functools import partial
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..core import model
-from ..core.decision import Strategy
+from ..core import kernel
+from ..core.decision import STRATEGIES_BY_CODE, Strategy, Tier
 from ..core.parameters import ModelParameters
 from ..errors import ValidationError
 from ..units import BITS_PER_BYTE
@@ -29,6 +30,8 @@ __all__ = [
     "crossover_bandwidth",
     "crossover_complexity",
     "crossover_from_sweep",
+    "decision_tally_from_sweep",
+    "tier_tally_from_sweep",
     "DecisionMap",
     "decision_map",
 ]
@@ -115,6 +118,76 @@ def crossover_from_sweep(
     return table.crossover(x, metric=metric, threshold=threshold, group_by=group_by)
 
 
+def _code_block_tally(
+    block: Dict[str, np.ndarray], column: str, n_codes: int
+) -> np.ndarray:
+    """Per-code counts of one integer-coded column block (module-level
+    so it pickles onto worker processes)."""
+    codes = np.asarray(block[column])
+    if codes.dtype.kind not in "iu":
+        codes = codes.astype(np.int64)
+    if codes.size and (codes.min() < 0 or codes.max() >= n_codes):
+        raise ValidationError(
+            f"column {column!r} must hold codes in [0, {n_codes}), got "
+            f"range [{int(codes.min())}, {int(codes.max())}]"
+        )
+    return np.bincount(codes, minlength=n_codes)
+
+
+def decision_tally_from_sweep(
+    table, column: str = "decision", workers: int = 1
+) -> Dict[Strategy, int]:
+    """Point counts per winning :class:`Strategy` over a sweep table.
+
+    ``table`` accepts the same inputs as :func:`crossover_from_sweep`
+    and must carry the kernel's integer-coded ``decision`` column
+    (``repro sweep --metrics decision,...``).  Sharded stores are
+    scanned block-by-block loading only that column — ``workers > 1``
+    distributes independent shards across a process pool and merges the
+    (associative) per-block counts, so a million-point decision surface
+    reduces to three numbers in O(shard) memory.
+    """
+    from ._tables import map_table_blocks
+
+    parts = map_table_blocks(
+        table,
+        (column,),
+        partial(_code_block_tally, column=column, n_codes=len(STRATEGIES_BY_CODE)),
+        workers=workers,
+    )
+    total = np.sum(parts, axis=0)
+    return {
+        strategy: int(total[code])
+        for code, strategy in enumerate(STRATEGIES_BY_CODE)
+    }
+
+
+def tier_tally_from_sweep(
+    table, column: str = "tier", workers: int = 1
+) -> Dict[Optional[Tier], int]:
+    """Point counts per feasible latency :class:`Tier` over a sweep table.
+
+    Consumes the kernel's integer-coded ``tier`` column (the highest
+    tier the winning strategy meets); the ``None`` key counts points
+    missing even Tier 3.  Scanning behaviour and ``workers`` semantics
+    match :func:`decision_tally_from_sweep`.
+    """
+    from ._tables import map_table_blocks
+
+    parts = map_table_blocks(
+        table,
+        (column,),
+        partial(_code_block_tally, column=column, n_codes=len(Tier) + 1),
+        workers=workers,
+    )
+    total = np.sum(parts, axis=0)
+    out: Dict[Optional[Tier], int] = {
+        tier: int(total[tier.value]) for tier in Tier
+    }
+    out[None] = int(total[0])
+    return out
+
+
 @dataclass
 class DecisionMap:
     """Winning strategy over a 2-D parameter grid."""
@@ -162,19 +235,6 @@ _SWEEPABLE_2D = (
 )
 
 
-def _apply_axis(kw: dict, params: ModelParameters, name: str, grid: np.ndarray) -> None:
-    """Replace one named model parameter in ``kw`` with a grid."""
-    if name == "r_remote_tflops":
-        kw["r"] = grid / params.r_local_tflops
-    elif name in kw:
-        kw[name] = grid
-    else:
-        raise ValidationError(
-            f"unknown decision-map parameter {name!r}; expected one of "
-            f"{_SWEEPABLE_2D}"
-        )
-
-
 def decision_map(
     params: ModelParameters,
     x_name: str,
@@ -190,62 +250,41 @@ def decision_map(
     (``theta=1``, ``streaming_alpha``), REMOTE_FILE (``params.theta``,
     ``params.alpha``).  When an axis sweeps ``alpha`` or ``theta``, the
     swept values apply to *both* remote strategies (the sweep then asks
-    "how good must the coefficient get?").  The whole grid is evaluated
-    with one broadcast call per strategy.
+    "how good must the coefficient get?").  The whole grid is one
+    validated :class:`~repro.core.kernel.ParamBlock` handed to the
+    kernel's vectorized :func:`~repro.core.kernel.decide_block` — the
+    same code path behind the sweep engine's ``decision`` column.
     """
     if x_name == y_name:
         raise ValidationError("x_name and y_name must differ")
+    for name in (x_name, y_name):
+        if name not in _SWEEPABLE_2D:
+            raise ValidationError(
+                f"unknown decision-map parameter {name!r}; expected one of "
+                f"{_SWEEPABLE_2D}"
+            )
     x = np.asarray(x_values, dtype=float)
     y = np.asarray(y_values, dtype=float)
     if x.ndim != 1 or y.ndim != 1 or x.size == 0 or y.size == 0:
         raise ValidationError("x_values and y_values must be non-empty 1-D arrays")
     xx, yy = np.meshgrid(x, y)
 
-    s_alpha = params.alpha if streaming_alpha is None else streaming_alpha
-    base = dict(
-        s_unit_gb=params.s_unit_gb,
-        complexity_flop_per_gb=params.complexity_flop_per_gb,
-        r_local_tflops=params.r_local_tflops,
-        bandwidth_gbps=params.bandwidth_gbps,
-        alpha=params.alpha,
-        r=params.r,
-        theta=params.theta,
+    columns = {x_name: xx.ravel(), y_name: yy.ravel()}
+    block = kernel.ParamBlock.from_columns(columns, base=params, n=xx.size)
+    # A swept alpha/theta reaches both remote strategies through the
+    # block; otherwise streaming gets its own alpha and theta=1.
+    alpha_swept = "alpha" in (x_name, y_name)
+    theta_swept = "theta" in (x_name, y_name)
+    codes = kernel.decide_block(
+        block,
+        streaming_alpha=None if alpha_swept else streaming_alpha,
+        streaming_theta=block.theta if theta_swept else None,
     )
-
-    def tpct_grid(strategy_theta: float, strategy_alpha: float) -> np.ndarray:
-        kw = dict(base)
-        if x_name != "alpha" and y_name != "alpha":
-            kw["alpha"] = strategy_alpha
-        if x_name != "theta" and y_name != "theta":
-            kw["theta"] = strategy_theta
-        _apply_axis(kw, params, x_name, xx)
-        _apply_axis(kw, params, y_name, yy)
-        return np.broadcast_to(
-            np.asarray(model.t_pct(**kw), dtype=float), xx.shape
-        )
-
-    s_grid = xx if x_name == "s_unit_gb" else (yy if y_name == "s_unit_gb" else params.s_unit_gb)
-    c_grid = (
-        xx
-        if x_name == "complexity_flop_per_gb"
-        else (yy if y_name == "complexity_flop_per_gb" else params.complexity_flop_per_gb)
-    )
-    t_local_grid = np.broadcast_to(
-        np.asarray(
-            model.t_local(s_grid, c_grid, params.r_local_tflops), dtype=float
-        ),
-        xx.shape,
-    )
-
-    t_stream = tpct_grid(strategy_theta=1.0, strategy_alpha=s_alpha)
-    t_file = tpct_grid(strategy_theta=params.theta, strategy_alpha=params.alpha)
-
-    stacked = np.stack([t_local_grid, t_stream, t_file])
-    winners = np.argmin(stacked, axis=0)
+    winners = np.broadcast_to(codes, (xx.size,)).reshape(xx.shape)
     return DecisionMap(
         x_name=x_name,
         y_name=y_name,
         x_values=x,
         y_values=y,
-        winners=winners,
+        winners=winners.copy(),
     )

@@ -132,10 +132,26 @@ def regime_breakdown_from_sweep(
     )
 
 
+def _regime_block_tally(
+    block: Dict[str, np.ndarray], metric: str, thresholds: RegimeThresholds
+) -> np.ndarray:
+    """(low, moderate, severe) counts of one column block (module-level
+    so it pickles onto worker processes)."""
+    t_worst = np.asarray(block[metric], dtype=float)
+    if t_worst.size and not np.all(t_worst > 0):
+        raise MeasurementError(
+            f"regime metric {metric!r} must be strictly positive"
+        )
+    low = int(np.count_nonzero(t_worst < thresholds.real_time_limit_s))
+    severe = int(np.count_nonzero(t_worst >= thresholds.severe_limit_s))
+    return np.array([low, int(t_worst.size) - low - severe, severe])
+
+
 def regime_tally_from_sweep(
     table,
     metric: str = "t_worst_s",
     thresholds: Optional[RegimeThresholds] = None,
+    workers: int = 1,
 ) -> Dict[CongestionRegime, int]:
     """Point counts per regime, merged block-by-block.
 
@@ -144,29 +160,28 @@ def regime_tally_from_sweep(
     ``metric`` column is bucketed against the thresholds vectorized and
     the three counters merged — classification is per-point, so the
     merge is exact for any sharding.  In-memory tables count as one
-    block.
+    block.  With ``workers > 1`` the independent shards of a sharded
+    store are scanned across a process pool and the (associative)
+    per-block tallies merged — the answer is identical for any worker
+    count.
     """
-    from ._tables import load_sweep_table
+    from functools import partial
 
-    table = load_sweep_table(table)
+    from ._tables import map_table_blocks
+
     th = thresholds or RegimeThresholds()
-    counts = {regime: 0 for regime in CongestionRegime}
-    if hasattr(table, "iter_blocks"):
-        blocks = table.iter_blocks(columns=(metric,))
-    else:
-        blocks = iter([{metric: table.column(metric)}])
-    for block in blocks:
-        t_worst = np.asarray(block[metric], dtype=float)
-        if t_worst.size and not np.all(t_worst > 0):
-            raise MeasurementError(
-                f"regime metric {metric!r} must be strictly positive"
-            )
-        low = int(np.count_nonzero(t_worst < th.real_time_limit_s))
-        severe = int(np.count_nonzero(t_worst >= th.severe_limit_s))
-        counts[CongestionRegime.LOW] += low
-        counts[CongestionRegime.SEVERE] += severe
-        counts[CongestionRegime.MODERATE] += int(t_worst.size) - low - severe
-    return counts
+    parts = map_table_blocks(
+        table,
+        (metric,),
+        partial(_regime_block_tally, metric=metric, thresholds=th),
+        workers=workers,
+    )
+    total = np.sum(parts, axis=0) if parts else np.zeros(3, dtype=int)
+    return {
+        CongestionRegime.LOW: int(total[0]),
+        CongestionRegime.MODERATE: int(total[1]),
+        CongestionRegime.SEVERE: int(total[2]),
+    }
 
 
 def regime_breakdown(

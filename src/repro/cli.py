@@ -43,12 +43,13 @@ from .sweep import (
     run_model_sweep,
     run_sweep as run_generic_sweep,
 )
-from .sweep.engine import DEFAULT_BLOCK_SIZE, MODEL_METRICS
-from .iperfsim.runner import run_sweep
+from .sweep.engine import DEFAULT_BLOCK_SIZE, MODEL_METRICS, SWEEP_METRICS
+from .iperfsim.runner import run_sweep, table2_point_metrics
 from .iperfsim.spec import (
     ExperimentSpec,
     SpawnStrategy,
     TABLE2_ROWS,
+    table2_spec,
     table2_sweep,
 )
 from .measurement.congestion import measure_sss_curve
@@ -106,7 +107,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument(
         "--metrics", default=",".join(MODEL_METRICS),
-        help=f"comma-separated metric columns (default: all of {','.join(MODEL_METRICS)})",
+        help=f"comma-separated metric columns (default: {','.join(MODEL_METRICS)}; "
+             "also available: decision, tier, gain, kappa and the "
+             "break-even surfaces — any kernel column of "
+             "repro.core.kernel.KERNEL_COLUMNS)",
     )
     p_sweep.add_argument(
         "--mode", choices=("vectorized", "process"), default="vectorized",
@@ -131,6 +135,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-size", type=int, default=None, metavar="N",
         help="rows per shard/evaluation block for --out-dir "
              f"(default: {DEFAULT_BLOCK_SIZE})",
+    )
+    p_sweep.add_argument(
+        "--compress", action="store_true",
+        help="write --out-dir shards with np.savez_compressed (smaller "
+             "cold-storage artifacts; slower writes, transparent reads)",
     )
     p_sweep.add_argument(
         "--cache-dir", default=None, metavar="DIR",
@@ -315,6 +324,7 @@ def _shard_summary(table, args: argparse.Namespace) -> str:
                 "n_rows": table.n_rows,
                 "n_shards": table.n_shards,
                 "shard_size": table.reader.shard_size,
+                "compress": table.reader.compress,
                 "directory": str(table.directory),
                 "manifest": str(manifest),
                 "columns": list(table.column_names),
@@ -325,6 +335,7 @@ def _shard_summary(table, args: argparse.Namespace) -> str:
         ("points", str(table.n_rows)),
         ("shards", str(table.n_shards)),
         ("rows/shard", str(table.reader.shard_size)),
+        ("compressed", "yes" if table.reader.compress else "no"),
         ("columns", ", ".join(table.column_names)),
         ("directory", str(table.directory)),
         ("manifest", str(manifest)),
@@ -337,6 +348,8 @@ def _shard_summary(table, args: argparse.Namespace) -> str:
 def _cmd_sweep(args: argparse.Namespace) -> str:
     if args.shard_size is not None and args.out_dir is None:
         raise ValidationError("--shard-size only applies with --out-dir")
+    if args.compress and args.out_dir is None:
+        raise ValidationError("--compress only applies with --out-dir")
     if args.out_dir is not None and args.out_format == "csv":
         # Fail before the sweep runs, not after the shards are written.
         raise ValidationError(
@@ -371,11 +384,23 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
                 "analysis.crossover.crossover_from_sweep with an explicit "
                 "metric (e.g. t_worst_s) on the exported table instead"
             )
-        table = _simnet_table2_table(args)
         if args.out_dir is not None:
-            table = table.to_shards(
-                args.out_dir, shard_size=args.shard_size or DEFAULT_BLOCK_SIZE
+            # Stream the grid block-by-block straight into shards (one
+            # block of experiments in memory at a time) instead of
+            # materialising the whole table first — same enumeration
+            # order and per-cell numbers as the in-memory path.
+            fn = partial(
+                table2_point_metrics,
+                duration_s=args.duration,
+                seeds=tuple(args.seeds),
             )
+            table = run_generic_sweep(
+                table2_spec(), fn, workers=args.workers,
+                out=args.out_dir, block_size=args.shard_size,
+                compress=args.compress,
+            )
+        else:
+            table = _simnet_table2_table(args)
     else:
         if args.seeds != [0] or args.duration != 10.0:
             raise ValidationError(
@@ -389,10 +414,10 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         spec = _sweep_spec_from_args(args)
         base = _sweep_base_params(args)
         metrics = tuple(m.strip() for m in args.metrics.split(",") if m.strip())
-        unknown = [m for m in metrics if m not in MODEL_METRICS]
+        unknown = [m for m in metrics if m not in SWEEP_METRICS]
         if unknown:
             raise ValidationError(
-                f"unknown sweep metrics {unknown}; expected a subset of {MODEL_METRICS}"
+                f"unknown sweep metrics {unknown}; expected a subset of {SWEEP_METRICS}"
             )
         # The crossover summary is defined on the speedup metric; make sure
         # the table carries it even when --metrics narrows the output.
@@ -409,6 +434,7 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
             table = run_model_sweep(
                 spec, base=base, metrics=metrics,
                 out=args.out_dir, block_size=args.shard_size,
+                compress=args.compress,
             )
         else:
             fn = partial(
@@ -417,7 +443,7 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
             table = run_generic_sweep(
                 spec, fn, workers=args.workers, cache=cache,
                 backend=args.backend, out=args.out_dir,
-                block_size=args.shard_size,
+                block_size=args.shard_size, compress=args.compress,
             )
 
     crossover_text = None

@@ -3,6 +3,9 @@
 Public surface:
 
 - :mod:`repro.core.parameters` — validated :class:`ModelParameters`,
+- :mod:`repro.core.kernel` — the columnar evaluation kernel:
+  :class:`ParamBlock` (validated once per block) plus the registry of
+  derived-column kernels every other layer is a thin view over,
 - :mod:`repro.core.model` — Eqs. 3–10 completion times,
 - :mod:`repro.core.gain` — the (alpha, r, theta) gain function and
   break-even surfaces,
@@ -13,6 +16,14 @@ Public surface:
 """
 
 from .parameters import ModelParameters, aps_to_alcf_defaults, lcls_to_hpc_defaults
+from .kernel import (
+    KERNEL_COLUMNS,
+    MODEL_AXES,
+    ParamBlock,
+    compute_columns,
+    decide_block,
+    strategy_times,
+)
 from .model import (
     CompletionTimes,
     evaluate,
@@ -55,6 +66,7 @@ from .sss import (
 )
 from .decision import (
     Decision,
+    STRATEGIES_BY_CODE,
     Strategy,
     StrategyEvaluation,
     TIER_DEADLINES_S,
@@ -63,6 +75,8 @@ from .decision import (
     feasible_tiers,
     highest_feasible_tier,
     require_any_tier,
+    strategy_from_code,
+    tier_from_code,
 )
 from .sensitivity import SWEEPABLE, TornadoRow, elasticity, sweep, tornado
 from .queueing import (
@@ -77,6 +91,13 @@ __all__ = [
     "ModelParameters",
     "aps_to_alcf_defaults",
     "lcls_to_hpc_defaults",
+    # kernel
+    "KERNEL_COLUMNS",
+    "MODEL_AXES",
+    "ParamBlock",
+    "compute_columns",
+    "decide_block",
+    "strategy_times",
     # model
     "CompletionTimes",
     "evaluate",
@@ -115,6 +136,7 @@ __all__ = [
     "worst_of",
     # decision
     "Decision",
+    "STRATEGIES_BY_CODE",
     "Strategy",
     "StrategyEvaluation",
     "TIER_DEADLINES_S",
@@ -123,6 +145,8 @@ __all__ = [
     "feasible_tiers",
     "highest_feasible_tier",
     "require_any_tier",
+    "strategy_from_code",
+    "tier_from_code",
     # sensitivity
     "SWEEPABLE",
     "TornadoRow",

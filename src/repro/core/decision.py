@@ -33,19 +33,22 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from ..errors import DecisionError, ValidationError
-from ..units import SECONDS_PER_MINUTE, ensure_positive
-from . import model
+from ..units import ensure_positive
+from . import kernel, model
 from .parameters import ModelParameters
 
 __all__ = [
     "Strategy",
     "Tier",
     "TIER_DEADLINES_S",
+    "STRATEGIES_BY_CODE",
     "StrategyEvaluation",
     "Decision",
     "decide",
     "feasible_tiers",
     "highest_feasible_tier",
+    "strategy_from_code",
+    "tier_from_code",
 ]
 
 
@@ -68,12 +71,46 @@ class Tier(enum.Enum):
     TIER3 = 3
 
 
-#: Tier deadlines in seconds (Section 5).
+#: Tier deadlines in seconds (Section 5); the numbers live in
+#: :data:`repro.core.kernel.TIER_DEADLINES` so the vectorized tier
+#: column and this scalar engine can never drift apart.
 TIER_DEADLINES_S: Dict[Tier, float] = {
-    Tier.TIER1: 1.0,
-    Tier.TIER2: 10.0,
-    Tier.TIER3: SECONDS_PER_MINUTE,
+    tier: deadline for tier, deadline in zip(Tier, kernel.TIER_DEADLINES)
 }
+
+#: Strategy per kernel decision code (``kernel.STRATEGY_LABELS`` order):
+#: 0 LOCAL, 1 REMOTE_STREAMING, 2 REMOTE_FILE.
+STRATEGIES_BY_CODE: tuple = tuple(
+    Strategy(label) for label in kernel.STRATEGY_LABELS
+)
+
+
+def strategy_from_code(code: int) -> Strategy:
+    """The :class:`Strategy` a kernel ``decision`` code denotes."""
+    try:
+        index = int(code)
+        if index < 0:
+            raise IndexError  # no negative-index wrap-around
+        return STRATEGIES_BY_CODE[index]
+    except (IndexError, ValueError) as exc:
+        raise ValidationError(
+            f"decision code must be one of 0..{len(STRATEGIES_BY_CODE) - 1}, "
+            f"got {code!r}"
+        ) from exc
+
+
+def tier_from_code(code: int) -> Optional[Tier]:
+    """The :class:`Tier` a kernel ``tier`` code denotes (``None`` for
+    code 0: even Tier 3 is missed)."""
+    code = int(code)
+    if code == 0:
+        return None
+    try:
+        return Tier(code)
+    except ValueError as exc:
+        raise ValidationError(
+            f"tier code must be one of 0..3, got {code!r}"
+        ) from exc
 
 
 @dataclass(frozen=True)
@@ -139,14 +176,19 @@ def _evaluate_strategies(
     streaming_alpha: Optional[float],
     sss: Optional[float],
 ) -> Dict[Strategy, StrategyEvaluation]:
-    t_loc = model.t_local(
-        params.s_unit_gb, params.complexity_flop_per_gb, params.r_local_tflops
+    # One validated 1-point kernel block covers all three strategies —
+    # the same code path the vectorized sweep decision column runs on.
+    block = kernel.ParamBlock.from_params(params)
+    t_loc_arr, stream_arr, file_arr = kernel.strategy_times(
+        block, streaming_alpha=streaming_alpha
     )
+    t_loc = float(t_loc_arr)
+    stream_expected = float(stream_arr)
+    file_expected = float(file_arr)
     evals: Dict[Strategy, StrategyEvaluation] = {
         Strategy.LOCAL: StrategyEvaluation(Strategy.LOCAL, t_loc, t_loc)
     }
 
-    s_alpha = params.alpha if streaming_alpha is None else streaming_alpha
     common = dict(
         s_unit_gb=params.s_unit_gb,
         complexity_flop_per_gb=params.complexity_flop_per_gb,
@@ -154,9 +196,6 @@ def _evaluate_strategies(
         bandwidth_gbps=params.bandwidth_gbps,
         r=params.r,
     )
-
-    stream_expected = model.t_pct(alpha=s_alpha, theta=1.0, **common)
-    file_expected = model.t_pct(alpha=params.alpha, theta=params.theta, **common)
 
     if sss is None:
         stream_worst = stream_expected

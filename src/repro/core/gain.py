@@ -35,7 +35,8 @@ from typing import Union
 import numpy as np
 
 from ..errors import ValidationError
-from ..units import BITS_PER_BYTE, ensure_fraction, ensure_positive
+from ..units import ensure_fraction, ensure_positive
+from . import kernel
 from .parameters import ModelParameters
 
 __all__ = [
@@ -66,10 +67,13 @@ def kappa(
     ensure_positive(complexity_flop_per_gb, "complexity_flop_per_gb")
     ensure_positive(r_local_tflops, "r_local_tflops")
     ensure_positive(bandwidth_gbps, "bandwidth_gbps")
-    c = np.asarray(complexity_flop_per_gb, dtype=float)
-    rl = np.asarray(r_local_tflops, dtype=float) * 1e12
-    bw = np.asarray(bandwidth_gbps, dtype=float) / BITS_PER_BYTE  # GB/s
-    out = rl / (c * bw)
+    out = np.asarray(
+        kernel.raw_kappa(
+            np.asarray(complexity_flop_per_gb, dtype=float),
+            np.asarray(r_local_tflops, dtype=float),
+            np.asarray(bandwidth_gbps, dtype=float),
+        )
+    )
     return float(out) if out.ndim == 0 else out
 
 
@@ -89,17 +93,20 @@ def gain(
     a = np.asarray(alpha, dtype=float)
     rr = np.asarray(r, dtype=float)
     k = np.asarray(kappa_value, dtype=float)
-    out = 1.0 / (th * k / a + 1.0 / rr)
+    out = np.asarray(kernel.raw_gain(a, rr, th, k))
     return float(out) if out.ndim == 0 else out
 
 
 def gain_from_params(params: ModelParameters) -> float:
     """Gain for a full parameter set; identical to
-    :func:`repro.core.model.speedup` by construction."""
-    k = kappa(
-        params.complexity_flop_per_gb, params.r_local_tflops, params.bandwidth_gbps
-    )
-    return float(gain(params.alpha, params.r, params.theta, k))
+    :func:`repro.core.model.speedup` by construction.
+
+    A thin view over a 1-point kernel block (validated once at
+    parameter construction); for a pure data-movement workload
+    (``complexity == 0``) the gain is 0 (:math:`\\kappa = \\infty`:
+    shipping data with nothing to compute can never pay off)."""
+    block = kernel.ParamBlock.from_params(params)
+    return float(kernel.compute_columns(block, ("gain",))["gain"][0])
 
 
 def break_even_theta(
@@ -118,7 +125,7 @@ def break_even_theta(
     a = np.asarray(alpha, dtype=float)
     rr = np.asarray(r, dtype=float)
     k = np.asarray(kappa_value, dtype=float)
-    out = a * (1.0 - 1.0 / rr) / k
+    out = np.asarray(kernel.raw_break_even_theta(a, rr, k))
     return float(out) if out.ndim == 0 else out
 
 
@@ -143,7 +150,7 @@ def break_even_alpha(
         raise ValidationError(f"theta must be >= 1, got {theta!r}")
     ensure_positive(kappa_value, "kappa_value")
     k = np.asarray(kappa_value, dtype=float)
-    out = th * k / (1.0 - 1.0 / rr)
+    out = np.asarray(kernel.raw_break_even_alpha(th, rr, k))
     return float(out) if out.ndim == 0 else out
 
 
@@ -164,9 +171,7 @@ def break_even_r(
         raise ValidationError(f"theta must be >= 1, got {theta!r}")
     a = np.asarray(alpha, dtype=float)
     k = np.asarray(kappa_value, dtype=float)
-    margin = 1.0 - th * k / a
-    with np.errstate(divide="ignore"):
-        out = np.where(margin > 0, 1.0 / np.where(margin > 0, margin, 1.0), np.inf)
+    out = np.asarray(kernel.raw_break_even_r(a, th, k))
     return float(out) if out.ndim == 0 else out
 
 
@@ -180,7 +185,7 @@ def break_even_kappa(alpha: ArrayLike, r: ArrayLike, theta: ArrayLike) -> ArrayL
         raise ValidationError(f"theta must be >= 1, got {theta!r}")
     a = np.asarray(alpha, dtype=float)
     rr = np.asarray(r, dtype=float)
-    out = a * (1.0 - 1.0 / rr) / th
+    out = np.asarray(kernel.raw_break_even_kappa(a, rr, th))
     return float(out) if out.ndim == 0 else out
 
 
@@ -200,5 +205,5 @@ def asymptotic_gain(
         raise ValidationError(f"theta must be >= 1, got {theta!r}")
     a = np.asarray(alpha, dtype=float)
     k = np.asarray(kappa_value, dtype=float)
-    out = a / (th * k)
+    out = np.asarray(kernel.raw_asymptotic_gain(a, th, k))
     return float(out) if out.ndim == 0 else out

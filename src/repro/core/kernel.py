@@ -1,0 +1,621 @@
+"""Columnar evaluation kernel: one validated block path for every model
+quantity.
+
+The completion-time model (Section 3.2), the dimensionless gain function
+(Section 6) and the strategy/tier decision (Section 5) historically ran
+on three separate evaluation paths — scalar wrappers in
+:mod:`repro.core.model`, coefficient-space functions in
+:mod:`repro.core.gain`, the per-point :func:`repro.core.decision.decide`
+— with the sweep engine re-implementing a fourth, vectorized variant.
+Each path re-validated shared inputs on every call (``t_local``,
+``t_transfer`` and ``t_pct`` each checked ``s_unit_gb`` again), which on
+the million-point sweep substrate meant several redundant whole-array
+scans per block.
+
+This module is the single substrate all of those layers are now thin
+views over:
+
+- :class:`ParamBlock` — a dict-of-arrays parameter block (any
+  broadcast-compatible shapes), validated **once** at construction,
+- a registry of *derived-column kernels* (:data:`KERNEL_COLUMNS`)
+  computing every model quantity with shared intermediates: completion
+  times, ``speedup``, ``gain``/``kappa``, the break-even surfaces, a
+  vectorized strategy ``decision`` and latency-``tier`` classification,
+- :func:`compute_columns` — evaluate any subset of derived columns over
+  a block, resolving dependencies through a per-call memo so each
+  intermediate is computed exactly once per block,
+- raw, validation-free arithmetic helpers (``raw_t_local``, ...) shared
+  with the validated scalar API in :mod:`repro.core.model` and
+  :mod:`repro.core.gain`, so there is exactly one implementation of
+  every equation.
+
+Decision and tier columns are integer-coded so they store natively in
+columnar shards (no per-row Python objects on the write path):
+:data:`STRATEGY_LABELS` maps decision codes to the
+:class:`repro.core.decision.Strategy` values (``0`` local, ``1``
+remote-streaming, ``2`` remote-file), and tier code ``0`` means "misses
+even Tier 3" while ``1``/``2``/``3`` are the Section-5 tiers of the
+*chosen* strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..units import BITS_PER_BYTE, SECONDS_PER_MINUTE, ensure_fraction
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .parameters import ModelParameters
+
+__all__ = [
+    "KERNEL_COLUMNS",
+    "MODEL_AXES",
+    "ParamBlock",
+    "STRATEGY_LABELS",
+    "TIER_DEADLINES",
+    "classify_tier",
+    "compute_columns",
+    "decide_block",
+    "strategy_times",
+    "raw_t_local",
+    "raw_t_transfer",
+    "raw_t_remote",
+    "raw_t_pct",
+    "raw_kappa",
+    "raw_gain",
+    "raw_break_even_theta",
+    "raw_break_even_alpha",
+    "raw_break_even_r",
+    "raw_break_even_kappa",
+    "raw_asymptotic_gain",
+]
+
+ArrayLike = Union[float, np.ndarray]
+
+#: Decision codes, in evaluation order (ties resolve to the lowest code,
+#: matching the stable ``min`` of the scalar decision engine).  The
+#: labels are the ``repro.core.decision.Strategy`` values.
+STRATEGY_LABELS: Tuple[str, ...] = ("local", "remote-streaming", "remote-file")
+
+#: Tier deadlines in seconds for tier codes 1, 2, 3 (Section 5); code 0
+#: means even Tier 3's deadline is missed.
+TIER_DEADLINES: Tuple[float, float, float] = (1.0, 10.0, SECONDS_PER_MINUTE)
+
+
+# ----------------------------------------------------------------------
+# Axis validation (once per block)
+# ----------------------------------------------------------------------
+def _positive(name: str, arr: np.ndarray) -> None:
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"sweep axis {name!r} must be finite")
+    if not np.all(arr > 0):
+        bad = float(arr[arr <= 0][0]) if arr.ndim else float(arr)
+        raise ValidationError(
+            f"sweep axis {name!r} must be strictly positive, got {bad!r}"
+        )
+
+
+def _non_negative(name: str, arr: np.ndarray) -> None:
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"sweep axis {name!r} must be finite")
+    if not np.all(arr >= 0):
+        bad = float(arr[arr < 0][0]) if arr.ndim else float(arr)
+        raise ValidationError(
+            f"sweep axis {name!r} must be non-negative, got {bad!r}"
+        )
+
+
+def _fraction(name: str, arr: np.ndarray) -> None:
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"sweep axis {name!r} must be finite")
+    if not (np.all(arr > 0) and np.all(arr <= 1.0)):
+        bad = (
+            float(arr[(arr <= 0) | (arr > 1.0)][0]) if arr.ndim else float(arr)
+        )
+        raise ValidationError(
+            f"sweep axis {name!r} must lie in (0, 1], got {bad!r}"
+        )
+
+
+def _at_least_one(name: str, arr: np.ndarray) -> None:
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"sweep axis {name!r} must be finite")
+    if not np.all(arr >= 1.0):
+        bad = float(arr[arr < 1.0][0]) if arr.ndim else float(arr)
+        raise ValidationError(f"sweep axis {name!r} must be >= 1, got {bad!r}")
+
+
+#: Model parameters acceptable as block/sweep axes, with the validator
+#: each must satisfy (zero/negative bandwidth or TFLOPS is rejected
+#: here, naming the offending axis, before any numpy division can emit
+#: inf).  Validation runs once per block, not once per derived column.
+MODEL_AXES: Dict[str, Callable[[str, np.ndarray], None]] = {
+    "s_unit_gb": _positive,
+    "complexity_flop_per_gb": _non_negative,
+    "r_local_tflops": _positive,
+    "r_remote_tflops": _positive,
+    "bandwidth_gbps": _positive,
+    "alpha": _fraction,
+    "r": _positive,
+    "theta": _at_least_one,
+}
+
+
+# ----------------------------------------------------------------------
+# Raw arithmetic (no validation; shared by every layer)
+# ----------------------------------------------------------------------
+def raw_t_local(s: ArrayLike, c: ArrayLike, rl: ArrayLike) -> np.ndarray:
+    """Eq. 3: :math:`T_{local} = C S_{unit} / R_{local}` (rates in TFLOPS)."""
+    return c * s / (rl * 1e12)
+
+
+def raw_t_transfer(s: ArrayLike, bw: ArrayLike, alpha: ArrayLike) -> np.ndarray:
+    """Eq. 5: :math:`T_{transfer} = S_{unit} / (\\alpha Bw)` (Bw in Gbps)."""
+    return s / (alpha * (bw / BITS_PER_BYTE))
+
+
+def raw_t_remote(
+    s: ArrayLike, c: ArrayLike, rl: ArrayLike, r: ArrayLike
+) -> np.ndarray:
+    """Eq. 6: :math:`T_{remote} = C S_{unit} / (r R_{local})`."""
+    return c * s / ((rl * r) * 1e12)
+
+
+def raw_t_pct(
+    t_transfer: ArrayLike, t_remote: ArrayLike, theta: ArrayLike
+) -> np.ndarray:
+    """Eq. 10: :math:`T_{pct} = \\theta T_{transfer} + T_{remote}`."""
+    return theta * t_transfer + t_remote
+
+
+def raw_kappa(c: ArrayLike, rl: ArrayLike, bw: ArrayLike) -> np.ndarray:
+    """Communication-to-computation ratio
+    :math:`\\kappa = R_{local} / (C \\cdot Bw)`; ``inf`` for pure data
+    movement (``C == 0``)."""
+    with np.errstate(divide="ignore"):
+        return (rl * 1e12) / (c * (bw / BITS_PER_BYTE))
+
+
+def raw_gain(
+    alpha: ArrayLike, r: ArrayLike, theta: ArrayLike, kappa: ArrayLike
+) -> np.ndarray:
+    """Dimensionless gain :math:`G = 1 / (\\theta\\kappa/\\alpha + 1/r)`."""
+    return 1.0 / (theta * kappa / alpha + 1.0 / r)
+
+
+def raw_break_even_theta(
+    alpha: ArrayLike, r: ArrayLike, kappa: ArrayLike
+) -> np.ndarray:
+    """:math:`\\theta^* = \\alpha (1 - 1/r) / \\kappa` (``<= 1`` signals
+    infeasibility, including whenever :math:`r \\le 1`)."""
+    return alpha * (1.0 - 1.0 / r) / kappa
+
+
+def raw_break_even_alpha(
+    theta: ArrayLike, r: ArrayLike, kappa: ArrayLike
+) -> np.ndarray:
+    """:math:`\\alpha^* = \\theta\\kappa / (1 - 1/r)`; ``nan`` where
+    :math:`r \\le 1` (no feasible root)."""
+    rr = np.asarray(r, dtype=float)
+    margin = 1.0 - 1.0 / rr
+    feasible = margin > 0
+    out = np.where(
+        feasible, theta * kappa / np.where(feasible, margin, 1.0), np.nan
+    )
+    return out
+
+
+def raw_break_even_r(
+    alpha: ArrayLike, theta: ArrayLike, kappa: ArrayLike
+) -> np.ndarray:
+    """:math:`r^* = 1 / (1 - \\theta\\kappa/\\alpha)`; ``inf`` where the
+    transfer alone already exceeds local compute time."""
+    margin = 1.0 - theta * kappa / alpha
+    with np.errstate(divide="ignore"):
+        return np.where(
+            margin > 0, 1.0 / np.where(margin > 0, margin, 1.0), np.inf
+        )
+
+
+def raw_break_even_kappa(
+    alpha: ArrayLike, r: ArrayLike, theta: ArrayLike
+) -> np.ndarray:
+    """:math:`\\kappa^* = \\alpha (1 - 1/r) / \\theta` (``<= 0`` iff r <= 1)."""
+    return alpha * (1.0 - 1.0 / r) / theta
+
+
+def raw_asymptotic_gain(
+    alpha: ArrayLike, theta: ArrayLike, kappa: ArrayLike
+) -> np.ndarray:
+    """:math:`G_\\infty = \\alpha/(\\theta\\kappa)` — the hard ceiling the
+    network imposes for :math:`r \\to \\infty`."""
+    return alpha / (theta * kappa)
+
+
+# ----------------------------------------------------------------------
+# Parameter blocks
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ParamBlock:
+    """One block of model parameters as broadcast-compatible arrays.
+
+    Every field is a float array (possibly 0-d for parameters constant
+    over the block) broadcastable to ``(n,)``.  Construction through
+    :meth:`from_columns` validates each swept column exactly once;
+    :meth:`from_params` wraps an already-validated
+    :class:`~repro.core.parameters.ModelParameters` as a 1-point block,
+    which is how the scalar ``evaluate``/``decide``/``gain_from_params``
+    wrappers now reach the kernels.
+    """
+
+    n: int
+    s_unit_gb: np.ndarray
+    complexity_flop_per_gb: np.ndarray
+    r_local_tflops: np.ndarray
+    bandwidth_gbps: np.ndarray
+    alpha: np.ndarray
+    r: np.ndarray
+    theta: np.ndarray
+
+    @classmethod
+    def from_columns(
+        cls,
+        columns: Dict[str, Any],
+        base: Optional["ModelParameters"] = None,
+        n: Optional[int] = None,
+    ) -> "ParamBlock":
+        """Merge swept columns with base-parameter scalars into a block.
+
+        ``columns`` may carry extra non-model columns (e.g. a zipped
+        ``facility`` label); only names in :data:`MODEL_AXES` are
+        consumed, and each is validated once here.  Remote speed may
+        arrive as the ratio ``r`` or as absolute ``r_remote_tflops``
+        (divided by the effective local rate, so a swept
+        ``r_local_tflops`` does not silently rescale the remote
+        machine).  ``base`` values are trusted — they were validated at
+        :class:`~repro.core.parameters.ModelParameters` construction.
+        """
+        swept: Dict[str, np.ndarray] = {}
+        for name, col in columns.items():
+            if name not in MODEL_AXES:
+                continue
+            arr = np.asarray(col, dtype=float)
+            MODEL_AXES[name](name, arr)
+            swept[name] = arr
+        if "r" in swept and "r_remote_tflops" in swept:
+            raise ValidationError(
+                "sweep axes 'r' and 'r_remote_tflops' are redundant; provide one"
+            )
+        # Shape discipline belongs here, not in a cryptic broadcast error
+        # deep inside a derived-column kernel: every 1-D column must
+        # share one length (length-1 columns broadcast like scalars).
+        lengths = {
+            name: arr.shape[0]
+            for name, arr in swept.items()
+            if arr.ndim == 1 and arr.shape[0] != 1
+        }
+        if len(set(lengths.values())) > 1:
+            raise ValidationError(
+                "block columns must share one length, got "
+                + ", ".join(f"{k}={v}" for k, v in sorted(lengths.items()))
+            )
+        if n is not None and lengths and set(lengths.values()) != {int(n)}:
+            name, length = next(iter(lengths.items()))
+            raise ValidationError(
+                f"block column {name!r} has length {length}, expected n={n}"
+            )
+
+        def pick(name: str, default: Optional[float] = None) -> np.ndarray:
+            if name in swept:
+                return swept[name]
+            if base is not None:
+                return np.asarray(getattr(base, name), dtype=float)
+            if default is not None:
+                return np.asarray(default, dtype=float)
+            raise ValidationError(
+                f"model parameter {name!r} is neither swept nor supplied via "
+                f"base parameters"
+            )
+
+        r_local = pick("r_local_tflops")
+        if "r" in swept:
+            r = swept["r"]
+        elif "r_remote_tflops" in swept:
+            r = swept["r_remote_tflops"] / r_local
+        elif base is not None:
+            # Keep the base's remote speed *absolute* (not its ratio), so
+            # a swept r_local_tflops doesn't silently rescale the remote
+            # machine too — same semantics as the per-point executor.
+            r = np.asarray(base.r_remote_tflops, dtype=float) / r_local
+        else:
+            raise ValidationError(
+                "remote speed is neither swept ('r' or 'r_remote_tflops') nor "
+                "supplied via base parameters"
+            )
+
+        if n is None:
+            n = max(
+                (arr.shape[0] for arr in swept.values() if arr.ndim == 1),
+                default=1,
+            )
+        return cls(
+            n=int(n),
+            s_unit_gb=pick("s_unit_gb"),
+            complexity_flop_per_gb=pick("complexity_flop_per_gb"),
+            r_local_tflops=r_local,
+            bandwidth_gbps=pick("bandwidth_gbps"),
+            alpha=pick("alpha", 1.0),
+            r=r,
+            theta=pick("theta", 1.0),
+        )
+
+    @classmethod
+    def from_params(cls, params: "ModelParameters") -> "ParamBlock":
+        """A 1-point block over an already-validated parameter set."""
+        return cls(
+            n=1,
+            s_unit_gb=np.asarray(params.s_unit_gb, dtype=float),
+            complexity_flop_per_gb=np.asarray(
+                params.complexity_flop_per_gb, dtype=float
+            ),
+            r_local_tflops=np.asarray(params.r_local_tflops, dtype=float),
+            bandwidth_gbps=np.asarray(params.bandwidth_gbps, dtype=float),
+            alpha=np.asarray(params.alpha, dtype=float),
+            r=np.asarray(params.r, dtype=float),
+            theta=np.asarray(params.theta, dtype=float),
+        )
+
+
+# ----------------------------------------------------------------------
+# Derived-column registry
+# ----------------------------------------------------------------------
+_Getter = Callable[[str], np.ndarray]
+_KERNELS: Dict[str, Callable[[ParamBlock, _Getter], np.ndarray]] = {}
+
+
+def _derived(name: str):
+    """Register one derived-column kernel (registration order defines
+    the public column order)."""
+
+    def deco(fn: Callable[[ParamBlock, _Getter], np.ndarray]):
+        _KERNELS[name] = fn
+        return fn
+
+    return deco
+
+
+@_derived("t_local")
+def _k_t_local(b: ParamBlock, get: _Getter) -> np.ndarray:
+    return raw_t_local(b.s_unit_gb, b.complexity_flop_per_gb, b.r_local_tflops)
+
+
+@_derived("t_transfer")
+def _k_t_transfer(b: ParamBlock, get: _Getter) -> np.ndarray:
+    return raw_t_transfer(b.s_unit_gb, b.bandwidth_gbps, b.alpha)
+
+
+@_derived("t_io")
+def _k_t_io(b: ParamBlock, get: _Getter) -> np.ndarray:
+    return (b.theta - 1.0) * get("t_transfer")
+
+
+@_derived("t_remote")
+def _k_t_remote(b: ParamBlock, get: _Getter) -> np.ndarray:
+    return raw_t_remote(
+        b.s_unit_gb, b.complexity_flop_per_gb, b.r_local_tflops, b.r
+    )
+
+
+@_derived("t_pct")
+def _k_t_pct(b: ParamBlock, get: _Getter) -> np.ndarray:
+    return raw_t_pct(get("t_transfer"), get("t_remote"), b.theta)
+
+
+@_derived("speedup")
+def _k_speedup(b: ParamBlock, get: _Getter) -> np.ndarray:
+    return get("t_local") / get("t_pct")
+
+
+@_derived("remote_is_faster")
+def _k_remote_is_faster(b: ParamBlock, get: _Getter) -> np.ndarray:
+    return get("speedup") > 1.0
+
+
+@_derived("kappa")
+def _k_kappa(b: ParamBlock, get: _Getter) -> np.ndarray:
+    return raw_kappa(b.complexity_flop_per_gb, b.r_local_tflops, b.bandwidth_gbps)
+
+
+@_derived("gain")
+def _k_gain(b: ParamBlock, get: _Getter) -> np.ndarray:
+    return raw_gain(b.alpha, b.r, b.theta, get("kappa"))
+
+
+@_derived("_strategy_stack")
+def _k_strategy_stack(b: ParamBlock, get: _Getter) -> np.ndarray:
+    # Streaming is T_pct at theta=1 with the block's alpha; file-based
+    # is the full T_pct.  (theta * t == 1.0 * t is bit-exact, so the
+    # streaming time equals the scalar engine's t_pct(theta=1).)
+    t_loc, t_stream, t_file = np.broadcast_arrays(
+        get("t_local"), get("t_transfer") + get("t_remote"), get("t_pct")
+    )
+    return np.stack([t_loc, t_stream, t_file])
+
+
+@_derived("decision")
+def _k_decision(b: ParamBlock, get: _Getter) -> np.ndarray:
+    # argmin takes the first minimum, matching the stable min() over
+    # (LOCAL, REMOTE_STREAMING, REMOTE_FILE) in the scalar engine.
+    return np.argmin(get("_strategy_stack"), axis=0)
+
+
+@_derived("tier")
+def _k_tier(b: ParamBlock, get: _Getter) -> np.ndarray:
+    return classify_tier(np.min(get("_strategy_stack"), axis=0))
+
+
+@_derived("break_even_theta")
+def _k_break_even_theta(b: ParamBlock, get: _Getter) -> np.ndarray:
+    return raw_break_even_theta(b.alpha, b.r, get("kappa"))
+
+
+@_derived("break_even_alpha")
+def _k_break_even_alpha(b: ParamBlock, get: _Getter) -> np.ndarray:
+    return raw_break_even_alpha(b.theta, b.r, get("kappa"))
+
+
+@_derived("break_even_r")
+def _k_break_even_r(b: ParamBlock, get: _Getter) -> np.ndarray:
+    return raw_break_even_r(b.alpha, b.theta, get("kappa"))
+
+
+@_derived("break_even_kappa")
+def _k_break_even_kappa(b: ParamBlock, get: _Getter) -> np.ndarray:
+    return raw_break_even_kappa(b.alpha, b.r, b.theta)
+
+
+@_derived("asymptotic_gain")
+def _k_asymptotic_gain(b: ParamBlock, get: _Getter) -> np.ndarray:
+    return raw_asymptotic_gain(b.alpha, b.theta, get("kappa"))
+
+
+#: Every public derived column, in canonical order (internal
+#: intermediates, prefixed with ``_``, are not requestable).
+KERNEL_COLUMNS: Tuple[str, ...] = tuple(
+    name for name in _KERNELS if not name.startswith("_")
+)
+
+
+class _BlockResolver:
+    """Memoised derived-column resolver for one block.
+
+    Deliberately an object, not a recursive closure: a closure calling
+    itself references its own cell, a reference *cycle* that parks each
+    block's megabytes of intermediate arrays on the garbage collector
+    instead of freeing them by refcount — which un-flattens the
+    out-of-core sweep's memory profile.
+    """
+
+    __slots__ = ("block", "cache")
+
+    def __init__(self, block: ParamBlock) -> None:
+        self.block = block
+        self.cache: Dict[str, np.ndarray] = {}
+
+    def __call__(self, name: str) -> np.ndarray:
+        out = self.cache.get(name)
+        if out is None:
+            out = self.cache[name] = np.asarray(_KERNELS[name](self.block, self))
+        return out
+
+
+def compute_columns(
+    block: ParamBlock, metrics: Tuple[str, ...]
+) -> Dict[str, np.ndarray]:
+    """Evaluate the requested derived columns over ``block``.
+
+    Dependencies resolve through a per-call memo, so shared
+    intermediates (``t_transfer`` inside ``t_pct`` inside ``speedup``
+    inside the decision stack ...) are each computed exactly once per
+    block, and — because the block was validated at construction —
+    without a single re-validation scan.  Every returned column is a
+    fresh ``(n,)`` array (floats for times/coefficients, bool for
+    ``remote_is_faster``, integer codes for ``decision``/``tier``).
+    """
+    unknown = [m for m in metrics if m not in KERNEL_COLUMNS]
+    if unknown:
+        raise ValidationError(
+            f"unknown kernel columns {unknown}; expected a subset of "
+            f"{KERNEL_COLUMNS}"
+        )
+    resolve = _BlockResolver(block)
+    return {
+        m: np.broadcast_to(resolve(m), (block.n,)).copy() for m in metrics
+    }
+
+
+# ----------------------------------------------------------------------
+# Vectorized decision / tier helpers
+# ----------------------------------------------------------------------
+def strategy_times(
+    block: ParamBlock,
+    streaming_alpha: Optional[ArrayLike] = None,
+    streaming_theta: Optional[ArrayLike] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Completion times of the three strategies over a block.
+
+    ``LOCAL`` is Eq. 3; ``REMOTE_STREAMING`` is ``T_pct`` at
+    ``streaming_theta`` (default 1: no file I/O) with ``streaming_alpha``
+    (default: the block's ``alpha``); ``REMOTE_FILE`` is the full
+    ``T_pct`` with the block's ``alpha``/``theta``.
+    """
+    t_loc = raw_t_local(
+        block.s_unit_gb, block.complexity_flop_per_gb, block.r_local_tflops
+    )
+    trans = raw_t_transfer(block.s_unit_gb, block.bandwidth_gbps, block.alpha)
+    rem = raw_t_remote(
+        block.s_unit_gb, block.complexity_flop_per_gb, block.r_local_tflops, block.r
+    )
+    if streaming_alpha is None:
+        trans_stream = trans
+    else:
+        ensure_fraction(streaming_alpha, "streaming_alpha")
+        trans_stream = raw_t_transfer(
+            block.s_unit_gb, block.bandwidth_gbps,
+            np.asarray(streaming_alpha, dtype=float),
+        )
+    th_stream = np.asarray(
+        1.0 if streaming_theta is None else streaming_theta, dtype=float
+    )
+    t_stream = raw_t_pct(trans_stream, rem, th_stream)
+    t_file = raw_t_pct(trans, rem, block.theta)
+    return t_loc, t_stream, t_file
+
+
+def decide_block(
+    block: ParamBlock,
+    streaming_alpha: Optional[ArrayLike] = None,
+    streaming_theta: Optional[ArrayLike] = None,
+    sss: Optional[ArrayLike] = None,
+) -> np.ndarray:
+    """Per-point decision codes (see :data:`STRATEGY_LABELS`) over a block.
+
+    With ``sss`` the remote strategies are judged on their SSS-inflated
+    worst case, clamped to never beat the expected case — the same
+    envelope as :func:`repro.core.decision.decide`.
+    """
+    t_loc, t_stream, t_file = strategy_times(
+        block, streaming_alpha=streaming_alpha, streaming_theta=streaming_theta
+    )
+    if sss is not None:
+        sss_arr = np.asarray(sss, dtype=float)
+        if not np.all(sss_arr >= 1.0):
+            raise ValidationError(f"SSS must be >= 1, got {sss!r}")
+        ideal = raw_t_transfer(block.s_unit_gb, block.bandwidth_gbps, 1.0)
+        rem = raw_t_remote(
+            block.s_unit_gb,
+            block.complexity_flop_per_gb,
+            block.r_local_tflops,
+            block.r,
+        )
+        th_stream = np.asarray(
+            1.0 if streaming_theta is None else streaming_theta, dtype=float
+        )
+        t_stream = np.maximum(th_stream * sss_arr * ideal + rem, t_stream)
+        t_file = np.maximum(block.theta * sss_arr * ideal + rem, t_file)
+    stacked = np.stack(np.broadcast_arrays(t_loc, t_stream, t_file))
+    return np.argmin(stacked, axis=0)
+
+
+def classify_tier(times: ArrayLike) -> np.ndarray:
+    """Highest feasible latency tier (1 most demanding) for each
+    completion time; code ``0`` where even Tier 3's deadline is missed.
+    Deadlines are strict (``t < deadline``), matching
+    :func:`repro.core.decision.highest_feasible_tier`."""
+    t = np.asarray(times, dtype=float)
+    t1, t2, t3 = TIER_DEADLINES
+    return np.where(t < t1, 1, np.where(t < t2, 2, np.where(t < t3, 3, 0)))

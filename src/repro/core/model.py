@@ -8,6 +8,12 @@ All functions come in two flavours:
 - thin wrappers on :class:`~repro.core.parameters.ModelParameters`
   (``evaluate``), returning a :class:`CompletionTimes` record.
 
+The arithmetic itself lives in :mod:`repro.core.kernel` — these
+functions validate their inputs and delegate to the kernel's raw
+helpers, so there is exactly one implementation of every equation
+shared with the vectorized block path.  ``evaluate`` is a view over a
+1-point :class:`~repro.core.kernel.ParamBlock`.
+
 Units follow Section 3.1: sizes in GB (decimal), bandwidth in Gbps,
 compute rates in TFLOPS, complexity in FLOP/GB, all times in seconds.
 """
@@ -20,12 +26,12 @@ from typing import Union
 import numpy as np
 
 from ..units import (
-    BITS_PER_BYTE,
     ensure_fraction,
     ensure_non_negative,
     ensure_positive,
 )
 from ..errors import ValidationError
+from . import kernel
 from .parameters import ModelParameters
 
 __all__ = [
@@ -44,6 +50,11 @@ __all__ = [
 ArrayLike = Union[float, np.ndarray]
 
 
+def _as_output(out: np.ndarray) -> ArrayLike:
+    out = np.asarray(out)
+    return float(out) if out.ndim == 0 else out
+
+
 def t_local(
     s_unit_gb: ArrayLike,
     complexity_flop_per_gb: ArrayLike,
@@ -60,8 +71,7 @@ def t_local(
     s = np.asarray(s_unit_gb, dtype=float)
     c = np.asarray(complexity_flop_per_gb, dtype=float)
     rl = np.asarray(r_local_tflops, dtype=float)
-    out = c * s / (rl * 1e12)
-    return float(out) if out.ndim == 0 else out
+    return _as_output(kernel.raw_t_local(s, c, rl))
 
 
 def t_transfer(
@@ -77,10 +87,9 @@ def t_transfer(
     ensure_positive(bandwidth_gbps, "bandwidth_gbps")
     ensure_fraction(alpha, "alpha")
     s = np.asarray(s_unit_gb, dtype=float)
-    bw_gbytes = np.asarray(bandwidth_gbps, dtype=float) / BITS_PER_BYTE
+    bw = np.asarray(bandwidth_gbps, dtype=float)
     a = np.asarray(alpha, dtype=float)
-    out = s / (a * bw_gbytes)
-    return float(out) if out.ndim == 0 else out
+    return _as_output(kernel.raw_t_transfer(s, bw, a))
 
 
 def t_remote(
@@ -94,8 +103,13 @@ def t_remote(
     # Validate the rate itself (not just the r*R product) so the error
     # names the value the caller actually passed.
     ensure_positive(r_local_tflops, "r_local_tflops")
-    rl = np.asarray(r_local_tflops, dtype=float) * np.asarray(r, dtype=float)
-    return t_local(s_unit_gb, complexity_flop_per_gb, rl)
+    ensure_positive(s_unit_gb, "s_unit_gb")
+    ensure_non_negative(complexity_flop_per_gb, "complexity_flop_per_gb")
+    s = np.asarray(s_unit_gb, dtype=float)
+    c = np.asarray(complexity_flop_per_gb, dtype=float)
+    rl = np.asarray(r_local_tflops, dtype=float)
+    rr = np.asarray(r, dtype=float)
+    return _as_output(kernel.raw_t_remote(s, c, rl, rr))
 
 
 def t_io(
@@ -110,8 +124,7 @@ def t_io(
     if not np.all(th >= 1.0):
         raise ValidationError(f"theta must be >= 1, got {theta!r}")
     base = np.asarray(t_transfer(s_unit_gb, bandwidth_gbps, alpha), dtype=float)
-    out = (th - 1.0) * base
-    return float(out) if out.ndim == 0 else out
+    return _as_output((th - 1.0) * base)
 
 
 def t_pct(
@@ -139,8 +152,7 @@ def t_pct(
     rem = np.asarray(
         t_remote(s_unit_gb, complexity_flop_per_gb, r_local_tflops, r), dtype=float
     )
-    out = th * trans + rem
-    return float(out) if out.ndim == 0 else out
+    return _as_output(kernel.raw_t_pct(trans, rem, th))
 
 
 def t_pct_queued(
@@ -175,8 +187,7 @@ def t_pct_queued(
     rem = np.asarray(
         t_remote(s_unit_gb, complexity_flop_per_gb, r_local_tflops, r), dtype=float
     )
-    out = th * sss_arr * ideal + rem
-    return float(out) if out.ndim == 0 else out
+    return _as_output(th * sss_arr * ideal + rem)
 
 
 def speedup(
@@ -207,8 +218,7 @@ def speedup(
         ),
         dtype=float,
     )
-    out = loc / pct
-    return float(out) if out.ndim == 0 else out
+    return _as_output(loc / pct)
 
 
 def remote_is_faster(
@@ -263,28 +273,17 @@ class CompletionTimes:
         return 100.0 * (1.0 - self.t_pct / self.t_local) if self.t_local > 0 else 0.0
 
 
+#: The columns one ``evaluate`` call pulls from the kernel.
+_EVALUATE_COLUMNS = ("t_local", "t_transfer", "t_io", "t_remote", "t_pct")
+
+
 def evaluate(params: ModelParameters) -> CompletionTimes:
-    """Evaluate every model component for one parameter set."""
-    trans = t_transfer(params.s_unit_gb, params.bandwidth_gbps, params.alpha)
-    return CompletionTimes(
-        t_local=t_local(
-            params.s_unit_gb, params.complexity_flop_per_gb, params.r_local_tflops
-        ),
-        t_transfer=trans,
-        t_io=(params.theta - 1.0) * trans,
-        t_remote=t_remote(
-            params.s_unit_gb,
-            params.complexity_flop_per_gb,
-            params.r_local_tflops,
-            params.r,
-        ),
-        t_pct=t_pct(
-            params.s_unit_gb,
-            params.complexity_flop_per_gb,
-            params.r_local_tflops,
-            params.bandwidth_gbps,
-            alpha=params.alpha,
-            r=params.r,
-            theta=params.theta,
-        ),
-    )
+    """Evaluate every model component for one parameter set.
+
+    A thin view over a 1-point kernel block: the parameters were
+    validated at construction, so the kernel computes all five
+    completion-time columns without re-validating anything.
+    """
+    block = kernel.ParamBlock.from_params(params)
+    cols = kernel.compute_columns(block, _EVALUATE_COLUMNS)
+    return CompletionTimes(**{name: float(cols[name][0]) for name in _EVALUATE_COLUMNS})

@@ -12,7 +12,7 @@ Ties together spec -> spawner -> simulator -> results:
 from __future__ import annotations
 
 from functools import partial
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..errors import ValidationError
 from ..simnet.link import Link, fabric_link
@@ -20,9 +20,9 @@ from ..simnet.tcp import FluidTcpSimulator, TcpConfig
 from ..sweep.engine import parallel_map
 from .orchestrator import make_spawner
 from .results import ExperimentResult, SweepResult
-from .spec import ExperimentSpec
+from .spec import ExperimentSpec, SpawnStrategy
 
-__all__ = ["run_experiment", "run_sweep"]
+__all__ = ["run_experiment", "run_sweep", "table2_point_metrics"]
 
 
 def run_experiment(
@@ -96,6 +96,50 @@ def _pooled_experiment(
         achieved_utilization=achieved_sum / len(seeds),
         offered_utilization=spec.offered_utilization(link),
     )
+
+
+def table2_point_metrics(
+    point: Dict[str, Any],
+    duration_s: float = 10.0,
+    seeds: Sequence[int] = (0,),
+    strategy: SpawnStrategy = SpawnStrategy.BATCH,
+    config: Optional[TcpConfig] = None,
+    max_time_s: float = 300.0,
+) -> Dict[str, float]:
+    """One Table-2 grid cell as a sweep-executor point function.
+
+    ``point`` carries ``concurrency`` and ``parallel_flows`` (the axes
+    of :func:`repro.iperfsim.spec.table2_spec`); the experiment is run
+    once per seed with client times pooled, exactly like
+    :func:`run_sweep`.  Returns the congestion metric columns the CLI's
+    ``--simnet-table2`` table carries, so
+    ``run_sweep(table2_spec(), table2_point_metrics, out=dir)`` streams
+    the grid block-by-block into shards instead of materialising it —
+    the full grid never exists in memory, only one block of results.
+    Module-level (and bound via ``functools.partial``) so it pickles
+    onto worker processes.
+    """
+    if not seeds:
+        raise ValidationError("table2_point_metrics needs at least one seed")
+    spec = ExperimentSpec(
+        concurrency=int(point["concurrency"]),
+        parallel_flows=int(point["parallel_flows"]),
+        duration_s=duration_s,
+        strategy=strategy,
+    )
+    exp = _pooled_experiment(
+        spec,
+        link=fabric_link(),
+        config=config,
+        seeds=tuple(seeds),
+        max_time_s=max_time_s,
+    )
+    return {
+        "offered_utilization": float(exp.offered_utilization),
+        "achieved_utilization": float(exp.achieved_utilization),
+        "t_worst_s": float(exp.max_transfer_time_s),
+        "completed_clients": int(exp.completed_clients),
+    }
 
 
 def run_sweep(

@@ -11,9 +11,14 @@ of an ad-hoc loop in every benchmark:
   combinators, plus facility presets from
   :mod:`repro.workloads.facilities`; ``columns_slice`` materialises any
   contiguous block of the enumeration in O(block),
-- :mod:`repro.sweep.engine` — a vectorized fast path that broadcasts
-  axes straight through the numpy-aware :mod:`repro.core.model`
-  functions, a chunked ``multiprocessing`` executor
+- :mod:`repro.sweep.engine` — a vectorized fast path that turns each
+  column block into one validated
+  :class:`~repro.core.kernel.ParamBlock` and computes every requested
+  metric — completion times, ``speedup``, ``gain``/``kappa``,
+  integer-coded ``decision``/``tier`` columns, break-even surfaces —
+  through the derived-column kernels of :mod:`repro.core.kernel`
+  (validation runs once per block, intermediates are shared across
+  metrics), a chunked ``multiprocessing`` executor
   (:func:`parallel_map`) for non-vectorizable work (simnet pipelines,
   queueing evaluations) with deterministic ordering and a content-hash
   result cache, and an ``asyncio`` + process-pool *hybrid* backend
@@ -67,6 +72,8 @@ from .cache import ResultCache, content_hash
 from .engine import (
     DEFAULT_BLOCK_SIZE,
     MODEL_AXES,
+    MODEL_METRICS,
+    SWEEP_METRICS,
     adaptive_chunk_size,
     evaluate_point,
     iter_model_sweep,
@@ -95,6 +102,8 @@ __all__ = [
     "content_hash",
     "DEFAULT_BLOCK_SIZE",
     "MODEL_AXES",
+    "MODEL_METRICS",
+    "SWEEP_METRICS",
     "adaptive_chunk_size",
     "facility_axes",
     "evaluate_point",

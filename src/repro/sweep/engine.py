@@ -4,8 +4,12 @@ Three execution strategies cover the repo's workloads:
 
 - :func:`run_model_sweep` — the closed-form completion-time model is
   numpy-aware, so a whole grid is one broadcast call per metric.  This
-  is the fast path for anything expressible through
-  :mod:`repro.core.model` (millions of points per second).  With
+  is the fast path for anything expressible through the columnar
+  evaluation kernel (:mod:`repro.core.kernel`): each block becomes one
+  validated :class:`~repro.core.kernel.ParamBlock` and every requested
+  metric — completion times, ``speedup``, ``gain``/``kappa``,
+  integer-coded ``decision``/``tier`` columns — is a derived-column
+  kernel sharing intermediates (millions of points per second).  With
   ``out=`` the same vectorized arithmetic runs *block-by-block*,
   streaming each block straight into a
   :class:`~repro.sweep.shards.ShardWriter` so million-point grids
@@ -37,7 +41,8 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tupl
 
 import numpy as np
 
-from ..core import model
+from ..core import kernel
+from ..core.kernel import MODEL_AXES  # noqa: F401  (re-exported API)
 from ..core.parameters import ModelParameters
 from ..errors import ValidationError
 from .cache import ResultCache, content_hash
@@ -48,6 +53,7 @@ __all__ = [
     "DEFAULT_BLOCK_SIZE",
     "MODEL_AXES",
     "MODEL_METRICS",
+    "SWEEP_METRICS",
     "adaptive_chunk_size",
     "evaluate_point",
     "iter_model_sweep",
@@ -59,61 +65,10 @@ __all__ = [
 #: Default rows per streamed block / shard (~a few MB of float64 columns).
 DEFAULT_BLOCK_SIZE = 65_536
 
-
-def _positive(name: str, arr: np.ndarray) -> None:
-    if not np.all(np.isfinite(arr)):
-        raise ValidationError(f"sweep axis {name!r} must be finite")
-    if not np.all(arr > 0):
-        bad = float(arr[arr <= 0][0])
-        raise ValidationError(
-            f"sweep axis {name!r} must be strictly positive, got {bad!r}"
-        )
-
-
-def _non_negative(name: str, arr: np.ndarray) -> None:
-    if not np.all(np.isfinite(arr)):
-        raise ValidationError(f"sweep axis {name!r} must be finite")
-    if not np.all(arr >= 0):
-        bad = float(arr[arr < 0][0])
-        raise ValidationError(
-            f"sweep axis {name!r} must be non-negative, got {bad!r}"
-        )
-
-
-def _fraction(name: str, arr: np.ndarray) -> None:
-    if not np.all(np.isfinite(arr)):
-        raise ValidationError(f"sweep axis {name!r} must be finite")
-    if not (np.all(arr > 0) and np.all(arr <= 1.0)):
-        bad = float(arr[(arr <= 0) | (arr > 1.0)][0])
-        raise ValidationError(
-            f"sweep axis {name!r} must lie in (0, 1], got {bad!r}"
-        )
-
-
-def _at_least_one(name: str, arr: np.ndarray) -> None:
-    if not np.all(np.isfinite(arr)):
-        raise ValidationError(f"sweep axis {name!r} must be finite")
-    if not np.all(arr >= 1.0):
-        bad = float(arr[arr < 1.0][0])
-        raise ValidationError(f"sweep axis {name!r} must be >= 1, got {bad!r}")
-
-
-#: Model parameters sweepable through the vectorized path, with the
-#: validator each axis must satisfy (zero/negative bandwidth or TFLOPS
-#: is rejected here, naming the offending axis, before any numpy
-#: division can emit inf).
-MODEL_AXES: Dict[str, Callable[[str, np.ndarray], None]] = {
-    "s_unit_gb": _positive,
-    "complexity_flop_per_gb": _non_negative,
-    "r_local_tflops": _positive,
-    "r_remote_tflops": _positive,
-    "bandwidth_gbps": _positive,
-    "alpha": _fraction,
-    "r": _positive,
-    "theta": _at_least_one,
-}
-
-#: Metric columns the vectorized path can produce.
+#: Default metric columns of a model sweep (the classic completion-time
+#: set).  Every other kernel column — ``decision``, ``tier``, ``gain``,
+#: ``kappa``, the break-even surfaces — can be requested explicitly via
+#: ``metrics=`` / ``--metrics``; see :data:`SWEEP_METRICS`.
 MODEL_METRICS: Tuple[str, ...] = (
     "t_local",
     "t_transfer",
@@ -124,60 +79,9 @@ MODEL_METRICS: Tuple[str, ...] = (
     "remote_is_faster",
 )
 
-
-def _model_kwargs(
-    columns: Dict[str, np.ndarray],
-    base: Optional[ModelParameters],
-    n_points: int,
-) -> Dict[str, Any]:
-    """Merge swept columns with base-parameter scalars into the keyword
-    set of the :mod:`repro.core.model` functions."""
-    swept = {k: v for k, v in columns.items() if k in MODEL_AXES}
-    for name, col in swept.items():
-        arr = np.asarray(col, dtype=float)
-        MODEL_AXES[name](name, arr)
-        swept[name] = arr
-    if "r" in swept and "r_remote_tflops" in swept:
-        raise ValidationError(
-            "sweep axes 'r' and 'r_remote_tflops' are redundant; provide one"
-        )
-
-    def pick(name: str, default: Optional[float] = None) -> Any:
-        if name in swept:
-            return swept[name]
-        if base is not None:
-            return getattr(base, name)
-        if default is not None:
-            return default
-        raise ValidationError(
-            f"model parameter {name!r} is neither swept nor supplied via "
-            f"base parameters"
-        )
-
-    r_local = pick("r_local_tflops")
-    if "r" in swept:
-        r = swept["r"]
-    elif "r_remote_tflops" in swept:
-        r = swept["r_remote_tflops"] / r_local
-    elif base is not None:
-        # Keep the base's remote speed *absolute* (not its ratio), so a
-        # swept r_local_tflops doesn't silently rescale the remote
-        # machine too — same semantics as evaluate_point.
-        r = base.r_remote_tflops / r_local
-    else:
-        raise ValidationError(
-            "remote speed is neither swept ('r' or 'r_remote_tflops') nor "
-            "supplied via base parameters"
-        )
-    return dict(
-        s_unit_gb=pick("s_unit_gb"),
-        complexity_flop_per_gb=pick("complexity_flop_per_gb"),
-        r_local_tflops=r_local,
-        bandwidth_gbps=pick("bandwidth_gbps"),
-        alpha=pick("alpha", 1.0),
-        r=r,
-        theta=pick("theta", 1.0),
-    )
+#: Every metric column the sweep paths can produce — the kernel's
+#: derived-column registry (:data:`repro.core.kernel.KERNEL_COLUMNS`).
+SWEEP_METRICS: Tuple[str, ...] = kernel.KERNEL_COLUMNS
 
 
 def _model_block(
@@ -188,61 +92,25 @@ def _model_block(
 ) -> Dict[str, np.ndarray]:
     """Vectorized model evaluation of one column block (the shared core
     of :func:`run_model_sweep` and the streamed paths — identical
-    arithmetic whether the grid arrives whole or in blocks)."""
-    kw = _model_kwargs(columns, base, n)
+    arithmetic whether the grid arrives whole or in blocks).
 
-    def full(values: Any) -> np.ndarray:
-        return np.broadcast_to(np.asarray(values, dtype=float), (n,)).copy()
-
-    # Shared intermediates are computed once; speedup and the decision
-    # bit derive from them with the exact arithmetic of model.speedup
-    # (loc / pct) and model.remote_is_faster (g > 1).
+    The block's swept columns are validated exactly once, at
+    :meth:`~repro.core.kernel.ParamBlock.from_columns` construction;
+    every requested metric then flows through the kernel's
+    derived-column registry with shared intermediates and no
+    re-validation scans.
+    """
+    block = kernel.ParamBlock.from_columns(columns, base=base, n=n)
     out: Dict[str, np.ndarray] = dict(columns)
-    t_loc = t_trans = t_pct = None
-    if {"t_local", "speedup", "remote_is_faster"} & set(metrics):
-        t_loc = np.asarray(
-            model.t_local(
-                kw["s_unit_gb"], kw["complexity_flop_per_gb"], kw["r_local_tflops"]
-            ),
-            dtype=float,
-        )
-    if {"t_transfer", "t_io"} & set(metrics):
-        t_trans = np.asarray(
-            model.t_transfer(kw["s_unit_gb"], kw["bandwidth_gbps"], kw["alpha"]),
-            dtype=float,
-        )
-    if {"t_pct", "speedup", "remote_is_faster"} & set(metrics):
-        t_pct = np.asarray(model.t_pct(**kw), dtype=float)
-    for m in metrics:
-        if m == "t_local":
-            out[m] = full(t_loc)
-        elif m == "t_transfer":
-            out[m] = full(t_trans)
-        elif m == "t_io":
-            out[m] = full(np.asarray(kw["theta"], dtype=float) - 1.0) * full(t_trans)
-        elif m == "t_remote":
-            out[m] = full(
-                model.t_remote(
-                    kw["s_unit_gb"],
-                    kw["complexity_flop_per_gb"],
-                    kw["r_local_tflops"],
-                    kw["r"],
-                )
-            )
-        elif m == "t_pct":
-            out[m] = full(t_pct)
-        elif m == "speedup":
-            out[m] = full(t_loc / t_pct)
-        elif m == "remote_is_faster":
-            out[m] = np.broadcast_to(t_loc / t_pct > 1.0, (n,)).copy()
+    out.update(kernel.compute_columns(block, tuple(metrics)))
     return out
 
 
 def _check_metrics(metrics: Sequence[str]) -> None:
-    unknown = [m for m in metrics if m not in MODEL_METRICS]
+    unknown = [m for m in metrics if m not in SWEEP_METRICS]
     if unknown:
         raise ValidationError(
-            f"unknown sweep metrics {unknown}; expected a subset of {MODEL_METRICS}"
+            f"unknown sweep metrics {unknown}; expected a subset of {SWEEP_METRICS}"
         )
 
 
@@ -276,6 +144,7 @@ def run_model_sweep(
     metrics: Sequence[str] = MODEL_METRICS,
     out: Optional[Union[str, Any]] = None,
     block_size: Optional[int] = None,
+    compress: bool = False,
 ) -> Any:
     """Evaluate the completion-time model over a whole spec in one
     vectorized pass.
@@ -294,10 +163,14 @@ def run_model_sweep(
     shard size) is evaluated vectorized and handed straight to the
     writer, so peak memory is O(block), not O(grid).  Returns the lazy
     :class:`~repro.sweep.shards.ShardedSweepResult` view (the writer is
-    closed and its manifest written).
+    closed and its manifest written).  ``compress=True`` writes
+    compressed shards (``np.savez_compressed``) for cold-storage
+    surveys — smaller on disk, slower to write.
     """
     _check_metrics(metrics)
     if out is None:
+        if compress:
+            raise ValidationError("compress=True only applies with out=")
         columns = spec.columns()
         values = _model_block(columns, base, metrics, spec.n_points)
         return SweepResult(columns=values, axis_names=spec.axis_names)
@@ -311,6 +184,7 @@ def run_model_sweep(
             out,
             shard_size=block_size or DEFAULT_BLOCK_SIZE,
             axis_names=spec.axis_names,
+            compress=compress,
         )
     for block in iter_model_sweep(
         spec, base=base, metrics=metrics, block_size=block_size or writer.shard_size
@@ -327,9 +201,16 @@ def evaluate_point(
 
     ``point`` maps axis names to values; model parameters absent from
     both ``point`` and ``base`` take the
-    :class:`~repro.core.parameters.ModelParameters` defaults.  Used by
-    the ``repro sweep --mode process`` path and as the reference
-    implementation the vectorized path is tested against.
+    :class:`~repro.core.parameters.ModelParameters` defaults.  Returns
+    every kernel column (completion times, ``speedup``, ``gain``/
+    ``kappa``, integer-coded ``decision``/``tier``, break-even
+    surfaces) as plain Python scalars, computed as a thin view over a
+    1-point :class:`~repro.core.kernel.ParamBlock` — the same code path
+    the vectorized sweep runs per block, so ``--mode process`` tables
+    match the fast path bit for bit.  Used by the ``repro sweep --mode
+    process`` path; :func:`repro.core.decision.decide` and the scalar
+    model wrappers remain the independent references the kernel is
+    tested against.
     """
     merged = {k: v for k, v in (base or {}).items() if k in MODEL_AXES}
     point_model = {k: v for k, v in point.items() if k in MODEL_AXES}
@@ -356,16 +237,18 @@ def evaluate_point(
             "sweep axes 'r' and 'r_remote_tflops' are redundant; provide one"
         )
     params = ModelParameters(r_remote_tflops=float(r_remote), **merged)
-    times = model.evaluate(params)
-    return {
-        "t_local": times.t_local,
-        "t_transfer": times.t_transfer,
-        "t_io": times.t_io,
-        "t_remote": times.t_remote,
-        "t_pct": times.t_pct,
-        "speedup": times.speedup,
-        "remote_is_faster": times.remote_is_faster,
-    }
+    block = kernel.ParamBlock.from_params(params)
+    cols = kernel.compute_columns(block, kernel.KERNEL_COLUMNS)
+    out: Dict[str, Any] = {}
+    for name in kernel.KERNEL_COLUMNS:
+        value = cols[name][0]
+        if name == "remote_is_faster":
+            out[name] = bool(value)
+        elif name in ("decision", "tier"):
+            out[name] = int(value)
+        else:
+            out[name] = float(value)
+    return out
 
 
 #: Sentinel distinguishing a cache miss from a legitimately cached None.
@@ -581,6 +464,7 @@ def run_sweep(
     backend: str = "process",
     out: Optional[Union[str, Any]] = None,
     block_size: Optional[int] = None,
+    compress: bool = False,
 ) -> Any:
     """Run an arbitrary per-point evaluation over a spec.
 
@@ -594,9 +478,12 @@ def run_sweep(
     :class:`~repro.sweep.shards.ShardWriter`) points are evaluated and
     written block-by-block — only one ``block_size`` slice of points
     and results is ever in memory — and the lazy
-    :class:`~repro.sweep.shards.ShardedSweepResult` view is returned.
+    :class:`~repro.sweep.shards.ShardedSweepResult` view is returned
+    (``compress=True`` writes compressed shards).
     """
     if out is None:
+        if compress:
+            raise ValidationError("compress=True only applies with out=")
         points = list(spec.points())
         raw = parallel_map(
             fn, points, workers=workers, chunk_size=chunk_size,
@@ -614,6 +501,7 @@ def run_sweep(
             out,
             shard_size=block_size or DEFAULT_BLOCK_SIZE,
             axis_names=spec.axis_names,
+            compress=compress,
         )
     step = block_size or writer.shard_size
     # One worker pool for the whole sweep (either backend) — respawning

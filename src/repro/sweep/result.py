@@ -231,15 +231,15 @@ class SweepResult:
         return cls(payload["columns"], axis_names=payload.get("axis_names", ()))
 
     def to_shards(
-        self, directory: str, shard_size: int = 100_000
+        self, directory: str, shard_size: int = 100_000, compress: bool = False
     ) -> "Any":
         """Write the table as a sharded columnar store (``.npz`` shards
         plus a manifest; see :mod:`repro.sweep.shards`) and return the
         lazy :class:`~repro.sweep.shards.ShardedSweepResult` view.
 
         The in-memory table is split into ``shard_size``-row blocks; the
-        columnar layout round-trips exactly through
-        :meth:`from_shards`.
+        columnar layout round-trips exactly through :meth:`from_shards`
+        (``compress=True`` writes ``np.savez_compressed`` shards).
         """
         from .shards import ShardedSweepResult, ShardWriter
 
@@ -249,7 +249,10 @@ class SweepResult:
                 "least one point"
             )
         with ShardWriter(
-            directory, shard_size=shard_size, axis_names=self.axis_names
+            directory,
+            shard_size=shard_size,
+            axis_names=self.axis_names,
+            compress=compress,
         ) as writer:
             for lo in range(0, self.n_rows, writer.shard_size):
                 writer.append(

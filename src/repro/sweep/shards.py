@@ -9,7 +9,9 @@ block of points — plus a small ``manifest.json`` describing the layout:
 
 - :class:`ShardWriter` — accepts column blocks in enumeration order and
   streams them to ``shard-NNNNN.npz`` files of a fixed row count, so
-  peak memory is bounded by the shard size, never the grid size,
+  peak memory is bounded by the shard size, never the grid size
+  (``compress=True`` writes ``np.savez_compressed`` shards for
+  cold-storage surveys; reads stay format-transparent),
 - :class:`ShardReader` — iterates shard blocks (optionally a column
   subset; ``.npz`` members load lazily, so scanning two columns of a
   wide table never touches the rest),
@@ -114,12 +116,14 @@ class ShardWriter:
         directory: Union[str, pathlib.Path],
         shard_size: int = 100_000,
         axis_names: Sequence[str] = (),
+        compress: bool = False,
     ) -> None:
         if shard_size < 1:
             raise ValidationError(f"shard_size must be >= 1, got {shard_size!r}")
         self.directory = pathlib.Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.shard_size = int(shard_size)
+        self.compress = bool(compress)
         self.axis_names: Tuple[str, ...] = tuple(axis_names)
         self._names: Optional[List[str]] = None
         self._kinds: Dict[str, str] = {}
@@ -191,7 +195,8 @@ class ShardWriter:
                 )
             payload[name] = encoded
         fname = f"shard-{len(self._shards):05d}.npz"
-        np.savez(self.directory / fname, **payload)
+        save = np.savez_compressed if self.compress else np.savez
+        save(self.directory / fname, **payload)
         self._shards.append({"file": fname, "n_rows": n})
 
     def close(self) -> pathlib.Path:
@@ -207,6 +212,7 @@ class ShardWriter:
             "axis_names": list(self.axis_names),
             "n_rows": self.n_rows,
             "shard_size": self.shard_size,
+            "compress": self.compress,
             "columns": [
                 {"name": n, "kind": self._kinds[n]} for n in self._names
             ],
@@ -248,6 +254,9 @@ class ShardReader:
         self.axis_names: Tuple[str, ...] = tuple(manifest["axis_names"])
         self.n_rows: int = int(manifest["n_rows"])
         self.shard_size: int = int(manifest["shard_size"])
+        # Reads are format-transparent (np.load handles both layouts);
+        # the flag is surfaced for tooling/summaries.
+        self.compress: bool = bool(manifest.get("compress", False))
         self.column_kinds: Dict[str, str] = {
             c["name"]: c["kind"] for c in manifest["columns"]
         }

@@ -332,3 +332,115 @@ class TestPresets:
         assert main(BASE_ARGS + ["--set", "theta=1", "--format", "json"]) == 0
         streaming = json.loads(capsys.readouterr().out)
         assert all(v == 0.0 for v in streaming["columns"]["t_io"])
+
+
+class TestDecisionMetrics:
+    """decision/tier/gain/kappa columns flow through every mode."""
+
+    DEC_ARGS = ["sweep", "--axis", "bandwidth_gbps=1:400:12:log",
+                "--metrics", "decision,tier,gain,kappa"]
+
+    def _csv(self, extra):
+        import io
+        from contextlib import redirect_stdout
+
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            assert main(self.DEC_ARGS + ["--format", "csv"] + extra) == 0
+        return buf.getvalue()
+
+    def test_vectorized_columns(self):
+        lines = self._csv([]).strip().splitlines()
+        assert lines[0] == "bandwidth_gbps,decision,tier,gain,kappa"
+        codes = {line.split(",")[1] for line in lines[1:]}
+        assert codes <= {"0", "1", "2"}
+        assert len(codes) > 1  # the decision flips across the range
+
+    def test_process_mode_bit_identical_to_vectorized(self):
+        assert self._csv(["--mode", "process", "--workers", "2"]) == self._csv([])
+
+    def test_hybrid_backend_bit_identical_to_vectorized(self):
+        assert self._csv(
+            ["--mode", "process", "--backend", "hybrid", "--workers", "2"]
+        ) == self._csv([])
+
+    def test_sharded_mode_bit_identical_to_vectorized(self, capsys, tmp_path):
+        import numpy as np
+
+        from repro.sweep import open_shards
+
+        out = tmp_path / "shards"
+        assert main(self.DEC_ARGS + ["--out-dir", str(out), "--shard-size", "5"]) == 0
+        capsys.readouterr()
+        sharded = open_shards(out)
+        rows = [line.split(",") for line in self._csv([]).strip().splitlines()[1:]]
+        np.testing.assert_array_equal(
+            sharded.column("decision"), [int(r[1]) for r in rows]
+        )
+        np.testing.assert_array_equal(
+            sharded.column("tier"), [int(r[2]) for r in rows]
+        )
+
+    def test_break_even_metrics_accepted(self, capsys):
+        assert main(
+            ["sweep", "--axis", "bandwidth_gbps=5,25",
+             "--metrics", "break_even_theta,asymptotic_gain", "--format", "csv"]
+        ) == 0
+        header = capsys.readouterr().out.splitlines()[0]
+        assert header == "bandwidth_gbps,break_even_theta,asymptotic_gain"
+
+
+class TestCompressFlag:
+    def test_compress_writes_compressed_shards(self, capsys, tmp_path):
+        out = tmp_path / "shards"
+        assert main(
+            BASE_ARGS + ["--out-dir", str(out), "--compress"]
+        ) == 0
+        assert "compressed | yes" in capsys.readouterr().out.replace("  ", " ")
+        import json as _json
+
+        assert _json.loads((out / "manifest.json").read_text())["compress"] is True
+
+    def test_compress_without_out_dir_rejected(self):
+        with pytest.raises(Exception, match="--out-dir"):
+            main(BASE_ARGS + ["--compress"])
+
+
+class TestSimnetStreaming:
+    @pytest.mark.slow
+    def test_simnet_out_dir_streams_blocks(self, capsys, tmp_path):
+        """--simnet-table2 --out-dir streams the grid block-by-block via
+        run_sweep(out=) and matches the in-memory table's numbers."""
+        import json as _json
+
+        from repro.sweep import open_shards
+
+        out = tmp_path / "shards"
+        assert main(
+            ["sweep", "--simnet-table2", "--duration", "1",
+             "--out-dir", str(out), "--shard-size", "10"]
+        ) == 0
+        capsys.readouterr()
+        sharded = open_shards(out)
+        assert sharded.n_rows == 24
+        assert sharded.n_shards == 3  # ceil(24/10): blocks streamed, not one dump
+        assert main(
+            ["sweep", "--simnet-table2", "--duration", "1", "--format", "json"]
+        ) == 0
+        payload = _json.loads(capsys.readouterr().out)
+        for metric in ("offered_utilization", "t_worst_s", "completed_clients"):
+            got = [float(v) for v in sharded.column(metric)]
+            ref = {}
+            for c, p, v in zip(
+                payload["columns"]["concurrency"],
+                payload["columns"]["parallel_flows"],
+                payload["columns"][metric],
+            ):
+                ref[(float(c), float(p))] = float(v)
+            keys = [
+                (float(c), float(p))
+                for c, p in zip(
+                    sharded.column("concurrency"), sharded.column("parallel_flows")
+                )
+            ]
+            assert got == [ref[k] for k in keys], metric

@@ -1,0 +1,350 @@
+"""The columnar evaluation kernel: one validated block path.
+
+Three properties are pinned:
+
+1. *single source of truth* — every kernel column agrees with the
+   scalar layer it replaced (``core.model``, ``core.gain``,
+   ``core.decision``) on random inputs, bit for bit where the scalar
+   layer is exact,
+2. *vectorized decision* — the integer-coded ``decision``/``tier``
+   columns are bit-identical to a per-point loop over the scalar
+   :func:`repro.core.decision.decide` engine (hypothesis random grids),
+3. *validation discipline* — a block validates once at construction
+   with the same axis-naming errors the sweep engine always raised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import importlib
+
+from repro.core import kernel, model
+
+# ``repro.core`` re-exports the gain *function* under the submodule's
+# name, so fetch the module itself for the comparison tests.
+gain_mod = importlib.import_module("repro.core.gain")
+from repro.core.decision import (
+    STRATEGIES_BY_CODE,
+    decide,
+    highest_feasible_tier,
+    strategy_from_code,
+    tier_from_code,
+)
+from repro.core.parameters import ModelParameters, aps_to_alcf_defaults
+from repro.errors import ValidationError
+
+BASE = aps_to_alcf_defaults()
+
+
+def _block_from_grid(rng: np.random.Generator, n: int) -> kernel.ParamBlock:
+    return kernel.ParamBlock.from_columns(
+        {
+            "bandwidth_gbps": rng.uniform(0.5, 400.0, n),
+            "s_unit_gb": rng.uniform(0.1, 50.0, n),
+            "complexity_flop_per_gb": rng.uniform(1e9, 1e14, n),
+        },
+        base=BASE,
+        n=n,
+    )
+
+
+class TestParamBlock:
+    def test_from_params_is_one_point(self):
+        block = kernel.ParamBlock.from_params(BASE)
+        assert block.n == 1
+        assert float(block.r) == pytest.approx(BASE.r)
+
+    def test_from_columns_merges_base(self):
+        block = kernel.ParamBlock.from_columns(
+            {"bandwidth_gbps": np.array([1.0, 10.0])}, base=BASE, n=2
+        )
+        assert block.n == 2
+        assert float(block.alpha) == BASE.alpha
+        np.testing.assert_array_equal(block.bandwidth_gbps, [1.0, 10.0])
+
+    def test_from_columns_infers_n(self):
+        block = kernel.ParamBlock.from_columns(
+            {"bandwidth_gbps": np.array([1.0, 10.0, 100.0])}, base=BASE
+        )
+        assert block.n == 3
+
+    def test_non_model_columns_ignored(self):
+        block = kernel.ParamBlock.from_columns(
+            {"facility": np.array(["a", "b"], dtype=object),
+             "bandwidth_gbps": np.array([1.0, 2.0])},
+            base=BASE, n=2,
+        )
+        assert block.n == 2
+
+    def test_r_remote_divided_by_swept_local_rate(self):
+        block = kernel.ParamBlock.from_columns(
+            {"r_local_tflops": np.array([5.0, 50.0])}, base=BASE, n=2
+        )
+        # The base's remote machine stays absolute.
+        np.testing.assert_allclose(
+            block.r * block.r_local_tflops, BASE.r_remote_tflops
+        )
+
+    def test_validation_names_offending_axis(self):
+        with pytest.raises(ValidationError, match="bandwidth_gbps"):
+            kernel.ParamBlock.from_columns(
+                {"bandwidth_gbps": np.array([25.0, 0.0])}, base=BASE, n=2
+            )
+
+    def test_redundant_remote_speed_rejected(self):
+        with pytest.raises(ValidationError, match="redundant"):
+            kernel.ParamBlock.from_columns(
+                {"r": np.array([2.0]), "r_remote_tflops": np.array([50.0])},
+                base=BASE, n=1,
+            )
+
+    def test_missing_parameter_without_base(self):
+        with pytest.raises(ValidationError, match="neither swept nor supplied"):
+            kernel.ParamBlock.from_columns(
+                {"bandwidth_gbps": np.array([25.0])}, n=1
+            )
+
+    def test_mismatched_column_lengths_rejected_at_construction(self):
+        """Shape errors surface as ValidationError naming the columns at
+        block construction — never as a raw numpy broadcast error deep
+        inside a derived-column kernel."""
+        with pytest.raises(ValidationError, match="share one length"):
+            kernel.ParamBlock.from_columns(
+                {
+                    "bandwidth_gbps": np.array([1.0, 2.0, 3.0]),
+                    "s_unit_gb": np.array([0.5, 1.0]),
+                },
+                base=BASE,
+            )
+
+    def test_column_length_must_match_explicit_n(self):
+        with pytest.raises(ValidationError, match="expected n=4"):
+            kernel.ParamBlock.from_columns(
+                {"bandwidth_gbps": np.array([1.0, 2.0, 3.0])}, base=BASE, n=4
+            )
+
+    def test_length_one_columns_broadcast_like_scalars(self):
+        block = kernel.ParamBlock.from_columns(
+            {
+                "bandwidth_gbps": np.array([1.0, 2.0, 3.0]),
+                "s_unit_gb": np.array([0.5]),
+            },
+            base=BASE,
+        )
+        assert block.n == 3
+        assert kernel.compute_columns(block, ("t_pct",))["t_pct"].shape == (3,)
+
+
+class TestDerivedColumns:
+    def test_registry_is_public_and_underscore_free(self):
+        assert "decision" in kernel.KERNEL_COLUMNS
+        assert "tier" in kernel.KERNEL_COLUMNS
+        assert not any(name.startswith("_") for name in kernel.KERNEL_COLUMNS)
+
+    def test_unknown_column_rejected(self):
+        block = kernel.ParamBlock.from_params(BASE)
+        with pytest.raises(ValidationError, match="unknown kernel columns"):
+            kernel.compute_columns(block, ("t_local", "nope"))
+        with pytest.raises(ValidationError, match="unknown kernel columns"):
+            kernel.compute_columns(block, ("_strategy_stack",))
+
+    def test_columns_match_scalar_model(self):
+        rng = np.random.default_rng(0)
+        n = 257
+        block = _block_from_grid(rng, n)
+        cols = kernel.compute_columns(block, kernel.KERNEL_COLUMNS)
+        for i in range(n):
+            params = BASE.replace(
+                bandwidth_gbps=float(block.bandwidth_gbps[i]),
+                s_unit_gb=float(block.s_unit_gb[i]),
+                complexity_flop_per_gb=float(block.complexity_flop_per_gb[i]),
+            )
+            times = model.evaluate(params)
+            assert cols["t_local"][i] == times.t_local
+            assert cols["t_transfer"][i] == times.t_transfer
+            assert cols["t_io"][i] == times.t_io
+            assert cols["t_remote"][i] == times.t_remote
+            assert cols["t_pct"][i] == times.t_pct
+            assert cols["speedup"][i] == times.speedup
+            assert bool(cols["remote_is_faster"][i]) == times.remote_is_faster
+
+    def test_gain_and_kappa_match_gain_module(self):
+        rng = np.random.default_rng(1)
+        block = _block_from_grid(rng, 64)
+        cols = kernel.compute_columns(
+            block, ("gain", "kappa", "break_even_theta", "break_even_kappa",
+                    "break_even_r", "asymptotic_gain")
+        )
+        k = gain_mod.kappa(
+            block.complexity_flop_per_gb, BASE.r_local_tflops, block.bandwidth_gbps
+        )
+        np.testing.assert_array_equal(cols["kappa"], k)
+        np.testing.assert_array_equal(
+            cols["gain"], gain_mod.gain(BASE.alpha, BASE.r, BASE.theta, k)
+        )
+        np.testing.assert_array_equal(
+            cols["break_even_theta"],
+            gain_mod.break_even_theta(BASE.alpha, BASE.r, k),
+        )
+        np.testing.assert_array_equal(
+            cols["break_even_kappa"],
+            gain_mod.break_even_kappa(BASE.alpha, BASE.r, BASE.theta),
+        )
+        np.testing.assert_array_equal(
+            cols["break_even_r"],
+            gain_mod.break_even_r(BASE.alpha, BASE.theta, k),
+        )
+        np.testing.assert_array_equal(
+            cols["asymptotic_gain"],
+            gain_mod.asymptotic_gain(BASE.alpha, BASE.theta, k),
+        )
+
+    def test_gain_equals_speedup_by_construction(self):
+        rng = np.random.default_rng(2)
+        block = _block_from_grid(rng, 128)
+        cols = kernel.compute_columns(block, ("gain", "speedup"))
+        np.testing.assert_allclose(cols["gain"], cols["speedup"], rtol=1e-12)
+
+    def test_break_even_alpha_nan_when_remote_not_faster(self):
+        block = kernel.ParamBlock.from_columns(
+            {"r": np.array([0.5, 1.0, 4.0])}, base=BASE, n=3
+        )
+        out = kernel.compute_columns(block, ("break_even_alpha",))[
+            "break_even_alpha"
+        ]
+        assert np.isnan(out[0]) and np.isnan(out[1]) and np.isfinite(out[2])
+
+    def test_zero_complexity_pure_data_movement(self, recwarn):
+        """C == 0 must flow through every column without numpy warnings:
+        kappa is inf, gain/speedup 0, local always wins."""
+        block = kernel.ParamBlock.from_columns(
+            {"complexity_flop_per_gb": np.array([0.0])}, base=BASE, n=1
+        )
+        cols = kernel.compute_columns(
+            block, ("t_local", "kappa", "gain", "speedup", "decision")
+        )
+        assert cols["t_local"][0] == 0.0
+        assert np.isinf(cols["kappa"][0])
+        assert cols["gain"][0] == 0.0
+        assert cols["speedup"][0] == 0.0
+        assert strategy_from_code(cols["decision"][0]).value == "local"
+        assert not [w for w in recwarn if issubclass(w.category, RuntimeWarning)]
+
+
+class TestDecisionColumns:
+    def test_codes_align_with_strategy_enum(self):
+        assert [s.value for s in STRATEGIES_BY_CODE] == list(kernel.STRATEGY_LABELS)
+        with pytest.raises(ValidationError, match="decision code"):
+            strategy_from_code(3)
+        # Negative codes must not wrap around via Python indexing.
+        with pytest.raises(ValidationError, match="decision code"):
+            strategy_from_code(-1)
+
+    def test_tier_codes_roundtrip(self):
+        assert tier_from_code(0) is None
+        assert tier_from_code(2).value == 2
+        with pytest.raises(ValidationError, match="tier code"):
+            tier_from_code(7)
+
+    def test_decide_block_matches_scalar_decide(self):
+        rng = np.random.default_rng(3)
+        n = 257
+        block = _block_from_grid(rng, n)
+        cols = kernel.compute_columns(block, ("decision", "tier"))
+        for i in range(n):
+            params = BASE.replace(
+                bandwidth_gbps=float(block.bandwidth_gbps[i]),
+                s_unit_gb=float(block.s_unit_gb[i]),
+                complexity_flop_per_gb=float(block.complexity_flop_per_gb[i]),
+            )
+            d = decide(params)
+            assert strategy_from_code(cols["decision"][i]) is d.chosen, i
+            expected_tier = highest_feasible_tier(d.evaluations[d.chosen])
+            assert tier_from_code(cols["tier"][i]) == expected_tier, i
+
+    def test_decide_block_streaming_alpha(self):
+        """An explicit streaming alpha reaches only the streaming
+        strategy, as in the scalar engine."""
+        rng = np.random.default_rng(4)
+        n = 65
+        block = _block_from_grid(rng, n)
+        codes = kernel.decide_block(block, streaming_alpha=0.99)
+        for i in range(n):
+            params = BASE.replace(
+                bandwidth_gbps=float(block.bandwidth_gbps[i]),
+                s_unit_gb=float(block.s_unit_gb[i]),
+                complexity_flop_per_gb=float(block.complexity_flop_per_gb[i]),
+            )
+            assert strategy_from_code(codes[i]) is decide(
+                params, streaming_alpha=0.99
+            ).chosen
+
+    def test_decide_block_with_sss_matches_scalar(self):
+        rng = np.random.default_rng(5)
+        n = 65
+        block = _block_from_grid(rng, n)
+        for sss in (1.0, 4.0, 25.0):
+            codes = kernel.decide_block(block, sss=sss)
+            for i in range(n):
+                params = BASE.replace(
+                    bandwidth_gbps=float(block.bandwidth_gbps[i]),
+                    s_unit_gb=float(block.s_unit_gb[i]),
+                    complexity_flop_per_gb=float(block.complexity_flop_per_gb[i]),
+                )
+                assert strategy_from_code(codes[i]) is decide(params, sss=sss).chosen
+
+    def test_invalid_sss_rejected(self):
+        block = kernel.ParamBlock.from_params(BASE)
+        with pytest.raises(ValidationError, match="SSS"):
+            kernel.decide_block(block, sss=0.5)
+
+    def test_classify_tier_strict_deadlines(self):
+        np.testing.assert_array_equal(
+            kernel.classify_tier([0.5, 1.0, 9.99, 10.0, 59.9, 60.0, 1e6]),
+            [1, 2, 2, 3, 3, 0, 0],
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    bw=st.lists(
+        st.floats(min_value=0.1, max_value=1000.0), min_size=1, max_size=40
+    ),
+    s_unit=st.floats(min_value=0.01, max_value=100.0),
+    complexity=st.floats(min_value=1e6, max_value=1e15),
+    r_local=st.floats(min_value=0.1, max_value=100.0),
+    r_remote=st.floats(min_value=0.1, max_value=10000.0),
+    alpha=st.floats(min_value=0.01, max_value=1.0),
+    theta=st.floats(min_value=1.0, max_value=20.0),
+)
+def test_property_vectorized_decision_bit_identical_to_scalar_loop(
+    bw, s_unit, complexity, r_local, r_remote, alpha, theta
+):
+    """On arbitrary random grids the vectorized decision/tier columns
+    equal a per-point loop over the scalar decision engine, bit for bit."""
+    params = ModelParameters(
+        s_unit_gb=s_unit,
+        complexity_flop_per_gb=complexity,
+        r_local_tflops=r_local,
+        r_remote_tflops=r_remote,
+        bandwidth_gbps=25.0,
+        alpha=alpha,
+        theta=theta,
+    )
+    block = kernel.ParamBlock.from_columns(
+        {"bandwidth_gbps": np.asarray(bw, dtype=float)}, base=params, n=len(bw)
+    )
+    cols = kernel.compute_columns(block, ("decision", "tier", "t_pct", "speedup"))
+    for i, b in enumerate(bw):
+        d = decide(params.replace(bandwidth_gbps=b))
+        assert strategy_from_code(cols["decision"][i]) is d.chosen
+        assert tier_from_code(cols["tier"][i]) == highest_feasible_tier(
+            d.evaluations[d.chosen]
+        )
+        times = model.evaluate(params.replace(bandwidth_gbps=b))
+        assert cols["t_pct"][i] == times.t_pct
+        assert cols["speedup"][i] == times.speedup

@@ -90,3 +90,103 @@ def test_table2_sweep_order_golden():
     assert [s.offered_utilization() for s in specs] == pytest.approx(
         [c * 0.5 * 8.0 / 25.0 for c, _ in TABLE2_ORDER], rel=RTOL
     )
+
+
+# ----------------------------------------------------------------------
+# Kernel decision/gain columns on the fig4/table2-context model grids
+# ----------------------------------------------------------------------
+
+#: Figure-4 context: the 12.6 GB APS tomography scan (aps preset) at
+#: streaming (theta=1) vs file staging (theta=3) over a log bandwidth
+#: range around the testbed's 25 Gbps.  Codes: 0 local, 1 streaming,
+#: 2 file; tier 0 = misses even Tier 3.
+FIG4_GRID_DECISION = [0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1,
+                      0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1]
+FIG4_GRID_TIER = [2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 1, 1,
+                  2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 1, 1]
+FIG4_GRID_GAIN = [
+    0.04479840716774514, 0.07698516812874903, 0.1319908644659219,
+    0.2254052359659488, 0.3823703397656287, 0.6414677079995702,
+    1.0568393947388024, 1.692534138438079, 2.5994602283465054,
+    3.771716605255165, 5.1077534882164555, 6.428571428571429,
+    0.014977533699450823, 0.025794106953620038, 0.044387538123872895,
+    0.0762813598497656, 0.1307908151503607, 0.22337509675586806,
+    0.3789812886254868, 0.6359340523754021, 1.0481238221132256,
+    1.6795606561820655, 2.5816954127316527, 3.749999999999999,
+]
+
+#: Table-2 context: the congestion grid's 0.5 GB transfers at 25 Gbps,
+#: transfer efficiency degraded through the eight offered-load levels.
+TABLE2_GRID_ALPHAS = (0.96, 0.84, 0.72, 0.6, 0.48, 0.36, 0.24, 0.12)
+TABLE2_GRID_DECISION = [1, 0, 0, 0, 0, 0, 0, 0]
+TABLE2_GRID_TIER = [1, 1, 1, 1, 1, 1, 1, 1]
+TABLE2_GRID_GAIN = [
+    0.3846153846153845, 0.3381642512077294, 0.29126213592233,
+    0.2439024390243902, 0.196078431372549, 0.14778325123152708,
+    0.099009900990099, 0.049751243781094516,
+]
+
+
+def _decision_grid_tables():
+    from repro.core.parameters import aps_to_alcf_defaults
+    from repro.sweep import Axis, SweepSpec, run_model_sweep
+
+    base = aps_to_alcf_defaults()
+    fig4_spec = SweepSpec.grid(
+        Axis("theta", (1.0, 3.0)),
+        Axis.geomspace("bandwidth_gbps", 1.0, 400.0, 12),
+    )
+    table2_spec = SweepSpec.grid(Axis("alpha", TABLE2_GRID_ALPHAS))
+    metrics = ("decision", "tier", "gain")
+    return (
+        (run_model_sweep(fig4_spec, base=base, metrics=metrics), base),
+        (
+            run_model_sweep(
+                table2_spec, base=base.replace(s_unit_gb=0.5), metrics=metrics
+            ),
+            base.replace(s_unit_gb=0.5),
+        ),
+    )
+
+
+def test_decision_columns_golden_on_fig4_and_table2_grids():
+    """The kernel's decision/tier/gain columns on the fig4/table2-context
+    grids are pinned, so a kernel refactor cannot silently flip where
+    the strategy decision crosses over."""
+    (fig4, _), (table2, _) = _decision_grid_tables()
+    assert list(map(int, fig4.column("decision"))) == FIG4_GRID_DECISION
+    assert list(map(int, fig4.column("tier"))) == FIG4_GRID_TIER
+    np.testing.assert_allclose(
+        np.asarray(fig4.column("gain"), dtype=float), FIG4_GRID_GAIN, rtol=RTOL
+    )
+    assert list(map(int, table2.column("decision"))) == TABLE2_GRID_DECISION
+    assert list(map(int, table2.column("tier"))) == TABLE2_GRID_TIER
+    np.testing.assert_allclose(
+        np.asarray(table2.column("gain"), dtype=float), TABLE2_GRID_GAIN, rtol=RTOL
+    )
+
+
+def test_decision_columns_bit_identical_to_scalar_decide_on_golden_grids():
+    """On the same golden grids, the vectorized decision column equals a
+    per-point loop over the scalar decision engine exactly."""
+    from repro.core.decision import (
+        decide,
+        highest_feasible_tier,
+        strategy_from_code,
+        tier_from_code,
+    )
+
+    for table, base in _decision_grid_tables():
+        for i, row in enumerate(table.rows()):
+            params = base.replace(
+                **{
+                    name: float(row[name])
+                    for name in table.axis_names
+                    if name in ("theta", "alpha", "bandwidth_gbps")
+                }
+            )
+            d = decide(params)
+            assert strategy_from_code(row["decision"]) is d.chosen, i
+            assert tier_from_code(row["tier"]) == highest_feasible_tier(
+                d.evaluations[d.chosen]
+            ), i

@@ -498,3 +498,127 @@ class TestIncrementalAnalysis:
         for regime, count in tally.items():
             assert count == sum(1 for r in breakdown.regimes if r is regime)
         assert sum(tally.values()) == 120
+
+
+class TestCompressedShards:
+    """``compress=True`` writes np.savez_compressed shards: identical
+    values on read, smaller files, manifest flag recorded."""
+
+    def _grid(self):
+        return SweepSpec.grid(
+            Axis.geomspace("bandwidth_gbps", 1.0, 400.0, 60),
+            Axis("s_unit_gb", (0.5, 12.6)),
+        )
+
+    def test_round_trip_is_exact(self, tmp_path):
+        spec = self._grid()
+        raw = run_model_sweep(spec, base=BASE, out=tmp_path / "raw", block_size=16)
+        packed = run_model_sweep(
+            spec, base=BASE, out=tmp_path / "packed", block_size=16, compress=True
+        )
+        _assert_tables_equal(raw.to_result(), packed.to_result())
+
+    def test_manifest_and_reader_record_compression(self, tmp_path):
+        spec = self._grid()
+        run_model_sweep(
+            spec, base=BASE, out=tmp_path, block_size=16, compress=True
+        )
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["compress"] is True
+        assert open_shards(tmp_path).reader.compress is True
+
+    def test_compressed_store_is_smaller(self, tmp_path):
+        # A constant column compresses extremely well; sizes must drop.
+        table = SweepResult(
+            {"x": np.arange(5000, dtype=float), "y": np.zeros(5000)},
+            axis_names=("x",),
+        )
+        table.to_shards(tmp_path / "raw", shard_size=1000)
+        table.to_shards(tmp_path / "packed", shard_size=1000, compress=True)
+        size = lambda d: sum(f.stat().st_size for f in d.glob("shard-*.npz"))
+        assert size(tmp_path / "packed") < size(tmp_path / "raw") / 2
+
+    def test_compress_without_out_rejected(self):
+        spec = SweepSpec.grid(Axis("bandwidth_gbps", (25.0,)))
+        with pytest.raises(ValidationError, match="compress"):
+            run_model_sweep(spec, base=BASE, compress=True)
+        with pytest.raises(ValidationError, match="compress"):
+            run_sweep(spec, _times_ten, compress=True)
+
+    def test_run_sweep_compressed_out(self, tmp_path):
+        spec = SweepSpec.grid(Axis("x", tuple(float(v) for v in range(20))))
+        sharded = run_sweep(
+            spec, _times_ten, out=tmp_path, block_size=6, compress=True
+        )
+        assert sharded.reader.compress is True
+        np.testing.assert_allclose(
+            sharded.column("value"), np.arange(20, dtype=float) * 10
+        )
+
+    def test_decision_columns_survive_shard_round_trip(self, tmp_path):
+        """Integer decision/tier codes are stored natively and come back
+        bit-identical through compressed shards."""
+        spec = self._grid()
+        metrics = ("decision", "tier", "gain", "kappa")
+        table = run_model_sweep(spec, base=BASE, metrics=metrics)
+        sharded = run_model_sweep(
+            spec, base=BASE, metrics=metrics,
+            out=tmp_path, block_size=16, compress=True,
+        )
+        for name in ("decision", "tier"):
+            col = sharded.column(name)
+            assert col.dtype.kind in "iu", name
+            np.testing.assert_array_equal(col, table.column(name), err_msg=name)
+        for name in ("gain", "kappa"):
+            np.testing.assert_array_equal(
+                sharded.column(name), table.column(name), err_msg=name
+            )
+
+
+class TestParallelShardAnalysis:
+    """workers=N scans independent shards across a process pool; the
+    merged answer is identical for any worker count."""
+
+    def _sharded_tally_store(self, tmp_path):
+        rng = np.random.default_rng(23)
+        table = SweepResult(
+            {
+                "offered_utilization": np.linspace(0.1, 1.4, 300),
+                "t_worst_s": np.abs(rng.standard_normal(300)) * 3.0 + 0.05,
+            },
+            axis_names=("offered_utilization",),
+        )
+        table.to_shards(tmp_path, shard_size=37)
+        return table
+
+    def test_regime_tally_workers_match_serial(self, tmp_path):
+        self._sharded_tally_store(tmp_path)
+        serial = regime_tally_from_sweep(str(tmp_path))
+        for workers in (2, 4):
+            assert regime_tally_from_sweep(str(tmp_path), workers=workers) == serial
+
+    def test_regime_tally_workers_on_in_memory_table(self, tmp_path):
+        table = self._sharded_tally_store(tmp_path)
+        assert regime_tally_from_sweep(table, workers=4) == regime_tally_from_sweep(
+            table
+        )
+
+    def test_decision_tally_workers_match_serial(self, tmp_path):
+        from repro.analysis.crossover import (
+            decision_tally_from_sweep,
+            tier_tally_from_sweep,
+        )
+
+        spec = SweepSpec.grid(
+            Axis.geomspace("bandwidth_gbps", 1.0, 400.0, 150),
+        )
+        table = run_model_sweep(
+            spec, base=BASE, metrics=("decision", "tier"),
+            out=tmp_path, block_size=16,
+        )
+        serial = decision_tally_from_sweep(table)
+        assert sum(serial.values()) == 150
+        assert decision_tally_from_sweep(str(tmp_path), workers=3) == serial
+        tiers = tier_tally_from_sweep(table)
+        assert sum(tiers.values()) == 150
+        assert tier_tally_from_sweep(str(tmp_path), workers=3) == tiers

@@ -124,3 +124,51 @@ def test_kernel_decision_surface_10k(artifact):
         f"+decision/tier/gain/kappa {t_full * 1e3:.1f} ms "
         f"({spec.n_points / t_full / 1e6:.1f} M pts/s)",
     )
+
+
+class _BenchCurve:
+    """Synthetic measured curve (sorted utilisation -> SSS)."""
+
+    def __init__(self):
+        self.utilizations = np.linspace(0.1, 1.3, 9)
+        self.sss_values = np.linspace(1.0, 40.0, 9)
+
+
+def test_sss_joined_decision_surface_10k(artifact):
+    """The congestion-aware decision surface: a measured SSS curve
+    joined onto a (utilization x bandwidth) 10k grid.  The join is one
+    np.interp plus the worst-case maximum per block, so it must stay
+    within 2x of the nominal decision pass (the tier-1 guardrail pins
+    the same bound on every run)."""
+    spec = SweepSpec.grid(
+        Axis.linspace("utilization", 0.1, 1.3, 100),
+        Axis.geomspace("bandwidth_gbps", 1.0, 400.0, 100),
+    )
+    base = aps_to_alcf_defaults()
+    context = {"sss_curve": _BenchCurve()}
+
+    run_model_sweep(spec, base=base, metrics=("decision", "tier"))  # warm-up
+    t0 = time.perf_counter()
+    nominal = run_model_sweep(spec, base=base, metrics=("decision", "tier"))
+    t_nominal = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    joined = run_model_sweep(
+        spec, base=base, metrics=("sss", "decision", "tier"), context=context
+    )
+    t_joined = time.perf_counter() - t0
+
+    flips = int(
+        np.sum(
+            np.asarray(nominal.column("decision"))
+            != np.asarray(joined.column("decision"))
+        )
+    )
+    assert flips > 0, "congestion should flip some decisions on this grid"
+    artifact(
+        "sweep_engine_sss_join",
+        f"10,000-point congestion surface: nominal decision/tier "
+        f"{t_nominal * 1e3:.1f} ms, SSS-joined {t_joined * 1e3:.1f} ms "
+        f"({t_joined / max(t_nominal, 1e-9):.2f}x), {flips} decisions "
+        f"flipped by the measured worst case",
+    )

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Congestion-aware decision surfaces: from a measured SSS curve to a
+rendered strategy map.
+
+The paper's central warning (Section 4) is that stream-vs-store
+decisions made on *nominal* link numbers lie under congestion: the
+worst-case Streaming Speed Score (Eq. 11) must feed the choice.  This
+walk-through runs the whole pipeline:
+
+1. measure a Figure 2(a)-style utilisation -> SSS curve on the fluid
+   simulator (the same methodology ``repro sss`` runs),
+2. save it as a JSON artifact and load it back — the curve is a
+   shareable measurement, not a one-process value,
+3. join it onto a (utilization x bandwidth) scenario grid via the sweep
+   engine's block context — the CLI equivalent is
+   ``repro sweep --sss-curve curve.json --axis utilization=...``,
+4. compare nominal vs congestion-aware decisions, tally regimes, and
+   render the 2-D strategy map.
+
+Run:  python examples/congestion_decision_surface.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.crossover import (
+    decision_surface_from_sweep,
+    decision_tally_from_sweep,
+)
+from repro.analysis.regimes import congestion_regime_tally_from_sweep
+from repro.analysis.report import render_decision_map, render_table
+from repro.core.parameters import aps_to_alcf_defaults
+from repro.measurement.congestion import SssCurve, measure_sss_curve
+from repro.sweep import Axis, SweepSpec, run_model_sweep
+
+
+def main() -> None:
+    # 1. Measure the congestion curve (scaled down: 2 s experiments,
+    #    one seed — the same knobs as `repro sss --duration 2 --seeds 0`).
+    curve = measure_sss_curve(duration_s=2.0, seeds=(0,))
+    rows = [
+        (f"{m.utilization:.0%}", f"{m.t_worst_s:.2f} s", f"{m.sss:.1f}x")
+        for m in curve.measurements
+    ]
+    print(render_table(
+        ["offered load", "T_worst", "SSS"], rows,
+        title="Measured SSS curve (Figure 2(a) methodology)",
+    ))
+
+    # 2. The curve is an artifact: save, reload, decide from the copy.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "curve.json"
+        curve.save(path)
+        curve = SssCurve.load(path)
+        print(f"\ncurve round-tripped through {path.name} "
+              f"({len(curve.measurements)} measurements)")
+
+    # 3. Join it onto a scenario grid.  The `utilization` axis is where
+    #    the curve is read; every other axis sweeps the model as usual.
+    base = aps_to_alcf_defaults()
+    spec = SweepSpec.grid(
+        Axis.linspace("utilization", 0.16, 1.28, 8),
+        Axis.geomspace("bandwidth_gbps", 1.0, 400.0, 24),
+    )
+    nominal = run_model_sweep(spec, base=base, metrics=("decision",))
+    congested = run_model_sweep(
+        spec, base=base, metrics=("sss", "decision", "tier"),
+        context={"sss_curve": curve},
+    )
+
+    # 4a. How many decisions does the measured worst case flip?
+    flips = int(np.sum(
+        np.asarray(nominal.column("decision"))
+        != np.asarray(congested.column("decision"))
+    ))
+    print(f"\n{flips} of {spec.n_points} grid points flip their strategy "
+          "under the measured worst case")
+    print("nominal tally:   ", {
+        s.value: n for s, n in decision_tally_from_sweep(nominal).items()
+    })
+    print("congested tally: ", {
+        s.value: n for s, n in decision_tally_from_sweep(congested).items()
+    })
+    print("regime tally:    ", {
+        str(r): n
+        for r, n in congestion_regime_tally_from_sweep(
+            congested, s_unit_gb=base.s_unit_gb
+        ).items()
+    })
+
+    # 4b. The strategy map itself (CLI: --decision-map
+    #     bandwidth_gbps,utilization).
+    dmap = decision_surface_from_sweep(
+        congested, "bandwidth_gbps", "utilization"
+    )
+    print()
+    print(render_decision_map(dmap))
+
+
+if __name__ == "__main__":
+    main()

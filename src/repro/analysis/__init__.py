@@ -3,6 +3,7 @@ and text rendering for the benchmark harness."""
 
 from .regimes import (
     RegimeBreakdown,
+    congestion_regime_tally_from_sweep,
     regime_breakdown,
     regime_breakdown_from_sweep,
     regime_tally_from_sweep,
@@ -14,6 +15,7 @@ from .crossover import (
     crossover_complexity,
     crossover_from_sweep,
     decision_map,
+    decision_surface_from_sweep,
     decision_tally_from_sweep,
     tier_tally_from_sweep,
 )
@@ -23,10 +25,17 @@ from .tiers import (
     assess_workflow,
     reduced_rate_workflow,
 )
-from .report import render_bars, render_cdf, render_series, render_table
+from .report import (
+    render_bars,
+    render_cdf,
+    render_decision_map,
+    render_series,
+    render_table,
+)
 
 __all__ = [
     "RegimeBreakdown",
+    "congestion_regime_tally_from_sweep",
     "regime_breakdown",
     "regime_breakdown_from_sweep",
     "regime_tally_from_sweep",
@@ -36,6 +45,7 @@ __all__ = [
     "crossover_complexity",
     "crossover_from_sweep",
     "decision_map",
+    "decision_surface_from_sweep",
     "decision_tally_from_sweep",
     "tier_tally_from_sweep",
     "TierAssessment",
@@ -44,6 +54,7 @@ __all__ = [
     "reduced_rate_workflow",
     "render_bars",
     "render_cdf",
+    "render_decision_map",
     "render_series",
     "render_table",
 ]

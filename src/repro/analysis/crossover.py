@@ -30,6 +30,7 @@ __all__ = [
     "crossover_bandwidth",
     "crossover_complexity",
     "crossover_from_sweep",
+    "decision_surface_from_sweep",
     "decision_tally_from_sweep",
     "tier_tally_from_sweep",
     "DecisionMap",
@@ -223,6 +224,78 @@ class DecisionMap:
         if changes.size == 0:
             return None
         return float(self.x_values[changes[0]])
+
+
+def decision_surface_from_sweep(
+    table, x: str, y: str, column: str = "decision"
+) -> DecisionMap:
+    """Reassemble a sweep's integer-coded ``decision`` column into a
+    2-D :class:`DecisionMap` over the ``x`` and ``y`` axes.
+
+    ``table`` accepts the same inputs as :func:`crossover_from_sweep`
+    (in-memory :class:`~repro.sweep.SweepResult`, JSON export, lazy
+    :class:`~repro.sweep.ShardedSweepResult`, or a shard-directory
+    path).  The rows must form a *complete* grid over the distinct
+    ``x`` × ``y`` values — every cell exactly once, which holds for any
+    ``SweepSpec.grid`` sweep of exactly those two axes.  Sharded input
+    is scanned block-by-block loading only the three needed columns;
+    peak memory is O(grid cells), never O(table width).
+    """
+    from ._tables import load_sweep_table
+
+    if x == y:
+        raise ValidationError("decision map axes x and y must differ")
+    table = load_sweep_table(table)
+    x_vals = table.unique(x)
+    y_vals = table.unique(y)
+    nx, ny = len(x_vals), len(y_vals)
+    n_rows = table.n_rows
+    if n_rows != nx * ny:
+        raise ValidationError(
+            f"decision map needs a full {x} x {y} grid: the table has "
+            f"{n_rows} rows but {nx} x {ny} = {nx * ny} distinct cells; "
+            "sweep exactly these two axes as a cartesian grid (e.g. two "
+            "--axis flags, no zipped block over them)"
+        )
+    xi = {v: i for i, v in enumerate(x_vals)}
+    yi = {v: i for i, v in enumerate(y_vals)}
+    winners = np.zeros((ny, nx), dtype=np.int64)
+    counts = np.zeros((ny, nx), dtype=np.int64)
+    if hasattr(table, "iter_blocks"):
+        blocks = table.iter_blocks(columns=(x, y, column))
+    else:
+        blocks = iter(
+            [{name: table.column(name) for name in (x, y, column)}]
+        )
+    n_codes = len(STRATEGIES_BY_CODE)
+    for block in blocks:
+        codes = np.asarray(block[column])
+        if codes.dtype.kind not in "iu":
+            codes = codes.astype(np.int64)
+        if codes.size and (codes.min() < 0 or codes.max() >= n_codes):
+            raise ValidationError(
+                f"column {column!r} must hold decision codes in "
+                f"[0, {n_codes}), got range "
+                f"[{int(codes.min())}, {int(codes.max())}]"
+            )
+        bx, by = block[x], block[y]
+        ix = np.fromiter((xi[v] for v in bx), dtype=np.int64, count=len(bx))
+        iy = np.fromiter((yi[v] for v in by), dtype=np.int64, count=len(by))
+        winners[iy, ix] = codes
+        np.add.at(counts, (iy, ix), 1)
+    if np.any(counts != 1):
+        raise ValidationError(
+            f"decision map needs each ({x}, {y}) cell exactly once; "
+            f"{int(np.count_nonzero(counts != 1))} cells are duplicated "
+            "or missing — is a third axis swept alongside these two?"
+        )
+    return DecisionMap(
+        x_name=x,
+        y_name=y,
+        x_values=np.asarray(x_vals),
+        y_values=np.asarray(y_vals),
+        winners=winners,
+    )
 
 
 _SWEEPABLE_2D = (

@@ -19,6 +19,7 @@ from ..measurement.congestion import SssCurve
 
 __all__ = [
     "RegimeBreakdown",
+    "congestion_regime_tally_from_sweep",
     "regime_breakdown",
     "regime_breakdown_from_table",
     "regime_breakdown_from_sweep",
@@ -147,6 +148,17 @@ def _regime_block_tally(
     return np.array([low, int(t_worst.size) - low - severe, severe])
 
 
+def _merge_regime_parts(parts) -> Dict[CongestionRegime, int]:
+    """Merge per-block (low, moderate, severe) count arrays into the
+    regime dict (shared by both tally entry points)."""
+    total = np.sum(parts, axis=0) if parts else np.zeros(3, dtype=int)
+    return {
+        CongestionRegime.LOW: int(total[0]),
+        CongestionRegime.MODERATE: int(total[1]),
+        CongestionRegime.SEVERE: int(total[2]),
+    }
+
+
 def regime_tally_from_sweep(
     table,
     metric: str = "t_worst_s",
@@ -176,12 +188,81 @@ def regime_tally_from_sweep(
         partial(_regime_block_tally, metric=metric, thresholds=th),
         workers=workers,
     )
-    total = np.sum(parts, axis=0) if parts else np.zeros(3, dtype=int)
-    return {
-        CongestionRegime.LOW: int(total[0]),
-        CongestionRegime.MODERATE: int(total[1]),
-        CongestionRegime.SEVERE: int(total[2]),
-    }
+    return _merge_regime_parts(parts)
+
+
+def _sss_regime_block_tally(
+    block: Dict[str, np.ndarray],
+    thresholds: RegimeThresholds,
+    s_unit_gb: Optional[float],
+    bandwidth_gbps: Optional[float],
+) -> np.ndarray:
+    """(low, moderate, severe) counts from one sss-column block: the
+    worst-case unit transfer is the SSS multiple of the point's own
+    raw-link time (module-level so it pickles onto worker processes).
+    Scalars stand in for axes the sweep held constant."""
+    from ..core.sss import theoretical_transfer_time
+
+    sss = np.asarray(block["sss"], dtype=float)
+    t_theo = theoretical_transfer_time(
+        np.asarray(
+            block["s_unit_gb"] if s_unit_gb is None else s_unit_gb,
+            dtype=float,
+        ),
+        np.asarray(
+            block["bandwidth_gbps"] if bandwidth_gbps is None else bandwidth_gbps,
+            dtype=float,
+        ),
+    )
+    return _regime_block_tally(
+        {"t_worst_s": np.asarray(sss * t_theo, dtype=float)},
+        metric="t_worst_s",
+        thresholds=thresholds,
+    )
+
+
+def congestion_regime_tally_from_sweep(
+    table,
+    thresholds: Optional[RegimeThresholds] = None,
+    workers: int = 1,
+    s_unit_gb: Optional[float] = None,
+    bandwidth_gbps: Optional[float] = None,
+) -> Dict[CongestionRegime, int]:
+    """Regime counts over a curve-joined model sweep.
+
+    Consumes the sweep pipeline's interpolated ``sss`` column (``repro
+    sweep --sss-curve ... --metrics sss,...``) together with the
+    ``s_unit_gb``/``bandwidth_gbps`` axes: each point's worst-case unit
+    transfer time is its SSS multiple of the raw-link transmission
+    delay, bucketed against ``thresholds`` exactly as
+    :func:`regime_tally_from_sweep` buckets measured times.  An axis
+    the sweep held constant (so the table has no such column) is
+    supplied as the matching scalar argument instead.  Scanning and
+    ``workers`` semantics match the other tallies (sharded stores load
+    only the needed columns, merged block-by-block).
+    """
+    from functools import partial
+
+    from ._tables import map_table_blocks
+
+    th = thresholds or RegimeThresholds()
+    needed = ["sss"]
+    if s_unit_gb is None:
+        needed.append("s_unit_gb")
+    if bandwidth_gbps is None:
+        needed.append("bandwidth_gbps")
+    parts = map_table_blocks(
+        table,
+        tuple(needed),
+        partial(
+            _sss_regime_block_tally,
+            thresholds=th,
+            s_unit_gb=s_unit_gb,
+            bandwidth_gbps=bandwidth_gbps,
+        ),
+        workers=workers,
+    )
+    return _merge_regime_parts(parts)
 
 
 def regime_breakdown(

@@ -14,7 +14,13 @@ import numpy as np
 
 from ..errors import ValidationError
 
-__all__ = ["render_table", "render_series", "render_bars", "render_cdf"]
+__all__ = [
+    "render_table",
+    "render_series",
+    "render_bars",
+    "render_cdf",
+    "render_decision_map",
+]
 
 
 def render_table(
@@ -90,6 +96,72 @@ def render_bars(
     for lab, val in zip(labels, values):
         bar = "#" * max(1, int(round(width * val / vmax)))
         out.append(f"{str(lab).ljust(label_w)}  {val:10.2f} {unit}  {bar}")
+    return "\n".join(out)
+
+
+def render_decision_map(
+    dmap,
+    symbols: Sequence[str] = ("L", "S", "F"),
+    legend: Sequence[str] = ("local", "remote-streaming", "remote-file"),
+    title: str = "",
+) -> str:
+    """Render a 2-D strategy map as text (the paper's decision-surface
+    view: which strategy wins at each (x, y) grid cell).
+
+    ``dmap`` is any object exposing ``x_name``/``y_name``,
+    ``x_values``/``y_values`` and an integer ``winners`` grid of shape
+    ``(len(y), len(x))`` — canonically an
+    :class:`repro.analysis.crossover.DecisionMap`.  One character per
+    cell (``symbols`` indexed by code), the y axis increasing upward,
+    per-strategy shares appended so the headline number survives even
+    when the map itself is skimmed.
+    """
+    winners = np.asarray(dmap.winners)
+    x_values = np.asarray(dmap.x_values)
+    y_values = np.asarray(dmap.y_values)
+    if winners.ndim != 2 or winners.shape != (y_values.size, x_values.size):
+        raise ValidationError(
+            f"winners grid shape {winners.shape} must be "
+            f"(len(y)={y_values.size}, len(x)={x_values.size})"
+        )
+    codes = winners.astype(np.int64)
+    if codes.size == 0:
+        raise ValidationError("decision map needs at least one cell")
+    if codes.min() < 0 or codes.max() >= len(symbols):
+        raise ValidationError(
+            f"decision codes must lie in [0, {len(symbols)}), got range "
+            f"[{int(codes.min())}, {int(codes.max())}]"
+        )
+
+    def fmt(v: object) -> str:
+        return f"{v:.4g}" if isinstance(v, (float, np.floating)) else str(v)
+
+    sym = np.array([str(s) for s in symbols])
+    y_labels = [fmt(v) for v in y_values]
+    label_w = max(len(lab) for lab in y_labels)
+    out = [
+        title
+        or f"Decision map: winning strategy over ({dmap.x_name}, {dmap.y_name})",
+        f"{dmap.y_name} (rows, increasing upward) x {dmap.x_name} (columns)",
+    ]
+    for iy in range(y_values.size - 1, -1, -1):
+        out.append(
+            f"{y_labels[iy].rjust(label_w)} | {''.join(sym[codes[iy]])}"
+        )
+    out.append(f"{' ' * label_w} +-{'-' * x_values.size}")
+    out.append(
+        f"{' ' * label_w}   {dmap.x_name}: {fmt(x_values[0])} .. "
+        f"{fmt(x_values[-1])} ({x_values.size} columns)"
+    )
+    out.append(
+        "legend: "
+        + "  ".join(f"{s}={name}" for s, name in zip(symbols, legend))
+    )
+    shares = [
+        f"{name} {100.0 * np.mean(codes == i):.1f}%"
+        for i, name in enumerate(legend)
+    ]
+    out.append("shares: " + "  ".join(shares))
     return "\n".join(out)
 
 

@@ -24,7 +24,14 @@ from typing import List, Optional
 from functools import partial
 
 from . import __version__
-from .analysis.report import render_bars, render_cdf, render_series, render_table
+from .analysis.crossover import decision_surface_from_sweep
+from .analysis.report import (
+    render_bars,
+    render_cdf,
+    render_decision_map,
+    render_series,
+    render_table,
+)
 from .casestudy.lcls2 import run_case_study, tier_table
 from .core.model import evaluate
 from .core.parameters import (
@@ -52,7 +59,7 @@ from .iperfsim.spec import (
     table2_spec,
     table2_sweep,
 )
-from .measurement.congestion import measure_sss_curve
+from .measurement.congestion import SssCurve, measure_sss_curve
 from .simnet.topology import TESTBED_TABLE1
 from .streaming.comparison import run_figure4
 from .workloads.lcls import TABLE3_ROWS
@@ -108,8 +115,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--metrics", default=",".join(MODEL_METRICS),
         help=f"comma-separated metric columns (default: {','.join(MODEL_METRICS)}; "
-             "also available: decision, tier, gain, kappa and the "
-             "break-even surfaces — any kernel column of "
+             "also available: decision, tier, gain, kappa, the "
+             "break-even surfaces and — with --sss-curve — the "
+             "interpolated sss score: any kernel column of "
              "repro.core.kernel.KERNEL_COLUMNS)",
     )
     p_sweep.add_argument(
@@ -170,6 +178,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="experiment duration for --simnet-table2 (default: 10 s)",
     )
     p_sweep.add_argument(
+        "--sss-curve", default=None, metavar="PATH",
+        help="join a measured SSS curve (exported by `repro sss --out`) "
+             "onto the sweep's utilization axis: adds the interpolated "
+             "'sss' metric and judges decision/tier on the SSS-inflated "
+             "worst case (requires --axis utilization=...)",
+    )
+    p_sweep.add_argument(
+        "--decision-map", default=None, metavar="X,Y",
+        help="render the integer-coded decision column as a 2-D text "
+             "strategy map over the two named grid axes",
+    )
+    p_sweep.add_argument(
         "--format", choices=("table", "json", "csv"), default="table",
         dest="out_format", help="output format (default: table)",
     )
@@ -186,6 +206,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sss.add_argument("--parallel", type=int, default=4)
     p_sss.add_argument("--duration", type=float, default=10.0)
     p_sss.add_argument("--seeds", type=int, nargs="+", default=[0, 1])
+    p_sss.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also export the measured curve as a JSON artifact "
+             "consumable by `repro sweep --sss-curve PATH`",
+    )
 
     for name in ("fig2a", "fig2b"):
         p = sub.add_parser(name, help=f"regenerate Figure 2({name[-1]})")
@@ -268,13 +293,29 @@ def _sweep_base_params(args: argparse.Namespace) -> ModelParameters:
     return base
 
 
-def _evaluate_point_metrics(point, base=None, metrics=None):
+def _evaluate_point_metrics(point, base=None, metrics=None, sss_curve=None):
     """:func:`repro.sweep.evaluate_point` restricted to the requested
-    metric columns (module-level so it pickles for worker processes)."""
-    out = evaluate_point(point, base=base)
+    metric columns (module-level so it pickles for worker processes;
+    ``sss_curve`` rides along pickled into each worker)."""
+    out = evaluate_point(point, base=base, sss_curve=sss_curve)
     if metrics is None:
         return out
     return {m: out[m] for m in metrics}
+
+
+def _parse_decision_map_axes(text: str) -> tuple:
+    """The --decision-map X,Y argument as two distinct axis names."""
+    parts = [p.strip() for p in text.split(",")]
+    if len(parts) != 2 or not all(parts):
+        raise ValidationError(
+            f"--decision-map expects two comma-separated axis names "
+            f"(e.g. bandwidth_gbps,utilization), got {text!r}"
+        )
+    if parts[0] == parts[1]:
+        raise ValidationError(
+            f"--decision-map axes must differ, got {parts[0]!r} twice"
+        )
+    return tuple(parts)
 
 
 def _sweep_cache(args: argparse.Namespace) -> Optional[ResultCache]:
@@ -384,6 +425,17 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
                 "analysis.crossover.crossover_from_sweep with an explicit "
                 "metric (e.g. t_worst_s) on the exported table instead"
             )
+        if args.sss_curve is not None:
+            raise ValidationError(
+                "--sss-curve joins a measured curve onto a *model* sweep; "
+                "--simnet-table2 is itself the measurement that produces "
+                "such curves (repro sss --out)"
+            )
+        if args.decision_map is not None:
+            raise ValidationError(
+                "--decision-map renders the model sweep's decision column, "
+                "which the simnet grid does not produce"
+            )
         if args.out_dir is not None:
             # Stream the grid block-by-block straight into shards (one
             # block of experiments in memory at a time) instead of
@@ -419,6 +471,31 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
             raise ValidationError(
                 f"unknown sweep metrics {unknown}; expected a subset of {SWEEP_METRICS}"
             )
+        curve = None
+        if args.sss_curve is not None:
+            curve = SssCurve.load(args.sss_curve)
+            if not spec.has_axis("utilization"):
+                raise ValidationError(
+                    "--sss-curve joins the measured curve onto a "
+                    "'utilization' axis, but the sweep has none; add e.g. "
+                    "--axis utilization=0.1:0.9:50"
+                )
+        elif "sss" in metrics:
+            raise ValidationError(
+                "the 'sss' metric interpolates a measured curve; provide "
+                "one with --sss-curve (export it via `repro sss --out`)"
+            )
+        map_axes = None
+        if args.decision_map is not None:
+            map_axes = _parse_decision_map_axes(args.decision_map)
+            missing = [a for a in map_axes if not spec.has_axis(a)]
+            if missing:
+                raise ValidationError(
+                    f"--decision-map axes {missing} are not swept; have "
+                    f"{list(spec.axis_names)}"
+                )
+            if "decision" not in metrics:
+                metrics = metrics + ("decision",)
         # The crossover summary is defined on the speedup metric; make sure
         # the table carries it even when --metrics narrows the output.
         if args.crossover_x is not None and "speedup" not in metrics:
@@ -435,10 +512,12 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
                 spec, base=base, metrics=metrics,
                 out=args.out_dir, block_size=args.shard_size,
                 compress=args.compress,
+                context={"sss_curve": curve} if curve is not None else None,
             )
         else:
             fn = partial(
-                _evaluate_point_metrics, base=base.as_dict(), metrics=metrics
+                _evaluate_point_metrics, base=base.as_dict(),
+                metrics=metrics, sss_curve=curve,
             )
             table = run_generic_sweep(
                 spec, fn, workers=args.workers, cache=cache,
@@ -446,7 +525,7 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
                 block_size=args.shard_size, compress=args.compress,
             )
 
-    crossover_text = None
+    summaries = []
     if args.crossover_x is not None:
         group_by = tuple(
             n for n in table.axis_names
@@ -460,15 +539,22 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
                 f"  {key}: "
                 + ("never crosses in range" if value is None else f"{value:.4g}")
             )
-        crossover_text = "\n".join(lines)
+        summaries.append("\n".join(lines))
+    if args.decision_map is not None:
+        # Consumes the in-memory table and the shard directory alike
+        # (sharded input is scanned loading only three columns).
+        summaries.append(
+            render_decision_map(decision_surface_from_sweep(table, *map_axes))
+        )
+    summary_text = "\n\n".join(summaries) if summaries else None
 
     if hasattr(table, "iter_blocks"):  # sharded out-of-core result
         out = _shard_summary(table, args)
-        if crossover_text is not None:
+        if summary_text is not None:
             if args.out_format == "table":
-                out += "\n\n" + crossover_text
+                out += "\n\n" + summary_text
             else:
-                print(crossover_text, file=sys.stderr)
+                print(summary_text, file=sys.stderr)
         if args.output is not None:
             import pathlib
 
@@ -489,17 +575,17 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
             [[fmt(row[n]) for n in names] for row in table.rows()],
             title=f"Scenario sweep ({table.n_rows} points, base: {args.preset})",
         )
-        if crossover_text is not None:
-            out += "\n\n" + crossover_text
+        if summary_text is not None:
+            out += "\n\n" + summary_text
         if args.output is not None:
             import pathlib
 
             pathlib.Path(args.output).write_text(out + "\n")
 
-    if crossover_text is not None and args.out_format != "table":
-        # Keep machine-readable stdout parseable; the summary is
+    if summary_text is not None and args.out_format != "table":
+        # Keep machine-readable stdout parseable; the summaries are
         # side-channel information.
-        print(crossover_text, file=sys.stderr)
+        print(summary_text, file=sys.stderr)
     return out
 
 
@@ -513,11 +599,19 @@ def _cmd_sss(args: argparse.Namespace) -> str:
         (f"{m.utilization:.0%}", f"{m.t_worst_s:.2f} s", f"{m.sss:.1f}x", str(m.regime))
         for m in curve.measurements
     ]
-    return render_table(
+    out = render_table(
         ["offered load", "T_worst", "SSS", "regime"],
         rows,
         title="Streaming Speed Score curve (0.5 GB @ 25 Gbps, T_theoretical = 0.16 s)",
     )
+    if args.out is not None:
+        path = curve.save(args.out)
+        out += (
+            f"\n\ncurve exported to {path} "
+            f"(join it with `repro sweep --sss-curve {path} "
+            f"--axis utilization=...`)"
+        )
+    return out
 
 
 def _run_fig2(strategy: SpawnStrategy, duration: float, seeds: List[int]) -> str:

@@ -17,11 +17,14 @@ Public surface:
 
 from .parameters import ModelParameters, aps_to_alcf_defaults, lcls_to_hpc_defaults
 from .kernel import (
+    CONTEXT_COLUMNS,
     KERNEL_COLUMNS,
     MODEL_AXES,
     ParamBlock,
     compute_columns,
     decide_block,
+    interp_sss,
+    sss_table_from_curve,
     strategy_times,
 )
 from .model import (
@@ -92,11 +95,14 @@ __all__ = [
     "aps_to_alcf_defaults",
     "lcls_to_hpc_defaults",
     # kernel
+    "CONTEXT_COLUMNS",
     "KERNEL_COLUMNS",
     "MODEL_AXES",
     "ParamBlock",
     "compute_columns",
     "decide_block",
+    "interp_sss",
+    "sss_table_from_curve",
     "strategy_times",
     # model
     "CompletionTimes",

@@ -224,6 +224,8 @@ def decide(
     *,
     streaming_alpha: Optional[float] = None,
     sss: Optional[float] = None,
+    sss_curve: Optional[object] = None,
+    utilization: Optional[float] = None,
     use_worst_case: bool = True,
 ) -> Decision:
     """Pick the fastest strategy for ``params``.
@@ -241,10 +243,36 @@ def decide(
     sss:
         Measured Streaming Speed Score; when given, remote strategies
         are judged on their SSS-inflated worst case.
+    sss_curve / utilization:
+        Alternatively, a measured
+        :class:`repro.measurement.congestion.SssCurve` plus the offered
+        utilisation to read it at.  The score is interpolated with the
+        kernel's join rule (:func:`repro.core.kernel.interp_sss` —
+        endpoint-clamped, floored at 1), so a scalar decision matches
+        the sweep pipeline's ``decision`` column bit for bit at the
+        same grid point.
     use_worst_case:
         Judge on worst-case times (the paper's recommendation) or on
         expected times.
     """
+    if sss_curve is not None:
+        if sss is not None:
+            raise ValidationError(
+                "provide either a scalar sss or an sss_curve, not both"
+            )
+        if utilization is None:
+            raise ValidationError(
+                "sss_curve needs utilization= to interpolate the score at"
+            )
+        sss = float(
+            kernel.interp_sss(
+                utilization, kernel.sss_table_from_curve(sss_curve)
+            )
+        )
+    elif utilization is not None:
+        raise ValidationError(
+            "utilization only applies together with sss_curve"
+        )
     evals = _evaluate_strategies(params, streaming_alpha=streaming_alpha, sss=sss)
     criterion = (
         (lambda e: e.worst_case_s) if use_worst_case else (lambda e: e.expected_s)

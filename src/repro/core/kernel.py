@@ -36,12 +36,23 @@ columnar shards (no per-row Python objects on the write path):
 remote-streaming, ``2`` remote-file), and tier code ``0`` means "misses
 even Tier 3" while ``1``/``2``/``3`` are the Section-5 tiers of the
 *chosen* strategy.
+
+Congestion joins the block path through *context*: construct a block
+with ``context={"sss_curve": curve}`` (any object exposing sorted
+``utilizations`` and ``sss_values`` arrays, e.g.
+:class:`repro.measurement.congestion.SssCurve`) alongside a
+``utilization`` axis, and the ``sss`` derived column interpolates the
+measured Streaming Speed Score per grid point — ``decision``/``tier``
+then judge the remote strategies on their SSS-inflated worst case
+(Eq. 11 feeding Section 4's criterion), exactly as
+:func:`decide_block` with an explicit ``sss`` array would.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Any, Callable, Dict, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -52,6 +63,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .parameters import ModelParameters
 
 __all__ = [
+    "CONTEXT_COLUMNS",
     "KERNEL_COLUMNS",
     "MODEL_AXES",
     "ParamBlock",
@@ -60,6 +72,8 @@ __all__ = [
     "classify_tier",
     "compute_columns",
     "decide_block",
+    "interp_sss",
+    "sss_table_from_curve",
     "strategy_times",
     "raw_t_local",
     "raw_t_transfer",
@@ -142,6 +156,10 @@ MODEL_AXES: Dict[str, Callable[[str, np.ndarray], None]] = {
     "alpha": _fraction,
     "r": _positive,
     "theta": _at_least_one,
+    # Offered load the SSS join interpolates a measured curve at; may
+    # exceed 1 (over-subscribed links are exactly where congestion
+    # decisions bite).  Without a curve it rides along as a plain axis.
+    "utilization": _non_negative,
 }
 
 
@@ -237,6 +255,64 @@ def raw_asymptotic_gain(
 
 
 # ----------------------------------------------------------------------
+# SSS curve joins
+# ----------------------------------------------------------------------
+def sss_table_from_curve(curve: Any) -> Tuple[np.ndarray, np.ndarray]:
+    """A measured curve reduced to the ``(utilizations, sss_values)``
+    arrays the vectorized join interpolates over.
+
+    ``curve`` is duck-typed (any object exposing the two attributes,
+    canonically :class:`repro.measurement.congestion.SssCurve` — this
+    module cannot import it without a layering cycle).  Utilisations
+    must arrive sorted ascending, which ``SssCurve`` guarantees.
+    """
+    try:
+        utils = np.asarray(curve.utilizations, dtype=float)
+        scores = np.asarray(curve.sss_values, dtype=float)
+    except AttributeError as exc:
+        raise ValidationError(
+            "sss_curve context must expose 'utilizations' and "
+            f"'sss_values' arrays (an SssCurve); got {type(curve).__name__}"
+        ) from exc
+    if utils.size == 0:
+        raise ValidationError("the SSS curve has no measurements")
+    if utils.shape != scores.shape:
+        raise ValidationError(
+            "SSS curve utilizations and sss_values must align, got "
+            f"shapes {utils.shape} and {scores.shape}"
+        )
+    if np.any(np.diff(utils) < 0):
+        raise ValidationError(
+            "SSS curve utilizations must be sorted ascending"
+        )
+    return utils, scores
+
+
+def interp_sss(
+    utilization: ArrayLike, table: Tuple[np.ndarray, np.ndarray]
+) -> np.ndarray:
+    """Interpolate the measured SSS at each utilisation.
+
+    Linear between measured points, clamped (with a warning) at the
+    endpoints rather than extrapolating, and floored at the ``SSS = 1``
+    ideal so a numerically borderline measurement can never claim to
+    beat the raw link.  This is the one interpolation rule every layer
+    shares — the ``sss`` derived column, the per-point process
+    executor, and the scalar :func:`repro.core.decision.decide` join —
+    so all modes produce bit-identical scores.
+    """
+    utils, scores = table
+    u = np.asarray(utilization, dtype=float)
+    if np.any(u < utils[0]) or np.any(u > utils[-1]):
+        warnings.warn(
+            "utilization outside the measured SSS range; clamping to the "
+            "boundary measurements instead of extrapolating",
+            stacklevel=2,
+        )
+    return np.maximum(np.interp(u, utils, scores), 1.0)
+
+
+# ----------------------------------------------------------------------
 # Parameter blocks
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -260,6 +336,13 @@ class ParamBlock:
     alpha: np.ndarray
     r: np.ndarray
     theta: np.ndarray
+    #: Offered-load axis the SSS join interpolates at (None when the
+    #: block carries no congestion context).
+    utilization: Optional[np.ndarray] = None
+    #: Measured curve as ``(utilizations, sss_values)`` arrays, sorted
+    #: ascending — the vectorized form of an
+    #: :class:`repro.measurement.congestion.SssCurve`.
+    sss_table: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     @classmethod
     def from_columns(
@@ -267,6 +350,7 @@ class ParamBlock:
         columns: Dict[str, Any],
         base: Optional["ModelParameters"] = None,
         n: Optional[int] = None,
+        context: Optional[Mapping[str, Any]] = None,
     ) -> "ParamBlock":
         """Merge swept columns with base-parameter scalars into a block.
 
@@ -278,6 +362,12 @@ class ParamBlock:
         ``r_local_tflops`` does not silently rescale the remote
         machine).  ``base`` values are trusted — they were validated at
         :class:`~repro.core.parameters.ModelParameters` construction.
+
+        ``context`` carries non-parameter inputs of derived columns;
+        the one recognised key is ``"sss_curve"``, a measured SSS curve
+        to join onto the block's ``utilization`` axis (required when a
+        curve is given — a curve with nothing to interpolate at is a
+        mismatch, reported here rather than as a silent nominal sweep).
         """
         swept: Dict[str, np.ndarray] = {}
         for name, col in columns.items():
@@ -342,6 +432,25 @@ class ParamBlock:
                 (arr.shape[0] for arr in swept.values() if arr.ndim == 1),
                 default=1,
             )
+
+        context = context or {}
+        unknown_ctx = [k for k in context if k != "sss_curve"]
+        if unknown_ctx:
+            raise ValidationError(
+                f"unknown block context keys {unknown_ctx}; expected "
+                f"['sss_curve']"
+            )
+        sss_table = None
+        curve = context.get("sss_curve")
+        if curve is not None:
+            if "utilization" not in swept:
+                raise ValidationError(
+                    "an SSS curve joins onto a 'utilization' axis, but the "
+                    "block has none; sweep one (e.g. --axis "
+                    "utilization=0.1:0.9:50) or drop the curve"
+                )
+            sss_table = sss_table_from_curve(curve)
+
         return cls(
             n=int(n),
             s_unit_gb=pick("s_unit_gb"),
@@ -351,6 +460,8 @@ class ParamBlock:
             alpha=pick("alpha", 1.0),
             r=r,
             theta=pick("theta", 1.0),
+            utilization=swept.get("utilization"),
+            sss_table=sss_table,
         )
 
     @classmethod
@@ -435,13 +546,33 @@ def _k_gain(b: ParamBlock, get: _Getter) -> np.ndarray:
     return raw_gain(b.alpha, b.r, b.theta, get("kappa"))
 
 
+@_derived("sss")
+def _k_sss(b: ParamBlock, get: _Getter) -> np.ndarray:
+    if b.sss_table is None or b.utilization is None:
+        raise ValidationError(
+            "the 'sss' column needs a measured curve joined onto a "
+            "'utilization' axis; build the block with "
+            "context={'sss_curve': curve} and sweep utilization"
+        )
+    return interp_sss(b.utilization, b.sss_table)
+
+
 @_derived("_strategy_stack")
 def _k_strategy_stack(b: ParamBlock, get: _Getter) -> np.ndarray:
     # Streaming is T_pct at theta=1 with the block's alpha; file-based
     # is the full T_pct.  (theta * t == 1.0 * t is bit-exact, so the
     # streaming time equals the scalar engine's t_pct(theta=1).)
+    t_stream = get("t_transfer") + get("t_remote")
+    t_file = get("t_pct")
+    if b.sss_table is not None:
+        # With a joined curve the remote strategies are judged on their
+        # SSS-inflated worst case — the same envelope as decide_block
+        # with an explicit sss array, bit for bit.
+        t_stream, t_file = _sss_worst_times(
+            b, t_stream, t_file, get("sss"), rem=get("t_remote")
+        )
     t_loc, t_stream, t_file = np.broadcast_arrays(
-        get("t_local"), get("t_transfer") + get("t_remote"), get("t_pct")
+        get("t_local"), t_stream, t_file
     )
     return np.stack([t_loc, t_stream, t_file])
 
@@ -483,10 +614,21 @@ def _k_asymptotic_gain(b: ParamBlock, get: _Getter) -> np.ndarray:
     return raw_asymptotic_gain(b.alpha, b.theta, get("kappa"))
 
 
-#: Every public derived column, in canonical order (internal
-#: intermediates, prefixed with ``_``, are not requestable).
+#: Derived columns that additionally need block *context* (a measured
+#: SSS curve joined onto a ``utilization`` axis).  Requestable through
+#: :func:`compute_columns` like any other column, but kept out of
+#: :data:`KERNEL_COLUMNS` so that set stays "computable on every valid
+#: block".
+CONTEXT_COLUMNS: Tuple[str, ...] = ("sss",)
+
+#: Every public derived column computable on any block, in canonical
+#: order (internal intermediates, prefixed with ``_``, are not
+#: requestable; context-dependent columns live in
+#: :data:`CONTEXT_COLUMNS`).
 KERNEL_COLUMNS: Tuple[str, ...] = tuple(
-    name for name in _KERNELS if not name.startswith("_")
+    name
+    for name in _KERNELS
+    if not name.startswith("_") and name not in CONTEXT_COLUMNS
 )
 
 
@@ -526,11 +668,15 @@ def compute_columns(
     fresh ``(n,)`` array (floats for times/coefficients, bool for
     ``remote_is_faster``, integer codes for ``decision``/``tier``).
     """
-    unknown = [m for m in metrics if m not in KERNEL_COLUMNS]
+    unknown = [
+        m
+        for m in metrics
+        if m not in KERNEL_COLUMNS and m not in CONTEXT_COLUMNS
+    ]
     if unknown:
         raise ValidationError(
             f"unknown kernel columns {unknown}; expected a subset of "
-            f"{KERNEL_COLUMNS}"
+            f"{KERNEL_COLUMNS + CONTEXT_COLUMNS}"
         )
     resolve = _BlockResolver(block)
     return {
@@ -541,6 +687,40 @@ def compute_columns(
 # ----------------------------------------------------------------------
 # Vectorized decision / tier helpers
 # ----------------------------------------------------------------------
+def _sss_worst_times(
+    block: ParamBlock,
+    t_stream: np.ndarray,
+    t_file: np.ndarray,
+    sss: np.ndarray,
+    streaming_theta: Optional[ArrayLike] = None,
+    rem: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """SSS-inflated worst-case times of the two remote strategies.
+
+    The worst case replaces the ideal raw-link transfer term by its
+    SSS multiple (Eq. 11 through Eq. 10) and is clamped to never beat
+    the alpha-degraded expectation — the single envelope shared by the
+    scalar :func:`repro.core.decision.decide`, :func:`decide_block` and
+    the ``decision``/``tier`` derived columns of a curve-joined block.
+    ``rem`` lets a caller with ``t_remote`` already in hand (the memoised
+    block resolver) skip recomputing it.
+    """
+    ideal = raw_t_transfer(block.s_unit_gb, block.bandwidth_gbps, 1.0)
+    if rem is None:
+        rem = raw_t_remote(
+            block.s_unit_gb,
+            block.complexity_flop_per_gb,
+            block.r_local_tflops,
+            block.r,
+        )
+    th_stream = np.asarray(
+        1.0 if streaming_theta is None else streaming_theta, dtype=float
+    )
+    worst_stream = np.maximum(th_stream * sss * ideal + rem, t_stream)
+    worst_file = np.maximum(block.theta * sss * ideal + rem, t_file)
+    return worst_stream, worst_file
+
+
 def strategy_times(
     block: ParamBlock,
     streaming_alpha: Optional[ArrayLike] = None,
@@ -595,18 +775,9 @@ def decide_block(
         sss_arr = np.asarray(sss, dtype=float)
         if not np.all(sss_arr >= 1.0):
             raise ValidationError(f"SSS must be >= 1, got {sss!r}")
-        ideal = raw_t_transfer(block.s_unit_gb, block.bandwidth_gbps, 1.0)
-        rem = raw_t_remote(
-            block.s_unit_gb,
-            block.complexity_flop_per_gb,
-            block.r_local_tflops,
-            block.r,
+        t_stream, t_file = _sss_worst_times(
+            block, t_stream, t_file, sss_arr, streaming_theta=streaming_theta
         )
-        th_stream = np.asarray(
-            1.0 if streaming_theta is None else streaming_theta, dtype=float
-        )
-        t_stream = np.maximum(th_stream * sss_arr * ideal + rem, t_stream)
-        t_file = np.maximum(block.theta * sss_arr * ideal + rem, t_file)
     stacked = np.stack(np.broadcast_arrays(t_loc, t_stream, t_file))
     return np.argmin(stacked, axis=0)
 

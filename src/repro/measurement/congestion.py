@@ -9,12 +9,23 @@ curve usable by the decision model:
 4. interpolate the curve at any target utilisation — the
    "extrapolate the measurements from Figure 2(a)" step of the case
    study.
+
+A measured curve is a first-class artifact: :meth:`SssCurve.to_json` /
+:meth:`SssCurve.from_json` (and the :meth:`SssCurve.save` /
+:meth:`SssCurve.load` file forms) round-trip it losslessly, so
+``repro sss --out curve.json`` exports a curve that ``repro sweep
+--sss-curve curve.json`` later joins onto a scenario grid.
+Interpolation clamps at the measured endpoints — with a warning — never
+silently extrapolating beyond the data.
 """
 
 from __future__ import annotations
 
+import json
+import pathlib
+import warnings
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -26,6 +37,9 @@ from ..iperfsim.spec import ExperimentSpec, SpawnStrategy
 from ..simnet.link import Link, fabric_link
 
 __all__ = ["SssCurve", "measure_sss_curve", "curve_from_sweep"]
+
+#: Schema version of the JSON curve artifact.
+_CURVE_VERSION = 1
 
 
 @dataclass
@@ -58,8 +72,9 @@ class SssCurve:
         """Interpolated worst-case transfer time at a target utilisation.
 
         Linear interpolation between measured points; clamped at the
-        curve's ends (extrapolating beyond the measured range returns
-        the boundary value rather than inventing data).
+        curve's ends (a query beyond the measured range returns the
+        boundary value rather than inventing data, and warns so the
+        clamp never passes silently for a decision).
         """
         if utilization < 0:
             raise ValidationError(
@@ -67,9 +82,15 @@ class SssCurve:
             )
         if not self.measurements:
             raise MeasurementError("SSS curve has no measurements")
-        return float(
-            np.interp(utilization, self.utilizations, self.t_worst_values)
-        )
+        utils = self.utilizations
+        if utilization < utils[0] or utilization > utils[-1]:
+            warnings.warn(
+                "utilization outside the measured SSS range "
+                f"[{utils[0]:.4g}, {utils[-1]:.4g}]; clamping to the "
+                "boundary measurement instead of extrapolating",
+                stacklevel=2,
+            )
+        return float(np.interp(utilization, utils, self.t_worst_values))
 
     def sss_at(self, utilization: float) -> float:
         """Interpolated SSS at a target utilisation."""
@@ -100,6 +121,111 @@ class SssCurve:
         rescaling.
         """
         return self.t_worst_at(utilization)
+
+    # ------------------------------------------------------------------
+    # Serialization: the curve as a sweep-joinable artifact
+    # ------------------------------------------------------------------
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The curve as a JSON artifact (see :meth:`from_json`).
+
+        The per-measurement fields are stored in full, so the
+        round-trip is lossless even for curves whose measurements carry
+        their own size/bandwidth context.
+        """
+        payload: Dict[str, Any] = {
+            "version": _CURVE_VERSION,
+            "size_gb": float(self.size_gb),
+            "bandwidth_gbps": float(self.bandwidth_gbps),
+            "measurements": [
+                {
+                    "size_gb": float(m.size_gb),
+                    "bandwidth_gbps": float(m.bandwidth_gbps),
+                    "t_worst_s": float(m.t_worst_s),
+                    "utilization": float(m.utilization),
+                }
+                for m in self.measurements
+            ],
+        }
+        return json.dumps(payload, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SssCurve":
+        """Rebuild a curve from :meth:`to_json` output.
+
+        Malformed input raises :class:`~repro.errors.ValidationError`
+        naming what is wrong — a curve artifact feeds strategy
+        decisions, so it must never half-load.
+        """
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(
+                f"SSS curve artifact is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise ValidationError(
+                "SSS curve artifact must be a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+        version = payload.get("version")
+        if version != _CURVE_VERSION:
+            raise ValidationError(
+                f"unsupported SSS curve version {version!r}; this build "
+                f"reads version {_CURVE_VERSION}"
+            )
+        missing = [
+            k for k in ("size_gb", "bandwidth_gbps", "measurements")
+            if k not in payload
+        ]
+        if missing:
+            raise ValidationError(
+                f"SSS curve artifact is missing keys {missing}"
+            )
+        raw = payload["measurements"]
+        if not isinstance(raw, list):
+            raise ValidationError(
+                "SSS curve 'measurements' must be a list, got "
+                f"{type(raw).__name__}"
+            )
+        fields = ("size_gb", "bandwidth_gbps", "t_worst_s", "utilization")
+        measurements = []
+        for i, entry in enumerate(raw):
+            if not isinstance(entry, dict) or any(k not in entry for k in fields):
+                raise ValidationError(
+                    f"SSS curve measurement #{i} must carry {list(fields)}, "
+                    f"got {entry!r}"
+                )
+            try:
+                values = {k: float(entry[k]) for k in fields}
+            except (TypeError, ValueError) as exc:
+                raise ValidationError(
+                    f"SSS curve measurement #{i} has a non-numeric value: "
+                    f"{entry!r}"
+                ) from exc
+            measurements.append(SSSMeasurement(**values))
+        return cls(
+            size_gb=float(payload["size_gb"]),
+            bandwidth_gbps=float(payload["bandwidth_gbps"]),
+            measurements=measurements,
+        )
+
+    def save(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
+        """Write the JSON artifact to ``path`` (parents created)."""
+        out = pathlib.Path(path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(self.to_json() + "\n")
+        return out
+
+    @classmethod
+    def load(cls, path: Union[str, pathlib.Path]) -> "SssCurve":
+        """Read a curve saved by :meth:`save` / ``repro sss --out``."""
+        p = pathlib.Path(path)
+        if not p.exists():
+            raise ValidationError(
+                f"no SSS curve file at {p}; export one first with "
+                f"`repro sss --out {p}`"
+            )
+        return cls.from_json(p.read_text())
 
 
 def curve_from_sweep(sweep: SweepResult, link: Optional[Link] = None) -> SssCurve:

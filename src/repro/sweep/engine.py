@@ -34,6 +34,7 @@ Three execution strategies cover the repo's workloads:
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import math
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
@@ -80,8 +81,12 @@ MODEL_METRICS: Tuple[str, ...] = (
 )
 
 #: Every metric column the sweep paths can produce — the kernel's
-#: derived-column registry (:data:`repro.core.kernel.KERNEL_COLUMNS`).
-SWEEP_METRICS: Tuple[str, ...] = kernel.KERNEL_COLUMNS
+#: derived-column registry (:data:`repro.core.kernel.KERNEL_COLUMNS`)
+#: plus the context-dependent columns (``sss``, which needs a measured
+#: curve joined via ``context={"sss_curve": ...}`` / ``--sss-curve``).
+SWEEP_METRICS: Tuple[str, ...] = (
+    kernel.KERNEL_COLUMNS + kernel.CONTEXT_COLUMNS
+)
 
 
 def _model_block(
@@ -89,6 +94,7 @@ def _model_block(
     base: Optional[ModelParameters],
     metrics: Sequence[str],
     n: int,
+    context: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, np.ndarray]:
     """Vectorized model evaluation of one column block (the shared core
     of :func:`run_model_sweep` and the streamed paths — identical
@@ -98,9 +104,13 @@ def _model_block(
     :meth:`~repro.core.kernel.ParamBlock.from_columns` construction;
     every requested metric then flows through the kernel's
     derived-column registry with shared intermediates and no
-    re-validation scans.
+    re-validation scans.  ``context`` (e.g. a measured
+    ``{"sss_curve": curve}``) reaches every block identically, so the
+    SSS join is the same whether the grid arrives whole or sharded.
     """
-    block = kernel.ParamBlock.from_columns(columns, base=base, n=n)
+    block = kernel.ParamBlock.from_columns(
+        columns, base=base, n=n, context=context
+    )
     out: Dict[str, np.ndarray] = dict(columns)
     out.update(kernel.compute_columns(block, tuple(metrics)))
     return out
@@ -119,6 +129,7 @@ def iter_model_sweep(
     base: Optional[ModelParameters] = None,
     metrics: Sequence[str] = MODEL_METRICS,
     block_size: int = DEFAULT_BLOCK_SIZE,
+    context: Optional[Dict[str, Any]] = None,
 ) -> Iterator[SweepResult]:
     """Evaluate the vectorized model sweep block-by-block.
 
@@ -134,7 +145,7 @@ def iter_model_sweep(
     for start in range(0, spec.n_points, block_size):
         stop = min(start + block_size, spec.n_points)
         columns = spec.columns_slice(start, stop)
-        out = _model_block(columns, base, metrics, stop - start)
+        out = _model_block(columns, base, metrics, stop - start, context)
         yield SweepResult(columns=out, axis_names=spec.axis_names)
 
 
@@ -145,6 +156,7 @@ def run_model_sweep(
     out: Optional[Union[str, Any]] = None,
     block_size: Optional[int] = None,
     compress: bool = False,
+    context: Optional[Dict[str, Any]] = None,
 ) -> Any:
     """Evaluate the completion-time model over a whole spec in one
     vectorized pass.
@@ -166,13 +178,19 @@ def run_model_sweep(
     closed and its manifest written).  ``compress=True`` writes
     compressed shards (``np.savez_compressed``) for cold-storage
     surveys — smaller on disk, slower to write.
+
+    ``context`` attaches non-parameter inputs to every evaluated block;
+    ``{"sss_curve": curve}`` joins a measured SSS curve onto a
+    ``utilization`` axis, turning the ``decision``/``tier`` columns
+    worst-case-aware and enabling the interpolated ``sss`` metric (see
+    :mod:`repro.core.kernel`).
     """
     _check_metrics(metrics)
     if out is None:
         if compress:
             raise ValidationError("compress=True only applies with out=")
         columns = spec.columns()
-        values = _model_block(columns, base, metrics, spec.n_points)
+        values = _model_block(columns, base, metrics, spec.n_points, context)
         return SweepResult(columns=values, axis_names=spec.axis_names)
 
     from .shards import ShardedSweepResult, ShardWriter
@@ -187,7 +205,8 @@ def run_model_sweep(
             compress=compress,
         )
     for block in iter_model_sweep(
-        spec, base=base, metrics=metrics, block_size=block_size or writer.shard_size
+        spec, base=base, metrics=metrics,
+        block_size=block_size or writer.shard_size, context=context,
     ):
         writer.append(block.columns)
     writer.close()
@@ -195,7 +214,9 @@ def run_model_sweep(
 
 
 def evaluate_point(
-    point: Dict[str, Any], base: Optional[Dict[str, float]] = None
+    point: Dict[str, Any],
+    base: Optional[Dict[str, float]] = None,
+    sss_curve: Optional[Any] = None,
 ) -> Dict[str, float]:
     """Evaluate the model for one scenario point (process-executor unit).
 
@@ -211,6 +232,13 @@ def evaluate_point(
     process`` path; :func:`repro.core.decision.decide` and the scalar
     model wrappers remain the independent references the kernel is
     tested against.
+
+    ``sss_curve`` joins a measured congestion curve onto the point's
+    ``utilization`` axis exactly as the vectorized path's block
+    ``context`` does: the interpolated ``sss`` column appears in the
+    output and ``decision``/``tier`` judge the remote strategies on
+    their SSS-inflated worst case.  The curve must be picklable (it
+    travels to worker processes inside the partial'd function).
     """
     merged = {k: v for k, v in (base or {}).items() if k in MODEL_AXES}
     point_model = {k: v for k, v in point.items() if k in MODEL_AXES}
@@ -220,6 +248,9 @@ def evaluate_point(
     if "r_remote_tflops" in point_model:
         merged.pop("r", None)
     merged.update(point_model)
+    # Not a ModelParameters field: the offered load the SSS join reads
+    # the curve at (and otherwise a plain carried-through axis).
+    utilization = merged.pop("utilization", None)
     r_remote = merged.pop("r_remote_tflops", None)
     r = merged.pop("r", None)
     if r_remote is None:
@@ -238,9 +269,27 @@ def evaluate_point(
         )
     params = ModelParameters(r_remote_tflops=float(r_remote), **merged)
     block = kernel.ParamBlock.from_params(params)
-    cols = kernel.compute_columns(block, kernel.KERNEL_COLUMNS)
+    metrics = kernel.KERNEL_COLUMNS
+    if sss_curve is not None:
+        if utilization is None:
+            raise ValidationError(
+                "an SSS curve joins onto a 'utilization' axis, but the "
+                "point has none; sweep one (e.g. --axis "
+                "utilization=0.1:0.9:50) or drop the curve"
+            )
+        util_arr = np.asarray(float(utilization), dtype=float)
+        MODEL_AXES["utilization"]("utilization", util_arr)
+        block = dataclasses.replace(
+            block,
+            utilization=util_arr,
+            sss_table=kernel.sss_table_from_curve(sss_curve),
+        )
+        # The context columns become computable only with the joined
+        # curve; nominal sweeps return exactly the kernel set.
+        metrics = metrics + kernel.CONTEXT_COLUMNS
+    cols = kernel.compute_columns(block, metrics)
     out: Dict[str, Any] = {}
-    for name in kernel.KERNEL_COLUMNS:
+    for name in metrics:
         value = cols[name][0]
         if name == "remote_is_faster":
             out[name] = bool(value)

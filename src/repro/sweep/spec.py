@@ -211,6 +211,12 @@ class SweepSpec:
             f"unknown sweep axis {name!r}; have {list(self.axis_names)}"
         )
 
+    def has_axis(self, name: str) -> bool:
+        """Whether the spec sweeps an axis called ``name`` (used e.g. to
+        check a measured SSS curve has a ``utilization`` axis to join
+        onto before any evaluation starts)."""
+        return any(a.name == name for block in self.blocks for a in block)
+
     def index_grid(self) -> List[np.ndarray]:
         """Per-block index arrays, each of length :attr:`n_points`, in
         enumeration order — the vectorized equivalent of

@@ -206,3 +206,113 @@ class TestCrossoverFromSweep:
         # Streaming (theta=1) crosses at lower bandwidth than file-based.
         assert by_theta[1.0] < by_theta[2.0]
         assert by_theta[2.0] == pytest.approx(crossover_bandwidth(p), rel=1e-3)
+
+
+class TestDecisionSurfaceFromSweep:
+    """Reassembling the decision column into a 2-D strategy map."""
+
+    def _table(self, metrics=("decision",)):
+        from repro.core.parameters import aps_to_alcf_defaults
+        from repro.sweep import Axis, SweepSpec, run_model_sweep
+
+        spec = SweepSpec.grid(
+            Axis.geomspace("bandwidth_gbps", 1.0, 400.0, 6),
+            Axis.geomspace("s_unit_gb", 0.5, 50.0, 4),
+        )
+        return spec, run_model_sweep(
+            spec, base=aps_to_alcf_defaults(), metrics=metrics
+        )
+
+    def test_grid_reassembled_from_in_memory_table(self):
+        from repro.analysis.crossover import (
+            decision_map,
+            decision_surface_from_sweep,
+        )
+        from repro.core.parameters import aps_to_alcf_defaults
+
+        spec, table = self._table()
+        dmap = decision_surface_from_sweep(table, "bandwidth_gbps", "s_unit_gb")
+        assert dmap.winners.shape == (4, 6)
+        # The reassembled map equals the direct kernel decision map on
+        # the same axes (same decide_block substrate).
+        direct = decision_map(
+            aps_to_alcf_defaults(),
+            "bandwidth_gbps", spec.axis("bandwidth_gbps").as_array(),
+            "s_unit_gb", spec.axis("s_unit_gb").as_array(),
+        )
+        np.testing.assert_array_equal(dmap.winners, direct.winners)
+
+    def test_sharded_input_matches_in_memory(self, tmp_path):
+        from repro.analysis.crossover import decision_surface_from_sweep
+        from repro.core.parameters import aps_to_alcf_defaults
+        from repro.sweep import Axis, SweepSpec, run_model_sweep
+
+        spec = SweepSpec.grid(
+            Axis.geomspace("bandwidth_gbps", 1.0, 400.0, 6),
+            Axis.geomspace("s_unit_gb", 0.5, 50.0, 4),
+        )
+        base = aps_to_alcf_defaults()
+        in_memory = run_model_sweep(spec, base=base, metrics=("decision",))
+        sharded = run_model_sweep(
+            spec, base=base, metrics=("decision",),
+            out=tmp_path / "shards", block_size=5,
+        )
+        a = decision_surface_from_sweep(in_memory, "bandwidth_gbps", "s_unit_gb")
+        # Both the lazy view and the bare directory path are accepted.
+        for source in (sharded, str(tmp_path / "shards")):
+            b = decision_surface_from_sweep(source, "bandwidth_gbps", "s_unit_gb")
+            np.testing.assert_array_equal(a.winners, b.winners)
+            np.testing.assert_array_equal(a.x_values, b.x_values)
+
+    def test_same_axis_twice_rejected(self):
+        from repro.analysis.crossover import decision_surface_from_sweep
+
+        _, table = self._table()
+        with pytest.raises(ValidationError, match="must differ"):
+            decision_surface_from_sweep(table, "s_unit_gb", "s_unit_gb")
+
+    def test_non_grid_table_rejected(self):
+        from repro.analysis.crossover import decision_surface_from_sweep
+        from repro.core.parameters import aps_to_alcf_defaults
+        from repro.sweep import Axis, SweepSpec, run_model_sweep
+
+        zipped = SweepSpec.zipped(
+            Axis("bandwidth_gbps", (5.0, 25.0, 100.0)),
+            Axis("s_unit_gb", (0.5, 5.0, 50.0)),
+        )
+        table = run_model_sweep(
+            zipped, base=aps_to_alcf_defaults(), metrics=("decision",)
+        )
+        with pytest.raises(ValidationError, match="full .* grid"):
+            decision_surface_from_sweep(table, "bandwidth_gbps", "s_unit_gb")
+
+    def test_extra_axis_duplicates_cells_rejected(self):
+        from repro.analysis.crossover import decision_surface_from_sweep
+        from repro.core.parameters import aps_to_alcf_defaults
+        from repro.sweep import Axis, SweepSpec, run_model_sweep
+
+        spec = SweepSpec.grid(
+            Axis("bandwidth_gbps", (5.0, 25.0)),
+            Axis("s_unit_gb", (0.5, 5.0)),
+            Axis("theta", (1.0, 2.0)),
+        )
+        table = run_model_sweep(
+            spec, base=aps_to_alcf_defaults(), metrics=("decision",)
+        )
+        with pytest.raises(ValidationError, match="grid|exactly once"):
+            decision_surface_from_sweep(table, "bandwidth_gbps", "s_unit_gb")
+
+    def test_bad_decision_codes_rejected(self):
+        from repro.analysis.crossover import decision_surface_from_sweep
+        from repro.sweep import SweepResult
+
+        table = SweepResult(
+            {
+                "x": np.array([1.0, 2.0]),
+                "y": np.array([1.0, 1.0]),
+                "decision": np.array([0, 7]),
+            },
+            axis_names=("x", "y"),
+        )
+        with pytest.raises(ValidationError, match="decision codes"):
+            decision_surface_from_sweep(table, "x", "y")

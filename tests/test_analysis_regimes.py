@@ -148,3 +148,58 @@ class TestBreakdownFromTables:
         )
         b = regime_breakdown_from_sweep(table.to_json())
         assert len(b.regimes) == 2
+
+
+class TestCongestionRegimeTally:
+    """Regime counts straight off a curve-joined model sweep's sss column."""
+
+    def _table(self, tmp_path=None):
+        from repro.core.parameters import aps_to_alcf_defaults
+        from repro.sweep import Axis, SweepSpec, run_model_sweep
+
+        curve = SssCurve(
+            size_gb=0.5,
+            bandwidth_gbps=25.0,
+            measurements=[
+                SSSMeasurement(0.5, 25.0, t, u)
+                for u, t in [(0.16, 0.3), (0.8, 1.2), (1.28, 8.0)]
+            ],
+        )
+        spec = SweepSpec.grid(
+            Axis.linspace("utilization", 0.16, 1.28, 8),
+            Axis("s_unit_gb", (0.5,)),
+            Axis("bandwidth_gbps", (25.0,)),
+        )
+        kwargs = {}
+        if tmp_path is not None:
+            kwargs = {"out": tmp_path / "shards", "block_size": 3}
+        return run_model_sweep(
+            spec,
+            base=aps_to_alcf_defaults(),
+            metrics=("sss", "decision"),
+            context={"sss_curve": curve},
+            **kwargs,
+        )
+
+    def test_counts_match_direct_classification(self):
+        from repro.analysis.regimes import congestion_regime_tally_from_sweep
+        from repro.core.sss import classify_regime, theoretical_transfer_time
+
+        table = self._table()
+        tally = congestion_regime_tally_from_sweep(table)
+        t_theo = theoretical_transfer_time(0.5, 25.0)
+        expected = [
+            classify_regime(float(s) * t_theo) for s in table.column("sss")
+        ]
+        assert sum(tally.values()) == table.n_rows
+        for regime, count in tally.items():
+            assert count == sum(1 for r in expected if r is regime)
+        # The synthetic curve spans all three regimes.
+        assert all(count > 0 for count in tally.values())
+
+    def test_sharded_input_matches_in_memory(self, tmp_path):
+        from repro.analysis.regimes import congestion_regime_tally_from_sweep
+
+        assert congestion_regime_tally_from_sweep(
+            self._table(tmp_path)
+        ) == congestion_regime_tally_from_sweep(self._table())

@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.analysis.report import (
     render_bars,
     render_cdf,
+    render_decision_map,
     render_series,
     render_table,
 )
@@ -86,3 +88,55 @@ class TestCdf:
     def test_empty_rejected(self):
         with pytest.raises(ValidationError):
             render_cdf([])
+
+
+class TestDecisionMapRendering:
+    def _dmap(self):
+        from repro.analysis.crossover import DecisionMap
+
+        return DecisionMap(
+            x_name="bandwidth_gbps",
+            y_name="utilization",
+            x_values=np.array([1.0, 10.0, 100.0]),
+            y_values=np.array([0.2, 0.8]),
+            winners=np.array([[0, 1, 1], [0, 0, 2]]),
+        )
+
+    def test_layout_and_legend(self):
+        out = render_decision_map(self._dmap())
+        lines = out.splitlines()
+        assert lines[0].startswith("Decision map")
+        # y increases upward: the 0.8 row renders above the 0.2 row.
+        assert lines.index([l for l in lines if "0.8" in l][0]) < lines.index(
+            [l for l in lines if l.strip().startswith("0.2")][0]
+        )
+        assert "LLF" in out and "LSS" in out
+        assert "legend: L=local  S=remote-streaming  F=remote-file" in out
+
+    def test_shares_sum_to_hundred(self):
+        out = render_decision_map(self._dmap())
+        shares = [
+            float(part.rsplit(" ", 1)[1].rstrip("%"))
+            for part in out.splitlines()[-1].removeprefix("shares: ").split("  ")
+        ]
+        assert sum(shares) == pytest.approx(100.0)
+
+    def test_x_axis_annotated(self):
+        out = render_decision_map(self._dmap())
+        assert "bandwidth_gbps: 1 .. 100 (3 columns)" in out
+
+    def test_shape_mismatch_rejected(self):
+        dmap = self._dmap()
+        dmap.winners = dmap.winners[:, :2]
+        with pytest.raises(ValidationError, match="shape"):
+            render_decision_map(dmap)
+
+    def test_out_of_range_codes_rejected(self):
+        dmap = self._dmap()
+        dmap.winners = dmap.winners + 5
+        with pytest.raises(ValidationError, match="codes"):
+            render_decision_map(dmap)
+
+    def test_custom_title(self):
+        out = render_decision_map(self._dmap(), title="my map")
+        assert out.splitlines()[0] == "my map"

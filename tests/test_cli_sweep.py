@@ -444,3 +444,201 @@ class TestSimnetStreaming:
                 )
             ]
             assert got == [ref[k] for k in keys], metric
+
+
+def _write_curve(tmp_path):
+    """A pinned congestion curve saved as the --sss-curve artifact."""
+    from repro.core.sss import SSSMeasurement
+    from repro.measurement.congestion import SssCurve
+
+    points = [(0.16, 0.3), (0.48, 0.6), (0.8, 1.2), (0.96, 6.0), (1.28, 8.0)]
+    curve = SssCurve(
+        size_gb=0.5,
+        bandwidth_gbps=25.0,
+        measurements=[SSSMeasurement(0.5, 25.0, t, u) for u, t in points],
+    )
+    return curve.save(tmp_path / "curve.json")
+
+
+class TestSssCurveJoin:
+    """--sss-curve: the measured congestion curve joined onto the grid."""
+
+    def _args(self, path, extra=()):
+        return [
+            "sweep", "--sss-curve", str(path),
+            "--axis", "utilization=0.2:1.2:6",
+            "--axis", "bandwidth_gbps=1:400:8:log",
+            "--metrics", "decision,tier,sss",
+            "--format", "csv", *extra,
+        ]
+
+    def _csv(self, args):
+        import io
+        from contextlib import redirect_stdout
+
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            assert main(args) == 0
+        return buf.getvalue()
+
+    def test_sss_column_and_flips(self, tmp_path):
+        path = _write_curve(tmp_path)
+        lines = self._csv(self._args(path)).strip().splitlines()
+        assert lines[0] == "utilization,bandwidth_gbps,decision,tier,sss"
+        sss = [float(line.split(",")[4]) for line in lines[1:]]
+        assert min(sss) >= 1.0 and max(sss) > 10.0
+        # Severe congestion pins the high-utilization rows to local.
+        last_row_decisions = {
+            line.split(",")[2] for line in lines[1:] if line.startswith("1.2,")
+        }
+        assert last_row_decisions == {"0"}
+
+    def test_process_and_hybrid_modes_bit_identical(self, tmp_path):
+        path = _write_curve(tmp_path)
+        ref = self._csv(self._args(path))
+        assert self._csv(
+            self._args(path, ("--mode", "process", "--workers", "2"))
+        ) == ref
+        assert self._csv(
+            self._args(
+                path,
+                ("--mode", "process", "--backend", "hybrid", "--workers", "2"),
+            )
+        ) == ref
+
+    def test_sharded_mode_bit_identical(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.sweep import open_shards
+
+        path = _write_curve(tmp_path)
+        out = tmp_path / "shards"
+        assert main(
+            [a for a in self._args(path) if a not in ("--format", "csv")]
+            + ["--out-dir", str(out), "--shard-size", "7"]
+        ) == 0
+        capsys.readouterr()
+        sharded = open_shards(out)
+        rows = [
+            line.split(",")
+            for line in self._csv(self._args(path)).strip().splitlines()[1:]
+        ]
+        np.testing.assert_array_equal(
+            sharded.column("decision"), [int(r[2]) for r in rows]
+        )
+        np.testing.assert_array_equal(
+            sharded.column("sss"), [float(r[4]) for r in rows]
+        )
+
+    def test_missing_curve_file_names_the_fix(self, tmp_path):
+        with pytest.raises(Exception, match="repro sss --out"):
+            main(self._args(tmp_path / "missing.json"))
+
+    def test_corrupt_curve_file_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        with pytest.raises(Exception, match="not valid JSON"):
+            main(self._args(bad))
+
+    def test_curve_without_utilization_axis_rejected(self, tmp_path):
+        path = _write_curve(tmp_path)
+        with pytest.raises(Exception, match="utilization"):
+            main(["sweep", "--sss-curve", str(path),
+                  "--axis", "bandwidth_gbps=5,25"])
+
+    def test_sss_metric_without_curve_rejected(self):
+        with pytest.raises(Exception, match="--sss-curve"):
+            main(["sweep", "--axis", "utilization=0.2,0.8",
+                  "--metrics", "sss"])
+
+    def test_sss_curve_with_simnet_rejected(self, tmp_path):
+        path = _write_curve(tmp_path)
+        with pytest.raises(Exception, match="sss-curve"):
+            main(["sweep", "--simnet-table2", "--sss-curve", str(path)])
+
+
+class TestDecisionMapRendering:
+    """--decision-map: the 2-D text strategy map."""
+
+    def test_map_from_in_memory_table(self, capsys, tmp_path):
+        path = _write_curve(tmp_path)
+        assert main(
+            ["sweep", "--sss-curve", str(path),
+             "--axis", "utilization=0.2:1.2:6",
+             "--axis", "bandwidth_gbps=1:400:8:log",
+             "--metrics", "decision",
+             "--decision-map", "bandwidth_gbps,utilization"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Decision map: winning strategy over" in out
+        assert "legend: L=local" in out
+        assert "shares:" in out
+
+    def test_map_from_shard_directory(self, capsys, tmp_path):
+        path = _write_curve(tmp_path)
+        assert main(
+            ["sweep", "--sss-curve", str(path),
+             "--axis", "utilization=0.2:1.2:6",
+             "--axis", "bandwidth_gbps=1:400:8:log",
+             "--out-dir", str(tmp_path / "shards"), "--shard-size", "5",
+             "--decision-map", "bandwidth_gbps,utilization"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Out-of-core sweep (sharded)" in out
+        assert "Decision map: winning strategy over" in out
+
+    def test_map_adds_decision_metric_automatically(self, capsys):
+        assert main(
+            ["sweep", "--axis", "bandwidth_gbps=1:400:6:log",
+             "--axis", "s_unit_gb=0.5:50:4:log",
+             "--metrics", "t_pct",
+             "--decision-map", "bandwidth_gbps,s_unit_gb"]
+        ) == 0
+        assert "Decision map" in capsys.readouterr().out
+
+    def test_map_goes_to_stderr_for_json(self, capsys):
+        import json as json_mod
+
+        assert main(
+            ["sweep", "--axis", "bandwidth_gbps=1:400:6:log",
+             "--axis", "s_unit_gb=0.5:50:4:log",
+             "--format", "json",
+             "--decision-map", "bandwidth_gbps,s_unit_gb"]
+        ) == 0
+        captured = capsys.readouterr()
+        json_mod.loads(captured.out)  # stdout stays machine-readable
+        assert "Decision map" in captured.err
+
+    def test_malformed_map_argument_rejected(self):
+        with pytest.raises(Exception, match="comma-separated"):
+            main(["sweep", "--axis", "bandwidth_gbps=5,25",
+                  "--decision-map", "bandwidth_gbps"])
+        with pytest.raises(Exception, match="must differ"):
+            main(["sweep", "--axis", "bandwidth_gbps=5,25",
+                  "--decision-map", "bandwidth_gbps,bandwidth_gbps"])
+
+    def test_unknown_map_axis_rejected(self):
+        with pytest.raises(Exception, match="not swept"):
+            main(["sweep", "--axis", "bandwidth_gbps=5,25",
+                  "--decision-map", "bandwidth_gbps,warp_factor"])
+
+    def test_non_grid_spec_rejected(self):
+        """Zipped axes do not form a full cartesian grid; the map must
+        refuse with an actionable message rather than render nonsense."""
+        with pytest.raises(Exception, match="full .* grid|exactly once"):
+            main(["sweep",
+                  "--zip", "bandwidth_gbps=5,25,100",
+                  "--zip", "s_unit_gb=0.5,5,50",
+                  "--decision-map", "bandwidth_gbps,s_unit_gb"])
+
+    def test_third_axis_breaks_grid_with_actionable_error(self):
+        with pytest.raises(Exception, match="full .* grid|exactly once"):
+            main(["sweep",
+                  "--axis", "bandwidth_gbps=5,25",
+                  "--axis", "s_unit_gb=0.5,5",
+                  "--axis", "theta=1,2",
+                  "--decision-map", "bandwidth_gbps,s_unit_gb"])
+
+    def test_map_with_simnet_rejected(self):
+        with pytest.raises(Exception, match="decision-map"):
+            main(["sweep", "--simnet-table2", "--decision-map", "a,b"])

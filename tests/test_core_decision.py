@@ -138,3 +138,69 @@ def test_decision_coherence_property(s, c, rl, ratio, bw, alpha, theta):
     t_file = model.t_pct(s, c, rl, bw, alpha=alpha, r=ratio, theta=theta)
     best = min(t_loc, t_stream, t_file)
     assert d.chosen_time_s == pytest.approx(best, rel=1e-9)
+
+
+class TestDecideWithCurve:
+    """The scalar decide() joined to a measured SSS curve."""
+
+    def _params(self):
+        return ModelParameters(
+            s_unit_gb=0.5,
+            complexity_flop_per_gb=5e13,
+            r_local_tflops=10.0,
+            r_remote_tflops=1000.0,
+            bandwidth_gbps=100.0,
+            alpha=0.9,
+            theta=2.0,
+        )
+
+    def _curve(self):
+        from repro.core.sss import SSSMeasurement
+        from repro.measurement.congestion import SssCurve
+
+        points = [(0.2, 0.2), (0.8, 1.2), (1.2, 8.0)]
+        return SssCurve(
+            size_gb=0.5,
+            bandwidth_gbps=25.0,
+            measurements=[SSSMeasurement(0.5, 25.0, t, u) for u, t in points],
+        )
+
+    def test_curve_join_equals_explicit_sss(self):
+        import numpy as np
+
+        from repro.core import kernel
+
+        curve = self._curve()
+        table = kernel.sss_table_from_curve(curve)
+        for u in (0.2, 0.5, 1.0, 1.2):
+            joined = decision.decide(
+                self._params(), sss_curve=curve, utilization=u
+            )
+            explicit = decision.decide(
+                self._params(), sss=float(kernel.interp_sss(u, table))
+            )
+            assert joined.chosen is explicit.chosen
+            for s in Strategy:
+                assert joined.time_of(s) == explicit.time_of(s)
+
+    def test_severe_congestion_flips_to_local(self):
+        curve = self._curve()
+        params = self._params().replace(bandwidth_gbps=25.0)
+        relaxed = decision.decide(params, sss_curve=curve, utilization=0.2)
+        congested = decision.decide(params, sss_curve=curve, utilization=1.2)
+        assert relaxed.chosen is Strategy.REMOTE_STREAMING
+        assert congested.chosen is Strategy.LOCAL
+
+    def test_curve_and_scalar_sss_mutually_exclusive(self):
+        with pytest.raises(ValidationError, match="not both"):
+            decision.decide(
+                self._params(), sss=2.0, sss_curve=self._curve(), utilization=0.5
+            )
+
+    def test_curve_requires_utilization(self):
+        with pytest.raises(ValidationError, match="utilization"):
+            decision.decide(self._params(), sss_curve=self._curve())
+
+    def test_utilization_without_curve_rejected(self):
+        with pytest.raises(ValidationError, match="sss_curve"):
+            decision.decide(self._params(), utilization=0.5)

@@ -348,3 +348,227 @@ def test_property_vectorized_decision_bit_identical_to_scalar_loop(
         times = model.evaluate(params.replace(bandwidth_gbps=b))
         assert cols["t_pct"][i] == times.t_pct
         assert cols["speedup"][i] == times.speedup
+
+
+# ----------------------------------------------------------------------
+# SSS-aware decisions: worst-case envelope shared with the scalar engine
+# ----------------------------------------------------------------------
+class _FakeCurve:
+    """Minimal duck-typed curve (sorted utilisation -> SSS)."""
+
+    def __init__(self, utils, scores):
+        self.utilizations = np.asarray(utils, dtype=float)
+        self.sss_values = np.asarray(scores, dtype=float)
+
+
+CURVE = _FakeCurve([0.2, 0.5, 0.8, 1.0, 1.3], [1.0, 2.0, 7.5, 30.0, 40.0])
+
+
+def _sss_block(rng: np.random.Generator, n: int, context=None) -> kernel.ParamBlock:
+    return kernel.ParamBlock.from_columns(
+        {
+            "bandwidth_gbps": rng.uniform(0.5, 400.0, n),
+            "s_unit_gb": rng.uniform(0.1, 50.0, n),
+            "utilization": rng.uniform(0.2, 1.3, n),
+        },
+        base=BASE,
+        n=n,
+        context=context,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    bw=st.lists(
+        st.floats(min_value=0.1, max_value=1000.0), min_size=1, max_size=30
+    ),
+    sss=st.one_of(
+        st.floats(min_value=1.0, max_value=100.0),
+        st.lists(
+            st.floats(min_value=1.0, max_value=100.0),
+            min_size=1,
+            max_size=1,
+        ),
+    ),
+    s_unit=st.floats(min_value=0.01, max_value=100.0),
+    complexity=st.floats(min_value=1e6, max_value=1e15),
+    r_remote=st.floats(min_value=0.1, max_value=10000.0),
+    alpha=st.floats(min_value=0.01, max_value=1.0),
+    theta=st.floats(min_value=1.0, max_value=20.0),
+)
+def test_property_sss_decision_bit_identical_to_scalar_loop(
+    bw, sss, s_unit, complexity, r_remote, alpha, theta
+):
+    """``decide_block(sss=...)`` equals a per-point loop over the scalar
+    ``decide(..., sss=...)`` — same worst-case inflation, same
+    clamp-to-expectation envelope — for scalar and broadcast-shaped sss
+    inputs alike."""
+    params = ModelParameters(
+        s_unit_gb=s_unit,
+        complexity_flop_per_gb=complexity,
+        r_local_tflops=10.0,
+        r_remote_tflops=r_remote,
+        bandwidth_gbps=25.0,
+        alpha=alpha,
+        theta=theta,
+    )
+    block = kernel.ParamBlock.from_columns(
+        {"bandwidth_gbps": np.asarray(bw, dtype=float)}, base=params, n=len(bw)
+    )
+    sss_arg = sss if isinstance(sss, float) else np.asarray(sss, dtype=float)
+    codes = kernel.decide_block(block, sss=sss_arg)
+    scalar_sss = sss if isinstance(sss, float) else float(sss_arg[0])
+    for i, b in enumerate(bw):
+        d = decide(params.replace(bandwidth_gbps=b), sss=scalar_sss)
+        assert strategy_from_code(codes[i]) is d.chosen
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    sss=st.floats(min_value=1.0, max_value=50.0),
+    n=st.integers(min_value=1, max_value=17),
+)
+def test_property_sss_tiebreak_prefers_lowest_code(sss, n):
+    """With zero compute (every strategy pays the same remote time of 0
+    and theta=1 makes streaming == file), ties must resolve to the
+    lowest code — the scalar engine's stable ``min`` — even under SSS
+    inflation."""
+    block = kernel.ParamBlock.from_columns(
+        {
+            "s_unit_gb": np.full(n, 1.0),
+            "complexity_flop_per_gb": np.zeros(n),
+            "bandwidth_gbps": np.full(n, 25.0),
+            "theta": np.ones(n),
+        },
+        base=BASE,
+        n=n,
+    )
+    codes = kernel.decide_block(block, sss=sss)
+    # t_local = 0 for C=0, so LOCAL (code 0) always wins the tie with
+    # itself and beats any positive remote time.
+    np.testing.assert_array_equal(codes, np.zeros(n, dtype=codes.dtype))
+    # Streaming vs file tie at theta=1: force local out of the running
+    # with a huge complexity and identical remote strategies.
+    tie_block = kernel.ParamBlock.from_columns(
+        {
+            "s_unit_gb": np.full(n, 1.0),
+            "complexity_flop_per_gb": np.full(n, 1e15),
+            "bandwidth_gbps": np.full(n, 25.0),
+            "theta": np.ones(n),
+            "r": np.full(n, 50.0),
+        },
+        base=BASE,
+        n=n,
+    )
+    tie_codes = kernel.decide_block(tie_block, sss=sss)
+    d = decide(
+        BASE.replace(
+            s_unit_gb=1.0,
+            complexity_flop_per_gb=1e15,
+            bandwidth_gbps=25.0,
+            theta=1.0,
+            r_remote_tflops=50.0 * BASE.r_local_tflops,
+        ),
+        sss=sss,
+    )
+    assert all(strategy_from_code(c) is d.chosen for c in tie_codes)
+    # The streaming/file tie resolves to the lower code (streaming).
+    assert int(tie_codes[0]) <= 2
+
+
+class TestSssContextJoin:
+    def test_sss_column_interpolates_curve(self):
+        rng = np.random.default_rng(11)
+        block = _sss_block(rng, 40, context={"sss_curve": CURVE})
+        cols = kernel.compute_columns(block, ("sss",))
+        expected = np.maximum(
+            np.interp(block.utilization, CURVE.utilizations, CURVE.sss_values),
+            1.0,
+        )
+        np.testing.assert_array_equal(cols["sss"], expected)
+
+    def test_decision_column_equals_decide_block_with_interpolated_sss(self):
+        rng = np.random.default_rng(12)
+        block = _sss_block(rng, 64, context={"sss_curve": CURVE})
+        cols = kernel.compute_columns(block, ("sss", "decision", "tier"))
+        codes = kernel.decide_block(block, sss=cols["sss"])
+        np.testing.assert_array_equal(
+            np.broadcast_to(codes, (block.n,)), cols["decision"]
+        )
+
+    def test_context_decision_matches_scalar_curve_join(self):
+        rng = np.random.default_rng(13)
+        block = _sss_block(rng, 32, context={"sss_curve": CURVE})
+        cols = kernel.compute_columns(block, ("decision",))
+        for i in range(block.n):
+            params = BASE.replace(
+                bandwidth_gbps=float(block.bandwidth_gbps[i]),
+                s_unit_gb=float(block.s_unit_gb[i]),
+            )
+            d = decide(
+                params,
+                sss_curve=CURVE,
+                utilization=float(block.utilization[i]),
+            )
+            assert strategy_from_code(cols["decision"][i]) is d.chosen, i
+
+    def test_sss_column_without_context_rejected(self):
+        block = kernel.ParamBlock.from_params(BASE)
+        with pytest.raises(ValidationError, match="utilization"):
+            kernel.compute_columns(block, ("sss",))
+
+    def test_curve_without_utilization_axis_rejected(self):
+        with pytest.raises(ValidationError, match="utilization"):
+            kernel.ParamBlock.from_columns(
+                {"bandwidth_gbps": np.array([25.0])},
+                base=BASE,
+                n=1,
+                context={"sss_curve": CURVE},
+            )
+
+    def test_unknown_context_key_rejected(self):
+        with pytest.raises(ValidationError, match="context keys"):
+            kernel.ParamBlock.from_columns(
+                {"bandwidth_gbps": np.array([25.0])},
+                base=BASE,
+                n=1,
+                context={"magic": 1},
+            )
+
+    def test_curve_must_expose_arrays(self):
+        with pytest.raises(ValidationError, match="utilizations"):
+            kernel.sss_table_from_curve(object())
+
+    def test_unsorted_curve_rejected(self):
+        with pytest.raises(ValidationError, match="sorted"):
+            kernel.sss_table_from_curve(_FakeCurve([0.8, 0.2], [2.0, 1.0]))
+
+    def test_out_of_range_utilization_clamps_with_warning(self):
+        block = kernel.ParamBlock.from_columns(
+            {"utilization": np.array([0.01, 5.0])},
+            base=BASE,
+            n=2,
+            context={"sss_curve": CURVE},
+        )
+        with pytest.warns(UserWarning, match="clamping"):
+            cols = kernel.compute_columns(block, ("sss",))
+        np.testing.assert_array_equal(
+            cols["sss"], [CURVE.sss_values[0], CURVE.sss_values[-1]]
+        )
+
+    def test_sss_floored_at_ideal(self):
+        """A borderline measurement below 1 (tolerated by the SSS
+        validator's epsilon) can never claim to beat the raw link."""
+        curve = _FakeCurve([0.1, 0.9], [1.0 - 1e-13, 3.0])
+        block = kernel.ParamBlock.from_columns(
+            {"utilization": np.array([0.1])},
+            base=BASE,
+            n=1,
+            context={"sss_curve": curve},
+        )
+        assert kernel.compute_columns(block, ("sss",))["sss"][0] == 1.0
+
+    def test_context_columns_partition(self):
+        assert "sss" in kernel.CONTEXT_COLUMNS
+        assert "sss" not in kernel.KERNEL_COLUMNS
+        assert not set(kernel.CONTEXT_COLUMNS) & set(kernel.KERNEL_COLUMNS)

@@ -21,6 +21,7 @@ CASES = [
     ("aps_tomography_streaming.py", "streaming saves"),
     ("lcls_feasibility.py", "Case-study verdicts"),
     ("congestion_measurement.py", "Data Transfer Scorecard"),
+    ("congestion_decision_surface.py", "Decision map"),
     ("facility_survey.py", "Decision map"),
     ("variability_planning.py", "Probability of meeting each tier"),
 ]

@@ -190,3 +190,116 @@ def test_decision_columns_bit_identical_to_scalar_decide_on_golden_grids():
             assert tier_from_code(row["tier"]) == highest_feasible_tier(
                 d.evaluations[d.chosen]
             ), i
+
+
+# ----------------------------------------------------------------------
+# Figure 2(a) -> decision-surface golden: the measured severe-congestion
+# curve flips the stream-vs-local decision
+# ----------------------------------------------------------------------
+
+#: The P=4 Figure 2(a) curve above (duration 2 s, seed 0) joined onto a
+#: (utilization x bandwidth) grid: decision codes nominally and under
+#: the measured SSS worst case.  Grid: utilization = the eight offered
+#: loads, bandwidth_gbps = geomspace(1, 400, 6); bandwidth varies
+#: fastest.  Codes: 0 local, 1 remote-streaming, 2 remote-file.
+FIG2A_GRID_DECISION_NOMINAL = [0, 0, 0, 1, 1, 1] * 8
+FIG2A_GRID_DECISION_SSS = [
+    0, 0, 0, 0, 1, 1,
+    0, 0, 0, 0, 1, 1,
+    0, 0, 0, 0, 1, 1,
+    0, 0, 0, 0, 0, 1,
+    0, 0, 0, 0, 0, 1,
+    0, 0, 0, 0, 0, 1,
+    0, 0, 0, 0, 0, 0,
+    0, 0, 0, 0, 0, 0,
+]
+
+#: Interpolated SSS per offered load on that grid (equal to the curve's
+#: own scores because the grid reuses the measured utilisations).
+FIG2A_GRID_SSS = [
+    1.8563862013791912, 2.7805696836272293, 5.047511830149958,
+    7.604843238168428, 13.697511830149958, 16.680569683627237,
+    18.447511830149963, 18.90385832926044,
+]
+
+
+def _fig2a_p4_curve():
+    from repro.core.sss import SSSMeasurement
+    from repro.measurement.congestion import SssCurve
+
+    return SssCurve(
+        size_gb=0.5,
+        bandwidth_gbps=25.0,
+        measurements=[
+            SSSMeasurement(0.5, 25.0, t, u)
+            for u, t in zip(FIG2A_UTILIZATIONS, FIG2A_MAX_T[4])
+        ],
+    )
+
+
+def _fig2a_decision_spec():
+    from repro.sweep import Axis, SweepSpec
+
+    return SweepSpec.grid(
+        Axis("utilization", tuple(FIG2A_UTILIZATIONS)),
+        Axis.geomspace("bandwidth_gbps", 1.0, 400.0, 6),
+    )
+
+
+def test_fig2a_curve_decision_flips_golden():
+    """Joining the measured Figure 2(a) curve flips decisions exactly
+    where SSS pushes the worst-case stream past local compute: pinned
+    codes, one-directional (remote -> local only), everything local in
+    the severe-congestion regime."""
+    from repro.core.parameters import aps_to_alcf_defaults
+    from repro.sweep import run_model_sweep
+
+    base = aps_to_alcf_defaults()
+    spec = _fig2a_decision_spec()
+    nominal = run_model_sweep(spec, base=base, metrics=("decision",))
+    joined = run_model_sweep(
+        spec, base=base, metrics=("decision", "sss"),
+        context={"sss_curve": _fig2a_p4_curve()},
+    )
+    nom = [int(v) for v in nominal.column("decision")]
+    con = [int(v) for v in joined.column("decision")]
+    assert nom == FIG2A_GRID_DECISION_NOMINAL
+    assert con == FIG2A_GRID_DECISION_SSS
+    # Interpolation at the measured utilisations returns the measured
+    # scores themselves, bit for bit.
+    np.testing.assert_allclose(
+        joined.column("sss")[::6], FIG2A_GRID_SSS, rtol=RTOL
+    )
+    # Local wins exactly where congestion makes remote's worst case
+    # lose; congestion never flips a local point to remote.
+    assert all(c == 0 for n, c in zip(nom, con) if n == 0)
+    # Severe congestion (the last two offered loads, SSS > 18): every
+    # bandwidth in range decides local.
+    assert con[-12:] == [0] * 12
+
+
+def test_sss_export_sweep_roundtrip_golden(tmp_path, capsys):
+    """`repro sss --out` -> `repro sweep --sss-curve` end to end: the
+    exported artifact carries exactly the Figure 2(a) P=4 worst-case
+    times, and the joined sweep reproduces the pinned decision flips."""
+    from repro.cli import main
+    from repro.measurement.congestion import SssCurve
+
+    path = tmp_path / "curve.json"
+    assert main(["sss", "--duration", "2", "--seeds", "0",
+                 "--out", str(path)]) == 0
+    capsys.readouterr()
+    curve = SssCurve.load(path)
+    np.testing.assert_allclose(
+        curve.utilizations, FIG2A_UTILIZATIONS, rtol=RTOL
+    )
+    np.testing.assert_allclose(curve.t_worst_values, FIG2A_MAX_T[4], rtol=RTOL)
+
+    assert main([
+        "sweep", "--sss-curve", str(path),
+        "--axis", "utilization=" + ",".join(str(u) for u in FIG2A_UTILIZATIONS),
+        "--axis", "bandwidth_gbps=1:400:6:log",
+        "--metrics", "decision", "--format", "csv",
+    ]) == 0
+    rows = capsys.readouterr().out.strip().splitlines()[1:]
+    assert [int(r.rsplit(",", 1)[1]) for r in rows] == FIG2A_GRID_DECISION_SSS

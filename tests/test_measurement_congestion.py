@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
@@ -42,10 +44,23 @@ class TestCurveInterpolation:
         mid = curve.t_worst_at(0.80)
         assert 1.5 < mid < 6.0
 
-    def test_clamps_at_ends(self):
+    def test_clamps_at_ends_with_warning(self):
+        """Queries beyond the measured range clamp to the boundary value
+        and warn — never a silent extrapolation."""
         curve = make_curve()
-        assert curve.t_worst_at(0.0) == pytest.approx(0.3)
-        assert curve.t_worst_at(5.0) == pytest.approx(12.0)
+        with pytest.warns(UserWarning, match="clamping"):
+            assert curve.t_worst_at(0.0) == pytest.approx(0.3)
+        with pytest.warns(UserWarning, match="clamping"):
+            assert curve.t_worst_at(5.0) == pytest.approx(12.0)
+        with pytest.warns(UserWarning, match="clamping"):
+            assert curve.sss_at(5.0) == pytest.approx(12.0 / 0.16)
+
+    def test_in_range_queries_do_not_warn(self, recwarn):
+        curve = make_curve()
+        curve.t_worst_at(0.16)
+        curve.t_worst_at(1.28)
+        curve.sss_at(0.8)
+        assert not [w for w in recwarn if issubclass(w.category, UserWarning)]
 
     def test_sss_at(self):
         curve = make_curve()
@@ -80,6 +95,83 @@ class TestVolumeScaling:
     def test_zero_volume_rejected(self):
         with pytest.raises(ValidationError):
             make_curve().worst_case_for_volume(0.0, 0.5)
+
+
+class TestSerialization:
+    def test_json_roundtrip_lossless(self):
+        curve = make_curve()
+        clone = SssCurve.from_json(curve.to_json())
+        assert clone.size_gb == curve.size_gb
+        assert clone.bandwidth_gbps == curve.bandwidth_gbps
+        np.testing.assert_array_equal(clone.utilizations, curve.utilizations)
+        np.testing.assert_array_equal(
+            clone.t_worst_values, curve.t_worst_values
+        )
+        np.testing.assert_array_equal(clone.sss_values, curve.sss_values)
+        # Idempotent: serialising the clone reproduces the artifact.
+        assert clone.to_json() == curve.to_json()
+
+    def test_save_load_roundtrip(self, tmp_path):
+        curve = make_curve()
+        path = curve.save(tmp_path / "nested" / "curve.json")
+        assert path.exists()
+        clone = SssCurve.load(path)
+        np.testing.assert_array_equal(clone.sss_values, curve.sss_values)
+
+    def test_load_missing_file_names_the_fix(self, tmp_path):
+        with pytest.raises(ValidationError, match="repro sss --out"):
+            SssCurve.load(tmp_path / "nope.json")
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            SssCurve.from_json("{not json")
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ValidationError, match="JSON object"):
+            SssCurve.from_json("[1, 2, 3]")
+
+    def test_wrong_version_rejected(self):
+        text = make_curve().to_json().replace('"version": 1', '"version": 99')
+        with pytest.raises(ValidationError, match="version"):
+            SssCurve.from_json(text)
+
+    def test_missing_keys_named(self):
+        with pytest.raises(ValidationError, match="measurements"):
+            SssCurve.from_json('{"version": 1, "size_gb": 0.5}')
+
+    def test_non_numeric_measurement_value_rejected(self):
+        text = make_curve().to_json().replace('"t_worst_s": 0.3', '"t_worst_s": "0.3s"')
+        with pytest.raises(ValidationError, match="non-numeric"):
+            SssCurve.from_json(text)
+        text = make_curve().to_json().replace('"t_worst_s": 0.3', '"t_worst_s": null')
+        with pytest.raises(ValidationError, match="non-numeric"):
+            SssCurve.from_json(text)
+
+    def test_unsorted_artifact_loads_sorted(self):
+        """Measurement order in the artifact is irrelevant: the curve
+        constructor sorts by utilisation, so interpolation stays exact."""
+        curve = make_curve()
+        payload = json.loads(curve.to_json())
+        payload["measurements"].reverse()
+        clone = SssCurve.from_json(json.dumps(payload))
+        np.testing.assert_array_equal(clone.utilizations, curve.utilizations)
+        assert clone.t_worst_at(0.8) == curve.t_worst_at(0.8)
+
+    def test_malformed_measurement_named(self):
+        with pytest.raises(ValidationError, match="measurement #0"):
+            SssCurve.from_json(
+                '{"version": 1, "size_gb": 0.5, "bandwidth_gbps": 25.0, '
+                '"measurements": [{"t_worst_s": 1.0}]}'
+            )
+
+    def test_loaded_curve_revalidates_measurements(self):
+        """A tampered artifact (negative worst case) fails the same
+        SSSMeasurement validation as a live measurement."""
+        text = make_curve().to_json().replace(
+            '"t_worst_s": 0.3', '"t_worst_s": -0.3'
+        )
+        with pytest.raises(ValidationError):
+            SssCurve.from_json(text)
 
 
 class TestFromSweep:

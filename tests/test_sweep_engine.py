@@ -380,3 +380,115 @@ class TestEvaluatePoint:
         with pytest.raises(ValidationError, match="remote speed"):
             evaluate_point({"s_unit_gb": 1.0, "complexity_flop_per_gb": 1e12,
                             "r_local_tflops": 10.0, "bandwidth_gbps": 25.0})
+
+    def test_utilization_is_a_plain_axis_without_curve(self):
+        """Sweeping utilization without a curve is a nominal sweep; the
+        axis is carried through untouched and sss is not produced."""
+        out = evaluate_point(
+            {"bandwidth_gbps": 100.0, "utilization": 0.8}, base=BASE.as_dict()
+        )
+        assert "sss" not in out
+        nominal = evaluate_point({"bandwidth_gbps": 100.0}, base=BASE.as_dict())
+        assert out["decision"] == nominal["decision"]
+
+    def test_curve_without_utilization_rejected(self):
+        curve = _congestion_curve()
+        with pytest.raises(ValidationError, match="utilization"):
+            evaluate_point(
+                {"bandwidth_gbps": 100.0}, base=BASE.as_dict(), sss_curve=curve
+            )
+
+    def test_curve_join_produces_sss_and_worst_case_decision(self):
+        curve = _congestion_curve()
+        out = evaluate_point(
+            {"bandwidth_gbps": 100.0, "utilization": 1.2},
+            base=BASE.as_dict(),
+            sss_curve=curve,
+        )
+        assert out["sss"] > 1.0
+        # Severe congestion must not leave the decision more remote-
+        # friendly than the nominal one (0 = local is the safe fallback).
+        nominal = evaluate_point({"bandwidth_gbps": 100.0}, base=BASE.as_dict())
+        assert out["decision"] <= nominal["decision"] or out["decision"] == 0
+
+
+# ----------------------------------------------------------------------
+# Cross-mode equality: the acceptance bar for the SSS join
+# ----------------------------------------------------------------------
+class _CongestionCurve:
+    """Picklable stand-in for a measured SssCurve (workers import this
+    module, so a module-level class keeps the process path honest)."""
+
+    def __init__(self):
+        self.utilizations = np.array([0.16, 0.48, 0.8, 0.96, 1.28])
+        self.sss_values = np.array([1.9, 3.7, 7.5, 37.5, 50.0])
+
+
+def _congestion_curve() -> _CongestionCurve:
+    return _CongestionCurve()
+
+
+class TestSssCrossModeEquality:
+    """decision/tier/sss columns must be identical in vectorized,
+    process, hybrid and sharded modes — the sweep is one artifact, not
+    four approximations."""
+
+    METRICS = ("sss", "decision", "tier", "speedup")
+
+    def _spec(self) -> SweepSpec:
+        return SweepSpec.grid(
+            Axis.linspace("utilization", 0.1, 1.4, 10),
+            Axis.geomspace("bandwidth_gbps", 1.0, 400.0, 12),
+        )
+
+    def test_all_modes_bit_identical(self, tmp_path):
+        curve = _congestion_curve()
+        spec = self._spec()
+        context = {"sss_curve": curve}
+        vectorized = run_model_sweep(
+            spec, base=BASE, metrics=self.METRICS, context=context
+        )
+        fn = partial(
+            _sss_point_metrics, base=BASE.as_dict(), metrics=self.METRICS
+        )
+        process = run_sweep(spec, fn, workers=3)
+        hybrid = run_sweep(spec, fn, workers=3, backend="hybrid")
+        sharded = run_model_sweep(
+            spec, base=BASE, metrics=self.METRICS,
+            out=tmp_path / "shards", block_size=17, context=context,
+        )
+        for name in self.METRICS + ("utilization", "bandwidth_gbps"):
+            ref = np.asarray(vectorized.column(name))
+            for label, table in (
+                ("process", process),
+                ("hybrid", hybrid),
+                ("sharded", sharded),
+            ):
+                np.testing.assert_array_equal(
+                    ref, np.asarray(table.column(name)),
+                    err_msg=f"{name} differs in {label} mode",
+                )
+
+    def test_decisions_flip_under_severe_congestion(self):
+        """The whole point of the join: at least one grid point decided
+        remote nominally must decide local under the measured curve."""
+        spec = self._spec()
+        nominal = run_model_sweep(spec, base=BASE, metrics=("decision",))
+        congested = run_model_sweep(
+            spec, base=BASE, metrics=("decision",),
+            context={"sss_curve": _congestion_curve()},
+        )
+        nom = np.asarray(nominal.column("decision"))
+        con = np.asarray(congested.column("decision"))
+        flipped_to_local = (nom != 0) & (con == 0)
+        assert flipped_to_local.any()
+        # And the flip is one-directional: congestion never makes a
+        # nominally-local point choose remote.
+        assert not ((nom == 0) & (con != 0)).any()
+
+
+def _sss_point_metrics(point, base=None, metrics=None):
+    """Module-level, picklable: evaluate_point with the congestion
+    curve joined, restricted to the requested metrics."""
+    out = evaluate_point(point, base=base, sss_curve=_congestion_curve())
+    return {m: out[m] for m in metrics}

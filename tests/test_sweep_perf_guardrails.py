@@ -101,3 +101,50 @@ def test_vectorized_block_evaluation_beats_per_point_loop(tmp_path):
         f"vectorized block evaluation should be >=25x the per-point loop, "
         f"got {speedup:.0f}x"
     )
+
+
+class _GuardrailCurve:
+    """Synthetic measured curve (sorted utilisation -> SSS)."""
+
+    def __init__(self):
+        import numpy as np
+
+        self.utilizations = np.linspace(0.1, 1.3, 9)
+        self.sss_values = np.linspace(1.0, 40.0, 9)
+
+
+@pytest.mark.bench
+def test_sss_join_stays_within_2x_of_nominal_decision_path():
+    """Joining a measured SSS curve (interpolation + worst-case stack)
+    onto the 10k-point grid must cost at most 2x the nominal
+    decision/tier fast path — the join is one np.interp and two
+    np.maximum per block, not a per-point detour."""
+    spec = SweepSpec.grid(
+        Axis.linspace("utilization", 0.1, 1.3, 100),
+        Axis.geomspace("bandwidth_gbps", 1.0, 400.0, 100),
+    )
+    context = {"sss_curve": _GuardrailCurve()}
+
+    def best_of(fn, repeats=3):
+        times = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    run_model_sweep(spec, base=BASE, metrics=("decision", "tier"))  # warm-up
+    t_nominal = best_of(
+        lambda: run_model_sweep(spec, base=BASE, metrics=("decision", "tier"))
+    )
+    t_sss = best_of(
+        lambda: run_model_sweep(
+            spec, base=BASE, metrics=("sss", "decision", "tier"),
+            context=context,
+        )
+    )
+    assert t_sss <= 2.0 * t_nominal, (
+        f"sss-joined decision sweep took {t_sss * 1e3:.1f} ms vs nominal "
+        f"{t_nominal * 1e3:.1f} ms ({t_sss / t_nominal:.2f}x > 2x budget) "
+        f"on the {spec.n_points}-point grid"
+    )

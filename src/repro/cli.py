@@ -51,7 +51,7 @@ from .sweep import (
     run_sweep as run_generic_sweep,
 )
 from .sweep.engine import DEFAULT_BLOCK_SIZE, MODEL_METRICS, SWEEP_METRICS
-from .iperfsim.runner import run_sweep, table2_point_metrics
+from .iperfsim.runner import run_sweep, table2_block_metrics
 from .iperfsim.spec import (
     ExperimentSpec,
     SpawnStrategy,
@@ -178,6 +178,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="experiment duration for --simnet-table2 (default: 10 s)",
     )
     p_sweep.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="experiments per vectorized simulation batch for "
+             "--simnet-table2 (default: the whole grid in one batch; "
+             "results are identical for any batch size)",
+    )
+    p_sweep.add_argument(
         "--sss-curve", default=None, metavar="PATH",
         help="join a measured SSS curve (exported by `repro sss --out`) "
              "onto the sweep's utilization axis: adds the interpolated "
@@ -206,6 +212,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sss.add_argument("--parallel", type=int, default=4)
     p_sss.add_argument("--duration", type=float, default=10.0)
     p_sss.add_argument("--seeds", type=int, nargs="+", default=[0, 1])
+    p_sss.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="experiments per vectorized simulation batch (default: all "
+             "concurrency x seed experiments in one batch)",
+    )
     p_sss.add_argument(
         "--out", default=None, metavar="PATH",
         help="also export the measured curve as a JSON artifact "
@@ -341,6 +352,7 @@ def _simnet_table2_table(args: argparse.Namespace) -> SweepResult:
         table2_sweep(strategy=SpawnStrategy.BATCH, duration_s=args.duration),
         seeds=tuple(args.seeds),
         workers=args.workers,
+        batch_size=args.batch_size,
     )
     exps = sweep.experiments
     columns = {
@@ -440,16 +452,18 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
             # Stream the grid block-by-block straight into shards (one
             # block of experiments in memory at a time) instead of
             # materialising the whole table first — same enumeration
-            # order and per-cell numbers as the in-memory path.
-            fn = partial(
-                table2_point_metrics,
+            # order and per-cell numbers as the in-memory path.  Each
+            # shard block is one experiment-batched simulation.
+            block_fn = partial(
+                table2_block_metrics,
                 duration_s=args.duration,
                 seeds=tuple(args.seeds),
+                batch_size=args.batch_size,
             )
             table = run_generic_sweep(
-                table2_spec(), fn, workers=args.workers,
+                table2_spec(), workers=args.workers,
                 out=args.out_dir, block_size=args.shard_size,
-                compress=args.compress,
+                compress=args.compress, block_fn=block_fn,
             )
         else:
             table = _simnet_table2_table(args)
@@ -457,6 +471,10 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         if args.seeds != [0] or args.duration != 10.0:
             raise ValidationError(
                 "--seeds/--duration apply to --simnet-table2 only"
+            )
+        if args.batch_size is not None:
+            raise ValidationError(
+                "--batch-size applies to --simnet-table2 only"
             )
         if args.mode == "vectorized" and args.backend != "process":
             raise ValidationError(
@@ -594,6 +612,7 @@ def _cmd_sss(args: argparse.Namespace) -> str:
         parallel_flows=args.parallel,
         duration_s=args.duration,
         seeds=tuple(args.seeds),
+        batch_size=args.batch_size,
     )
     rows = [
         (f"{m.utilization:.0%}", f"{m.t_worst_s:.2f} s", f"{m.sss:.1f}x", str(m.regime))

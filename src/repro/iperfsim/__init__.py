@@ -22,7 +22,13 @@ from .orchestrator import (
     make_spawner,
 )
 from .results import ExperimentResult, SweepResult
-from .runner import run_experiment, run_sweep
+from .runner import (
+    run_experiment,
+    run_experiments_batched,
+    run_sweep,
+    table2_block_metrics,
+    table2_point_metrics,
+)
 
 __all__ = [
     "ExperimentSpec",
@@ -40,5 +46,8 @@ __all__ = [
     "ExperimentResult",
     "SweepResult",
     "run_experiment",
+    "run_experiments_batched",
     "run_sweep",
+    "table2_block_metrics",
+    "table2_point_metrics",
 ]

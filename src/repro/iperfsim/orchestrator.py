@@ -20,7 +20,7 @@ corresponding flows with the TCP simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Protocol
+from typing import List, Protocol, Tuple
 
 import numpy as np
 
@@ -59,6 +59,28 @@ class Spawner(Protocol):
         """Produce the client schedule for ``spec``."""
         ...  # pragma: no cover - protocol
 
+    def plan_columns(
+        self, spec: ExperimentSpec
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The schedule as ``(start_s, client_id)`` arrays."""
+        ...  # pragma: no cover - protocol
+
+
+def _plans_from_columns(
+    spec: ExperimentSpec, starts: np.ndarray, clients: np.ndarray
+) -> List[ClientPlan]:
+    """Materialise :class:`ClientPlan` objects from plan columns (the
+    object API; the batched runner skips this entirely)."""
+    return [
+        ClientPlan(
+            client_id=int(cid),
+            start_s=float(s),
+            total_bytes=spec.transfer_size_bytes,
+            parallel_flows=spec.parallel_flows,
+        )
+        for cid, s in zip(clients, starts)
+    ]
+
 
 class BatchSpawner:
     """Simultaneous batch spawning: ``concurrency`` clients at the top of
@@ -72,27 +94,29 @@ class BatchSpawner:
     def __init__(self, seed: int = 0) -> None:
         self._seed = seed
 
-    def plan(self, spec: ExperimentSpec) -> List[ClientPlan]:
+    def plan_columns(
+        self, spec: ExperimentSpec
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Start times and client ids as arrays — one jitter draw per
+        second (the same RNG stream as the historical per-client loop),
+        no per-client objects."""
         rng = np.random.default_rng(self._seed)
-        plans: List[ClientPlan] = []
-        client_id = 0
-        for second in range(int(spec.duration_s)):
+        seconds = int(spec.duration_s)
+        parts = []
+        for second in range(seconds):
             offsets = (
                 rng.uniform(0.0, spec.spawn_jitter_s, size=spec.concurrency)
                 if spec.spawn_jitter_s > 0
                 else np.zeros(spec.concurrency)
             )
-            for k in range(spec.concurrency):
-                plans.append(
-                    ClientPlan(
-                        client_id=client_id,
-                        start_s=second + float(offsets[k]),
-                        total_bytes=spec.transfer_size_bytes,
-                        parallel_flows=spec.parallel_flows,
-                    )
-                )
-                client_id += 1
-        return plans
+            parts.append(second + offsets)
+        starts = (
+            np.concatenate(parts) if parts else np.zeros(0)
+        )
+        return starts, np.arange(starts.size, dtype=np.int64)
+
+    def plan(self, spec: ExperimentSpec) -> List[ClientPlan]:
+        return _plans_from_columns(spec, *self.plan_columns(spec))
 
 
 class ScheduledSpawner:
@@ -129,26 +153,27 @@ class ScheduledSpawner:
         drain = spec.transfer_size_gb * 8.0 / self.link_capacity_gbps
         return drain * self.reservation_headroom
 
-    def plan(self, spec: ExperimentSpec) -> List[ClientPlan]:
+    def plan_columns(
+        self, spec: ExperimentSpec
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Admission-controlled start times as arrays (the reservation
+        recursion is inherently sequential but allocates no objects)."""
         window = self.reservation_window_s(spec)
-        plans: List[ClientPlan] = []
-        client_id = 0
+        n = int(spec.duration_s) * spec.concurrency
+        starts = np.empty(n)
         next_free = 0.0
+        i = 0
         for second in range(int(spec.duration_s)):
             for k in range(spec.concurrency):
                 slot = second + k / spec.concurrency
                 start = max(slot, next_free)
                 next_free = start + window
-                plans.append(
-                    ClientPlan(
-                        client_id=client_id,
-                        start_s=start,
-                        total_bytes=spec.transfer_size_bytes,
-                        parallel_flows=spec.parallel_flows,
-                    )
-                )
-                client_id += 1
-        return plans
+                starts[i] = start
+                i += 1
+        return starts, np.arange(n, dtype=np.int64)
+
+    def plan(self, spec: ExperimentSpec) -> List[ClientPlan]:
+        return _plans_from_columns(spec, *self.plan_columns(spec))
 
 
 def make_spawner(spec: ExperimentSpec, seed: int = 0) -> Spawner:

@@ -25,6 +25,28 @@ class ExperimentResult:
     offered_utilization: float
     sim: Optional[SimulationResult] = None
 
+    @classmethod
+    def from_sim(
+        cls,
+        spec: ExperimentSpec,
+        result: SimulationResult,
+        offered_utilization: float,
+        keep_sim: bool = False,
+    ) -> "ExperimentResult":
+        """Summarise one simulation into an experiment result.
+
+        Achieved utilisation is measured over the *spawning window*
+        (the paper's network-level metric, not the full drain time) —
+        one masked numpy reduction over the columnar link samples.
+        """
+        return cls(
+            spec=spec,
+            client_times_s=result.client_completion_times_s(),
+            achieved_utilization=result.utilization_before(spec.duration_s),
+            offered_utilization=offered_utilization,
+            sim=result if keep_sim else None,
+        )
+
     @property
     def transfer_times(self) -> np.ndarray:
         """Completion times of all finished clients (seconds), sorted by

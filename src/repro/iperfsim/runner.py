@@ -1,20 +1,32 @@
-"""Run congestion experiments on the fluid TCP simulator.
+"""Run congestion experiments on the fluid TCP simulators.
 
 Ties together spec -> spawner -> simulator -> results:
 
-- :func:`run_experiment` executes one :class:`ExperimentSpec`,
+- :func:`run_experiment` executes one :class:`ExperimentSpec` on the
+  sequential :class:`~repro.simnet.tcp.FluidTcpSimulator` (the
+  reference engine the batched paths are verified against),
+- :func:`run_experiments_batched` executes many ``(spec, seed)`` units
+  through the :class:`~repro.simnet.batch.BatchFluidSimulator` — the
+  whole stack of experiments advances through one vectorized update
+  loop per ``batch_size`` chunk, bit-identical to sequential runs,
 - :func:`run_sweep` executes a list of specs (e.g. the Table-2 sweep),
   optionally repeating each with different seeds and keeping the
   worst observed time per experiment (the paper's max-of-all-transfers
-  heuristic applied across repetitions).
+  heuristic applied across repetitions); all spec x seed units run
+  batched,
+- :func:`table2_point_metrics` / :func:`table2_block_metrics` expose
+  Table-2 grid cells as sweep-executor point/block functions for the
+  streamed ``repro sweep --simnet-table2`` paths.
 """
 
 from __future__ import annotations
 
+import math
 from functools import partial
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ValidationError
+from ..simnet.batch import BatchFluidSimulator
 from ..simnet.link import Link, fabric_link
 from ..simnet.tcp import FluidTcpSimulator, TcpConfig
 from ..sweep.engine import parallel_map
@@ -22,7 +34,16 @@ from .orchestrator import make_spawner
 from .results import ExperimentResult, SweepResult
 from .spec import ExperimentSpec, SpawnStrategy
 
-__all__ = ["run_experiment", "run_sweep", "table2_point_metrics"]
+__all__ = [
+    "run_experiment",
+    "run_experiments_batched",
+    "run_sweep",
+    "table2_block_metrics",
+    "table2_point_metrics",
+]
+
+#: One batched run unit: a spec and the seed driving its spawner + TCP.
+Unit = Tuple[ExperimentSpec, int]
 
 
 def run_experiment(
@@ -33,59 +54,99 @@ def run_experiment(
     max_time_s: float = 300.0,
     keep_sim: bool = False,
 ) -> ExperimentResult:
-    """Execute one controlled-congestion experiment.
+    """Execute one controlled-congestion experiment sequentially.
 
     All clients always run to completion (``max_time_s`` permitting), so
     the recorded worst case includes transfers that drag on past the
     spawning window — exactly the backlog effect the paper highlights
-    above 90 % utilisation.
+    above 90 % utilisation.  This is the reference engine; the batched
+    paths below produce bit-identical results for the same seeds.
     """
     link = link or fabric_link()
     spawner = make_spawner(spec, seed=seed)
-    plans = spawner.plan(spec)
+    starts, clients = spawner.plan_columns(spec)
     sim = FluidTcpSimulator(link, config=config, seed=seed)
-    for plan in plans:
+    for s, cid in zip(starts, clients):
         sim.add_client(
-            plan.start_s, plan.total_bytes, plan.parallel_flows, plan.client_id
+            float(s), spec.transfer_size_bytes, spec.parallel_flows, int(cid)
         )
     result = sim.run(max_time_s=max_time_s)
-
-    # Achieved utilisation over the *spawning window* (the paper's
-    # network-level metric), not over the full drain time.
-    window_samples = [
-        s for s in result.link_samples if s.time_s < spec.duration_s
-    ]
-    window_bytes = sum(s.bytes_sent for s in window_samples)
-    window_time = sum(s.interval_s for s in window_samples)
-    achieved = (
-        window_bytes / (link.capacity_bytes_per_s * window_time)
-        if window_time > 0
-        else 0.0
-    )
-
-    return ExperimentResult(
-        spec=spec,
-        client_times_s=result.client_completion_times_s(),
-        achieved_utilization=achieved,
-        offered_utilization=spec.offered_utilization(link),
-        sim=result if keep_sim else None,
+    return ExperimentResult.from_sim(
+        spec, result, spec.offered_utilization(link), keep_sim=keep_sim
     )
 
 
-def _pooled_experiment(
-    spec: ExperimentSpec,
+def _run_unit_batch(
+    units: Sequence[Unit],
     link: Link,
     config: Optional[TcpConfig],
-    seeds: Sequence[int],
     max_time_s: float,
-) -> ExperimentResult:
-    """One spec run under every seed, client times pooled (executor unit)."""
-    pooled: dict[int, float] = {}
-    achieved_sum = 0.0
-    for rep, seed in enumerate(seeds):
-        res = run_experiment(
-            spec, link=link, config=config, seed=seed, max_time_s=max_time_s
+) -> List[ExperimentResult]:
+    """One batch of ``(spec, seed)`` units through the vectorized
+    engine (executor unit: module-level so it pickles to workers)."""
+    sim = BatchFluidSimulator()
+    for spec, seed in units:
+        e = sim.add_experiment(link, config=config, seed=seed)
+        starts, clients = make_spawner(spec, seed=seed).plan_columns(spec)
+        # iperf3 ``-P`` semantics via the engine's own client splitting
+        # (add_clients = add_client vectorized over the spawn plan).
+        sim.add_clients(
+            e, starts, spec.transfer_size_bytes, spec.parallel_flows, clients
         )
+    sims = sim.run(max_time_s=max_time_s)
+    return [
+        ExperimentResult.from_sim(spec, res, spec.offered_utilization(link))
+        for (spec, _), res in zip(units, sims)
+    ]
+
+
+def run_experiments_batched(
+    units: Sequence[Unit],
+    link: Optional[Link] = None,
+    config: Optional[TcpConfig] = None,
+    max_time_s: float = 300.0,
+    batch_size: Optional[int] = None,
+    workers: int = 1,
+) -> List[ExperimentResult]:
+    """Run ``(spec, seed)`` units on the batched engine, in input order.
+
+    ``batch_size`` caps how many experiments stack into one vectorized
+    state update (default: everything in one batch, or one chunk per
+    worker when ``workers > 1``); because experiments in a batch are
+    fully isolated, results are bit-identical for every chunking and
+    worker count — the knob trades peak memory against per-step width.
+    """
+    if batch_size is not None and batch_size < 1:
+        raise ValidationError(f"batch_size must be >= 1, got {batch_size!r}")
+    link = link or fabric_link()
+    units = list(units)
+    if not units:
+        return []
+    if batch_size is None:
+        batch_size = (
+            max(1, math.ceil(len(units) / workers)) if workers > 1 else len(units)
+        )
+    chunks = [
+        units[lo : lo + batch_size] for lo in range(0, len(units), batch_size)
+    ]
+    fn = partial(
+        _run_unit_batch, link=link, config=config, max_time_s=max_time_s
+    )
+    return [r for chunk in parallel_map(fn, chunks, workers=workers) for r in chunk]
+
+
+def _pool_units(
+    spec: ExperimentSpec,
+    link: Link,
+    seeds: Sequence[int],
+    per_seed: Sequence[ExperimentResult],
+) -> ExperimentResult:
+    """Pool one spec's per-seed results: client times merged (ids offset
+    per repetition), achieved utilisation averaged — mirroring how the
+    paper aggregates repeated 10 s runs."""
+    pooled: Dict[int, float] = {}
+    achieved_sum = 0.0
+    for rep, res in enumerate(per_seed):
         offset = rep * 1_000_000  # keep client ids unique across reps
         for cid, t in res.client_times_s.items():
             pooled[offset + cid] = t
@@ -98,6 +159,102 @@ def _pooled_experiment(
     )
 
 
+def run_sweep(
+    specs: Sequence[ExperimentSpec],
+    link: Optional[Link] = None,
+    config: Optional[TcpConfig] = None,
+    seeds: Sequence[int] = (0,),
+    max_time_s: float = 300.0,
+    workers: int = 1,
+    batch_size: Optional[int] = None,
+) -> SweepResult:
+    """Execute a sweep, repeating each spec once per seed.
+
+    With several seeds, each experiment's client times are pooled across
+    repetitions; the max (``T_worst``) therefore covers every observed
+    transfer, mirroring how the paper aggregates repeated 10 s runs.
+
+    Every spec x seed unit runs on the batched engine (one vectorized
+    update loop per ``batch_size`` chunk); ``workers > 1`` additionally
+    distributes chunks across processes.  Results are bit-identical to
+    sequential per-experiment runs for any batch size or worker count,
+    and keep spec order.
+    """
+    if not specs:
+        raise ValidationError("run_sweep needs at least one spec")
+    if not seeds:
+        raise ValidationError("run_sweep needs at least one seed")
+    link = link or fabric_link()
+    seeds = tuple(seeds)
+    units: List[Unit] = [(spec, seed) for spec in specs for seed in seeds]
+    per_unit = run_experiments_batched(
+        units,
+        link=link,
+        config=config,
+        max_time_s=max_time_s,
+        batch_size=batch_size,
+        workers=workers,
+    )
+    out = SweepResult()
+    for k, spec in enumerate(specs):
+        per_seed = per_unit[k * len(seeds) : (k + 1) * len(seeds)]
+        out.experiments.append(_pool_units(spec, link, seeds, per_seed))
+    return out
+
+
+def table2_block_metrics(
+    points: Sequence[Dict[str, Any]],
+    duration_s: float = 10.0,
+    seeds: Sequence[int] = (0,),
+    strategy: SpawnStrategy = SpawnStrategy.BATCH,
+    config: Optional[TcpConfig] = None,
+    max_time_s: float = 300.0,
+    batch_size: Optional[int] = None,
+) -> List[Dict[str, float]]:
+    """A block of Table-2 grid cells as one batched evaluation.
+
+    ``points`` carry ``concurrency`` and ``parallel_flows`` (the axes of
+    :func:`repro.iperfsim.spec.table2_spec`); every cell x seed lands in
+    one :class:`~repro.simnet.batch.BatchFluidSimulator` run (chunked by
+    ``batch_size``), then each cell's seeds are pooled exactly like
+    :func:`run_sweep`.  This is the ``block_fn`` the streamed
+    ``repro sweep --simnet-table2 --out-dir`` path hands to
+    :func:`repro.sweep.engine.run_sweep`, so a whole shard block of
+    experiments advances through one vectorized update instead of one
+    simulator per cell.  Module-level (and bound via
+    ``functools.partial``) so it pickles onto worker processes.
+    """
+    if not seeds:
+        raise ValidationError("table2_block_metrics needs at least one seed")
+    if not points:
+        return []
+    specs = [
+        ExperimentSpec(
+            concurrency=int(point["concurrency"]),
+            parallel_flows=int(point["parallel_flows"]),
+            duration_s=duration_s,
+            strategy=strategy,
+        )
+        for point in points
+    ]
+    sweep = run_sweep(
+        specs,
+        config=config,
+        seeds=tuple(seeds),
+        max_time_s=max_time_s,
+        batch_size=batch_size,
+    )
+    return [
+        {
+            "offered_utilization": float(exp.offered_utilization),
+            "achieved_utilization": float(exp.achieved_utilization),
+            "t_worst_s": float(exp.max_transfer_time_s),
+            "completed_clients": int(exp.completed_clients),
+        }
+        for exp in sweep.experiments
+    ]
+
+
 def table2_point_metrics(
     point: Dict[str, Any],
     duration_s: float = 10.0,
@@ -106,72 +263,14 @@ def table2_point_metrics(
     config: Optional[TcpConfig] = None,
     max_time_s: float = 300.0,
 ) -> Dict[str, float]:
-    """One Table-2 grid cell as a sweep-executor point function.
-
-    ``point`` carries ``concurrency`` and ``parallel_flows`` (the axes
-    of :func:`repro.iperfsim.spec.table2_spec`); the experiment is run
-    once per seed with client times pooled, exactly like
-    :func:`run_sweep`.  Returns the congestion metric columns the CLI's
-    ``--simnet-table2`` table carries, so
-    ``run_sweep(table2_spec(), table2_point_metrics, out=dir)`` streams
-    the grid block-by-block into shards instead of materialising it —
-    the full grid never exists in memory, only one block of results.
-    Module-level (and bound via ``functools.partial``) so it pickles
-    onto worker processes.
-    """
-    if not seeds:
-        raise ValidationError("table2_point_metrics needs at least one seed")
-    spec = ExperimentSpec(
-        concurrency=int(point["concurrency"]),
-        parallel_flows=int(point["parallel_flows"]),
+    """One Table-2 grid cell as a sweep-executor *point* function (the
+    cell's seeds still run as one small batch); see
+    :func:`table2_block_metrics` for the block-at-a-time form."""
+    return table2_block_metrics(
+        [point],
         duration_s=duration_s,
+        seeds=seeds,
         strategy=strategy,
-    )
-    exp = _pooled_experiment(
-        spec,
-        link=fabric_link(),
         config=config,
-        seeds=tuple(seeds),
         max_time_s=max_time_s,
-    )
-    return {
-        "offered_utilization": float(exp.offered_utilization),
-        "achieved_utilization": float(exp.achieved_utilization),
-        "t_worst_s": float(exp.max_transfer_time_s),
-        "completed_clients": int(exp.completed_clients),
-    }
-
-
-def run_sweep(
-    specs: Sequence[ExperimentSpec],
-    link: Optional[Link] = None,
-    config: Optional[TcpConfig] = None,
-    seeds: Sequence[int] = (0,),
-    max_time_s: float = 300.0,
-    workers: int = 1,
-) -> SweepResult:
-    """Execute a sweep, repeating each spec once per seed.
-
-    With several seeds, each experiment's client times are pooled across
-    repetitions; the max (``T_worst``) therefore covers every observed
-    transfer, mirroring how the paper aggregates repeated 10 s runs.
-
-    ``workers > 1`` distributes the (independent, seeded) experiments
-    across processes via :func:`repro.sweep.engine.parallel_map`;
-    results are bit-identical to the serial run and keep spec order.
-    """
-    if not specs:
-        raise ValidationError("run_sweep needs at least one spec")
-    if not seeds:
-        raise ValidationError("run_sweep needs at least one seed")
-    link = link or fabric_link()
-    fn = partial(
-        _pooled_experiment,
-        link=link,
-        config=config,
-        seeds=tuple(seeds),
-        max_time_s=max_time_s,
-    )
-    out = SweepResult()
-    out.experiments.extend(parallel_map(fn, list(specs), workers=workers))
-    return out
+    )[0]

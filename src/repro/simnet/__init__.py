@@ -7,15 +7,19 @@ Two complementary simulators:
   pipelines,
 - :mod:`repro.simnet.tcp` — a vectorised fluid-model TCP simulator over
   a shared droptail bottleneck, used by the iperf3-style congestion
-  experiments (Figures 2–3).
+  experiments (Figures 2–3),
+- :mod:`repro.simnet.batch` — the experiment-batched form of the fluid
+  simulator: many independent experiments advance through one
+  vectorized state update, bit-identical to sequential runs.
 
 Plus the descriptive layer: :class:`Link`, :class:`Topology` and the
 FABRIC testbed preset of Table 1.
 """
 
+from .batch import BatchFluidSimulator
 from .engine import AllOf, AnyOf, Environment, Event, Interrupt, Process, Resource
 from .link import Link, fabric_link
-from .records import FlowRecord, LinkSample, SimulationResult
+from .records import FlowRecord, LinkSample, SampleLog, SimulationResult
 from .tcp import FluidTcpSimulator, TcpConfig
 from .packet import PacketTcpConfig, PacketTcpSimulator
 from .topology import TESTBED_TABLE1, Host, Path, Topology, fabric_testbed
@@ -31,8 +35,10 @@ __all__ = [
     "Resource",
     "Link",
     "fabric_link",
+    "BatchFluidSimulator",
     "FlowRecord",
     "LinkSample",
+    "SampleLog",
     "SimulationResult",
     "FluidTcpSimulator",
     "TcpConfig",

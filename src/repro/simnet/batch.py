@@ -1,0 +1,639 @@
+"""Experiment-batched fluid TCP simulation.
+
+:class:`BatchFluidSimulator` advances *many independent experiments*
+(each a :class:`~repro.simnet.tcp.FluidTcpSimulator`-style run with its
+own bottleneck link, config and seed) through **one vectorized state
+update** per time step.  The flow-state arrays of all experiments are
+stacked into single contiguous arrays with per-experiment segments —
+block-diagonal sharing: flows contend only with flows of their own
+experiment — so the per-flow work (demand, rates, window growth,
+completions) is one numpy pass over the whole batch instead of one
+small-array pass per experiment.  For the Table-2 congestion grid the
+experiments overlap almost completely in simulated time, so the batch
+replaces ~130k small sequential steps with ~3.5k wide ones.
+
+Two further mechanisms make measurement cheap:
+
+- **adaptive time advance** — when every live flow in the batch is
+  pending or stalled in RTO (sparse spawn schedules, post-window
+  drain), the clock fast-forwards step-by-step through the dead time
+  with pure scalar updates (queue drain + sampling) and no vector work
+  at all, resuming the wide update at the next start/expiry;
+- **columnar results** — each experiment's
+  :class:`~repro.simnet.records.SimulationResult` is assembled directly
+  from its segment of the state arrays, with no per-flow objects.
+
+**Bit-identity.**  Results are bit-for-bit identical to running each
+experiment alone on :class:`~repro.simnet.tcp.FluidTcpSimulator` with
+the same seed: every arithmetic statement of the sequential step is
+mirrored with the same operations in the same order (per-experiment
+reductions use ``.sum()`` on contiguous segment views, matching the
+sequential pairwise summation; per-experiment scalar state stays in
+Python floats; each experiment draws from its own
+``numpy.random.Generator`` exactly when its own overflow events fire).
+The equivalence suite (``tests/test_simnet_batch.py``) pins this
+property across batch compositions, seeds and batch sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import SimulationError, ValidationError
+from ..units import ensure_positive
+from .link import Link
+from .records import SampleLog, SimulationResult, validate_conservation
+from .tcp import TcpConfig, _empty_result
+from .tcp import _DONE, _PENDING, _RUNNING, _TIMEOUT
+
+__all__ = ["BatchFluidSimulator"]
+
+
+@dataclass
+class _Experiment:
+    """Registration state of one experiment in the batch."""
+
+    link: Link
+    config: TcpConfig
+    rng: np.random.Generator
+    start: List[float] = field(default_factory=list)
+    size: List[float] = field(default_factory=list)
+    client: List[int] = field(default_factory=list)
+
+
+class BatchFluidSimulator:
+    """Batched multi-experiment fluid TCP simulation.
+
+    Usage::
+
+        sim = BatchFluidSimulator()
+        for seed in seeds:
+            e = sim.add_experiment(fabric_link(), seed=seed)
+            sim.add_client(e, 0.0, 0.5e9 / 8, parallel_flows=4, client_id=0)
+        results = sim.run()          # one SimulationResult per experiment
+
+    All experiments share the simulation clock and step size (``dt_s``;
+    derived as ``rtt/4`` from the links when not given, which therefore
+    must agree across the batch), but nothing else: capacity, buffer,
+    TCP config, randomness and flow state are per-experiment.
+    """
+
+    def __init__(
+        self,
+        dt_s: Optional[float] = None,
+        sample_interval_s: float = 0.1,
+    ) -> None:
+        if dt_s is not None and dt_s <= 0:
+            raise ValidationError(f"dt_s must be > 0, got {dt_s!r}")
+        ensure_positive(sample_interval_s, "sample_interval_s")
+        self._dt_given = float(dt_s) if dt_s is not None else None
+        self.sample_interval_s = float(sample_interval_s)
+        self._resolved_dt: Optional[float] = None
+        self._experiments: List[_Experiment] = []
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def add_experiment(
+        self,
+        link: Link,
+        config: Optional[TcpConfig] = None,
+        seed: int = 0,
+    ) -> int:
+        """Register one experiment; returns its index in ``run()``'s
+        result list."""
+        dt = self._dt_given if self._dt_given is not None else link.rtt_s / 4.0
+        if dt > link.rtt_s:
+            raise ValidationError(
+                f"dt_s ({dt}) must not exceed the base RTT "
+                f"({link.rtt_s}); the fluid model is RTT-quantised"
+            )
+        if self._resolved_dt is None:
+            self._resolved_dt = dt
+        elif dt != self._resolved_dt:
+            raise ValidationError(
+                "experiments in one batch must share the simulation step: "
+                f"resolved dt_s={self._resolved_dt} but this link implies "
+                f"{dt}; pass an explicit dt_s to BatchFluidSimulator"
+            )
+        self._experiments.append(
+            _Experiment(
+                link=link,
+                config=config or TcpConfig(),
+                rng=np.random.default_rng(seed),
+            )
+        )
+        return len(self._experiments) - 1
+
+    def _exp(self, experiment: int) -> _Experiment:
+        try:
+            return self._experiments[experiment]
+        except IndexError:
+            raise ValidationError(
+                f"unknown experiment index {experiment!r}; the batch has "
+                f"{len(self._experiments)} experiments"
+            ) from None
+
+    def add_flow(
+        self, experiment: int, start_s: float, size_bytes: float, client_id: int = 0
+    ) -> int:
+        """Register one flow in ``experiment``; returns its flow id."""
+        exp = self._exp(experiment)
+        if start_s < 0:
+            raise ValidationError(f"start_s must be >= 0, got {start_s!r}")
+        if size_bytes <= 0:
+            raise ValidationError(f"size_bytes must be > 0, got {size_bytes!r}")
+        exp.start.append(float(start_s))
+        exp.size.append(float(size_bytes))
+        exp.client.append(int(client_id))
+        return len(exp.start) - 1
+
+    def add_client(
+        self,
+        experiment: int,
+        start_s: float,
+        total_bytes: float,
+        parallel_flows: int,
+        client_id: int,
+    ) -> List[int]:
+        """Register an iperf3-style client in ``experiment``:
+        ``parallel_flows`` flows each moving an equal share."""
+        if parallel_flows < 1:
+            raise ValidationError(
+                f"parallel_flows must be >= 1, got {parallel_flows!r}"
+            )
+        share = total_bytes / parallel_flows
+        return [
+            self.add_flow(experiment, start_s, share, client_id)
+            for _ in range(parallel_flows)
+        ]
+
+    def add_clients(
+        self,
+        experiment: int,
+        start_s: np.ndarray,
+        total_bytes: float,
+        parallel_flows: int,
+        client_id: np.ndarray,
+    ) -> None:
+        """Bulk iperf3-style client registration: for each ``start_s`` /
+        ``client_id`` pair, ``parallel_flows`` flows each moving an
+        equal share of ``total_bytes`` — :meth:`add_client` vectorized
+        over a whole spawn plan (same share rule, no per-client calls).
+        """
+        if parallel_flows < 1:
+            raise ValidationError(
+                f"parallel_flows must be >= 1, got {parallel_flows!r}"
+            )
+        starts = np.asarray(start_s, dtype=float)
+        clients = np.asarray(client_id, dtype=int)
+        share = total_bytes / parallel_flows
+        self.add_flows(
+            experiment,
+            np.repeat(starts, parallel_flows),
+            np.full(starts.size * parallel_flows, share),
+            np.repeat(clients, parallel_flows),
+        )
+
+    def add_flows(
+        self,
+        experiment: int,
+        start_s: np.ndarray,
+        size_bytes: np.ndarray,
+        client_id: np.ndarray,
+    ) -> None:
+        """Bulk flow registration from arrays (the zero-object path
+        under :meth:`add_clients`, which the experiment runner's
+        vectorized spawn plans go through)."""
+        start = np.asarray(start_s, dtype=float)
+        size = np.asarray(size_bytes, dtype=float)
+        client = np.asarray(client_id, dtype=int)
+        if not (start.shape == size.shape == client.shape) or start.ndim != 1:
+            raise ValidationError(
+                "add_flows needs three 1-D arrays of one shared length, got "
+                f"shapes {start.shape}, {size.shape}, {client.shape}"
+            )
+        if start.size and float(start.min()) < 0:
+            raise ValidationError("add_flows: start_s must be >= 0")
+        if size.size and float(size.min()) <= 0:
+            raise ValidationError("add_flows: size_bytes must be > 0")
+        exp = self._exp(experiment)
+        exp.start.extend(start.tolist())
+        exp.size.extend(size.tolist())
+        exp.client.extend(client.tolist())
+
+    @property
+    def experiment_count(self) -> int:
+        """Number of registered experiments."""
+        return len(self._experiments)
+
+    def flow_count(self, experiment: int) -> int:
+        """Number of flows registered in ``experiment``."""
+        return len(self._exp(experiment).start)
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def run(self, max_time_s: float = 300.0) -> List[SimulationResult]:
+        """Advance every experiment to completion (or ``max_time_s``).
+
+        Returns one :class:`~repro.simnet.records.SimulationResult` per
+        experiment, in registration order, bit-identical to sequential
+        per-experiment runs with the same seeds.
+        """
+        ensure_positive(max_time_s, "max_time_s")
+        results: List[Optional[SimulationResult]] = [None] * len(self._experiments)
+
+        # Zero-flow experiments finish immediately (sequential semantics).
+        todo = [
+            i for i, exp in enumerate(self._experiments) if len(exp.start) > 0
+        ]
+        for i, exp in enumerate(self._experiments):
+            if len(exp.start) == 0:
+                results[i] = _empty_result(exp.link.capacity_bytes_per_s)
+        if todo:
+            for i, sim_result in zip(todo, self._run_batch(todo, max_time_s)):
+                results[i] = sim_result
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _run_batch(
+        self, todo: List[int], max_time_s: float
+    ) -> List[SimulationResult]:
+        """The vectorized multi-experiment update loop.
+
+        Every statement mirrors one statement of
+        :meth:`FluidTcpSimulator.run`; comments mark the few places
+        where per-experiment scalars replace the sequential scalars.
+        Experiments whose flows all complete are *retired*: their result
+        is assembled from their segment and the stacked arrays are
+        compacted, so the drain tail of a batch runs on ever-smaller
+        arrays.
+        """
+        dt = self._resolved_dt
+        assert dt is not None  # at least one experiment registered
+        si = self.sample_interval_s
+        n_exp = len(todo)
+        exps = [self._experiments[i] for i in todo]
+
+        # --- static per-experiment scalars (Python floats, like the
+        # sequential engine's locals; indexed by batch position) -----------
+        caps = [exp.link.capacity_bytes_per_s for exp in exps]
+        rtts = [exp.link.rtt_s for exp in exps]
+        buffers = [exp.link.buffer_bytes for exp in exps]
+        cfgs = [exp.config for exp in exps]
+        rngs = [exp.rng for exp in exps]
+        n_flows = [len(exp.start) for exp in exps]
+        rwnds = [
+            cfg.rwnd_bdp * exp.link.bdp_segments for cfg, exp in zip(cfgs, exps)
+        ]
+
+        # --- stacked flow arrays (live experiments only; `live` is the
+        # segment order, `exp_idx` holds batch positions so the scalar
+        # lists above gather directly) -------------------------------------
+        live = list(range(n_exp))
+
+        def layout(order: List[int]):
+            offs = [0]
+            for e in order:
+                offs.append(offs[-1] + n_flows[e])
+            segs = [slice(offs[k], offs[k + 1]) for k in range(len(order))]
+            red = np.asarray(offs[:-1], dtype=np.intp)
+            idx = np.repeat(
+                np.asarray(order, dtype=np.intp),
+                [n_flows[e] for e in order],
+            )
+            return segs, red, idx
+
+        segments, red_offs, exp_idx = layout(live)
+
+        start = np.concatenate([np.asarray(exp.start) for exp in exps])
+        size = np.concatenate([np.asarray(exp.size) for exp in exps])
+        remaining = size.copy()
+        cwnd = np.concatenate(
+            [np.full(m, cfg.initial_cwnd_segments) for m, cfg in zip(n_flows, cfgs)]
+        )
+        ssthresh = np.concatenate(
+            [
+                np.full(m, cfg.initial_ssthresh_segments)
+                for m, cfg in zip(n_flows, cfgs)
+            ]
+        )
+        n = start.shape[0]
+        state = np.full(n, _PENDING, dtype=np.int8)
+        rto_until = np.zeros(n)
+        rto_backoff = np.zeros(n, dtype=np.int32)
+        end = np.full(n, np.nan)
+        loss_events = np.zeros(n, dtype=np.int64)
+        timeout_events = np.zeros(n, dtype=np.int64)
+        recovery_until = np.zeros(n)
+        mss_flow = np.concatenate(
+            [np.full(m, float(exp.link.mss_bytes)) for m, exp in zip(n_flows, exps)]
+        )
+        rwnd_flow = np.repeat(np.asarray(rwnds), n_flows)
+
+        # --- per-experiment dynamic scalars (Python floats, converted to
+        # arrays only where a per-flow gather needs them; batch position) --
+        queues = [0.0] * n_exp
+        buckets = [0.0] * n_exp
+        overflow = [0.0] * n_exp
+        qdelay = [0.0] * n_exp
+        rtt_eff = [1.0] * n_exp
+        scale = [1.0] * n_exp
+        fin = [0.0] * n_exp
+        factor = [1.0] * n_exp
+        incr = [0.0] * n_exp
+        clamp = [False] * n_exp
+        end_time = [0.0] * n_exp
+        done_count = [0] * n_exp
+        samples = [SampleLog() for _ in range(n_exp)]
+        results: List[Optional[SimulationResult]] = [None] * n_exp
+
+        t = 0.0
+        bucket_start = 0.0
+
+        def flush_final(e: int, active_count: int) -> None:
+            if t - bucket_start > 1e-12:
+                samples[e].append(
+                    bucket_start, t - bucket_start, buckets[e], queues[e],
+                    active_count,
+                )
+            end_time[e] = t
+
+        def build_result(j: int, e: int) -> SimulationResult:
+            seg = segments[j]
+            result = SimulationResult.from_columns(
+                flow_columns={
+                    "flow_id": np.arange(n_flows[e], dtype=np.int64),
+                    "client_id": np.asarray(exps[e].client, dtype=np.int64),
+                    "start_s": start[seg].copy(),
+                    "end_s": end[seg].copy(),
+                    "size_bytes": size[seg].copy(),
+                    "bytes_sent": size[seg] - remaining[seg],
+                    "loss_events": loss_events[seg].copy(),
+                    "timeout_events": timeout_events[seg].copy(),
+                },
+                sample_columns=samples[e].columns(),
+                capacity_bytes_per_s=caps[e],
+                end_time_s=end_time[e],
+            )
+            validate_conservation(result)
+            return result
+
+        while live:
+            if t >= max_time_s:
+                for j, e in enumerate(live):
+                    flush_final(
+                        e, int(np.count_nonzero(state[segments[j]] == _RUNNING))
+                    )
+                    results[e] = build_result(j, e)
+                break
+
+            # --- lifecycle transitions (whole batch at once) --------------
+            newly_started = (state == _PENDING) & (start <= t)
+            state[newly_started] = _RUNNING
+            rto_expired = (state == _TIMEOUT) & (rto_until <= t)
+            state[rto_expired] = _RUNNING
+
+            active = state == _RUNNING
+            counts = np.add.reduceat(active, red_offs, dtype=np.int64).tolist()
+
+            if sum(counts) == 0:
+                # --- adaptive time advance: every live flow is pending or
+                # in RTO; fast-forward with scalar-only steps (queue drain
+                # + sampling — exactly what the per-step loop would do)
+                # until the next start/expiry or the time horizon.
+                cand = np.where(state == _PENDING, start, np.inf)
+                cand = np.where(state == _TIMEOUT, rto_until, cand)
+                t_next = float(cand.min())
+                if not np.isfinite(t_next):
+                    raise SimulationError(
+                        "batch deadlock: no active, pending or stalled "
+                        "flows remain in an unfinished experiment"
+                    )
+                while True:
+                    for e in live:
+                        if queues[e] > 0.0:
+                            queues[e] = max(0.0, queues[e] - caps[e] * dt)
+                    t += dt
+                    if t - bucket_start >= si - 1e-12:
+                        for e in live:
+                            samples[e].append(
+                                bucket_start, t - bucket_start, buckets[e],
+                                queues[e], 0,
+                            )
+                            buckets[e] = 0.0
+                        bucket_start = t
+                    if t >= max_time_s or t_next <= t:
+                        break
+                continue
+
+            # --- per-experiment effective RTT (start-of-step queues) ------
+            for e in live:
+                qd = queues[e] / caps[e]
+                qdelay[e] = qd
+                rtt_eff[e] = rtts[e] + qd
+
+            # --- demands and proportional share (whole batch) -------------
+            rtt_eff_flow = np.asarray(rtt_eff)[exp_idx]
+            demand = np.minimum(cwnd * mss_flow / rtt_eff_flow, remaining / dt)
+            demand *= active  # zero inactive flows (bit-equal to np.where)
+
+            # Per-experiment totals and queue/overflow bookkeeping: the
+            # reductions run on contiguous segment views (same pairwise
+            # summation as the sequential `demand.sum()`), the scalar
+            # arithmetic stays in Python floats.
+            any_overflow = False
+            for j, e in enumerate(live):
+                if counts[j] == 0:
+                    # Nothing sending in this experiment: queue drains at
+                    # line rate.
+                    queues[e] = max(0.0, queues[e] - caps[e] * dt)
+                    overflow[e] = 0.0
+                    scale[e] = 1.0
+                    continue
+                # The one bit-critical reduction: pairwise `.sum()` on
+                # the contiguous segment view, exactly the sequential
+                # engine's `demand.sum()`.
+                total_demand = float(demand[segments[j]].sum())
+                cap = caps[e]
+                if total_demand <= cap:
+                    scale[e] = 1.0
+                    queues[e] = max(0.0, queues[e] - (cap - total_demand) * dt)
+                    overflow[e] = 0.0
+                else:
+                    scale[e] = cap / total_demand
+                    q = queues[e] + (total_demand - cap) * dt
+                    overflow[e] = max(0.0, q - buffers[e])
+                    queues[e] = min(q, buffers[e])
+                    any_overflow = any_overflow or overflow[e] > 0.0
+
+            sent = demand * np.asarray(scale)[exp_idx]
+            sent *= dt
+            np.minimum(sent, remaining, out=sent)
+            remaining -= sent
+
+            # One strict-order segment reduction for every experiment's
+            # sample bucket (matches the sequential `_strict_sum`).
+            sent_sums = np.add.reduceat(sent, red_offs).tolist()
+            for j, e in enumerate(live):
+                buckets[e] += sent_sums[j]
+
+            # --- completions (whole batch) --------------------------------
+            finished = active & (remaining <= 1e-6)
+            any_finished = bool(finished.any())
+            if any_finished:
+                # Completion stamp: last bytes drain through the queue
+                # plus half an RTT for the final acknowledgement.
+                for e in live:
+                    fin[e] = t + dt + queues[e] / caps[e] + rtts[e] / 2.0
+                end[finished] = np.asarray(fin)[exp_idx][finished]
+                state[finished] = _DONE
+                active = state == _RUNNING
+
+            # --- droptail loss on overflow (per overflowing experiment:
+            # each one consumes its own RNG stream) ------------------------
+            for j, e in enumerate(live) if any_overflow else ():
+                if overflow[e] <= 0.0:
+                    continue
+                seg = segments[j]
+                a = active[seg]
+                if not a.any():
+                    continue
+                cfg = cfgs[e]
+                m = n_flows[e]
+                d = demand[seg]
+                offered = float(d[a].sum()) * dt
+                loss_frac = min(1.0, overflow[e] / max(offered, 1.0))
+                p_loss = np.minimum(1.0, loss_frac * cfg.loss_aggressiveness)
+                rec = recovery_until[seg]
+                eligible = a & (rec <= t)
+                hit = eligible & (rngs[e].random(m) < p_loss)
+                if hit.any():
+                    cw = cwnd[seg]
+                    ss = ssthresh[seg]
+                    st = state[seg]
+                    rec[hit] = t + dt + rtt_eff[e]
+                    in_ca = cw >= ss
+                    burst = (
+                        hit
+                        & in_ca
+                        & (
+                            rngs[e].random(m)
+                            < cfg.timeout_on_loss_scale * loss_frac
+                        )
+                    )
+                    small = hit & (
+                        (cw < cfg.min_fast_retransmit_segments) | burst
+                    )
+                    fast = hit & ~small
+                    ss[fast] = np.maximum(cw[fast] / 2.0, 2.0)
+                    cw[fast] = ss[fast]
+                    loss_events[seg][fast] += 1
+                    if small.any():
+                        back = rto_backoff[seg]
+                        until = rto_until[seg]
+                        rto = np.minimum(
+                            cfg.rto_min_s * (2.0 ** back[small]),
+                            cfg.rto_max_s,
+                        )
+                        until[small] = t + dt + rto
+                        back[small] += 1
+                        ss[small] = np.maximum(cw[small] / 2.0, 2.0)
+                        cw[small] = 1.0
+                        st[small] = _TIMEOUT
+                        timeout_events[seg][small] += 1
+                        loss_events[seg][small] += 1
+                    rto_backoff[seg][a & ~hit] = 0
+
+            # --- HyStart exit + window growth (whole batch) ---------------
+            growing = state == _RUNNING
+            grow_counts = np.add.reduceat(
+                growing, red_offs, dtype=np.int64
+            ).tolist()
+            for j, e in enumerate(live):
+                # HyStart: delay-based slow-start exit (per experiment;
+                # runs before growth, like the sequential step).
+                if counts[j] > 0:
+                    cfg = cfgs[e]
+                    if qdelay[e] > cfg.hystart_delay_frac * rtts[e]:
+                        seg = segments[j]
+                        cw = cwnd[seg]
+                        ss = ssthresh[seg]
+                        ramping = (state[seg] == _RUNNING) & (cw < ss)
+                        ss[ramping] = np.maximum(cw[ramping], 2.0)
+                if grow_counts[j] > 0:
+                    # Same Python-scalar power as the sequential step.
+                    factor[e] = 2.0 ** (dt / rtt_eff[e])
+                    incr[e] = dt / rtt_eff[e]
+                    clamp[e] = True
+                else:
+                    clamp[e] = False
+            in_ss = cwnd < ssthresh
+            ss_mask = growing & in_ss
+            ca_mask = growing & ~in_ss
+            # Slow start: doubling per RTT, continuous form.
+            np.copyto(
+                cwnd, np.minimum(cwnd * np.asarray(factor)[exp_idx], ssthresh),
+                where=ss_mask,
+            )
+            # Congestion avoidance: +1 MSS per RTT.
+            np.copyto(cwnd, cwnd + np.asarray(incr)[exp_idx], where=ca_mask)
+            # Receive-window clamp, only in experiments that grew a flow
+            # this step (sequential clamp scope).
+            np.copyto(
+                cwnd, np.minimum(cwnd, rwnd_flow),
+                where=np.asarray(clamp)[exp_idx],
+            )
+
+            t += dt
+
+            # --- utilisation sampling (shared bucket boundaries) ----------
+            if t - bucket_start >= si - 1e-12:
+                interval = t - bucket_start
+                for j, e in enumerate(live):
+                    samples[e].append(
+                        bucket_start, interval, buckets[e], queues[e], counts[j]
+                    )
+                    buckets[e] = 0.0
+                bucket_start = t
+
+            # --- retire experiments whose flows all completed: assemble
+            # their result and compact the stacked arrays ------------------
+            if any_finished:
+                fin_counts = np.add.reduceat(
+                    finished, red_offs, dtype=np.int64
+                ).tolist()
+                retired = False
+                keep = None
+                still_live = []
+                for j, e in enumerate(live):
+                    done_count[e] += fin_counts[j]
+                    if done_count[e] == n_flows[e]:
+                        flush_final(e, 0)
+                        results[e] = build_result(j, e)
+                        if keep is None:
+                            keep = np.ones(state.shape[0], dtype=bool)
+                        keep[segments[j]] = False
+                        retired = True
+                    else:
+                        still_live.append(e)
+                if retired:
+                    live = still_live
+                    (start, size, remaining, cwnd, ssthresh, state, rto_until,
+                     rto_backoff, end, loss_events, timeout_events,
+                     recovery_until, mss_flow, rwnd_flow) = (
+                        arr[keep]
+                        for arr in (
+                            start, size, remaining, cwnd, ssthresh, state,
+                            rto_until, rto_backoff, end, loss_events,
+                            timeout_events, recovery_until, mss_flow, rwnd_flow,
+                        )
+                    )
+                    segments, red_offs, exp_idx = layout(live)
+
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]

@@ -1,14 +1,54 @@
-"""Result records produced by the network simulators."""
+"""Result records produced by the network simulators.
+
+``SimulationResult`` is *columnar-first*: the canonical storage is one
+numpy array per flow/sample field, so reductions over thousands of
+flows (total bytes, durations, per-client completion times, window
+utilisation) are single vectorized passes instead of Python loops over
+per-flow objects.  The object API (:class:`FlowRecord` /
+:class:`LinkSample` lists) is preserved as a lazy view: the dataclasses
+are only materialised when ``.flows`` / ``.link_samples`` is actually
+read, which the hot paths (the batched simulator, the experiment
+runner) never do.
+"""
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
-from ..errors import ValidationError
+import numpy as np
 
-__all__ = ["FlowRecord", "LinkSample", "SimulationResult"]
+from ..errors import SimulationError, ValidationError
+
+__all__ = [
+    "FlowRecord",
+    "LinkSample",
+    "SampleLog",
+    "SimulationResult",
+    "validate_conservation",
+]
+
+#: Flow-column names and dtypes of a columnar result.
+FLOW_COLUMNS: Dict[str, type] = {
+    "flow_id": np.int64,
+    "client_id": np.int64,
+    "start_s": np.float64,
+    "end_s": np.float64,
+    "size_bytes": np.float64,
+    "bytes_sent": np.float64,
+    "loss_events": np.int64,
+    "timeout_events": np.int64,
+}
+
+#: Link-sample column names and dtypes of a columnar result.
+SAMPLE_COLUMNS: Dict[str, type] = {
+    "time_s": np.float64,
+    "interval_s": np.float64,
+    "bytes_sent": np.float64,
+    "queue_bytes": np.float64,
+    "active_flows": np.int64,
+}
 
 
 @dataclass(frozen=True)
@@ -65,14 +105,167 @@ class LinkSample:
         return self.bytes_sent / self.interval_s if self.interval_s > 0 else 0.0
 
 
-@dataclass
-class SimulationResult:
-    """Full output of a TCP simulation run."""
+def _flow_columns_from_records(flows: Sequence[FlowRecord]) -> Dict[str, np.ndarray]:
+    return {
+        name: np.array([getattr(f, name) for f in flows], dtype=dtype)
+        for name, dtype in FLOW_COLUMNS.items()
+    }
 
-    flows: List[FlowRecord] = field(default_factory=list)
-    link_samples: List[LinkSample] = field(default_factory=list)
-    capacity_bytes_per_s: float = 0.0
-    end_time_s: float = 0.0
+
+def _sample_columns_from_records(
+    samples: Sequence[LinkSample],
+) -> Dict[str, np.ndarray]:
+    return {
+        name: np.array([getattr(s, name) for s in samples], dtype=dtype)
+        for name, dtype in SAMPLE_COLUMNS.items()
+    }
+
+
+def _check_columns(
+    columns: Dict[str, np.ndarray], schema: Dict[str, type], kind: str
+) -> Dict[str, np.ndarray]:
+    missing = [name for name in schema if name not in columns]
+    if missing:
+        raise ValidationError(f"{kind} columns are missing {missing}")
+    out = {
+        name: np.ascontiguousarray(columns[name], dtype=dtype)
+        for name, dtype in schema.items()
+    }
+    lengths = {arr.shape for arr in out.values()}
+    if len(lengths) > 1 or any(arr.ndim != 1 for arr in out.values()):
+        raise ValidationError(
+            f"{kind} columns must be 1-D arrays of one shared length, got "
+            f"shapes {sorted(str(arr.shape) for arr in out.values())}"
+        )
+    return out
+
+
+class SimulationResult:
+    """Full output of a TCP simulation run.
+
+    Construct either from object lists (``flows=``/``link_samples=``,
+    the historical API still used by the packet simulator and tests) or
+    columnar via :meth:`from_columns` (the batched/fluid simulators'
+    zero-object path).  Either way the canonical storage is the column
+    arrays; the object lists are lazy cached views.
+    """
+
+    def __init__(
+        self,
+        flows: Optional[List[FlowRecord]] = None,
+        link_samples: Optional[List[LinkSample]] = None,
+        capacity_bytes_per_s: float = 0.0,
+        end_time_s: float = 0.0,
+    ) -> None:
+        self._flow_columns = _flow_columns_from_records(flows or [])
+        self._sample_columns = _sample_columns_from_records(link_samples or [])
+        self._flows: Optional[List[FlowRecord]] = (
+            list(flows) if flows is not None else []
+        )
+        self._link_samples: Optional[List[LinkSample]] = (
+            list(link_samples) if link_samples is not None else []
+        )
+        self.capacity_bytes_per_s = capacity_bytes_per_s
+        self.end_time_s = end_time_s
+
+    @classmethod
+    def from_columns(
+        cls,
+        flow_columns: Dict[str, np.ndarray],
+        sample_columns: Dict[str, np.ndarray],
+        capacity_bytes_per_s: float,
+        end_time_s: float,
+    ) -> "SimulationResult":
+        """Build a result directly from column arrays (no per-flow
+        objects are created until ``.flows`` is actually read)."""
+        out = cls.__new__(cls)
+        out._flow_columns = _check_columns(flow_columns, FLOW_COLUMNS, "flow")
+        out._sample_columns = _check_columns(
+            sample_columns, SAMPLE_COLUMNS, "link-sample"
+        )
+        out._flows = None
+        out._link_samples = None
+        out.capacity_bytes_per_s = capacity_bytes_per_s
+        out.end_time_s = end_time_s
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SimulationResult(n_flows={self.n_flows}, "
+            f"n_link_samples={self.n_link_samples}, "
+            f"capacity_bytes_per_s={self.capacity_bytes_per_s!r}, "
+            f"end_time_s={self.end_time_s!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # Columnar accessors (the hot-path API)
+    # ------------------------------------------------------------------
+    @property
+    def flow_columns(self) -> Dict[str, np.ndarray]:
+        """Flow fields as one array per column (see ``FLOW_COLUMNS``)."""
+        return self._flow_columns
+
+    @property
+    def sample_columns(self) -> Dict[str, np.ndarray]:
+        """Link-sample fields as one array per column."""
+        return self._sample_columns
+
+    @property
+    def n_flows(self) -> int:
+        """Number of flows in the result."""
+        return int(self._flow_columns["start_s"].shape[0])
+
+    @property
+    def n_link_samples(self) -> int:
+        """Number of link utilisation samples."""
+        return int(self._sample_columns["time_s"].shape[0])
+
+    # ------------------------------------------------------------------
+    # Lazy object views (the historical API)
+    # ------------------------------------------------------------------
+    @property
+    def flows(self) -> List[FlowRecord]:
+        """Per-flow records (materialised lazily from the columns)."""
+        if self._flows is None:
+            cols = self._flow_columns
+            self._flows = [
+                FlowRecord(
+                    flow_id=int(cols["flow_id"][i]),
+                    client_id=int(cols["client_id"][i]),
+                    start_s=float(cols["start_s"][i]),
+                    end_s=float(cols["end_s"][i]),
+                    size_bytes=float(cols["size_bytes"][i]),
+                    bytes_sent=float(cols["bytes_sent"][i]),
+                    loss_events=int(cols["loss_events"][i]),
+                    timeout_events=int(cols["timeout_events"][i]),
+                )
+                for i in range(self.n_flows)
+            ]
+        return self._flows
+
+    @property
+    def link_samples(self) -> List[LinkSample]:
+        """Link utilisation samples (materialised lazily)."""
+        if self._link_samples is None:
+            cols = self._sample_columns
+            self._link_samples = [
+                LinkSample(
+                    time_s=float(cols["time_s"][i]),
+                    interval_s=float(cols["interval_s"][i]),
+                    bytes_sent=float(cols["bytes_sent"][i]),
+                    queue_bytes=float(cols["queue_bytes"][i]),
+                    active_flows=int(cols["active_flows"][i]),
+                )
+                for i in range(self.n_link_samples)
+            ]
+        return self._link_samples
+
+    # ------------------------------------------------------------------
+    # Reductions (vectorized over the columns)
+    # ------------------------------------------------------------------
+    @property
+    def _completed_mask(self) -> np.ndarray:
+        return ~np.isnan(self._flow_columns["end_s"])
 
     @property
     def completed_flows(self) -> List[FlowRecord]:
@@ -87,11 +280,14 @@ class SimulationResult:
     @property
     def all_completed(self) -> bool:
         """Whether every flow finished."""
-        return all(f.completed for f in self.flows)
+        return bool(self._completed_mask.all())
 
     def flow_durations_s(self) -> List[float]:
         """Durations of completed flows, in flow-id order."""
-        return [f.duration_s for f in self.flows if f.completed]
+        cols = self._flow_columns
+        mask = self._completed_mask
+        durations = cols["end_s"][mask] - cols["start_s"][mask]
+        return durations.tolist()
 
     def client_completion_times_s(self) -> dict[int, float]:
         """Per-client completion time: a client (an iperf3 invocation with
@@ -99,16 +295,23 @@ class SimulationResult:
 
         Clients with any incomplete flow are omitted.
         """
-        by_client: dict[int, list[FlowRecord]] = {}
-        for f in self.flows:
-            by_client.setdefault(f.client_id, []).append(f)
-        out: dict[int, float] = {}
-        for client_id, flows in by_client.items():
-            if all(f.completed for f in flows):
-                start = min(f.start_s for f in flows)
-                end = max(f.end_s for f in flows)
-                out[client_id] = end - start
-        return out
+        cols = self._flow_columns
+        cid = cols["client_id"]
+        if cid.size == 0:
+            return {}
+        clients, inverse = np.unique(cid, return_inverse=True)
+        first_start = np.full(clients.shape, np.inf)
+        np.minimum.at(first_start, inverse, cols["start_s"])
+        # nan ends propagate through the group max, flagging clients
+        # with any incomplete flow (fmax would silently drop them).
+        last_end = np.full(clients.shape, -np.inf)
+        with np.errstate(invalid="ignore"):
+            np.maximum.at(last_end, inverse, cols["end_s"])
+        done = ~np.isnan(last_end)
+        return {
+            int(c): float(t)
+            for c, t in zip(clients[done], (last_end - first_start)[done])
+        }
 
     def max_client_completion_s(self) -> Optional[float]:
         """Worst per-client completion time (``None`` if nothing finished) —
@@ -116,12 +319,91 @@ class SimulationResult:
         times = self.client_completion_times_s()
         return max(times.values()) if times else None
 
+    def total_flow_bytes(self) -> float:
+        """Bytes accounted to flows (one vectorized sum)."""
+        return float(np.sum(self._flow_columns["bytes_sent"]))
+
+    def total_link_bytes(self) -> float:
+        """Bytes observed on the link across all samples."""
+        return float(np.sum(self._sample_columns["bytes_sent"]))
+
     def mean_utilization(self) -> float:
         """Mean link utilisation over the sampled intervals (0..1)."""
-        if not self.link_samples or self.capacity_bytes_per_s <= 0:
+        if self.n_link_samples == 0 or self.capacity_bytes_per_s <= 0:
             return 0.0
-        total_bytes = sum(s.bytes_sent for s in self.link_samples)
-        total_time = sum(s.interval_s for s in self.link_samples)
+        total_bytes = self.total_link_bytes()
+        total_time = float(np.sum(self._sample_columns["interval_s"]))
         if total_time <= 0:
             return 0.0
         return total_bytes / (self.capacity_bytes_per_s * total_time)
+
+    def utilization_before(self, t_end_s: float) -> float:
+        """Achieved utilisation over the samples starting before
+        ``t_end_s`` — the paper's network-level metric over the spawning
+        window, one masked numpy reduction instead of a per-sample loop.
+        """
+        if self.capacity_bytes_per_s <= 0:
+            return 0.0
+        cols = self._sample_columns
+        window = cols["time_s"] < t_end_s
+        window_time = float(np.sum(cols["interval_s"][window]))
+        if window_time <= 0:
+            return 0.0
+        window_bytes = float(np.sum(cols["bytes_sent"][window]))
+        return window_bytes / (self.capacity_bytes_per_s * window_time)
+
+
+class SampleLog:
+    """Columnar accumulator for link-utilisation samples.
+
+    The simulators append one scalar row per sampling interval; the
+    columns convert to arrays once at the end of the run, so no
+    per-sample objects are ever created on the hot path.
+    """
+
+    __slots__ = ("time_s", "interval_s", "bytes_sent", "queue_bytes", "active_flows")
+
+    def __init__(self) -> None:
+        self.time_s: List[float] = []
+        self.interval_s: List[float] = []
+        self.bytes_sent: List[float] = []
+        self.queue_bytes: List[float] = []
+        self.active_flows: List[int] = []
+
+    def append(
+        self,
+        time_s: float,
+        interval_s: float,
+        bytes_sent: float,
+        queue_bytes: float,
+        active_flows: int,
+    ) -> None:
+        self.time_s.append(time_s)
+        self.interval_s.append(interval_s)
+        self.bytes_sent.append(bytes_sent)
+        self.queue_bytes.append(queue_bytes)
+        self.active_flows.append(active_flows)
+
+    def columns(self) -> Dict[str, np.ndarray]:
+        """The accumulated samples as ``SAMPLE_COLUMNS`` arrays."""
+        return {
+            "time_s": np.asarray(self.time_s, dtype=np.float64),
+            "interval_s": np.asarray(self.interval_s, dtype=np.float64),
+            "bytes_sent": np.asarray(self.bytes_sent, dtype=np.float64),
+            "queue_bytes": np.asarray(self.queue_bytes, dtype=np.float64),
+            "active_flows": np.asarray(self.active_flows, dtype=np.int64),
+        }
+
+
+def validate_conservation(result: SimulationResult) -> None:
+    """Bytes accounted to flows must equal bytes sampled on the link
+    (within floating tolerance) — a conservation self-check."""
+    flow_bytes = result.total_flow_bytes()
+    link_bytes = result.total_link_bytes()
+    if flow_bytes > 0 and not math.isclose(
+        flow_bytes, link_bytes, rel_tol=1e-6, abs_tol=1.0
+    ):
+        raise SimulationError(
+            f"byte conservation violated: flows sent {flow_bytes!r} but "
+            f"the link sampled {link_bytes!r}"
+        )

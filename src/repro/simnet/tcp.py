@@ -33,18 +33,24 @@ seeded at construction.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
 
-from ..errors import SimulationError, ValidationError
+from ..errors import ValidationError
 from ..units import ensure_positive
 from .link import Link
-from .records import FlowRecord, LinkSample, SimulationResult
+from .records import SampleLog, SimulationResult, validate_conservation
 
 __all__ = ["TcpConfig", "FluidTcpSimulator"]
+
+
+def _empty_result(capacity_bytes_per_s: float) -> SimulationResult:
+    """A zero-flow result (shared by the batched engine)."""
+    return SimulationResult(
+        capacity_bytes_per_s=capacity_bytes_per_s, end_time_s=0.0
+    )
 
 
 @dataclass(frozen=True)
@@ -112,6 +118,17 @@ _PENDING = 0  # start time not reached yet
 _RUNNING = 1  # actively sending
 _TIMEOUT = 2  # stalled waiting for RTO expiry
 _DONE = 3
+
+#: ``np.add.reduceat(arr, _WHOLE)[0]`` is a strict left-to-right sum —
+#: the one summation order that is segment-decomposable, so the batched
+#: engine's per-experiment ``reduceat`` over stacked arrays reproduces
+#: this engine's link-sample bytes bit for bit.
+_WHOLE = np.zeros(1, dtype=np.intp)
+
+
+def _strict_sum(values: np.ndarray) -> float:
+    """Left-to-right sum matching a ``reduceat`` segment reduction."""
+    return float(np.add.reduceat(values, _WHOLE)[0])
 
 
 class FluidTcpSimulator:
@@ -202,7 +219,7 @@ class FluidTcpSimulator:
         rwnd_segments = cfg.rwnd_bdp * link.bdp_segments
 
         if n == 0:
-            return SimulationResult(capacity_bytes_per_s=cap, end_time_s=0.0)
+            return _empty_result(cap)
 
         start = np.asarray(self._start)
         size = np.asarray(self._size)
@@ -222,7 +239,7 @@ class FluidTcpSimulator:
         queue = 0.0
         t = 0.0
         dt = self.dt_s
-        samples: List[LinkSample] = []
+        samples = SampleLog()
         bucket_bytes = 0.0
         bucket_start = 0.0
         max_active = 0
@@ -270,7 +287,11 @@ class FluidTcpSimulator:
                 sent = rates * dt
                 sent = np.minimum(sent, remaining)
                 remaining -= sent
-                bucket_bytes += float(sent.sum())
+                # Strict-order sum: only feeds the utilisation samples
+                # (never the flow dynamics), and makes the accumulated
+                # bucket reproducible by the batched engine's segment
+                # reductions.
+                bucket_bytes += _strict_sum(sent)
 
                 # --- completions -------------------------------------------
                 finished = active & (remaining <= 1e-6)
@@ -360,45 +381,29 @@ class FluidTcpSimulator:
 
             # --- utilisation sampling --------------------------------------
             if t - bucket_start >= self.sample_interval_s - 1e-12:
-                samples.append(
-                    LinkSample(
-                        time_s=bucket_start,
-                        interval_s=t - bucket_start,
-                        bytes_sent=bucket_bytes,
-                        queue_bytes=queue,
-                        active_flows=n_active,
-                    )
-                )
+                samples.append(bucket_start, t - bucket_start, bucket_bytes,
+                               queue, n_active)
                 bucket_bytes = 0.0
                 bucket_start = t
 
         if t - bucket_start > 1e-12:
-            samples.append(
-                LinkSample(
-                    time_s=bucket_start,
-                    interval_s=t - bucket_start,
-                    bytes_sent=bucket_bytes,
-                    queue_bytes=queue,
-                    active_flows=int(np.count_nonzero(state == _RUNNING)),
-                )
-            )
+            samples.append(bucket_start, t - bucket_start, bucket_bytes,
+                           queue, int(np.count_nonzero(state == _RUNNING)))
 
-        flows = [
-            FlowRecord(
-                flow_id=i,
-                client_id=self._client[i],
-                start_s=float(start[i]),
-                end_s=float(end[i]),
-                size_bytes=float(size[i]),
-                bytes_sent=float(size[i] - remaining[i]),
-                loss_events=int(loss_events[i]),
-                timeout_events=int(timeout_events[i]),
-            )
-            for i in range(n)
-        ]
-        result = SimulationResult(
-            flows=flows,
-            link_samples=samples,
+        # Columnar result assembly: the state arrays *are* the flow
+        # columns — no per-flow record objects on this path.
+        result = SimulationResult.from_columns(
+            flow_columns={
+                "flow_id": np.arange(n, dtype=np.int64),
+                "client_id": np.asarray(self._client, dtype=np.int64),
+                "start_s": start,
+                "end_s": end,
+                "size_bytes": size,
+                "bytes_sent": size - remaining,
+                "loss_events": loss_events,
+                "timeout_events": timeout_events,
+            },
+            sample_columns=samples.columns(),
             capacity_bytes_per_s=cap,
             end_time_s=t,
         )
@@ -408,14 +413,5 @@ class FluidTcpSimulator:
     # ------------------------------------------------------------------
     @staticmethod
     def _validate_conservation(result: SimulationResult) -> None:
-        """Bytes accounted to flows must equal bytes sampled on the link
-        (within floating tolerance) — a conservation self-check."""
-        flow_bytes = sum(f.bytes_sent for f in result.flows)
-        link_bytes = sum(s.bytes_sent for s in result.link_samples)
-        if flow_bytes > 0 and not math.isclose(
-            flow_bytes, link_bytes, rel_tol=1e-6, abs_tol=1.0
-        ):
-            raise SimulationError(
-                f"byte conservation violated: flows sent {flow_bytes!r} but "
-                f"the link sampled {link_bytes!r}"
-            )
+        """Conservation self-check (see :func:`validate_conservation`)."""
+        validate_conservation(result)

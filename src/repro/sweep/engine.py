@@ -504,9 +504,51 @@ def _merge_metric_columns(
     return columns
 
 
+def _block_fn_map(
+    block_fn: Callable[[List[Dict[str, Any]]], List[Any]],
+    points: List[Dict[str, Any]],
+    workers: int,
+    chunk_size: Optional[int],
+    backend: str,
+    pool: Optional[Any] = None,
+) -> List[Any]:
+    """Evaluate a slice of points through a *block* function.
+
+    ``block_fn`` receives a list of points and returns one result per
+    point (batched evaluators — e.g. the experiment-batched simnet grid
+    — amortise their setup over the whole list).  With ``workers > 1``
+    the slice is chunked and the chunks run through
+    :func:`parallel_map`, so ordering and per-point values are identical
+    for any worker count.
+    """
+    if not points:
+        return []
+    if workers <= 1:
+        raw = block_fn(points)
+    else:
+        if chunk_size is None:
+            chunk_size = adaptive_chunk_size(len(points), workers)
+        chunks = [
+            points[lo : lo + chunk_size]
+            for lo in range(0, len(points), chunk_size)
+        ]
+        raw = [
+            r
+            for chunk_result in parallel_map(
+                block_fn, chunks, workers=workers, backend=backend, _pool=pool
+            )
+            for r in chunk_result
+        ]
+    if len(raw) != len(points):
+        raise ValidationError(
+            f"block_fn returned {len(raw)} results for {len(points)} points"
+        )
+    return raw
+
+
 def run_sweep(
     spec: SweepSpec,
-    fn: Callable[[Dict[str, Any]], Any],
+    fn: Optional[Callable[[Dict[str, Any]], Any]] = None,
     workers: int = 1,
     chunk_size: Optional[int] = None,
     cache: Optional[ResultCache] = None,
@@ -514,6 +556,7 @@ def run_sweep(
     out: Optional[Union[str, Any]] = None,
     block_size: Optional[int] = None,
     compress: bool = False,
+    block_fn: Optional[Callable[[List[Dict[str, Any]]], List[Any]]] = None,
 ) -> Any:
     """Run an arbitrary per-point evaluation over a spec.
 
@@ -523,6 +566,16 @@ def run_sweep(
     through :func:`parallel_map` on the chosen ``backend``; ordering
     matches :meth:`SweepSpec.points` exactly, for any ``workers``.
 
+    ``block_fn`` (mutually exclusive with ``fn``) evaluates a whole
+    *list* of points per call instead — the entry point for batched
+    evaluators whose setup amortises over many points, e.g.
+    :func:`repro.iperfsim.runner.table2_block_metrics` stacking a grid
+    block of congestion experiments into one vectorized simulation.
+    Results must come back one per point in input order; with
+    ``workers > 1`` the points are chunked across processes, and with
+    ``out=`` each shard block is one ``block_fn`` evaluation.  The
+    point cache applies to per-point ``fn`` evaluation only.
+
     With ``out`` (a shard directory path or an open
     :class:`~repro.sweep.shards.ShardWriter`) points are evaluated and
     written block-by-block — only one ``block_size`` slice of points
@@ -530,14 +583,29 @@ def run_sweep(
     :class:`~repro.sweep.shards.ShardedSweepResult` view is returned
     (``compress=True`` writes compressed shards).
     """
+    if (fn is None) == (block_fn is None):
+        raise ValidationError(
+            "run_sweep needs exactly one of fn (per-point) or block_fn "
+            "(per-block) evaluation functions"
+        )
+    if block_fn is not None and cache is not None:
+        raise ValidationError(
+            "the result cache hashes per-point evaluations; it does not "
+            "apply to block_fn sweeps"
+        )
     if out is None:
         if compress:
             raise ValidationError("compress=True only applies with out=")
         points = list(spec.points())
-        raw = parallel_map(
-            fn, points, workers=workers, chunk_size=chunk_size,
-            cache=cache, backend=backend,
-        )
+        if block_fn is not None:
+            raw = _block_fn_map(
+                block_fn, points, workers, chunk_size, backend
+            )
+        else:
+            raw = parallel_map(
+                fn, points, workers=workers, chunk_size=chunk_size,
+                cache=cache, backend=backend,
+            )
         columns = _merge_metric_columns(dict(spec.columns()), raw)
         return SweepResult(columns=columns, axis_names=spec.axis_names)
 
@@ -573,15 +641,25 @@ def run_sweep(
             # Points carry the axes' original values (not the writer's
             # float-coerced columns) so fn inputs and cache keys are
             # identical to the in-memory path.
-            raw = parallel_map(
-                fn,
-                spec.points_slice(start, stop),
-                workers=workers,
-                chunk_size=chunk_size,
-                cache=cache,
-                backend=backend,
-                _pool=pool,
-            )
+            if block_fn is not None:
+                raw = _block_fn_map(
+                    block_fn,
+                    spec.points_slice(start, stop),
+                    workers,
+                    chunk_size,
+                    backend,
+                    pool=pool,
+                )
+            else:
+                raw = parallel_map(
+                    fn,
+                    spec.points_slice(start, stop),
+                    workers=workers,
+                    chunk_size=chunk_size,
+                    cache=cache,
+                    backend=backend,
+                    _pool=pool,
+                )
             writer.append(_merge_metric_columns(dict(axis_block), raw))
     finally:
         if isinstance(pool, ProcessPoolExecutor):

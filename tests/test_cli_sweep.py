@@ -268,7 +268,6 @@ class TestCacheFlags:
 
 
 class TestSimnetTable2:
-    @pytest.mark.slow
     def test_simnet_grid_from_cli(self, capsys):
         assert main(
             ["sweep", "--simnet-table2", "--duration", "2",
@@ -278,7 +277,6 @@ class TestSimnetTable2:
         assert lines[0].startswith("concurrency,parallel_flows,")
         assert len(lines) == 1 + 24  # Table-2: 8 concurrency x 3 P values
 
-    @pytest.mark.slow
     def test_simnet_grid_shards(self, capsys, tmp_path):
         from repro.sweep import open_shards
 
@@ -314,6 +312,44 @@ class TestSimnetTable2:
     def test_seeds_without_simnet_rejected(self):
         with pytest.raises(Exception, match="--simnet-table2 only"):
             main(BASE_ARGS + ["--seeds", "1", "2"])
+
+    def test_batch_size_without_simnet_rejected(self):
+        with pytest.raises(Exception, match="--simnet-table2 only"):
+            main(BASE_ARGS + ["--batch-size", "4"])
+
+    def test_batch_size_identical_grid(self, capsys):
+        """Chunking the batch must not change a single table cell."""
+        assert main(
+            ["sweep", "--simnet-table2", "--duration", "2", "--format", "csv"]
+        ) == 0
+        whole = capsys.readouterr().out
+        assert main(
+            ["sweep", "--simnet-table2", "--duration", "2",
+             "--batch-size", "5", "--format", "csv"]
+        ) == 0
+        assert capsys.readouterr().out == whole
+
+    def test_sharded_grid_matches_in_memory(self, capsys, tmp_path):
+        """The --out-dir path (block-batched via table2_block_metrics)
+        produces the same cells as the in-memory table."""
+        import numpy as np
+
+        from repro.sweep import open_shards
+
+        assert main(
+            ["sweep", "--simnet-table2", "--duration", "2", "--format", "json"]
+        ) == 0
+        mem = json.loads(capsys.readouterr().out)["columns"]
+        out = tmp_path / "shards"
+        assert main(
+            ["sweep", "--simnet-table2", "--duration", "2",
+             "--out-dir", str(out), "--shard-size", "7", "--batch-size", "4"]
+        ) == 0
+        table = open_shards(out)
+        for name in ("t_worst_s", "achieved_utilization", "completed_clients"):
+            np.testing.assert_allclose(
+                np.asarray(table.column(name)), mem[name], rtol=0, atol=0
+            )
 
     def test_hybrid_backend_rejected_in_vectorized_mode(self):
         with pytest.raises(Exception, match="--backend"):
@@ -407,7 +443,6 @@ class TestCompressFlag:
 
 
 class TestSimnetStreaming:
-    @pytest.mark.slow
     def test_simnet_out_dir_streams_blocks(self, capsys, tmp_path):
         """--simnet-table2 --out-dir streams the grid block-by-block via
         run_sweep(out=) and matches the in-memory table's numbers."""

@@ -53,7 +53,6 @@ TABLE2_ORDER = [
 ]
 
 
-@pytest.mark.slow
 def test_fig2a_scaled_curves_golden():
     sweep = run_sweep(
         table2_sweep(strategy=SpawnStrategy.BATCH, duration_s=2.0), seeds=(0,)

@@ -12,7 +12,8 @@ import pytest
 from repro.casestudy.lcls2 import run_case_study
 from repro.measurement.congestion import measure_sss_curve
 
-pytestmark = pytest.mark.slow  # simnet-heavy; tier-1 fast path skips it
+# Batched-engine era: the measured curve takes ~0.1 s, so this runs
+# on the fast path too.
 
 
 @pytest.fixture(scope="module")

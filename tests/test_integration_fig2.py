@@ -13,8 +13,8 @@ from repro.core.sss import theoretical_transfer_time
 from repro.iperfsim.runner import run_sweep
 from repro.iperfsim.spec import ExperimentSpec, SpawnStrategy
 
-pytestmark = pytest.mark.slow  # simnet-heavy; tier-1 fast path skips it
-
+# Batched-engine era: the scaled-down sweeps run in well under a
+# second, so these ride the fast path (`-m "not slow"`) too.
 DURATION = 5.0
 
 

@@ -33,6 +33,7 @@ MODULES = [
     "repro.core.decision",
     "repro.core.sensitivity",
     "repro.core.queueing",
+    "repro.simnet.batch",
     "repro.simnet.engine",
     "repro.simnet.link",
     "repro.simnet.tcp",

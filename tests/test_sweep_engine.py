@@ -280,6 +280,64 @@ class TestRunSweep:
             )
 
 
+def _block_scale10(points):
+    """Module-level block evaluator (picklable for worker processes)."""
+    return [{"scaled": pt["x"] * 10} for pt in points]
+
+
+def _block_wrong_length(points):
+    return [{"scaled": 0.0}] * (len(points) + 1)
+
+
+class TestBlockFn:
+    def _spec(self, n=7):
+        return SweepSpec.grid(Axis("x", tuple(float(i) for i in range(n))))
+
+    def test_block_fn_matches_per_point_fn(self):
+        spec = self._spec()
+        per_point = run_sweep(spec, lambda pt: {"scaled": pt["x"] * 10})
+        per_block = run_sweep(spec, block_fn=_block_scale10)
+        np.testing.assert_array_equal(
+            per_point.column("scaled"), per_block.column("scaled")
+        )
+
+    def test_block_fn_workers_identical(self):
+        spec = self._spec(11)
+        serial = run_sweep(spec, block_fn=_block_scale10, workers=1)
+        parallel = run_sweep(spec, block_fn=_block_scale10, workers=3)
+        np.testing.assert_array_equal(
+            serial.column("scaled"), parallel.column("scaled")
+        )
+
+    def test_block_fn_sharded_matches_in_memory(self, tmp_path):
+        spec = self._spec(9)
+        mem = run_sweep(spec, block_fn=_block_scale10)
+        sharded = run_sweep(
+            spec, block_fn=_block_scale10, out=tmp_path / "s", block_size=4
+        )
+        assert sharded.n_shards == 3
+        np.testing.assert_array_equal(
+            mem.column("scaled"), np.asarray(sharded.column("scaled"))
+        )
+
+    def test_fn_and_block_fn_both_or_neither_rejected(self):
+        spec = self._spec(2)
+        with pytest.raises(ValidationError, match="exactly one"):
+            run_sweep(spec)
+        with pytest.raises(ValidationError, match="exactly one"):
+            run_sweep(spec, lambda pt: 0.0, block_fn=_block_scale10)
+
+    def test_block_fn_with_cache_rejected(self):
+        with pytest.raises(ValidationError, match="cache"):
+            run_sweep(
+                self._spec(2), block_fn=_block_scale10, cache=ResultCache()
+            )
+
+    def test_block_fn_wrong_result_length_rejected(self):
+        with pytest.raises(ValidationError, match="results for"):
+            run_sweep(self._spec(3), block_fn=_block_wrong_length)
+
+
 async def _async_square(x: float) -> float:
     import asyncio
 

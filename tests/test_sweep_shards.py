@@ -437,7 +437,6 @@ class TestIncrementalAnalysis:
         assert mem.low_to_moderate_utilization == inc.low_to_moderate_utilization
         assert mem.moderate_to_severe_utilization == inc.moderate_to_severe_utilization
 
-    @pytest.mark.slow
     def test_golden_table2_grid_incremental_equals_in_memory(self, tmp_path):
         """On the golden-pinned Table-2 simnet grid (duration 2 s,
         seed 0 — the same run test_golden_regressions pins), the

@@ -144,6 +144,63 @@ def test_idle_skip_on_sparse_schedule(artifact):
     })
 
 
+def test_mixed_cc_table2_grid(artifact):
+    """The congestion-control zoo on the Table-2 grid: the mixed-CC
+    batched path (reno + dctcp + delay, 72 experiments) vs the
+    pure-Reno batched grid.  The masked per-CC cwnd updates must keep
+    the per-experiment cost within 2x of the single-CC fast path, and
+    the Reno third of the mixed batch must stay bit-identical to the
+    pure-Reno run (batch composition never changes results)."""
+    reno_specs = table2_sweep(strategy=SpawnStrategy.BATCH, duration_s=10.0)
+    mixed_specs = table2_sweep(
+        strategy=SpawnStrategy.BATCH, duration_s=10.0,
+        cc=("reno", "dctcp", "delay"),
+    )
+
+    ratios = []
+    for _ in range(2):
+        t0 = time.perf_counter()
+        reno = run_sweep(reno_specs, seeds=SEEDS)
+        t_reno = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        mixed = run_sweep(mixed_specs, seeds=SEEDS)
+        t_mixed = time.perf_counter() - t0
+
+        per_exp_reno = t_reno / len(reno_specs)
+        per_exp_mixed = t_mixed / len(mixed_specs)
+        ratios.append(per_exp_mixed / per_exp_reno)
+        if ratios[-1] <= 2.0:
+            break
+
+    # The cc axis is slowest, so the first 24 mixed experiments are the
+    # Reno grid — compare them cell for cell.
+    for a, b in zip(reno.experiments, mixed.experiments[: len(reno_specs)]):
+        assert a.client_times_s == b.client_times_s, a.spec.label()
+        assert a.achieved_utilization == b.achieved_utilization, a.spec.label()
+
+    ratio = min(ratios)
+    assert ratio <= 2.0, (
+        f"mixed-CC batched grid should stay within 2x of single-CC per "
+        f"experiment in at least one of two rounds, got "
+        f"{[f'{r:.2f}x' for r in ratios]}"
+    )
+    text = (
+        f"mixed-CC Table-2 grid ({len(mixed_specs)} specs x {len(SEEDS)} "
+        f"seeds, 10 s):\n"
+        f"  pure-Reno grid:   {t_reno:.2f}s ({len(reno_specs)} specs)\n"
+        f"  reno+dctcp+delay: {t_mixed:.2f}s ({len(mixed_specs)} specs)\n"
+        f"  per-experiment overhead {ratio:.2f}x, Reno cells bit-identical"
+    )
+    artifact("bench_simnet_mixed_cc", text)
+    _write_json("mixed_cc_grid", {
+        "n_experiments": len(mixed_specs) * len(SEEDS),
+        "reno_s": round(t_reno, 4),
+        "mixed_s": round(t_mixed, 4),
+        "per_experiment_ratio": round(ratio, 3),
+    })
+
+
 def test_sss_curve_measurement_end_to_end(artifact):
     """`repro sss` end to end: the full measurement methodology
     (8 concurrency levels x 2 seeds, 10 s) on the batched engine vs one

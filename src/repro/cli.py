@@ -60,6 +60,7 @@ from .iperfsim.spec import (
     table2_sweep,
 )
 from .measurement.congestion import SssCurve, measure_sss_curve
+from .simnet.cc import coerce_cc
 from .simnet.topology import TESTBED_TABLE1
 from .streaming.comparison import run_figure4
 from .workloads.lcls import TABLE3_ROWS
@@ -184,6 +185,12 @@ def build_parser() -> argparse.ArgumentParser:
              "results are identical for any batch size)",
     )
     p_sweep.add_argument(
+        "--cc", nargs="+", default=None, metavar="CC",
+        help="congestion controls for --simnet-table2 (reno, dctcp, "
+             "delay); more than one prepends an integer-coded cc axis "
+             "(equivalently: --axis cc=reno,dctcp,delay)",
+    )
+    p_sweep.add_argument(
         "--sss-curve", default=None, metavar="PATH",
         help="join a measured SSS curve (exported by `repro sss --out`) "
              "onto the sweep's utilization axis: adds the interpolated "
@@ -212,6 +219,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sss.add_argument("--parallel", type=int, default=4)
     p_sss.add_argument("--duration", type=float, default=10.0)
     p_sss.add_argument("--seeds", type=int, nargs="+", default=[0, 1])
+    p_sss.add_argument(
+        "--cc", default="reno", metavar="CC",
+        help="congestion control every client runs: reno, dctcp or "
+             "delay (default: reno)",
+    )
     p_sss.add_argument(
         "--batch-size", type=int, default=None, metavar="N",
         help="experiments per vectorized simulation batch (default: all "
@@ -344,12 +356,40 @@ def _sweep_cache(args: argparse.Namespace) -> Optional[ResultCache]:
     )
 
 
-def _simnet_table2_table(args: argparse.Namespace) -> SweepResult:
+def _simnet_cc_codes(args: argparse.Namespace) -> Optional[tuple]:
+    """The --simnet-table2 congestion-control axis, if requested.
+
+    Collects --cc names and/or a ``cc``-named --axis block (the one
+    axis the fixed Table-2 grid admits) into a tuple of integer cc
+    codes; returns ``None`` when the sweep stays pure-Reno.  Unknown
+    names/codes raise the actionable :mod:`repro.simnet.cc` error.
+    """
+    values: list = list(args.cc or [])
+    for text in args.axis:
+        name = text.partition("=")[0].strip()
+        if name != "cc":
+            raise ValidationError(
+                "--simnet-table2 runs the fixed Table-2 grid; the only "
+                "sweepable axis is cc (--axis cc=reno,dctcp,delay or "
+                "--cc reno dctcp delay) — drop the other --axis entries"
+            )
+        values.extend(Axis.parse(text).values)
+    if not values:
+        return None
+    return tuple(int(coerce_cc(v)) for v in values)
+
+
+def _simnet_table2_table(
+    args: argparse.Namespace, cc: Optional[tuple] = None
+) -> SweepResult:
     """Run the Table-2 simnet congestion grid and tabulate it as a
-    sweep table (axes: concurrency, parallel_flows) consumable by the
+    sweep table (axes: concurrency, parallel_flows, plus an
+    integer-coded cc axis when one was requested) consumable by the
     regime/crossover analysis entry points."""
     sweep = run_sweep(
-        table2_sweep(strategy=SpawnStrategy.BATCH, duration_s=args.duration),
+        table2_sweep(
+            strategy=SpawnStrategy.BATCH, duration_s=args.duration, cc=cc
+        ),
         seeds=tuple(args.seeds),
         workers=args.workers,
         batch_size=args.batch_size,
@@ -363,7 +403,11 @@ def _simnet_table2_table(args: argparse.Namespace) -> SweepResult:
         "t_worst_s": [e.max_transfer_time_s for e in exps],
         "completed_clients": [e.completed_clients for e in exps],
     }
-    return SweepResult(columns, axis_names=("concurrency", "parallel_flows"))
+    axis_names = ("concurrency", "parallel_flows")
+    if cc is not None:
+        columns = {"cc": [int(e.spec.cc) for e in exps], **columns}
+        axis_names = ("cc",) + axis_names
+    return SweepResult(columns, axis_names=axis_names)
 
 
 def _shard_summary(table, args: argparse.Namespace) -> str:
@@ -410,11 +454,12 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
             "directory is the artifact (open it with repro.sweep.open_shards)"
         )
     if args.simnet_table2:
-        if args.axis or args.zip_axes or args.facilities:
+        if args.zip_axes or args.facilities:
             raise ValidationError(
                 "--simnet-table2 runs the fixed Table-2 grid; drop "
-                "--axis/--zip/--facilities"
+                "--zip/--facilities (only a cc --axis is sweepable)"
             )
+        cc_codes = _simnet_cc_codes(args)
         if _sweep_cache(args) is not None:
             raise ValidationError(
                 "--cache-dir/--cache-max-entries/--cache-ttl do not apply "
@@ -461,12 +506,12 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
                 batch_size=args.batch_size,
             )
             table = run_generic_sweep(
-                table2_spec(), workers=args.workers,
+                table2_spec(cc=cc_codes), workers=args.workers,
                 out=args.out_dir, block_size=args.shard_size,
                 compress=args.compress, block_fn=block_fn,
             )
         else:
-            table = _simnet_table2_table(args)
+            table = _simnet_table2_table(args, cc=cc_codes)
     else:
         if args.seeds != [0] or args.duration != 10.0:
             raise ValidationError(
@@ -475,6 +520,11 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         if args.batch_size is not None:
             raise ValidationError(
                 "--batch-size applies to --simnet-table2 only"
+            )
+        if args.cc is not None:
+            raise ValidationError(
+                "--cc selects congestion controls for --simnet-table2; "
+                "model sweeps take a cc axis via the simnet grid only"
             )
         if args.mode == "vectorized" and args.backend != "process":
             raise ValidationError(
@@ -613,6 +663,7 @@ def _cmd_sss(args: argparse.Namespace) -> str:
         duration_s=args.duration,
         seeds=tuple(args.seeds),
         batch_size=args.batch_size,
+        cc=args.cc,
     )
     rows = [
         (f"{m.utilization:.0%}", f"{m.t_worst_s:.2f} s", f"{m.sss:.1f}x", str(m.regime))

@@ -68,7 +68,8 @@ def run_experiment(
     sim = FluidTcpSimulator(link, config=config, seed=seed)
     for s, cid in zip(starts, clients):
         sim.add_client(
-            float(s), spec.transfer_size_bytes, spec.parallel_flows, int(cid)
+            float(s), spec.transfer_size_bytes, spec.parallel_flows, int(cid),
+            cc=spec.cc,
         )
     result = sim.run(max_time_s=max_time_s)
     return ExperimentResult.from_sim(
@@ -91,7 +92,8 @@ def _run_unit_batch(
         # iperf3 ``-P`` semantics via the engine's own client splitting
         # (add_clients = add_client vectorized over the spawn plan).
         sim.add_clients(
-            e, starts, spec.transfer_size_bytes, spec.parallel_flows, clients
+            e, starts, spec.transfer_size_bytes, spec.parallel_flows, clients,
+            cc=spec.cc,
         )
     sims = sim.run(max_time_s=max_time_s)
     return [
@@ -214,8 +216,10 @@ def table2_block_metrics(
     """A block of Table-2 grid cells as one batched evaluation.
 
     ``points`` carry ``concurrency`` and ``parallel_flows`` (the axes of
-    :func:`repro.iperfsim.spec.table2_spec`); every cell x seed lands in
-    one :class:`~repro.simnet.batch.BatchFluidSimulator` run (chunked by
+    :func:`repro.iperfsim.spec.table2_spec`), plus optionally an
+    integer-coded ``cc`` axis selecting each cell's congestion control;
+    every cell x seed lands in one
+    :class:`~repro.simnet.batch.BatchFluidSimulator` run (chunked by
     ``batch_size``), then each cell's seeds are pooled exactly like
     :func:`run_sweep`.  This is the ``block_fn`` the streamed
     ``repro sweep --simnet-table2 --out-dir`` path hands to
@@ -234,6 +238,7 @@ def table2_block_metrics(
             parallel_flows=int(point["parallel_flows"]),
             duration_s=duration_s,
             strategy=strategy,
+            cc=point.get("cc", 0),
         )
         for point in points
     ]

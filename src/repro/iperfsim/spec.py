@@ -15,6 +15,7 @@ from typing import Iterator, List, Tuple
 
 from ..errors import ValidationError
 from ..units import GB, ensure_positive
+from ..simnet.cc import CcKind, coerce_cc
 from ..simnet.link import Link, fabric_link
 from ..sweep.spec import Axis, SweepSpec
 
@@ -55,6 +56,10 @@ class ExperimentSpec:
     ``spawn_jitter_s`` models client process start-up spread: even
     "simultaneous" iperf3 launches begin tens of milliseconds apart.
     It applies to BATCH spawning only.
+
+    ``cc`` selects the congestion controller every client flow runs
+    (a :class:`~repro.simnet.cc.CcKind`, its integer code or name);
+    the default is the Reno loop the paper's testbed exercises.
     """
 
     concurrency: int
@@ -63,8 +68,10 @@ class ExperimentSpec:
     duration_s: float = 10.0
     strategy: SpawnStrategy = SpawnStrategy.BATCH
     spawn_jitter_s: float = 0.03
+    cc: CcKind = CcKind.RENO
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "cc", coerce_cc(self.cc))
         if self.concurrency < 1:
             raise ValidationError(
                 f"concurrency must be >= 1, got {self.concurrency!r}"
@@ -105,8 +112,12 @@ class ExperimentSpec:
         return self.offered_load_gbps() / link.capacity_gbps
 
     def label(self) -> str:
-        """Compact identifier, e.g. ``batch-c4-p8``."""
-        return f"{self.strategy.value}-c{self.concurrency}-p{self.parallel_flows}"
+        """Compact identifier, e.g. ``batch-c4-p8`` (non-Reno runs get a
+        ``-<cc>`` suffix, e.g. ``batch-c4-p8-dctcp``)."""
+        base = f"{self.strategy.value}-c{self.concurrency}-p{self.parallel_flows}"
+        if self.cc is not CcKind.RENO:
+            return f"{base}-{self.cc.name.lower()}"
+        return base
 
 
 #: Table 2 parameter ranges.
@@ -128,31 +139,42 @@ TABLE2_ROWS: Tuple[Tuple[str, str, str], ...] = (
 def table2_spec(
     concurrencies: Tuple[int, ...] = TABLE2_CONCURRENCY,
     parallel_flows: Tuple[int, ...] = TABLE2_PARALLEL_FLOWS,
+    cc: Tuple[CcKind | int | str, ...] | None = None,
 ) -> SweepSpec:
     """The Table-2 grid as a declarative sweep spec.
 
     ``parallel_flows`` is the outer (slowest) axis, matching the
-    paper's per-P curve grouping of Figure 2.
+    paper's per-P curve grouping of Figure 2.  Passing ``cc`` (kinds,
+    codes or names) prepends an integer-coded ``cc`` axis as the
+    slowest axis, turning the grid into a per-congestion-control
+    family of Table-2 grids.
     """
-    return SweepSpec.grid(
+    axes = [
         Axis("parallel_flows", parallel_flows),
         Axis("concurrency", concurrencies),
-    )
+    ]
+    if cc is not None:
+        codes = tuple(int(coerce_cc(c)) for c in cc)
+        axes.insert(0, Axis("cc", codes))
+    return SweepSpec.grid(*axes)
 
 
 def table2_sweep(
     strategy: SpawnStrategy = SpawnStrategy.BATCH,
     duration_s: float = 10.0,
+    cc: Tuple[CcKind | int | str, ...] | None = None,
 ) -> List[ExperimentSpec]:
-    """The paper's full 24-experiment sweep (Table 2)."""
+    """The paper's full 24-experiment sweep (Table 2); with ``cc``,
+    one full grid per congestion-control kind (slowest axis)."""
     return [
         ExperimentSpec(
             concurrency=point["concurrency"],
             parallel_flows=point["parallel_flows"],
             duration_s=duration_s,
             strategy=strategy,
+            cc=point.get("cc", CcKind.RENO),
         )
-        for point in table2_spec().points()
+        for point in table2_spec(cc=cc).points()
     ]
 
 

@@ -34,6 +34,7 @@ from ..errors import MeasurementError, ValidationError
 from ..iperfsim.results import SweepResult
 from ..iperfsim.runner import run_sweep
 from ..iperfsim.spec import ExperimentSpec, SpawnStrategy
+from ..simnet.cc import CcKind
 from ..simnet.link import Link, fabric_link
 
 __all__ = ["SssCurve", "measure_sss_curve", "curve_from_sweep"]
@@ -264,6 +265,7 @@ def measure_sss_curve(
     seeds: Sequence[int] = (0, 1),
     workers: int = 1,
     batch_size: Optional[int] = None,
+    cc: CcKind | int | str = CcKind.RENO,
 ) -> SssCurve:
     """Execute the measurement methodology end to end.
 
@@ -273,7 +275,9 @@ def measure_sss_curve(
     concurrency x seed experiments advance through one experiment-batched
     simulation (chunked by ``batch_size``, optionally across
     ``workers`` processes) — same curve as sequential runs, measured in
-    a fraction of the time.
+    a fraction of the time.  ``cc`` selects the congestion controller
+    every client runs (kind, code or name), yielding per-CC curves —
+    which transport the facility deploys changes the decision surface.
     """
     if not concurrencies:
         raise ValidationError("need at least one concurrency level")
@@ -285,6 +289,7 @@ def measure_sss_curve(
             transfer_size_gb=transfer_size_gb,
             duration_s=duration_s,
             strategy=SpawnStrategy.BATCH,
+            cc=cc,
         )
         for c in concurrencies
     ]

@@ -12,11 +12,15 @@ Two complementary simulators:
   simulator: many independent experiments advance through one
   vectorized state update, bit-identical to sequential runs.
 
+Both fluid engines dispatch per flow on a congestion-control family
+(:mod:`repro.simnet.cc`: Reno / DCTCP / delay-based, integer-coded).
+
 Plus the descriptive layer: :class:`Link`, :class:`Topology` and the
 FABRIC testbed preset of Table 1.
 """
 
 from .batch import BatchFluidSimulator
+from .cc import CC_KINDS_BY_CODE, CcKind, cc_from_code, coerce_cc
 from .engine import AllOf, AnyOf, Environment, Event, Interrupt, Process, Resource
 from .link import Link, fabric_link
 from .records import FlowRecord, LinkSample, SampleLog, SimulationResult
@@ -36,6 +40,10 @@ __all__ = [
     "Link",
     "fabric_link",
     "BatchFluidSimulator",
+    "CC_KINDS_BY_CODE",
+    "CcKind",
+    "cc_from_code",
+    "coerce_cc",
     "FlowRecord",
     "LinkSample",
     "SampleLog",

@@ -44,6 +44,7 @@ import numpy as np
 
 from ..errors import SimulationError, ValidationError
 from ..units import ensure_positive
+from .cc import CcKind, coerce_cc
 from .link import Link
 from .records import SampleLog, SimulationResult, validate_conservation
 from .tcp import TcpConfig, _empty_result
@@ -62,6 +63,7 @@ class _Experiment:
     start: List[float] = field(default_factory=list)
     size: List[float] = field(default_factory=list)
     client: List[int] = field(default_factory=list)
+    cc: List[int] = field(default_factory=list)
 
 
 class BatchFluidSimulator:
@@ -138,9 +140,18 @@ class BatchFluidSimulator:
             ) from None
 
     def add_flow(
-        self, experiment: int, start_s: float, size_bytes: float, client_id: int = 0
+        self,
+        experiment: int,
+        start_s: float,
+        size_bytes: float,
+        client_id: int = 0,
+        cc: CcKind | int | str = CcKind.RENO,
     ) -> int:
-        """Register one flow in ``experiment``; returns its flow id."""
+        """Register one flow in ``experiment``; returns its flow id.
+
+        ``cc`` selects the flow's congestion controller (a
+        :class:`~repro.simnet.cc.CcKind`, its integer code or name);
+        one experiment may mix kinds freely."""
         exp = self._exp(experiment)
         if start_s < 0:
             raise ValidationError(f"start_s must be >= 0, got {start_s!r}")
@@ -149,6 +160,7 @@ class BatchFluidSimulator:
         exp.start.append(float(start_s))
         exp.size.append(float(size_bytes))
         exp.client.append(int(client_id))
+        exp.cc.append(int(coerce_cc(cc)))
         return len(exp.start) - 1
 
     def add_client(
@@ -158,16 +170,18 @@ class BatchFluidSimulator:
         total_bytes: float,
         parallel_flows: int,
         client_id: int,
+        cc: CcKind | int | str = CcKind.RENO,
     ) -> List[int]:
         """Register an iperf3-style client in ``experiment``:
-        ``parallel_flows`` flows each moving an equal share."""
+        ``parallel_flows`` flows each moving an equal share, all using
+        congestion control ``cc``."""
         if parallel_flows < 1:
             raise ValidationError(
                 f"parallel_flows must be >= 1, got {parallel_flows!r}"
             )
         share = total_bytes / parallel_flows
         return [
-            self.add_flow(experiment, start_s, share, client_id)
+            self.add_flow(experiment, start_s, share, client_id, cc=cc)
             for _ in range(parallel_flows)
         ]
 
@@ -178,11 +192,14 @@ class BatchFluidSimulator:
         total_bytes: float,
         parallel_flows: int,
         client_id: np.ndarray,
+        cc: CcKind | int | str | np.ndarray = CcKind.RENO,
     ) -> None:
         """Bulk iperf3-style client registration: for each ``start_s`` /
         ``client_id`` pair, ``parallel_flows`` flows each moving an
         equal share of ``total_bytes`` — :meth:`add_client` vectorized
         over a whole spawn plan (same share rule, no per-client calls).
+        ``cc`` is one congestion-control kind for every client or a
+        per-client array of kinds.
         """
         if parallel_flows < 1:
             raise ValidationError(
@@ -191,11 +208,20 @@ class BatchFluidSimulator:
         starts = np.asarray(start_s, dtype=float)
         clients = np.asarray(client_id, dtype=int)
         share = total_bytes / parallel_flows
+        if np.ndim(cc) != 0:
+            codes = np.asarray([int(coerce_cc(c)) for c in np.asarray(cc).tolist()])
+            if codes.shape != starts.shape:
+                raise ValidationError(
+                    "add_clients: per-client cc must match start_s, got "
+                    f"shapes {codes.shape} vs {starts.shape}"
+                )
+            cc = np.repeat(codes, parallel_flows)
         self.add_flows(
             experiment,
             np.repeat(starts, parallel_flows),
             np.full(starts.size * parallel_flows, share),
             np.repeat(clients, parallel_flows),
+            cc=cc,
         )
 
     def add_flows(
@@ -204,10 +230,13 @@ class BatchFluidSimulator:
         start_s: np.ndarray,
         size_bytes: np.ndarray,
         client_id: np.ndarray,
+        cc: CcKind | int | str | np.ndarray = CcKind.RENO,
     ) -> None:
         """Bulk flow registration from arrays (the zero-object path
         under :meth:`add_clients`, which the experiment runner's
-        vectorized spawn plans go through)."""
+        vectorized spawn plans go through).  ``cc`` is one
+        congestion-control kind shared by every flow or a per-flow
+        array of kinds."""
         start = np.asarray(start_s, dtype=float)
         size = np.asarray(size_bytes, dtype=float)
         client = np.asarray(client_id, dtype=int)
@@ -220,10 +249,21 @@ class BatchFluidSimulator:
             raise ValidationError("add_flows: start_s must be >= 0")
         if size.size and float(size.min()) <= 0:
             raise ValidationError("add_flows: size_bytes must be > 0")
+        if np.ndim(cc) == 0:
+            codes = [int(coerce_cc(cc))] * start.size
+        else:
+            cc_arr = np.asarray(cc)
+            if cc_arr.shape != start.shape:
+                raise ValidationError(
+                    "add_flows: per-flow cc must match start_s, got shapes "
+                    f"{cc_arr.shape} vs {start.shape}"
+                )
+            codes = [int(coerce_cc(c)) for c in cc_arr.tolist()]
         exp = self._exp(experiment)
         exp.start.extend(start.tolist())
         exp.size.extend(size.tolist())
         exp.client.extend(client.tolist())
+        exp.cc.extend(codes)
 
     @property
     def experiment_count(self) -> int:
@@ -290,6 +330,24 @@ class BatchFluidSimulator:
         rwnds = [
             cfg.rwnd_bdp * exp.link.bdp_segments for cfg, exp in zip(cfgs, exps)
         ]
+        # Congestion-control statics: the DCTCP marking threshold, the
+        # exogenous-loss rate per byte sent, and the delay-CC smoothed-RTT
+        # threshold (all Python floats, gathered through `exp_idx` where a
+        # per-flow op needs them).
+        mark_bytes = [
+            cfg.dctcp_marking_bdp * exp.link.bdp_bytes
+            for cfg, exp in zip(cfgs, exps)
+        ]
+        lrate = [
+            cfg.loss_rate / float(exp.link.mss_bytes)
+            for cfg, exp in zip(cfgs, exps)
+        ]
+        dthr = [
+            cfg.delay_threshold * exp.link.rtt_s
+            for cfg, exp in zip(cfgs, exps)
+        ]
+        dsmooth = [cfg.delay_smoothing for cfg in cfgs]
+        dgain = [cfg.delay_gain for cfg in cfgs]
 
         # --- stacked flow arrays (live experiments only; `live` is the
         # segment order, `exp_idx` holds batch positions so the scalar
@@ -335,6 +393,22 @@ class BatchFluidSimulator:
         )
         rwnd_flow = np.repeat(np.asarray(rwnds), n_flows)
 
+        # Per-flow congestion-control dispatch (codes of CcKind) and the
+        # state only the non-Reno controllers touch; the `has_*` gates
+        # keep a pure-Reno batch statement-for-statement identical to the
+        # historical loop.
+        cc_flow = np.concatenate(
+            [np.asarray(exp.cc, dtype=np.int8) for exp in exps]
+        )
+        is_dctcp = cc_flow == int(CcKind.DCTCP)
+        is_delay = cc_flow == int(CcKind.DELAY)
+        has_dctcp = bool(is_dctcp.any())
+        has_delay = bool(is_delay.any())
+        has_loss = any(r > 0.0 for r in lrate)
+        dctcp_alpha = np.zeros(n)
+        rtt_smooth = np.zeros(n)  # 0 = no RTT sample yet
+        loss_credit = np.zeros(n)
+
         # --- per-experiment dynamic scalars (Python floats, converted to
         # arrays only where a per-flow gather needs them; batch position) --
         queues = [0.0] * n_exp
@@ -347,6 +421,11 @@ class BatchFluidSimulator:
         factor = [1.0] * n_exp
         incr = [0.0] * n_exp
         clamp = [False] * n_exp
+        marked = [0.0] * n_exp
+        again = [0.0] * n_exp  # DCTCP alpha gain this step
+        khalf = [0.0] * n_exp  # DCTCP proportional-backoff spread
+        dshr = [1.0] * n_exp  # delay-CC shrink factor this step
+        rec_t = [0.0] * n_exp  # exogenous-loss recovery stamp
         end_time = [0.0] * n_exp
         done_count = [0] * n_exp
         samples = [SampleLog() for _ in range(n_exp)]
@@ -549,14 +628,28 @@ class BatchFluidSimulator:
                         loss_events[seg][small] += 1
                     rto_backoff[seg][a & ~hit] = 0
 
-            # --- HyStart exit + window growth (whole batch) ---------------
-            growing = state == _RUNNING
-            grow_counts = np.add.reduceat(
-                growing, red_offs, dtype=np.int64
-            ).tolist()
+            # --- exogenous path loss (deterministic fluid form; value-
+            # identical to the sequential block — zero-rate experiments
+            # accrue exactly 0.0 credit) -----------------------------------
+            if has_loss:
+                loss_credit += sent * np.asarray(lrate)[exp_idx]
+                lossy = (
+                    (state == _RUNNING)
+                    & (loss_credit >= 1.0)
+                    & (recovery_until <= t)
+                )
+                if np.any(lossy):
+                    for e in live:
+                        rec_t[e] = t + dt + rtt_eff[e]
+                    recovery_until[lossy] = np.asarray(rec_t)[exp_idx][lossy]
+                    ssthresh[lossy] = np.maximum(cwnd[lossy] / 2.0, 2.0)
+                    cwnd[lossy] = ssthresh[lossy]
+                    loss_events[lossy] += 1
+                    loss_credit[lossy] -= np.floor(loss_credit[lossy])
+
+            # --- HyStart: delay-based slow-start exit (per experiment;
+            # runs before the CC signals, like the sequential step) --------
             for j, e in enumerate(live):
-                # HyStart: delay-based slow-start exit (per experiment;
-                # runs before growth, like the sequential step).
                 if counts[j] > 0:
                     cfg = cfgs[e]
                     if qdelay[e] > cfg.hystart_delay_frac * rtts[e]:
@@ -565,6 +658,57 @@ class BatchFluidSimulator:
                         ss = ssthresh[seg]
                         ramping = (state[seg] == _RUNNING) & (cw < ss)
                         ss[ramping] = np.maximum(cw[ramping], 2.0)
+
+            # --- congestion signals of the non-Reno controllers (masked
+            # elementwise updates over the stacked arrays; per-experiment
+            # scalars gathered through exp_idx like factor/incr) -----------
+            backoff = None
+            if has_dctcp:
+                for e in live:
+                    marked[e] = 1.0 if queues[e] > mark_bytes[e] else 0.0
+                    again[e] = cfgs[e].dctcp_gain * (dt / rtt_eff[e])
+                    khalf[e] = 0.5 * (dt / rtt_eff[e])
+                upd = (state == _RUNNING) & is_dctcp
+                marked_flow = np.asarray(marked)[exp_idx]
+                dctcp_alpha[upd] += np.asarray(again)[exp_idx][upd] * (
+                    marked_flow[upd] - dctcp_alpha[upd]
+                )
+                shr = upd & (marked_flow == 1.0)
+                if shr.any():
+                    cw_new = np.maximum(
+                        cwnd[shr]
+                        * (1.0 - dctcp_alpha[shr] * np.asarray(khalf)[exp_idx][shr]),
+                        2.0,
+                    )
+                    ssthresh[shr] = np.minimum(ssthresh[shr], cw_new)
+                    cwnd[shr] = cw_new
+                    backoff = shr
+            if has_delay:
+                upd = (state == _RUNNING) & is_delay
+                fresh = upd & (rtt_smooth == 0.0)
+                rtt_smooth[fresh] = rtt_eff_flow[fresh]
+                rtt_smooth[upd] += np.asarray(dsmooth)[exp_idx][upd] * (
+                    rtt_eff_flow[upd] - rtt_smooth[upd]
+                )
+                over = upd & (rtt_smooth > np.asarray(dthr)[exp_idx])
+                if over.any():
+                    for e in live:
+                        dshr[e] = 1.0 - cfgs[e].delay_backoff * (dt / rtt_eff[e])
+                    cw_new = np.maximum(
+                        cwnd[over] * np.asarray(dshr)[exp_idx][over], 2.0
+                    )
+                    ssthresh[over] = np.minimum(ssthresh[over], cw_new)
+                    cwnd[over] = cw_new
+                    backoff = over if backoff is None else backoff | over
+
+            # --- window growth (whole batch) ------------------------------
+            growing = state == _RUNNING
+            if backoff is not None:
+                growing &= ~backoff
+            grow_counts = np.add.reduceat(
+                growing, red_offs, dtype=np.int64
+            ).tolist()
+            for j, e in enumerate(live):
                 if grow_counts[j] > 0:
                     # Same Python-scalar power as the sequential step.
                     factor[e] = 2.0 ** (dt / rtt_eff[e])
@@ -580,8 +724,21 @@ class BatchFluidSimulator:
                 cwnd, np.minimum(cwnd * np.asarray(factor)[exp_idx], ssthresh),
                 where=ss_mask,
             )
-            # Congestion avoidance: +1 MSS per RTT.
-            np.copyto(cwnd, cwnd + np.asarray(incr)[exp_idx], where=ca_mask)
+            if has_delay:
+                # Delay-based CA ramps proportionally to cwnd; the
+                # loss-based controllers keep +1 MSS per RTT.
+                incr_flow = np.asarray(incr)[exp_idx]
+                ca_delay = ca_mask & is_delay
+                ca_other = ca_mask & ~is_delay
+                np.copyto(cwnd, cwnd + incr_flow, where=ca_other)
+                np.copyto(
+                    cwnd,
+                    cwnd + np.asarray(dgain)[exp_idx] * cwnd * incr_flow,
+                    where=ca_delay,
+                )
+            else:
+                # Congestion avoidance: +1 MSS per RTT.
+                np.copyto(cwnd, cwnd + np.asarray(incr)[exp_idx], where=ca_mask)
             # Receive-window clamp, only in experiments that grew a flow
             # this step (sequential clamp scope).
             np.copyto(
@@ -625,14 +782,18 @@ class BatchFluidSimulator:
                     live = still_live
                     (start, size, remaining, cwnd, ssthresh, state, rto_until,
                      rto_backoff, end, loss_events, timeout_events,
-                     recovery_until, mss_flow, rwnd_flow) = (
+                     recovery_until, mss_flow, rwnd_flow, cc_flow,
+                     dctcp_alpha, rtt_smooth, loss_credit) = (
                         arr[keep]
                         for arr in (
                             start, size, remaining, cwnd, ssthresh, state,
                             rto_until, rto_backoff, end, loss_events,
                             timeout_events, recovery_until, mss_flow, rwnd_flow,
+                            cc_flow, dctcp_alpha, rtt_smooth, loss_credit,
                         )
                     )
+                    is_dctcp = cc_flow == int(CcKind.DCTCP)
+                    is_delay = cc_flow == int(CcKind.DELAY)
                     segments, red_offs, exp_idx = layout(live)
 
         assert all(r is not None for r in results)

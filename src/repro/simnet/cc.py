@@ -1,0 +1,99 @@
+"""Congestion-control family codes for the fluid TCP engines.
+
+The fluid simulators model three congestion controllers behind one
+per-flow ``cc_kind`` code (an integer column, like the ``decision`` /
+``tier`` codes of :mod:`repro.core.decision`, so it stores natively in
+sweep shards):
+
+- ``RENO`` (code 0) — the loss-based Reno/NewReno AIMD loop the
+  engines have always modelled: halve on loss, +1 MSS per RTT,
+- ``DCTCP`` (code 1) — datacenter TCP: an EWMA of the ECN-marked
+  fraction (``alpha``) drives a *proportional* backoff
+  ``cwnd *= 1 - alpha/2`` while the queue sits above the marking
+  threshold, keeping queues shallow,
+- ``DELAY`` (code 2) — a delay-based high-RTT controller ("spacecc"
+  shape): it smooths the observed RTT, backs off multiplicatively when
+  the smoothed RTT exceeds a threshold over the base RTT, and ramps
+  proportionally to ``cwnd`` otherwise — loss-agnostic, suited to long
+  fat WAN paths.
+
+Both engines dispatch on the same codes; the batched engine carries
+them as a vectorized int column so one update step advances a mixed-CC
+flow population.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+from ..errors import ValidationError
+
+__all__ = ["CcKind", "CC_KINDS_BY_CODE", "cc_from_code", "coerce_cc"]
+
+
+class CcKind(enum.IntEnum):
+    """Congestion-control families of the fluid engines.
+
+    Values are the stable integer codes used in flow-state arrays and
+    sweep shards (``0`` reno / ``1`` dctcp / ``2`` delay).
+    """
+
+    RENO = 0
+    DCTCP = 1
+    DELAY = 2
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name.lower()
+
+
+#: Code -> kind lookup (codes are the enum values: 0 reno / 1 dctcp /
+#: 2 delay).
+CC_KINDS_BY_CODE = {int(kind): kind for kind in CcKind}
+
+_VALID = ", ".join(kind.name.lower() for kind in CcKind)
+
+
+def cc_from_code(code: int) -> CcKind:
+    """Map an integer ``cc`` column code back to its :class:`CcKind`.
+
+    The inverse of the integer coding used in flow state and shards
+    (``0`` reno / ``1`` dctcp / ``2`` delay).
+    """
+    try:
+        return CC_KINDS_BY_CODE[int(code)]
+    except (KeyError, TypeError, ValueError):
+        raise ValidationError(
+            f"unknown cc code {code!r}; valid codes: "
+            + ", ".join(f"{int(k)}={k.name.lower()}" for k in CcKind)
+        ) from None
+
+
+def coerce_cc(cc: Union["CcKind", int, str]) -> CcKind:
+    """Coerce a :class:`CcKind`, integer code or name to a kind.
+
+    Accepts the enum itself, its integer code (``0``/``1``/``2``) or a
+    case-insensitive name (``"reno"``/``"dctcp"``/``"delay"``); raises
+    :class:`~repro.errors.ValidationError` naming the valid options
+    otherwise.
+    """
+    if isinstance(cc, CcKind):
+        return cc
+    if isinstance(cc, str):
+        try:
+            return CcKind[cc.strip().upper()]
+        except KeyError:
+            raise ValidationError(
+                f"unknown congestion control {cc!r}; valid kinds: {_VALID}"
+            ) from None
+    if isinstance(cc, bool):
+        raise ValidationError(
+            f"unknown congestion control {cc!r}; valid kinds: {_VALID}"
+        )
+    try:
+        return cc_from_code(cc)
+    except ValidationError:
+        raise ValidationError(
+            f"unknown congestion control {cc!r}; valid kinds: {_VALID} "
+            f"(codes 0/1/2)"
+        ) from None

@@ -40,6 +40,7 @@ import numpy as np
 
 from ..errors import ValidationError
 from ..units import ensure_positive
+from .cc import CcKind, coerce_cc
 from .link import Link
 from .records import SampleLog, SimulationResult, validate_conservation
 
@@ -90,6 +91,29 @@ class TcpConfig:
     #: than time out); enable (e.g. 0.125) for the ablation study of
     #: delay-based ramp control.
     hystart_delay_frac: float = 1e12
+    #: DCTCP ECN-fraction EWMA gain ``g`` (RFC 8257 suggests 1/16); the
+    #: per-step gain is spread over the RTT (``g * dt/rtt``) so the
+    #: fluid EWMA matches the per-RTT discrete update.
+    dctcp_gain: float = 0.0625
+    #: DCTCP ECN marking threshold ``K`` as a fraction of the path BDP:
+    #: the switch marks while the queue exceeds ``K * bdp_bytes``.
+    dctcp_marking_bdp: float = 0.25
+    #: Delay-based CC: smoothed-RTT EWMA gain per step.
+    delay_smoothing: float = 0.1
+    #: Delay-based CC: back off once the smoothed RTT exceeds this
+    #: multiple of the base RTT.
+    delay_threshold: float = 1.25
+    #: Delay-based CC: multiplicative backoff strength, spread per RTT
+    #: (``cwnd *= 1 - delay_backoff * dt/rtt`` while over threshold).
+    delay_backoff: float = 0.5
+    #: Delay-based CC: proportional congestion-avoidance ramp
+    #: (``cwnd += delay_gain * cwnd`` per RTT when under threshold).
+    delay_gain: float = 0.5
+    #: Exogenous per-segment loss probability (path loss independent of
+    #: the droptail queue).  Modelled as deterministic fluid loss: each
+    #: flow accrues ``sent_segments * loss_rate`` of loss credit and
+    #: takes one multiplicative-decrease event per whole credit.
+    loss_rate: float = 0.0
 
     def __post_init__(self) -> None:
         ensure_positive(self.initial_cwnd_segments, "initial_cwnd_segments")
@@ -111,6 +135,30 @@ class TcpConfig:
                 f"{self.timeout_on_loss_scale!r}"
             )
         ensure_positive(self.hystart_delay_frac, "hystart_delay_frac")
+        if not 0.0 < self.dctcp_gain <= 1.0:
+            raise ValidationError(
+                f"dctcp_gain must be in (0, 1], got {self.dctcp_gain!r}"
+            )
+        ensure_positive(self.dctcp_marking_bdp, "dctcp_marking_bdp")
+        if not 0.0 < self.delay_smoothing <= 1.0:
+            raise ValidationError(
+                f"delay_smoothing must be in (0, 1], got "
+                f"{self.delay_smoothing!r}"
+            )
+        if self.delay_threshold < 1.0:
+            raise ValidationError(
+                f"delay_threshold must be >= 1 (a multiple of the base "
+                f"RTT), got {self.delay_threshold!r}"
+            )
+        if not 0.0 < self.delay_backoff <= 1.0:
+            raise ValidationError(
+                f"delay_backoff must be in (0, 1], got {self.delay_backoff!r}"
+            )
+        ensure_positive(self.delay_gain, "delay_gain")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValidationError(
+                f"loss_rate must be in [0, 1), got {self.loss_rate!r}"
+            )
 
 
 # Flow lifecycle states (values are indices, not flags).
@@ -172,12 +220,24 @@ class FluidTcpSimulator:
         self._start: List[float] = []
         self._size: List[float] = []
         self._client: List[int] = []
+        self._cc: List[int] = []
 
     # ------------------------------------------------------------------
     # Flow registration
     # ------------------------------------------------------------------
-    def add_flow(self, start_s: float, size_bytes: float, client_id: int = 0) -> int:
-        """Register one flow; returns its flow id."""
+    def add_flow(
+        self,
+        start_s: float,
+        size_bytes: float,
+        client_id: int = 0,
+        cc: CcKind | int | str = CcKind.RENO,
+    ) -> int:
+        """Register one flow; returns its flow id.
+
+        ``cc`` selects the flow's congestion controller (a
+        :class:`~repro.simnet.cc.CcKind`, its integer code or its name);
+        flows of different kinds may share the bottleneck.
+        """
         if start_s < 0:
             raise ValidationError(f"start_s must be >= 0, got {start_s!r}")
         if size_bytes <= 0:
@@ -185,20 +245,28 @@ class FluidTcpSimulator:
         self._start.append(float(start_s))
         self._size.append(float(size_bytes))
         self._client.append(int(client_id))
+        self._cc.append(int(coerce_cc(cc)))
         return len(self._start) - 1
 
     def add_client(
-        self, start_s: float, total_bytes: float, parallel_flows: int, client_id: int
+        self,
+        start_s: float,
+        total_bytes: float,
+        parallel_flows: int,
+        client_id: int,
+        cc: CcKind | int | str = CcKind.RENO,
     ) -> List[int]:
         """Register an iperf3-style client: ``parallel_flows`` flows each
-        moving an equal share of ``total_bytes`` (iperf3 ``-P`` semantics)."""
+        moving an equal share of ``total_bytes`` (iperf3 ``-P`` semantics),
+        all using congestion control ``cc``."""
         if parallel_flows < 1:
             raise ValidationError(
                 f"parallel_flows must be >= 1, got {parallel_flows!r}"
             )
         share = total_bytes / parallel_flows
         return [
-            self.add_flow(start_s, share, client_id) for _ in range(parallel_flows)
+            self.add_flow(start_s, share, client_id, cc=cc)
+            for _ in range(parallel_flows)
         ]
 
     @property
@@ -235,6 +303,21 @@ class FluidTcpSimulator:
         # NewReno reacts to at most one loss event per window per RTT;
         # a flow inside its recovery window ignores further drops.
         recovery_until = np.zeros(n)
+
+        # Per-flow congestion-control dispatch (codes of CcKind) and the
+        # state only the non-Reno controllers touch.  The `has_*` gates
+        # keep the pure-Reno step statement-for-statement identical to
+        # the historical loop.
+        cc = np.asarray(self._cc, dtype=np.int8)
+        is_dctcp = cc == int(CcKind.DCTCP)
+        is_delay = cc == int(CcKind.DELAY)
+        has_dctcp = bool(is_dctcp.any())
+        has_delay = bool(is_delay.any())
+        has_loss = cfg.loss_rate > 0.0
+        dctcp_alpha = np.zeros(n)
+        rtt_smooth = np.zeros(n)  # 0 = no RTT sample yet
+        loss_credit = np.zeros(n)
+        mark_bytes = cfg.dctcp_marking_bdp * link.bdp_bytes
 
         queue = 0.0
         t = 0.0
@@ -354,13 +437,73 @@ class FluidTcpSimulator:
                         # Successful rounds reset the backoff of others.
                         rto_backoff[active & ~hit] = 0
 
+                # --- exogenous path loss (deterministic fluid form) --------
+                if has_loss:
+                    loss_credit += sent * (cfg.loss_rate / mss)
+                    lossy = (
+                        (state == _RUNNING)
+                        & (loss_credit >= 1.0)
+                        & (recovery_until <= t)
+                    )
+                    if np.any(lossy):
+                        recovery_until[lossy] = t + dt + rtt_eff
+                        ssthresh[lossy] = np.maximum(cwnd[lossy] / 2.0, 2.0)
+                        cwnd[lossy] = ssthresh[lossy]
+                        loss_events[lossy] += 1
+                        loss_credit[lossy] -= np.floor(loss_credit[lossy])
+
                 # --- HyStart: delay-based slow-start exit -------------------
                 if queue_delay > cfg.hystart_delay_frac * link.rtt_s:
                     ramping = (state == _RUNNING) & (cwnd < ssthresh)
                     ssthresh[ramping] = np.maximum(cwnd[ramping], 2.0)
 
+                # --- congestion signals of the non-Reno controllers --------
+                # (`backoff` collects flows that reduced this step and must
+                # not also grow; droptail reactions above stay shared.)
+                backoff = None
+                if has_dctcp:
+                    upd = (state == _RUNNING) & is_dctcp
+                    # The switch marks while the (post-update) queue sits
+                    # above K; the ECN-fraction EWMA gain is spread over
+                    # the RTT so the fluid update matches per-RTT DCTCP.
+                    marked = 1.0 if queue > mark_bytes else 0.0
+                    dctcp_alpha[upd] += (cfg.dctcp_gain * (dt / rtt_eff)) * (
+                        marked - dctcp_alpha[upd]
+                    )
+                    if marked:
+                        # Proportional backoff cwnd *= 1 - alpha/2, spread
+                        # per RTT like the growth terms.
+                        k = 0.5 * (dt / rtt_eff)
+                        cw_new = np.maximum(
+                            cwnd[upd] * (1.0 - dctcp_alpha[upd] * k), 2.0
+                        )
+                        ssthresh[upd] = np.minimum(ssthresh[upd], cw_new)
+                        cwnd[upd] = cw_new
+                        backoff = upd
+                if has_delay:
+                    upd = (state == _RUNNING) & is_delay
+                    fresh = upd & (rtt_smooth == 0.0)
+                    rtt_smooth[fresh] = rtt_eff
+                    rtt_smooth[upd] += cfg.delay_smoothing * (
+                        rtt_eff - rtt_smooth[upd]
+                    )
+                    over = upd & (
+                        rtt_smooth > cfg.delay_threshold * link.rtt_s
+                    )
+                    if np.any(over):
+                        cw_new = np.maximum(
+                            cwnd[over]
+                            * (1.0 - cfg.delay_backoff * (dt / rtt_eff)),
+                            2.0,
+                        )
+                        ssthresh[over] = np.minimum(ssthresh[over], cw_new)
+                        cwnd[over] = cw_new
+                        backoff = over if backoff is None else backoff | over
+
                 # --- window growth for unhit running flows -----------------
                 growing = state == _RUNNING
+                if backoff is not None:
+                    growing &= ~backoff
                 if np.any(growing):
                     g = np.where(growing)[0]
                     in_ss = cwnd[g] < ssthresh[g]
@@ -370,8 +513,19 @@ class FluidTcpSimulator:
                     cwnd[ss_idx] = np.minimum(
                         cwnd[ss_idx] * 2.0 ** (dt / rtt_eff), ssthresh[ss_idx]
                     )
-                    # Congestion avoidance: +1 MSS per RTT.
-                    cwnd[ca_idx] = cwnd[ca_idx] + dt / rtt_eff
+                    if has_delay:
+                        # Delay-based CA ramps proportionally to cwnd; the
+                        # loss-based controllers keep +1 MSS per RTT.
+                        d_sel = is_delay[ca_idx]
+                        r_idx = ca_idx[~d_sel]
+                        d_idx = ca_idx[d_sel]
+                        cwnd[r_idx] = cwnd[r_idx] + dt / rtt_eff
+                        cwnd[d_idx] = cwnd[d_idx] + cfg.delay_gain * cwnd[
+                            d_idx
+                        ] * (dt / rtt_eff)
+                    else:
+                        # Congestion avoidance: +1 MSS per RTT.
+                        cwnd[ca_idx] = cwnd[ca_idx] + dt / rtt_eff
                     np.minimum(cwnd, rwnd_segments, out=cwnd)
             else:
                 # Nothing sending: queue drains at line rate.

@@ -60,6 +60,16 @@ class Axis:
         vectorized model path)."""
         return all(isinstance(v, (int, float, np.integer, np.floating)) for v in self.values)
 
+    @property
+    def is_integer(self) -> bool:
+        """Whether every value is a plain integer (bools excluded): such
+        axes keep native int64 columns (exact codes) in result tables
+        and shards."""
+        return all(
+            isinstance(v, (int, np.integer)) and not isinstance(v, bool)
+            for v in self.values
+        )
+
     def as_array(self) -> np.ndarray:
         """The values as a float array (numeric axes only)."""
         if not self.is_numeric:
@@ -92,11 +102,13 @@ class Axis:
     def parse(cls, text: str) -> "Axis":
         """Parse the CLI axis syntax ``name=SPEC`` where ``SPEC`` is
 
-        - an explicit list ``v1,v2,v3``, or
+        - an explicit list ``v1,v2,v3`` (all-numeric lists become float
+          values; anything else becomes a list of strings, carried
+          through like any non-numeric axis), or
         - a range ``start:stop:num`` (linear) or ``start:stop:num:log``.
 
         Examples: ``bandwidth_gbps=1,10,100``,
-        ``s_unit_gb=0.5:50:20:log``.
+        ``s_unit_gb=0.5:50:20:log``, ``cc=reno,dctcp,delay``.
         """
         if "=" not in text:
             raise ValidationError(
@@ -122,9 +134,15 @@ class Axis:
                 return cls.geomspace(name, start, stop, num)
             return cls.linspace(name, start, stop, num)
         try:
-            values = tuple(float(v) for v in body.split(","))
-        except ValueError as exc:
-            raise ValidationError(f"axis list {body!r}: {exc}") from exc
+            values: Tuple[Any, ...] = tuple(float(v) for v in body.split(","))
+        except ValueError:
+            # Non-numeric list: a categorical axis of stripped strings
+            # (e.g. cc=reno,dctcp,delay), carried through untouched.
+            values = tuple(v.strip() for v in body.split(","))
+            if any(not v for v in values):
+                raise ValidationError(
+                    f"axis list {body!r} has an empty element"
+                ) from None
         return cls(name, values)
 
 
@@ -254,7 +272,12 @@ class SweepSpec:
         out: Dict[str, np.ndarray] = {}
         for bi, block in enumerate(self.blocks):
             for a in block:
-                if a.is_numeric:
+                if a.is_integer:
+                    # Integer-valued axes (e.g. cc / concurrency codes)
+                    # keep a native int64 column, like the decision/tier
+                    # metric columns, so shards store codes exactly.
+                    vals = np.asarray(a.values, dtype=np.int64)
+                elif a.is_numeric:
                     vals = np.asarray(a.values, dtype=float)
                 else:
                     vals = np.empty(len(a.values), dtype=object)

@@ -356,6 +356,92 @@ class TestSimnetTable2:
             main(BASE_ARGS + ["--backend", "hybrid"])
 
 
+class TestSimnetCcAxis:
+    CC_ARGS = ["sweep", "--simnet-table2", "--duration", "2",
+               "--seeds", "0", "--cc", "reno", "dctcp"]
+
+    def test_cc_flag_prepends_integer_axis(self, capsys):
+        assert main(self.CC_ARGS + ["--format", "csv"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("cc,concurrency,parallel_flows,")
+        assert len(lines) == 1 + 48  # one Table-2 grid per CC
+        codes = [line.split(",", 1)[0] for line in lines[1:]]
+        assert codes == ["0"] * 24 + ["1"] * 24  # cc is the slowest axis
+
+    def test_cc_axis_spelling_matches_cc_flag(self, capsys):
+        """--axis cc=reno,dctcp is the same sweep as --cc reno dctcp."""
+        assert main(self.CC_ARGS + ["--format", "csv"]) == 0
+        via_flag = capsys.readouterr().out
+        assert main(
+            ["sweep", "--simnet-table2", "--duration", "2", "--seeds", "0",
+             "--axis", "cc=reno,dctcp", "--format", "csv"]
+        ) == 0
+        assert capsys.readouterr().out == via_flag
+
+    def test_cc_columns_identical_across_modes(self, capsys, tmp_path):
+        """The acceptance bar: cc sweep columns are identical between
+        the in-memory table, the multi-worker run and the --out-dir
+        sharded path (where cc lands as a native integer column)."""
+        import numpy as np
+
+        from repro.sweep import open_shards
+
+        assert main(self.CC_ARGS + ["--format", "json"]) == 0
+        mem = json.loads(capsys.readouterr().out)["columns"]
+        assert main(self.CC_ARGS + ["--workers", "2", "--format", "json"]) == 0
+        workers = json.loads(capsys.readouterr().out)["columns"]
+        assert workers == mem
+        out = tmp_path / "shards"
+        assert main(
+            self.CC_ARGS
+            + ["--out-dir", str(out), "--shard-size", "10", "--batch-size", "6"]
+        ) == 0
+        table = open_shards(out)
+        cc_col = np.asarray(table.column("cc"))
+        assert np.issubdtype(cc_col.dtype, np.integer)
+        np.testing.assert_array_equal(cc_col, mem["cc"])
+        for name in ("concurrency", "parallel_flows", "t_worst_s",
+                     "achieved_utilization", "completed_clients"):
+            np.testing.assert_allclose(
+                np.asarray(table.column(name)), mem[name], rtol=0, atol=0
+            )
+
+    def test_reno_only_cc_matches_plain_grid_cells(self, capsys):
+        """--cc reno is the pre-zoo grid plus a constant cc column."""
+        assert main(
+            ["sweep", "--simnet-table2", "--duration", "2", "--seeds", "0",
+             "--format", "csv"]
+        ) == 0
+        plain = capsys.readouterr().out.strip().splitlines()
+        assert main(
+            ["sweep", "--simnet-table2", "--duration", "2", "--seeds", "0",
+             "--cc", "reno", "--format", "csv"]
+        ) == 0
+        tagged = capsys.readouterr().out.strip().splitlines()
+        assert tagged[0] == "cc," + plain[0]
+        assert [l.split(",", 1)[1] for l in tagged[1:]] == plain[1:]
+
+    def test_unknown_cc_name_rejected_with_valid_kinds(self):
+        with pytest.raises(Exception, match="reno, dctcp, delay"):
+            main(["sweep", "--simnet-table2", "--cc", "cubic"])
+
+    def test_unknown_cc_axis_value_rejected_with_valid_kinds(self):
+        with pytest.raises(Exception, match="reno, dctcp, delay"):
+            main(["sweep", "--simnet-table2", "--axis", "cc=reno,bogus"])
+
+    def test_non_cc_axis_still_rejected(self):
+        with pytest.raises(Exception, match="simnet-table2"):
+            main(["sweep", "--simnet-table2", "--axis", "concurrency=1,2"])
+
+    def test_cc_without_simnet_rejected(self):
+        with pytest.raises(Exception, match="--simnet-table2"):
+            main(BASE_ARGS + ["--cc", "dctcp"])
+
+    def test_sss_unknown_cc_rejected(self):
+        with pytest.raises(Exception, match="reno, dctcp, delay"):
+            main(["sss", "--duration", "1", "--seeds", "0", "--cc", "westwood"])
+
+
 class TestPresets:
     def test_lcls_preset_changes_numbers(self, capsys):
         assert main(BASE_ARGS + ["--format", "json"]) == 0

@@ -277,6 +277,103 @@ def test_fig2a_curve_decision_flips_golden():
     assert con[-12:] == [0] * 12
 
 
+# ----------------------------------------------------------------------
+# Congestion-control zoo goldens: per-CC Figure 2(a) curves and the
+# mixed-CC Table-2 subgrid, with the decision flips each curve induces
+# ----------------------------------------------------------------------
+
+#: Per-CC worst-case curves on the Figure-2(a) P=4 config (duration
+#: 2 s, seed 0).  Reno is FIG2A_MAX_T[4] and must never move; DCTCP
+#: flattens the congested tail (shallow queues), the delay controller
+#: underutilises and drags the tail out.
+CC_FIG2A_MAX_T = {
+    "reno": FIG2A_MAX_T[4],
+    "dctcp": [0.2759519790965925, 0.46889114938035675, 0.7876018928239932,
+              0.992891149380357, 1.5823270558862061, 1.6537932614930215,
+              1.899947827286369, 2.1959478272863695],
+    "delay": [0.33590639858708493, 0.5688911493803568, 0.7816114660733424,
+              0.9968911493803571, 1.7029092750661952, 1.855947827286369,
+              2.4711602789480906, 3.5045813884782633],
+}
+
+#: Decision codes after joining each CC's measured curve onto the
+#: (utilization x bandwidth) grid of `_fig2a_decision_spec` (codes: 0
+#: local, 1 remote-streaming).  Reno equals FIG2A_GRID_DECISION_SSS;
+#: DCTCP's flatter tail keeps high-bandwidth streaming viable even at
+#: the two severest loads, the delay controller only at one.
+CC_FIG2A_GRID_DECISION = {
+    "reno": FIG2A_GRID_DECISION_SSS,
+    "dctcp": [0, 0, 0, 0, 1, 1] * 3 + [0, 0, 0, 0, 0, 1] * 5,
+    "delay": [0, 0, 0, 0, 1, 1] * 3 + [0, 0, 0, 0, 0, 1] * 4
+    + [0, 0, 0, 0, 0, 0],
+}
+
+#: Mixed-CC Table-2 subgrid golden (duration 2 s, seed 0): concurrency
+#: in {2, 6} at P=4 for every CC, in table2_sweep enumeration order
+#: (cc slowest).  Keys: (cc code, concurrency, parallel_flows).
+CC_TABLE2_SUBGRID = {
+    (0, 2, 4): (0.44489114938035673, 0.4494382022471907),
+    (0, 6, 4): (2.668891149380358, 0.8727212006956901),
+    (1, 2, 4): (0.46889114938035675, 0.4532577903682718),
+    (1, 6, 4): (1.6537932614930215, 0.8330379383120462),
+    (2, 2, 4): (0.5688911493803568, 0.41775456919060017),
+    (2, 6, 4): (1.855947827286369, 0.656713676897907),
+}
+
+
+@pytest.mark.parametrize("cc", ["reno", "dctcp", "delay"])
+def test_cc_fig2a_curves_golden(cc):
+    """Per-CC SSS curves on the Figure-2(a) P=4 config are pinned —
+    including that the Reno curve is exactly the pre-zoo golden."""
+    from repro.measurement.congestion import measure_sss_curve
+
+    curve = measure_sss_curve(duration_s=2.0, seeds=(0,), cc=cc)
+    np.testing.assert_allclose(curve.utilizations, FIG2A_UTILIZATIONS, rtol=RTOL)
+    np.testing.assert_allclose(curve.t_worst_values, CC_FIG2A_MAX_T[cc], rtol=RTOL)
+
+
+@pytest.mark.parametrize("cc", ["reno", "dctcp", "delay"])
+def test_cc_fig2a_decision_flips_golden(cc):
+    """Which transport the facility deploys changes where streaming
+    survives congestion: the per-CC joined decision codes are pinned."""
+    from repro.core.parameters import aps_to_alcf_defaults
+    from repro.measurement.congestion import measure_sss_curve
+    from repro.sweep import run_model_sweep
+
+    curve = measure_sss_curve(duration_s=2.0, seeds=(0,), cc=cc)
+    joined = run_model_sweep(
+        _fig2a_decision_spec(), base=aps_to_alcf_defaults(),
+        metrics=("decision",), context={"sss_curve": curve},
+    )
+    codes = [int(v) for v in joined.column("decision")]
+    assert codes == CC_FIG2A_GRID_DECISION[cc]
+
+
+def test_cc_table2_subgrid_golden():
+    """The mixed-CC Table-2 subgrid (values per cell, cc slowest axis)
+    is pinned, Reno cells bit-equal to the pre-zoo curves."""
+    specs = [
+        s for s in table2_sweep(
+            strategy=SpawnStrategy.BATCH, duration_s=2.0,
+            cc=("reno", "dctcp", "delay"),
+        )
+        if s.parallel_flows == 4 and s.concurrency in (2, 6)
+    ]
+    sweep = run_sweep(specs, seeds=(0,))
+    keys = [
+        (int(e.spec.cc), e.spec.concurrency, e.spec.parallel_flows)
+        for e in sweep.experiments
+    ]
+    assert keys == list(CC_TABLE2_SUBGRID)  # enumeration order, cc slowest
+    for e, key in zip(sweep.experiments, keys):
+        t_golden, util_golden = CC_TABLE2_SUBGRID[key]
+        assert e.max_transfer_time_s == pytest.approx(t_golden, rel=RTOL), key
+        assert e.achieved_utilization == pytest.approx(util_golden, rel=RTOL), key
+    # The Reno cells equal the pre-zoo P=4 golden curve at c=2 and c=6.
+    assert CC_TABLE2_SUBGRID[(0, 2, 4)][0] == FIG2A_MAX_T[4][1]
+    assert CC_TABLE2_SUBGRID[(0, 6, 4)][0] == FIG2A_MAX_T[4][5]
+
+
 def test_sss_export_sweep_roundtrip_golden(tmp_path, capsys):
     """`repro sss --out` -> `repro sweep --sss-curve` end to end: the
     exported artifact carries exactly the Figure 2(a) P=4 worst-case

@@ -34,6 +34,7 @@ MODULES = [
     "repro.core.sensitivity",
     "repro.core.queueing",
     "repro.simnet.batch",
+    "repro.simnet.cc",
     "repro.simnet.engine",
     "repro.simnet.link",
     "repro.simnet.tcp",
@@ -111,6 +112,18 @@ def test_quickstart_from_docstring():
     times = evaluate(params)
     assert times.t_pct > 0
     assert decide(params, streaming_alpha=0.9).chosen in set(Strategy)
+
+
+def test_cc_kinds_exported_at_simnet_level():
+    """The congestion-control coding surface is part of the simnet
+    package API: kinds, the code lookup and both coercers."""
+    from repro.simnet import CC_KINDS_BY_CODE, CcKind, cc_from_code, coerce_cc
+
+    assert [int(k) for k in CcKind] == [0, 1, 2]
+    assert set(CC_KINDS_BY_CODE) == {0, 1, 2}
+    for kind in CcKind:
+        assert cc_from_code(int(kind)) is kind
+        assert coerce_cc(kind.name.lower()) is kind
 
 
 def test_all_public_functions_have_docstrings():

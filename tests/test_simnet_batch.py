@@ -119,6 +119,182 @@ class TestBitEquivalence:
             assert_results_bit_identical(a, b)
 
 
+def cc_mixed_cases():
+    """Batch compositions that exercise every congestion-control rule:
+    same-CC congested batches per kind, kinds mixed on one bottleneck,
+    tiny buffers with forced marking + exogenous loss, and tuned
+    delay-controller knobs.  Flow tuples carry (start, size, client,
+    cc) and pass straight through ``add_flow``."""
+    tiny = Link(capacity_gbps=25.0, rtt_s=0.016, buffer_bdp=0.05)
+    return [
+        (fabric_link(), None, 0, [(0.0, 0.5e9, c, "dctcp") for c in range(8)]),
+        (fabric_link(), None, 1, [(0.0, 0.5e9, c, "delay") for c in range(8)]),
+        (
+            fabric_link(),
+            None,
+            2,
+            [
+                (0.0, 0.4e9, 0, "reno"),
+                (0.0, 0.4e9, 1, "dctcp"),
+                (0.1, 0.4e9, 2, "delay"),
+                (0.2, 0.4e9, 3, "dctcp"),
+            ],
+        ),
+        (
+            tiny,
+            TcpConfig(dctcp_marking_bdp=0.02, loss_rate=1e-4),
+            3,
+            [
+                (0.0, 0.25e9 / 8, c, ("reno", "dctcp", "delay")[c % 3])
+                for c in range(12)
+            ],
+        ),
+        (
+            fabric_link(),
+            TcpConfig(
+                delay_threshold=1.05,
+                delay_backoff=0.3,
+                delay_gain=1.0,
+                hystart_delay_frac=0.125,
+            ),
+            5,
+            [(0.0, 0.3e9, c, "delay") for c in range(6)]
+            + [(0.5, 0.3e9, 6, "reno")],
+        ),
+    ]
+
+
+class TestCcBitEquivalence:
+    """Per-CC and mixed-CC batches must stay bit-identical to the
+    sequential reference engine — the tentpole contract of the zoo."""
+
+    @pytest.mark.parametrize("cc", ["reno", "dctcp", "delay"])
+    def test_single_cc_batch_matches_sequential(self, cc):
+        flows = [(0.0, 0.5e9, c, cc) for c in range(6)]
+        (b,) = batched_run([(fabric_link(), None, 0, flows)])
+        a = sequential_run(fabric_link(), flows, seed=0)
+        assert_results_bit_identical(a, b, label=f"cc={cc}")
+
+    def test_mixed_cc_batch_matches_sequential(self):
+        cases = cc_mixed_cases()
+        batched = batched_run(cases)
+        for i, ((link, config, seed, flows), b) in enumerate(zip(cases, batched)):
+            a = sequential_run(link, flows, config=config, seed=seed)
+            assert_results_bit_identical(a, b, label=f"cc case {i}")
+
+    def test_cc_batch_order_does_not_matter(self):
+        cases = cc_mixed_cases()
+        forward = batched_run(cases)
+        backward = batched_run(list(reversed(cases)))
+        for f, b in zip(forward, reversed(backward)):
+            assert_results_bit_identical(f, b, label="cc order")
+
+    def cc_specs(self):
+        return [
+            ExperimentSpec(
+                concurrency=c, parallel_flows=2, duration_s=2.0, cc=cc
+            )
+            for c in (2, 4)
+            for cc in ("reno", "dctcp", "delay")
+        ]
+
+    @pytest.mark.parametrize("batch_size", [1, 2, 5, 100])
+    def test_mixed_cc_batch_size_invariance(self, batch_size):
+        """Any chunking of a mixed-CC unit stack reproduces the
+        per-experiment sequential reference exactly."""
+        units = [(spec, seed) for spec in self.cc_specs() for seed in (0,)]
+        chunked = run_experiments_batched(units, batch_size=batch_size)
+        for (spec, seed), b in zip(units, chunked):
+            a = run_experiment(spec, seed=seed)
+            assert a.client_times_s == b.client_times_s
+            assert a.achieved_utilization == b.achieved_utilization
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_mixed_cc_workers_bit_identical(self, workers):
+        specs = self.cc_specs()
+        serial = run_sweep(specs, seeds=(0, 1), workers=1)
+        split = run_sweep(specs, seeds=(0, 1), workers=workers)
+        for ea, eb in zip(serial.experiments, split.experiments):
+            assert ea.client_times_s == eb.client_times_s
+            assert ea.achieved_utilization == eb.achieved_utilization
+
+
+class TestCcRuleEquivalence:
+    """Hypothesis-driven isolation of each new cwnd rule: randomly
+    tuned controller knobs must never open a batch/sequential gap."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        gain=st.floats(0.01, 1.0),
+        marking=st.floats(0.01, 0.3),
+        seed=st.integers(0, 20),
+    )
+    def test_dctcp_backoff_rule(self, gain, marking, seed):
+        config = TcpConfig(dctcp_gain=gain, dctcp_marking_bdp=marking)
+        flows = [(0.0, 0.4e9, c, "dctcp") for c in range(6)]
+        (b,) = batched_run([(fabric_link(), config, seed, flows)])
+        a = sequential_run(fabric_link(), flows, config=config, seed=seed)
+        assert_results_bit_identical(a, b, label="dctcp rule")
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        threshold=st.floats(1.0, 1.5),
+        backoff=st.floats(0.05, 1.0),
+        gain=st.floats(0.05, 2.0),
+        seed=st.integers(0, 20),
+    )
+    def test_delay_backoff_and_ramp_rules(self, threshold, backoff, gain, seed):
+        config = TcpConfig(
+            delay_threshold=threshold, delay_backoff=backoff, delay_gain=gain
+        )
+        flows = [(0.0, 0.4e9, c, "delay") for c in range(6)]
+        (b,) = batched_run([(fabric_link(), config, seed, flows)])
+        a = sequential_run(fabric_link(), flows, config=config, seed=seed)
+        assert_results_bit_identical(a, b, label="delay rule")
+
+    @settings(max_examples=8, deadline=None)
+    @given(loss=st.floats(1e-6, 1e-3), seed=st.integers(0, 20))
+    def test_exogenous_loss_rule(self, loss, seed):
+        config = TcpConfig(loss_rate=loss)
+        flows = [
+            (0.0, 0.3e9, c, ("reno", "dctcp", "delay")[c % 3])
+            for c in range(6)
+        ]
+        (b,) = batched_run([(fabric_link(), config, seed, flows)])
+        a = sequential_run(fabric_link(), flows, config=config, seed=seed)
+        assert_results_bit_identical(a, b, label="loss rule")
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed_a=st.integers(0, 30),
+        seed_b=st.integers(0, 30),
+        cc_extra=st.sampled_from(["reno", "dctcp", "delay"]),
+        n_extra=st.integers(1, 3),
+        extra_size=st.floats(1e6, 5e8),
+    )
+    def test_foreign_cc_experiment_never_perturbs(
+        self, seed_a, seed_b, cc_extra, n_extra, extra_size
+    ):
+        """A joining experiment of any CC kind must not move a single
+        bit of a mixed-CC experiment already in the batch."""
+        flows_a = [
+            (0.0, 0.3e9, 0, "reno"),
+            (0.2, 0.3e9, 1, "dctcp"),
+            (0.4, 0.3e9, 2, "delay"),
+        ]
+        (alone,) = batched_run([(fabric_link(), None, seed_a, flows_a)])
+        extra = [
+            (0.1 * k, extra_size, k, cc_extra) for k in range(n_extra)
+        ]
+        together = batched_run(
+            [
+                (fabric_link(), None, seed_a, flows_a),
+                (fabric_link(), None, seed_b, extra),
+            ]
+        )
+        assert_results_bit_identical(alone, together[0], label="cc isolation")
+
+
 class TestExperimentIsolation:
     @settings(max_examples=15, deadline=None)
     @given(

@@ -1,0 +1,144 @@
+"""Congestion-control zoo: code mapping + behavioural properties.
+
+The zoo's contract has two halves.  The *coding* half (``CcKind``,
+``cc_from_code``, ``coerce_cc``) must round-trip names, codes and kinds
+and reject everything else with actionable errors, because the integer
+codes land in sweep shards.  The *dynamics* half is pinned by
+properties rather than point values: symmetric same-CC flows share the
+bottleneck fairly, DCTCP keeps queues shallow relative to Reno on the
+same offered load, and exogenous loss can only slow a flow down — for
+every controller in the family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.simnet.cc import CC_KINDS_BY_CODE, CcKind, cc_from_code, coerce_cc
+from repro.simnet.link import fabric_link
+from repro.simnet.tcp import FluidTcpSimulator, TcpConfig
+
+
+class TestCcCoding:
+    def test_codes_are_stable(self):
+        assert int(CcKind.RENO) == 0
+        assert int(CcKind.DCTCP) == 1
+        assert int(CcKind.DELAY) == 2
+
+    def test_code_round_trip(self):
+        for code, kind in CC_KINDS_BY_CODE.items():
+            assert cc_from_code(code) is kind
+            assert int(kind) == code
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (CcKind.DCTCP, CcKind.DCTCP),
+            (0, CcKind.RENO),
+            (2, CcKind.DELAY),
+            ("reno", CcKind.RENO),
+            ("DCTCP", CcKind.DCTCP),
+            (" delay ", CcKind.DELAY),
+        ],
+    )
+    def test_coerce_accepts_kind_code_and_name(self, value, expected):
+        assert coerce_cc(value) is expected
+
+    @pytest.mark.parametrize("bad", ["cubic", "", 3, -1, True, None])
+    def test_coerce_rejects_unknowns_with_valid_kinds_named(self, bad):
+        with pytest.raises(ValidationError, match="reno, dctcp, delay"):
+            coerce_cc(bad)
+
+    def test_cc_from_code_error_names_the_mapping(self):
+        with pytest.raises(ValidationError, match="0=reno, 1=dctcp, 2=delay"):
+            cc_from_code(7)
+
+    def test_str_is_lowercase_name(self):
+        assert str(CcKind.DCTCP) == "dctcp"
+
+
+def _two_flow_bytes(cc: str, seed: int, max_time_s: float = 3.0) -> np.ndarray:
+    sim = FluidTcpSimulator(fabric_link(), seed=seed)
+    sim.add_flow(0.0, 1e12, 0, cc)
+    sim.add_flow(0.0, 1e12, 1, cc)
+    return sim.run(max_time_s=max_time_s).flow_columns["bytes_sent"]
+
+
+class TestFairShare:
+    #: Worst acceptable min/max byte ratio between two symmetric flows.
+    #: Reno's droptail losses are RNG-assigned, so a window can leave
+    #: one flow behind; DCTCP/delay back off deterministically and stay
+    #: essentially exactly fair.
+    TOLERANCE = {"reno": 0.45, "dctcp": 0.9, "delay": 0.9}
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        cc=st.sampled_from(["reno", "dctcp", "delay"]),
+        seed=st.integers(0, 50),
+    )
+    def test_symmetric_flows_converge_to_fair_share(self, cc, seed):
+        sent = _two_flow_bytes(cc, seed)
+        assert sent.min() > 0
+        ratio = float(sent.min() / sent.max())
+        assert ratio >= self.TOLERANCE[cc], (cc, seed, ratio)
+
+
+def _congested_run(cc: str, seed: int = 0):
+    """The Figure-2(a)-style congested load: 6 clients/s for 2 s,
+    P=4, 0.5 GB each — offered utilisation 0.96."""
+    sim = FluidTcpSimulator(fabric_link(), seed=seed)
+    cid = 0
+    for t in range(2):
+        for _ in range(6):
+            sim.add_client(float(t), 0.5e9, 4, cid, cc=cc)
+            cid += 1
+    return sim.run(max_time_s=30.0)
+
+
+class TestDctcpKeepsQueuesShallow:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_mean_queue_and_window_utilization_below_reno(self, seed):
+        reno = _congested_run("reno", seed)
+        dctcp = _congested_run("dctcp", seed)
+        q_reno = float(np.mean(reno.sample_columns["queue_bytes"]))
+        q_dctcp = float(np.mean(dctcp.sample_columns["queue_bytes"]))
+        # DCTCP's proportional backoff keeps the droptail queue far
+        # below Reno's fill-until-overflow behaviour...
+        assert q_dctcp <= 0.5 * q_reno, (seed, q_dctcp, q_reno)
+        # ...which costs (never gains) utilisation over the spawning
+        # window on the same spec.
+        assert dctcp.utilization_before(2.0) <= reno.utilization_before(2.0) + 1e-9
+
+
+def _uncongested_bytes(cc: str, loss_rate: float) -> float:
+    """Single rwnd-clamped flow: the regime where exogenous loss is
+    the *only* backoff trigger (no droptail, no marking, no delay)."""
+    config = TcpConfig(rwnd_bdp=0.5, loss_rate=loss_rate)
+    sim = FluidTcpSimulator(fabric_link(), config=config, seed=0)
+    sim.add_flow(0.0, 1e12, 0, cc)
+    return float(sim.run(max_time_s=5.0).flow_columns["bytes_sent"][0])
+
+
+class TestLossRateMonotonicity:
+    LADDER = (0.0, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2)
+
+    @pytest.mark.parametrize("cc", ["reno", "dctcp", "delay"])
+    def test_throughput_non_increasing_along_ladder(self, cc):
+        sent = [_uncongested_bytes(cc, lr) for lr in self.LADDER]
+        for lo, hi, a, b in zip(self.LADDER, self.LADDER[1:], sent, sent[1:]):
+            assert b <= a * (1.0 + 1e-9), (cc, lo, hi, a, b)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        cc=st.sampled_from(["reno", "dctcp", "delay"]),
+        lo=st.floats(0.0, 5e-3),
+        step=st.floats(1e-5, 5e-3),
+    )
+    def test_throughput_non_increasing_for_any_rate_pair(self, cc, lo, step):
+        assert _uncongested_bytes(cc, lo + step) <= (
+            _uncongested_bytes(cc, lo) * (1.0 + 1e-9)
+        )

@@ -153,6 +153,51 @@ def test_batched_simnet_grid_at_least_3x_sequential():
     )
 
 
+@pytest.mark.bench
+def test_mixed_cc_batched_grid_within_2x_of_single_cc():
+    """The congestion-control zoo's masked per-CC updates must not blow
+    up the batched fast path: on the Table-2 grid (shortened to 2 s
+    here; the benchmark runs full scale), the mixed-CC batch costs at
+    most 2x the pure-Reno batch *per experiment*.  Interleaved rounds
+    with one re-measure, like the other wall-clock guardrails."""
+    from repro.iperfsim.runner import run_sweep
+    from repro.iperfsim.spec import SpawnStrategy, table2_sweep
+
+    reno_specs = table2_sweep(strategy=SpawnStrategy.BATCH, duration_s=2.0)
+    mixed_specs = table2_sweep(
+        strategy=SpawnStrategy.BATCH, duration_s=2.0,
+        cc=("reno", "dctcp", "delay"),
+    )
+    seeds = (0,)
+
+    ratios = []
+    for _ in range(2):
+        t0 = time.perf_counter()
+        reno = run_sweep(reno_specs, seeds=seeds)
+        t_reno = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        mixed = run_sweep(mixed_specs, seeds=seeds)
+        t_mixed = time.perf_counter() - t0
+
+        ratios.append(
+            (t_mixed / len(mixed_specs)) / (t_reno / len(reno_specs))
+        )
+        if ratios[-1] <= 2.0:
+            break
+
+    # Composition never changes results: the Reno third of the mixed
+    # batch (cc is the slowest axis) equals the pure-Reno grid.
+    for a, b in zip(reno.experiments, mixed.experiments[: len(reno_specs)]):
+        assert a.client_times_s == b.client_times_s, a.spec.label()
+
+    assert min(ratios) <= 2.0, (
+        f"mixed-CC batch should stay within 2x of single-CC per "
+        f"experiment in at least one of two rounds, got "
+        f"{[f'{r:.2f}x' for r in ratios]}"
+    )
+
+
 class _GuardrailCurve:
     """Synthetic measured curve (sorted utilisation -> SSS)."""
 

@@ -56,9 +56,21 @@ class TestAxis:
         a = Axis.parse("x=1:1000:4:log")
         np.testing.assert_allclose(a.as_array(), [1.0, 10.0, 100.0, 1000.0])
 
+    def test_parse_string_list(self):
+        # Non-numeric comma lists parse as string axes (e.g. the CLI's
+        # --axis cc=reno,dctcp,delay).
+        a = Axis.parse("cc=reno,dctcp,delay")
+        assert a.values == ("reno", "dctcp", "delay")
+        assert not a.is_integer
+
+    def test_integer_axis_flag(self):
+        assert Axis("cc", (0, 1, 2)).is_integer
+        assert not Axis("bw", (1.0, 2.0)).is_integer
+        assert not Axis("flag", (True, False)).is_integer
+
     @pytest.mark.parametrize(
         "bad",
-        ["no_equals", "x=", "=1,2", "x=1:10", "x=1:10:3:cubic", "x=a,b", "x=1:b:3"],
+        ["no_equals", "x=", "=1,2", "x=1:10", "x=1:10:3:cubic", "x=a,,b", "x=1:b:3"],
     )
     def test_parse_rejects_malformed(self, bad):
         with pytest.raises(ValidationError):

@@ -249,6 +249,76 @@ def test_sss_curve_measurement_end_to_end(artifact):
     })
 
 
+def test_faulted_table2_grid(artifact):
+    """The fault-injection layer on the Table-2 grid: a two-scenario
+    sweep (fault-free baseline + 5 s mid-run outage, 48 specs) vs the
+    plain grid.  Two claims:
+
+    1. attaching the fault machinery must leave the *fault-free* block
+       bit-identical to the plain grid (the baseline scenario IS the
+       plain grid),
+    2. the faulted scenario's extra cost stays bounded — the masked
+       capacity scaling and stall watchdog are vectorized, not a
+       per-flow Python detour (<= 3x per experiment even though every
+       faulted cell stalls, retries and re-runs the outage window).
+    """
+    plain_specs = table2_sweep(strategy=SpawnStrategy.BATCH, duration_s=10.0)
+    faulted_specs = table2_sweep(
+        strategy=SpawnStrategy.BATCH, duration_s=10.0,
+        faults=((0.0, 0.0, 0.0), (5.0, 0.0, 5.0)),
+    )
+
+    ratios = []
+    for _ in range(2):
+        t0 = time.perf_counter()
+        plain = run_sweep(plain_specs, seeds=SEEDS)
+        t_plain = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        faulted = run_sweep(faulted_specs, seeds=SEEDS)
+        t_faulted = time.perf_counter() - t0
+
+        ratios.append(
+            (t_faulted / len(faulted_specs)) / (t_plain / len(plain_specs))
+        )
+        if ratios[-1] <= 3.0:
+            break
+
+    # The fault axes are the slowest block: the first 24 faulted specs
+    # are the baseline scenario and must equal the plain grid cell for
+    # cell.
+    for a, b in zip(plain.experiments, faulted.experiments[: len(plain_specs)]):
+        assert a.client_times_s == b.client_times_s, a.spec.label()
+        assert a.achieved_utilization == b.achieved_utilization, a.spec.label()
+        assert b.retries == 0 and b.aborted == 0 and b.stall_time_s == 0.0
+
+    # The outage scenario actually exercises the fault path.
+    outage = faulted.experiments[len(plain_specs):]
+    assert sum(exp.retries for exp in outage) > 0
+    assert sum(exp.stall_time_s for exp in outage) > 0.0
+
+    ratio = min(ratios)
+    assert ratio <= 3.0, (
+        f"faulted grid should stay within 3x of the plain grid per "
+        f"experiment in at least one of two rounds, got "
+        f"{[f'{r:.2f}x' for r in ratios]}"
+    )
+    text = (
+        f"faulted Table-2 grid (baseline + 5 s outage, "
+        f"{len(faulted_specs)} specs x {len(SEEDS)} seeds, 10 s):\n"
+        f"  plain grid:              {t_plain:.2f}s ({len(plain_specs)} specs)\n"
+        f"  baseline + outage sweep: {t_faulted:.2f}s ({len(faulted_specs)} specs)\n"
+        f"  per-experiment overhead {ratio:.2f}x, baseline block bit-identical"
+    )
+    artifact("bench_simnet_faulted", text)
+    _write_json("faulted_grid", {
+        "n_experiments": len(faulted_specs) * len(SEEDS),
+        "plain_s": round(t_plain, 4),
+        "faulted_s": round(t_faulted, 4),
+        "per_experiment_ratio": round(ratio, 3),
+    })
+
+
 def _write_json(key: str, payload: dict) -> None:
     """Merge one benchmark's numbers into BENCH_simnet.json."""
     OUT_DIR.mkdir(exist_ok=True)

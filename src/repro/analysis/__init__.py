@@ -1,6 +1,10 @@
 """Analysis layer: regime boundaries, crossover maps, tier feasibility
 and text rendering for the benchmark harness."""
 
+from .robustness import (
+    FAULT_AXES,
+    strategy_robustness_from_sweep,
+)
 from .regimes import (
     RegimeBreakdown,
     congestion_regime_tally_from_sweep,
@@ -34,6 +38,8 @@ from .report import (
 )
 
 __all__ = [
+    "FAULT_AXES",
+    "strategy_robustness_from_sweep",
     "RegimeBreakdown",
     "congestion_regime_tally_from_sweep",
     "regime_breakdown",

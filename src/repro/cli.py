@@ -18,6 +18,7 @@ Subcommands regenerate the paper's artifacts as text:
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import List, Optional
 
@@ -61,6 +62,7 @@ from .iperfsim.spec import (
 )
 from .measurement.congestion import SssCurve, measure_sss_curve
 from .simnet.cc import coerce_cc
+from .simnet.faults import brownout_schedule
 from .simnet.topology import TESTBED_TABLE1
 from .streaming.comparison import run_figure4
 from .workloads.lcls import TABLE3_ROWS
@@ -191,6 +193,24 @@ def build_parser() -> argparse.ArgumentParser:
              "(equivalently: --axis cc=reno,dctcp,delay)",
     )
     p_sweep.add_argument(
+        "--outage", type=float, default=None, metavar="SECONDS",
+        help="inject a link fault of SECONDS into every --simnet-table2 "
+             "cell; the grid then runs one fault-free baseline scenario "
+             "plus the faulted one (zipped outage_s/degrade_frac/"
+             "fault_start_s axes), ready for the robustness reduction",
+    )
+    p_sweep.add_argument(
+        "--degrade", type=float, default=None, metavar="FRAC",
+        help="remaining capacity fraction during the --outage window "
+             "(default: 0 = full outage; 0.5 = link browns out to half "
+             "speed)",
+    )
+    p_sweep.add_argument(
+        "--fault-start", type=float, default=None, metavar="SECONDS",
+        help="when the --outage window opens (default: half the "
+             "--duration, mid-spawning)",
+    )
+    p_sweep.add_argument(
         "--sss-curve", default=None, metavar="PATH",
         help="join a measured SSS curve (exported by `repro sss --out`) "
              "onto the sweep's utilization axis: adds the interpolated "
@@ -228,6 +248,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-size", type=int, default=None, metavar="N",
         help="experiments per vectorized simulation batch (default: all "
              "concurrency x seed experiments in one batch)",
+    )
+    p_sss.add_argument(
+        "--outage", type=float, default=None, metavar="SECONDS",
+        help="inject a link fault of SECONDS into every measured "
+             "experiment — the curve then reads the degraded link",
+    )
+    p_sss.add_argument(
+        "--degrade", type=float, default=None, metavar="FRAC",
+        help="remaining capacity fraction during the --outage window "
+             "(default: 0 = full outage)",
+    )
+    p_sss.add_argument(
+        "--fault-start", type=float, default=None, metavar="SECONDS",
+        help="when the --outage window opens (default: half the "
+             "--duration)",
     )
     p_sss.add_argument(
         "--out", default=None, metavar="PATH",
@@ -379,16 +414,82 @@ def _simnet_cc_codes(args: argparse.Namespace) -> Optional[tuple]:
     return tuple(int(coerce_cc(v)) for v in values)
 
 
+def _cli_fault_triple(args: argparse.Namespace) -> Optional[tuple]:
+    """Validate --outage/--degrade/--fault-start into one
+    ``(outage_s, degrade_frac, fault_start_s)`` scenario.
+
+    Returns ``None`` when no fault was requested; raises the actionable
+    error when the flags are inconsistent (a bare --degrade or
+    --fault-start, a negative duration, a degrade fraction outside
+    [0, 1], or a fault scheduled past the experiment's end).
+    """
+    if args.outage is None:
+        if args.degrade is not None:
+            raise ValidationError(
+                "--degrade scales link capacity during a fault window; "
+                "add --outage SECONDS to define one"
+            )
+        if args.fault_start is not None:
+            raise ValidationError(
+                "--fault-start places a fault window; add --outage "
+                "SECONDS to define one"
+            )
+        return None
+    if args.outage < 0:
+        raise ValidationError(
+            f"--outage must be >= 0 seconds, got {args.outage:g}"
+        )
+    degrade = 0.0 if args.degrade is None else float(args.degrade)
+    if not 0.0 <= degrade <= 1.0:
+        raise ValidationError(
+            "--degrade is the capacity fraction remaining during the "
+            f"fault and must be in [0, 1] (0 = full outage), got "
+            f"{degrade:g}"
+        )
+    start = (
+        args.duration / 2.0 if args.fault_start is None else float(args.fault_start)
+    )
+    if start < 0:
+        raise ValidationError(
+            f"--fault-start must be >= 0 seconds, got {start:g}"
+        )
+    if start >= args.duration:
+        raise ValidationError(
+            f"--fault-start {start:g} s is at or past the experiment "
+            f"duration ({args.duration:g} s); schedule the fault inside "
+            "the run (or raise --duration)"
+        )
+    return (float(args.outage), degrade, start)
+
+
+def _simnet_fault_scenarios(args: argparse.Namespace) -> Optional[list]:
+    """The --simnet-table2 fault-axis block: the fault-free baseline
+    grid plus the requested scenario (``None`` without --outage), so
+    one sweep carries everything the robustness reduction compares."""
+    triple = _cli_fault_triple(args)
+    if triple is None:
+        return None
+    return [(0.0, 0.0, 0.0), triple]
+
+
+#: Fault axes / robustness metric names shared by the simnet table paths.
+_FAULT_AXES = ("outage_s", "degrade_frac", "fault_start_s")
+
+
 def _simnet_table2_table(
-    args: argparse.Namespace, cc: Optional[tuple] = None
+    args: argparse.Namespace,
+    cc: Optional[tuple] = None,
+    faults: Optional[list] = None,
 ) -> SweepResult:
     """Run the Table-2 simnet congestion grid and tabulate it as a
     sweep table (axes: concurrency, parallel_flows, plus an
-    integer-coded cc axis when one was requested) consumable by the
-    regime/crossover analysis entry points."""
+    integer-coded cc axis and/or the zipped fault-scenario axes when
+    requested) consumable by the regime/crossover/robustness analysis
+    entry points.  Columns match the sharded ``--out-dir`` path's."""
     sweep = run_sweep(
         table2_sweep(
-            strategy=SpawnStrategy.BATCH, duration_s=args.duration, cc=cc
+            strategy=SpawnStrategy.BATCH, duration_s=args.duration,
+            cc=cc, faults=faults,
         ),
         seeds=tuple(args.seeds),
         workers=args.workers,
@@ -400,13 +501,28 @@ def _simnet_table2_table(
         "parallel_flows": [e.spec.parallel_flows for e in exps],
         "offered_utilization": [e.offered_utilization for e in exps],
         "achieved_utilization": [e.achieved_utilization for e in exps],
-        "t_worst_s": [e.max_transfer_time_s for e in exps],
+        # A severe-enough fault can finish no client in a cell; nan is
+        # the measurement outcome (matching table2_block_metrics).
+        "t_worst_s": [
+            e.max_transfer_time_s if e.completed_clients else math.nan
+            for e in exps
+        ],
         "completed_clients": [e.completed_clients for e in exps],
+        "stall_time_s": [e.stall_time_s for e in exps],
+        "retries": [e.retries for e in exps],
+        "aborted": [e.aborted for e in exps],
     }
     axis_names = ("concurrency", "parallel_flows")
     if cc is not None:
         columns = {"cc": [int(e.spec.cc) for e in exps], **columns}
         axis_names = ("cc",) + axis_names
+    if faults is not None:
+        points = list(table2_spec(cc=cc, faults=faults).points())
+        fault_cols = {
+            a: [float(p[a]) for p in points] for a in _FAULT_AXES
+        }
+        columns = {**fault_cols, **columns}
+        axis_names = _FAULT_AXES + axis_names
     return SweepResult(columns, axis_names=axis_names)
 
 
@@ -460,6 +576,7 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
                 "--zip/--facilities (only a cc --axis is sweepable)"
             )
         cc_codes = _simnet_cc_codes(args)
+        fault_scenarios = _simnet_fault_scenarios(args)
         if _sweep_cache(args) is not None:
             raise ValidationError(
                 "--cache-dir/--cache-max-entries/--cache-ttl do not apply "
@@ -506,12 +623,15 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
                 batch_size=args.batch_size,
             )
             table = run_generic_sweep(
-                table2_spec(cc=cc_codes), workers=args.workers,
+                table2_spec(cc=cc_codes, faults=fault_scenarios),
+                workers=args.workers,
                 out=args.out_dir, block_size=args.shard_size,
                 compress=args.compress, block_fn=block_fn,
             )
         else:
-            table = _simnet_table2_table(args, cc=cc_codes)
+            table = _simnet_table2_table(
+                args, cc=cc_codes, faults=fault_scenarios
+            )
     else:
         if args.seeds != [0] or args.duration != 10.0:
             raise ValidationError(
@@ -525,6 +645,16 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
             raise ValidationError(
                 "--cc selects congestion controls for --simnet-table2; "
                 "model sweeps take a cc axis via the simnet grid only"
+            )
+        if (
+            args.outage is not None
+            or args.degrade is not None
+            or args.fault_start is not None
+        ):
+            raise ValidationError(
+                "--outage/--degrade/--fault-start inject link faults "
+                "into the measured grids (--simnet-table2 or repro sss); "
+                "the closed-form model has no link to fail"
             )
         if args.mode == "vectorized" and args.backend != "process":
             raise ValidationError(
@@ -658,12 +788,21 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
 
 
 def _cmd_sss(args: argparse.Namespace) -> str:
+    triple = _cli_fault_triple(args)
+    faults = (
+        None
+        if triple is None
+        else brownout_schedule(
+            triple[0], triple[1], start_s=triple[2], duration_s=args.duration
+        )
+    )
     curve = measure_sss_curve(
         parallel_flows=args.parallel,
         duration_s=args.duration,
         seeds=tuple(args.seeds),
         batch_size=args.batch_size,
         cc=args.cc,
+        faults=faults,
     )
     rows = [
         (f"{m.utilization:.0%}", f"{m.t_worst_s:.2f} s", f"{m.sss:.1f}x", str(m.regime))

@@ -24,6 +24,12 @@ class ExperimentResult:
     achieved_utilization: float
     offered_utilization: float
     sim: Optional[SimulationResult] = None
+    #: Robustness aggregates under fault injection (all zero for
+    #: fault-free runs): total no-progress time across flows, total
+    #: application-layer reconnects, and flows that gave up.
+    stall_time_s: float = 0.0
+    retries: int = 0
+    aborted: int = 0
 
     @classmethod
     def from_sim(
@@ -39,12 +45,16 @@ class ExperimentResult:
         (the paper's network-level metric, not the full drain time) —
         one masked numpy reduction over the columnar link samples.
         """
+        cols = result.flow_columns
         return cls(
             spec=spec,
             client_times_s=result.client_completion_times_s(),
             achieved_utilization=result.utilization_before(spec.duration_s),
             offered_utilization=offered_utilization,
             sim=result if keep_sim else None,
+            stall_time_s=float(np.sum(cols["stall_time_s"])),
+            retries=int(np.sum(cols["retries"])),
+            aborted=int(np.count_nonzero(cols["aborted"])),
         )
 
     @property

@@ -32,7 +32,7 @@ from ..simnet.tcp import FluidTcpSimulator, TcpConfig
 from ..sweep.engine import parallel_map
 from .orchestrator import make_spawner
 from .results import ExperimentResult, SweepResult
-from .spec import ExperimentSpec, SpawnStrategy
+from .spec import ExperimentSpec, SpawnStrategy, point_fault_schedule
 
 __all__ = [
     "run_experiment",
@@ -65,7 +65,7 @@ def run_experiment(
     link = link or fabric_link()
     spawner = make_spawner(spec, seed=seed)
     starts, clients = spawner.plan_columns(spec)
-    sim = FluidTcpSimulator(link, config=config, seed=seed)
+    sim = FluidTcpSimulator(link, config=config, seed=seed, faults=spec.faults)
     for s, cid in zip(starts, clients):
         sim.add_client(
             float(s), spec.transfer_size_bytes, spec.parallel_flows, int(cid),
@@ -87,7 +87,7 @@ def _run_unit_batch(
     engine (executor unit: module-level so it pickles to workers)."""
     sim = BatchFluidSimulator()
     for spec, seed in units:
-        e = sim.add_experiment(link, config=config, seed=seed)
+        e = sim.add_experiment(link, config=config, seed=seed, faults=spec.faults)
         starts, clients = make_spawner(spec, seed=seed).plan_columns(spec)
         # iperf3 ``-P`` semantics via the engine's own client splitting
         # (add_clients = add_client vectorized over the spawn plan).
@@ -148,16 +148,25 @@ def _pool_units(
     paper aggregates repeated 10 s runs."""
     pooled: Dict[int, float] = {}
     achieved_sum = 0.0
+    stall_sum = 0.0
+    retries_sum = 0
+    aborted_sum = 0
     for rep, res in enumerate(per_seed):
         offset = rep * 1_000_000  # keep client ids unique across reps
         for cid, t in res.client_times_s.items():
             pooled[offset + cid] = t
         achieved_sum += res.achieved_utilization
+        stall_sum += res.stall_time_s
+        retries_sum += res.retries
+        aborted_sum += res.aborted
     return ExperimentResult(
         spec=spec,
         client_times_s=pooled,
         achieved_utilization=achieved_sum / len(seeds),
         offered_utilization=spec.offered_utilization(link),
+        stall_time_s=stall_sum,
+        retries=retries_sum,
+        aborted=aborted_sum,
     )
 
 
@@ -217,7 +226,9 @@ def table2_block_metrics(
 
     ``points`` carry ``concurrency`` and ``parallel_flows`` (the axes of
     :func:`repro.iperfsim.spec.table2_spec`), plus optionally an
-    integer-coded ``cc`` axis selecting each cell's congestion control;
+    integer-coded ``cc`` axis selecting each cell's congestion control
+    and the ``outage_s`` / ``degrade_frac`` / ``fault_start_s`` fault
+    axes selecting each cell's link-fault scenario;
     every cell x seed lands in one
     :class:`~repro.simnet.batch.BatchFluidSimulator` run (chunked by
     ``batch_size``), then each cell's seeds are pooled exactly like
@@ -239,6 +250,7 @@ def table2_block_metrics(
             duration_s=duration_s,
             strategy=strategy,
             cc=point.get("cc", 0),
+            faults=point_fault_schedule(point, duration_s=duration_s),
         )
         for point in points
     ]
@@ -253,8 +265,18 @@ def table2_block_metrics(
         {
             "offered_utilization": float(exp.offered_utilization),
             "achieved_utilization": float(exp.achieved_utilization),
-            "t_worst_s": float(exp.max_transfer_time_s),
+            # A severe-enough outage can finish *no* client in a cell;
+            # that is a measurement outcome, not an error, so the worst
+            # time goes to nan instead of raising.
+            "t_worst_s": (
+                float(exp.max_transfer_time_s)
+                if exp.completed_clients
+                else math.nan
+            ),
             "completed_clients": int(exp.completed_clients),
+            "stall_time_s": float(exp.stall_time_s),
+            "retries": int(exp.retries),
+            "aborted": int(exp.aborted),
         }
         for exp in sweep.experiments
     ]

@@ -11,17 +11,24 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import ValidationError
 from ..units import GB, ensure_positive
 from ..simnet.cc import CcKind, coerce_cc
+from ..simnet.faults import (
+    FaultSchedule,
+    brownout_schedule,
+    coerce_faults,
+    schedule_is_noop,
+)
 from ..simnet.link import Link, fabric_link
 from ..sweep.spec import Axis, SweepSpec
 
 __all__ = [
     "SpawnStrategy",
     "ExperimentSpec",
+    "point_fault_schedule",
     "table2_spec",
     "table2_sweep",
     "TABLE2_CONCURRENCY",
@@ -60,6 +67,11 @@ class ExperimentSpec:
     ``cc`` selects the congestion controller every client flow runs
     (a :class:`~repro.simnet.cc.CcKind`, its integer code or name);
     the default is the Reno loop the paper's testbed exercises.
+
+    ``faults`` attaches a deterministic link-fault schedule
+    (:mod:`repro.simnet.faults`: a :class:`FaultEvent` or sequence of
+    them) applied mid-run by whichever engine executes the spec; the
+    default is the fault-free link the paper measured.
     """
 
     concurrency: int
@@ -69,9 +81,11 @@ class ExperimentSpec:
     strategy: SpawnStrategy = SpawnStrategy.BATCH
     spawn_jitter_s: float = 0.03
     cc: CcKind = CcKind.RENO
+    faults: FaultSchedule = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "cc", coerce_cc(self.cc))
+        object.__setattr__(self, "faults", coerce_faults(self.faults))
         if self.concurrency < 1:
             raise ValidationError(
                 f"concurrency must be >= 1, got {self.concurrency!r}"
@@ -113,10 +127,13 @@ class ExperimentSpec:
 
     def label(self) -> str:
         """Compact identifier, e.g. ``batch-c4-p8`` (non-Reno runs get a
-        ``-<cc>`` suffix, e.g. ``batch-c4-p8-dctcp``)."""
+        ``-<cc>`` suffix, e.g. ``batch-c4-p8-dctcp``; runs with an
+        effective fault schedule get a ``-fault`` suffix)."""
         base = f"{self.strategy.value}-c{self.concurrency}-p{self.parallel_flows}"
         if self.cc is not CcKind.RENO:
-            return f"{base}-{self.cc.name.lower()}"
+            base = f"{base}-{self.cc.name.lower()}"
+        if not schedule_is_noop(self.faults):
+            base = f"{base}-fault"
         return base
 
 
@@ -136,10 +153,62 @@ TABLE2_ROWS: Tuple[Tuple[str, str, str], ...] = (
 )
 
 
+#: One sweepable fault scenario: (outage_s, degrade_frac, fault_start_s).
+FaultTriple = Tuple[float, float, float]
+
+
+def _validated_fault_triples(
+    faults: Sequence[FaultTriple],
+) -> List[FaultTriple]:
+    """Validate sweepable fault scenarios (actionable errors; shared by
+    :func:`table2_spec` and the CLI)."""
+    triples: List[FaultTriple] = []
+    for i, raw in enumerate(faults):
+        trip = tuple(raw)
+        if len(trip) != 3:
+            raise ValidationError(
+                f"fault scenario #{i} must be a (outage_s, degrade_frac, "
+                f"fault_start_s) triple, got {raw!r}"
+            )
+        outage_s, degrade_frac, start_s = (float(v) for v in trip)
+        if outage_s < 0:
+            raise ValidationError(
+                f"fault scenario #{i}: outage duration must be >= 0 "
+                f"seconds, got {outage_s!r}"
+            )
+        if not 0.0 <= degrade_frac <= 1.0:
+            raise ValidationError(
+                f"fault scenario #{i}: degrade fraction must be in [0, 1] "
+                f"(0 = full outage), got {degrade_frac!r}"
+            )
+        if start_s < 0:
+            raise ValidationError(
+                f"fault scenario #{i}: fault start must be >= 0 seconds, "
+                f"got {start_s!r}"
+            )
+        triples.append((outage_s, degrade_frac, start_s))
+    return triples
+
+
+def point_fault_schedule(
+    point: dict, duration_s: Optional[float] = None
+) -> FaultSchedule:
+    """The fault schedule of one sweep point carrying the ``outage_s`` /
+    ``degrade_frac`` / ``fault_start_s`` axes (empty when absent or the
+    outage has zero length)."""
+    return brownout_schedule(
+        float(point.get("outage_s", 0.0)),
+        float(point.get("degrade_frac", 0.0)),
+        start_s=float(point.get("fault_start_s", 0.0)),
+        duration_s=duration_s,
+    )
+
+
 def table2_spec(
     concurrencies: Tuple[int, ...] = TABLE2_CONCURRENCY,
     parallel_flows: Tuple[int, ...] = TABLE2_PARALLEL_FLOWS,
     cc: Tuple[CcKind | int | str, ...] | None = None,
+    faults: Sequence[FaultTriple] | None = None,
 ) -> SweepSpec:
     """The Table-2 grid as a declarative sweep spec.
 
@@ -147,25 +216,40 @@ def table2_spec(
     paper's per-P curve grouping of Figure 2.  Passing ``cc`` (kinds,
     codes or names) prepends an integer-coded ``cc`` axis as the
     slowest axis, turning the grid into a per-congestion-control
-    family of Table-2 grids.
+    family of Table-2 grids.  Passing ``faults`` — a sequence of
+    ``(outage_s, degrade_frac, fault_start_s)`` scenarios — prepends
+    one zipped three-axis block (``outage_s`` / ``degrade_frac`` /
+    ``fault_start_s``, float-coded native columns) as the slowest
+    block: one full grid per fault scenario, the failure-aware
+    decision surface.
     """
-    axes = [
-        Axis("parallel_flows", parallel_flows),
-        Axis("concurrency", concurrencies),
-    ]
+    blocks: List[List[Axis]] = []
+    if faults is not None:
+        triples = _validated_fault_triples(faults)
+        blocks.append(
+            [
+                Axis("outage_s", tuple(t[0] for t in triples)),
+                Axis("degrade_frac", tuple(t[1] for t in triples)),
+                Axis("fault_start_s", tuple(t[2] for t in triples)),
+            ]
+        )
     if cc is not None:
         codes = tuple(int(coerce_cc(c)) for c in cc)
-        axes.insert(0, Axis("cc", codes))
-    return SweepSpec.grid(*axes)
+        blocks.append([Axis("cc", codes)])
+    blocks.append([Axis("parallel_flows", parallel_flows)])
+    blocks.append([Axis("concurrency", concurrencies)])
+    return SweepSpec(blocks)
 
 
 def table2_sweep(
     strategy: SpawnStrategy = SpawnStrategy.BATCH,
     duration_s: float = 10.0,
     cc: Tuple[CcKind | int | str, ...] | None = None,
+    faults: Sequence[FaultTriple] | None = None,
 ) -> List[ExperimentSpec]:
     """The paper's full 24-experiment sweep (Table 2); with ``cc``,
-    one full grid per congestion-control kind (slowest axis)."""
+    one full grid per congestion-control kind (slowest axis); with
+    ``faults``, one full grid per fault scenario (slowest block)."""
     return [
         ExperimentSpec(
             concurrency=point["concurrency"],
@@ -173,8 +257,9 @@ def table2_sweep(
             duration_s=duration_s,
             strategy=strategy,
             cc=point.get("cc", CcKind.RENO),
+            faults=point_fault_schedule(point, duration_s=duration_s),
         )
-        for point in table2_spec(cc=cc).points()
+        for point in table2_spec(cc=cc, faults=faults).points()
     ]
 
 

@@ -35,6 +35,7 @@ from ..iperfsim.results import SweepResult
 from ..iperfsim.runner import run_sweep
 from ..iperfsim.spec import ExperimentSpec, SpawnStrategy
 from ..simnet.cc import CcKind
+from ..simnet.faults import FaultEvent
 from ..simnet.link import Link, fabric_link
 
 __all__ = ["SssCurve", "measure_sss_curve", "curve_from_sweep"]
@@ -266,6 +267,7 @@ def measure_sss_curve(
     workers: int = 1,
     batch_size: Optional[int] = None,
     cc: CcKind | int | str = CcKind.RENO,
+    faults: Union[None, FaultEvent, Sequence[FaultEvent]] = None,
 ) -> SssCurve:
     """Execute the measurement methodology end to end.
 
@@ -278,6 +280,9 @@ def measure_sss_curve(
     a fraction of the time.  ``cc`` selects the congestion controller
     every client runs (kind, code or name), yielding per-CC curves —
     which transport the facility deploys changes the decision surface.
+    ``faults`` attaches a link-fault schedule
+    (:mod:`repro.simnet.faults`) to every experiment, yielding the
+    degraded-link curve a brownout-aware decision should read from.
     """
     if not concurrencies:
         raise ValidationError("need at least one concurrency level")
@@ -290,6 +295,7 @@ def measure_sss_curve(
             duration_s=duration_s,
             strategy=SpawnStrategy.BATCH,
             cc=cc,
+            faults=() if faults is None else faults,
         )
         for c in concurrencies
     ]

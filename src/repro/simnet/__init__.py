@@ -13,7 +13,10 @@ Two complementary simulators:
   vectorized state update, bit-identical to sequential runs.
 
 Both fluid engines dispatch per flow on a congestion-control family
-(:mod:`repro.simnet.cc`: Reno / DCTCP / delay-based, integer-coded).
+(:mod:`repro.simnet.cc`: Reno / DCTCP / delay-based, integer-coded) and
+apply deterministic link-fault schedules (:mod:`repro.simnet.faults`:
+brownouts and full outages with stall detection, application-layer
+retry and abort accounting).
 
 Plus the descriptive layer: :class:`Link`, :class:`Topology` and the
 FABRIC testbed preset of Table 1.
@@ -22,6 +25,13 @@ FABRIC testbed preset of Table 1.
 from .batch import BatchFluidSimulator
 from .cc import CC_KINDS_BY_CODE, CcKind, cc_from_code, coerce_cc
 from .engine import AllOf, AnyOf, Environment, Event, Interrupt, Process, Resource
+from .faults import (
+    FaultEvent,
+    brownout_schedule,
+    capacity_factor,
+    coerce_faults,
+    schedule_is_noop,
+)
 from .link import Link, fabric_link
 from .records import FlowRecord, LinkSample, SampleLog, SimulationResult
 from .tcp import FluidTcpSimulator, TcpConfig
@@ -44,6 +54,11 @@ __all__ = [
     "CcKind",
     "cc_from_code",
     "coerce_cc",
+    "FaultEvent",
+    "brownout_schedule",
+    "capacity_factor",
+    "coerce_faults",
+    "schedule_is_noop",
     "FlowRecord",
     "LinkSample",
     "SampleLog",

@@ -37,14 +37,22 @@ property across batch compositions, seeds and batch sizes.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Iterable, List, Optional, Union
 
 import numpy as np
 
 from ..errors import SimulationError, ValidationError
 from ..units import ensure_positive
 from .cc import CcKind, coerce_cc
+from .faults import (
+    FaultEvent,
+    FaultSchedule,
+    capacity_factor,
+    coerce_faults,
+    schedule_is_noop,
+)
 from .link import Link
 from .records import SampleLog, SimulationResult, validate_conservation
 from .tcp import TcpConfig, _empty_result
@@ -60,6 +68,7 @@ class _Experiment:
     link: Link
     config: TcpConfig
     rng: np.random.Generator
+    faults: FaultSchedule = ()
     start: List[float] = field(default_factory=list)
     size: List[float] = field(default_factory=list)
     client: List[int] = field(default_factory=list)
@@ -104,9 +113,12 @@ class BatchFluidSimulator:
         link: Link,
         config: Optional[TcpConfig] = None,
         seed: int = 0,
+        faults: Union[None, FaultEvent, Iterable[FaultEvent]] = None,
     ) -> int:
         """Register one experiment; returns its index in ``run()``'s
-        result list."""
+        result list.  ``faults`` attaches a per-experiment link-fault
+        schedule (:mod:`repro.simnet.faults`); experiments with and
+        without schedules mix freely in one batch."""
         dt = self._dt_given if self._dt_given is not None else link.rtt_s / 4.0
         if dt > link.rtt_s:
             raise ValidationError(
@@ -126,6 +138,7 @@ class BatchFluidSimulator:
                 link=link,
                 config=config or TcpConfig(),
                 rng=np.random.default_rng(seed),
+                faults=coerce_faults(faults),
             )
         )
         return len(self._experiments) - 1
@@ -348,6 +361,25 @@ class BatchFluidSimulator:
         ]
         dsmooth = [cfg.delay_smoothing for cfg in cfgs]
         dgain = [cfg.delay_gain for cfg in cfgs]
+        icw = [cfg.initial_cwnd_segments for cfg in cfgs]
+        issth = [cfg.initial_ssthresh_segments for cfg in cfgs]
+        # Fault-injection statics: the per-experiment schedules, which
+        # experiments actually carry an effective one, and the stall/
+        # retry knobs.  `has_faults` gates every fault statement below,
+        # so a fault-free batch executes the exact statement sequence of
+        # the pre-fault engine (and a faulted batch still runs the
+        # fault-free experiments' flows through unchanged arithmetic —
+        # the per-flow `fault_flow` mask keeps the stall machinery away
+        # from them).
+        fault_scheds = [exp.faults for exp in exps]
+        exp_faulted = [
+            bool(f) and not schedule_is_noop(f) for f in fault_scheds
+        ]
+        has_faults = any(exp_faulted)
+        stall_s = [cfg.stall_timeout_s for cfg in cfgs]
+        rback = [cfg.retry_backoff_s for cfg in cfgs]
+        rbmax = [cfg.retry_backoff_max_s for cfg in cfgs]
+        rmax = [cfg.max_retries for cfg in cfgs]
 
         # --- stacked flow arrays (live experiments only; `live` is the
         # segment order, `exp_idx` holds batch positions so the scalar
@@ -409,9 +441,19 @@ class BatchFluidSimulator:
         rtt_smooth = np.zeros(n)  # 0 = no RTT sample yet
         loss_credit = np.zeros(n)
 
+        # Fault-injection flow state (only touched when `has_faults`).
+        fault_flow = np.repeat(np.asarray(exp_faulted, dtype=bool), n_flows)
+        last_progress = np.zeros(n)
+        stall_time = np.zeros(n)
+        retries = np.zeros(n, dtype=np.int64)
+        aborted = np.zeros(n, dtype=bool)
+
         # --- per-experiment dynamic scalars (Python floats, converted to
         # arrays only where a per-flow gather needs them; batch position) --
         queues = [0.0] * n_exp
+        # Effective capacity under each experiment's fault schedule;
+        # `caps_t[e] is caps[e]` whenever no fault window is open.
+        caps_t = list(caps)
         buckets = [0.0] * n_exp
         overflow = [0.0] * n_exp
         qdelay = [0.0] * n_exp
@@ -454,6 +496,9 @@ class BatchFluidSimulator:
                     "bytes_sent": size[seg] - remaining[seg],
                     "loss_events": loss_events[seg].copy(),
                     "timeout_events": timeout_events[seg].copy(),
+                    "stall_time_s": stall_time[seg].copy(),
+                    "retries": retries[seg].copy(),
+                    "aborted": aborted[seg].copy(),
                 },
                 sample_columns=samples[e].columns(),
                 capacity_bytes_per_s=caps[e],
@@ -477,10 +522,25 @@ class BatchFluidSimulator:
             rto_expired = (state == _TIMEOUT) & (rto_until <= t)
             state[rto_expired] = _RUNNING
 
+            # Effective per-experiment capacity under the fault schedules
+            # (mirrors the sequential engine's `cap_t`; Python floats).
+            if has_faults:
+                if np.any(newly_started):
+                    last_progress[newly_started] = t
+                for e in live:
+                    if exp_faulted[e]:
+                        caps_t[e] = caps[e] * capacity_factor(
+                            fault_scheds[e], t
+                        )
+
             active = state == _RUNNING
             counts = np.add.reduceat(active, red_offs, dtype=np.int64).tolist()
 
-            if sum(counts) == 0:
+            # The scalar fast-forward compresses dead time, but the
+            # application-layer stall watchdog must tick every step while
+            # a fault schedule is live — so a faulted batch steps through
+            # the (result-identical) full update instead.
+            if sum(counts) == 0 and not has_faults:
                 # --- adaptive time advance: every live flow is pending or
                 # in RTO; fast-forward with scalar-only steps (queue drain
                 # + sampling — exactly what the per-step loop would do)
@@ -530,7 +590,7 @@ class BatchFluidSimulator:
                 if counts[j] == 0:
                     # Nothing sending in this experiment: queue drains at
                     # line rate.
-                    queues[e] = max(0.0, queues[e] - caps[e] * dt)
+                    queues[e] = max(0.0, queues[e] - caps_t[e] * dt)
                     overflow[e] = 0.0
                     scale[e] = 1.0
                     continue
@@ -538,7 +598,7 @@ class BatchFluidSimulator:
                 # the contiguous segment view, exactly the sequential
                 # engine's `demand.sum()`.
                 total_demand = float(demand[segments[j]].sum())
-                cap = caps[e]
+                cap = caps_t[e]
                 if total_demand <= cap:
                     scale[e] = 1.0
                     queues[e] = max(0.0, queues[e] - (cap - total_demand) * dt)
@@ -554,6 +614,8 @@ class BatchFluidSimulator:
             sent *= dt
             np.minimum(sent, remaining, out=sent)
             remaining -= sent
+            if has_faults:
+                last_progress[sent > 0.0] = t
 
             # One strict-order segment reduction for every experiment's
             # sample bucket (matches the sequential `_strict_sum`).
@@ -566,9 +628,20 @@ class BatchFluidSimulator:
             any_finished = bool(finished.any())
             if any_finished:
                 # Completion stamp: last bytes drain through the queue
-                # plus half an RTT for the final acknowledgement.
+                # plus half an RTT for the final acknowledgement.  (The
+                # inf guard mirrors the sequential engine: during a full
+                # outage nothing finishes, but the stamp is computed for
+                # every live experiment.)
                 for e in live:
-                    fin[e] = t + dt + queues[e] / caps[e] + rtts[e] / 2.0
+                    fin[e] = (
+                        t + dt
+                        + (
+                            queues[e] / caps_t[e]
+                            if caps_t[e] > 0.0
+                            else math.inf
+                        )
+                        + rtts[e] / 2.0
+                    )
                 end[finished] = np.asarray(fin)[exp_idx][finished]
                 state[finished] = _DONE
                 active = state == _RUNNING
@@ -746,6 +819,45 @@ class BatchFluidSimulator:
                 where=np.asarray(clamp)[exp_idx],
             )
 
+            # --- application-layer stall detection / retry / abort --------
+            # Mirrors the sequential block statement for statement; the
+            # `fault_flow` mask keeps the watchdog away from flows of
+            # fault-free experiments sharing the batch.
+            abort_now = None
+            if has_faults:
+                stalled = (
+                    fault_flow
+                    & ((state == _RUNNING) | (state == _TIMEOUT))
+                    & (t - last_progress >= np.asarray(stall_s)[exp_idx])
+                )
+                if np.any(stalled):
+                    stall_time[stalled] += t - last_progress[stalled]
+                    exhausted = stalled & (
+                        retries >= np.asarray(rmax)[exp_idx]
+                    )
+                    retry = stalled & ~exhausted
+                    if np.any(exhausted):
+                        state[exhausted] = _DONE
+                        aborted[exhausted] = True
+                        abort_now = exhausted
+                    if np.any(retry):
+                        retries[retry] += 1
+                        backoff = np.minimum(
+                            np.asarray(rback)[exp_idx][retry]
+                            * (2.0 ** (retries[retry] - 1.0)),
+                            np.asarray(rbmax)[exp_idx][retry],
+                        )
+                        rto_until[retry] = t + dt + backoff
+                        state[retry] = _TIMEOUT
+                        cwnd[retry] = np.asarray(icw)[exp_idx][retry]
+                        ssthresh[retry] = np.asarray(issth)[exp_idx][retry]
+                        rto_backoff[retry] = 0
+                        recovery_until[retry] = 0.0
+                        dctcp_alpha[retry] = 0.0
+                        rtt_smooth[retry] = 0.0
+                        loss_credit[retry] = 0.0
+                        last_progress[retry] = rto_until[retry]
+
             t += dt
 
             # --- utilisation sampling (shared bucket boundaries) ----------
@@ -758,11 +870,14 @@ class BatchFluidSimulator:
                     buckets[e] = 0.0
                 bucket_start = t
 
-            # --- retire experiments whose flows all completed: assemble
-            # their result and compact the stacked arrays ------------------
-            if any_finished:
+            # --- retire experiments whose flows all completed (or
+            # aborted): assemble their result and compact the arrays -------
+            if any_finished or abort_now is not None:
+                completed = (
+                    finished if abort_now is None else finished | abort_now
+                )
                 fin_counts = np.add.reduceat(
-                    finished, red_offs, dtype=np.int64
+                    completed, red_offs, dtype=np.int64
                 ).tolist()
                 retired = False
                 keep = None
@@ -783,18 +898,25 @@ class BatchFluidSimulator:
                     (start, size, remaining, cwnd, ssthresh, state, rto_until,
                      rto_backoff, end, loss_events, timeout_events,
                      recovery_until, mss_flow, rwnd_flow, cc_flow,
-                     dctcp_alpha, rtt_smooth, loss_credit) = (
+                     dctcp_alpha, rtt_smooth, loss_credit, fault_flow,
+                     last_progress, stall_time, retries, aborted) = (
                         arr[keep]
                         for arr in (
                             start, size, remaining, cwnd, ssthresh, state,
                             rto_until, rto_backoff, end, loss_events,
                             timeout_events, recovery_until, mss_flow, rwnd_flow,
                             cc_flow, dctcp_alpha, rtt_smooth, loss_credit,
+                            fault_flow, last_progress, stall_time, retries,
+                            aborted,
                         )
                     )
                     is_dctcp = cc_flow == int(CcKind.DCTCP)
                     is_delay = cc_flow == int(CcKind.DELAY)
                     segments, red_offs, exp_idx = layout(live)
+                    # Once every faulted experiment has retired, the
+                    # remaining batch regains the scalar fast-forward
+                    # (a pure, result-identical optimisation).
+                    has_faults = any(exp_faulted[e] for e in live)
 
         assert all(r is not None for r in results)
         return results  # type: ignore[return-value]

@@ -39,6 +39,9 @@ FLOW_COLUMNS: Dict[str, type] = {
     "bytes_sent": np.float64,
     "loss_events": np.int64,
     "timeout_events": np.int64,
+    "stall_time_s": np.float64,
+    "retries": np.int64,
+    "aborted": np.bool_,
 }
 
 #: Link-sample column names and dtypes of a columnar result.
@@ -57,6 +60,12 @@ class FlowRecord:
 
     ``end_s`` is ``nan`` for flows that had not completed when the
     simulation stopped; use :attr:`completed` before reading durations.
+
+    ``stall_time_s`` / ``retries`` / ``aborted`` record the
+    fault-injection lifecycle (:mod:`repro.simnet.faults`): time spent
+    with no forward progress, application-layer reconnect attempts, and
+    whether the flow exhausted its retry budget and gave up.  They are
+    all zero/False for fault-free runs.
     """
 
     flow_id: int
@@ -67,6 +76,9 @@ class FlowRecord:
     bytes_sent: float
     loss_events: int
     timeout_events: int
+    stall_time_s: float = 0.0
+    retries: int = 0
+    aborted: bool = False
 
     def __post_init__(self) -> None:
         if self.start_s < 0:
@@ -238,6 +250,9 @@ class SimulationResult:
                     bytes_sent=float(cols["bytes_sent"][i]),
                     loss_events=int(cols["loss_events"][i]),
                     timeout_events=int(cols["timeout_events"][i]),
+                    stall_time_s=float(cols["stall_time_s"][i]),
+                    retries=int(cols["retries"][i]),
+                    aborted=bool(cols["aborted"][i]),
                 )
                 for i in range(self.n_flows)
             ]

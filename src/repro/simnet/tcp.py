@@ -33,14 +33,16 @@ seeded at construction.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Iterable, List, Optional, Union
 
 import numpy as np
 
 from ..errors import ValidationError
 from ..units import ensure_positive
 from .cc import CcKind, coerce_cc
+from .faults import FaultEvent, capacity_factor, coerce_faults, schedule_is_noop
 from .link import Link
 from .records import SampleLog, SimulationResult, validate_conservation
 
@@ -114,6 +116,19 @@ class TcpConfig:
     #: flow accrues ``sent_segments * loss_rate`` of loss credit and
     #: takes one multiplicative-decrease event per whole credit.
     loss_rate: float = 0.0
+    #: Application-layer stall detector: a flow that moves no bytes for
+    #: this long is torn down and retried (or aborted).  Only consulted
+    #: when a fault schedule is attached — fault-free runs never take
+    #: this path, keeping them bit-identical to the pre-fault engine.
+    stall_timeout_s: float = 4.0
+    #: First reconnect backoff after a detected stall, seconds; doubles
+    #: per consecutive retry (exponential backoff).
+    retry_backoff_s: float = 1.0
+    #: Cap on the reconnect backoff, seconds.
+    retry_backoff_max_s: float = 16.0
+    #: Reconnect attempts before the application gives up and the flow
+    #: is recorded as ``aborted``.
+    max_retries: int = 4
 
     def __post_init__(self) -> None:
         ensure_positive(self.initial_cwnd_segments, "initial_cwnd_segments")
@@ -159,6 +174,20 @@ class TcpConfig:
             raise ValidationError(
                 f"loss_rate must be in [0, 1), got {self.loss_rate!r}"
             )
+        ensure_positive(self.stall_timeout_s, "stall_timeout_s")
+        ensure_positive(self.retry_backoff_s, "retry_backoff_s")
+        if self.retry_backoff_max_s < self.retry_backoff_s:
+            raise ValidationError(
+                f"retry_backoff_max_s ({self.retry_backoff_max_s}) must be "
+                f">= retry_backoff_s ({self.retry_backoff_s})"
+            )
+        if not isinstance(self.max_retries, int) or isinstance(
+            self.max_retries, bool
+        ) or self.max_retries < 0:
+            raise ValidationError(
+                f"max_retries must be an integer >= 0, got "
+                f"{self.max_retries!r}"
+            )
 
 
 # Flow lifecycle states (values are indices, not flags).
@@ -201,9 +230,11 @@ class FluidTcpSimulator:
         dt_s: Optional[float] = None,
         sample_interval_s: float = 0.1,
         seed: int = 0,
+        faults: Union[None, FaultEvent, Iterable[FaultEvent]] = None,
     ) -> None:
         self.link = link
         self.config = config or TcpConfig()
+        self.faults = coerce_faults(faults)
         self.dt_s = float(dt_s) if dt_s is not None else link.rtt_s / 4.0
         if self.dt_s <= 0:
             raise ValidationError(f"dt_s must be > 0, got {self.dt_s!r}")
@@ -319,6 +350,16 @@ class FluidTcpSimulator:
         loss_credit = np.zeros(n)
         mark_bytes = cfg.dctcp_marking_bdp * link.bdp_bytes
 
+        # Fault-injection state.  `has_faults` gates everything below so
+        # a run with no (effective) schedule executes the exact statement
+        # sequence of the pre-fault engine.
+        faults = self.faults
+        has_faults = bool(faults) and not schedule_is_noop(faults)
+        last_progress = np.zeros(n)
+        stall_time = np.zeros(n)
+        retries = np.zeros(n, dtype=np.int64)
+        aborted = np.zeros(n, dtype=bool)
+
         queue = 0.0
         t = 0.0
         dt = self.dt_s
@@ -340,6 +381,18 @@ class FluidTcpSimulator:
             rto_expired = (state == _TIMEOUT) & (rto_until <= t)
             state[rto_expired] = _RUNNING
 
+            # Effective capacity under the fault schedule; `cap_t is cap`
+            # whenever no fault is active, so the arithmetic below is
+            # bit-identical to the fault-free engine outside fault
+            # windows.  (`queue_delay` keeps nominal capacity: the term
+            # only shapes demand, which zero capacity nullifies anyway.)
+            if has_faults:
+                if np.any(newly_started):
+                    last_progress[newly_started] = t
+                cap_t = cap * capacity_factor(faults, t)
+            else:
+                cap_t = cap
+
             active = state == _RUNNING
             n_active = int(np.count_nonzero(active))
             max_active = max(max_active, n_active)
@@ -355,21 +408,23 @@ class FluidTcpSimulator:
                 demand = np.minimum(demand, np.where(active, remaining / dt, 0.0))
                 total_demand = float(demand.sum())
 
-                if total_demand <= cap:
+                if total_demand <= cap_t:
                     rates = demand
                     sent_total = total_demand * dt
-                    queue = max(0.0, queue - (cap - total_demand) * dt)
+                    queue = max(0.0, queue - (cap_t - total_demand) * dt)
                     overflow = 0.0
                 else:
-                    rates = demand * (cap / total_demand)
-                    sent_total = cap * dt
-                    queue += (total_demand - cap) * dt
+                    rates = demand * (cap_t / total_demand)
+                    sent_total = cap_t * dt
+                    queue += (total_demand - cap_t) * dt
                     overflow = max(0.0, queue - link.buffer_bytes)
                     queue = min(queue, link.buffer_bytes)
 
                 sent = rates * dt
                 sent = np.minimum(sent, remaining)
                 remaining -= sent
+                if has_faults:
+                    last_progress[sent > 0.0] = t
                 # Strict-order sum: only feeds the utilisation samples
                 # (never the flow dynamics), and makes the accumulated
                 # bucket reproducible by the batched engine's segment
@@ -380,8 +435,11 @@ class FluidTcpSimulator:
                 finished = active & (remaining <= 1e-6)
                 if np.any(finished):
                     # Last bytes drain through the queue and need half an
-                    # RTT to be acknowledged end-to-end.
-                    drain = queue / cap
+                    # RTT to be acknowledged end-to-end.  (During a full
+                    # outage nothing is sent, so no flow can newly cross
+                    # the completion threshold — the inf guard is purely
+                    # defensive.)
+                    drain = queue / cap_t if cap_t > 0.0 else math.inf
                     end[finished] = t + dt + drain + link.rtt_s / 2.0
                     state[finished] = _DONE
                     active = state == _RUNNING
@@ -529,7 +587,49 @@ class FluidTcpSimulator:
                     np.minimum(cwnd, rwnd_segments, out=cwnd)
             else:
                 # Nothing sending: queue drains at line rate.
-                queue = max(0.0, queue - cap * dt)
+                queue = max(0.0, queue - cap_t * dt)
+
+            # --- application-layer stall detection / retry / abort ---------
+            # Only reachable with an effective fault schedule: the stall
+            # clock is the app-level watchdog a real campaign runs, so
+            # fault-free simulations never consult it.
+            if has_faults:
+                stalled = (
+                    ((state == _RUNNING) | (state == _TIMEOUT))
+                    & (t - last_progress >= cfg.stall_timeout_s)
+                )
+                if np.any(stalled):
+                    stall_time[stalled] += t - last_progress[stalled]
+                    exhausted = stalled & (retries >= cfg.max_retries)
+                    retry = stalled & ~exhausted
+                    # Retry budget exhausted: the application gives up;
+                    # the flow ends unfinished (end_s stays nan) and is
+                    # recorded as aborted.
+                    if np.any(exhausted):
+                        state[exhausted] = _DONE
+                        aborted[exhausted] = True
+                    # Otherwise tear the connection down and reconnect
+                    # after an exponential backoff: the new connection
+                    # re-enters slow start from scratch.
+                    if np.any(retry):
+                        retries[retry] += 1
+                        backoff = np.minimum(
+                            cfg.retry_backoff_s
+                            * (2.0 ** (retries[retry] - 1.0)),
+                            cfg.retry_backoff_max_s,
+                        )
+                        rto_until[retry] = t + dt + backoff
+                        state[retry] = _TIMEOUT
+                        cwnd[retry] = cfg.initial_cwnd_segments
+                        ssthresh[retry] = cfg.initial_ssthresh_segments
+                        rto_backoff[retry] = 0
+                        recovery_until[retry] = 0.0
+                        dctcp_alpha[retry] = 0.0
+                        rtt_smooth[retry] = 0.0
+                        loss_credit[retry] = 0.0
+                        # The stall clock restarts when the reconnect
+                        # fires, not while the backoff is pending.
+                        last_progress[retry] = rto_until[retry]
 
             t += dt
 
@@ -556,6 +656,9 @@ class FluidTcpSimulator:
                 "bytes_sent": size - remaining,
                 "loss_events": loss_events,
                 "timeout_events": timeout_events,
+                "stall_time_s": stall_time,
+                "retries": retries,
+                "aborted": aborted,
             },
             sample_columns=samples.columns(),
             capacity_bytes_per_s=cap,

@@ -37,6 +37,8 @@ import asyncio
 import dataclasses
 import math
 import multiprocessing
+import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -310,6 +312,123 @@ def _run_chunk(payload: Tuple[Callable[[Any], Any], List[Any]]) -> List[Any]:
     return [fn(item) for item in items]
 
 
+#: Worker-resilience knobs for the process backend (module-level so
+#: tests can tighten them): per-chunk result timeout, bounded pool
+#: retries, and the initial exponential-backoff delay between retries.
+_CHUNK_TIMEOUT_S = 600.0
+_CHUNK_RETRIES = 2
+_CHUNK_BACKOFF_S = 0.5
+
+#: Infrastructure failures of the pool itself — a hung worker
+#: (``multiprocessing.TimeoutError``), a worker killed mid-chunk
+#: (broken pipes / EOF on the result queue), or OS-level resource
+#: trouble.  Only these trigger retry / in-process fallback; an
+#: exception raised *by the evaluation function* propagates unchanged.
+_POOL_FAILURES = (
+    multiprocessing.TimeoutError,
+    BrokenPipeError,
+    ConnectionError,
+    EOFError,
+    OSError,
+)
+
+
+def _fallback_in_process(
+    payloads: List[Tuple[Callable[[Any], Any], List[Any]]],
+    indices: List[int],
+    results: List[Any],
+    cause: BaseException,
+) -> None:
+    """Evaluate the still-pending chunks in-process after the pool gave
+    up — slower, but the sweep completes instead of dying with it."""
+    warnings.warn(
+        "worker pool failed "
+        f"({type(cause).__name__}: {cause}); degrading to in-process "
+        f"execution for {len(indices)} remaining chunk(s)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    for i in indices:
+        results[i] = _run_chunk(payloads[i])
+
+
+def _owned_pool_map(
+    payloads: List[Tuple[Callable[[Any], Any], List[Any]]],
+    n_workers: int,
+) -> List[Any]:
+    """Run chunk payloads on a pool this call owns, resiliently.
+
+    Each chunk's result is awaited with a per-chunk timeout; an
+    infrastructure failure (see :data:`_POOL_FAILURES`) abandons the —
+    possibly poisoned — pool, keeps every chunk already collected, and
+    retries the rest on a fresh pool after an exponential backoff.
+    When the retry budget is exhausted the remaining chunks run
+    in-process with a warning: a flaky executor degrades a sweep to
+    sequential speed, never to a lost result.  Evaluation-function
+    exceptions propagate unchanged on the first pool (no retry — the
+    failure is the sweep's, not the infrastructure's).
+    """
+    results: List[Any] = [None] * len(payloads)
+    todo = list(range(len(payloads)))
+    delay = _CHUNK_BACKOFF_S
+    failure: Optional[BaseException] = None
+    for attempt in range(_CHUNK_RETRIES + 1):
+        pool = multiprocessing.Pool(processes=n_workers)
+        done: List[int] = []
+        failure = None
+        try:
+            futures = [
+                (i, pool.apply_async(_run_chunk, (payloads[i],))) for i in todo
+            ]
+            for i, fut in futures:
+                results[i] = fut.get(timeout=_CHUNK_TIMEOUT_S)
+                done.append(i)
+        except _POOL_FAILURES as exc:
+            failure = exc
+        finally:
+            # terminate(), not close(): a poisoned pool can hang join()
+            # forever on the success path's already-collected workers.
+            pool.terminate()
+            pool.join()
+        remaining = set(todo) - set(done)
+        todo = [i for i in todo if i in remaining]
+        if not todo:
+            return results
+        if attempt < _CHUNK_RETRIES:
+            time.sleep(delay)
+            delay *= 2.0
+    assert failure is not None
+    _fallback_in_process(payloads, todo, results, failure)
+    return results
+
+
+def _shared_pool_map(
+    pool: Any,
+    payloads: List[Tuple[Callable[[Any], Any], List[Any]]],
+) -> List[Any]:
+    """Run chunk payloads on a caller-managed pool.
+
+    The pool's lifecycle belongs to the caller, so a failure here is
+    not retried on a fresh pool — the still-pending chunks degrade to
+    in-process execution with a warning, and the caller's next block
+    decides what to do with its (possibly dead) pool.
+    """
+    results: List[Any] = [None] * len(payloads)
+    done: List[int] = []
+    try:
+        futures = [
+            (i, pool.apply_async(_run_chunk, (p,)))
+            for i, p in enumerate(payloads)
+        ]
+        for i, fut in futures:
+            results[i] = fut.get(timeout=_CHUNK_TIMEOUT_S)
+            done.append(i)
+    except _POOL_FAILURES as exc:
+        pending = [i for i in range(len(payloads)) if i not in set(done)]
+        _fallback_in_process(payloads, pending, results, exc)
+    return results
+
+
 def adaptive_chunk_size(n_pending: int, n_workers: int) -> int:
     """Chunk rows so the pool sees ~4 chunks per worker.
 
@@ -420,6 +539,14 @@ def parallel_map(
     ``workers`` caps the in-flight count.  When ``chunk_size`` is not
     given, chunks are sized adaptively to ~4 per worker
     (:func:`adaptive_chunk_size`).
+
+    The process backend is resilient to executor trouble: each chunk's
+    result is awaited with a timeout, a dead or hung pool is retried
+    (bounded, with exponential backoff) on a fresh pool, and when the
+    infrastructure keeps failing the remaining chunks run in-process
+    with a warning — a flaky machine slows a sweep down, it never
+    loses one.  Exceptions raised by ``fn`` itself are not retried;
+    they propagate unchanged.
     """
     if workers < 0:
         raise ValidationError(f"workers must be >= 0, got {workers!r}")
@@ -464,10 +591,9 @@ def parallel_map(
             # Caller-managed pool (the streamed run_sweep path reuses
             # one pool across all blocks instead of respawning workers
             # per block).
-            chunk_results = _pool.map(_run_chunk, payloads)
+            chunk_results = _shared_pool_map(_pool, payloads)
         else:
-            with multiprocessing.Pool(processes=n_workers) as pool:
-                chunk_results = pool.map(_run_chunk, payloads)
+            chunk_results = _owned_pool_map(payloads, n_workers)
         for chunk, values in zip(chunks, chunk_results):
             for i, value in zip(chunk, values):
                 results[i] = value
@@ -665,7 +791,9 @@ def run_sweep(
         if isinstance(pool, ProcessPoolExecutor):
             pool.shutdown()
         elif pool is not None:
-            pool.close()
+            # terminate(), not close(): if a worker died mid-sweep the
+            # pool may never drain, and close()+join() would hang here.
+            pool.terminate()
             pool.join()
     writer.close()
     return ShardedSweepResult(writer.directory)

@@ -26,12 +26,22 @@ per-row Python objects anywhere on the write path); object columns
 (e.g. a zipped ``facility`` label) are stored as JSON-encoded string
 arrays and decoded on read, so ``from_shards(to_shards(r))`` round-trips
 exactly.
+
+Writes are crash-safe: every shard and the manifest land via a
+temporary file plus an atomic :func:`os.replace`, so a sweep killed
+mid-write never leaves a torn ``.npz`` or a half-written manifest under
+the final name.  Readers verify the manifest against the files actually
+on disk and surface an actionable error naming the bad file — never a
+raw numpy/zipfile traceback — when a directory was corrupted by other
+means.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import zipfile
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -196,7 +206,13 @@ class ShardWriter:
             payload[name] = encoded
         fname = f"shard-{len(self._shards):05d}.npz"
         save = np.savez_compressed if self.compress else np.savez
-        save(self.directory / fname, **payload)
+        # Crash-safe write: savez into a temp name (which must itself
+        # end in ``.npz`` or numpy appends the suffix), then atomically
+        # rename into place — a sweep killed mid-write leaves at worst a
+        # ``.tmp-*`` orphan, never a torn shard under the final name.
+        tmp = self.directory / f".tmp-{fname}"
+        save(tmp, **payload)
+        os.replace(tmp, self.directory / fname)
         self._shards.append({"file": fname, "n_rows": n})
 
     def close(self) -> pathlib.Path:
@@ -219,7 +235,11 @@ class ShardWriter:
             "shards": self._shards,
         }
         path = self.directory / MANIFEST_NAME
-        path.write_text(json.dumps(manifest, indent=2) + "\n")
+        # Manifest last, atomically: its presence certifies that every
+        # shard it lists is complete on disk.
+        tmp = self.directory / f".tmp-{MANIFEST_NAME}"
+        tmp.write_text(json.dumps(manifest, indent=2) + "\n")
+        os.replace(tmp, path)
         self._closed = True
         return path
 
@@ -241,15 +261,42 @@ def _resolve_manifest(source: Union[str, pathlib.Path]) -> pathlib.Path:
 
 
 class ShardReader:
-    """Read shard blocks back in enumeration order."""
+    """Read shard blocks back in enumeration order.
+
+    Opening a directory validates the manifest against what is actually
+    on disk: a manifest that fails to parse, lists shard files that are
+    missing, or whose per-shard row counts disagree with its total
+    (a stale manifest left next to rewritten shards) raises a
+    :class:`~repro.errors.ValidationError` naming the offending file,
+    so a crashed or tampered sweep surfaces as an actionable message
+    instead of a numpy traceback deep inside analysis.
+    """
 
     def __init__(self, source: Union[str, pathlib.Path]) -> None:
         self.manifest_path = _resolve_manifest(source)
         self.directory = self.manifest_path.parent
-        manifest = json.loads(self.manifest_path.read_text())
+        try:
+            manifest = json.loads(self.manifest_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValidationError(
+                f"shard manifest {self.manifest_path} is not valid JSON "
+                f"({exc}); the sweep likely crashed mid-write — delete the "
+                "directory and rerun the sweep"
+            ) from exc
         if manifest.get("version") != _MANIFEST_VERSION:
             raise ValidationError(
                 f"unsupported shard manifest version {manifest.get('version')!r}"
+            )
+        missing_keys = [
+            k
+            for k in ("axis_names", "n_rows", "shard_size", "columns", "shards")
+            if k not in manifest
+        ]
+        if missing_keys:
+            raise ValidationError(
+                f"shard manifest {self.manifest_path} is missing keys "
+                f"{missing_keys}; the sweep likely crashed mid-write — "
+                "delete the directory and rerun the sweep"
             )
         self.axis_names: Tuple[str, ...] = tuple(manifest["axis_names"])
         self.n_rows: int = int(manifest["n_rows"])
@@ -262,6 +309,25 @@ class ShardReader:
         }
         self.column_names: Tuple[str, ...] = tuple(self.column_kinds)
         self.shards: List[Dict[str, Any]] = list(manifest["shards"])
+        missing_files = [
+            s["file"]
+            for s in self.shards
+            if not (self.directory / s["file"]).exists()
+        ]
+        if missing_files:
+            raise ValidationError(
+                f"shard manifest {self.manifest_path} lists shard files "
+                f"that are missing on disk: {missing_files}; the directory "
+                "is incomplete (crashed or partially copied sweep) — "
+                "rerun the sweep to regenerate it"
+            )
+        listed = sum(int(s["n_rows"]) for s in self.shards)
+        if listed != self.n_rows:
+            raise ValidationError(
+                f"shard manifest {self.manifest_path} is stale: its shards "
+                f"sum to {listed} rows but it claims {self.n_rows}; "
+                "delete the directory and rerun the sweep"
+            )
 
     @property
     def n_shards(self) -> int:
@@ -288,11 +354,32 @@ class ShardReader:
             )
         names = self._select(columns)
         path = self.directory / self.shards[index]["file"]
-        with np.load(path, allow_pickle=False) as data:
-            return {
-                name: _decode_column(data[name], self.column_kinds[name])
-                for name in names
-            }
+        # A torn/truncated .npz (e.g. from a copy that died mid-file)
+        # surfaces from np.load as a zipfile/OS error; translate it into
+        # an actionable message naming the bad file instead of letting
+        # the raw traceback escape into analysis code.
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                out: Dict[str, np.ndarray] = {}
+                for name in names:
+                    try:
+                        raw = data[name]
+                    except KeyError as exc:
+                        raise ValidationError(
+                            f"shard file {path} is missing column {name!r} "
+                            "promised by the manifest; the shard is corrupt "
+                            "or from a different sweep — rerun the sweep"
+                        ) from exc
+                    out[name] = _decode_column(raw, self.column_kinds[name])
+                return out
+        except ValidationError:
+            raise  # already actionable (ValidationError is a ValueError)
+        except (zipfile.BadZipFile, EOFError, OSError, ValueError) as exc:
+            raise ValidationError(
+                f"shard file {path} is corrupt or truncated ({exc}); the "
+                "sweep likely crashed or the file was partially copied — "
+                "rerun the sweep to regenerate it"
+            ) from exc
 
     def iter_blocks(
         self, columns: Optional[Sequence[str]] = None

@@ -1,0 +1,212 @@
+"""Strategy robustness reduction over faulted Table-2 sweeps.
+
+The reduction is pure arithmetic over a column table, so most of the
+battery runs on synthetic tables with hand-checkable sums; one test
+round-trips a real faulted mini-sweep to pin the end-to-end wiring, and
+the shard/worker tests pin the associative-merge contract (identical
+rows for any sharding or worker count).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import FAULT_AXES, strategy_robustness_from_sweep
+from repro.errors import ValidationError
+from repro.sweep import SweepResult
+from repro.sweep.shards import ShardWriter
+
+
+def synthetic_table():
+    """Two cc groups x two scenarios (fault-free, 5 s outage) x two
+    cells each, with sums small enough to check by hand."""
+    return SweepResult(
+        {
+            "cc": [0, 0, 0, 0, 1, 1, 1, 1],
+            "outage_s": [0.0, 0.0, 5.0, 5.0, 0.0, 0.0, 5.0, 5.0],
+            "degrade_frac": [0.0] * 8,
+            "fault_start_s": [0.0, 0.0, 2.0, 2.0, 0.0, 0.0, 2.0, 2.0],
+            "parallel_flows": [2, 2, 2, 2, 4, 4, 4, 4],
+            "t_worst_s": [1.0, 3.0, 4.0, 12.0, 2.0, 2.0, 5.0, math.nan],
+            "completed_clients": [4, 4, 4, 2, 4, 4, 3, 0],
+            "aborted": [0, 0, 0, 4, 0, 0, 2, 16],
+            "retries": [0, 0, 3, 5, 0, 0, 4, 8],
+            "stall_time_s": [0.0, 0.0, 6.0, 10.0, 0.0, 0.0, 7.0, 9.0],
+        },
+        axis_names=("cc", "outage_s", "degrade_frac", "fault_start_s"),
+    )
+
+
+def rows_by_key(rows):
+    return {
+        (r.get("cc"), r["outage_s"]): r for r in rows
+    }
+
+
+class TestReduction:
+    def test_row_values(self):
+        rows = strategy_robustness_from_sweep(synthetic_table())
+        assert len(rows) == 4  # 2 groups x 2 scenarios
+        by = rows_by_key(rows)
+
+        base0 = by[(0, 0.0)]
+        assert base0["n_points"] == 2
+        assert base0["mean_t_worst_s"] == pytest.approx(2.0)
+        assert base0["t_inflation"] == pytest.approx(1.0)
+        assert base0["completion_rate"] == pytest.approx(1.0)
+        assert base0["abort_rate"] == 0.0
+        assert base0["completed_clients"] == 8
+
+        faulted0 = by[(0, 5.0)]
+        assert faulted0["mean_t_worst_s"] == pytest.approx(8.0)
+        assert faulted0["t_inflation"] == pytest.approx(4.0)
+        assert faulted0["completion_rate"] == pytest.approx(6 / 8)
+        # 4 aborted, 6 completed clients x 2 flows finished.
+        assert faulted0["abort_rate"] == pytest.approx(4 / 16)
+        assert faulted0["retries"] == 8
+        assert faulted0["stall_time_s"] == pytest.approx(16.0)
+
+        faulted1 = by[(1, 5.0)]
+        # One NaN cell: the mean covers finite cells only.
+        assert faulted1["mean_t_worst_s"] == pytest.approx(5.0)
+        assert faulted1["t_inflation"] == pytest.approx(2.5)
+        assert faulted1["completion_rate"] == pytest.approx(3 / 8)
+        assert faulted1["abort_rate"] == pytest.approx(18 / (18 + 12))
+
+    def test_rows_sorted_group_then_scenario(self):
+        rows = strategy_robustness_from_sweep(synthetic_table())
+        assert [(r["cc"], r["outage_s"]) for r in rows] == [
+            (0, 0.0),
+            (0, 5.0),
+            (1, 0.0),
+            (1, 5.0),
+        ]
+
+    def test_fault_axis_values_are_floats(self):
+        for row in strategy_robustness_from_sweep(synthetic_table()):
+            for axis in FAULT_AXES:
+                assert isinstance(row[axis], float)
+
+    def test_no_grouping_without_cc_column(self):
+        table = synthetic_table()
+        cols = {k: v for k, v in table.columns.items() if k != "cc"}
+        flat = SweepResult(cols, axis_names=FAULT_AXES)
+        rows = strategy_robustness_from_sweep(flat)
+        assert len(rows) == 2  # scenarios only
+        assert "cc" not in rows[0]
+
+    def test_explicit_group_by(self):
+        rows = strategy_robustness_from_sweep(
+            synthetic_table(), group_by=("parallel_flows",)
+        )
+        assert {r["parallel_flows"] for r in rows} == {2, 4}
+
+    def test_all_nan_scenario_mean_is_nan(self):
+        table = synthetic_table()
+        cols = dict(table.columns)
+        import numpy as np
+
+        t = np.array(cols["t_worst_s"], dtype=float)
+        t[4:] = math.nan  # cc=1 entirely unfinished
+        cols["t_worst_s"] = t
+        rows = strategy_robustness_from_sweep(
+            SweepResult(cols, axis_names=table.axis_names)
+        )
+        by = rows_by_key(rows)
+        assert math.isnan(by[(1, 0.0)]["mean_t_worst_s"])
+        # No finite baseline => inflation undefined, not an error.
+        assert math.isnan(by[(1, 5.0)]["t_inflation"])
+
+
+class TestMergeInvariance:
+    def test_sharded_and_workers_match_in_memory(self, tmp_path):
+        table = synthetic_table()
+        out = tmp_path / "shards"
+        with ShardWriter(out, shard_size=3, axis_names=table.axis_names) as w:
+            w.append(dict(table.columns))
+        expected = strategy_robustness_from_sweep(table)
+        for source in (out, str(out)):
+            for workers in (1, 2):
+                got = strategy_robustness_from_sweep(source, workers=workers)
+                assert _comparable(got) == _comparable(expected)
+
+
+def _comparable(rows):
+    """NaN-tolerant structural form of the row list."""
+    out = []
+    for row in rows:
+        out.append(
+            tuple(
+                (k, "nan")
+                if isinstance(v, float) and math.isnan(v)
+                else (k, v)
+                for k, v in sorted(row.items())
+            )
+        )
+    return out
+
+
+class TestErrors:
+    def test_missing_fault_axes_names_the_command(self):
+        table = SweepResult(
+            {"concurrency": [1], "t_worst_s": [1.0]},
+            axis_names=("concurrency",),
+        )
+        with pytest.raises(
+            ValidationError, match=r"repro sweep --simnet-table2 --outage"
+        ):
+            strategy_robustness_from_sweep(table)
+
+    def test_unknown_group_by(self):
+        with pytest.raises(ValidationError, match="unknown group_by"):
+            strategy_robustness_from_sweep(
+                synthetic_table(), group_by=("nope",)
+            )
+
+    def test_missing_metric_columns(self):
+        table = synthetic_table()
+        cols = {k: v for k, v in table.columns.items() if k != "retries"}
+        with pytest.raises(ValidationError, match="retries"):
+            strategy_robustness_from_sweep(
+                SweepResult(cols, axis_names=FAULT_AXES)
+            )
+
+
+class TestEndToEnd:
+    def test_real_faulted_mini_sweep(self):
+        """A two-scenario mini-grid through the real pipeline: the
+        outage inflates every cc's completion time and the baseline row
+        is exactly 1.0."""
+        from repro.iperfsim.runner import table2_block_metrics
+
+        points = [
+            {
+                "concurrency": c,
+                "parallel_flows": 2,
+                "cc": cc,
+                "outage_s": outage,
+                "degrade_frac": 0.0,
+                "fault_start_s": 1.0,
+            }
+            for outage in (0.0, 6.0)
+            for cc in (0, 1)
+            for c in (1, 2)
+        ]
+        metrics = table2_block_metrics(points, duration_s=2.0, max_time_s=60.0)
+        cols = {
+            name: [m[name] for m in metrics]
+            for name in metrics[0]
+        }
+        for axis in ("concurrency", "parallel_flows", "cc") + FAULT_AXES:
+            cols[axis] = [p[axis] for p in points]
+        table = SweepResult(
+            cols, axis_names=("concurrency", "parallel_flows", "cc") + FAULT_AXES
+        )
+        rows = strategy_robustness_from_sweep(table)
+        by = rows_by_key(rows)
+        for cc in (0, 1):
+            assert by[(cc, 0.0)]["t_inflation"] == pytest.approx(1.0)
+            assert by[(cc, 6.0)]["t_inflation"] > 1.5
+            assert by[(cc, 6.0)]["retries"] > 0

@@ -442,6 +442,114 @@ class TestSimnetCcAxis:
             main(["sss", "--duration", "1", "--seeds", "0", "--cc", "westwood"])
 
 
+class TestSimnetFaultAxes:
+    FAULT_ARGS = ["sweep", "--simnet-table2", "--duration", "2",
+                  "--seeds", "0", "--outage", "5"]
+
+    def test_outage_prepends_fault_axes_with_baseline_first(self, capsys):
+        assert main(self.FAULT_ARGS + ["--format", "csv"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("outage_s,degrade_frac,fault_start_s,")
+        for col in ("stall_time_s", "retries", "aborted"):
+            assert col in lines[0].split(",")
+        # Baseline scenario then the faulted one, each a full grid.
+        assert len(lines) == 1 + 48
+        outages = [line.split(",", 1)[0] for line in lines[1:]]
+        assert outages == ["0.0"] * 24 + ["5.0"] * 24
+
+    def test_fault_columns_identical_across_modes(self, capsys, tmp_path):
+        """Acceptance bar: --outage 5 produces identical columns from
+        the in-memory table, the multi-worker run and --out-dir
+        shards."""
+        import numpy as np
+
+        from repro.sweep import open_shards
+
+        assert main(self.FAULT_ARGS + ["--format", "json"]) == 0
+        mem = json.loads(capsys.readouterr().out)["columns"]
+        assert main(
+            self.FAULT_ARGS + ["--workers", "2", "--format", "json"]
+        ) == 0
+        assert json.loads(capsys.readouterr().out)["columns"] == mem
+        out = tmp_path / "shards"
+        assert main(
+            self.FAULT_ARGS
+            + ["--out-dir", str(out), "--shard-size", "10", "--batch-size", "6"]
+        ) == 0
+        table = open_shards(out)
+        for name in ("outage_s", "degrade_frac", "fault_start_s", "t_worst_s",
+                     "completed_clients", "stall_time_s", "retries", "aborted"):
+            np.testing.assert_allclose(
+                np.asarray(table.column(name)), mem[name], rtol=0, atol=0
+            )
+
+    def test_fault_free_scenario_matches_plain_grid(self, capsys):
+        """The baseline rows of a faulted sweep are the plain grid —
+        faults with outage_s == 0 are an exact no-op."""
+        assert main(
+            ["sweep", "--simnet-table2", "--duration", "2", "--seeds", "0",
+             "--format", "csv"]
+        ) == 0
+        plain = capsys.readouterr().out.strip().splitlines()
+        assert main(self.FAULT_ARGS + ["--format", "csv"]) == 0
+        faulted = capsys.readouterr().out.strip().splitlines()
+        n_plain_cols = len(plain[0].split(","))
+        baseline = [
+            ",".join(l.split(",")[3:3 + n_plain_cols]) for l in faulted[1:25]
+        ]
+        plain_cells = [
+            ",".join(l.split(",")[:n_plain_cols]) for l in plain[1:]
+        ]
+        assert baseline == plain_cells
+
+    def test_outage_composes_with_cc_axis(self, capsys):
+        assert main(
+            self.FAULT_ARGS + ["--cc", "reno", "dctcp", "--format", "csv"]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("outage_s,degrade_frac,fault_start_s,cc,")
+        assert len(lines) == 1 + 96  # 2 scenarios x 2 ccs x 24 cells
+
+    def test_degrade_without_outage_rejected(self):
+        with pytest.raises(Exception, match="add --outage"):
+            main(["sweep", "--simnet-table2", "--degrade", "0.5"])
+
+    def test_fault_start_without_outage_rejected(self):
+        with pytest.raises(Exception, match="add --outage"):
+            main(["sweep", "--simnet-table2", "--fault-start", "1"])
+
+    def test_negative_outage_rejected(self):
+        with pytest.raises(Exception, match="--outage must be >= 0"):
+            main(["sweep", "--simnet-table2", "--outage", "-1"])
+
+    def test_degrade_out_of_range_rejected(self):
+        with pytest.raises(Exception, match=r"\[0, 1\]"):
+            main(["sweep", "--simnet-table2", "--outage", "5",
+                  "--degrade", "1.5"])
+
+    def test_fault_start_past_duration_rejected(self):
+        with pytest.raises(Exception, match="past the experiment"):
+            main(["sweep", "--simnet-table2", "--duration", "2",
+                  "--outage", "5", "--fault-start", "3"])
+
+    def test_fault_flags_on_model_sweep_rejected(self):
+        with pytest.raises(Exception, match="no link to fail"):
+            main(BASE_ARGS + ["--outage", "5"])
+
+    def test_sss_outage_runs_and_changes_numbers(self, capsys):
+        sss_args = ["sss", "--duration", "1", "--seeds", "0"]
+        assert main(sss_args) == 0
+        base = capsys.readouterr().out
+        assert main(sss_args + ["--outage", "3", "--fault-start", "0.2"]) == 0
+        faulted = capsys.readouterr().out
+        assert faulted != base
+
+    def test_sss_fault_start_past_duration_rejected(self):
+        with pytest.raises(Exception, match="past the experiment"):
+            main(["sss", "--duration", "1", "--seeds", "0",
+                  "--outage", "2", "--fault-start", "5"])
+
+
 class TestPresets:
     def test_lcls_preset_changes_numbers(self, capsys):
         assert main(BASE_ARGS + ["--format", "json"]) == 0

@@ -1,0 +1,406 @@
+"""Fault injection: schedules, both fluid engines, and the pipeline.
+
+Pins the fault layer's three contracts:
+
+1. *No-op schedules change nothing*: a zero-length outage or a
+   ``capacity_frac=1.0`` event is bit-identical to a fault-free run in
+   both engines, for every congestion control, batch composition and
+   worker count (the masked updates are free when unused).
+2. *Batch == sequential under faults*: the bit-equivalence discipline
+   of the batched engine extends to every faulted composition —
+   brownouts, full outages, permanent outages with aborts, multi-event
+   schedules, mixed faulted/fault-free batches.
+3. *The golden brownout scenario*: a Table-2 cell with a 5 s mid-run
+   outage pins concrete completion times, stall/retry counts and the
+   decision-relevant inflation, so behavioural drift in the fault
+   semantics cannot pass silently.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.iperfsim.runner import run_experiment, run_experiments_batched
+from repro.iperfsim.spec import ExperimentSpec, point_fault_schedule
+from repro.simnet.batch import BatchFluidSimulator
+from repro.simnet.faults import (
+    FaultEvent,
+    brownout_schedule,
+    capacity_factor,
+    coerce_faults,
+    schedule_is_noop,
+)
+from repro.simnet.link import fabric_link
+from repro.simnet.records import validate_conservation
+from repro.simnet.tcp import FluidTcpSimulator, TcpConfig
+
+
+def assert_results_bit_identical(a, b, label=""):
+    assert a.end_time_s == b.end_time_s, label
+    for name, col in a.flow_columns.items():
+        np.testing.assert_array_equal(
+            col, b.flow_columns[name], err_msg=f"{label} flow col {name}"
+        )
+    for name, col in a.sample_columns.items():
+        np.testing.assert_array_equal(
+            col, b.sample_columns[name], err_msg=f"{label} sample col {name}"
+        )
+
+
+#: Small, fast flow sets (a second or two of simulated time each).
+FLOWS = [(0.0, 0.12e9, 0), (0.4, 0.12e9, 1), (1.0, 0.08e9, 2)]
+
+#: Effective fault schedules covering the behaviour space: brownout,
+#: full outage, outage from t=0, permanent outage (aborts), two events.
+SCHEDULES = [
+    (FaultEvent(0.5, 1.0, 0.3),),
+    (FaultEvent(0.5, 2.0, 0.0),),
+    (FaultEvent(0.0, 1.5, 0.0),),
+    (FaultEvent(0.2, 1e9, 0.0),),
+    (FaultEvent(0.3, 0.5, 0.0), FaultEvent(1.5, 0.8, 0.25)),
+]
+
+
+# ----------------------------------------------------------------------
+# Schedule objects
+# ----------------------------------------------------------------------
+class TestFaultSchedule:
+    def test_event_validation(self):
+        with pytest.raises(ValidationError):
+            FaultEvent(-1.0, 1.0)
+        with pytest.raises(ValidationError):
+            FaultEvent(0.0, -1.0)
+        with pytest.raises(ValidationError):
+            FaultEvent(0.0, 1.0, 1.5)
+        with pytest.raises(ValidationError):
+            FaultEvent(0.0, float("nan"))
+
+    def test_coerce_forms(self):
+        e = FaultEvent(1.0, 2.0, 0.5)
+        assert coerce_faults(None) == ()
+        assert coerce_faults(e) == (e,)
+        assert coerce_faults([e, e]) == (e, e)
+        with pytest.raises(ValidationError):
+            coerce_faults("not a schedule")
+
+    def test_capacity_factor_windows(self):
+        sched = (FaultEvent(1.0, 2.0, 0.25),)
+        assert capacity_factor(sched, 0.999) == 1.0
+        assert capacity_factor(sched, 1.0) == 0.25
+        assert capacity_factor(sched, 2.999) == 0.25
+        assert capacity_factor(sched, 3.0) == 1.0  # end exclusive
+        # Overlapping events: the most severe wins.
+        both = sched + (FaultEvent(1.5, 0.5, 0.0),)
+        assert capacity_factor(both, 1.7) == 0.0
+
+    def test_noop_detection(self):
+        assert schedule_is_noop(())
+        assert schedule_is_noop((FaultEvent(1.0, 0.0, 0.0),))
+        assert schedule_is_noop((FaultEvent(1.0, 5.0, 1.0),))
+        assert not schedule_is_noop((FaultEvent(1.0, 5.0, 0.5),))
+
+    def test_brownout_schedule(self):
+        assert brownout_schedule(0.0) == ()
+        (e,) = brownout_schedule(5.0, 0.5, start_s=2.0)
+        assert (e.start_s, e.duration_s, e.capacity_frac) == (2.0, 5.0, 0.5)
+        with pytest.raises(ValidationError, match="ends at"):
+            brownout_schedule(5.0, start_s=10.0, duration_s=10.0)
+        with pytest.raises(ValidationError):
+            brownout_schedule(-1.0)
+
+    def test_point_fault_schedule(self):
+        assert point_fault_schedule({"concurrency": 1}) == ()
+        (e,) = point_fault_schedule(
+            {"outage_s": 3.0, "degrade_frac": 0.5, "fault_start_s": 1.0}
+        )
+        assert (e.start_s, e.duration_s, e.capacity_frac) == (1.0, 3.0, 0.5)
+
+
+class TestTcpConfigKnobs:
+    def test_retry_knob_validation(self):
+        with pytest.raises(ValidationError):
+            TcpConfig(stall_timeout_s=0.0)
+        with pytest.raises(ValidationError):
+            TcpConfig(retry_backoff_s=-1.0)
+        with pytest.raises(ValidationError):
+            TcpConfig(retry_backoff_max_s=0.5)  # below retry_backoff_s
+        with pytest.raises(ValidationError):
+            TcpConfig(max_retries=-1)
+        with pytest.raises(ValidationError):
+            TcpConfig(max_retries=True)
+        assert TcpConfig(max_retries=0).max_retries == 0
+
+
+# ----------------------------------------------------------------------
+# No-op schedules are bit-free in both engines
+# ----------------------------------------------------------------------
+noop_events = st.lists(
+    st.one_of(
+        st.builds(
+            FaultEvent,
+            st.floats(0.0, 5.0),
+            st.just(0.0),  # zero-length outage
+            st.floats(0.0, 1.0),
+        ),
+        st.builds(
+            FaultEvent,
+            st.floats(0.0, 5.0),
+            st.floats(0.0, 10.0),
+            st.just(1.0),  # full-capacity "degradation"
+        ),
+    ),
+    min_size=0,
+    max_size=3,
+)
+
+
+class TestNoopBitIdentity:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        faults=noop_events,
+        cc=st.sampled_from(["reno", "dctcp", "delay"]),
+        split=st.sampled_from([1, 2]),
+    )
+    def test_noop_schedule_is_bit_identical(self, faults, cc, split):
+        """Zero-length / frac=1.0 schedules change no bit of either
+        engine's output, for every CC and batch composition."""
+        link = fabric_link()
+
+        def sequential(schedule):
+            sim = FluidTcpSimulator(link, seed=0, faults=schedule)
+            for f in FLOWS:
+                sim.add_flow(*f, cc=cc)
+            return sim.run(max_time_s=60.0)
+
+        base = sequential(None)
+        assert_results_bit_identical(base, sequential(faults), "sequential")
+
+        # split=1: faulted and fault-free experiments share one batch;
+        # split=2: each runs in its own batch.
+        schedules = (None, faults)
+        if split == 1:
+            batches = [BatchFluidSimulator()]
+            for schedule in schedules:
+                e = batches[0].add_experiment(link, seed=0, faults=schedule)
+                for f in FLOWS:
+                    batches[0].add_flow(e, *f, cc=cc)
+        else:
+            batches = []
+            for schedule in schedules:
+                bat = BatchFluidSimulator()
+                e = bat.add_experiment(link, seed=0, faults=schedule)
+                for f in FLOWS:
+                    bat.add_flow(e, *f, cc=cc)
+                batches.append(bat)
+        for bat in batches:
+            for res in bat.run(max_time_s=60.0):
+                assert_results_bit_identical(base, res, "batched")
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_noop_schedule_through_pipeline_workers(self, workers):
+        """The pooled pipeline with a no-op schedule matches the
+        fault-free run for any worker count."""
+        noop = (FaultEvent(1.0, 0.0, 0.0),)
+        specs = [
+            ExperimentSpec(
+                concurrency=c, parallel_flows=2, duration_s=2.0, faults=f
+            )
+            for c in (1, 3)
+            for f in ((), noop)
+        ]
+        units = [(s, 0) for s in specs]
+        res = run_experiments_batched(
+            units, max_time_s=60.0, workers=workers, batch_size=1
+        )
+        for plain, faulted in zip(res[::2], res[1::2]):
+            assert plain.client_times_s == faulted.client_times_s
+            assert faulted.stall_time_s == 0.0
+            assert faulted.retries == 0 and faulted.aborted == 0
+
+
+# ----------------------------------------------------------------------
+# Batch == sequential for every faulted composition
+# ----------------------------------------------------------------------
+class TestFaultedBitEquivalence:
+    @pytest.mark.parametrize("cc", ["reno", "dctcp", "delay"])
+    def test_mixed_faulted_batch_matches_sequential(self, cc):
+        link = fabric_link()
+        cases = [None] + SCHEDULES
+        sequential = []
+        for sched in cases:
+            sim = FluidTcpSimulator(link, seed=0, faults=sched)
+            for f in FLOWS:
+                sim.add_flow(*f, cc=cc)
+            sequential.append(sim.run(max_time_s=60.0))
+
+        bat = BatchFluidSimulator()
+        for sched in cases:
+            e = bat.add_experiment(link, seed=0, faults=sched)
+            for f in FLOWS:
+                bat.add_flow(e, *f, cc=cc)
+        for seq, res in zip(sequential, bat.run(max_time_s=60.0)):
+            assert_results_bit_identical(seq, res, f"cc={cc}")
+
+    def test_faulted_batch_membership_invariance(self):
+        """An experiment's bits don't depend on which faulted peers
+        share its batch: one big batch == one batch per experiment."""
+        link = fabric_link()
+        cases = [None] + SCHEDULES
+        whole = BatchFluidSimulator()
+        for sched in cases:
+            e = whole.add_experiment(link, seed=0, faults=sched)
+            for f in FLOWS:
+                whole.add_flow(e, *f)
+        merged = whole.run(max_time_s=60.0)
+
+        for sched, a in zip(cases, merged):
+            solo = BatchFluidSimulator()
+            e = solo.add_experiment(link, seed=0, faults=sched)
+            for f in FLOWS:
+                solo.add_flow(e, *f)
+            (b,) = solo.run(max_time_s=60.0)
+            assert_results_bit_identical(a, b, f"faults={sched}")
+
+    @pytest.mark.parametrize("batch_size", [1, 2, 6])
+    def test_faulted_pipeline_batch_size_invariance(self, batch_size):
+        """run_experiments_batched chunking doesn't change faulted
+        results."""
+        faults = brownout_schedule(3.0, 0.0, start_s=0.5, duration_s=2.0)
+        specs = [
+            ExperimentSpec(
+                concurrency=c, parallel_flows=p, duration_s=2.0, faults=f
+            )
+            for c in (1, 2)
+            for p in (1, 2)
+            for f in ((), faults)
+        ]
+        units = [(s, 0) for s in specs]
+        ref = [run_experiment(s, seed=0, max_time_s=60.0) for s in specs]
+        got = run_experiments_batched(
+            units, max_time_s=60.0, batch_size=batch_size
+        )
+        for a, b in zip(ref, got):
+            assert a.client_times_s == b.client_times_s
+            assert a.stall_time_s == b.stall_time_s
+            assert a.retries == b.retries
+            assert a.aborted == b.aborted
+
+
+# ----------------------------------------------------------------------
+# Fault semantics
+# ----------------------------------------------------------------------
+class TestFaultSemantics:
+    def test_brownout_slows_completion(self):
+        link = fabric_link()
+        base = FluidTcpSimulator(link, seed=0)
+        base.add_flow(0.0, 0.25e9, 0)
+        t_base = base.run(max_time_s=60.0).flows[0].end_s
+
+        brown = FluidTcpSimulator(
+            link, seed=0, faults=FaultEvent(0.0, 1.0, 0.25)
+        )
+        brown.add_flow(0.0, 0.25e9, 0)
+        t_brown = brown.run(max_time_s=60.0).flows[0].end_s
+        assert t_brown > t_base
+
+    def test_outage_triggers_retry_and_recovery(self):
+        """A mid-run full outage stalls the flows, which reconnect
+        after backoff and finish once capacity returns."""
+        link = fabric_link()
+        sim = FluidTcpSimulator(link, seed=0, faults=FaultEvent(0.1, 8.0, 0.0))
+        sim.add_flow(0.0, 1.0e9, 0)
+        res = sim.run(max_time_s=120.0)
+        (flow,) = res.flows
+        assert not flow.aborted
+        assert flow.retries >= 1
+        assert flow.stall_time_s > 0.0
+        assert flow.end_s > 8.0  # finished after the outage lifted
+        assert flow.bytes_sent == pytest.approx(1.0e9)
+
+    def test_permanent_outage_aborts_after_retry_cap(self):
+        cfg = TcpConfig(max_retries=2)
+        link = fabric_link()
+        sim = FluidTcpSimulator(
+            link, config=cfg, seed=0, faults=FaultEvent(0.1, 1e9, 0.0)
+        )
+        sim.add_flow(0.0, 1.0e9, 0)
+        res = sim.run(max_time_s=300.0)
+        (flow,) = res.flows
+        assert flow.aborted
+        assert flow.retries == 2
+        assert math.isnan(flow.end_s)
+        validate_conservation(res)
+
+    def test_abort_terminates_batch_run(self):
+        """Aborted flows count toward retirement — a permanent outage
+        must not hang the batch engine until max_time_s."""
+        bat = BatchFluidSimulator()
+        e = bat.add_experiment(
+            fabric_link(), seed=0, faults=FaultEvent(0.1, 1e9, 0.0)
+        )
+        bat.add_flow(e, 0.0, 1.0e9, 0)
+        (res,) = bat.run(max_time_s=500.0)
+        assert res.flows[0].aborted
+        assert res.end_time_s < 500.0
+
+    def test_fault_free_columns_all_zero(self):
+        sim = FluidTcpSimulator(fabric_link(), seed=0)
+        sim.add_flow(0.0, 0.1e9, 0)
+        cols = sim.run(max_time_s=60.0).flow_columns
+        assert not np.any(cols["aborted"])
+        assert not np.any(cols["retries"])
+        assert not np.any(cols["stall_time_s"])
+
+
+# ----------------------------------------------------------------------
+# The golden brownout scenario
+# ----------------------------------------------------------------------
+class TestGoldenBrownout:
+    """Table-2 cell (concurrency 2, P=2, 4 s) + a 5 s full outage
+    opening at t=2 s.  Concrete values pinned from the implementation;
+    any drift in stall/retry/fault semantics shows up here."""
+
+    SPEC = ExperimentSpec(
+        concurrency=2,
+        parallel_flows=2,
+        duration_s=4.0,
+        faults=brownout_schedule(5.0, 0.0, start_s=2.0, duration_s=4.0),
+    )
+    BASE = ExperimentSpec(concurrency=2, parallel_flows=2, duration_s=4.0)
+
+    def test_pinned_outcome(self):
+        res = run_experiment(self.SPEC, seed=0, max_time_s=120.0)
+        assert res.completed_clients == 8  # every client recovers
+        assert res.aborted == 0
+        assert res.retries == 8  # one reconnect per outage-severed flow
+        assert res.stall_time_s == pytest.approx(32.032, abs=1e-9)
+        assert res.max_transfer_time_s == pytest.approx(
+            5.764617332681254, abs=1e-12
+        )
+        # Pre-fault clients are untouched; post-fault clients carry the
+        # outage plus backoff.
+        times = [res.client_times_s[c] for c in sorted(res.client_times_s)]
+        assert max(times[:4]) < 0.6
+        assert min(times[4:]) > 5.0
+
+    def test_decision_flip_vs_fault_free(self):
+        """The outage flips the cell across the real-time regime
+        boundary: fault-free it streams comfortably, faulted it does
+        not — the decision-surface consequence the robustness
+        reduction reports as inflation."""
+        faulted = run_experiment(self.SPEC, seed=0, max_time_s=120.0)
+        base = run_experiment(self.BASE, seed=0, max_time_s=120.0)
+        assert base.max_transfer_time_s == pytest.approx(
+            0.5221151031704827, abs=1e-12
+        )
+        inflation = faulted.max_transfer_time_s / base.max_transfer_time_s
+        assert inflation > 10.0
+        # Regime flip: under 1 s (keeps up with the 1 Hz batch cadence)
+        # fault-free, multiple seconds behind under the brownout.
+        assert base.max_transfer_time_s < 1.0 < faulted.max_transfer_time_s

@@ -198,6 +198,53 @@ def test_mixed_cc_batched_grid_within_2x_of_single_cc():
     )
 
 
+@pytest.mark.bench
+def test_noop_fault_schedule_keeps_batch_path_within_1_05x():
+    """Fault injection must be free when unused: the batched Table-2
+    grid with an explicit no-op fault schedule on every experiment
+    (zero-length outage — the ``outage_s == 0`` sweep axis value) must
+    cost within 1.05x of the same grid with no schedule at all, because
+    no-op schedules are detected up front and the masked fault updates
+    never engage.  Best-of-3 interleaved rounds: a 5 % wall-clock bar
+    needs the tightest round, not the average."""
+    import dataclasses
+
+    from repro.iperfsim.runner import run_sweep
+    from repro.iperfsim.spec import SpawnStrategy, table2_sweep
+    from repro.simnet.faults import FaultEvent
+
+    plain_specs = table2_sweep(strategy=SpawnStrategy.BATCH, duration_s=2.0)
+    # A non-empty schedule whose every event is a no-op (zero-length
+    # outage): the engines must detect it and skip the fault machinery.
+    noop = (FaultEvent(1.0, 0.0, 0.0),)
+    noop_specs = [
+        dataclasses.replace(spec, faults=noop) for spec in plain_specs
+    ]
+    seeds = (0,)
+
+    run_sweep(plain_specs, seeds=seeds)  # warm-up
+    t_plain = float("inf")
+    t_noop = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        plain = run_sweep(plain_specs, seeds=seeds)
+        t_plain = min(t_plain, time.perf_counter() - t0)
+
+        t0 = time.perf_counter()
+        noop = run_sweep(noop_specs, seeds=seeds)
+        t_noop = min(t_noop, time.perf_counter() - t0)
+
+    # No-op schedules are also bit-free, not just cheap.
+    for a, b in zip(plain.experiments, noop.experiments):
+        assert a.client_times_s == b.client_times_s, a.spec.label()
+
+    assert t_noop <= 1.05 * t_plain, (
+        f"no-op fault schedules should keep the batched grid within "
+        f"1.05x of the fault-free path, got {t_noop / t_plain:.3f}x "
+        f"({t_noop * 1e3:.0f} ms vs {t_plain * 1e3:.0f} ms)"
+    )
+
+
 class _GuardrailCurve:
     """Synthetic measured curve (sorted utilisation -> SSS)."""
 

@@ -10,15 +10,38 @@ code scans:
   downstream access stays incremental, one shard/column at a time),
 - a path to a shard directory or its ``manifest.json`` (opened lazily),
 - the JSON text produced by ``SweepResult.to_json`` (parsed).
+
+Opening a shard store parses and cross-validates its manifest, which is
+pure waste to repeat when an analysis session runs several
+``*_from_sweep`` reductions over the same directory (decision tally,
+then regime tally, then robustness ...).  :func:`load_sweep_table`
+therefore resolves paths through a small reader cache keyed by the
+manifest's identity *and* its ``(mtime_ns, size)`` stat, so back-to-back
+scans reuse one validated :class:`~repro.sweep.shards.ShardReader` —
+including its lazily parsed per-shard mmap offset tables — while a
+rewritten sweep (new manifest bytes) transparently gets a fresh reader.
+The same cache serves the worker-side shard opens of
+:func:`map_table_blocks`, where each pool worker would otherwise
+re-validate the manifest once per shard it processes.
 """
 
 from __future__ import annotations
 
 import pathlib
+import threading
+from collections import OrderedDict
 from functools import partial
-from typing import Any, Callable, List, Sequence, Union
+from typing import Any, Callable, List, Sequence, Tuple, Union
 
 __all__ = ["load_sweep_table", "map_table_blocks"]
+
+#: Validated readers for recently scanned shard directories.  Bounded
+#: (LRU) so a long-lived session sweeping many directories cannot
+#: accumulate unbounded offset tables; 8 comfortably covers "several
+#: reductions over a handful of survey directories".
+_READER_CACHE: "OrderedDict[Tuple[str, int, int, int], Any]" = OrderedDict()
+_READER_CACHE_MAX = 8
+_READER_CACHE_LOCK = threading.Lock()
 
 
 def _looks_like_shard_source(source: Union[str, pathlib.Path]) -> bool:
@@ -36,20 +59,56 @@ def _looks_like_shard_source(source: Union[str, pathlib.Path]) -> bool:
         return False
 
 
+def _cached_reader(source: Union[str, pathlib.Path]) -> Any:
+    """A validated :class:`~repro.sweep.shards.ShardReader` for
+    ``source``, reused across calls while the manifest file on disk is
+    unchanged (same resolved path, mtime, size and inode — the
+    atomic-replace write path always produces a fresh inode)."""
+    from ..sweep.shards import MANIFEST_NAME, ShardReader
+
+    path = pathlib.Path(source)
+    if path.is_dir():
+        path = path / MANIFEST_NAME
+    try:
+        path = path.resolve()
+        stat = path.stat()
+    except OSError:
+        # Missing/unstatable manifest: let ShardReader raise its
+        # actionable error (and never cache the attempt).
+        return ShardReader(source)
+    key = (str(path), stat.st_mtime_ns, stat.st_size, stat.st_ino)
+    with _READER_CACHE_LOCK:
+        reader = _READER_CACHE.get(key)
+        if reader is not None:
+            _READER_CACHE.move_to_end(key)
+            return reader
+    reader = ShardReader(path)
+    with _READER_CACHE_LOCK:
+        # Drop stale entries for the same manifest path (rewritten
+        # sweep) before inserting the fresh one.
+        for stale in [k for k in _READER_CACHE if k[0] == key[0]]:
+            del _READER_CACHE[stale]
+        _READER_CACHE[key] = reader
+        while len(_READER_CACHE) > _READER_CACHE_MAX:
+            _READER_CACHE.popitem(last=False)
+    return reader
+
+
 def load_sweep_table(table: Any) -> Any:
     """Coerce ``table`` to a sweep table (eager or lazy, see module
     docstring).  Anything already exposing the column-table surface is
-    passed through untouched."""
+    passed through untouched; shard paths resolve through the manifest
+    cache, so repeated reductions on one directory validate it once."""
     from ..sweep.result import SweepResult
     from ..sweep.shards import ShardedSweepResult
 
     if isinstance(table, pathlib.Path):
         if table.is_file() and table.name != "manifest.json":
             return SweepResult.from_json(table.read_text())
-        return ShardedSweepResult(table)
+        return ShardedSweepResult(_cached_reader(table))
     if isinstance(table, str):
         if _looks_like_shard_source(table):
-            return ShardedSweepResult(table)
+            return ShardedSweepResult(_cached_reader(table))
         return SweepResult.from_json(table)
     return table
 
@@ -60,12 +119,11 @@ def _apply_to_shard(
     columns: Sequence[str],
     block_fn: Callable[[dict], Any],
 ) -> Any:
-    """Worker-side unit of :func:`map_table_blocks`: open the store,
-    read one shard's needed columns, apply ``block_fn`` (module-level so
-    it pickles for process pools)."""
-    from ..sweep.shards import ShardReader
-
-    return block_fn(ShardReader(manifest).read_shard(index, columns=list(columns)))
+    """Worker-side unit of :func:`map_table_blocks`: open the store
+    (through the per-process reader cache, so a worker validates each
+    manifest once, not once per shard), read one shard's needed columns,
+    apply ``block_fn`` (module-level so it pickles for process pools)."""
+    return block_fn(_cached_reader(manifest).read_shard(index, columns=list(columns)))
 
 
 def map_table_blocks(

@@ -138,6 +138,22 @@ def build_parser() -> argparse.ArgumentParser:
              "the asyncio + process-pool hybrid (default: process)",
     )
     p_sweep.add_argument(
+        "--kernel-backend", choices=("numpy", "numba", "numexpr", "auto"),
+        default=None,
+        help="kernel-execution backend for the vectorized fast path: "
+             "numba/numexpr fuse each derived column into one compiled "
+             "pass (bit-identical results, higher throughput; install "
+             "with `pip install 'repro[accel]'`), auto picks the fastest "
+             "available (default: the REPRO_KERNEL_BACKEND env var, "
+             "else numpy)",
+    )
+    p_sweep.add_argument(
+        "--verbose", action="store_true",
+        help="report each evaluated block — row range and the kernel "
+             "backend that actually ran it — on stderr (vectorized "
+             "model sweeps)",
+    )
+    p_sweep.add_argument(
         "--out-dir", default=None, metavar="DIR",
         help="stream the sweep out-of-core to columnar .npz shards in "
              "DIR (flat memory; prints a summary instead of the table)",
@@ -587,6 +603,12 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
                 "--backend applies to --mode process model sweeps, not "
                 "--simnet-table2"
             )
+        if args.kernel_backend is not None or args.verbose:
+            raise ValidationError(
+                "--kernel-backend/--verbose select and report the "
+                "vectorized model kernel's execution backend; "
+                "--simnet-table2 runs the fluid simulator instead"
+            )
         if args.metrics != ",".join(MODEL_METRICS):
             raise ValidationError(
                 "--metrics applies to model sweeps, not --simnet-table2 "
@@ -661,6 +683,14 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
                 "--backend selects the --mode process executor; the "
                 "vectorized fast path has no worker backend"
             )
+        if args.mode != "vectorized" and (
+            args.kernel_backend is not None or args.verbose
+        ):
+            raise ValidationError(
+                "--kernel-backend/--verbose apply to the vectorized fast "
+                "path; --mode process evaluates points one at a time on "
+                "the reference numpy kernels"
+            )
         spec = _sweep_spec_from_args(args)
         base = _sweep_base_params(args)
         metrics = tuple(m.strip() for m in args.metrics.split(",") if m.strip())
@@ -711,6 +741,7 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
                 out=args.out_dir, block_size=args.shard_size,
                 compress=args.compress,
                 context={"sss_curve": curve} if curve is not None else None,
+                backend=args.kernel_backend, verbose=args.verbose,
             )
         else:
             fn = partial(

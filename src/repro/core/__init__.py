@@ -6,6 +6,9 @@ Public surface:
 - :mod:`repro.core.kernel` — the columnar evaluation kernel:
   :class:`ParamBlock` (validated once per block) plus the registry of
   derived-column kernels every other layer is a thin view over,
+- :mod:`repro.core.backend` — pluggable kernel-execution backends
+  (numpy reference, numba-fused ufuncs, numexpr), selected per block
+  and bit-identical by contract,
 - :mod:`repro.core.model` — Eqs. 3–10 completion times,
 - :mod:`repro.core.gain` — the (alpha, r, theta) gain function and
   break-even surfaces,
@@ -16,6 +19,13 @@ Public surface:
 """
 
 from .parameters import ModelParameters, aps_to_alcf_defaults, lcls_to_hpc_defaults
+from .backend import (
+    BACKEND_ENV_VAR,
+    KERNEL_BACKENDS,
+    available_backends,
+    backend_ready,
+    resolve_backend,
+)
 from .kernel import (
     CONTEXT_COLUMNS,
     KERNEL_COLUMNS,
@@ -94,6 +104,12 @@ __all__ = [
     "ModelParameters",
     "aps_to_alcf_defaults",
     "lcls_to_hpc_defaults",
+    # backend
+    "BACKEND_ENV_VAR",
+    "KERNEL_BACKENDS",
+    "available_backends",
+    "backend_ready",
+    "resolve_backend",
     # kernel
     "CONTEXT_COLUMNS",
     "KERNEL_COLUMNS",

@@ -1,0 +1,332 @@
+"""Numba-fused kernel columns (the ``"numba"`` backend).
+
+Each derived column of :mod:`repro.core.kernel` is fused into a single
+``@vectorize`` ufunc: one compiled loop over the block instead of the
+six-to-ten whole-array passes the numpy reference spends on it, with
+numpy's broadcasting semantics preserved by the ufunc machinery (0-d
+and length-1 parameter columns broadcast exactly as before).
+
+Bit-identity with the reference is a hard contract, so every fused body
+replicates the numpy kernels' arithmetic *operation by operation, in
+the same association order* — e.g. the worst-case streaming time is
+``((1.0 * sss) * ideal) + rem`` exactly as ``_sss_worst_times``
+evaluates it — and ``fastmath`` stays off so LLVM cannot contract or
+reassociate anything.  ``error_model="numpy"`` keeps IEEE division
+semantics (``x / 0.0 -> inf``) instead of Python's ``ZeroDivisionError``;
+the one *deliberate* infinity (``kappa`` at ``C == 0``, pure data
+movement) is additionally guarded explicitly, mirroring the reference's
+``errstate(divide="ignore")``.
+
+The ``sss`` column itself is *not* reimplemented here: the measured
+curve interpolates through the shared ``np.interp`` rule, and the fused
+``decision``/``tier`` kernels take the interpolated array as an input.
+Decision tie-breaking matches ``np.argmin``'s first-minimum rule for
+finite strategy times (validated parameter blocks never produce NaN
+times short of astronomically overflowing inputs).
+
+This module imports ``numba`` at module level; it is only ever imported
+lazily through :func:`repro.core.backend.backend_columns`, which
+degrades to the numpy reference when the import (or a JIT compile)
+fails.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from numba import vectorize  # noqa: F401 - hard dependency of this module
+
+from ..units import BITS_PER_BYTE
+from .kernel import TIER_DEADLINES, ParamBlock
+
+# Module-level float constants: numba freezes these into the compiled
+# ufuncs (closure cells would defeat on-disk caching).
+_B = float(BITS_PER_BYTE)
+_T1 = float(TIER_DEADLINES[0])
+_T2 = float(TIER_DEADLINES[1])
+_T3 = float(TIER_DEADLINES[2])
+_INF = float("inf")
+
+_OPTS = dict(nopython=True, cache=True, error_model="numpy")
+
+
+def _f64(n_args: int, ret: str = "float64"):
+    return [f"{ret}({', '.join(['float64'] * n_args)})"]
+
+
+@vectorize(_f64(3), **_OPTS)
+def _t_local(s, c, rl):
+    return c * s / (rl * 1e12)
+
+
+@vectorize(_f64(3), **_OPTS)
+def _t_transfer(s, bw, alpha):
+    return s / (alpha * (bw / _B))
+
+
+@vectorize(_f64(4), **_OPTS)
+def _t_io(s, bw, alpha, theta):
+    return (theta - 1.0) * (s / (alpha * (bw / _B)))
+
+
+@vectorize(_f64(4), **_OPTS)
+def _t_remote(s, c, rl, r):
+    return c * s / ((rl * r) * 1e12)
+
+
+@vectorize(_f64(7), **_OPTS)
+def _t_pct(s, c, rl, bw, alpha, r, theta):
+    return theta * (s / (alpha * (bw / _B))) + c * s / ((rl * r) * 1e12)
+
+
+@vectorize(_f64(7), **_OPTS)
+def _speedup(s, c, rl, bw, alpha, r, theta):
+    t_pct = theta * (s / (alpha * (bw / _B))) + c * s / ((rl * r) * 1e12)
+    return (c * s / (rl * 1e12)) / t_pct
+
+
+@vectorize(_f64(7, "boolean"), **_OPTS)
+def _remote_is_faster(s, c, rl, bw, alpha, r, theta):
+    t_pct = theta * (s / (alpha * (bw / _B))) + c * s / ((rl * r) * 1e12)
+    return (c * s / (rl * 1e12)) / t_pct > 1.0
+
+
+@vectorize(_f64(3), **_OPTS)
+def _kappa(c, rl, bw):
+    den = c * (bw / _B)
+    if den == 0.0:
+        return _INF
+    return (rl * 1e12) / den
+
+
+@vectorize(_f64(6), **_OPTS)
+def _gain(c, rl, bw, alpha, r, theta):
+    den = c * (bw / _B)
+    kappa = _INF if den == 0.0 else (rl * 1e12) / den
+    return 1.0 / (theta * kappa / alpha + 1.0 / r)
+
+
+@vectorize(_f64(5), **_OPTS)
+def _break_even_theta(c, rl, bw, alpha, r):
+    den = c * (bw / _B)
+    kappa = _INF if den == 0.0 else (rl * 1e12) / den
+    return alpha * (1.0 - 1.0 / r) / kappa
+
+
+@vectorize(_f64(5), **_OPTS)
+def _break_even_alpha(c, rl, bw, r, theta):
+    den = c * (bw / _B)
+    kappa = _INF if den == 0.0 else (rl * 1e12) / den
+    margin = 1.0 - 1.0 / r
+    if margin > 0:
+        return theta * kappa / margin
+    return float("nan")
+
+
+@vectorize(_f64(5), **_OPTS)
+def _break_even_r(c, rl, bw, alpha, theta):
+    den = c * (bw / _B)
+    kappa = _INF if den == 0.0 else (rl * 1e12) / den
+    margin = 1.0 - theta * kappa / alpha
+    if margin > 0:
+        return 1.0 / margin
+    return _INF
+
+
+@vectorize(_f64(3), **_OPTS)
+def _break_even_kappa(alpha, r, theta):
+    return alpha * (1.0 - 1.0 / r) / theta
+
+
+@vectorize(_f64(5), **_OPTS)
+def _asymptotic_gain(c, rl, bw, alpha, theta):
+    den = c * (bw / _B)
+    kappa = _INF if den == 0.0 else (rl * 1e12) / den
+    return alpha / (theta * kappa)
+
+
+@vectorize(_f64(7, "int64"), **_OPTS)
+def _decision(s, c, rl, bw, alpha, r, theta):
+    t_loc = c * s / (rl * 1e12)
+    trans = s / (alpha * (bw / _B))
+    rem = c * s / ((rl * r) * 1e12)
+    t_stream = trans + rem
+    t_file = theta * trans + rem
+    # First minimum of (local, streaming, file), like np.argmin over
+    # the reference's strategy stack.
+    if t_loc <= t_stream and t_loc <= t_file:
+        return 0
+    if t_stream <= t_file:
+        return 1
+    return 2
+
+
+@vectorize(_f64(7, "int64"), **_OPTS)
+def _tier(s, c, rl, bw, alpha, r, theta):
+    t_loc = c * s / (rl * 1e12)
+    trans = s / (alpha * (bw / _B))
+    rem = c * s / ((rl * r) * 1e12)
+    t_stream = trans + rem
+    t_file = theta * trans + rem
+    t = t_loc
+    if t_stream < t:
+        t = t_stream
+    if t_file < t:
+        t = t_file
+    if t < _T1:
+        return 1
+    if t < _T2:
+        return 2
+    if t < _T3:
+        return 3
+    return 0
+
+
+@vectorize(_f64(8, "int64"), **_OPTS)
+def _decision_sss(s, c, rl, bw, alpha, r, theta, sss):
+    t_loc = c * s / (rl * 1e12)
+    trans = s / (alpha * (bw / _B))
+    rem = c * s / ((rl * r) * 1e12)
+    t_stream = trans + rem
+    t_file = theta * trans + rem
+    ideal = s / (1.0 * (bw / _B))
+    worst_stream = ((1.0 * sss) * ideal) + rem
+    if worst_stream < t_stream:
+        worst_stream = t_stream
+    worst_file = ((theta * sss) * ideal) + rem
+    if worst_file < t_file:
+        worst_file = t_file
+    if t_loc <= worst_stream and t_loc <= worst_file:
+        return 0
+    if worst_stream <= worst_file:
+        return 1
+    return 2
+
+
+@vectorize(_f64(8, "int64"), **_OPTS)
+def _tier_sss(s, c, rl, bw, alpha, r, theta, sss):
+    t_loc = c * s / (rl * 1e12)
+    trans = s / (alpha * (bw / _B))
+    rem = c * s / ((rl * r) * 1e12)
+    t_stream = trans + rem
+    t_file = theta * trans + rem
+    ideal = s / (1.0 * (bw / _B))
+    worst_stream = ((1.0 * sss) * ideal) + rem
+    if worst_stream < t_stream:
+        worst_stream = t_stream
+    worst_file = ((theta * sss) * ideal) + rem
+    if worst_file < t_file:
+        worst_file = t_file
+    t = t_loc
+    if worst_stream < t:
+        t = worst_stream
+    if worst_file < t:
+        t = worst_file
+    if t < _T1:
+        return 1
+    if t < _T2:
+        return 2
+    if t < _T3:
+        return 3
+    return 0
+
+
+def build_columns() -> Dict[str, Callable]:
+    """The numba column-override map (see
+    :func:`repro.core.backend.backend_columns`)."""
+
+    def col_t_local(b: ParamBlock, get):
+        return _t_local(b.s_unit_gb, b.complexity_flop_per_gb, b.r_local_tflops)
+
+    def col_t_transfer(b: ParamBlock, get):
+        return _t_transfer(b.s_unit_gb, b.bandwidth_gbps, b.alpha)
+
+    def col_t_io(b: ParamBlock, get):
+        return _t_io(b.s_unit_gb, b.bandwidth_gbps, b.alpha, b.theta)
+
+    def col_t_remote(b: ParamBlock, get):
+        return _t_remote(
+            b.s_unit_gb, b.complexity_flop_per_gb, b.r_local_tflops, b.r
+        )
+
+    def _full(b: ParamBlock):
+        return (
+            b.s_unit_gb, b.complexity_flop_per_gb, b.r_local_tflops,
+            b.bandwidth_gbps, b.alpha, b.r, b.theta,
+        )
+
+    def col_t_pct(b: ParamBlock, get):
+        return _t_pct(*_full(b))
+
+    def col_speedup(b: ParamBlock, get):
+        return _speedup(*_full(b))
+
+    def col_remote_is_faster(b: ParamBlock, get):
+        return _remote_is_faster(*_full(b))
+
+    def col_kappa(b: ParamBlock, get):
+        return _kappa(
+            b.complexity_flop_per_gb, b.r_local_tflops, b.bandwidth_gbps
+        )
+
+    def col_gain(b: ParamBlock, get):
+        return _gain(
+            b.complexity_flop_per_gb, b.r_local_tflops, b.bandwidth_gbps,
+            b.alpha, b.r, b.theta,
+        )
+
+    def col_break_even_theta(b: ParamBlock, get):
+        return _break_even_theta(
+            b.complexity_flop_per_gb, b.r_local_tflops, b.bandwidth_gbps,
+            b.alpha, b.r,
+        )
+
+    def col_break_even_alpha(b: ParamBlock, get):
+        return _break_even_alpha(
+            b.complexity_flop_per_gb, b.r_local_tflops, b.bandwidth_gbps,
+            b.r, b.theta,
+        )
+
+    def col_break_even_r(b: ParamBlock, get):
+        return _break_even_r(
+            b.complexity_flop_per_gb, b.r_local_tflops, b.bandwidth_gbps,
+            b.alpha, b.theta,
+        )
+
+    def col_break_even_kappa(b: ParamBlock, get):
+        return _break_even_kappa(b.alpha, b.r, b.theta)
+
+    def col_asymptotic_gain(b: ParamBlock, get):
+        return _asymptotic_gain(
+            b.complexity_flop_per_gb, b.r_local_tflops, b.bandwidth_gbps,
+            b.alpha, b.theta,
+        )
+
+    def col_decision(b: ParamBlock, get):
+        if b.sss_table is not None:
+            return _decision_sss(*_full(b), get("sss"))
+        return _decision(*_full(b))
+
+    def col_tier(b: ParamBlock, get):
+        if b.sss_table is not None:
+            return _tier_sss(*_full(b), get("sss"))
+        return _tier(*_full(b))
+
+    return {
+        "t_local": col_t_local,
+        "t_transfer": col_t_transfer,
+        "t_io": col_t_io,
+        "t_remote": col_t_remote,
+        "t_pct": col_t_pct,
+        "speedup": col_speedup,
+        "remote_is_faster": col_remote_is_faster,
+        "kappa": col_kappa,
+        "gain": col_gain,
+        "decision": col_decision,
+        "tier": col_tier,
+        "break_even_theta": col_break_even_theta,
+        "break_even_alpha": col_break_even_alpha,
+        "break_even_r": col_break_even_r,
+        "break_even_kappa": col_break_even_kappa,
+        "asymptotic_gain": col_asymptotic_gain,
+    }

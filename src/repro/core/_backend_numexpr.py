@@ -1,0 +1,215 @@
+"""Numexpr-fused kernel columns (the ``"numexpr"`` backend).
+
+Each derived column evaluates as one (or a few) ``numexpr.evaluate``
+calls: a single blocked, multi-threaded pass over the operands instead
+of the numpy reference's chain of whole-array temporaries.  Numexpr
+performs no FMA contraction and no reassociation — each virtual-machine
+opcode is the same IEEE double operation numpy would run — so matching
+the reference bit for bit reduces to writing the *same operations in
+the same association order*, which every expression below does (see the
+comments citing the reference kernels).
+
+Derived columns still share intermediates through the block resolver's
+memo (``get("t_transfer")`` etc.), exactly like the reference registry;
+``sss`` interpolation stays on the shared ``np.interp`` rule and feeds
+the decision/tier expressions as a plain input array.
+
+Two numexpr-specific accommodations:
+
+- numexpr only broadcasts scalars against arrays (not length-1 axes),
+  so every size-1 operand is passed as a Python float (bit-identical:
+  broadcasting never changes values);
+- ``where`` chains with integer literals may evaluate at 32-bit, so
+  decision/tier results are cast to ``int64`` to match the reference's
+  dtype (the 0/1/2/3 codes are exact in any integer width).
+
+This module imports ``numexpr`` at module level; it is only imported
+lazily through :func:`repro.core.backend.backend_columns`, which
+degrades to the numpy reference when the import fails.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numexpr as ne  # noqa: F401 - hard dependency of this module
+import numpy as np
+
+from ..units import BITS_PER_BYTE
+from .kernel import TIER_DEADLINES, ParamBlock
+
+_B = repr(float(BITS_PER_BYTE))
+_T1, _T2, _T3 = (repr(float(t)) for t in TIER_DEADLINES)
+
+#: Float constants numexpr has no literal for.
+_CONSTS = {"NANC": float("nan"), "INFC": float("inf")}
+
+
+def _operand(value) -> object:
+    """An operand numexpr can broadcast: size-1 arrays become Python
+    floats (numexpr broadcasts scalars, not length-1 axes)."""
+    arr = np.asarray(value)
+    if arr.size == 1:
+        return float(arr.reshape(()))
+    return arr
+
+
+def _ev(expr: str, **operands) -> np.ndarray:
+    local = {name: _operand(v) for name, v in operands.items()}
+    local.update(_CONSTS)
+    return np.asarray(ne.evaluate(expr, local_dict=local, global_dict={}))
+
+
+def _params(b: ParamBlock) -> Dict[str, object]:
+    return {
+        "s": b.s_unit_gb,
+        "c": b.complexity_flop_per_gb,
+        "rl": b.r_local_tflops,
+        "bw": b.bandwidth_gbps,
+        "alpha": b.alpha,
+        "r": b.r,
+        "theta": b.theta,
+    }
+
+
+def _strategy_operands(b: ParamBlock, get) -> Dict[str, object]:
+    """Operands of the decision/tier expressions: the memoised strategy
+    ingredients, plus the worst-case envelope terms when an SSS curve
+    is joined (same association order as ``_sss_worst_times``)."""
+    ops = {
+        "tl": get("t_local"),
+        "trans": get("t_transfer"),
+        "rem": get("t_remote"),
+        "theta": b.theta,
+    }
+    if b.sss_table is not None:
+        # ideal = raw_t_transfer(s, bw, 1.0); worst_* clamp to the
+        # expected times exactly like np.maximum in _sss_worst_times.
+        ideal = _ev(f"s / (1.0 * (bw / {_B}))", s=b.s_unit_gb, bw=b.bandwidth_gbps)
+        ops["ws"] = _ev(
+            "where(((1.0 * sss) * ideal) + rem >= trans + rem,"
+            " ((1.0 * sss) * ideal) + rem, trans + rem)",
+            sss=get("sss"), ideal=ideal, rem=ops["rem"], trans=ops["trans"],
+        )
+        ops["wf"] = _ev(
+            "where(((theta * sss) * ideal) + rem >= theta * trans + rem,"
+            " ((theta * sss) * ideal) + rem, theta * trans + rem)",
+            sss=get("sss"), ideal=ideal, rem=ops["rem"], trans=ops["trans"],
+            theta=b.theta,
+        )
+    else:
+        ops["ws"] = _ev("trans + rem", trans=ops["trans"], rem=ops["rem"])
+        ops["wf"] = _ev(
+            "theta * trans + rem",
+            theta=b.theta, trans=ops["trans"], rem=ops["rem"],
+        )
+    return ops
+
+
+def build_columns() -> Dict[str, Callable]:
+    """The numexpr column-override map (see
+    :func:`repro.core.backend.backend_columns`)."""
+
+    def col_t_local(b, get):
+        # raw_t_local: c * s / (rl * 1e12)
+        return _ev("c * s / (rl * 1e12)", **_params(b))
+
+    def col_t_transfer(b, get):
+        # raw_t_transfer: s / (alpha * (bw / 8))
+        return _ev(f"s / (alpha * (bw / {_B}))", **_params(b))
+
+    def col_t_io(b, get):
+        return _ev("(theta - 1.0) * trans", theta=b.theta, trans=get("t_transfer"))
+
+    def col_t_remote(b, get):
+        # raw_t_remote: c * s / ((rl * r) * 1e12)
+        return _ev("c * s / ((rl * r) * 1e12)", **_params(b))
+
+    def col_t_pct(b, get):
+        # raw_t_pct: theta * t_transfer + t_remote
+        return _ev(
+            "theta * trans + rem",
+            theta=b.theta, trans=get("t_transfer"), rem=get("t_remote"),
+        )
+
+    def col_speedup(b, get):
+        return _ev("tl / tp", tl=get("t_local"), tp=get("t_pct"))
+
+    def col_remote_is_faster(b, get):
+        return _ev("sp > 1.0", sp=get("speedup"))
+
+    def col_kappa(b, get):
+        # raw_kappa: (rl * 1e12) / (c * (bw / 8)); numexpr's VM computes
+        # the C == 0 division to IEEE inf without raising.
+        return _ev(f"(rl * 1e12) / (c * (bw / {_B}))", **_params(b))
+
+    def col_gain(b, get):
+        return _ev(
+            "1.0 / (theta * k / alpha + 1.0 / r)",
+            k=get("kappa"), **_params(b),
+        )
+
+    def col_break_even_theta(b, get):
+        return _ev("alpha * (1.0 - 1.0 / r) / k", k=get("kappa"), **_params(b))
+
+    def col_break_even_alpha(b, get):
+        # Same selected values as the reference's masked division: the
+        # infeasible branch (r <= 1) is nan either way.
+        return _ev(
+            "where((1.0 - 1.0 / r) > 0, theta * k / (1.0 - 1.0 / r), NANC)",
+            k=get("kappa"), **_params(b),
+        )
+
+    def col_break_even_r(b, get):
+        return _ev(
+            "where(1.0 - theta * k / alpha > 0,"
+            " 1.0 / (1.0 - theta * k / alpha), INFC)",
+            k=get("kappa"), **_params(b),
+        )
+
+    def col_break_even_kappa(b, get):
+        return _ev("alpha * (1.0 - 1.0 / r) / theta", **_params(b))
+
+    def col_asymptotic_gain(b, get):
+        return _ev("alpha / (theta * k)", k=get("kappa"), **_params(b))
+
+    def col_decision(b, get):
+        # First minimum of (local, streaming, file), like np.argmin
+        # over the reference's strategy stack (finite times).
+        ops = _strategy_operands(b, get)
+        codes = _ev(
+            "where((tl <= ws) & (tl <= wf), 0, where(ws <= wf, 1, 2))",
+            tl=ops["tl"], ws=ops["ws"], wf=ops["wf"],
+        )
+        return codes.astype(np.int64, copy=False)
+
+    def col_tier(b, get):
+        ops = _strategy_operands(b, get)
+        tmin = _ev(
+            "where(tl <= ws, where(tl <= wf, tl, wf), where(ws <= wf, ws, wf))",
+            tl=ops["tl"], ws=ops["ws"], wf=ops["wf"],
+        )
+        codes = _ev(
+            f"where(t < {_T1}, 1, where(t < {_T2}, 2, where(t < {_T3}, 3, 0)))",
+            t=tmin,
+        )
+        return codes.astype(np.int64, copy=False)
+
+    return {
+        "t_local": col_t_local,
+        "t_transfer": col_t_transfer,
+        "t_io": col_t_io,
+        "t_remote": col_t_remote,
+        "t_pct": col_t_pct,
+        "speedup": col_speedup,
+        "remote_is_faster": col_remote_is_faster,
+        "kappa": col_kappa,
+        "gain": col_gain,
+        "decision": col_decision,
+        "tier": col_tier,
+        "break_even_theta": col_break_even_theta,
+        "break_even_alpha": col_break_even_alpha,
+        "break_even_r": col_break_even_r,
+        "break_even_kappa": col_break_even_kappa,
+        "asymptotic_gain": col_asymptotic_gain,
+    }

@@ -1,0 +1,179 @@
+"""Pluggable kernel-execution backends for the derived-column registry.
+
+The pure-numpy kernels in :mod:`repro.core.kernel` are the bit-for-bit
+*reference*: every quantity is defined exactly once there, and every
+other execution strategy must reproduce its output to the last bit.
+This module is the seam that lets a block swap that reference for a
+*compiled* evaluation of the same columns:
+
+- ``numba`` — each derived column fused into one JIT-compiled ufunc
+  (:mod:`repro.core._backend_numba`), so a column that numpy evaluates
+  as eight whole-array passes becomes a single loop over the block,
+- ``numexpr`` — the same fused expressions evaluated by numexpr's
+  blocked, multi-threaded virtual machine
+  (:mod:`repro.core._backend_numexpr`),
+- ``numpy`` — the reference registry itself (the empty override map).
+
+Selection is by name — ``ParamBlock.from_columns(backend=...)``, the
+``REPRO_KERNEL_BACKEND`` environment variable, or ``repro sweep
+--kernel-backend`` — with ``"auto"`` resolving to the fastest backend
+whose optional dependency is importable.  A backend that was requested
+explicitly but is not installed degrades to numpy with a single
+actionable :class:`RuntimeWarning` naming the ``accel`` pip extra;
+degradation is always safe because backends are bit-identical by
+contract (pinned by the cross-backend battery in
+``tests/test_kernel_backend.py``).
+
+The compiled implementations never replace the ``sss`` column: the
+measured-curve interpolation stays on the shared
+:func:`repro.core.kernel.interp_sss` (``np.interp``) in every backend —
+reimplementing numpy's interpolation bit-exactly buys nothing — and the
+fused ``decision``/``tier`` kernels consume the interpolated array as
+an input instead.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import warnings
+from typing import Callable, Dict, Mapping, Optional, Set, Tuple
+
+from ..errors import ValidationError
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "KERNEL_BACKENDS",
+    "available_backends",
+    "backend_columns",
+    "backend_ready",
+    "resolve_backend",
+]
+
+#: Environment variable consulted when no backend is requested
+#: explicitly (``"auto"`` is accepted, like everywhere else).
+BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: Every selectable backend, fastest first — also ``"auto"``'s
+#: preference order (numpy, always available, is the final fallback).
+KERNEL_BACKENDS: Tuple[str, ...] = ("numba", "numexpr", "numpy")
+
+#: Backends whose optional dependency ships in the ``accel`` extra,
+#: mapped to the module whose presence enables them.
+_OPTIONAL_DEPS: Dict[str, str] = {"numba": "numba", "numexpr": "numexpr"}
+
+_INSTALL_HINT = "pip install 'repro[accel]'"
+
+#: Backends already warned about this process (one warning per backend,
+#: not one per block of a million-point sweep).
+_WARNED: Set[str] = set()
+
+#: Built column-override maps, keyed by backend name.  ``None`` records
+#: a backend whose build failed (warned once, degrades to numpy).
+_COLUMN_IMPLS: Dict[str, Optional[Mapping[str, Callable]]] = {}
+
+
+def _module_available(module: str) -> bool:
+    """True when ``import module`` would succeed (cheap find_spec probe;
+    monkeypatched by tests to simulate absent/present dependencies)."""
+    try:
+        return importlib.util.find_spec(module) is not None
+    except (ImportError, ValueError):  # pragma: no cover - exotic loaders
+        return False
+
+
+def available_backends() -> Tuple[str, ...]:
+    """The selectable backends whose dependencies are importable, in
+    ``"auto"`` preference order (``"numpy"`` is always last)."""
+    return tuple(
+        name
+        for name in KERNEL_BACKENDS
+        if name not in _OPTIONAL_DEPS or _module_available(_OPTIONAL_DEPS[name])
+    )
+
+
+def _warn_unavailable(name: str, reason: str) -> None:
+    if name in _WARNED:
+        return
+    _WARNED.add(name)
+    warnings.warn(
+        f"kernel backend {name!r} {reason}; falling back to the pure-numpy "
+        f"reference (identical results, uncompiled speed). Install the "
+        f"compiled backends with: {_INSTALL_HINT}",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def resolve_backend(name: Optional[str] = None) -> str:
+    """Resolve a requested backend name to a concrete, usable one.
+
+    Precedence: explicit ``name`` argument, then the
+    :data:`BACKEND_ENV_VAR` environment variable, then ``"numpy"``.
+    ``"auto"`` picks the first entry of :data:`KERNEL_BACKENDS` whose
+    dependency is importable — silently, since auto promises only "the
+    fastest available".  An *explicitly* requested backend that is not
+    installed warns once (:class:`RuntimeWarning`, naming the ``accel``
+    extra) and degrades to ``"numpy"``; an unknown name is a
+    :class:`~repro.errors.ValidationError`.
+    """
+    if name is None:
+        name = os.environ.get(BACKEND_ENV_VAR) or "numpy"
+    name = str(name).strip().lower()
+    if name == "auto":
+        return available_backends()[0]
+    if name not in KERNEL_BACKENDS:
+        raise ValidationError(
+            f"unknown kernel backend {name!r}; expected one of "
+            f"{KERNEL_BACKENDS + ('auto',)}"
+        )
+    if name in _OPTIONAL_DEPS and not _module_available(_OPTIONAL_DEPS[name]):
+        _warn_unavailable(
+            name, f"requires the {_OPTIONAL_DEPS[name]!r} package, which is "
+            f"not installed"
+        )
+        return "numpy"
+    return name
+
+
+def backend_columns(name: str) -> Mapping[str, Callable]:
+    """The column-override map of a *resolved* backend.
+
+    Maps derived-column names to callables with the registry signature
+    ``fn(block, get) -> array``; columns absent from the map (and every
+    internal intermediate) fall through to the numpy reference
+    registry.  ``"numpy"`` is the empty map.  Implementations are built
+    lazily on first use and memoised; a build failure (broken optional
+    dependency, JIT compile error) warns once and degrades to the empty
+    map — never into a crash, because numpy computes the same bits.
+    """
+    if name == "numpy":
+        return {}
+    if name not in KERNEL_BACKENDS:
+        raise ValidationError(
+            f"unknown kernel backend {name!r}; expected one of "
+            f"{KERNEL_BACKENDS}"
+        )
+    if name not in _COLUMN_IMPLS:
+        try:
+            if name == "numba":
+                from . import _backend_numba as impl_module
+            else:
+                from . import _backend_numexpr as impl_module
+            _COLUMN_IMPLS[name] = impl_module.build_columns()
+        except Exception as exc:  # degrade, never crash the sweep
+            _COLUMN_IMPLS[name] = None
+            _warn_unavailable(name, f"failed to initialise ({exc})")
+    return _COLUMN_IMPLS[name] or {}
+
+
+def backend_ready(name: str) -> bool:
+    """True when ``name`` resolves to itself *and* its column overrides
+    actually build — i.e. selecting it runs compiled kernels rather
+    than degrading to numpy.  (Benchmarks and guardrails use this to
+    skip compiled-speedup assertions on dep-free environments.)"""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        if resolve_backend(name) != name:
+            return False
+        return name == "numpy" or len(backend_columns(name)) > 0

@@ -58,6 +58,7 @@ import numpy as np
 
 from ..errors import ValidationError
 from ..units import BITS_PER_BYTE, SECONDS_PER_MINUTE, ensure_fraction
+from .backend import backend_columns, resolve_backend
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .parameters import ModelParameters
@@ -343,6 +344,10 @@ class ParamBlock:
     #: ascending — the vectorized form of an
     #: :class:`repro.measurement.congestion.SssCurve`.
     sss_table: Optional[Tuple[np.ndarray, np.ndarray]] = None
+    #: Resolved kernel-execution backend evaluating this block's derived
+    #: columns (see :mod:`repro.core.backend`); ``"numpy"`` is the
+    #: bit-for-bit reference every other backend must reproduce.
+    backend: str = "numpy"
 
     @classmethod
     def from_columns(
@@ -351,6 +356,7 @@ class ParamBlock:
         base: Optional["ModelParameters"] = None,
         n: Optional[int] = None,
         context: Optional[Mapping[str, Any]] = None,
+        backend: Optional[str] = None,
     ) -> "ParamBlock":
         """Merge swept columns with base-parameter scalars into a block.
 
@@ -368,7 +374,16 @@ class ParamBlock:
         to join onto the block's ``utilization`` axis (required when a
         curve is given — a curve with nothing to interpolate at is a
         mismatch, reported here rather than as a silent nominal sweep).
+
+        ``backend`` selects the kernel-execution backend evaluating the
+        block's derived columns (``"numpy"``/``"numba"``/``"numexpr"``/
+        ``"auto"``; default: the ``REPRO_KERNEL_BACKEND`` environment
+        variable, else numpy).  Backends are bit-identical by contract,
+        so the choice affects throughput only — see
+        :func:`repro.core.backend.resolve_backend` for the degradation
+        rules when an optional dependency is missing.
         """
+        resolved_backend = resolve_backend(backend)
         swept: Dict[str, np.ndarray] = {}
         for name, col in columns.items():
             if name not in MODEL_AXES:
@@ -462,6 +477,7 @@ class ParamBlock:
             theta=pick("theta", 1.0),
             utilization=swept.get("utilization"),
             sss_table=sss_table,
+            backend=resolved_backend,
         )
 
     @classmethod
@@ -642,16 +658,24 @@ class _BlockResolver:
     out-of-core sweep's memory profile.
     """
 
-    __slots__ = ("block", "cache")
+    __slots__ = ("block", "cache", "overrides")
 
     def __init__(self, block: ParamBlock) -> None:
         self.block = block
         self.cache: Dict[str, np.ndarray] = {}
+        # Compiled column overrides of the block's backend; the numpy
+        # reference is the empty map, and any column a backend does not
+        # override (plus every internal intermediate) falls through to
+        # the reference registry.
+        self.overrides = (
+            backend_columns(block.backend) if block.backend != "numpy" else {}
+        )
 
     def __call__(self, name: str) -> np.ndarray:
         out = self.cache.get(name)
         if out is None:
-            out = self.cache[name] = np.asarray(_KERNELS[name](self.block, self))
+            fn = self.overrides.get(name) or _KERNELS[name]
+            out = self.cache[name] = np.asarray(fn(self.block, self))
         return out
 
 

@@ -37,6 +37,9 @@ import asyncio
 import dataclasses
 import math
 import multiprocessing
+import queue
+import sys
+import threading
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
@@ -97,6 +100,7 @@ def _model_block(
     metrics: Sequence[str],
     n: int,
     context: Optional[Dict[str, Any]] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, np.ndarray]:
     """Vectorized model evaluation of one column block (the shared core
     of :func:`run_model_sweep` and the streamed paths — identical
@@ -111,7 +115,7 @@ def _model_block(
     SSS join is the same whether the grid arrives whole or sharded.
     """
     block = kernel.ParamBlock.from_columns(
-        columns, base=base, n=n, context=context
+        columns, base=base, n=n, context=context, backend=backend
     )
     out: Dict[str, np.ndarray] = dict(columns)
     out.update(kernel.compute_columns(block, tuple(metrics)))
@@ -132,6 +136,8 @@ def iter_model_sweep(
     metrics: Sequence[str] = MODEL_METRICS,
     block_size: int = DEFAULT_BLOCK_SIZE,
     context: Optional[Dict[str, Any]] = None,
+    backend: Optional[str] = None,
+    verbose: bool = False,
 ) -> Iterator[SweepResult]:
     """Evaluate the vectorized model sweep block-by-block.
 
@@ -140,14 +146,29 @@ def iter_model_sweep(
     block of axis/metric columns exist in memory.  Each block carries
     the same values the monolithic :func:`run_model_sweep` would have
     produced for those rows.
+
+    ``backend`` selects the kernel-execution backend (see
+    :func:`repro.core.backend.resolve_backend`); it is resolved once,
+    up front, so a degradation warning fires once per sweep rather than
+    once per block.  ``verbose`` reports each evaluated block — row
+    range and the backend that actually ran it — on stderr.
     """
     if block_size < 1:
         raise ValidationError(f"block_size must be >= 1, got {block_size!r}")
     _check_metrics(metrics)
+    resolved = kernel.resolve_backend(backend)
     for start in range(0, spec.n_points, block_size):
         stop = min(start + block_size, spec.n_points)
         columns = spec.columns_slice(start, stop)
-        out = _model_block(columns, base, metrics, stop - start, context)
+        out = _model_block(
+            columns, base, metrics, stop - start, context, backend=resolved
+        )
+        if verbose:
+            print(
+                f"[sweep] rows {start}..{stop} of {spec.n_points}: "
+                f"evaluated via the {resolved!r} kernel backend",
+                file=sys.stderr,
+            )
         yield SweepResult(columns=out, axis_names=spec.axis_names)
 
 
@@ -159,6 +180,9 @@ def run_model_sweep(
     block_size: Optional[int] = None,
     compress: bool = False,
     context: Optional[Dict[str, Any]] = None,
+    backend: Optional[str] = None,
+    overlap_io: bool = True,
+    verbose: bool = False,
 ) -> Any:
     """Evaluate the completion-time model over a whole spec in one
     vectorized pass.
@@ -186,13 +210,33 @@ def run_model_sweep(
     ``utilization`` axis, turning the ``decision``/``tier`` columns
     worst-case-aware and enabling the interpolated ``sss`` metric (see
     :mod:`repro.core.kernel`).
+
+    ``backend`` selects the kernel-execution backend evaluating the
+    derived columns (``"numpy"``/``"numba"``/``"numexpr"``/``"auto"``;
+    default: the ``REPRO_KERNEL_BACKEND`` environment variable, else
+    numpy) — bit-identical results, different throughput.  On the
+    streamed path, shard writes run on a dedicated writer thread
+    double-buffered against the next block's kernel evaluation (shard
+    contents and order are exactly the synchronous path's; peak memory
+    stays O(block), just with two blocks in flight instead of one);
+    ``overlap_io=False`` restores the strictly synchronous loop.
+    ``verbose`` reports each evaluated block and its backend on stderr.
     """
     _check_metrics(metrics)
     if out is None:
         if compress:
             raise ValidationError("compress=True only applies with out=")
+        resolved = kernel.resolve_backend(backend)
         columns = spec.columns()
-        values = _model_block(columns, base, metrics, spec.n_points, context)
+        values = _model_block(
+            columns, base, metrics, spec.n_points, context, backend=resolved
+        )
+        if verbose:
+            print(
+                f"[sweep] {spec.n_points} points evaluated via the "
+                f"{resolved!r} kernel backend",
+                file=sys.stderr,
+            )
         return SweepResult(columns=values, axis_names=spec.axis_names)
 
     from .shards import ShardedSweepResult, ShardWriter
@@ -206,13 +250,74 @@ def run_model_sweep(
             axis_names=spec.axis_names,
             compress=compress,
         )
-    for block in iter_model_sweep(
+    blocks = iter_model_sweep(
         spec, base=base, metrics=metrics,
         block_size=block_size or writer.shard_size, context=context,
-    ):
-        writer.append(block.columns)
+        backend=backend, verbose=verbose,
+    )
+    if overlap_io:
+        _stream_overlapped(blocks, writer)
+    else:
+        for block in blocks:
+            writer.append(block.columns)
     writer.close()
     return ShardedSweepResult(writer.directory)
+
+
+def _stream_overlapped(blocks: Iterator[SweepResult], writer: Any) -> None:
+    """Drive the streamed sweep with shard writes overlapping kernel
+    evaluation of the next block.
+
+    Classic double-buffered producer/consumer: the main thread keeps
+    evaluating blocks while a single writer thread appends them to the
+    shard writer, with a depth-1 queue bounding the pipeline at two
+    blocks in flight (one being evaluated, one being written) so the
+    streamed path's flat-memory guarantee survives.  Because there is
+    exactly one writer thread consuming a FIFO queue, shard contents,
+    boundaries and manifest are byte-identical to the synchronous loop.
+    A writer-side failure (disk full, permission error) is re-raised on
+    the caller's thread, after the worker has exited.
+    """
+    pending: "queue.Queue[Any]" = queue.Queue(maxsize=1)
+    stop = object()
+    failure: List[BaseException] = []
+
+    def drain() -> None:
+        while True:
+            item = pending.get()
+            if item is stop:
+                return
+            try:
+                writer.append(item)
+            except BaseException as exc:  # re-raised by the producer
+                failure.append(exc)
+                return
+
+    worker = threading.Thread(target=drain, name="repro-shard-writer")
+    worker.start()
+    try:
+        for block in blocks:
+            while not failure:
+                try:
+                    pending.put(block.columns, timeout=0.05)
+                    break
+                except queue.Full:
+                    continue
+            if failure:
+                break
+    finally:
+        # Always unblock the worker: if it is alive it will drain the
+        # queue, freeing a slot for the sentinel; if it already failed,
+        # the sentinel is unnecessary.
+        while worker.is_alive():
+            try:
+                pending.put(stop, timeout=0.05)
+                break
+            except queue.Full:
+                continue
+        worker.join()
+    if failure:
+        raise failure[0]
 
 
 def evaluate_point(

@@ -38,6 +38,7 @@ means.
 
 from __future__ import annotations
 
+import io
 import json
 import os
 import pathlib
@@ -96,6 +97,59 @@ def _decode_column(arr: np.ndarray, kind: str) -> np.ndarray:
     out = np.empty(len(arr), dtype=object)
     out[:] = [json.loads(str(v)) for v in arr]
     return out
+
+
+def _stored_member_offsets(
+    path: pathlib.Path,
+) -> Optional[Dict[str, Tuple[int, int]]]:
+    """Member name -> ``(data_offset, data_size)`` for every entry of an
+    *uncompressed* zip (``np.savez`` writes ``ZIP_STORED`` members), or
+    ``None`` when any member is compressed or the local headers do not
+    parse — callers then fall back to ``np.load``.
+
+    The data offset comes from each member's *local* file header (the
+    central directory's ``header_offset`` plus the 30-byte fixed header
+    plus the local name/extra lengths, which legitimately differ from
+    the central directory's) — this is what lets a reader map the raw
+    ``.npy`` bytes straight out of the archive without inflating or
+    CRC-scanning them.
+    """
+    with zipfile.ZipFile(path) as zf:
+        infos = zf.infolist()
+        if any(i.compress_type != zipfile.ZIP_STORED for i in infos):
+            return None
+        offsets: Dict[str, Tuple[int, int]] = {}
+        with open(path, "rb") as fh:
+            for info in infos:
+                fh.seek(info.header_offset)
+                header = fh.read(30)
+                if len(header) != 30 or header[:4] != b"PK\x03\x04":
+                    return None
+                name_len = int.from_bytes(header[26:28], "little")
+                extra_len = int.from_bytes(header[28:30], "little")
+                start = info.header_offset + 30 + name_len + extra_len
+                offsets[info.filename] = (start, info.file_size)
+    return offsets
+
+
+def _mmap_npy_member(
+    mm: np.memmap, start: int, size: int
+) -> np.ndarray:
+    """One ``.npy`` member of a memory-mapped uncompressed ``.npz`` as a
+    zero-copy (read-only) array view over the mapping."""
+    header = io.BytesIO(bytes(mm[start : start + min(size, 4096)]))
+    version = np.lib.format.read_magic(header)
+    if version == (1, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_1_0(header)
+    elif version == (2, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_2_0(header)
+    else:  # pragma: no cover - savez only emits 1.0/2.0 headers
+        raise ValueError(f"unsupported .npy format version {version}")
+    count = 1
+    for dim in shape:
+        count *= int(dim)
+    arr = np.frombuffer(mm, dtype=dtype, count=count, offset=start + header.tell())
+    return arr.reshape(shape, order="F" if fortran else "C")
 
 
 def _as_block_column(name: str, values: Any) -> np.ndarray:
@@ -270,9 +324,28 @@ class ShardReader:
     :class:`~repro.errors.ValidationError` naming the offending file,
     so a crashed or tampered sweep surfaces as an actionable message
     instead of a numpy traceback deep inside analysis.
+
+    ``mmap`` (default ``None`` = auto) controls the read path for
+    *uncompressed* shards: ``np.savez`` stores members ``ZIP_STORED``,
+    so each numeric column's raw ``.npy`` bytes can be memory-mapped
+    straight out of the archive — no zlib, no zipfile CRC scan, no
+    copy — which is what makes repeated incremental analysis scans of
+    a million-point directory cheap.  Mapped columns are **read-only
+    views** over the file; compressed shards and JSON-encoded object
+    columns transparently fall back to ``np.load``, as does the whole
+    reader with ``mmap=False`` (which also makes every returned array
+    an owned, writable copy, the historical behaviour).
     """
 
-    def __init__(self, source: Union[str, pathlib.Path]) -> None:
+    def __init__(
+        self,
+        source: Union[str, pathlib.Path],
+        mmap: Optional[bool] = None,
+    ) -> None:
+        self.mmap = True if mmap is None else bool(mmap)
+        #: Per-shard member-offset tables (``None`` where the shard is
+        #: not mappable), parsed lazily once per shard per reader.
+        self._member_offsets: Dict[int, Optional[Dict[str, Tuple[int, int]]]] = {}
         self.manifest_path = _resolve_manifest(source)
         self.directory = self.manifest_path.parent
         try:
@@ -355,15 +428,33 @@ class ShardReader:
         names = self._select(columns)
         path = self.directory / self.shards[index]["file"]
         # A torn/truncated .npz (e.g. from a copy that died mid-file)
-        # surfaces from np.load as a zipfile/OS error; translate it into
-        # an actionable message naming the bad file instead of letting
-        # the raw traceback escape into analysis code.
+        # surfaces from np.load — or from the mmap offset/header parse —
+        # as a zipfile/OS error; translate it into an actionable message
+        # naming the bad file instead of letting the raw traceback
+        # escape into analysis code.
         try:
-            with np.load(path, allow_pickle=False) as data:
-                out: Dict[str, np.ndarray] = {}
+            out: Dict[str, np.ndarray] = {}
+            offsets = self._stored_offsets(index, path)
+            mapped = (
+                np.memmap(path, dtype=np.uint8, mode="r")
+                if offsets is not None
+                else None
+            )
+            npz = None
+            try:
                 for name in names:
+                    member = name + ".npy"
+                    if (
+                        mapped is not None
+                        and self.column_kinds[name] == "numeric"
+                        and member in offsets
+                    ):
+                        out[name] = _mmap_npy_member(mapped, *offsets[member])
+                        continue
+                    if npz is None:
+                        npz = np.load(path, allow_pickle=False)
                     try:
-                        raw = data[name]
+                        raw = npz[name]
                     except KeyError as exc:
                         raise ValidationError(
                             f"shard file {path} is missing column {name!r} "
@@ -371,7 +462,10 @@ class ShardReader:
                             "or from a different sweep — rerun the sweep"
                         ) from exc
                     out[name] = _decode_column(raw, self.column_kinds[name])
-                return out
+            finally:
+                if npz is not None:
+                    npz.close()
+            return out
         except ValidationError:
             raise  # already actionable (ValidationError is a ValueError)
         except (zipfile.BadZipFile, EOFError, OSError, ValueError) as exc:
@@ -380,6 +474,18 @@ class ShardReader:
                 "sweep likely crashed or the file was partially copied — "
                 "rerun the sweep to regenerate it"
             ) from exc
+
+    def _stored_offsets(
+        self, index: int, path: pathlib.Path
+    ) -> Optional[Dict[str, Tuple[int, int]]]:
+        """The shard's mappable-member offsets, or ``None`` when the
+        mmap fast path does not apply (disabled, compressed shards, or
+        unparseable local headers); parsed once per shard per reader."""
+        if not self.mmap or self.compress:
+            return None
+        if index not in self._member_offsets:
+            self._member_offsets[index] = _stored_member_offsets(path)
+        return self._member_offsets[index]
 
     def iter_blocks(
         self, columns: Optional[Sequence[str]] = None
@@ -400,8 +506,16 @@ class ShardedSweepResult:
     want the full table in memory.
     """
 
-    def __init__(self, source: Union[str, pathlib.Path, ShardReader]) -> None:
-        self.reader = source if isinstance(source, ShardReader) else ShardReader(source)
+    def __init__(
+        self,
+        source: Union[str, pathlib.Path, ShardReader],
+        mmap: Optional[bool] = None,
+    ) -> None:
+        self.reader = (
+            source
+            if isinstance(source, ShardReader)
+            else ShardReader(source, mmap=mmap)
+        )
 
     # ------------------------------------------------------------------
     # SweepResult-compatible surface
@@ -620,6 +734,11 @@ def _group_segments(
     ]
 
 
-def open_shards(source: Union[str, pathlib.Path]) -> ShardedSweepResult:
-    """Open a shard directory (or manifest path) as a lazy sweep table."""
-    return ShardedSweepResult(source)
+def open_shards(
+    source: Union[str, pathlib.Path], mmap: Optional[bool] = None
+) -> ShardedSweepResult:
+    """Open a shard directory (or manifest path) as a lazy sweep table.
+
+    ``mmap`` (default auto) memory-maps numeric columns of uncompressed
+    shards — zero-copy, read-only views; see :class:`ShardReader`."""
+    return ShardedSweepResult(source, mmap=mmap)

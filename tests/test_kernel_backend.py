@@ -1,0 +1,629 @@
+"""Pluggable kernel-execution backends (``repro.core.backend``).
+
+Four contracts are pinned:
+
+1. *resolution & degradation* — explicit name > ``REPRO_KERNEL_BACKEND``
+   env var > numpy; ``"auto"`` silently picks the fastest importable
+   backend; an explicitly requested but missing backend degrades to
+   numpy with ONE actionable RuntimeWarning naming the ``accel`` extra;
+   unknown names are ValidationErrors,
+2. *bit identity* — every derived column a compiled backend produces is
+   byte-for-byte equal (values **and** dtype) to the pure-numpy
+   reference registry, across broadcast shapes, degenerate inputs
+   (``C = 0``, ``r < 1``, ``theta = 1``) and the SSS-join context path.
+   The battery parametrizes over whichever compiled backends are
+   importable and skips the rest, so the dep-free tier-1 leg stays
+   green while the accel CI job executes the real compiled kernels,
+3. *overlapped streaming* — the double-buffered writer thread of
+   ``run_model_sweep(out=..., overlap_io=True)`` produces shard files
+   and a manifest byte-identical to the synchronous loop for any block
+   size, and re-raises writer-side failures on the caller's thread,
+4. *mmap shard reads & manifest cache* — memory-mapped reads of
+   uncompressed shards equal ``np.load`` exactly (falling back for
+   compressed/JSON columns, raising actionable errors on torn files),
+   and the analysis-side reader cache reuses one validated reader per
+   on-disk manifest while invalidating on rewrite.
+"""
+
+from __future__ import annotations
+
+import sys
+import types
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.core as core_pkg
+from repro.analysis import _tables
+from repro.core import backend, kernel
+from repro.core.backend import (
+    BACKEND_ENV_VAR,
+    KERNEL_BACKENDS,
+    available_backends,
+    backend_columns,
+    backend_ready,
+    resolve_backend,
+)
+from repro.core.parameters import aps_to_alcf_defaults
+from repro.errors import ValidationError
+from repro.sweep import (
+    Axis,
+    ShardReader,
+    ShardWriter,
+    SweepSpec,
+    open_shards,
+    run_model_sweep,
+)
+from repro.sweep.shards import _stored_member_offsets
+
+BASE = aps_to_alcf_defaults()
+
+#: Backends with a compiled implementation (everything but the numpy
+#: reference).  Bit-identity tests parametrize over these with a skipif
+#: per backend, so each runs wherever its dependency is importable.
+COMPILED = tuple(name for name in KERNEL_BACKENDS if name != "numpy")
+
+
+def _compiled_param(name: str) -> "pytest.param":
+    return pytest.param(
+        name,
+        marks=pytest.mark.skipif(
+            not backend_ready(name),
+            reason=f"compiled backend {name!r} is not installed",
+        ),
+    )
+
+
+COMPILED_PARAMS = [_compiled_param(name) for name in COMPILED]
+
+
+@pytest.fixture
+def clean_state(monkeypatch):
+    """Fresh warn-once/memo state and no env override, restored after."""
+    monkeypatch.setattr(backend, "_WARNED", set())
+    monkeypatch.setattr(backend, "_COLUMN_IMPLS", {})
+    monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+    return monkeypatch
+
+
+def _all_available(monkeypatch) -> None:
+    monkeypatch.setattr(backend, "_module_available", lambda module: True)
+
+
+def _none_available(monkeypatch) -> None:
+    monkeypatch.setattr(backend, "_module_available", lambda module: False)
+
+
+# ----------------------------------------------------------------------
+# Resolution precedence
+# ----------------------------------------------------------------------
+class TestResolution:
+    def test_default_is_numpy(self, clean_state):
+        assert resolve_backend(None) == "numpy"
+
+    def test_explicit_numpy_always_resolves(self, clean_state):
+        assert resolve_backend("numpy") == "numpy"
+
+    def test_env_var_consulted_when_no_explicit_name(self, clean_state):
+        _all_available(clean_state)
+        clean_state.setenv(BACKEND_ENV_VAR, "numexpr")
+        assert resolve_backend(None) == "numexpr"
+
+    def test_explicit_name_beats_env_var(self, clean_state):
+        _all_available(clean_state)
+        clean_state.setenv(BACKEND_ENV_VAR, "numexpr")
+        assert resolve_backend("numpy") == "numpy"
+
+    def test_empty_env_var_means_numpy(self, clean_state):
+        clean_state.setenv(BACKEND_ENV_VAR, "")
+        assert resolve_backend(None) == "numpy"
+
+    def test_name_normalised(self, clean_state):
+        assert resolve_backend("  NumPy ") == "numpy"
+
+    def test_auto_prefers_fastest_available(self, clean_state):
+        _all_available(clean_state)
+        assert resolve_backend("auto") == KERNEL_BACKENDS[0]
+        clean_state.setattr(
+            backend, "_module_available", lambda module: module == "numexpr"
+        )
+        assert resolve_backend("auto") == "numexpr"
+
+    def test_auto_falls_back_to_numpy_silently(self, clean_state):
+        _none_available(clean_state)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_backend("auto") == "numpy"
+
+    def test_auto_via_env_var(self, clean_state):
+        _none_available(clean_state)
+        clean_state.setenv(BACKEND_ENV_VAR, "auto")
+        assert resolve_backend(None) == "numpy"
+
+    def test_unknown_name_rejected(self, clean_state):
+        with pytest.raises(ValidationError, match="unknown kernel backend"):
+            resolve_backend("cython")
+
+    def test_unknown_env_var_value_rejected(self, clean_state):
+        clean_state.setenv(BACKEND_ENV_VAR, "gpu")
+        with pytest.raises(ValidationError, match="unknown kernel backend"):
+            resolve_backend(None)
+
+    def test_available_backends_ends_with_numpy(self, clean_state):
+        _none_available(clean_state)
+        assert available_backends() == ("numpy",)
+        _all_available(clean_state)
+        assert available_backends() == KERNEL_BACKENDS
+        assert available_backends()[-1] == "numpy"
+
+    def test_backend_columns_numpy_is_empty_override_map(self):
+        assert backend_columns("numpy") == {}
+
+    def test_backend_columns_unknown_rejected(self):
+        with pytest.raises(ValidationError, match="unknown kernel backend"):
+            backend_columns("gpu")
+
+    def test_numpy_always_ready(self):
+        assert backend_ready("numpy")
+
+
+# ----------------------------------------------------------------------
+# Missing-dependency degradation
+# ----------------------------------------------------------------------
+class TestDegradation:
+    def test_missing_dep_warns_once_naming_accel_extra(self, clean_state):
+        _none_available(clean_state)
+        with pytest.warns(RuntimeWarning, match=r"repro\[accel\]") as rec:
+            assert resolve_backend("numba") == "numpy"
+        assert len(rec) == 1
+        assert "numba" in str(rec[0].message)
+        # Second request: already warned, degrades silently.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_backend("numba") == "numpy"
+
+    def test_each_backend_warns_independently(self, clean_state):
+        _none_available(clean_state)
+        with pytest.warns(RuntimeWarning, match="numba"):
+            resolve_backend("numba")
+        with pytest.warns(RuntimeWarning, match="numexpr"):
+            resolve_backend("numexpr")
+
+    def test_missing_dep_not_ready(self, clean_state):
+        _none_available(clean_state)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # backend_ready never warns
+            assert not backend_ready("numba")
+            assert not backend_ready("numexpr")
+
+    def test_build_failure_degrades_to_numpy(self, clean_state):
+        _all_available(clean_state)
+        broken = types.ModuleType("repro.core._backend_numba")
+        broken.build_columns = lambda: (_ for _ in ()).throw(
+            RuntimeError("jit exploded")
+        )
+        clean_state.setitem(
+            sys.modules, "repro.core._backend_numba", broken
+        )
+        clean_state.setattr(core_pkg, "_backend_numba", broken, raising=False)
+        with pytest.warns(RuntimeWarning, match="failed to initialise"):
+            assert backend_columns("numba") == {}
+        # Memoised: the broken build is not retried, and stays silent.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert backend_columns("numba") == {}
+            assert not backend_ready("numba")
+
+    def test_from_columns_degrades_block_to_numpy(self, clean_state):
+        _none_available(clean_state)
+        with pytest.warns(RuntimeWarning, match=r"repro\[accel\]"):
+            block = kernel.ParamBlock.from_columns(
+                {"bandwidth_gbps": np.array([1.0, 10.0])},
+                base=BASE,
+                backend="numba",
+            )
+        assert block.backend == "numpy"
+        # The degraded block still evaluates (on the reference kernels).
+        out = kernel.compute_columns(block, ("speedup",))
+        assert out["speedup"].shape == (2,)
+
+    def test_from_columns_reads_env_var(self, clean_state):
+        _all_available(clean_state)
+        clean_state.setenv(BACKEND_ENV_VAR, "numexpr")
+        block = kernel.ParamBlock.from_columns(
+            {"bandwidth_gbps": np.array([1.0, 10.0])}, base=BASE
+        )
+        assert block.backend == "numexpr"
+
+    def test_streamed_sweep_warns_once_not_once_per_block(
+        self, clean_state, tmp_path
+    ):
+        _none_available(clean_state)
+        spec = SweepSpec.grid(Axis.geomspace("bandwidth_gbps", 1.0, 400.0, 12))
+        with pytest.warns(RuntimeWarning, match=r"repro\[accel\]") as rec:
+            run_model_sweep(
+                spec, base=BASE, out=tmp_path / "s", block_size=3,
+                backend="numba",
+            )
+        assert len([w for w in rec if w.category is RuntimeWarning]) == 1
+
+
+# ----------------------------------------------------------------------
+# Cross-backend bit identity
+# ----------------------------------------------------------------------
+#: Value ranges per sweep axis; deliberately wide (five decades of
+#: complexity, sub-Gbps to 400 Gbps links, r on both sides of 1 so the
+#: break-even margins flip sign and exercise the nan/inf branches).
+_AXIS_RANGES = {
+    "s_unit_gb": (1e-3, 100.0),
+    "complexity_flop_per_gb": (0.0, 1e14),
+    "r_local_tflops": (0.1, 200.0),
+    "bandwidth_gbps": (0.05, 400.0),
+    "alpha": (0.05, 1.0),
+    "r": (0.2, 500.0),
+    "theta": (1.0, 8.0),
+}
+
+
+class _FakeCurve:
+    """Duck-typed SSS curve (sorted utilisations), as in the kernel tests."""
+
+    def __init__(self, utilizations, sss_values):
+        self.utilizations = np.asarray(utilizations, dtype=float)
+        self.sss_values = np.asarray(sss_values, dtype=float)
+
+
+CURVE = _FakeCurve([0.2, 0.5, 0.8, 1.0, 1.3], [1.0, 2.0, 7.5, 30.0, 40.0])
+
+
+def _random_columns(rng: np.random.Generator, n: int, with_util: bool = False):
+    """Random sweep columns mixing length-n and broadcast length-1 axes,
+    with degenerate values (C = 0, theta exactly 1) salted in."""
+    cols = {}
+    for name, (lo, hi) in _AXIS_RANGES.items():
+        m = n if rng.random() < 0.7 else 1
+        vals = rng.uniform(lo, hi, m)
+        if name == "complexity_flop_per_gb" and rng.random() < 0.3:
+            vals[rng.random(m) < 0.5] = 0.0  # kappa -> inf, t_local -> 0
+        if name == "theta" and rng.random() < 0.3:
+            vals[:] = 1.0  # streaming == file strategy ties
+        cols[name] = vals
+    if with_util:
+        # Stay inside the measured curve so the clamp warning never fires.
+        cols["utilization"] = rng.uniform(0.2, 1.3, n)
+    return cols
+
+
+def _assert_bit_identical(want, got):
+    assert set(want) == set(got)
+    for col in want:
+        assert got[col].dtype == want[col].dtype, col
+        assert got[col].shape == want[col].shape, col
+        # Byte comparison: exact to the last bit, NaN-safe.
+        assert got[col].tobytes() == want[col].tobytes(), col
+
+
+@pytest.mark.parametrize("name", COMPILED_PARAMS)
+class TestBitIdentity:
+    """Every compiled backend reproduces the numpy reference registry
+    bit for bit (these skip where the dependency is absent and run in
+    the accel CI job)."""
+
+    @settings(
+        deadline=None,
+        max_examples=25,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 64))
+    def test_all_kernel_columns(self, name, seed, n):
+        rng = np.random.default_rng(seed)
+        cols = _random_columns(rng, n)
+        ref = kernel.ParamBlock.from_columns(
+            cols, base=BASE, n=n, backend="numpy"
+        )
+        alt = kernel.ParamBlock.from_columns(cols, base=BASE, n=n, backend=name)
+        assert alt.backend == name
+        _assert_bit_identical(
+            kernel.compute_columns(ref, kernel.KERNEL_COLUMNS),
+            kernel.compute_columns(alt, kernel.KERNEL_COLUMNS),
+        )
+
+    @settings(
+        deadline=None,
+        max_examples=25,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 64))
+    def test_sss_join_context_path(self, name, seed, n):
+        rng = np.random.default_rng(seed)
+        cols = _random_columns(rng, n, with_util=True)
+        context = {"sss_curve": CURVE}
+        metrics = kernel.KERNEL_COLUMNS + kernel.CONTEXT_COLUMNS
+        ref = kernel.ParamBlock.from_columns(
+            cols, base=BASE, n=n, context=context, backend="numpy"
+        )
+        alt = kernel.ParamBlock.from_columns(
+            cols, base=BASE, n=n, context=context, backend=name
+        )
+        _assert_bit_identical(
+            kernel.compute_columns(ref, metrics),
+            kernel.compute_columns(alt, metrics),
+        )
+
+    def test_degenerate_inputs(self, name):
+        """Deterministic extremes: C = 0 (t_local 0, kappa inf), r <= 1
+        (negative break-even margins: nan/inf columns), theta = 1."""
+        cols = {
+            "complexity_flop_per_gb": np.array([0.0, 0.0, 1e12, 1e14]),
+            "r": np.array([0.5, 1.0, 2.0, 400.0]),
+            "theta": np.array([1.0, 1.0, 1.0, 4.0]),
+            "bandwidth_gbps": np.array([0.1, 1.0, 25.0, 400.0]),
+        }
+        ref = kernel.ParamBlock.from_columns(
+            cols, base=BASE, n=4, backend="numpy"
+        )
+        alt = kernel.ParamBlock.from_columns(cols, base=BASE, n=4, backend=name)
+        want = kernel.compute_columns(ref, kernel.KERNEL_COLUMNS)
+        # The degenerate rows really do exercise the non-finite paths...
+        assert np.isinf(want["kappa"][0]) and want["t_local"][0] == 0.0
+        assert np.isnan(want["break_even_theta"][0])
+        # ...and the compiled backend reproduces them bit for bit.
+        _assert_bit_identical(
+            want, kernel.compute_columns(alt, kernel.KERNEL_COLUMNS)
+        )
+
+    def test_streamed_sweep_shards_match_numpy_backend(self, name, tmp_path):
+        spec = SweepSpec.grid(
+            Axis.geomspace("bandwidth_gbps", 1.0, 400.0, 11),
+            Axis.geomspace("complexity_flop_per_gb", 1e10, 1e14, 5),
+        )
+        ref = run_model_sweep(
+            spec, base=BASE, out=tmp_path / "ref", block_size=16,
+            backend="numpy",
+        )
+        alt = run_model_sweep(
+            spec, base=BASE, out=tmp_path / "alt", block_size=16, backend=name
+        )
+        for col in ref.column_names:
+            a, b = ref.column(col), alt.column(col)
+            assert a.dtype == b.dtype, col
+            assert a.tobytes() == b.tobytes(), col
+
+
+# ----------------------------------------------------------------------
+# IO/compute-overlapped streaming
+# ----------------------------------------------------------------------
+def _shard_files(directory):
+    return sorted(p.name for p in directory.iterdir())
+
+
+class TestOverlappedStreaming:
+    @pytest.mark.parametrize("block_size", [1, 7, 64])
+    def test_bit_identical_to_synchronous(self, tmp_path, block_size):
+        spec = SweepSpec.grid(
+            Axis.geomspace("bandwidth_gbps", 1.0, 400.0, 9),
+            Axis.geomspace("s_unit_gb", 0.5, 50.0, 5),
+        )
+        sync_dir, over_dir = tmp_path / "sync", tmp_path / "overlap"
+        run_model_sweep(
+            spec, base=BASE, out=sync_dir, block_size=block_size,
+            overlap_io=False,
+        )
+        run_model_sweep(
+            spec, base=BASE, out=over_dir, block_size=block_size,
+            overlap_io=True,
+        )
+        assert _shard_files(sync_dir) == _shard_files(over_dir)
+        for fname in _shard_files(sync_dir):
+            a = (sync_dir / fname).read_bytes()
+            b = (over_dir / fname).read_bytes()
+            assert a == b, fname
+
+    def test_overlap_is_default_and_equals_in_memory(self, tmp_path):
+        spec = SweepSpec.grid(Axis.geomspace("bandwidth_gbps", 1.0, 400.0, 23))
+        table = run_model_sweep(spec, base=BASE)
+        sharded = run_model_sweep(
+            spec, base=BASE, out=tmp_path / "s", block_size=5
+        )
+        for col in table.columns:
+            np.testing.assert_array_equal(
+                table.column(col), sharded.column(col), err_msg=col
+            )
+
+    def test_writer_failure_reraised_without_hanging(
+        self, tmp_path, monkeypatch
+    ):
+        spec = SweepSpec.grid(Axis.geomspace("bandwidth_gbps", 1.0, 400.0, 30))
+        real_append = ShardWriter.append
+        calls = []
+
+        def flaky_append(self, block):
+            if len(calls) >= 2:
+                raise OSError("disk full")
+            calls.append(1)
+            return real_append(self, block)
+
+        monkeypatch.setattr(ShardWriter, "append", flaky_append)
+        with pytest.raises(OSError, match="disk full"):
+            run_model_sweep(
+                spec, base=BASE, out=tmp_path / "s", block_size=3,
+                overlap_io=True,
+            )
+
+    def test_producer_side_validation_error_still_raises(self, tmp_path):
+        spec = SweepSpec.grid(Axis.geomspace("bandwidth_gbps", 1.0, 400.0, 9))
+        with pytest.raises(ValidationError, match="unknown sweep metrics"):
+            run_model_sweep(
+                spec, base=BASE, metrics=("nope",), out=tmp_path / "s"
+            )
+
+
+# ----------------------------------------------------------------------
+# Memory-mapped shard reads
+# ----------------------------------------------------------------------
+class TestMmapShardReads:
+    def _write(self, directory, compress=False, n_bw=21, block=8):
+        spec = SweepSpec.grid(
+            Axis.geomspace("bandwidth_gbps", 1.0, 400.0, n_bw)
+        )
+        run_model_sweep(
+            spec, base=BASE, out=directory, block_size=block,
+            compress=compress,
+        )
+        return directory
+
+    def test_uncompressed_members_are_mappable(self, tmp_path):
+        d = self._write(tmp_path / "s")
+        reader = ShardReader(d)
+        shard_path = d / reader.shards[0]["file"]
+        offsets = _stored_member_offsets(shard_path)
+        assert offsets is not None
+        assert set(offsets) == {c + ".npy" for c in reader.column_names}
+
+    def test_mmap_reads_equal_npload_bit_for_bit(self, tmp_path):
+        d = self._write(tmp_path / "s")
+        mapped = ShardReader(d, mmap=True)
+        copied = ShardReader(d, mmap=False)
+        for i in range(mapped.n_shards):
+            a, b = mapped.read_shard(i), copied.read_shard(i)
+            for col in b:
+                assert a[col].dtype == b[col].dtype, col
+                assert a[col].tobytes() == b[col].tobytes(), col
+
+    def test_mapped_arrays_are_readonly_views(self, tmp_path):
+        d = self._write(tmp_path / "s")
+        block = ShardReader(d).read_shard(0)
+        arr = block["bandwidth_gbps"]
+        assert not arr.flags.writeable
+        with pytest.raises(ValueError):
+            arr[0] = 0.0
+        # The historical mmap=False path keeps returning owned copies.
+        owned = ShardReader(d, mmap=False).read_shard(0)["bandwidth_gbps"]
+        owned[0] = 0.0  # writable
+
+    def test_compressed_shards_fall_back_and_agree(self, tmp_path):
+        d = self._write(tmp_path / "s", compress=True)
+        reader = ShardReader(d)
+        shard_path = d / reader.shards[0]["file"]
+        assert reader._stored_offsets(0, shard_path) is None
+        plain = ShardReader(d, mmap=False)
+        for i in range(reader.n_shards):
+            a, b = reader.read_shard(i), plain.read_shard(i)
+            for col in b:
+                np.testing.assert_array_equal(a[col], b[col], err_msg=col)
+
+    def test_json_columns_fall_back_per_column(self, tmp_path):
+        with ShardWriter(tmp_path / "s", shard_size=4, axis_names=("x",)) as w:
+            w.append(
+                {"x": [1.0, 2.0, 3.0], "facility": ["aps", "lcls", "aps"]}
+            )
+        block = ShardReader(tmp_path / "s").read_shard(0)
+        # Numeric column mapped, object column decoded via np.load.
+        assert not block["x"].flags.writeable
+        assert list(block["facility"]) == ["aps", "lcls", "aps"]
+
+    def test_torn_shard_file_raises_actionable_error(self, tmp_path):
+        d = self._write(tmp_path / "s")
+        reader = ShardReader(d)
+        shard_path = d / reader.shards[0]["file"]
+        payload = shard_path.read_bytes()
+        shard_path.write_bytes(payload[: len(payload) // 2])
+        fresh = ShardReader(d)  # manifest still validates
+        with pytest.raises(ValidationError, match="corrupt or truncated"):
+            fresh.read_shard(0)
+
+    def test_open_shards_forwards_mmap_flag(self, tmp_path):
+        d = self._write(tmp_path / "s")
+        assert open_shards(d).reader.mmap is True
+        assert open_shards(d, mmap=False).reader.mmap is False
+
+
+# ----------------------------------------------------------------------
+# Analysis-side manifest/reader cache
+# ----------------------------------------------------------------------
+@pytest.fixture
+def clear_reader_cache():
+    with _tables._READER_CACHE_LOCK:
+        _tables._READER_CACHE.clear()
+    yield
+    with _tables._READER_CACHE_LOCK:
+        _tables._READER_CACHE.clear()
+
+
+class TestManifestCache:
+    def _sweep(self, directory, n_bw=9):
+        spec = SweepSpec.grid(
+            Axis.geomspace("bandwidth_gbps", 1.0, 400.0, n_bw)
+        )
+        run_model_sweep(spec, base=BASE, out=directory, block_size=4)
+        return directory
+
+    def test_same_directory_reuses_one_reader(
+        self, tmp_path, clear_reader_cache
+    ):
+        d = self._sweep(tmp_path / "s")
+        r1 = _tables._cached_reader(d)
+        r2 = _tables._cached_reader(d)
+        r3 = _tables._cached_reader(str(d))  # str and Path hit one entry
+        r4 = _tables._cached_reader(d / "manifest.json")
+        assert r1 is r2 is r3 is r4
+
+    def test_load_sweep_table_routes_through_cache(
+        self, tmp_path, clear_reader_cache
+    ):
+        d = self._sweep(tmp_path / "s")
+        t1 = _tables.load_sweep_table(d)
+        t2 = _tables.load_sweep_table(str(d))
+        assert t1.reader is t2.reader
+        np.testing.assert_array_equal(
+            t1.column("bandwidth_gbps"), t2.column("bandwidth_gbps")
+        )
+
+    def test_rewritten_sweep_invalidates(self, tmp_path, clear_reader_cache):
+        d = self._sweep(tmp_path / "s", n_bw=9)
+        r1 = _tables._cached_reader(d)
+        assert r1.n_rows == 9
+        import shutil
+
+        shutil.rmtree(d)
+        self._sweep(d, n_bw=13)
+        r2 = _tables._cached_reader(d)
+        assert r2 is not r1
+        assert r2.n_rows == 13
+        # The stale same-path entry was purged, not just shadowed.
+        with _tables._READER_CACHE_LOCK:
+            same_path = [
+                k for k in _tables._READER_CACHE if k[0] == str(
+                    (d / "manifest.json").resolve()
+                )
+            ]
+        assert len(same_path) == 1
+
+    def test_cache_is_bounded(self, tmp_path, clear_reader_cache):
+        for i in range(_tables._READER_CACHE_MAX + 3):
+            self._sweep(tmp_path / f"s{i}", n_bw=3)
+            _tables._cached_reader(tmp_path / f"s{i}")
+        with _tables._READER_CACHE_LOCK:
+            assert len(_tables._READER_CACHE) == _tables._READER_CACHE_MAX
+
+    def test_missing_manifest_stays_uncached_and_actionable(
+        self, tmp_path, clear_reader_cache
+    ):
+        with pytest.raises(ValidationError, match="manifest"):
+            _tables._cached_reader(tmp_path / "nope")
+        with _tables._READER_CACHE_LOCK:
+            assert not _tables._READER_CACHE
+
+    def test_reductions_share_reader_with_mapped_offsets(
+        self, tmp_path, clear_reader_cache
+    ):
+        d = self._sweep(tmp_path / "s")
+        t = _tables.load_sweep_table(d)
+        t.column("speedup")
+        # The cached reader accumulated per-shard offset tables the next
+        # reduction reuses instead of re-parsing the zip directory.
+        assert t.reader._member_offsets
+        assert _tables.load_sweep_table(d).reader is t.reader

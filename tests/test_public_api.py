@@ -26,6 +26,7 @@ MODULES = [
     "repro.errors",
     "repro.cli",
     "repro.core.parameters",
+    "repro.core.backend",
     "repro.core.model",
     "repro.core.gain",
     "repro.core.delays",

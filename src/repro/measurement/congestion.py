@@ -25,7 +25,7 @@ import json
 import pathlib
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -37,6 +37,7 @@ from ..iperfsim.spec import ExperimentSpec, SpawnStrategy
 from ..simnet.cc import CcKind
 from ..simnet.faults import FaultEvent
 from ..simnet.link import Link, fabric_link
+from ..simnet.topology import Topology
 
 __all__ = ["SssCurve", "measure_sss_curve", "curve_from_sweep"]
 
@@ -268,6 +269,9 @@ def measure_sss_curve(
     batch_size: Optional[int] = None,
     cc: CcKind | int | str = CcKind.RENO,
     faults: Union[None, FaultEvent, Sequence[FaultEvent]] = None,
+    topology: Optional[Topology] = None,
+    route: Optional[Tuple[str, str]] = None,
+    fault_link: Optional[str] = None,
 ) -> SssCurve:
     """Execute the measurement methodology end to end.
 
@@ -283,10 +287,17 @@ def measure_sss_curve(
     ``faults`` attaches a link-fault schedule
     (:mod:`repro.simnet.faults`) to every experiment, yielding the
     degraded-link curve a brownout-aware decision should read from.
+
+    ``topology`` + ``route`` (+ optional ``fault_link``) measure the
+    curve on a routed multi-hop path instead of a single bottleneck:
+    clients contend on every link of the route, ``faults`` targets the
+    ``fault_link`` segment (default: the bottleneck segment), and the
+    curve's utilisation/bandwidth normalise against the route
+    bottleneck — so single-bottleneck curves are the one-hop special
+    case, directly comparable.
     """
     if not concurrencies:
         raise ValidationError("need at least one concurrency level")
-    link = link or fabric_link()
     specs = [
         ExperimentSpec(
             concurrency=c,
@@ -296,9 +307,23 @@ def measure_sss_curve(
             strategy=SpawnStrategy.BATCH,
             cc=cc,
             faults=() if faults is None else faults,
+            topology=topology,
+            route=route,
+            fault_link=fault_link,
         )
         for c in concurrencies
     ]
+    if topology is not None:
+        if link is not None:
+            raise ValidationError(
+                "pass either link= (single bottleneck) or topology=/"
+                "route= (multi-hop), not both"
+            )
+        resolved = specs[0].resolved_route()
+        assert resolved is not None
+        link = resolved.bottleneck
+    else:
+        link = link or fabric_link()
     sweep = run_sweep(
         specs, link=link, seeds=seeds, workers=workers, batch_size=batch_size
     )

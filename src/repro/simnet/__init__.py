@@ -30,13 +30,22 @@ from .faults import (
     brownout_schedule,
     capacity_factor,
     coerce_faults,
+    coerce_link_faults,
     schedule_is_noop,
 )
 from .link import Link, fabric_link
 from .records import FlowRecord, LinkSample, SampleLog, SimulationResult
 from .tcp import FluidTcpSimulator, TcpConfig
 from .packet import PacketTcpConfig, PacketTcpSimulator
-from .topology import TESTBED_TABLE1, Host, Path, Topology, fabric_testbed
+from .topology import (
+    TESTBED_TABLE1,
+    Host,
+    Path,
+    Route,
+    Topology,
+    cross_facility_testbed,
+    fabric_testbed,
+)
 from .counters import CounterSnapshot, InterfaceCounters
 
 __all__ = [
@@ -58,6 +67,7 @@ __all__ = [
     "brownout_schedule",
     "capacity_factor",
     "coerce_faults",
+    "coerce_link_faults",
     "schedule_is_noop",
     "FlowRecord",
     "LinkSample",
@@ -70,7 +80,9 @@ __all__ = [
     "TESTBED_TABLE1",
     "Host",
     "Path",
+    "Route",
     "Topology",
+    "cross_facility_testbed",
     "fabric_testbed",
     "CounterSnapshot",
     "InterfaceCounters",

@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Union
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -51,6 +51,7 @@ from .faults import (
     FaultSchedule,
     capacity_factor,
     coerce_faults,
+    coerce_link_faults,
     schedule_is_noop,
 )
 from .link import Link
@@ -63,12 +64,21 @@ __all__ = ["BatchFluidSimulator"]
 
 @dataclass
 class _Experiment:
-    """Registration state of one experiment in the batch."""
+    """Registration state of one experiment in the batch.
+
+    ``link`` is the (bottleneck) link single-link experiments run on and
+    every experiment reports against.  A routed multi-hop experiment
+    additionally carries ``links`` — the ordered route — and one fault
+    schedule per link in ``link_faults``; single-link experiments leave
+    ``links`` empty and use the per-experiment ``faults`` schedule.
+    """
 
     link: Link
     config: TcpConfig
     rng: np.random.Generator
     faults: FaultSchedule = ()
+    links: Tuple[Link, ...] = ()
+    link_faults: Tuple[FaultSchedule, ...] = ()
     start: List[float] = field(default_factory=list)
     size: List[float] = field(default_factory=list)
     client: List[int] = field(default_factory=list)
@@ -110,20 +120,70 @@ class BatchFluidSimulator:
     # ------------------------------------------------------------------
     def add_experiment(
         self,
-        link: Link,
+        link: Optional[Link] = None,
         config: Optional[TcpConfig] = None,
         seed: int = 0,
         faults: Union[None, FaultEvent, Iterable[FaultEvent]] = None,
+        *,
+        links: Optional[Sequence[Link]] = None,
+        link_faults: Optional[
+            Sequence[Union[None, FaultEvent, Iterable[FaultEvent]]]
+        ] = None,
     ) -> int:
         """Register one experiment; returns its index in ``run()``'s
-        result list.  ``faults`` attaches a per-experiment link-fault
-        schedule (:mod:`repro.simnet.faults`); experiments with and
-        without schedules mix freely in one batch."""
-        dt = self._dt_given if self._dt_given is not None else link.rtt_s / 4.0
-        if dt > link.rtt_s:
+        result list.
+
+        ``link`` + ``faults`` is the classic single-bottleneck form:
+        ``faults`` attaches a per-experiment link-fault schedule
+        (:mod:`repro.simnet.faults`); experiments with and without
+        schedules mix freely in one batch.
+
+        ``links`` + ``link_faults`` is the routed multi-hop form: the
+        ordered links of the route (e.g. from
+        :meth:`~repro.simnet.topology.Topology.route` via ``.links``)
+        and one fault schedule per link.  A one-link route is normalised
+        to the classic form, so single-link topologies take the exact
+        pre-routing code path (and stay bit-identical to it).  Multi-hop
+        and single-link experiments mix freely in one batch.
+        """
+        if (link is None) == (links is None):
+            raise ValidationError(
+                "pass exactly one of link= (single bottleneck) or "
+                "links= (routed multi-hop)"
+            )
+        if links is not None:
+            route_links = tuple(links)
+            if not route_links:
+                raise ValidationError("links must name >= 1 link")
+            if faults is not None:
+                raise ValidationError(
+                    "a routed experiment takes per-link schedules via "
+                    "link_faults=, not a per-experiment faults= schedule"
+                )
+            per_link = coerce_link_faults(link_faults, len(route_links))
+            if len(route_links) == 1:
+                # One-hop route: exactly the classic experiment.
+                link, faults = route_links[0], per_link[0]
+                route_links, per_link = (), ()
+        else:
+            if link_faults is not None:
+                raise ValidationError(
+                    "link_faults= needs links=; a single-link experiment "
+                    "takes its schedule via faults="
+                )
+            route_links, per_link = (), ()
+        if route_links:
+            bottleneck = min(route_links, key=lambda l: l.capacity_gbps)
+            route_rtt = sum(l.rtt_s for l in route_links)
+        else:
+            assert link is not None
+            bottleneck = link
+            route_rtt = link.rtt_s
+        dt = self._dt_given if self._dt_given is not None else route_rtt / 4.0
+        if dt > route_rtt:
             raise ValidationError(
                 f"dt_s ({dt}) must not exceed the base RTT "
-                f"({link.rtt_s}); the fluid model is RTT-quantised"
+                f"({route_rtt}); the fluid model is RTT-quantised"
             )
         if self._resolved_dt is None:
             self._resolved_dt = dt
@@ -135,10 +195,12 @@ class BatchFluidSimulator:
             )
         self._experiments.append(
             _Experiment(
-                link=link,
+                link=bottleneck,
                 config=config or TcpConfig(),
                 rng=np.random.default_rng(seed),
                 faults=coerce_faults(faults),
+                links=route_links,
+                link_faults=per_link,
             )
         )
         return len(self._experiments) - 1
@@ -300,15 +362,28 @@ class BatchFluidSimulator:
         ensure_positive(max_time_s, "max_time_s")
         results: List[Optional[SimulationResult]] = [None] * len(self._experiments)
 
-        # Zero-flow experiments finish immediately (sequential semantics).
+        # Zero-flow experiments finish immediately (sequential
+        # semantics); the rest partition into the classic single-link
+        # batch and the routed multi-link batch — the single-link loop
+        # is untouched by routing, which keeps it bit-identical to the
+        # pre-routing engine.
         todo = [
             i for i, exp in enumerate(self._experiments) if len(exp.start) > 0
         ]
         for i, exp in enumerate(self._experiments):
             if len(exp.start) == 0:
                 results[i] = _empty_result(exp.link.capacity_bytes_per_s)
-        if todo:
-            for i, sim_result in zip(todo, self._run_batch(todo, max_time_s)):
+        todo_single = [i for i in todo if not self._experiments[i].links]
+        todo_multi = [i for i in todo if self._experiments[i].links]
+        if todo_single:
+            for i, sim_result in zip(
+                todo_single, self._run_batch(todo_single, max_time_s)
+            ):
+                results[i] = sim_result
+        if todo_multi:
+            for i, sim_result in zip(
+                todo_multi, self._run_batch_multilink(todo_multi, max_time_s)
+            ):
                 results[i] = sim_result
         return results  # type: ignore[return-value]
 
@@ -916,6 +991,585 @@ class BatchFluidSimulator:
                     # Once every faulted experiment has retired, the
                     # remaining batch regains the scalar fast-forward
                     # (a pure, result-identical optimisation).
+                    has_faults = any(exp_faulted[e] for e in live)
+
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _run_batch_multilink(
+        self, todo: List[int], max_time_s: float
+    ) -> List[SimulationResult]:
+        """The vectorized update loop for routed multi-link experiments.
+
+        Structure mirrors :meth:`_run_batch` statement for statement;
+        the differences are exactly the flow×link generalisation:
+
+        - every link along an experiment's route keeps its own queue,
+          buffer and fault-scaled capacity, and arrivals *cascade*: each
+          link sees the previous link's departures, so a flow's rate is
+          its demand scaled by the minimum per-link share along the
+          route (the single-bottleneck formula falls out for one link);
+        - the effective RTT is the route's base RTT plus the sum of
+          per-link queueing delays, and the completion drain is the sum
+          of per-link drain times;
+        - droptail loss fires per overflowing link, in route order, each
+          round consuming the experiment's own RNG stream exactly like a
+          single-link overflow event;
+        - per-link fault schedules scale each link's capacity
+          independently — a shared-WAN outage stalls the route while
+          leaving the other hops' queues draining.
+
+        Because every flow of an experiment traverses the experiment's
+        whole route, the flow×link incidence is block-sparse with one
+        block per experiment: the per-flow arithmetic stays one masked
+        numpy pass over the stacked arrays (gathering per-experiment
+        scalars through ``exp_idx``), while the link dimension is a
+        short per-experiment cascade in Python floats — the same scalar
+        discipline as the single-link loop's queue bookkeeping.
+
+        Experiments whose flows all complete are retired in place (no
+        array compaction: completed flows are masked out, and the
+        retired experiment stops sampling), which keeps the fixed
+        segment layout valid for the whole run.
+        """
+        dt = self._resolved_dt
+        assert dt is not None
+        si = self.sample_interval_s
+        n_exp = len(todo)
+        exps = [self._experiments[i] for i in todo]
+
+        # --- static per-experiment scalars (Python floats) ----------------
+        links_e = [list(exp.links) for exp in exps]
+        n_links = [len(ls) for ls in links_e]
+        cfgs = [exp.config for exp in exps]
+        rngs = [exp.rng for exp in exps]
+        n_flows = [len(exp.start) for exp in exps]
+        # Reporting (and rwnd) normalise against the route bottleneck;
+        # the base RTT is the whole route's and the MSS is the smallest
+        # hop MTU (path-MTU discovery).
+        caps = [exp.link.capacity_bytes_per_s for exp in exps]
+        rtts = [sum(l.rtt_s for l in ls) for ls in links_e]
+        mss_e = [float(min(l.mss_bytes for l in ls)) for ls in links_e]
+        rwnds = [
+            cfg.rwnd_bdp * (caps[e] * rtts[e] / mss_e[e])
+            for e, cfg in enumerate(cfgs)
+        ]
+        lcap = [[l.capacity_bytes_per_s for l in ls] for ls in links_e]
+        lbuf = [[l.buffer_bytes for l in ls] for ls in links_e]
+        mark_bytes = [
+            [cfgs[e].dctcp_marking_bdp * l.bdp_bytes for l in ls]
+            for e, ls in enumerate(links_e)
+        ]
+        lrate = [cfg.loss_rate / mss_e[e] for e, cfg in enumerate(cfgs)]
+        dthr = [cfg.delay_threshold * rtts[e] for e, cfg in enumerate(cfgs)]
+        dsmooth = [cfg.delay_smoothing for cfg in cfgs]
+        dgain = [cfg.delay_gain for cfg in cfgs]
+        icw = [cfg.initial_cwnd_segments for cfg in cfgs]
+        issth = [cfg.initial_ssthresh_segments for cfg in cfgs]
+        # Per-link fault schedules; `has_faults` gates the stall
+        # machinery exactly like the single-link loop.
+        lfaults = [list(exp.link_faults) for exp in exps]
+        lfx = [
+            [bool(f) and not schedule_is_noop(f) for f in fs]
+            for fs in lfaults
+        ]
+        exp_faulted = [any(flags) for flags in lfx]
+        has_faults = any(exp_faulted)
+        stall_s = [cfg.stall_timeout_s for cfg in cfgs]
+        rback = [cfg.retry_backoff_s for cfg in cfgs]
+        rbmax = [cfg.retry_backoff_max_s for cfg in cfgs]
+        rmax = [cfg.max_retries for cfg in cfgs]
+
+        # --- stacked flow arrays (fixed layout; retirement masks rather
+        # than compacts, so segments stay valid for the whole run) ---------
+        offs = [0]
+        for m in n_flows:
+            offs.append(offs[-1] + m)
+        segments = [slice(offs[k], offs[k + 1]) for k in range(n_exp)]
+        red_offs = np.asarray(offs[:-1], dtype=np.intp)
+        exp_idx = np.repeat(np.arange(n_exp, dtype=np.intp), n_flows)
+
+        start = np.concatenate([np.asarray(exp.start) for exp in exps])
+        size = np.concatenate([np.asarray(exp.size) for exp in exps])
+        remaining = size.copy()
+        cwnd = np.concatenate(
+            [np.full(m, cfg.initial_cwnd_segments) for m, cfg in zip(n_flows, cfgs)]
+        )
+        ssthresh = np.concatenate(
+            [
+                np.full(m, cfg.initial_ssthresh_segments)
+                for m, cfg in zip(n_flows, cfgs)
+            ]
+        )
+        n = start.shape[0]
+        state = np.full(n, _PENDING, dtype=np.int8)
+        rto_until = np.zeros(n)
+        rto_backoff = np.zeros(n, dtype=np.int32)
+        end = np.full(n, np.nan)
+        loss_events = np.zeros(n, dtype=np.int64)
+        timeout_events = np.zeros(n, dtype=np.int64)
+        recovery_until = np.zeros(n)
+        mss_flow = np.repeat(np.asarray(mss_e), n_flows)
+        rwnd_flow = np.repeat(np.asarray(rwnds), n_flows)
+
+        cc_flow = np.concatenate(
+            [np.asarray(exp.cc, dtype=np.int8) for exp in exps]
+        )
+        is_dctcp = cc_flow == int(CcKind.DCTCP)
+        is_delay = cc_flow == int(CcKind.DELAY)
+        has_dctcp = bool(is_dctcp.any())
+        has_delay = bool(is_delay.any())
+        has_loss = any(r > 0.0 for r in lrate)
+        dctcp_alpha = np.zeros(n)
+        rtt_smooth = np.zeros(n)
+        loss_credit = np.zeros(n)
+
+        fault_flow = np.repeat(np.asarray(exp_faulted, dtype=bool), n_flows)
+        last_progress = np.zeros(n)
+        stall_time = np.zeros(n)
+        retries = np.zeros(n, dtype=np.int64)
+        aborted = np.zeros(n, dtype=bool)
+
+        # --- per-experiment dynamic state (Python floats; the link
+        # dimension is a short list per experiment, in route order) --------
+        lqueue = [[0.0] * k for k in n_links]
+        lcapt = [list(c) for c in lcap]
+        loverflow = [[0.0] * k for k in n_links]
+        buckets = [0.0] * n_exp
+        qdelay = [0.0] * n_exp
+        rtt_eff = [1.0] * n_exp
+        scale = [1.0] * n_exp
+        fin = [0.0] * n_exp
+        factor = [1.0] * n_exp
+        incr = [0.0] * n_exp
+        clamp = [False] * n_exp
+        marked = [0.0] * n_exp
+        again = [0.0] * n_exp
+        khalf = [0.0] * n_exp
+        dshr = [1.0] * n_exp
+        rec_t = [0.0] * n_exp
+        end_time = [0.0] * n_exp
+        done_count = [0] * n_exp
+        samples = [SampleLog() for _ in range(n_exp)]
+        results: List[Optional[SimulationResult]] = [None] * n_exp
+
+        live = list(range(n_exp))
+        t = 0.0
+        bucket_start = 0.0
+
+        def flush_final(e: int, active_count: int) -> None:
+            if t - bucket_start > 1e-12:
+                samples[e].append(
+                    bucket_start, t - bucket_start, buckets[e],
+                    sum(lqueue[e]), active_count,
+                )
+            end_time[e] = t
+
+        def build_result(e: int) -> SimulationResult:
+            seg = segments[e]
+            result = SimulationResult.from_columns(
+                flow_columns={
+                    "flow_id": np.arange(n_flows[e], dtype=np.int64),
+                    "client_id": np.asarray(exps[e].client, dtype=np.int64),
+                    "start_s": start[seg].copy(),
+                    "end_s": end[seg].copy(),
+                    "size_bytes": size[seg].copy(),
+                    "bytes_sent": size[seg] - remaining[seg],
+                    "loss_events": loss_events[seg].copy(),
+                    "timeout_events": timeout_events[seg].copy(),
+                    "stall_time_s": stall_time[seg].copy(),
+                    "retries": retries[seg].copy(),
+                    "aborted": aborted[seg].copy(),
+                },
+                sample_columns=samples[e].columns(),
+                capacity_bytes_per_s=caps[e],
+                end_time_s=end_time[e],
+            )
+            validate_conservation(result)
+            return result
+
+        while live:
+            if t >= max_time_s:
+                for e in live:
+                    flush_final(
+                        e, int(np.count_nonzero(state[segments[e]] == _RUNNING))
+                    )
+                    results[e] = build_result(e)
+                break
+
+            # --- lifecycle transitions (whole batch at once) --------------
+            newly_started = (state == _PENDING) & (start <= t)
+            state[newly_started] = _RUNNING
+            rto_expired = (state == _TIMEOUT) & (rto_until <= t)
+            state[rto_expired] = _RUNNING
+
+            # Per-link effective capacity under the link fault schedules.
+            if has_faults:
+                if np.any(newly_started):
+                    last_progress[newly_started] = t
+                for e in live:
+                    for i, flagged in enumerate(lfx[e]):
+                        if flagged:
+                            lcapt[e][i] = lcap[e][i] * capacity_factor(
+                                lfaults[e][i], t
+                            )
+
+            active = state == _RUNNING
+            counts = np.add.reduceat(active, red_offs, dtype=np.int64).tolist()
+
+            if sum(counts) == 0 and not has_faults:
+                # --- adaptive time advance (every link drains at its own
+                # line rate through the dead time) -------------------------
+                cand = np.where(state == _PENDING, start, np.inf)
+                cand = np.where(state == _TIMEOUT, rto_until, cand)
+                t_next = float(cand.min())
+                if not np.isfinite(t_next):
+                    raise SimulationError(
+                        "batch deadlock: no active, pending or stalled "
+                        "flows remain in an unfinished experiment"
+                    )
+                while True:
+                    for e in live:
+                        for i in range(n_links[e]):
+                            if lqueue[e][i] > 0.0:
+                                lqueue[e][i] = max(
+                                    0.0, lqueue[e][i] - lcap[e][i] * dt
+                                )
+                    t += dt
+                    if t - bucket_start >= si - 1e-12:
+                        for e in live:
+                            samples[e].append(
+                                bucket_start, t - bucket_start, buckets[e],
+                                sum(lqueue[e]), 0,
+                            )
+                            buckets[e] = 0.0
+                        bucket_start = t
+                    if t >= max_time_s or t_next <= t:
+                        break
+                continue
+
+            # --- effective RTT: route base RTT + per-link queueing delays
+            for e in live:
+                qd = 0.0
+                for i in range(n_links[e]):
+                    qd += lqueue[e][i] / lcap[e][i]
+                qdelay[e] = qd
+                rtt_eff[e] = rtts[e] + qd
+
+            # --- demands and the cascaded per-link share ------------------
+            rtt_eff_flow = np.asarray(rtt_eff)[exp_idx]
+            demand = np.minimum(cwnd * mss_flow / rtt_eff_flow, remaining / dt)
+            demand *= active
+
+            any_overflow = False
+            for e in live:
+                if counts[e] == 0:
+                    for i in range(n_links[e]):
+                        lqueue[e][i] = max(
+                            0.0, lqueue[e][i] - lcapt[e][i] * dt
+                        )
+                        loverflow[e][i] = 0.0
+                    scale[e] = 1.0
+                    continue
+                total_demand = float(demand[segments[e]].sum())
+                # Arrivals cascade hop by hop: link i sees link i-1's
+                # departures, queues the excess over its (fault-scaled)
+                # capacity and drops what its buffer cannot hold.  The
+                # flows' shared rate scale is the surviving fraction.
+                arrival = total_demand
+                for i in range(n_links[e]):
+                    cap_t = lcapt[e][i]
+                    if arrival <= cap_t:
+                        lqueue[e][i] = max(
+                            0.0, lqueue[e][i] - (cap_t - arrival) * dt
+                        )
+                        loverflow[e][i] = 0.0
+                    else:
+                        q = lqueue[e][i] + (arrival - cap_t) * dt
+                        loverflow[e][i] = max(0.0, q - lbuf[e][i])
+                        lqueue[e][i] = min(q, lbuf[e][i])
+                        any_overflow = any_overflow or loverflow[e][i] > 0.0
+                        arrival = cap_t
+                scale[e] = (
+                    arrival / total_demand if total_demand > 0.0 else 1.0
+                )
+
+            sent = demand * np.asarray(scale)[exp_idx]
+            sent *= dt
+            np.minimum(sent, remaining, out=sent)
+            remaining -= sent
+            if has_faults:
+                last_progress[sent > 0.0] = t
+
+            sent_sums = np.add.reduceat(sent, red_offs).tolist()
+            for e in live:
+                buckets[e] += sent_sums[e]
+
+            # --- completions (whole batch) --------------------------------
+            finished = active & (remaining <= 1e-6)
+            any_finished = bool(finished.any())
+            if any_finished:
+                # Completion stamp: the last bytes drain through every
+                # queue along the route, plus half the route RTT for the
+                # final acknowledgement.
+                for e in live:
+                    drain = 0.0
+                    for i in range(n_links[e]):
+                        if lcapt[e][i] > 0.0:
+                            drain += lqueue[e][i] / lcapt[e][i]
+                        else:
+                            drain = math.inf
+                            break
+                    fin[e] = t + dt + drain + rtts[e] / 2.0
+                end[finished] = np.asarray(fin)[exp_idx][finished]
+                state[finished] = _DONE
+                active = state == _RUNNING
+
+            # --- droptail loss, per overflowing link in route order
+            # (each round consumes the experiment's own RNG stream) --------
+            for e in live if any_overflow else ():
+                seg = segments[e]
+                for i in range(n_links[e]):
+                    if loverflow[e][i] <= 0.0:
+                        continue
+                    a = state[seg] == _RUNNING
+                    if not a.any():
+                        break
+                    cfg = cfgs[e]
+                    m = n_flows[e]
+                    d = demand[seg]
+                    offered = float(d[a].sum()) * dt
+                    loss_frac = min(
+                        1.0, loverflow[e][i] / max(offered, 1.0)
+                    )
+                    p_loss = np.minimum(
+                        1.0, loss_frac * cfg.loss_aggressiveness
+                    )
+                    rec = recovery_until[seg]
+                    eligible = a & (rec <= t)
+                    hit = eligible & (rngs[e].random(m) < p_loss)
+                    if hit.any():
+                        cw = cwnd[seg]
+                        ss = ssthresh[seg]
+                        st = state[seg]
+                        rec[hit] = t + dt + rtt_eff[e]
+                        in_ca = cw >= ss
+                        burst = (
+                            hit
+                            & in_ca
+                            & (
+                                rngs[e].random(m)
+                                < cfg.timeout_on_loss_scale * loss_frac
+                            )
+                        )
+                        small = hit & (
+                            (cw < cfg.min_fast_retransmit_segments) | burst
+                        )
+                        fast = hit & ~small
+                        ss[fast] = np.maximum(cw[fast] / 2.0, 2.0)
+                        cw[fast] = ss[fast]
+                        loss_events[seg][fast] += 1
+                        if small.any():
+                            back = rto_backoff[seg]
+                            until = rto_until[seg]
+                            rto = np.minimum(
+                                cfg.rto_min_s * (2.0 ** back[small]),
+                                cfg.rto_max_s,
+                            )
+                            until[small] = t + dt + rto
+                            back[small] += 1
+                            ss[small] = np.maximum(cw[small] / 2.0, 2.0)
+                            cw[small] = 1.0
+                            st[small] = _TIMEOUT
+                            timeout_events[seg][small] += 1
+                            loss_events[seg][small] += 1
+                        rto_backoff[seg][a & ~hit] = 0
+
+            # --- exogenous path loss (deterministic fluid form) -----------
+            if has_loss:
+                loss_credit += sent * np.asarray(lrate)[exp_idx]
+                lossy = (
+                    (state == _RUNNING)
+                    & (loss_credit >= 1.0)
+                    & (recovery_until <= t)
+                )
+                if np.any(lossy):
+                    for e in live:
+                        rec_t[e] = t + dt + rtt_eff[e]
+                    recovery_until[lossy] = np.asarray(rec_t)[exp_idx][lossy]
+                    ssthresh[lossy] = np.maximum(cwnd[lossy] / 2.0, 2.0)
+                    cwnd[lossy] = ssthresh[lossy]
+                    loss_events[lossy] += 1
+                    loss_credit[lossy] -= np.floor(loss_credit[lossy])
+
+            # --- HyStart: delay-based slow-start exit ---------------------
+            for e in live:
+                if counts[e] > 0:
+                    cfg = cfgs[e]
+                    if qdelay[e] > cfg.hystart_delay_frac * rtts[e]:
+                        seg = segments[e]
+                        cw = cwnd[seg]
+                        ss = ssthresh[seg]
+                        ramping = (state[seg] == _RUNNING) & (cw < ss)
+                        ss[ramping] = np.maximum(cw[ramping], 2.0)
+
+            # --- congestion signals of the non-Reno controllers -----------
+            backoff = None
+            if has_dctcp:
+                for e in live:
+                    # The route marks when any hop's queue exceeds that
+                    # hop's own threshold (ECN marks survive to the
+                    # receiver regardless of which switch set them).
+                    marked[e] = (
+                        1.0
+                        if any(
+                            lqueue[e][i] > mark_bytes[e][i]
+                            for i in range(n_links[e])
+                        )
+                        else 0.0
+                    )
+                    again[e] = cfgs[e].dctcp_gain * (dt / rtt_eff[e])
+                    khalf[e] = 0.5 * (dt / rtt_eff[e])
+                upd = (state == _RUNNING) & is_dctcp
+                marked_flow = np.asarray(marked)[exp_idx]
+                dctcp_alpha[upd] += np.asarray(again)[exp_idx][upd] * (
+                    marked_flow[upd] - dctcp_alpha[upd]
+                )
+                shr = upd & (marked_flow == 1.0)
+                if shr.any():
+                    cw_new = np.maximum(
+                        cwnd[shr]
+                        * (1.0 - dctcp_alpha[shr] * np.asarray(khalf)[exp_idx][shr]),
+                        2.0,
+                    )
+                    ssthresh[shr] = np.minimum(ssthresh[shr], cw_new)
+                    cwnd[shr] = cw_new
+                    backoff = shr
+            if has_delay:
+                upd = (state == _RUNNING) & is_delay
+                fresh = upd & (rtt_smooth == 0.0)
+                rtt_smooth[fresh] = rtt_eff_flow[fresh]
+                rtt_smooth[upd] += np.asarray(dsmooth)[exp_idx][upd] * (
+                    rtt_eff_flow[upd] - rtt_smooth[upd]
+                )
+                over = upd & (rtt_smooth > np.asarray(dthr)[exp_idx])
+                if over.any():
+                    for e in live:
+                        dshr[e] = 1.0 - cfgs[e].delay_backoff * (dt / rtt_eff[e])
+                    cw_new = np.maximum(
+                        cwnd[over] * np.asarray(dshr)[exp_idx][over], 2.0
+                    )
+                    ssthresh[over] = np.minimum(ssthresh[over], cw_new)
+                    cwnd[over] = cw_new
+                    backoff = over if backoff is None else backoff | over
+
+            # --- window growth (whole batch) ------------------------------
+            growing = state == _RUNNING
+            if backoff is not None:
+                growing &= ~backoff
+            grow_counts = np.add.reduceat(
+                growing, red_offs, dtype=np.int64
+            ).tolist()
+            for e in live:
+                if grow_counts[e] > 0:
+                    factor[e] = 2.0 ** (dt / rtt_eff[e])
+                    incr[e] = dt / rtt_eff[e]
+                    clamp[e] = True
+                else:
+                    clamp[e] = False
+            in_ss = cwnd < ssthresh
+            ss_mask = growing & in_ss
+            ca_mask = growing & ~in_ss
+            np.copyto(
+                cwnd, np.minimum(cwnd * np.asarray(factor)[exp_idx], ssthresh),
+                where=ss_mask,
+            )
+            if has_delay:
+                incr_flow = np.asarray(incr)[exp_idx]
+                ca_delay = ca_mask & is_delay
+                ca_other = ca_mask & ~is_delay
+                np.copyto(cwnd, cwnd + incr_flow, where=ca_other)
+                np.copyto(
+                    cwnd,
+                    cwnd + np.asarray(dgain)[exp_idx] * cwnd * incr_flow,
+                    where=ca_delay,
+                )
+            else:
+                np.copyto(cwnd, cwnd + np.asarray(incr)[exp_idx], where=ca_mask)
+            np.copyto(
+                cwnd, np.minimum(cwnd, rwnd_flow),
+                where=np.asarray(clamp)[exp_idx],
+            )
+
+            # --- application-layer stall detection / retry / abort --------
+            abort_now = None
+            if has_faults:
+                stalled = (
+                    fault_flow
+                    & ((state == _RUNNING) | (state == _TIMEOUT))
+                    & (t - last_progress >= np.asarray(stall_s)[exp_idx])
+                )
+                if np.any(stalled):
+                    stall_time[stalled] += t - last_progress[stalled]
+                    exhausted = stalled & (
+                        retries >= np.asarray(rmax)[exp_idx]
+                    )
+                    retry = stalled & ~exhausted
+                    if np.any(exhausted):
+                        state[exhausted] = _DONE
+                        aborted[exhausted] = True
+                        abort_now = exhausted
+                    if np.any(retry):
+                        retries[retry] += 1
+                        backoff = np.minimum(
+                            np.asarray(rback)[exp_idx][retry]
+                            * (2.0 ** (retries[retry] - 1.0)),
+                            np.asarray(rbmax)[exp_idx][retry],
+                        )
+                        rto_until[retry] = t + dt + backoff
+                        state[retry] = _TIMEOUT
+                        cwnd[retry] = np.asarray(icw)[exp_idx][retry]
+                        ssthresh[retry] = np.asarray(issth)[exp_idx][retry]
+                        rto_backoff[retry] = 0
+                        recovery_until[retry] = 0.0
+                        dctcp_alpha[retry] = 0.0
+                        rtt_smooth[retry] = 0.0
+                        loss_credit[retry] = 0.0
+                        last_progress[retry] = rto_until[retry]
+
+            t += dt
+
+            # --- utilisation sampling (shared bucket boundaries) ----------
+            if t - bucket_start >= si - 1e-12:
+                interval = t - bucket_start
+                for e in live:
+                    samples[e].append(
+                        bucket_start, interval, buckets[e],
+                        sum(lqueue[e]), counts[e],
+                    )
+                    buckets[e] = 0.0
+                bucket_start = t
+
+            # --- retire experiments whose flows all completed (masked
+            # in place; the fixed layout keeps segments valid) -------------
+            if any_finished or abort_now is not None:
+                completed = (
+                    finished if abort_now is None else finished | abort_now
+                )
+                fin_counts = np.add.reduceat(
+                    completed, red_offs, dtype=np.int64
+                ).tolist()
+                still_live = []
+                for e in live:
+                    done_count[e] += fin_counts[e]
+                    if done_count[e] == n_flows[e]:
+                        flush_final(e, 0)
+                        results[e] = build_result(e)
+                    else:
+                        still_live.append(e)
+                if len(still_live) != len(live):
+                    live = still_live
                     has_faults = any(exp_faulted[e] for e in live)
 
         assert all(r is not None for r in results)

@@ -31,6 +31,7 @@ __all__ = [
     "brownout_schedule",
     "capacity_factor",
     "coerce_faults",
+    "coerce_link_faults",
     "schedule_is_noop",
 ]
 
@@ -119,6 +120,45 @@ def coerce_faults(
                 f"faults[{i}] must be a FaultEvent, got {event!r}"
             )
     return events
+
+
+def coerce_link_faults(
+    link_faults: Union[
+        None, Sequence[Union[None, FaultEvent, Iterable[FaultEvent]]]
+    ],
+    n_links: int,
+) -> Tuple[FaultSchedule, ...]:
+    """Normalise per-link fault schedules into one validated schedule
+    per link.
+
+    ``None`` means no faults anywhere; otherwise ``link_faults`` must be
+    a sequence with exactly one entry per link (each entry is anything
+    :func:`coerce_faults` accepts).  Length mismatches raise
+    :class:`~repro.errors.ValidationError` — a short list would silently
+    leave trailing links fault-free.
+    """
+    if n_links < 1:
+        raise ValidationError(f"n_links must be >= 1, got {n_links!r}")
+    if link_faults is None:
+        return tuple(() for _ in range(n_links))
+    if isinstance(link_faults, FaultEvent):
+        raise ValidationError(
+            "link_faults must be one schedule per link, not a bare "
+            "FaultEvent; wrap it in a list aligned with the links"
+        )
+    try:
+        entries = tuple(link_faults)
+    except TypeError:
+        raise ValidationError(
+            "link_faults must be a sequence of per-link fault schedules, "
+            f"got {link_faults!r}"
+        ) from None
+    if len(entries) != n_links:
+        raise ValidationError(
+            f"link_faults has {len(entries)} schedule(s) for {n_links} "
+            "link(s); provide exactly one (possibly empty) schedule per link"
+        )
+    return tuple(coerce_faults(entry) for entry in entries)
 
 
 def schedule_is_noop(faults: Sequence[FaultEvent]) -> bool:

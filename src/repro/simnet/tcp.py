@@ -42,7 +42,13 @@ import numpy as np
 from ..errors import ValidationError
 from ..units import ensure_positive
 from .cc import CcKind, coerce_cc
-from .faults import FaultEvent, capacity_factor, coerce_faults, schedule_is_noop
+from .faults import (
+    FaultEvent,
+    capacity_factor,
+    coerce_faults,
+    coerce_link_faults,
+    schedule_is_noop,
+)
 from .link import Link
 from .records import SampleLog, SimulationResult, validate_conservation
 
@@ -225,23 +231,68 @@ class FluidTcpSimulator:
 
     def __init__(
         self,
-        link: Link,
+        link: Optional[Link] = None,
         config: Optional[TcpConfig] = None,
         dt_s: Optional[float] = None,
         sample_interval_s: float = 0.1,
         seed: int = 0,
         faults: Union[None, FaultEvent, Iterable[FaultEvent]] = None,
+        *,
+        links: Optional[Iterable[Link]] = None,
+        link_faults: Optional[
+            Iterable[Union[None, FaultEvent, Iterable[FaultEvent]]]
+        ] = None,
     ) -> None:
+        if (link is None) == (links is None):
+            raise ValidationError(
+                "pass exactly one of link= (single bottleneck) or "
+                "links= (routed multi-hop)"
+            )
+        if links is not None:
+            # Routed multi-hop form: the ordered links of the route (e.g.
+            # Topology.route(...).links) and one fault schedule per link.
+            # A one-hop route is the classic single-link simulation; a
+            # longer route delegates to the batched multi-link engine
+            # (one-experiment batch) at run() time.
+            route = tuple(links)
+            if not route:
+                raise ValidationError("links must name >= 1 link")
+            if faults is not None:
+                raise ValidationError(
+                    "a routed simulation takes per-link schedules via "
+                    "link_faults=, not a single faults= schedule"
+                )
+            per_link = coerce_link_faults(link_faults, len(route))
+            if len(route) == 1:
+                link, faults = route[0], per_link[0]
+                self._links, self._link_faults = None, ()
+            else:
+                self._links, self._link_faults = route, per_link
+                link = min(route, key=lambda l: l.capacity_gbps)
+        else:
+            if link_faults is not None:
+                raise ValidationError(
+                    "link_faults= needs links=; a single-link simulation "
+                    "takes its schedule via faults="
+                )
+            self._links, self._link_faults = None, ()
+        assert link is not None
+        #: The (bottleneck) link reporting normalises against.
         self.link = link
+        route_rtt = (
+            sum(l.rtt_s for l in self._links)
+            if self._links is not None
+            else link.rtt_s
+        )
         self.config = config or TcpConfig()
         self.faults = coerce_faults(faults)
-        self.dt_s = float(dt_s) if dt_s is not None else link.rtt_s / 4.0
+        self.dt_s = float(dt_s) if dt_s is not None else route_rtt / 4.0
         if self.dt_s <= 0:
             raise ValidationError(f"dt_s must be > 0, got {self.dt_s!r}")
-        if self.dt_s > link.rtt_s:
+        if self.dt_s > route_rtt:
             raise ValidationError(
                 f"dt_s ({self.dt_s}) must not exceed the base RTT "
-                f"({link.rtt_s}); the fluid model is RTT-quantised"
+                f"({route_rtt}); the fluid model is RTT-quantised"
             )
         ensure_positive(sample_interval_s, "sample_interval_s")
         self.sample_interval_s = float(sample_interval_s)
@@ -311,6 +362,8 @@ class FluidTcpSimulator:
     def run(self, max_time_s: float = 300.0) -> SimulationResult:
         """Run to completion of all flows (or ``max_time_s``)."""
         ensure_positive(max_time_s, "max_time_s")
+        if self._links is not None:
+            return self._run_multilink(max_time_s)
         n = self.flow_count
         link, cfg = self.link, self.config
         cap = link.capacity_bytes_per_s
@@ -666,6 +719,38 @@ class FluidTcpSimulator:
         )
         self._validate_conservation(result)
         return result
+
+    # ------------------------------------------------------------------
+    def _run_multilink(self, max_time_s: float) -> SimulationResult:
+        """Routed multi-hop run: delegate to a one-experiment batch.
+
+        There is exactly one multi-link update loop in the codebase
+        (:meth:`BatchFluidSimulator._run_batch_multilink`), so the
+        sequential and batched engines agree on routed dynamics by
+        construction.  The batch experiment borrows this simulator's
+        generator, preserving the sequential engine's RNG semantics
+        (repeated ``run()`` calls continue the same stream).
+        """
+        from .batch import BatchFluidSimulator
+
+        batch = BatchFluidSimulator(
+            dt_s=self.dt_s, sample_interval_s=self.sample_interval_s
+        )
+        e = batch.add_experiment(
+            config=self.config,
+            links=self._links,
+            link_faults=self._link_faults,
+        )
+        batch._experiments[e].rng = self._rng
+        if self.flow_count:
+            batch.add_flows(
+                e,
+                np.asarray(self._start),
+                np.asarray(self._size),
+                np.asarray(self._client),
+                cc=np.asarray(self._cc),
+            )
+        return batch.run(max_time_s=max_time_s)[e]
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -14,7 +14,15 @@ from ..errors import ValidationError
 from ..units import ensure_positive
 from .link import Link
 
-__all__ = ["Host", "Path", "Topology", "fabric_testbed", "TESTBED_TABLE1"]
+__all__ = [
+    "Host",
+    "Path",
+    "Route",
+    "Topology",
+    "cross_facility_testbed",
+    "fabric_testbed",
+    "TESTBED_TABLE1",
+]
 
 
 @dataclass(frozen=True)
@@ -50,6 +58,52 @@ class Path:
             raise ValidationError(f"path endpoints must differ, got {self.src!r}")
 
 
+@dataclass(frozen=True)
+class Route:
+    """A multi-hop route: the ordered links between ``src`` and ``dst``.
+
+    ``hops`` are the traversed :class:`Path`\\ s in order (each may be
+    traversed in either direction — paths are bidirectional).  The
+    route's base RTT is the sum of hop RTTs and its bottleneck is the
+    smallest-capacity hop, which is what single-bottleneck reports
+    (utilization columns, SSS curves) normalise against.
+    """
+
+    src: str
+    dst: str
+    hops: Tuple[Path, ...]
+
+    def __post_init__(self) -> None:
+        if not self.hops:
+            raise ValidationError(
+                f"route {self.src!r} -> {self.dst!r} must have >= 1 hop"
+            )
+
+    def __len__(self) -> int:
+        return len(self.hops)
+
+    @property
+    def links(self) -> Tuple[Link, ...]:
+        """The traversed links, in hop order."""
+        return tuple(path.link for path in self.hops)
+
+    @property
+    def segments(self) -> Tuple[str, ...]:
+        """Hop names as registered (``"src-dst"`` per :class:`Path`) —
+        the handles per-link fault schedules are keyed by."""
+        return tuple(f"{path.src}-{path.dst}" for path in self.hops)
+
+    @property
+    def rtt_s(self) -> float:
+        """Base round-trip time of the whole route (sum of hop RTTs)."""
+        return sum(link.rtt_s for link in self.links)
+
+    @property
+    def bottleneck(self) -> Link:
+        """The smallest-capacity hop (first such hop on ties)."""
+        return min(self.links, key=lambda link: link.capacity_gbps)
+
+
 @dataclass
 class Topology:
     """A small set of named hosts and the paths between them."""
@@ -68,10 +122,17 @@ class Topology:
 
         The NIC rates of both endpoints must be able to drive the link —
         an undersized NIC would silently become the real bottleneck.
+        Each host pair may be connected once: a second parallel path
+        would be silently shadowed by ``path_between``/``route``.
         """
         for name in (src, dst):
             if name not in self.hosts:
                 raise ValidationError(f"unknown host {name!r}")
+        if self.path_between(src, dst) is not None:
+            raise ValidationError(
+                f"hosts {src!r} and {dst!r} are already connected; "
+                "parallel paths between the same pair are not supported"
+            )
         for name in (src, dst):
             if self.hosts[name].nic_gbps < link.capacity_gbps:
                 raise ValidationError(
@@ -88,6 +149,77 @@ class Topology:
             if {path.src, path.dst} == {src, dst}:
                 return path
         return None
+
+    def segment(self, name: str) -> Path:
+        """The path registered under segment name ``"src-dst"`` (either
+        orientation).  Raises :class:`~repro.errors.ValidationError`
+        naming the known segments when absent — fault schedules target
+        segments by name, so typos must not silently drop a fault."""
+        known = [f"{p.src}-{p.dst}" for p in self.paths]
+        for path, seg in zip(self.paths, known):
+            if name == seg or name == f"{path.dst}-{path.src}":
+                return path
+        raise ValidationError(
+            f"unknown segment {name!r}; this topology has: "
+            + ", ".join(repr(seg) for seg in known)
+        )
+
+    def route(self, src: str, dst: str) -> Route:
+        """The shortest (fewest-hop) route from ``src`` to ``dst``.
+
+        Paths are bidirectional; ties between equal-length routes are
+        broken by path registration order (breadth-first over
+        ``self.paths``), so route selection is deterministic.  Unknown
+        hosts and unreachable pairs raise
+        :class:`~repro.errors.ValidationError` with the reachable set
+        named, rather than returning ``None`` like
+        :meth:`path_between`.
+        """
+        for name in (src, dst):
+            if name not in self.hosts:
+                raise ValidationError(
+                    f"unknown host {name!r}; this topology has: "
+                    + ", ".join(repr(h) for h in self.hosts)
+                )
+        if src == dst:
+            raise ValidationError(
+                f"route endpoints must differ, got {src!r} -> {dst!r}"
+            )
+        # Breadth-first search, expanding neighbours in path
+        # registration order: first complete route is fewest-hop with a
+        # deterministic tie-break.
+        parents: Dict[str, Tuple[str, Path]] = {}
+        frontier = [src]
+        seen = {src}
+        while frontier and dst not in seen:
+            nxt: List[str] = []
+            for here in frontier:
+                for path in self.paths:
+                    if here == path.src:
+                        other = path.dst
+                    elif here == path.dst:
+                        other = path.src
+                    else:
+                        continue
+                    if other in seen:
+                        continue
+                    seen.add(other)
+                    parents[other] = (here, path)
+                    nxt.append(other)
+            frontier = nxt
+        if dst not in parents:
+            reachable = sorted(seen - {src})
+            raise ValidationError(
+                f"no route from {src!r} to {dst!r}; hosts reachable from "
+                f"{src!r}: {reachable if reachable else 'none'}"
+            )
+        hops: List[Path] = []
+        here = dst
+        while here != src:
+            prev, path = parents[here]
+            hops.append(path)
+            here = prev
+        return Route(src=src, dst=dst, hops=tuple(reversed(hops)))
 
 
 #: Table 1 of the paper, as (component, specification) rows.
@@ -121,5 +253,46 @@ def fabric_testbed(buffer_bdp: float = 2.0) -> Topology:
         "sender",
         "receiver",
         Link(capacity_gbps=25.0, rtt_s=0.016, buffer_bdp=buffer_bdp, mtu_bytes=9000),
+    )
+    return topo
+
+
+def cross_facility_testbed(buffer_bdp: float = 2.0) -> Topology:
+    """The ROADMAP's edge-to-HPC target scenario: an edge instrument
+    feeding a DTN over a fast campus hop, a shared 25 Gbps / 16 ms WAN
+    segment (the paper's FABRIC link, and the congestion point), and a
+    40 Gbps ingest hop into the HPC facility.
+
+    Route ``edge -> hpc`` is edge-dtn, dtn-wan, wan-hpc; the ``dtn-wan``
+    segment is the bottleneck, so cross-facility grids reproduce the
+    single-bottleneck Table-2 numbers while faults can now target any
+    segment by name.
+    """
+    topo = Topology()
+    for name in ("edge", "dtn", "wan", "hpc"):
+        topo.add_host(
+            Host(
+                name=name,
+                cpu="AMD EPYC 7532",
+                vcpus=16,
+                memory_gb=32.0,
+                nic_gbps=100.0,
+                os="Ubuntu 22.04.5 LTS (KVM)",
+            )
+        )
+    topo.connect(
+        "edge",
+        "dtn",
+        Link(capacity_gbps=100.0, rtt_s=0.0005, buffer_bdp=buffer_bdp, mtu_bytes=9000),
+    )
+    topo.connect(
+        "dtn",
+        "wan",
+        Link(capacity_gbps=25.0, rtt_s=0.016, buffer_bdp=buffer_bdp, mtu_bytes=9000),
+    )
+    topo.connect(
+        "wan",
+        "hpc",
+        Link(capacity_gbps=40.0, rtt_s=0.002, buffer_bdp=buffer_bdp, mtu_bytes=9000),
     )
     return topo

@@ -137,11 +137,17 @@ class ResultCache:
             and (max_entries is not None or ttl_s is not None)
         ):
             # A bounded cache adopts pre-existing files into the LRU
-            # index so the bound holds across process restarts.
-            for path in sorted(
-                self._dir.glob("*.json"), key=lambda p: p.stat().st_mtime
-            ):
-                self._order[path.stem] = path.stat().st_mtime
+            # index so the bound holds across process restarts.  A
+            # concurrent sweep may evict an entry between glob and
+            # stat, so vanished files are skipped, not fatal.
+            stamped = []
+            for path in self._dir.glob("*.json"):
+                try:
+                    stamped.append((path.stem, path.stat().st_mtime))
+                except FileNotFoundError:
+                    continue
+            for stem, mtime in sorted(stamped, key=lambda item: item[1]):
+                self._order[stem] = mtime
             self._evict_over_bound()
 
     def __len__(self) -> int:
@@ -157,8 +163,11 @@ class ResultCache:
         self._mem.pop(key, None)
         self._order.pop(key, None)
         path = self._path(key)
-        if path is not None and path.exists():
-            path.unlink()
+        if path is not None:
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass  # a concurrent sweep already dropped it
         setattr(self, counter, getattr(self, counter) + 1)
 
     def _evict_over_bound(self) -> None:
@@ -174,9 +183,13 @@ class ResultCache:
         """
         stamp = self._order.get(key)
         path = self._path(key)
-        if stamp is None and path is not None and path.exists():
-            stamp = path.stat().st_mtime  # lazily index an on-disk entry
-            self._order[key] = stamp
+        if stamp is None and path is not None:
+            try:
+                stamp = path.stat().st_mtime  # lazily index an on-disk entry
+            except FileNotFoundError:
+                stamp = None  # vanished between exists-check and stat
+            else:
+                self._order[key] = stamp
         if stamp is None:
             self.misses += 1
             return default

@@ -130,6 +130,14 @@ class Axis:
                 start, stop, num = float(parts[0]), float(parts[1]), int(parts[2])
             except ValueError as exc:
                 raise ValidationError(f"axis range {body!r}: {exc}") from exc
+            if num < 2 and start != stop:
+                raise ValidationError(
+                    f"axis range {body!r} asks for {num} point(s) between "
+                    f"distinct endpoints {start:g} and {stop:g}, which would "
+                    f"silently discard {stop:g}; use num >= 2 (e.g. "
+                    f"{name}={start:g}:{stop:g}:2) or a single-value list "
+                    f"(e.g. {name}={start:g})"
+                )
             if len(parts) == 4:
                 return cls.geomspace(name, start, stop, num)
             return cls.linspace(name, start, stop, num)

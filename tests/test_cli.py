@@ -78,6 +78,23 @@ class TestSimulationCommands:
         assert "SSS" in out
         assert "regime" in out
 
+    def test_sss_cross_facility(self, capsys):
+        assert main(
+            ["sss", "--duration", "2", "--seeds", "0", "--cross-facility",
+             "--outage", "0.5", "--fault-link", "dtn-wan"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "edge-hpc route" in out
+        assert "regime" in out
+
+    def test_sss_fault_link_requires_cross_facility(self):
+        with pytest.raises(Exception, match="--cross-facility"):
+            main(["sss", "--fault-link", "dtn-wan"])
+
+    def test_sss_unknown_fault_link_rejected_before_simulating(self):
+        with pytest.raises(Exception, match="unknown segment"):
+            main(["sss", "--cross-facility", "--fault-link", "bogus"])
+
     def test_fig3_short(self, capsys):
         assert main(["fig3", "--duration", "2", "--seeds", "0"]) == 0
         out = capsys.readouterr().out

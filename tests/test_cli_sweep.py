@@ -355,6 +355,75 @@ class TestSimnetTable2:
         with pytest.raises(Exception, match="--backend"):
             main(BASE_ARGS + ["--backend", "hybrid"])
 
+    def test_degenerate_axis_range_rejected(self):
+        """x=a:b:1 with a != b would silently keep only a (regression)."""
+        with pytest.raises(Exception, match="silently discard"):
+            main(["sweep", "--axis", "bandwidth_gbps=5:100:1"])
+
+
+class TestCrossFacility:
+    XF_ARGS = ["sweep", "--simnet-table2", "--cross-facility",
+               "--duration", "1", "--seeds", "0"]
+
+    def test_cross_facility_grid_from_cli(self, capsys):
+        assert main(self.XF_ARGS + ["--format", "csv"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("concurrency,parallel_flows,")
+        assert len(lines) == 1 + 24
+
+    def test_offered_utilization_normalises_to_wan_bottleneck(self, capsys):
+        """The shared WAN is 25 Gbps — same as the single FABRIC link —
+        so the offered-load axis matches the classic grid's exactly."""
+        assert main(self.XF_ARGS + ["--format", "json"]) == 0
+        routed = json.loads(capsys.readouterr().out)["columns"]
+        assert main(
+            ["sweep", "--simnet-table2", "--duration", "1", "--seeds", "0",
+             "--format", "json"]
+        ) == 0
+        classic = json.loads(capsys.readouterr().out)["columns"]
+        assert routed["offered_utilization"] == classic["offered_utilization"]
+
+    def test_all_three_modes_identical(self, capsys, tmp_path):
+        """In-memory, --workers N and --out-dir sharded runs of the
+        faulted cross-facility grid carry the same columns with the
+        same per-cell numbers."""
+        import numpy as np
+
+        from repro.sweep import open_shards
+
+        fault = ["--outage", "0.3", "--fault-link", "dtn-wan"]
+        assert main(self.XF_ARGS + fault + ["--format", "json"]) == 0
+        mem = json.loads(capsys.readouterr().out)["columns"]
+        assert main(
+            self.XF_ARGS + fault + ["--format", "json", "--workers", "2"]
+        ) == 0
+        par = json.loads(capsys.readouterr().out)["columns"]
+        assert par == mem
+        out = tmp_path / "shards"
+        assert main(
+            self.XF_ARGS + fault + ["--out-dir", str(out), "--shard-size", "7"]
+        ) == 0
+        capsys.readouterr()
+        table = open_shards(out)
+        assert set(table.column_names) == set(mem)
+        for name in mem:
+            np.testing.assert_array_equal(
+                np.asarray(table.column(name)), mem[name], err_msg=name
+            )
+
+    def test_fault_link_requires_cross_facility(self):
+        with pytest.raises(Exception, match="--cross-facility"):
+            main(["sweep", "--simnet-table2", "--fault-link", "dtn-wan"])
+
+    def test_cross_facility_requires_simnet(self):
+        with pytest.raises(Exception, match="closed-form model"):
+            main(BASE_ARGS + ["--cross-facility"])
+
+    def test_unknown_fault_link_rejected_before_simulating(self):
+        with pytest.raises(Exception, match="unknown segment"):
+            main(["sweep", "--simnet-table2", "--cross-facility",
+                  "--fault-link", "bogus"])
+
 
 class TestSimnetCcAxis:
     CC_ARGS = ["sweep", "--simnet-table2", "--duration", "2",

@@ -14,7 +14,9 @@ from repro.iperfsim.spec import (
     iter_sweep_grid,
     table2_sweep,
 )
+from repro.simnet.faults import FaultEvent
 from repro.simnet.link import fabric_link
+from repro.simnet.topology import cross_facility_testbed
 
 
 class TestSpec:
@@ -58,6 +60,87 @@ class TestSpec:
         kwargs[field] = value
         with pytest.raises(ValidationError):
             ExperimentSpec(**kwargs)
+
+
+class TestRoutedSpec:
+    def _spec(self, **kwargs):
+        return ExperimentSpec(
+            concurrency=4,
+            parallel_flows=2,
+            topology=cross_facility_testbed(),
+            route=("edge", "hpc"),
+            **kwargs,
+        )
+
+    def test_topology_and_route_come_together(self):
+        with pytest.raises(ValidationError, match="come together"):
+            ExperimentSpec(
+                concurrency=1, parallel_flows=2,
+                topology=cross_facility_testbed(),
+            )
+        with pytest.raises(ValidationError, match="come together"):
+            ExperimentSpec(
+                concurrency=1, parallel_flows=2, route=("edge", "hpc")
+            )
+
+    def test_unknown_hosts_fail_at_construction(self):
+        with pytest.raises(ValidationError, match="unknown host"):
+            ExperimentSpec(
+                concurrency=1, parallel_flows=2,
+                topology=cross_facility_testbed(), route=("edge", "mars"),
+            )
+
+    def test_resolved_route(self):
+        route = self._spec().resolved_route()
+        assert route is not None
+        assert route.segments == ("edge-dtn", "dtn-wan", "wan-hpc")
+        single = ExperimentSpec(concurrency=1, parallel_flows=2)
+        assert single.resolved_route() is None
+
+    def test_offered_utilization_uses_route_bottleneck(self):
+        # 4 x 0.5 GB/s = 16 Gbps over the 25 Gbps WAN bottleneck — the
+        # passed link (even a fat one) must be ignored for routed specs.
+        from repro.simnet.link import Link
+
+        spec = self._spec()
+        fat = Link(capacity_gbps=100.0, rtt_s=0.016)
+        assert spec.offered_utilization(fat) == pytest.approx(16.0 / 25.0)
+
+    def test_fault_defaults_to_bottleneck_segment(self):
+        sched = (FaultEvent(1.0, 2.0, 0.0),)
+        spec = self._spec(faults=sched)
+        assert spec.link_fault_schedules() == ((), sched, ())
+
+    def test_fault_link_targets_named_segment_either_orientation(self):
+        sched = (FaultEvent(1.0, 2.0, 0.0),)
+        spec = self._spec(faults=sched, fault_link="dtn-edge")
+        assert spec.link_fault_schedules() == (sched, (), ())
+
+    def test_fault_link_off_route_fails_at_construction(self):
+        with pytest.raises(ValidationError, match="not a segment"):
+            self._spec(fault_link="edge-wan")
+
+    def test_fault_link_without_topology_rejected(self):
+        with pytest.raises(ValidationError, match="needs"):
+            ExperimentSpec(
+                concurrency=1, parallel_flows=2, fault_link="dtn-wan"
+            )
+
+    def test_link_fault_schedules_needs_topology(self):
+        with pytest.raises(ValidationError, match="topology"):
+            ExperimentSpec(concurrency=1, parallel_flows=2).link_fault_schedules()
+
+    def test_label_carries_route(self):
+        assert self._spec().label() == "batch-c4-p2-edge-hpc"
+        faulted = self._spec(faults=(FaultEvent(1.0, 2.0, 0.0),))
+        assert faulted.label() == "batch-c4-p2-edge-hpc-fault"
+
+    def test_routed_table2_sweep(self):
+        specs = table2_sweep(
+            topology=cross_facility_testbed(), route=("edge", "hpc")
+        )
+        assert len(specs) == 24
+        assert all(s.resolved_route() is not None for s in specs)
 
 
 class TestSweep:

@@ -216,3 +216,41 @@ class TestMeasureEndToEnd:
     def test_rejects_empty_concurrency(self):
         with pytest.raises(ValidationError):
             measure_sss_curve(concurrencies=())
+
+    def test_multi_hop_curve_normalises_to_route_bottleneck(self):
+        from repro.simnet.topology import cross_facility_testbed
+
+        curve = measure_sss_curve(
+            concurrencies=(1, 6), duration_s=2.0, seeds=(0,),
+            topology=cross_facility_testbed(), route=("edge", "hpc"),
+        )
+        assert curve.bandwidth_gbps == 25.0  # the shared-WAN bottleneck
+        assert curve.t_worst_values[1] > curve.t_worst_values[0]
+        assert curve.sss_at(curve.utilizations[0]) >= 1.0
+
+    def test_link_and_topology_are_exclusive(self):
+        from repro.simnet.link import fabric_link
+        from repro.simnet.topology import cross_facility_testbed
+
+        with pytest.raises(ValidationError, match="not both"):
+            measure_sss_curve(
+                concurrencies=(1,), duration_s=2.0,
+                link=fabric_link(),
+                topology=cross_facility_testbed(), route=("edge", "hpc"),
+            )
+
+    def test_wan_fault_degrades_the_multi_hop_curve(self):
+        from repro.simnet.faults import brownout_schedule
+        from repro.simnet.topology import cross_facility_testbed
+
+        base = measure_sss_curve(
+            concurrencies=(2,), duration_s=2.0, seeds=(0,),
+            topology=cross_facility_testbed(), route=("edge", "hpc"),
+        )
+        faulted = measure_sss_curve(
+            concurrencies=(2,), duration_s=2.0, seeds=(0,),
+            topology=cross_facility_testbed(), route=("edge", "hpc"),
+            faults=brownout_schedule(1.0, 0.0, start_s=0.1),
+            fault_link="dtn-wan",
+        )
+        assert faulted.t_worst_values[0] > base.t_worst_values[0]

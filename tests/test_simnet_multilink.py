@@ -1,0 +1,366 @@
+"""Routed multi-hop fluid dynamics: flow x link contention.
+
+The multilink engine's contract mirrors the single-link one: the
+sequential and batched forms are bit-identical for any batch
+composition, a one-hop ``links=`` route is *exactly* the classic
+single-bottleneck simulation, and adding multilink experiments to a
+batch never moves a bit of the single-link experiments already in it.
+On top of that, per-link fault schedules must degrade the route when —
+and only when — a faulted hop becomes the effective bottleneck.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.iperfsim.runner import (
+    run_experiment,
+    run_experiments_batched,
+    run_sweep,
+)
+from repro.iperfsim.spec import ExperimentSpec
+from repro.simnet.batch import BatchFluidSimulator
+from repro.simnet.faults import FaultEvent, brownout_schedule, coerce_link_faults
+from repro.simnet.link import Link, fabric_link
+from repro.simnet.tcp import FluidTcpSimulator
+from repro.simnet.topology import cross_facility_testbed
+
+from test_simnet_batch import assert_results_bit_identical
+
+
+def cross_links():
+    """The cross-facility edge->hpc route links (bottleneck: hop 1)."""
+    return cross_facility_testbed().route("edge", "hpc").links
+
+
+def sequential_ml(links, flows, link_faults=None, seed=0, max_time_s=300.0):
+    sim = FluidTcpSimulator(links=links, link_faults=link_faults, seed=seed)
+    for f in flows:
+        sim.add_flow(*f)
+    return sim.run(max_time_s=max_time_s)
+
+
+def batched_ml(cases, max_time_s=300.0):
+    """cases: list of (links, link_faults, seed, flows)."""
+    bat = BatchFluidSimulator()
+    for links, link_faults, seed, flows in cases:
+        e = bat.add_experiment(links=links, link_faults=link_faults, seed=seed)
+        for f in flows:
+            bat.add_flow(e, *f)
+    return bat.run(max_time_s=max_time_s)
+
+
+def ml_cases():
+    """Multilink batch compositions: each CC alone, kinds mixed, sparse
+    spawn schedules, and a per-link brownout on the WAN bottleneck."""
+    wan_fault = [(), brownout_schedule(1.0, 0.3, start_s=0.1), ()]
+    return [
+        (cross_links(), None, 0, [(0.0, 0.5e9, c) for c in range(4)]),
+        (cross_links(), None, 1, [(0.0, 0.4e9, c, "dctcp") for c in range(6)]),
+        (cross_links(), None, 2, [(0.0, 0.4e9, c, "delay") for c in range(6)]),
+        (
+            cross_links(),
+            None,
+            3,
+            [(0.1 * c, 0.3e9, c, ("reno", "dctcp", "delay")[c % 3]) for c in range(9)],
+        ),
+        (cross_links(), wan_fault, 4, [(0.0, 0.5e9, c) for c in range(4)]),
+        (cross_links(), None, 5, [(2.0 * k, 5e6, k) for k in range(4)]),
+    ]
+
+
+class TestOneHopNormalization:
+    """A one-hop ``links=`` route IS the classic single-link engine."""
+
+    def test_sequential_one_hop_is_classic(self):
+        flows = [(0.0, 0.5e9, c) for c in range(4)]
+        classic = FluidTcpSimulator(fabric_link(), seed=3)
+        routed = FluidTcpSimulator(links=[fabric_link()], seed=3)
+        for f in flows:
+            classic.add_flow(*f)
+            routed.add_flow(*f)
+        assert_results_bit_identical(classic.run(), routed.run(), "one-hop seq")
+
+    def test_batched_one_hop_is_classic(self):
+        flows = [(0.0, 0.5e9, c) for c in range(4)]
+        a = BatchFluidSimulator()
+        ea = a.add_experiment(fabric_link(), seed=3)
+        b = BatchFluidSimulator()
+        eb = b.add_experiment(links=[fabric_link()], seed=3)
+        for f in flows:
+            a.add_flow(ea, *f)
+            b.add_flow(eb, *f)
+        assert_results_bit_identical(a.run()[0], b.run()[0], "one-hop batch")
+
+    def test_one_hop_fault_schedule_is_classic_faults(self):
+        sched = brownout_schedule(1.0, 0.2, start_s=0.2)
+        flows = [(0.0, 0.5e9, c) for c in range(4)]
+        classic = FluidTcpSimulator(fabric_link(), seed=0, faults=sched)
+        routed = FluidTcpSimulator(
+            links=[fabric_link()], link_faults=[sched], seed=0
+        )
+        for f in flows:
+            classic.add_flow(*f)
+            routed.add_flow(*f)
+        assert_results_bit_identical(classic.run(), routed.run(), "one-hop fault")
+
+
+class TestMultilinkBitEquivalence:
+    def test_batched_matches_sequential(self):
+        cases = ml_cases()
+        batched = batched_ml(cases)
+        for i, ((links, lf, seed, flows), b) in enumerate(zip(cases, batched)):
+            a = sequential_ml(links, flows, link_faults=lf, seed=seed)
+            assert_results_bit_identical(a, b, label=f"ml case {i}")
+
+    def test_batch_order_does_not_matter(self):
+        cases = ml_cases()
+        forward = batched_ml(cases)
+        backward = batched_ml(list(reversed(cases)))
+        for f, b in zip(forward, reversed(backward)):
+            assert_results_bit_identical(f, b, label="ml order")
+
+    def test_noop_schedules_bit_identical_to_fault_free(self):
+        """A schedule that cannot change dynamics must not change a bit
+        (the fault-aware code paths stay dormant)."""
+        noop = [
+            (FaultEvent(1.0, 0.0, 0.0),),  # zero duration
+            (FaultEvent(1.0, 5.0, 1.0),),  # full capacity
+            (),
+        ]
+        flows = [(0.0, 0.5e9, c) for c in range(4)]
+        a = sequential_ml(cross_links(), flows, link_faults=None, seed=0)
+        b = sequential_ml(cross_links(), flows, link_faults=noop, seed=0)
+        assert_results_bit_identical(a, b, label="ml noop")
+
+    def test_multilink_never_perturbs_single_link_experiments(self):
+        """The tentpole regression guard: stacking routed experiments
+        into a batch must not move a bit of the classic single-link
+        experiments riding in the same batch."""
+        flows_s = [(0.0, 0.3e9, 0), (0.5, 0.3e9, 1)]
+        alone = BatchFluidSimulator(dt_s=0.004)
+        ea = alone.add_experiment(fabric_link(), seed=7)
+        for f in flows_s:
+            alone.add_flow(ea, *f)
+        (ref,) = alone.run()
+
+        mixed = BatchFluidSimulator(dt_s=0.004)
+        es = mixed.add_experiment(fabric_link(), seed=7)
+        em = mixed.add_experiment(links=cross_links(), seed=1)
+        for f in flows_s:
+            mixed.add_flow(es, *f)
+        for c in range(4):
+            mixed.add_flow(em, 0.0, 0.4e9, c)
+        results = mixed.run()
+        assert_results_bit_identical(ref, results[es], label="single isolation")
+        a = FluidTcpSimulator(links=cross_links(), seed=1, dt_s=0.004)
+        for c in range(4):
+            a.add_flow(0.0, 0.4e9, c)
+        assert_results_bit_identical(a.run(), results[em], label="ml in mixed")
+
+    def test_repeated_run_continues_rng_stream(self):
+        """Two runs on one sequential simulator must match two runs on
+        the classic engine's semantics: each run() consumes the same
+        generator, so a fresh simulator reproduces only the first."""
+        sim = FluidTcpSimulator(links=cross_links(), seed=0)
+        for c in range(4):
+            sim.add_flow(0.0, 0.4e9, c)
+        first = sim.run()
+        again = sim.run()
+        fresh = FluidTcpSimulator(links=cross_links(), seed=0)
+        for c in range(4):
+            fresh.add_flow(0.0, 0.4e9, c)
+        assert_results_bit_identical(fresh.run(), first, label="first run")
+        assert again.all_completed
+
+
+class TestRoutedSpecEquivalence:
+    def routed_specs(self):
+        topo = cross_facility_testbed()
+        return [
+            ExperimentSpec(
+                concurrency=c,
+                parallel_flows=2,
+                duration_s=2.0,
+                cc=cc,
+                topology=topo,
+                route=("edge", "hpc"),
+            )
+            for c in (2, 4)
+            for cc in ("reno", "dctcp")
+        ]
+
+    @pytest.mark.parametrize("batch_size", [1, 3, 100])
+    def test_batch_size_invariance(self, batch_size):
+        units = [(spec, seed) for spec in self.routed_specs() for seed in (0,)]
+        chunked = run_experiments_batched(units, batch_size=batch_size)
+        for (spec, seed), b in zip(units, chunked):
+            a = run_experiment(spec, seed=seed)
+            assert a.client_times_s == b.client_times_s
+            assert a.achieved_utilization == b.achieved_utilization
+            assert a.offered_utilization == b.offered_utilization
+
+    def test_workers_bit_identical(self):
+        specs = self.routed_specs()
+        serial = run_sweep(specs, seeds=(0, 1), workers=1)
+        split = run_sweep(specs, seeds=(0, 1), workers=2)
+        for ea, eb in zip(serial.experiments, split.experiments):
+            assert ea.client_times_s == eb.client_times_s
+            assert ea.achieved_utilization == eb.achieved_utilization
+
+    def test_offered_utilization_uses_route_bottleneck(self):
+        spec = self.routed_specs()[0]
+        route = spec.resolved_route()
+        assert route is not None
+        single = ExperimentSpec(
+            concurrency=spec.concurrency,
+            parallel_flows=spec.parallel_flows,
+            duration_s=spec.duration_s,
+        )
+        assert spec.offered_utilization(fabric_link()) == pytest.approx(
+            single.offered_utilization(route.bottleneck)
+        )
+
+
+class TestPerLinkFaults:
+    def _fct(self, link_faults):
+        res = sequential_ml(
+            cross_links(),
+            [(0.0, 0.25e9, c) for c in range(4)],
+            link_faults=link_faults,
+            seed=0,
+        )
+        assert res.all_completed
+        return max(f.end_s for f in res.flows)
+
+    def test_bottleneck_outage_delays_completion(self):
+        outage = [(), (FaultEvent(0.05, 2.0, 0.0),), ()]
+        assert self._fct(outage) > self._fct(None) + 1.0
+
+    def test_non_bottleneck_hop_can_become_the_bottleneck(self):
+        """An outage on the fast edge hop still stalls the route — the
+        route's effective capacity is the min over hops, not the
+        nominal bottleneck's."""
+        edge_out = [(FaultEvent(0.05, 2.0, 0.0),), (), ()]
+        assert self._fct(edge_out) > self._fct(None) + 1.0
+
+    def test_mild_brownout_on_fast_hop_is_harmless(self):
+        """Degrading the 100 Gbps edge hop to half speed leaves it far
+        above the 25 Gbps WAN — dynamics must not change at all."""
+        mild = [(FaultEvent(0.0, 10.0, 0.5),), (), ()]
+        flows = [(0.0, 0.25e9, c) for c in range(4)]
+        a = sequential_ml(cross_links(), flows, link_faults=None, seed=0)
+        b = sequential_ml(cross_links(), flows, link_faults=mild, seed=0)
+        assert a.all_completed and b.all_completed
+        assert max(f.end_s for f in a.flows) == pytest.approx(
+            max(f.end_s for f in b.flows), rel=1e-6
+        )
+
+    def test_fault_after_completion_is_inert(self):
+        late = [(), (FaultEvent(200.0, 5.0, 0.0),), ()]
+        flows = [(0.0, 0.25e9, c) for c in range(4)]
+        a = sequential_ml(cross_links(), flows, link_faults=None, seed=0)
+        b = sequential_ml(cross_links(), flows, link_faults=late, seed=0)
+        assert max(f.end_s for f in b.flows) == pytest.approx(
+            max(f.end_s for f in a.flows), rel=1e-6
+        )
+
+
+class TestMultilinkBehavior:
+    def test_reports_bottleneck_capacity(self):
+        res = sequential_ml(cross_links(), [(0.0, 0.2e9, 0)])
+        assert res.capacity_bytes_per_s == pytest.approx(25.0e9 / 8)
+
+    def test_conservation(self):
+        flows = [(0.0, 0.3e9, c) for c in range(5)]
+        res = sequential_ml(cross_links(), flows)
+        assert res.all_completed
+        assert res.total_flow_bytes() == pytest.approx(5 * 0.3e9)
+
+    def test_default_dt_is_quarter_route_rtt(self):
+        sim = FluidTcpSimulator(links=cross_links())
+        route_rtt = sum(l.rtt_s for l in cross_links())
+        assert sim.dt_s == pytest.approx(route_rtt / 4.0)
+
+    def test_congestion_hurts_more_hops(self):
+        """Same offered load: the routed path's worst FCT is at least
+        the single-bottleneck one (extra RTT, extra queues)."""
+        flows = [(0.0, 0.5e9, c) for c in range(6)]
+        single = sequential_run_classic(flows)
+        multi = sequential_ml(cross_links(), flows, seed=0)
+        assert multi.all_completed
+        assert (
+            max(f.end_s for f in multi.flows)
+            >= max(f.end_s for f in single.flows) * 0.99
+        )
+
+
+def sequential_run_classic(flows, seed=0):
+    sim = FluidTcpSimulator(fabric_link(), seed=seed)
+    for f in flows:
+        sim.add_flow(*f)
+    return sim.run()
+
+
+class TestValidation:
+    def test_exactly_one_of_link_or_links(self):
+        with pytest.raises(ValidationError, match="exactly one"):
+            FluidTcpSimulator(fabric_link(), links=cross_links())
+        with pytest.raises(ValidationError, match="exactly one"):
+            FluidTcpSimulator()
+        bat = BatchFluidSimulator()
+        with pytest.raises(ValidationError, match="exactly one"):
+            bat.add_experiment(fabric_link(), links=cross_links())
+        with pytest.raises(ValidationError, match="exactly one"):
+            bat.add_experiment()
+
+    def test_empty_links_rejected(self):
+        with pytest.raises(ValidationError, match=">= 1 link"):
+            FluidTcpSimulator(links=[])
+        with pytest.raises(ValidationError, match=">= 1 link"):
+            BatchFluidSimulator().add_experiment(links=[])
+
+    def test_links_with_scalar_faults_rejected(self):
+        sched = brownout_schedule(1.0, 0.0, start_s=0.1)
+        with pytest.raises(ValidationError, match="link_faults"):
+            FluidTcpSimulator(links=cross_links(), faults=sched)
+        with pytest.raises(ValidationError, match="link_faults"):
+            BatchFluidSimulator().add_experiment(
+                links=cross_links(), faults=sched
+            )
+
+    def test_link_faults_without_links_rejected(self):
+        with pytest.raises(ValidationError, match="needs links="):
+            FluidTcpSimulator(fabric_link(), link_faults=[()])
+        with pytest.raises(ValidationError, match="needs links="):
+            BatchFluidSimulator().add_experiment(
+                fabric_link(), link_faults=[()]
+            )
+
+    def test_link_faults_length_must_match(self):
+        with pytest.raises(ValidationError):
+            FluidTcpSimulator(links=cross_links(), link_faults=[(), ()])
+
+    def test_coerce_link_faults_contract(self):
+        assert coerce_link_faults(None, 3) == ((), (), ())
+        with pytest.raises(ValidationError, match="bare"):
+            coerce_link_faults(FaultEvent(0.0, 1.0), 2)
+        with pytest.raises(ValidationError):
+            coerce_link_faults([()], 2)
+        with pytest.raises(ValidationError):
+            coerce_link_faults(None, 0)
+
+    def test_mixed_dt_batch_rejected(self):
+        """A fabric single-link experiment (dt = rtt/4 = 4 ms) and a
+        cross-facility route (dt = 18.5 ms / 4) cannot share a batch
+        without an explicit dt_s."""
+        bat = BatchFluidSimulator()
+        bat.add_experiment(fabric_link())
+        with pytest.raises(ValidationError, match="share the simulation step"):
+            bat.add_experiment(links=cross_links())
+
+    def test_dt_exceeding_route_rtt_rejected(self):
+        with pytest.raises(ValidationError, match="must not exceed"):
+            FluidTcpSimulator(links=cross_links(), dt_s=1.0)

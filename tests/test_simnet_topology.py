@@ -1,4 +1,4 @@
-"""Topology layer and Table-1 preset."""
+"""Topology layer, routing and the testbed presets."""
 
 from __future__ import annotations
 
@@ -10,7 +10,9 @@ from repro.simnet.topology import (
     TESTBED_TABLE1,
     Host,
     Path,
+    Route,
     Topology,
+    cross_facility_testbed,
     fabric_testbed,
 )
 
@@ -69,6 +71,107 @@ class TestTopology:
     def test_missing_path_is_none(self):
         topo = self._two_hosts()
         assert topo.path_between("a", "b") is None
+
+    def test_duplicate_pair_rejected_both_orientations(self):
+        topo = self._two_hosts()
+        topo.connect("a", "b", _link())
+        with pytest.raises(ValidationError, match="already connected"):
+            topo.connect("a", "b", _link())
+        with pytest.raises(ValidationError, match="already connected"):
+            topo.connect("b", "a", _link(10.0))
+
+    def test_segment_lookup_either_orientation(self):
+        topo = self._two_hosts()
+        path = topo.connect("a", "b", _link())
+        assert topo.segment("a-b") is path
+        assert topo.segment("b-a") is path
+
+    def test_unknown_segment_names_known_ones(self):
+        topo = self._two_hosts()
+        topo.connect("a", "b", _link())
+        with pytest.raises(ValidationError, match="'a-b'"):
+            topo.segment("a-zzz")
+
+
+def _chain(*gbps):
+    """hosts h0..hN joined in a line by links of the given capacities."""
+    topo = Topology()
+    for i in range(len(gbps) + 1):
+        topo.add_host(Host(name=f"h{i}", nic_gbps=1000.0))
+    for i, g in enumerate(gbps):
+        topo.connect(f"h{i}", f"h{i + 1}", _link(g))
+    return topo
+
+
+class TestRouting:
+    def test_single_hop_route(self):
+        topo = _chain(25.0)
+        route = topo.route("h0", "h1")
+        assert len(route) == 1
+        assert route.segments == ("h0-h1",)
+        assert route.bottleneck.capacity_gbps == 25.0
+
+    def test_multi_hop_route_order_and_properties(self):
+        topo = _chain(100.0, 25.0, 40.0)
+        route = topo.route("h0", "h3")
+        assert route.segments == ("h0-h1", "h1-h2", "h2-h3")
+        assert [l.capacity_gbps for l in route.links] == [100.0, 25.0, 40.0]
+        assert route.bottleneck.capacity_gbps == 25.0
+        assert route.rtt_s == pytest.approx(3 * 0.016)
+
+    def test_route_is_direction_agnostic(self):
+        topo = _chain(100.0, 25.0)
+        fwd = topo.route("h0", "h2")
+        rev = topo.route("h2", "h0")
+        assert rev.segments == tuple(reversed(fwd.segments))
+        assert rev.bottleneck == fwd.bottleneck
+
+    def test_shortest_route_wins(self):
+        # a-b-c chain plus a direct a-c shortcut: route takes 1 hop.
+        topo = _chain(25.0, 25.0)
+        topo.connect("h0", "h2", _link(10.0))
+        route = topo.route("h0", "h2")
+        assert route.segments == ("h0-h2",)
+
+    def test_unknown_host_actionable(self):
+        topo = _chain(25.0)
+        with pytest.raises(ValidationError, match="unknown host 'zzz'"):
+            topo.route("h0", "zzz")
+
+    def test_same_endpoints_rejected(self):
+        topo = _chain(25.0)
+        with pytest.raises(ValidationError, match="must differ"):
+            topo.route("h0", "h0")
+
+    def test_unreachable_pair_names_reachable_set(self):
+        topo = _chain(25.0)
+        topo.add_host(Host(name="island", nic_gbps=1000.0))
+        with pytest.raises(ValidationError, match="no route from 'h0' to 'island'"):
+            topo.route("h0", "island")
+
+    def test_bottleneck_tie_breaks_to_first_hop(self):
+        topo = _chain(25.0, 25.0)
+        route = topo.route("h0", "h2")
+        assert route.bottleneck is route.hops[0].link
+
+    def test_empty_route_rejected(self):
+        with pytest.raises(ValidationError, match=">= 1 hop"):
+            Route(src="a", dst="b", hops=())
+
+
+class TestCrossFacilityPreset:
+    def test_structure(self):
+        topo = cross_facility_testbed()
+        assert set(topo.hosts) == {"edge", "dtn", "wan", "hpc"}
+        route = topo.route("edge", "hpc")
+        assert route.segments == ("edge-dtn", "dtn-wan", "wan-hpc")
+        assert route.bottleneck is topo.segment("dtn-wan").link
+        assert route.bottleneck.capacity_gbps == 25.0
+        assert route.bottleneck.rtt_s == 0.016
+
+    def test_all_jumbo_frames(self):
+        topo = cross_facility_testbed()
+        assert all(p.link.mtu_bytes == 9000 for p in topo.paths)
 
 
 class TestFabricPreset:

@@ -147,6 +147,60 @@ class TestTtlExpiry:
         assert fresh.get("a") == 1
 
 
+class TestConcurrentDeletionRaces:
+    """A concurrent sweep process may evict a persisted entry at any
+    moment; the cache must treat a vanished file as a miss/skip, never
+    crash (regression: __init__ stat'd each globbed file and raised
+    FileNotFoundError when one was deleted between glob and stat)."""
+
+    def test_adoption_tolerates_file_deleted_mid_index(self, tmp_path, monkeypatch):
+        import pathlib
+
+        seed = ResultCache(directory=str(tmp_path), max_entries=10)
+        for i in range(3):
+            seed.put(f"k{i}", i)
+        victim = tmp_path / "k1.json"
+        real_glob = pathlib.Path.glob
+
+        def racy_glob(self, pattern):
+            for p in real_glob(self, pattern):
+                if p.name == victim.name and p.exists():
+                    p.unlink()  # "another process" evicts mid-listing
+                yield p
+
+        monkeypatch.setattr(pathlib.Path, "glob", racy_glob)
+        reopened = ResultCache(directory=str(tmp_path), max_entries=10)
+        assert reopened.get("k0") == 0
+        assert reopened.get("k2") == 2
+        assert reopened.get("k1", "miss") == "miss"
+
+    def test_get_tolerates_unindexed_file_vanishing(self, tmp_path, monkeypatch):
+        import pathlib
+
+        seed = ResultCache(directory=str(tmp_path))
+        seed.put("gone", 1)
+        fresh = ResultCache(directory=str(tmp_path), max_entries=10)
+        real_stat = pathlib.Path.stat
+
+        def racy_stat(self, **kwargs):
+            if self.name == "gone.json":
+                self.unlink(missing_ok=True)
+            return real_stat(self, **kwargs)
+
+        monkeypatch.setattr(pathlib.Path, "stat", racy_stat)
+        assert fresh.get("gone", "miss") == "miss"
+        assert fresh.misses == 1
+
+    def test_drop_tolerates_already_unlinked_file(self, tmp_path):
+        cache = ResultCache(directory=str(tmp_path), max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        (tmp_path / "a.json").unlink()  # evicted externally first
+        cache.put("c", 3)  # over bound: evicts "a", whose file is gone
+        assert cache.get("b") == 2 and cache.get("c") == 3
+        assert cache.get("a", "miss") == "miss"
+
+
 class TestUnboundedCompatibility:
     """Default construction keeps the original semantics."""
 

@@ -258,6 +258,53 @@ def test_noop_fault_schedule_keeps_batch_path_within_1_05x():
     )
 
 
+@pytest.mark.bench
+def test_multilink_batched_grid_within_2x_of_single_link():
+    """The flow x link multilink engine must not blow up the batched
+    fast path: the cross-facility Table-2 grid (three contended links
+    per experiment, shortened to 2 s here; the benchmark runs full
+    scale) costs at most 2x the single-bottleneck grid *per
+    experiment*.  Interleaved rounds with one re-measure, like the
+    other wall-clock guardrails."""
+    from repro.iperfsim.runner import run_sweep
+    from repro.iperfsim.spec import SpawnStrategy, table2_sweep
+    from repro.simnet.topology import cross_facility_testbed
+
+    single_specs = table2_sweep(strategy=SpawnStrategy.BATCH, duration_s=2.0)
+    routed_specs = table2_sweep(
+        strategy=SpawnStrategy.BATCH, duration_s=2.0,
+        topology=cross_facility_testbed(), route=("edge", "hpc"),
+    )
+    seeds = (0,)
+
+    ratios = []
+    for _ in range(2):
+        t0 = time.perf_counter()
+        single = run_sweep(single_specs, seeds=seeds)
+        t_single = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        routed = run_sweep(routed_specs, seeds=seeds)
+        t_routed = time.perf_counter() - t0
+
+        ratios.append(
+            (t_routed / len(routed_specs)) / (t_single / len(single_specs))
+        )
+        if ratios[-1] <= 2.0:
+            break
+
+    # Both grids normalise against a 25 Gbps bottleneck, so the
+    # offered-load axis is shared cell for cell.
+    for a, b in zip(single.experiments, routed.experiments):
+        assert a.offered_utilization == b.offered_utilization, a.spec.label()
+
+    assert min(ratios) <= 2.0, (
+        f"multilink batch should stay within 2x of single-link per "
+        f"experiment in at least one of two rounds, got "
+        f"{[f'{r:.2f}x' for r in ratios]}"
+    )
+
+
 class _GuardrailCurve:
     """Synthetic measured curve (sorted utilisation -> SSS)."""
 

@@ -76,6 +76,19 @@ class TestAxis:
         with pytest.raises(ValidationError):
             Axis.parse(bad)
 
+    @pytest.mark.parametrize("bad", ["x=1:10:1", "x=1:10:0"])
+    def test_parse_rejects_degenerate_range(self, bad):
+        """num < 2 between distinct endpoints would silently keep only
+        the start point (np.linspace semantics); the parser must refuse
+        with the fix spelled out instead (regression)."""
+        with pytest.raises(ValidationError, match="silently discard"):
+            Axis.parse(bad)
+
+    def test_parse_single_point_range_of_equal_endpoints_ok(self):
+        # num=1 is unambiguous when start == stop.
+        a = Axis.parse("x=5:5:1")
+        assert a.values == (5.0,)
+
 
 class TestSweepSpec:
     def test_grid_order_first_axis_slowest(self):

@@ -134,6 +134,58 @@ def test_block_vectorization_beats_per_point_loop_100x(tmp_path, artifact):
     )
 
 
+def test_integrity_overhead_within_budget(tmp_path, artifact):
+    """Measure what the crash journal + per-shard sha256 checksums cost:
+    the same 200k-point grid streamed through ``ShardWriter`` with
+    integrity on (the default since the recovery layer) and off (the
+    bare PR-9 write path).  The digest + journal line run on a worker
+    thread overlapping the next block's compute, so given a second core
+    the journaled run must stay within 1.25x (best of 5 interleaved
+    rounds); on a single-core box the hash cannot overlap anything and
+    only the measurement is recorded."""
+    import os
+
+    from repro.sweep import ShardWriter
+
+    spec = SweepSpec.grid(
+        Axis.geomspace("bandwidth_gbps", 1.0, 400.0, 500),
+        Axis.geomspace("complexity_flop_per_gb", 1e10, 1e14, 400),
+    )  # 200k points
+
+    def streamed(directory, integrity):
+        writer = ShardWriter(
+            directory, shard_size=BLOCK, axis_names=spec.axis_names,
+            integrity=integrity,
+        )
+        t0 = time.perf_counter()
+        run_model_sweep(spec, base=BASE, out=writer, block_size=BLOCK)
+        return time.perf_counter() - t0
+
+    streamed(tmp_path / "warmup", integrity=True)  # page-cache warm-up
+    t_bare = float("inf")
+    t_journaled = float("inf")
+    for round_idx in range(5):
+        t_bare = min(t_bare, streamed(tmp_path / f"bare-{round_idx}", False))
+        t_journaled = min(
+            t_journaled, streamed(tmp_path / f"journaled-{round_idx}", True)
+        )
+
+    ratio = t_journaled / t_bare
+    if (os.cpu_count() or 1) >= 2:
+        assert ratio <= 1.25, (
+            f"journaled+checksummed writes should stay within 1.25x of "
+            f"the bare write path, got {ratio:.3f}x"
+        )
+    artifact(
+        "sweep_shards_integrity",
+        "200,000-point grid, integrity (journal + sha256) on vs off:\n"
+        f"  bare:      {t_bare:.2f}s ({spec.n_points / t_bare:,.0f} points/s)\n"
+        f"  journaled: {t_journaled:.2f}s "
+        f"({spec.n_points / t_journaled:,.0f} points/s)\n"
+        f"  overhead {ratio:.3f}x (budget 1.25x)",
+    )
+
+
 def test_compressed_shards_cost_and_size(tmp_path, artifact):
     """Measure what --compress costs: points/sec for raw vs compressed
     writes of the same 200k-point grid, and the bytes saved on disk."""

@@ -23,6 +23,12 @@ rewritten sweep (new manifest bytes) transparently gets a fresh reader.
 The same cache serves the worker-side shard opens of
 :func:`map_table_blocks`, where each pool worker would otherwise
 re-validate the manifest once per shard it processes.
+
+Shard reads during analysis scans retry transient I/O trouble (an NFS
+blip, a briefly unreadable file) under
+:data:`repro.resilience.SHARD_READ_RETRY_POLICY` — three quick tries —
+before giving up; *content* corruption (a torn zip, a bad checksum) is
+never retried, because rereading bad bytes cannot fix them.
 """
 
 from __future__ import annotations
@@ -31,7 +37,9 @@ import pathlib
 import threading
 from collections import OrderedDict
 from functools import partial
-from typing import Any, Callable, List, Sequence, Tuple, Union
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+
+from ..resilience import SHARD_READ_RETRY_POLICY, RetryPolicy
 
 __all__ = ["load_sweep_table", "map_table_blocks"]
 
@@ -113,17 +121,49 @@ def load_sweep_table(table: Any) -> Any:
     return table
 
 
+def _is_transient_read_error(exc: BaseException) -> bool:
+    """Whether a shard-read failure is worth retrying: a raw ``OSError``
+    or the reader's :class:`~repro.errors.ValidationError` wrapping one
+    (an I/O blip).  Content corruption — a torn zip, a missing member —
+    arrives as other exception types (or other causes) and is final."""
+    return isinstance(exc, OSError) or isinstance(exc.__cause__, OSError)
+
+
+def _read_shard_with_retry(
+    reader: Any,
+    index: int,
+    columns: Sequence[str],
+    retry: RetryPolicy,
+) -> dict:
+    """One shard's column block, retrying transient I/O failures under
+    ``retry`` (deterministic backoff); corruption propagates unchanged
+    on the first try."""
+    from ..errors import ValidationError
+
+    return retry.call(
+        reader.read_shard,
+        index,
+        columns=list(columns),
+        retry_on=(OSError, ValidationError),
+        should_retry=_is_transient_read_error,
+    )
+
+
 def _apply_to_shard(
     index: int,
     manifest: str,
     columns: Sequence[str],
     block_fn: Callable[[dict], Any],
+    retry: RetryPolicy = SHARD_READ_RETRY_POLICY,
 ) -> Any:
     """Worker-side unit of :func:`map_table_blocks`: open the store
     (through the per-process reader cache, so a worker validates each
-    manifest once, not once per shard), read one shard's needed columns,
-    apply ``block_fn`` (module-level so it pickles for process pools)."""
-    return block_fn(_cached_reader(manifest).read_shard(index, columns=list(columns)))
+    manifest once, not once per shard), read one shard's needed columns
+    with transient-error retries, apply ``block_fn`` (module-level so it
+    pickles for process pools)."""
+    return block_fn(
+        _read_shard_with_retry(_cached_reader(manifest), index, columns, retry)
+    )
 
 
 def map_table_blocks(
@@ -131,6 +171,7 @@ def map_table_blocks(
     columns: Sequence[str],
     block_fn: Callable[[dict], Any],
     workers: int = 1,
+    retry: Optional[RetryPolicy] = None,
 ) -> List[Any]:
     """Apply ``block_fn`` to every column block of a sweep table.
 
@@ -142,7 +183,13 @@ def map_table_blocks(
     for ``workers > 1`` — a module-level function or a
     ``functools.partial`` of one.  In-memory tables are a single block
     and ignore ``workers``.
+
+    Transient shard-read I/O failures are retried under ``retry``
+    (default :data:`~repro.resilience.SHARD_READ_RETRY_POLICY`);
+    corruption still fails fast with the reader's actionable error.
     """
+    if retry is None:
+        retry = SHARD_READ_RETRY_POLICY
     table = load_sweep_table(table)
     if hasattr(table, "iter_blocks"):  # sharded store
         if workers > 1 and table.n_shards > 1:
@@ -153,7 +200,12 @@ def map_table_blocks(
                 manifest=str(table.reader.manifest_path),
                 columns=tuple(columns),
                 block_fn=block_fn,
+                retry=retry,
             )
             return parallel_map(fn, list(range(table.n_shards)), workers=workers)
-        return [block_fn(block) for block in table.iter_blocks(columns=columns)]
+        reader = table.reader
+        return [
+            block_fn(_read_shard_with_retry(reader, i, columns, retry))
+            for i in range(reader.n_shards)
+        ]
     return [block_fn({name: table.column(name) for name in columns})]

@@ -50,6 +50,7 @@ from .sweep import (
     facility_axes,
     run_model_sweep,
     run_sweep as run_generic_sweep,
+    verify_shards,
 )
 from .sweep.engine import DEFAULT_BLOCK_SIZE, MODEL_METRICS, SWEEP_METRICS
 from .iperfsim.runner import run_sweep, table2_block_metrics
@@ -169,6 +170,15 @@ def build_parser() -> argparse.ArgumentParser:
              "cold-storage artifacts; slower writes, transparent reads)",
     )
     p_sweep.add_argument(
+        "--resume", action="store_true",
+        help="continue a killed --out-dir sweep from its crash journal: "
+             "existing shards are checksum-verified and evaluation "
+             "restarts at the first unjournaled row, finishing a "
+             "directory byte-identical to an uninterrupted run "
+             "(idempotent: a complete directory is summarised as-is, a "
+             "fresh one runs from row 0)",
+    )
+    p_sweep.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="persistent content-hash result cache for --mode process "
              "(repeated sweeps skip already-evaluated points)",
@@ -263,6 +273,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--crossover-x", default=None, metavar="AXIS",
         help="append speedup=1 crossover points along AXIS",
+    )
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="audit a sharded sweep directory: checksums, row counts, "
+             "journal/manifest agreement; non-zero exit on corruption",
+    )
+    p_verify.add_argument(
+        "shard_dir", metavar="SHARD_DIR",
+        help="shard directory (or its manifest.json) to audit",
+    )
+    p_verify.add_argument(
+        "--skip-hashes", action="store_true",
+        help="skip sha256 verification (row counts and structure only; "
+             "much faster on large compressed directories)",
+    )
+    p_verify.add_argument(
+        "--skip-rows", action="store_true",
+        help="skip per-column row-count verification (checksums and "
+             "structure only)",
     )
 
     p_sss = sub.add_parser("sss", help="measure the SSS curve")
@@ -633,6 +663,10 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         raise ValidationError("--shard-size only applies with --out-dir")
     if args.compress and args.out_dir is None:
         raise ValidationError("--compress only applies with --out-dir")
+    if args.resume and args.out_dir is None:
+        raise ValidationError(
+            "--resume continues a streamed sweep; it requires --out-dir"
+        )
     if args.out_dir is not None and args.out_format == "csv":
         # Fail before the sweep runs, not after the shards are written.
         raise ValidationError(
@@ -705,6 +739,7 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
                 workers=args.workers,
                 out=args.out_dir, block_size=args.shard_size,
                 compress=args.compress, block_fn=block_fn,
+                resume=args.resume,
             )
         else:
             table = _simnet_table2_table(
@@ -805,6 +840,7 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
                 compress=args.compress,
                 context={"sss_curve": curve} if curve is not None else None,
                 backend=args.kernel_backend, verbose=args.verbose,
+                resume=args.resume,
             )
         else:
             fn = partial(
@@ -815,6 +851,7 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
                 spec, fn, workers=args.workers, cache=cache,
                 backend=args.backend, out=args.out_dir,
                 block_size=args.shard_size, compress=args.compress,
+                resume=args.resume,
             )
 
     summaries = []
@@ -1024,6 +1061,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         out = _cmd_model(args)
     elif args.command == "sweep":
         out = _cmd_sweep(args)
+    elif args.command == "verify":
+        report = verify_shards(
+            args.shard_dir,
+            check_hashes=not args.skip_hashes,
+            check_rows=not args.skip_rows,
+        )
+        print(report.format_report())
+        return 0 if report.ok else 1
     elif args.command == "sss":
         out = _cmd_sss(args)
     elif args.command == "fig2a":

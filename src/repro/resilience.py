@@ -1,0 +1,158 @@
+"""Unified retry policy for the executor and analysis layers.
+
+Production sweeps hit transient trouble — a hung worker process, an NFS
+read blip mid shard-scan, a filesystem that briefly refuses an open —
+and every layer used to carry its own ad-hoc constants for how long to
+wait and how often to try again (module globals that tests could only
+tune by monkeypatching).  :class:`RetryPolicy` makes the policy a
+*value*: a small frozen dataclass carrying the attempt budget, the
+deterministic exponential-backoff schedule and an optional per-attempt
+timeout, passed per call instead of patched per module.
+
+Consumers:
+
+- :func:`repro.sweep.engine.parallel_map` — per-chunk result timeout,
+  bounded fresh-pool retries and the backoff between them
+  (:data:`POOL_RETRY_POLICY` reproduces the historical module-constant
+  behaviour),
+- :mod:`repro.analysis._tables` — transient shard-read retries during
+  incremental analysis scans (:data:`SHARD_READ_RETRY_POLICY`),
+- anything else that wants "try this a few times, backing off" without
+  inventing its own loop (:meth:`RetryPolicy.call`).
+
+The schedule is **deterministic** — no jitter — so chaos-harness tests
+and resumed sweeps behave identically run to run; ``sleep`` is
+injectable for tests that must not wait at all.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional, Tuple, Type
+
+from .errors import ValidationError
+
+__all__ = [
+    "RetryPolicy",
+    "POOL_RETRY_POLICY",
+    "SHARD_READ_RETRY_POLICY",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """A bounded, deterministic exponential-backoff retry schedule.
+
+    ``attempts`` is the *total* number of tries (so ``attempts=1`` means
+    "no retries"); between try ``k`` and try ``k+1`` the caller sleeps
+    ``min(base_delay_s * multiplier**k, max_delay_s)`` seconds.
+    ``timeout_s`` is the per-attempt budget for consumers that await
+    results (the process executor's per-chunk ``get`` timeout); ``None``
+    waits forever.  ``sleep`` is injectable so tests exercise the
+    schedule without wall-clock delays.
+
+    Instances are frozen (safe to share, safe as defaults) and picklable
+    as long as ``sleep`` is a module-level callable — ``time.sleep``,
+    the default, travels to worker processes without trouble.
+    """
+
+    attempts: int = 3
+    base_delay_s: float = 0.5
+    max_delay_s: float = 30.0
+    multiplier: float = 2.0
+    timeout_s: Optional[float] = None
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.attempts, int) or self.attempts < 1:
+            raise ValidationError(
+                f"RetryPolicy.attempts must be an int >= 1, got {self.attempts!r}"
+            )
+        if self.base_delay_s < 0:
+            raise ValidationError(
+                f"RetryPolicy.base_delay_s must be >= 0, got {self.base_delay_s!r}"
+            )
+        if self.max_delay_s < self.base_delay_s:
+            raise ValidationError(
+                "RetryPolicy.max_delay_s must be >= base_delay_s, got "
+                f"{self.max_delay_s!r} < {self.base_delay_s!r}"
+            )
+        if self.multiplier < 1.0:
+            raise ValidationError(
+                f"RetryPolicy.multiplier must be >= 1, got {self.multiplier!r}"
+            )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValidationError(
+                f"RetryPolicy.timeout_s must be > 0 (or None), got {self.timeout_s!r}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def retries(self) -> int:
+        """Retries after the first attempt (``attempts - 1``)."""
+        return self.attempts - 1
+
+    def delay_s(self, retry_index: int) -> float:
+        """The backoff before retry ``retry_index`` (0-based), capped at
+        ``max_delay_s``."""
+        if retry_index < 0:
+            raise ValidationError(
+                f"retry_index must be >= 0, got {retry_index!r}"
+            )
+        return min(
+            self.base_delay_s * self.multiplier ** retry_index, self.max_delay_s
+        )
+
+    def delays(self) -> Iterator[float]:
+        """The full backoff schedule, one delay per retry."""
+        for k in range(self.retries):
+            yield self.delay_s(k)
+
+    def backoff(self, retry_index: int) -> None:
+        """Sleep the backoff before retry ``retry_index``."""
+        delay = self.delay_s(retry_index)
+        if delay > 0:
+            self.sleep(delay)
+
+    def call(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        retry_on: Tuple[Type[BaseException], ...] = (OSError,),
+        should_retry: Optional[Callable[[BaseException], bool]] = None,
+        **kwargs: Any,
+    ) -> Any:
+        """Run ``fn(*args, **kwargs)`` under this policy.
+
+        Exceptions matching ``retry_on`` (and, when given, accepted by
+        the ``should_retry`` predicate) are swallowed until the attempt
+        budget runs out, with the backoff schedule between tries; the
+        final failure — or any non-matching exception — propagates
+        unchanged.
+        """
+        for attempt in range(self.attempts):
+            try:
+                return fn(*args, **kwargs)
+            except retry_on as exc:
+                if should_retry is not None and not should_retry(exc):
+                    raise
+                if attempt == self.retries:
+                    raise
+                self.backoff(attempt)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+#: The process executor's historical defaults (PR 7's module constants,
+#: now expressed as a policy): 3 total attempts on a fresh pool, 0.5 s
+#: then 1.0 s backoff, 600 s per-chunk result timeout.
+POOL_RETRY_POLICY = RetryPolicy(
+    attempts=3, base_delay_s=0.5, max_delay_s=30.0, timeout_s=600.0
+)
+
+#: Transient shard-read retries for incremental analysis scans: three
+#: quick tries absorb an I/O blip without noticeably delaying a scan
+#: that is genuinely failing.
+SHARD_READ_RETRY_POLICY = RetryPolicy(
+    attempts=3, base_delay_s=0.05, max_delay_s=0.2
+)

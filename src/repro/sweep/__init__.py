@@ -41,7 +41,18 @@ of an ad-hoc loop in every benchmark:
   with peak memory bounded by the shard size,
 - :mod:`repro.sweep.cache` — the content-hash :class:`ResultCache`
   with optional directory persistence, LRU entry bounds
-  (``max_entries``) and TTL expiry (``ttl_s``).
+  (``max_entries``) and TTL expiry (``ttl_s``),
+- :mod:`repro.sweep.verify` — :func:`verify_shards` audits a shard
+  directory against its manifest checksums, row counts and crash
+  journal (the ``repro verify`` subcommand), reporting per-file
+  findings instead of dying on the first bad byte.
+
+Crash recovery: streamed sweeps journal every committed shard
+(``journal.jsonl``, sha256 per shard) before the manifest lands, so
+``run_model_sweep(spec, out=dir, resume=True)`` / ``run_sweep(...,
+resume=True)`` — CLI ``repro sweep --resume`` — continue a killed run
+from its last durable shard and finish with a directory byte-identical
+to an uninterrupted one.
 
 Quickstart::
 
@@ -83,12 +94,15 @@ from .engine import (
 )
 from .result import SweepResult
 from .shards import (
+    JOURNAL_NAME,
+    MANIFEST_NAME,
     ShardedSweepResult,
     ShardReader,
     ShardWriter,
     open_shards,
 )
 from .spec import Axis, SweepSpec, facility_axes
+from .verify import Finding, VerifyReport, verify_shards
 
 __all__ = [
     "Axis",
@@ -100,6 +114,11 @@ __all__ = [
     "open_shards",
     "ResultCache",
     "content_hash",
+    "Finding",
+    "VerifyReport",
+    "verify_shards",
+    "JOURNAL_NAME",
+    "MANIFEST_NAME",
     "DEFAULT_BLOCK_SIZE",
     "MODEL_AXES",
     "MODEL_METRICS",

@@ -205,7 +205,19 @@ class ResultCache:
                 self._order.pop(key, None)
                 self.misses += 1
                 return default
-            value = json.loads(path.read_text())
+            try:
+                value = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                # A torn entry (a pre-atomic-write cache killed
+                # mid-write, or external corruption) is a miss, not a
+                # crash: drop it and let the sweep re-evaluate the point.
+                self._order.pop(key, None)
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    pass
+                self.misses += 1
+                return default
             self._mem[key] = value
         self.hits += 1
         self._order.move_to_end(key)
@@ -229,5 +241,9 @@ class ResultCache:
         path = self._path(key)
         if path is not None:
             path.parent.mkdir(parents=True, exist_ok=True)
-            path.write_text(json.dumps(value, sort_keys=True))
+            # Atomic like the shard writes: a sweep killed mid-put must
+            # never leave a torn JSON entry a resumed sweep would read.
+            tmp = path.with_name(f".tmp-{path.name}")
+            tmp.write_text(json.dumps(value, sort_keys=True))
+            os.replace(tmp, path)
         self._evict_over_bound()

@@ -51,6 +51,7 @@ from ..core import kernel
 from ..core.kernel import MODEL_AXES  # noqa: F401  (re-exported API)
 from ..core.parameters import ModelParameters
 from ..errors import ValidationError
+from ..resilience import POOL_RETRY_POLICY, RetryPolicy
 from .cache import ResultCache, content_hash
 from .result import SweepResult
 from .spec import SweepSpec
@@ -138,6 +139,7 @@ def iter_model_sweep(
     context: Optional[Dict[str, Any]] = None,
     backend: Optional[str] = None,
     verbose: bool = False,
+    start: int = 0,
 ) -> Iterator[SweepResult]:
     """Evaluate the vectorized model sweep block-by-block.
 
@@ -152,12 +154,21 @@ def iter_model_sweep(
     up front, so a degradation warning fires once per sweep rather than
     once per block.  ``verbose`` reports each evaluated block — row
     range and the backend that actually ran it — on stderr.
+
+    ``start`` begins enumeration at that row instead of row 0 (an
+    O(block) skip via :meth:`SweepSpec.columns_slice`, not a
+    generate-and-discard) — how a resumed sweep continues from its
+    journaled prefix.
     """
     if block_size < 1:
         raise ValidationError(f"block_size must be >= 1, got {block_size!r}")
+    if not 0 <= start <= spec.n_points:
+        raise ValidationError(
+            f"start must be in [0, {spec.n_points}], got {start!r}"
+        )
     _check_metrics(metrics)
     resolved = kernel.resolve_backend(backend)
-    for start in range(0, spec.n_points, block_size):
+    for start in range(start, spec.n_points, block_size):
         stop = min(start + block_size, spec.n_points)
         columns = spec.columns_slice(start, stop)
         out = _model_block(
@@ -183,6 +194,7 @@ def run_model_sweep(
     backend: Optional[str] = None,
     overlap_io: bool = True,
     verbose: bool = False,
+    resume: bool = False,
 ) -> Any:
     """Evaluate the completion-time model over a whole spec in one
     vectorized pass.
@@ -221,8 +233,20 @@ def run_model_sweep(
     stays O(block), just with two blocks in flight instead of one);
     ``overlap_io=False`` restores the strictly synchronous loop.
     ``verbose`` reports each evaluated block and its backend on stderr.
+
+    ``resume=True`` (``out`` directory paths only) continues a killed
+    streamed sweep: the crash journal is read, existing shards are
+    checksum-verified, and evaluation restarts at the first
+    unjournaled row — the finished directory is byte-identical to an
+    uninterrupted run.  A directory whose manifest already covers the
+    whole spec is returned as-is without re-evaluating anything; an
+    empty or fresh directory runs from row 0, so ``resume=True`` is
+    idempotent and safe on first runs.  See
+    :meth:`repro.sweep.shards.ShardWriter.resume`.
     """
     _check_metrics(metrics)
+    if resume and out is None:
+        raise ValidationError("resume=True only applies with out=")
     if out is None:
         if compress:
             raise ValidationError("compress=True only applies with out=")
@@ -241,8 +265,21 @@ def run_model_sweep(
 
     from .shards import ShardedSweepResult, ShardWriter
 
+    completed = 0
     if isinstance(out, ShardWriter):
         writer = out
+        completed = writer.n_rows if resume else 0
+    elif resume:
+        done = _completed_result(out, spec)
+        if done is not None:
+            return done
+        writer, completed = ShardWriter.resume(
+            out,
+            shard_size=block_size or DEFAULT_BLOCK_SIZE,
+            axis_names=spec.axis_names,
+            compress=compress,
+        )
+        _check_resume_rows(completed, spec)
     else:
         writer = ShardWriter(
             out,
@@ -253,7 +290,7 @@ def run_model_sweep(
     blocks = iter_model_sweep(
         spec, base=base, metrics=metrics,
         block_size=block_size or writer.shard_size, context=context,
-        backend=backend, verbose=verbose,
+        backend=backend, verbose=verbose, start=completed,
     )
     if overlap_io:
         _stream_overlapped(blocks, writer)
@@ -262,6 +299,31 @@ def run_model_sweep(
             writer.append(block.columns)
     writer.close()
     return ShardedSweepResult(writer.directory)
+
+
+def _completed_result(out: Any, spec: SweepSpec) -> Optional[Any]:
+    """The existing shard directory as a result, if it already holds a
+    complete, readable sweep of exactly this spec's points — the
+    idempotent-resume fast path.  ``None`` means "continue resuming"
+    (no manifest, a torn manifest, or a row count that does not match
+    the spec — the journal decides what survives)."""
+    from .shards import ShardedSweepResult
+
+    try:
+        table = ShardedSweepResult(out)
+    except ValidationError:
+        return None
+    return table if table.n_rows == spec.n_points else None
+
+
+def _check_resume_rows(completed: int, spec: SweepSpec) -> None:
+    if completed > spec.n_points:
+        raise ValidationError(
+            f"cannot resume: the journal records {completed} completed rows "
+            f"but the spec enumerates only {spec.n_points} points — the "
+            "directory belongs to a different sweep; start fresh in a new "
+            "directory"
+        )
 
 
 def _stream_overlapped(blocks: Iterator[SweepResult], writer: Any) -> None:
@@ -411,18 +473,30 @@ def evaluate_point(
 _CACHE_MISS = object()
 
 
-def _run_chunk(payload: Tuple[Callable[[Any], Any], List[Any]]) -> List[Any]:
-    """Worker-side evaluation of one chunk (module-level: picklable)."""
-    fn, items = payload
+def _run_chunk(
+    payload: Tuple[Callable[[Any], Any], List[Any], Optional[Any], int]
+) -> List[Any]:
+    """Worker-side evaluation of one chunk (module-level: picklable).
+
+    The payload carries an optional chaos hook and the chunk's id; the
+    hook's ``on_chunk`` fires before evaluation (injected stragglers,
+    worker faults) and must be stateless by chunk id since it runs in a
+    pickled copy inside the worker process.
+    """
+    fn, items, chaos, chunk_id = payload
+    if chaos is not None:
+        chaos.on_chunk(chunk_id)
     return [fn(item) for item in items]
 
 
-#: Worker-resilience knobs for the process backend (module-level so
-#: tests can tighten them): per-chunk result timeout, bounded pool
-#: retries, and the initial exponential-backoff delay between retries.
-_CHUNK_TIMEOUT_S = 600.0
-_CHUNK_RETRIES = 2
-_CHUNK_BACKOFF_S = 0.5
+#: Historical worker-resilience knobs for the process backend, now the
+#: defaults of :data:`repro.resilience.POOL_RETRY_POLICY` — kept so old
+#: call sites (and curious readers) can see the numbers; new code
+#: passes ``retry=RetryPolicy(...)`` to :func:`parallel_map` instead of
+#: monkeypatching these.
+_CHUNK_TIMEOUT_S = POOL_RETRY_POLICY.timeout_s
+_CHUNK_RETRIES = POOL_RETRY_POLICY.retries
+_CHUNK_BACKOFF_S = POOL_RETRY_POLICY.base_delay_s
 
 #: Infrastructure failures of the pool itself — a hung worker
 #: (``multiprocessing.TimeoutError``), a worker killed mid-chunk
@@ -439,7 +513,7 @@ _POOL_FAILURES = (
 
 
 def _fallback_in_process(
-    payloads: List[Tuple[Callable[[Any], Any], List[Any]]],
+    payloads: List[Tuple[Callable[[Any], Any], List[Any], Optional[Any], int]],
     indices: List[int],
     results: List[Any],
     cause: BaseException,
@@ -458,26 +532,27 @@ def _fallback_in_process(
 
 
 def _owned_pool_map(
-    payloads: List[Tuple[Callable[[Any], Any], List[Any]]],
+    payloads: List[Tuple[Callable[[Any], Any], List[Any], Optional[Any], int]],
     n_workers: int,
+    retry: RetryPolicy,
 ) -> List[Any]:
     """Run chunk payloads on a pool this call owns, resiliently.
 
-    Each chunk's result is awaited with a per-chunk timeout; an
-    infrastructure failure (see :data:`_POOL_FAILURES`) abandons the —
-    possibly poisoned — pool, keeps every chunk already collected, and
-    retries the rest on a fresh pool after an exponential backoff.
-    When the retry budget is exhausted the remaining chunks run
-    in-process with a warning: a flaky executor degrades a sweep to
-    sequential speed, never to a lost result.  Evaluation-function
-    exceptions propagate unchanged on the first pool (no retry — the
-    failure is the sweep's, not the infrastructure's).
+    Each chunk's result is awaited with the policy's per-attempt
+    timeout; an infrastructure failure (see :data:`_POOL_FAILURES`)
+    abandons the — possibly poisoned — pool, keeps every chunk already
+    collected, and retries the rest on a fresh pool after the policy's
+    deterministic backoff.  When the attempt budget is exhausted the
+    remaining chunks run in-process with a warning: a flaky executor
+    degrades a sweep to sequential speed, never to a lost result.
+    Evaluation-function exceptions propagate unchanged on the first
+    pool (no retry — the failure is the sweep's, not the
+    infrastructure's).
     """
     results: List[Any] = [None] * len(payloads)
     todo = list(range(len(payloads)))
-    delay = _CHUNK_BACKOFF_S
     failure: Optional[BaseException] = None
-    for attempt in range(_CHUNK_RETRIES + 1):
+    for attempt in range(retry.attempts):
         pool = multiprocessing.Pool(processes=n_workers)
         done: List[int] = []
         failure = None
@@ -486,7 +561,7 @@ def _owned_pool_map(
                 (i, pool.apply_async(_run_chunk, (payloads[i],))) for i in todo
             ]
             for i, fut in futures:
-                results[i] = fut.get(timeout=_CHUNK_TIMEOUT_S)
+                results[i] = fut.get(timeout=retry.timeout_s)
                 done.append(i)
         except _POOL_FAILURES as exc:
             failure = exc
@@ -499,9 +574,8 @@ def _owned_pool_map(
         todo = [i for i in todo if i in remaining]
         if not todo:
             return results
-        if attempt < _CHUNK_RETRIES:
-            time.sleep(delay)
-            delay *= 2.0
+        if attempt < retry.retries:
+            retry.backoff(attempt)
     assert failure is not None
     _fallback_in_process(payloads, todo, results, failure)
     return results
@@ -509,7 +583,8 @@ def _owned_pool_map(
 
 def _shared_pool_map(
     pool: Any,
-    payloads: List[Tuple[Callable[[Any], Any], List[Any]]],
+    payloads: List[Tuple[Callable[[Any], Any], List[Any], Optional[Any], int]],
+    retry: RetryPolicy,
 ) -> List[Any]:
     """Run chunk payloads on a caller-managed pool.
 
@@ -526,7 +601,7 @@ def _shared_pool_map(
             for i, p in enumerate(payloads)
         ]
         for i, fut in futures:
-            results[i] = fut.get(timeout=_CHUNK_TIMEOUT_S)
+            results[i] = fut.get(timeout=retry.timeout_s)
             done.append(i)
     except _POOL_FAILURES as exc:
         pending = [i for i in range(len(payloads)) if i not in set(done)]
@@ -564,6 +639,7 @@ def _hybrid_map(
     n_workers: int,
     chunk_size: Optional[int],
     pool: Optional[ProcessPoolExecutor] = None,
+    chaos: Optional[Any] = None,
 ) -> None:
     """The asyncio + process-pool hybrid backend.
 
@@ -605,9 +681,11 @@ def _hybrid_map(
         try:
             futures = [
                 loop.run_in_executor(
-                    executor, _run_chunk, (fn, [items[i] for i in chunk])
+                    executor,
+                    _run_chunk,
+                    (fn, [items[i] for i in chunk], chaos, chunk_id),
                 )
-                for chunk in chunks
+                for chunk_id, chunk in enumerate(chunks)
             ]
             return await asyncio.gather(*futures)
         finally:
@@ -626,6 +704,8 @@ def parallel_map(
     chunk_size: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     backend: str = "process",
+    retry: Optional[RetryPolicy] = None,
+    chaos: Optional[Any] = None,
     _pool: Optional[Any] = None,
 ) -> List[Any]:
     """Map ``fn`` over ``items``, optionally across processes.
@@ -647,14 +727,26 @@ def parallel_map(
 
     The process backend is resilient to executor trouble: each chunk's
     result is awaited with a timeout, a dead or hung pool is retried
-    (bounded, with exponential backoff) on a fresh pool, and when the
-    infrastructure keeps failing the remaining chunks run in-process
-    with a warning — a flaky machine slows a sweep down, it never
-    loses one.  Exceptions raised by ``fn`` itself are not retried;
-    they propagate unchanged.
+    (bounded, with deterministic exponential backoff) on a fresh pool,
+    and when the infrastructure keeps failing the remaining chunks run
+    in-process with a warning — a flaky machine slows a sweep down, it
+    never loses one.  Exceptions raised by ``fn`` itself are not
+    retried; they propagate unchanged.  ``retry`` tunes all of this per
+    call — attempts, backoff schedule, per-chunk timeout — as a
+    :class:`repro.resilience.RetryPolicy` value (default
+    :data:`~repro.resilience.POOL_RETRY_POLICY`, the historical
+    constants); no module globals to monkeypatch.
+
+    ``chaos`` is a deterministic fault-injection hook (see
+    :mod:`repro.testing.chaos`) whose ``on_chunk(chunk_id)`` fires
+    inside each worker before its chunk evaluates; it travels to the
+    workers by pickling, so it must be stateless by chunk id.  Leave it
+    ``None`` outside tests.
     """
     if workers < 0:
         raise ValidationError(f"workers must be >= 0, got {workers!r}")
+    if retry is None:
+        retry = POOL_RETRY_POLICY
     if backend not in ("process", "hybrid"):
         raise ValidationError(
             f"unknown parallel_map backend {backend!r}; expected 'process' or 'hybrid'"
@@ -683,7 +775,10 @@ def parallel_map(
 
     n_workers = min(max(workers, 1), len(pending))
     if backend == "hybrid":
-        _hybrid_map(fn, items, pending, results, n_workers, chunk_size, pool=_pool)
+        _hybrid_map(
+            fn, items, pending, results, n_workers, chunk_size,
+            pool=_pool, chaos=chaos,
+        )
     elif n_workers <= 1:
         for i in pending:
             results[i] = fn(items[i])
@@ -691,14 +786,17 @@ def parallel_map(
         if chunk_size is None:
             chunk_size = adaptive_chunk_size(len(pending), n_workers)
         chunks = _make_chunks(pending, chunk_size)
-        payloads = [(fn, [items[i] for i in chunk]) for chunk in chunks]
+        payloads = [
+            (fn, [items[i] for i in chunk], chaos, chunk_id)
+            for chunk_id, chunk in enumerate(chunks)
+        ]
         if _pool is not None:
             # Caller-managed pool (the streamed run_sweep path reuses
             # one pool across all blocks instead of respawning workers
             # per block).
-            chunk_results = _shared_pool_map(_pool, payloads)
+            chunk_results = _shared_pool_map(_pool, payloads, retry)
         else:
-            chunk_results = _owned_pool_map(payloads, n_workers)
+            chunk_results = _owned_pool_map(payloads, n_workers, retry)
         for chunk, values in zip(chunks, chunk_results):
             for i, value in zip(chunk, values):
                 results[i] = value
@@ -788,6 +886,8 @@ def run_sweep(
     block_size: Optional[int] = None,
     compress: bool = False,
     block_fn: Optional[Callable[[List[Dict[str, Any]]], List[Any]]] = None,
+    resume: bool = False,
+    retry: Optional[RetryPolicy] = None,
 ) -> Any:
     """Run an arbitrary per-point evaluation over a spec.
 
@@ -813,6 +913,16 @@ def run_sweep(
     and results is ever in memory — and the lazy
     :class:`~repro.sweep.shards.ShardedSweepResult` view is returned
     (``compress=True`` writes compressed shards).
+
+    ``resume=True`` (``out`` directory paths only) continues a killed
+    streamed sweep from its crash journal exactly as
+    :func:`run_model_sweep` does: existing shards are checksum-verified
+    and evaluation restarts at the first unjournaled row, yielding a
+    directory byte-identical to an uninterrupted run (per-point results
+    must be deterministic for that to hold, as they are for every
+    evaluator in this repo).  ``retry`` is the
+    :class:`~repro.resilience.RetryPolicy` handed to
+    :func:`parallel_map` for worker-pool resilience.
     """
     if (fn is None) == (block_fn is None):
         raise ValidationError(
@@ -824,6 +934,8 @@ def run_sweep(
             "the result cache hashes per-point evaluations; it does not "
             "apply to block_fn sweeps"
         )
+    if resume and out is None:
+        raise ValidationError("resume=True only applies with out=")
     if out is None:
         if compress:
             raise ValidationError("compress=True only applies with out=")
@@ -835,15 +947,28 @@ def run_sweep(
         else:
             raw = parallel_map(
                 fn, points, workers=workers, chunk_size=chunk_size,
-                cache=cache, backend=backend,
+                cache=cache, backend=backend, retry=retry,
             )
         columns = _merge_metric_columns(dict(spec.columns()), raw)
         return SweepResult(columns=columns, axis_names=spec.axis_names)
 
     from .shards import ShardedSweepResult, ShardWriter
 
+    completed = 0
     if isinstance(out, ShardWriter):
         writer = out
+        completed = writer.n_rows if resume else 0
+    elif resume:
+        done = _completed_result(out, spec)
+        if done is not None:
+            return done
+        writer, completed = ShardWriter.resume(
+            out,
+            shard_size=block_size or DEFAULT_BLOCK_SIZE,
+            axis_names=spec.axis_names,
+            compress=compress,
+        )
+        _check_resume_rows(completed, spec)
     else:
         writer = ShardWriter(
             out,
@@ -866,7 +991,7 @@ def run_sweep(
                 pool = multiprocessing.Pool(processes=workers)
             elif backend == "hybrid":
                 pool = ProcessPoolExecutor(max_workers=workers)
-        for start in range(0, spec.n_points, step):
+        for start in range(completed, spec.n_points, step):
             stop = min(start + step, spec.n_points)
             axis_block = spec.columns_slice(start, stop)
             # Points carry the axes' original values (not the writer's
@@ -889,6 +1014,7 @@ def run_sweep(
                     chunk_size=chunk_size,
                     cache=cache,
                     backend=backend,
+                    retry=retry,
                     _pool=pool,
                 )
             writer.append(_merge_metric_columns(dict(axis_block), raw))

@@ -27,21 +27,39 @@ per-row Python objects anywhere on the write path); object columns
 arrays and decoded on read, so ``from_shards(to_shards(r))`` round-trips
 exactly.
 
-Writes are crash-safe: every shard and the manifest land via a
-temporary file plus an atomic :func:`os.replace`, so a sweep killed
-mid-write never leaves a torn ``.npz`` or a half-written manifest under
-the final name.  Readers verify the manifest against the files actually
-on disk and surface an actionable error naming the bad file — never a
-raw numpy/zipfile traceback — when a directory was corrupted by other
-means.
+Writes are crash-safe *and recoverable*: every shard and the manifest
+land via a temporary file plus an atomic :func:`os.replace`, so a sweep
+killed mid-write never leaves a torn ``.npz`` or a half-written
+manifest under the final name — and before the manifest lands, an
+append-only ``journal.jsonl`` records each committed shard (row range,
+row count, sha256) the moment it is durable.  A killed ``out=`` sweep
+therefore leaves a journal describing exactly which prefix of the grid
+is safely on disk; :meth:`ShardWriter.resume` checksum-verifies that
+prefix (tolerating a torn final journal line and shards whose bytes no
+longer match their journaled hash) and hands back a writer positioned
+to continue, producing a directory byte-identical to an uninterrupted
+run.  The manifest itself carries per-shard sha256 checksums (manifest
+version 2; version-1 directories remain readable), which is what
+``repro verify`` audits.  Readers verify the manifest against the files
+actually on disk and surface an actionable error naming the bad file —
+never a raw numpy/zipfile traceback — when a directory was corrupted by
+other means.
+
+For deterministic fault testing, :class:`ShardWriter` and
+:class:`ShardReader` accept a ``chaos`` hook object (see
+:mod:`repro.testing.chaos`) consulted at each commit stage, journal
+append and shard read; production runs pass ``None`` and pay nothing.
 """
 
 from __future__ import annotations
 
+import hashlib
 import io
 import json
 import os
 import pathlib
+import queue
+import threading
 import zipfile
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -52,6 +70,7 @@ from .result import SweepResult
 
 __all__ = [
     "MANIFEST_NAME",
+    "JOURNAL_NAME",
     "ShardWriter",
     "ShardReader",
     "ShardedSweepResult",
@@ -60,7 +79,17 @@ __all__ = [
 
 MANIFEST_NAME = "manifest.json"
 
-_MANIFEST_VERSION = 1
+#: Crash journal written alongside the shards: one JSON line per
+#: committed shard, appended *before* the manifest lands.
+JOURNAL_NAME = "journal.jsonl"
+
+_MANIFEST_VERSION = 2
+
+#: Manifest versions this reader understands (v1 predates per-shard
+#: checksums; v2 adds ``sha256`` per shard entry).
+_SUPPORTED_MANIFEST_VERSIONS = (1, 2)
+
+_JOURNAL_VERSION = 1
 
 #: numpy dtype kinds stored natively (everything else goes through JSON).
 _NATIVE_KINDS = "fiub"
@@ -152,6 +181,56 @@ def _mmap_npy_member(
     return arr.reshape(shape, order="F" if fortran else "C")
 
 
+def _sha256_file(path: pathlib.Path) -> str:
+    """Hex sha256 of a file's bytes, streamed in 1 MiB chunks (the file
+    was just written, so the pages are cache-hot and this is cheap)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _parse_journal_lines(
+    path: pathlib.Path,
+) -> Tuple[Optional[Dict[str, Any]], Optional[List[Dict[str, Any]]], List[Dict[str, Any]]]:
+    """Parse a crash journal into ``(header, schema_columns, shard_entries)``.
+
+    A torn *final* line (the classic residue of a crash mid-append) is
+    silently dropped — everything before it is trusted.  A line that
+    fails to parse anywhere *else* means the journal was corrupted by
+    other means and raises an actionable :class:`ValidationError`.
+    """
+    raw_lines = path.read_text().splitlines()
+    header: Optional[Dict[str, Any]] = None
+    schema: Optional[List[Dict[str, Any]]] = None
+    entries: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(raw_lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+            if not isinstance(record, dict):
+                raise ValueError("journal records must be JSON objects")
+        except ValueError as exc:
+            if lineno == len(raw_lines) - 1:
+                break  # torn tail from a crash mid-append: drop it
+            raise ValidationError(
+                f"shard journal {path} has a corrupt record on line "
+                f"{lineno + 1} ({exc}); the journal cannot be trusted — "
+                "delete the directory and rerun the sweep"
+            ) from exc
+        kind = record.get("type")
+        if kind == "header":
+            header = record
+        elif kind == "schema":
+            schema = record.get("columns")
+        elif kind == "shard":
+            entries.append(record)
+        # unknown record types are skipped (forward compatibility)
+    return header, schema, entries
+
+
 def _as_block_column(name: str, values: Any) -> np.ndarray:
     arr = np.asarray(values)
     if arr.ndim != 1:
@@ -173,6 +252,18 @@ class ShardWriter:
     shard file is written and the buffer drained, so memory stays
     O(shard_size) regardless of how many points flow through.  The
     manifest is written on :meth:`close` (or context-manager exit).
+
+    With ``integrity=True`` (the default) every committed shard is
+    sha256-hashed, the hash lands in both an append-only crash journal
+    (``journal.jsonl``, flushed before the next block is accepted) and
+    the final manifest, and a killed run can be continued with
+    :meth:`resume`.  ``integrity=False`` skips hashing and journalling
+    entirely — the pre-journal write path, kept for benchmarks and for
+    workloads that prefer raw throughput over resumability.
+
+    ``chaos`` is a deterministic fault-injection hook (see
+    :mod:`repro.testing.chaos`) consulted at each commit stage; leave it
+    ``None`` outside tests.
     """
 
     def __init__(
@@ -181,6 +272,8 @@ class ShardWriter:
         shard_size: int = 100_000,
         axis_names: Sequence[str] = (),
         compress: bool = False,
+        integrity: bool = True,
+        chaos: Optional[Any] = None,
     ) -> None:
         if shard_size < 1:
             raise ValidationError(f"shard_size must be >= 1, got {shard_size!r}")
@@ -188,6 +281,8 @@ class ShardWriter:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.shard_size = int(shard_size)
         self.compress = bool(compress)
+        self.integrity = bool(integrity)
+        self.chaos = chaos
         self.axis_names: Tuple[str, ...] = tuple(axis_names)
         self._names: Optional[List[str]] = None
         self._kinds: Dict[str, str] = {}
@@ -196,12 +291,112 @@ class ShardWriter:
         self._shards: List[Dict[str, Any]] = []
         self.n_rows = 0
         self._closed = False
+        self._journal: Optional[Any] = None
+        # Hashing every shard serially would tax the write path (sha256
+        # runs at ~1 GB/s, comparable to the write itself), so in
+        # production the digest + journal line for a committed shard are
+        # computed on a small worker thread, overlapping the producer's
+        # next block (hashlib releases the GIL on large updates).  Crash
+        # semantics are unchanged — a shard whose journal line had not
+        # landed yet is simply rewritten on resume, the same window a
+        # post-commit kill already exercises.  With a chaos hook armed
+        # the writer stays fully synchronous, so fault-injection tests
+        # see deterministic commit/journal ordering.
+        self._async = self.integrity and chaos is None
+        self._integrity_errors: List[BaseException] = []
+        self._integrity_queue: Optional["queue.Queue"] = None
+        self._integrity_thread: Optional[threading.Thread] = None
+        if self.integrity:
+            self._open_journal(truncate=True)
+            self._journal_write(
+                {
+                    "type": "header",
+                    "journal": _JOURNAL_VERSION,
+                    "shard_size": self.shard_size,
+                    "axis_names": list(self.axis_names),
+                    "compress": self.compress,
+                }
+            )
+        if self._async:
+            self._integrity_queue = queue.Queue()
+            self._integrity_thread = threading.Thread(
+                target=self._integrity_worker,
+                name="shard-integrity",
+                daemon=True,
+            )
+            self._integrity_thread.start()
+
+    # ------------------------------------------------------------------
+    # journal plumbing
+    # ------------------------------------------------------------------
+    @property
+    def journal_path(self) -> pathlib.Path:
+        """Where this writer's crash journal lives (whether or not one
+        is being written — ``integrity=False`` writers never create it)."""
+        return self.directory / JOURNAL_NAME
+
+    def _open_journal(self, truncate: bool) -> None:
+        mode = "w" if truncate else "a"
+        self._journal = open(self.journal_path, mode, encoding="utf-8")
+
+    def _journal_write(self, record: Dict[str, Any]) -> None:
+        """Append one record and flush it to the OS, so a killed process
+        never loses an already-reported line (only ever tears the last)."""
+        assert self._journal is not None
+        line = json.dumps(record, sort_keys=True) + "\n"
+        if self.chaos is not None and record.get("type") == "shard":
+            line = self.chaos.on_journal_line(int(record["index"]), line)
+        self._journal.write(line)
+        self._journal.flush()
+
+    def _integrity_worker(self) -> None:
+        """Drain queued integrity work: hash a committed shard, fill its
+        manifest entry, journal it — in commit order (FIFO queue)."""
+        assert self._integrity_queue is not None
+        while True:
+            item = self._integrity_queue.get()
+            if item is None:
+                return
+            try:
+                kind = item[0]
+                if kind == "hash":
+                    _, index, path, entry, row_start = item
+                    digest = _sha256_file(path)
+                    entry["sha256"] = digest
+                    self._journal_write(
+                        {
+                            "type": "shard",
+                            "index": index,
+                            "file": entry["file"],
+                            "row_start": row_start,
+                            "row_stop": row_start + entry["n_rows"],
+                            "n_rows": entry["n_rows"],
+                            "sha256": digest,
+                        }
+                    )
+                else:  # ("line", record) — e.g. the schema record
+                    self._journal_write(item[1])
+            except BaseException as exc:  # surfaced at the next append
+                self._integrity_errors.append(exc)
+
+    def _drain_integrity(self) -> None:
+        """Stop the integrity worker (if any) and re-raise its first
+        failure; after this every manifest entry carries its sha256."""
+        if self._integrity_thread is not None:
+            assert self._integrity_queue is not None
+            self._integrity_queue.put(None)
+            self._integrity_thread.join()
+            self._integrity_thread = None
+        if self._integrity_errors:
+            raise self._integrity_errors[0]
 
     # ------------------------------------------------------------------
     def append(self, block: Dict[str, Any]) -> None:
         """Buffer one column block, flushing full shards to disk."""
         if self._closed:
             raise ValidationError("ShardWriter is closed")
+        if self._integrity_errors:
+            raise self._integrity_errors[0]
         if not block:
             raise ValidationError("shard blocks need at least one column")
         cols = {name: _as_block_column(name, vals) for name, vals in block.items()}
@@ -258,25 +453,80 @@ class ShardWriter:
                     f"({prior} -> {kind})"
                 )
             payload[name] = encoded
-        fname = f"shard-{len(self._shards):05d}.npz"
+        index = len(self._shards)
+        fname = f"shard-{index:05d}.npz"
         save = np.savez_compressed if self.compress else np.savez
         # Crash-safe write: savez into a temp name (which must itself
         # end in ``.npz`` or numpy appends the suffix), then atomically
         # rename into place — a sweep killed mid-write leaves at worst a
         # ``.tmp-*`` orphan, never a torn shard under the final name.
         tmp = self.directory / f".tmp-{fname}"
+        final = self.directory / fname
         save(tmp, **payload)
-        os.replace(tmp, self.directory / fname)
-        self._shards.append({"file": fname, "n_rows": n})
+        digest = (
+            _sha256_file(tmp) if (self.integrity and not self._async) else None
+        )
+        if self.chaos is not None:
+            self.chaos.on_shard("pre-commit", index, str(tmp))
+        os.replace(tmp, final)
+        if self.chaos is not None:
+            self.chaos.on_shard("post-commit", index, str(final))
+        entry: Dict[str, Any] = {"file": fname, "n_rows": n}
+        if digest is not None:
+            entry["sha256"] = digest
+        row_start = sum(int(s["n_rows"]) for s in self._shards)
+        schema_record: Optional[Dict[str, Any]] = None
+        if self._journal is not None and index == 0:
+            # Column names/kinds become known at the first flush;
+            # record them so a resume that never appends new data
+            # (the run died after the last shard) can still close.
+            schema_record = {
+                "type": "schema",
+                "columns": [
+                    {"name": c, "kind": self._kinds[c]} for c in self._names
+                ],
+            }
+        if self._async:
+            assert self._integrity_queue is not None
+            if schema_record is not None:
+                self._integrity_queue.put(("line", schema_record))
+            self._integrity_queue.put(
+                ("hash", index, final, entry, row_start)
+            )
+        elif self._journal is not None:
+            if schema_record is not None:
+                self._journal_write(schema_record)
+            self._journal_write(
+                {
+                    "type": "shard",
+                    "index": index,
+                    "file": fname,
+                    "row_start": row_start,
+                    "row_stop": row_start + n,
+                    "n_rows": n,
+                    "sha256": digest,
+                }
+            )
+        if self.chaos is not None:
+            self.chaos.on_shard("post-journal", index, str(final))
+        self._shards.append(entry)
 
     def close(self) -> pathlib.Path:
-        """Flush the tail shard and write the manifest; returns its path."""
+        """Flush the tail shard and write the manifest; returns its path.
+
+        A writer that never saw a row closes cleanly too: a zero-point
+        sweep writes a valid empty manifest (no shards, no columns) that
+        :class:`ShardReader` and ``repro verify`` accept — an empty grid
+        is an answer, not a crash.
+        """
         if self._closed:
             return self.directory / MANIFEST_NAME
-        if self._names is None or self.n_rows == 0:
-            raise ValidationError("cannot close a ShardWriter with no rows")
         if self._buffered:
             self._flush(self._buffered)
+        # All outstanding hashes and journal lines must land before the
+        # manifest certifies them (and any worker failure must surface
+        # instead of a manifest with holes).
+        self._drain_integrity()
         manifest = {
             "version": _MANIFEST_VERSION,
             "axis_names": list(self.axis_names),
@@ -284,7 +534,8 @@ class ShardWriter:
             "shard_size": self.shard_size,
             "compress": self.compress,
             "columns": [
-                {"name": n, "kind": self._kinds[n]} for n in self._names
+                {"name": n, "kind": self._kinds[n]}
+                for n in (self._names or [])
             ],
             "shards": self._shards,
         }
@@ -294,6 +545,9 @@ class ShardWriter:
         tmp = self.directory / f".tmp-{MANIFEST_NAME}"
         tmp.write_text(json.dumps(manifest, indent=2) + "\n")
         os.replace(tmp, path)
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
         self._closed = True
         return path
 
@@ -303,6 +557,150 @@ class ShardWriter:
     def __exit__(self, exc_type, exc, tb) -> None:
         if exc_type is None:
             self.close()
+
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def resume(
+        cls,
+        directory: Union[str, pathlib.Path],
+        shard_size: int = 100_000,
+        axis_names: Sequence[str] = (),
+        compress: bool = False,
+        chaos: Optional[Any] = None,
+    ) -> Tuple["ShardWriter", int]:
+        """Reopen a crashed sweep directory for continuation.
+
+        Reads the crash journal, checksum-verifies every journaled
+        shard in order, and returns ``(writer, completed_rows)`` — a
+        writer whose internal state matches the verified prefix, so the
+        caller restarts enumeration at row ``completed_rows`` and the
+        finished directory is byte-identical to an uninterrupted run.
+
+        Recovery is conservative: verification stops at the first
+        journaled shard that is missing, out of sequence or fails its
+        checksum (a *stale* journal entry — e.g. the shard file itself
+        was torn after the journal line landed), and everything from
+        that point is rewritten.  A torn final journal line is dropped;
+        unjournaled shard files, ``.tmp-*`` orphans and any stale
+        manifest are deleted.  The parameters must match the original
+        run's (the journal header records them) — resuming with a
+        different shard size or compression would silently produce a
+        frankenstein directory, so that raises instead.
+
+        An empty or journal-less directory resumes from row 0 (a plain
+        fresh writer), so ``resume=True`` is safe to pass on the first
+        run too.
+        """
+        directory = pathlib.Path(directory)
+        journal_path = directory / JOURNAL_NAME
+        schema: Optional[List[Dict[str, Any]]] = None
+        entries: List[Dict[str, Any]] = []
+        if journal_path.exists():
+            header, schema, entries = _parse_journal_lines(journal_path)
+            if header is None:
+                # The crash tore the very first line: nothing in this
+                # journal is trustworthy, start over.
+                schema, entries = None, []
+            else:
+                mismatches = []
+                if int(header.get("shard_size", shard_size)) != int(shard_size):
+                    mismatches.append(
+                        f"shard_size {header.get('shard_size')} != {shard_size}"
+                    )
+                if bool(header.get("compress", compress)) != bool(compress):
+                    mismatches.append(
+                        f"compress {header.get('compress')} != {compress}"
+                    )
+                if tuple(header.get("axis_names", axis_names)) != tuple(axis_names):
+                    mismatches.append(
+                        f"axis_names {header.get('axis_names')} != {list(axis_names)}"
+                    )
+                if mismatches:
+                    raise ValidationError(
+                        f"cannot resume {directory}: the journal was written "
+                        f"with different parameters ({'; '.join(mismatches)}); "
+                        "rerun with the original parameters or start fresh "
+                        "in a new directory"
+                    )
+        verified: List[Dict[str, Any]] = []
+        for i, rec in enumerate(entries):
+            try:
+                index = int(rec["index"])
+                fname = str(rec["file"])
+                n_rows = int(rec["n_rows"])
+                digest = rec["sha256"]
+            except (KeyError, TypeError, ValueError):
+                break  # malformed entry: rewrite from here
+            if index != i or n_rows < 1:
+                break  # out-of-sequence journal: rewrite from here
+            shard_path = directory / fname
+            if not shard_path.exists():
+                break  # journaled but gone: rewrite from here
+            if digest is not None and _sha256_file(shard_path) != digest:
+                break  # stale journal / torn shard: rewrite from here
+            verified.append(
+                {"index": index, "file": fname, "n_rows": n_rows, "sha256": digest}
+            )
+        if verified and schema is None:  # pragma: no cover - defensive
+            verified = []
+        # Drop residue the continued run will not regenerate under the
+        # same name: tmp orphans, unverified shard files, and any stale
+        # manifest (close() rewrites it last, as usual).
+        keep = {rec["file"] for rec in verified}
+        if directory.exists():
+            for path in directory.glob(".tmp-*"):
+                path.unlink()
+            for path in directory.glob("shard-*.npz"):
+                if path.name not in keep:
+                    path.unlink()
+            manifest = directory / MANIFEST_NAME
+            if manifest.exists():
+                manifest.unlink()
+        writer = cls(
+            directory,
+            shard_size=shard_size,
+            axis_names=axis_names,
+            compress=compress,
+            integrity=True,
+            chaos=chaos,
+        )
+        # __init__ rewrote the journal with a fresh header; replay the
+        # verified prefix into it (and into the writer's state) without
+        # chaos interference, then re-arm the caller's chaos hooks.
+        # (Replay writes the journal directly; in async-integrity mode
+        # the worker's queue is still empty here, so ordering holds.)
+        writer.chaos = None
+        if verified:
+            assert schema is not None
+            writer._names = [c["name"] for c in schema]
+            writer._kinds = {c["name"]: c["kind"] for c in schema}
+            writer._journal_write({"type": "schema", "columns": schema})
+            row_start = 0
+            for rec in verified:
+                writer._journal_write(
+                    {
+                        "type": "shard",
+                        "index": rec["index"],
+                        "file": rec["file"],
+                        "row_start": row_start,
+                        "row_stop": row_start + rec["n_rows"],
+                        "n_rows": rec["n_rows"],
+                        "sha256": rec["sha256"],
+                    }
+                )
+                entry: Dict[str, Any] = {
+                    "file": rec["file"],
+                    "n_rows": rec["n_rows"],
+                }
+                if rec["sha256"] is not None:
+                    entry["sha256"] = rec["sha256"]
+                writer._shards.append(entry)
+                row_start += rec["n_rows"]
+            writer.n_rows = row_start
+        writer.chaos = chaos
+        return writer, writer.n_rows
 
 
 def _resolve_manifest(source: Union[str, pathlib.Path]) -> pathlib.Path:
@@ -341,8 +739,10 @@ class ShardReader:
         self,
         source: Union[str, pathlib.Path],
         mmap: Optional[bool] = None,
+        chaos: Optional[Any] = None,
     ) -> None:
         self.mmap = True if mmap is None else bool(mmap)
+        self.chaos = chaos
         #: Per-shard member-offset tables (``None`` where the shard is
         #: not mappable), parsed lazily once per shard per reader.
         self._member_offsets: Dict[int, Optional[Dict[str, Tuple[int, int]]]] = {}
@@ -356,10 +756,12 @@ class ShardReader:
                 f"({exc}); the sweep likely crashed mid-write — delete the "
                 "directory and rerun the sweep"
             ) from exc
-        if manifest.get("version") != _MANIFEST_VERSION:
+        if manifest.get("version") not in _SUPPORTED_MANIFEST_VERSIONS:
             raise ValidationError(
                 f"unsupported shard manifest version {manifest.get('version')!r}"
+                f" (supported: {list(_SUPPORTED_MANIFEST_VERSIONS)})"
             )
+        self.manifest_version: int = int(manifest["version"])
         missing_keys = [
             k
             for k in ("axis_names", "n_rows", "shard_size", "columns", "shards")
@@ -431,8 +833,14 @@ class ShardReader:
         # surfaces from np.load — or from the mmap offset/header parse —
         # as a zipfile/OS error; translate it into an actionable message
         # naming the bad file instead of letting the raw traceback
-        # escape into analysis code.
+        # escape into analysis code.  The chaos seam sits inside the
+        # same translation, so injected transient OSErrors surface to
+        # callers exactly like real ones (a ValidationError whose cause
+        # is the OSError — what the analysis-layer retry predicate keys
+        # on).
         try:
+            if self.chaos is not None:
+                self.chaos.on_read(str(path))
             out: Dict[str, np.ndarray] = {}
             offsets = self._stored_offsets(index, path)
             mapped = (
@@ -559,6 +967,9 @@ class ShardedSweepResult:
         """One full column, concatenated across shards (loads only that
         column — sibling columns stay on disk)."""
         parts = [block[name] for block in self.iter_blocks(columns=(name,))]
+        if not parts:  # zero-point sweep: the column exists but is empty
+            self.reader._select((name,))
+            return np.empty(0)
         return np.concatenate(parts) if len(parts) > 1 else parts[0]
 
     def unique(self, name: str) -> List[Any]:

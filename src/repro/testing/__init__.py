@@ -1,0 +1,14 @@
+"""Deterministic test harnesses for the executor and storage layers.
+
+This package is shipped with the library (it is plain stdlib code, and
+the chaos battery in CI drives the *installed* seams), but nothing in
+production imports it: the execution seams accept any object with the
+hook methods, and :mod:`repro.testing.chaos` is simply the reference
+implementation.
+"""
+
+from __future__ import annotations
+
+from .chaos import ChaosInjector, SimulatedCrash
+
+__all__ = ["ChaosInjector", "SimulatedCrash"]

@@ -1,0 +1,167 @@
+"""Deterministic chaos injection for the sweep executor and shard store.
+
+The storage and executor layers expose narrow *chaos seams*: optional
+hook objects consulted at the exact points where real infrastructure
+fails — just before and after a shard file is committed, as each
+journal line is appended, at the top of every shard read, and at the
+start of every worker chunk.  :class:`ChaosInjector` is the reference
+hook implementation: a small, fully deterministic fault plan ("crash
+while committing shard 3", "tear the journal line for shard 2", "fail
+the first two reads") that tests wire into ``ShardWriter(chaos=...)``,
+``ShardReader(chaos=...)`` and ``parallel_map(chaos=...)``.
+
+Crashes are raised as :class:`SimulatedCrash`, a ``BaseException``
+subclass so it sails through ``except Exception`` recovery code the
+same way a SIGKILL would terminate it — or, with ``hard=True``, as a
+literal ``SIGKILL`` to the current process for subprocess-driven
+end-to-end tests.
+
+Everything here is stdlib-only and deterministic: the same plan against
+the same sweep produces the same residue on disk, which is what makes
+the kill-at-every-boundary resume battery reproducible.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["ChaosInjector", "SimulatedCrash"]
+
+
+class SimulatedCrash(BaseException):
+    """An injected process death.
+
+    Subclasses ``BaseException`` (not ``Exception``) so that retry
+    loops, pool-failure fallbacks and ``except Exception`` cleanup
+    handlers treat it like the process termination it stands in for:
+    nothing catches it, the "process" dies with whatever residue is on
+    disk, and the test inspects that residue.
+    """
+
+
+def _die(message: str, hard: bool) -> None:
+    if hard:
+        os.kill(os.getpid(), signal.SIGKILL)
+        time.sleep(60)  # pragma: no cover - never survives the signal
+    raise SimulatedCrash(message)
+
+
+@dataclass
+class ChaosInjector:
+    """A deterministic fault plan for one sweep run.
+
+    Fault knobs (all independent; ``None``/``0`` disables each):
+
+    ``kill_at_shard`` + ``kill_stage``
+        Crash while committing shard index ``kill_at_shard``.  The
+        stage picks the residue left behind:
+
+        - ``"pre-commit"`` — crash before the atomic rename: the shard
+          exists only as a ``*.tmp`` orphan, the journal ends at the
+          previous shard.
+        - ``"post-commit"`` — crash after the rename but before the
+          journal line: the final shard file exists but is unjournaled.
+        - ``"post-journal"`` — crash after the journal line is durable:
+          the shard is fully committed, only the manifest is missing.
+
+    ``torn_journal_at``
+        Write only a prefix of that shard's journal line (no trailing
+        newline) — the classic torn append a crash mid-``write`` leaves.
+
+    ``torn_shard_at``
+        Truncate that shard's committed file to half its bytes after
+        the rename, so its journaled checksum no longer matches (a
+        stale-journal / bit-rot stand-in).
+
+    ``fail_reads``
+        Raise ``OSError`` from the first N shard reads (transient I/O
+        blips for exercising read-retry policies).
+
+    ``slow_chunks`` / ``slow_s``
+        Sleep ``slow_s`` at the start of worker chunks with id below
+        ``slow_chunks`` (straggler workers).  Stateless by chunk id, so
+        it behaves identically when pickled into worker processes.
+
+    ``hard``
+        Deliver crashes as a real ``SIGKILL`` to the current process
+        instead of raising :class:`SimulatedCrash` — for tests that
+        drive a child process end to end.
+    """
+
+    kill_at_shard: Optional[int] = None
+    kill_stage: str = "post-journal"
+    torn_journal_at: Optional[int] = None
+    torn_shard_at: Optional[int] = None
+    fail_reads: int = 0
+    slow_chunks: int = 0
+    slow_s: float = 0.0
+    hard: bool = False
+    _reads_failed: int = field(default=0, repr=False)
+
+    _STAGES = ("pre-commit", "post-commit", "post-journal")
+
+    def __post_init__(self) -> None:
+        if self.kill_stage not in self._STAGES:
+            raise ValueError(
+                f"kill_stage must be one of {self._STAGES}, got {self.kill_stage!r}"
+            )
+
+    # -- writer seams ---------------------------------------------------
+    def on_shard(self, stage: str, index: int, path: str) -> None:
+        """Called by ``ShardWriter`` at each commit stage of shard ``index``.
+
+        ``path`` is the tmp file at ``"pre-commit"`` and the final shard
+        file afterwards.  Crashes here when the plan says so; applies
+        the torn-shard truncation at ``"post-commit"``.
+        """
+        if (
+            stage == "post-commit"
+            and self.torn_shard_at is not None
+            and index == self.torn_shard_at
+        ):
+            size = os.path.getsize(path)
+            with open(path, "r+b") as fh:
+                fh.truncate(max(size // 2, 1))
+        if self.kill_at_shard is not None and index == self.kill_at_shard:
+            if stage == self.kill_stage:
+                _die(
+                    f"chaos: injected crash at {stage} of shard {index}",
+                    self.hard,
+                )
+
+    def on_journal_line(self, index: int, line: str) -> str:
+        """Called with each journal line before it is written.
+
+        Returns the text actually written — a strict prefix with no
+        newline when the plan tears this entry, the line unchanged
+        otherwise.  A torn line also arms a crash at the next stage
+        (a write that tore *and* survived would be a different bug).
+        """
+        if self.torn_journal_at is not None and index == self.torn_journal_at:
+            if self.kill_at_shard is None:
+                self.kill_at_shard = index
+                self.kill_stage = "post-journal"
+            return line[: max(len(line) // 2, 1)].rstrip("\n")
+        return line
+
+    # -- reader seam ----------------------------------------------------
+    def on_read(self, path: str) -> None:
+        """Called at the top of every shard read; raises ``OSError`` for
+        the first ``fail_reads`` reads."""
+        if self._reads_failed < self.fail_reads:
+            self._reads_failed += 1
+            raise OSError(
+                f"chaos: injected transient read failure "
+                f"({self._reads_failed}/{self.fail_reads}) for {path}"
+            )
+
+    # -- executor seam --------------------------------------------------
+    def on_chunk(self, chunk_id: int) -> None:
+        """Called at the start of each worker chunk; sleeps ``slow_s``
+        for chunk ids below ``slow_chunks``."""
+        if chunk_id < self.slow_chunks and self.slow_s > 0:
+            time.sleep(self.slow_s)

@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.casestudy",
     "repro.sweep",
+    "repro.testing",
 ]
 
 MODULES = [
@@ -76,6 +77,10 @@ MODULES = [
     "repro.sweep.engine",
     "repro.sweep.result",
     "repro.sweep.cache",
+    "repro.sweep.shards",
+    "repro.sweep.verify",
+    "repro.resilience",
+    "repro.testing.chaos",
 ]
 
 

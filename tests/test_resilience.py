@@ -1,0 +1,154 @@
+"""RetryPolicy: validation, deterministic schedule, call() semantics."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.resilience import (
+    POOL_RETRY_POLICY,
+    SHARD_READ_RETRY_POLICY,
+    RetryPolicy,
+)
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        p = RetryPolicy()
+        assert p.attempts == 3
+        assert p.retries == 2
+
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            ({"attempts": 0}, "attempts"),
+            ({"attempts": 1.5}, "attempts"),
+            ({"base_delay_s": -1.0}, "base_delay_s"),
+            ({"base_delay_s": 5.0, "max_delay_s": 1.0}, "max_delay_s"),
+            ({"multiplier": 0.5}, "multiplier"),
+            ({"timeout_s": 0.0}, "timeout_s"),
+            ({"timeout_s": -3.0}, "timeout_s"),
+        ],
+    )
+    def test_bad_fields_rejected(self, kwargs, match):
+        with pytest.raises(ValidationError, match=match):
+            RetryPolicy(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            POOL_RETRY_POLICY.attempts = 99  # type: ignore[misc]
+
+    def test_picklable(self):
+        # Policies travel inside worker-pool payloads.
+        p = pickle.loads(pickle.dumps(RetryPolicy(attempts=5, timeout_s=1.0)))
+        assert p.attempts == 5
+        assert p.timeout_s == 1.0
+
+
+class TestSchedule:
+    def test_deterministic_exponential_capped(self):
+        p = RetryPolicy(
+            attempts=5, base_delay_s=1.0, max_delay_s=4.0, multiplier=2.0
+        )
+        assert list(p.delays()) == [1.0, 2.0, 4.0, 4.0]
+        # Twice in a row: no jitter anywhere.
+        assert list(p.delays()) == [1.0, 2.0, 4.0, 4.0]
+
+    def test_delay_s_negative_index_rejected(self):
+        with pytest.raises(ValidationError, match="retry_index"):
+            RetryPolicy().delay_s(-1)
+
+    def test_backoff_uses_injected_sleep(self):
+        slept = []
+        p = RetryPolicy(attempts=3, base_delay_s=0.5, sleep=slept.append)
+        p.backoff(0)
+        p.backoff(1)
+        assert slept == [0.5, 1.0]
+
+    def test_zero_delay_never_sleeps(self):
+        def boom(_):  # pragma: no cover - must not be called
+            raise AssertionError("sleep called for zero delay")
+
+        RetryPolicy(attempts=2, base_delay_s=0.0, sleep=boom).backoff(0)
+
+    def test_historical_pool_defaults(self):
+        # POOL_RETRY_POLICY must reproduce PR 7's module constants.
+        assert POOL_RETRY_POLICY.attempts == 3
+        assert POOL_RETRY_POLICY.base_delay_s == 0.5
+        assert POOL_RETRY_POLICY.timeout_s == 600.0
+        assert SHARD_READ_RETRY_POLICY.attempts == 3
+
+
+class TestCall:
+    def _policy(self, attempts=3):
+        return RetryPolicy(attempts=attempts, base_delay_s=0.0)
+
+    def test_success_first_try(self):
+        calls = []
+        out = self._policy().call(lambda: calls.append(1) or "ok")
+        assert out == "ok"
+        assert len(calls) == 1
+
+    def test_retries_then_succeeds(self):
+        state = {"n": 0}
+
+        def flaky():
+            state["n"] += 1
+            if state["n"] < 3:
+                raise OSError("blip")
+            return "ok"
+
+        assert self._policy().call(flaky) == "ok"
+        assert state["n"] == 3
+
+    def test_budget_exhaustion_raises_last_error(self):
+        state = {"n": 0}
+
+        def always():
+            state["n"] += 1
+            raise OSError(f"blip {state['n']}")
+
+        with pytest.raises(OSError, match="blip 3"):
+            self._policy().call(always)
+        assert state["n"] == 3
+
+    def test_non_matching_exception_propagates_immediately(self):
+        state = {"n": 0}
+
+        def typed():
+            state["n"] += 1
+            raise KeyError("not retryable")
+
+        with pytest.raises(KeyError):
+            self._policy().call(typed, retry_on=(OSError,))
+        assert state["n"] == 1
+
+    def test_should_retry_predicate_vetoes(self):
+        state = {"n": 0}
+
+        def nope():
+            state["n"] += 1
+            raise OSError("fatal")
+
+        with pytest.raises(OSError):
+            self._policy().call(nope, should_retry=lambda exc: False)
+        assert state["n"] == 1
+
+    def test_passes_args_and_kwargs(self):
+        out = self._policy().call(lambda a, b=0: a + b, 2, b=3)
+        assert out == 5
+
+    def test_backoff_schedule_observed(self):
+        slept = []
+        p = RetryPolicy(attempts=3, base_delay_s=0.25, sleep=slept.append)
+        state = {"n": 0}
+
+        def flaky():
+            state["n"] += 1
+            raise OSError("blip")
+
+        with pytest.raises(OSError):
+            p.call(flaky)
+        assert slept == [0.25, 0.5]

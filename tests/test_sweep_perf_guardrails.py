@@ -28,6 +28,7 @@ full scale with tighter thresholds.
 
 from __future__ import annotations
 
+import os
 import time
 import tracemalloc
 from functools import partial
@@ -515,6 +516,51 @@ def test_overlapped_streaming_keeps_memory_flat(tmp_path):
         f"overlapped streaming should keep peak memory within ~2 blocks: "
         f"sync peak {peak_sync / 1e6:.1f} MB vs overlapped peak "
         f"{peak_overlap / 1e6:.1f} MB"
+    )
+
+
+@pytest.mark.bench
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="integrity hashing overlaps compute on a worker thread; the "
+    "1.25x budget needs a second core for that thread to run on",
+)
+def test_integrity_writes_within_1_25x_of_bare_path(tmp_path):
+    """The crash journal + per-shard sha256 checksums (on by default
+    since the recovery layer) must cost at most 1.25x the bare PR-9
+    write path on a 60k-point streamed sweep — the digest + journal
+    line are computed on a worker thread that overlaps the producer's
+    next block, so with a core to run on they mostly vanish.
+    Interleaved best-of-5 rounds after a warm-up, like the other
+    wall-clock guardrails; ``benchmarks/bench_sweep_shards.py``
+    measures the same budget at 200k-point scale."""
+    from repro.sweep import ShardWriter
+
+    spec = _grid(300, 200)  # 60k points
+    block = 10_000
+
+    def streamed(directory, integrity):
+        writer = ShardWriter(
+            directory, shard_size=block, axis_names=spec.axis_names,
+            integrity=integrity,
+        )
+        t0 = time.perf_counter()
+        run_model_sweep(spec, base=BASE, out=writer, block_size=block)
+        return time.perf_counter() - t0
+
+    streamed(tmp_path / "warmup", integrity=True)
+    t_bare = float("inf")
+    t_journaled = float("inf")
+    for round_idx in range(5):
+        t_bare = min(t_bare, streamed(tmp_path / f"bare-{round_idx}", False))
+        t_journaled = min(
+            t_journaled, streamed(tmp_path / f"journaled-{round_idx}", True)
+        )
+
+    assert t_journaled <= 1.25 * t_bare, (
+        f"journaled+checksummed writes should stay within 1.25x of the "
+        f"bare write path, got {t_journaled / t_bare:.3f}x "
+        f"({t_journaled * 1e3:.0f} ms vs {t_bare * 1e3:.0f} ms)"
     )
 
 

@@ -1,0 +1,471 @@
+"""Crash/resume battery: killed streamed sweeps resume to byte-identical
+directories, driven by the deterministic chaos harness.
+
+The central claim of the recovery layer is *byte identity*: a sweep
+killed at any shard boundary — before the rename, after the rename but
+before the journal line, after the journal line — and then resumed must
+produce exactly the bytes (shards and manifest; the journal is the
+recovery mechanism itself) of a run that was never interrupted.  These
+tests prove it with :class:`repro.testing.chaos.ChaosInjector` kills at
+every boundary of a multi-shard grid, across the synchronous and
+overlapped-IO writers, raw and compressed shards, the per-point and
+block-function executors, and a real ``SIGKILL`` delivered to a child
+process that is then resumed through the CLI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import signal
+import subprocess
+import sys
+import textwrap
+import warnings
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.parameters import aps_to_alcf_defaults
+from repro.errors import ValidationError
+from repro.resilience import RetryPolicy
+from repro.sweep import (
+    Axis,
+    ShardedSweepResult,
+    ShardWriter,
+    SweepSpec,
+    parallel_map,
+    run_model_sweep,
+    run_sweep,
+)
+from repro.sweep.shards import JOURNAL_NAME, MANIFEST_NAME
+from repro.testing.chaos import ChaosInjector, SimulatedCrash
+
+BASE = aps_to_alcf_defaults()
+SHARD = 128
+
+
+def small_spec(n_bw: int = 32, n_s: int = 20) -> SweepSpec:
+    return SweepSpec.grid(
+        Axis.geomspace("bandwidth_gbps", 1.0, 100.0, n_bw),
+        Axis.geomspace("s_unit_gb", 0.1, 10.0, n_s),
+    )
+
+
+def dir_fingerprint(directory, include_journal: bool = False) -> dict:
+    """``{filename: sha256}`` of a shard directory (journal excluded by
+    default — it is the recovery mechanism, not the artifact)."""
+    out = {}
+    for path in sorted(pathlib.Path(directory).iterdir()):
+        if path.name == JOURNAL_NAME and not include_journal:
+            continue
+        out[path.name] = hashlib.sha256(path.read_bytes()).hexdigest()
+    return out
+
+
+def reference_dir(tmp_path, name="ref", **kwargs):
+    ref = tmp_path / name
+    run_model_sweep(small_spec(), base=BASE, out=str(ref), block_size=SHARD, **kwargs)
+    return ref
+
+
+def crash_model_sweep(directory, chaos, compress=False, overlap_io=True):
+    """Run the model sweep against a chaos-armed writer; assert it dies."""
+    spec = small_spec()
+    writer = ShardWriter(
+        directory, shard_size=SHARD, axis_names=spec.axis_names,
+        compress=compress, chaos=chaos,
+    )
+    with pytest.raises(SimulatedCrash):
+        run_model_sweep(
+            spec, base=BASE, out=writer, block_size=SHARD,
+            compress=compress, overlap_io=overlap_io,
+        )
+
+
+class TestKillAtEveryBoundary:
+    """The core battery: kill at shard k, stage s; resume; compare bytes."""
+
+    @pytest.mark.parametrize("stage", ["pre-commit", "post-commit", "post-journal"])
+    @pytest.mark.parametrize("kill_at", [0, 1, 3])
+    @pytest.mark.parametrize(
+        "overlap_io,compress",
+        [(False, False), (True, False), (False, True), (True, True)],
+    )
+    def test_resume_byte_identity(self, tmp_path, stage, kill_at, overlap_io, compress):
+        ref = reference_dir(tmp_path, compress=compress)
+        run = tmp_path / "run"
+        crash_model_sweep(
+            run,
+            ChaosInjector(kill_at_shard=kill_at, kill_stage=stage),
+            compress=compress, overlap_io=overlap_io,
+        )
+        # The kill left an incomplete directory: no manifest yet.
+        assert not (run / MANIFEST_NAME).exists()
+        table = run_model_sweep(
+            small_spec(), base=BASE, out=str(run), block_size=SHARD,
+            compress=compress, overlap_io=overlap_io, resume=True,
+        )
+        assert table.n_rows == small_spec().n_points
+        assert dir_fingerprint(run) == dir_fingerprint(ref)
+
+    def test_resume_with_different_block_size_still_identical(self, tmp_path):
+        # The writer re-buffers to shard_size whatever block sizes
+        # arrive, so resuming with another block size changes nothing.
+        ref = reference_dir(tmp_path)
+        run = tmp_path / "run"
+        crash_model_sweep(run, ChaosInjector(kill_at_shard=2))
+        spec = small_spec()
+        writer, completed = ShardWriter.resume(
+            run, shard_size=SHARD, axis_names=spec.axis_names
+        )
+        assert completed == 3 * SHARD  # post-journal kill at shard 2
+        run_model_sweep(spec, base=BASE, out=writer, block_size=57, resume=True)
+        assert dir_fingerprint(run) == dir_fingerprint(ref)
+
+    def test_journal_records_committed_prefix(self, tmp_path):
+        run = tmp_path / "run"
+        crash_model_sweep(run, ChaosInjector(kill_at_shard=2, kill_stage="pre-commit"))
+        lines = [
+            json.loads(line)
+            for line in (run / JOURNAL_NAME).read_text().splitlines()
+        ]
+        assert lines[0]["type"] == "header"
+        assert lines[1]["type"] == "schema"
+        shards = [rec for rec in lines if rec["type"] == "shard"]
+        assert [s["index"] for s in shards] == [0, 1]
+        assert all(s["n_rows"] == SHARD for s in shards)
+        assert all(len(s["sha256"]) == 64 for s in shards)
+        assert shards[1]["row_start"] == SHARD
+        assert shards[1]["row_stop"] == 2 * SHARD
+
+
+class TestJournalRecovery:
+    def test_torn_journal_line_recovery(self, tmp_path):
+        # The crash tears the journal line for shard 2 mid-append: the
+        # resumed run must distrust it and rewrite from shard 2.
+        ref = reference_dir(tmp_path)
+        run = tmp_path / "run"
+        crash_model_sweep(run, ChaosInjector(torn_journal_at=2))
+        run_model_sweep(
+            small_spec(), base=BASE, out=str(run), block_size=SHARD, resume=True
+        )
+        assert dir_fingerprint(run) == dir_fingerprint(ref)
+
+    def test_stale_journal_recovery(self, tmp_path):
+        # Shard 1 is journaled (checksum and all) but its file was torn
+        # afterwards: the journal is *stale* and resume must detect the
+        # checksum mismatch and rewrite from shard 1.
+        ref = reference_dir(tmp_path)
+        run = tmp_path / "run"
+        crash_model_sweep(
+            run,
+            ChaosInjector(torn_shard_at=1, kill_at_shard=1, kill_stage="post-journal"),
+        )
+        run_model_sweep(
+            small_spec(), base=BASE, out=str(run), block_size=SHARD, resume=True
+        )
+        assert dir_fingerprint(run) == dir_fingerprint(ref)
+
+    def test_manually_truncated_journal_tail(self, tmp_path):
+        ref = reference_dir(tmp_path)
+        run = tmp_path / "run"
+        crash_model_sweep(run, ChaosInjector(kill_at_shard=3))
+        journal = run / JOURNAL_NAME
+        journal.write_bytes(journal.read_bytes()[:-17])  # tear the tail
+        run_model_sweep(
+            small_spec(), base=BASE, out=str(run), block_size=SHARD, resume=True
+        )
+        assert dir_fingerprint(run) == dir_fingerprint(ref)
+
+    def test_corrupt_mid_journal_rejected(self, tmp_path):
+        run = tmp_path / "run"
+        crash_model_sweep(run, ChaosInjector(kill_at_shard=3))
+        journal = run / JOURNAL_NAME
+        lines = journal.read_text().splitlines()
+        lines[1] = "{definitely not json"
+        journal.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValidationError, match="cannot be trusted"):
+            run_model_sweep(
+                small_spec(), base=BASE, out=str(run), block_size=SHARD, resume=True
+            )
+
+
+class TestResumeSemantics:
+    def test_resume_on_fresh_directory(self, tmp_path):
+        ref = reference_dir(tmp_path)
+        run = tmp_path / "fresh"
+        run_model_sweep(
+            small_spec(), base=BASE, out=str(run), block_size=SHARD, resume=True
+        )
+        assert dir_fingerprint(run) == dir_fingerprint(ref)
+
+    def test_resume_on_complete_directory_is_a_noop(self, tmp_path):
+        ref = reference_dir(tmp_path)
+        before = dir_fingerprint(ref, include_journal=True)
+        table = run_model_sweep(
+            small_spec(), base=BASE, out=str(ref), block_size=SHARD, resume=True
+        )
+        assert isinstance(table, ShardedSweepResult)
+        assert table.n_rows == small_spec().n_points
+        assert dir_fingerprint(ref, include_journal=True) == before
+
+    def test_resume_requires_out(self):
+        with pytest.raises(ValidationError, match="resume"):
+            run_model_sweep(small_spec(), base=BASE, resume=True)
+        with pytest.raises(ValidationError, match="resume"):
+            run_sweep(small_spec(), fn=_noop_point, resume=True)
+
+    def test_resume_param_mismatch_rejected(self, tmp_path):
+        run = tmp_path / "run"
+        crash_model_sweep(run, ChaosInjector(kill_at_shard=1))
+        with pytest.raises(ValidationError, match="different parameters"):
+            ShardWriter.resume(
+                run, shard_size=SHARD * 2, axis_names=small_spec().axis_names
+            )
+        with pytest.raises(ValidationError, match="different parameters"):
+            ShardWriter.resume(
+                run, shard_size=SHARD, axis_names=small_spec().axis_names,
+                compress=True,
+            )
+
+    def test_resume_spec_shrunk_rejected(self, tmp_path):
+        run = tmp_path / "run"
+        crash_model_sweep(run, ChaosInjector(kill_at_shard=3))
+        shrunk = SweepSpec.grid(
+            Axis.geomspace("bandwidth_gbps", 1.0, 100.0, 2),
+            Axis.geomspace("s_unit_gb", 0.1, 10.0, 2),
+        )
+        with pytest.raises(ValidationError, match="different sweep"):
+            run_model_sweep(
+                shrunk, base=BASE, out=str(run), block_size=SHARD, resume=True
+            )
+
+
+def _noop_point(point):
+    return {"metric": point["bandwidth_gbps"] * 2.0}
+
+
+def _block_points(points):
+    return [{"metric": p["bandwidth_gbps"] * 2.0} for p in points]
+
+
+class TestRunSweepResume:
+    """The per-point / block-function executor paths resume too."""
+
+    def _ref(self, tmp_path, **kwargs):
+        ref = tmp_path / "ref"
+        run_sweep(small_spec(), out=str(ref), block_size=SHARD, **kwargs)
+        return ref
+
+    def test_per_point_resume_byte_identity(self, tmp_path):
+        ref = self._ref(tmp_path, fn=_noop_point)
+        run = tmp_path / "run"
+        spec = small_spec()
+        writer = ShardWriter(
+            run, shard_size=SHARD, axis_names=spec.axis_names,
+            chaos=ChaosInjector(kill_at_shard=1, kill_stage="post-commit"),
+        )
+        with pytest.raises(SimulatedCrash):
+            run_sweep(spec, fn=_noop_point, out=writer, block_size=SHARD)
+        run_sweep(spec, fn=_noop_point, out=str(run), block_size=SHARD, resume=True)
+        assert dir_fingerprint(run) == dir_fingerprint(ref)
+
+    def test_block_fn_resume_byte_identity(self, tmp_path):
+        ref = self._ref(tmp_path, block_fn=_block_points)
+        run = tmp_path / "run"
+        spec = small_spec()
+        writer = ShardWriter(
+            run, shard_size=SHARD, axis_names=spec.axis_names,
+            chaos=ChaosInjector(kill_at_shard=2, kill_stage="pre-commit"),
+        )
+        with pytest.raises(SimulatedCrash):
+            run_sweep(spec, block_fn=_block_points, out=writer, block_size=SHARD)
+        run_sweep(
+            spec, block_fn=_block_points, out=str(run), block_size=SHARD,
+            resume=True,
+        )
+        assert dir_fingerprint(run) == dir_fingerprint(ref)
+
+    def test_process_mode_resume_byte_identity(self, tmp_path):
+        ref = self._ref(tmp_path, fn=_noop_point)
+        run = tmp_path / "run"
+        spec = small_spec()
+        writer = ShardWriter(
+            run, shard_size=SHARD, axis_names=spec.axis_names,
+            chaos=ChaosInjector(kill_at_shard=1),
+        )
+        with pytest.raises(SimulatedCrash):
+            run_sweep(spec, fn=_noop_point, out=writer, block_size=SHARD, workers=2)
+        run_sweep(
+            spec, fn=_noop_point, out=str(run), block_size=SHARD, workers=2,
+            resume=True,
+        )
+        assert dir_fingerprint(run) == dir_fingerprint(ref)
+
+
+class TestSigkillAndCli:
+    """A literal SIGKILL mid-sweep, resumed through ``repro sweep --resume``."""
+
+    CHILD = textwrap.dedent(
+        """
+        import sys
+        from repro.core.parameters import aps_to_alcf_defaults
+        from repro.sweep import Axis, ShardWriter, SweepSpec, run_model_sweep
+        from repro.testing.chaos import ChaosInjector
+
+        spec = SweepSpec.grid(
+            Axis.geomspace("bandwidth_gbps", 1.0, 100.0, 32),
+            Axis.geomspace("s_unit_gb", 0.1, 10.0, 20),
+        )
+        writer = ShardWriter(
+            sys.argv[1], shard_size=128, axis_names=spec.axis_names,
+            chaos=ChaosInjector(kill_at_shard=2, kill_stage="post-commit", hard=True),
+        )
+        run_model_sweep(spec, base=aps_to_alcf_defaults(), out=writer, block_size=128)
+        raise SystemExit("the chaos SIGKILL never fired")
+        """
+    )
+
+    def _cli_sweep(self, out_dir, *extra):
+        return cli_main([
+            "sweep",
+            "--axis", "bandwidth_gbps=1:100:32:log",
+            "--axis", "s_unit_gb=0.1:10:20:log",
+            "--out-dir", str(out_dir), "--shard-size", "128",
+            *extra,
+        ])
+
+    def test_sigkill_then_cli_resume_and_verify(self, tmp_path, capsys):
+        ref = tmp_path / "ref"
+        assert self._cli_sweep(ref) == 0
+        run = tmp_path / "run"
+        proc = subprocess.run(
+            [sys.executable, "-c", self.CHILD, str(run)],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+        assert not (run / MANIFEST_NAME).exists()
+        assert self._cli_sweep(run, "--resume") == 0
+        capsys.readouterr()
+        assert dir_fingerprint(run) == dir_fingerprint(ref)
+        # repro verify agrees: exit 0 on the resumed directory ...
+        assert cli_main(["verify", str(run)]) == 0
+        # ... and non-zero once a shard is deliberately corrupted.
+        shard = run / "shard-00001.npz"
+        shard.write_bytes(shard.read_bytes()[:100])
+        assert cli_main(["verify", str(run)]) == 1
+        capsys.readouterr()
+
+    def test_simnet_table2_resume_byte_identity(self, tmp_path, capsys):
+        # The --simnet-table2 streamed grid resumes too: manufacture the
+        # post-journal-kill state (manifest gone, journal and shards
+        # truncated to a two-shard prefix) and let --resume finish it.
+        def table2(out_dir, *extra):
+            return cli_main([
+                "sweep", "--simnet-table2", "--duration", "1",
+                "--out-dir", str(out_dir), "--shard-size", "10", *extra,
+            ])
+
+        ref = tmp_path / "ref"
+        run = tmp_path / "run"
+        assert table2(ref) == 0
+        assert table2(run) == 0
+        (run / MANIFEST_NAME).unlink()
+        journal = run / JOURNAL_NAME
+        records = [
+            json.loads(line) for line in journal.read_text().splitlines()
+        ]
+        kept = [
+            r for r in records
+            if r["type"] != "shard" or r["index"] < 2
+        ]
+        journal.write_text(
+            "".join(json.dumps(r, sort_keys=True) + "\n" for r in kept)
+        )
+        (run / "shard-00002.npz").unlink()
+        assert table2(run, "--resume") == 0
+        capsys.readouterr()
+        assert dir_fingerprint(run) == dir_fingerprint(ref)
+        assert cli_main(["verify", str(run)]) == 0
+        capsys.readouterr()
+
+    def test_cli_resume_requires_out_dir(self):
+        with pytest.raises(ValidationError, match="--out-dir"):
+            cli_main([
+                "sweep", "--axis", "bandwidth_gbps=1:100:4", "--resume",
+            ])
+
+
+class TestChaosExecutorSeams:
+    def test_fail_read_retries_in_map_table_blocks(self, tmp_path):
+        from repro.analysis._tables import map_table_blocks
+        from repro.sweep.shards import ShardReader
+
+        run = reference_dir(tmp_path)
+        quick = RetryPolicy(attempts=3, base_delay_s=0.0)
+        # Two injected read failures: absorbed by the 3-attempt policy.
+        reader = ShardReader(run, chaos=ChaosInjector(fail_reads=2))
+        table = ShardedSweepResult(reader)
+        out = map_table_blocks(
+            table, ["speedup"], lambda block: len(block["speedup"]), retry=quick
+        )
+        assert sum(out) == small_spec().n_points
+        # More failures than attempts: the reader's actionable error
+        # surfaces (wrapping the injected OSError).
+        reader = ShardReader(run, chaos=ChaosInjector(fail_reads=99))
+        with pytest.raises(ValidationError, match="corrupt or truncated"):
+            map_table_blocks(
+                ShardedSweepResult(reader), ["speedup"],
+                lambda block: len(block["speedup"]), retry=quick,
+            )
+
+    def test_slow_worker_chunks_unaffect_results(self):
+        chaos = ChaosInjector(slow_chunks=1, slow_s=0.01)
+        out = parallel_map(_noop_point_metric, list(range(8)), workers=2, chaos=chaos)
+        assert out == [i * 3 for i in range(8)]
+
+    def test_parallel_map_retry_policy_reaches_shared_pool(self):
+        seen = {}
+
+        class FakeFuture:
+            def __init__(self, payload):
+                self.payload = payload
+
+            def get(self, timeout=None):
+                seen["timeout"] = timeout
+                from repro.sweep.engine import _run_chunk
+
+                return _run_chunk(self.payload)
+
+        class FakePool:
+            def apply_async(self, fn, args):
+                return FakeFuture(args[0])
+
+        policy = RetryPolicy(attempts=1, base_delay_s=0.0, timeout_s=12.5)
+        out = parallel_map(
+            _noop_point_metric, [1, 2, 3], workers=2, retry=policy,
+            _pool=FakePool(),
+        )
+        assert out == [3, 6, 9]
+        assert seen["timeout"] == 12.5
+
+    def test_shared_pool_failure_degrades_in_process(self):
+        class DeadPool:
+            def apply_async(self, fn, args):
+                raise BrokenPipeError("pool is gone")
+
+        with warnings.catch_warnings(record=True) as rec:
+            warnings.simplefilter("always")
+            out = parallel_map(
+                _noop_point_metric, [1, 2], workers=2,
+                retry=RetryPolicy(attempts=1, base_delay_s=0.0),
+                _pool=DeadPool(),
+            )
+        assert out == [3, 6]
+        assert any("degrading to in-process" in str(w.message) for w in rec)
+
+
+def _noop_point_metric(i):
+    return i * 3
